@@ -1,0 +1,46 @@
+//! A2: AoS-vs-SoA layout ablation.
+//!
+//! The serial AoS (naive) and serial SoA (simd-tier) variants of the two
+//! layout-showcase kernels, isolating the data-layout effect from threads
+//! and explicit SIMD.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ninja_kernels::conv1d::Conv1d;
+use ninja_kernels::lbm::Lbm;
+use ninja_kernels::ProblemSize;
+use std::time::Duration;
+
+fn bench_conv1d_layout(c: &mut Criterion) {
+    let kernel = Conv1d::generate(ProblemSize::Test, 11);
+    let mut group = c.benchmark_group("ablation_layout/conv1d");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group.bench_function("aos_serial", |b| {
+        b.iter(|| std::hint::black_box(kernel.run_naive()));
+    });
+    group.bench_function("soa_serial", |b| {
+        b.iter(|| std::hint::black_box(kernel.run_simd()));
+    });
+    group.finish();
+}
+
+fn bench_lbm_layout(c: &mut Criterion) {
+    let kernel = Lbm::generate(ProblemSize::Test, 11);
+    let mut group = c.benchmark_group("ablation_layout/lbm");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    group.bench_function("aos_serial", |b| {
+        b.iter(|| std::hint::black_box(kernel.run_naive()));
+    });
+    group.bench_function("soa_serial", |b| {
+        b.iter(|| std::hint::black_box(kernel.run_simd()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_conv1d_layout, bench_lbm_layout);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench behind F2: the raw Ninja gap — every kernel's `naive`
+//! vs `ninja` variant. (Small inputs so the full sweep stays fast; the
+//! `fig2` binary measures the report sizes.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ninja_kernels::{registry, ProblemSize, Variant};
+use ninja_parallel::ThreadPool;
+use std::time::Duration;
+
+fn bench_gap(c: &mut Criterion) {
+    let pool = ThreadPool::new();
+    let mut group = c.benchmark_group("fig2_gap");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for spec in registry() {
+        let mut instance = (spec.make)(ProblemSize::Test, 42);
+        for v in [Variant::Naive, Variant::Ninja] {
+            group.bench_function(format!("{}/{}", spec.name, v.name()), |b| {
+                b.iter(|| std::hint::black_box(instance.run(v, &pool)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench behind F4: the residual gap — every kernel's
+//! low-effort `algorithmic` variant vs its `ninja` variant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ninja_kernels::{registry, ProblemSize, Variant};
+use ninja_parallel::ThreadPool;
+use std::time::Duration;
+
+fn bench_residual(c: &mut Criterion) {
+    let pool = ThreadPool::new();
+    let mut group = c.benchmark_group("fig4_residual");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    for spec in registry() {
+        let mut instance = (spec.make)(ProblemSize::Test, 42);
+        for v in [Variant::Algorithmic, Variant::Ninja] {
+            group.bench_function(format!("{}/{}", spec.name, v.name()), |b| {
+                b.iter(|| std::hint::black_box(instance.run(v, &pool)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_residual);
+criterion_main!(benches);

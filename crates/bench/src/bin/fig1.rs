@@ -1,0 +1,5 @@
+//! F1: projected Ninja-gap growth across CPU generations.
+
+fn main() {
+    println!("{}", ninja_core::experiments::fig1_gap_growth());
+}

@@ -1,0 +1,5 @@
+//! F3: per-benchmark Ninja-gap breakdown projected on Intel MIC.
+
+fn main() {
+    println!("{}", ninja_core::experiments::fig_breakdown(&ninja_model::machines::mic()));
+}

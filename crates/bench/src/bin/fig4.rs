@@ -1,0 +1,13 @@
+//! F4: residual gap of low-effort code vs Ninja — measured on this host
+//! next to the Westmere model projection.
+
+fn main() {
+    let cli = ninja_bench::cli_from_env();
+    eprintln!("measuring ({} size, {} thread(s), {} rep(s))...", cli.size, cli.threads, cli.reps);
+    let harness = ninja_core::Harness::new()
+        .size(cli.size)
+        .threads(cli.threads)
+        .repetitions(cli.reps);
+    let suite = harness.run_suite();
+    println!("{}", ninja_core::experiments::fig4_residual(&suite));
+}

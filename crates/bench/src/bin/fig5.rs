@@ -1,0 +1,5 @@
+//! F5: residual gap vs Ninja projected on Intel MIC.
+
+fn main() {
+    println!("{}", ninja_core::experiments::fig5_mic_residual());
+}

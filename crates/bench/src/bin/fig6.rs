@@ -1,0 +1,5 @@
+//! F6: programming-effort comparison (LoC changed vs performance reached).
+
+fn main() {
+    println!("{}", ninja_core::experiments::fig6_effort());
+}

@@ -1,0 +1,5 @@
+//! F7: hardware gather-support ablation.
+
+fn main() {
+    println!("{}", ninja_core::experiments::fig7_hardware_gather());
+}

@@ -1,0 +1,21 @@
+//! Regenerates every table and figure of the evaluation in one run and
+//! writes the measured suite report to `suite_report.json` / `.csv`.
+
+fn main() {
+    let cli = ninja_bench::cli_from_env();
+    eprintln!(
+        "running full reproduction: size={} threads={} reps={}",
+        cli.size, cli.threads, cli.reps
+    );
+    let (suite, rendered) = ninja_core::experiments::full_report(cli.size, cli.threads, cli.reps);
+    println!("{rendered}");
+    std::fs::write("suite_report.json", suite.to_json()).expect("write suite_report.json");
+    std::fs::write("suite_report.csv", suite.to_csv()).expect("write suite_report.csv");
+    eprintln!("wrote suite_report.json and suite_report.csv");
+    println!(
+        "measured average gap (this host, {} thread(s)): {:.2}X; average residual: {:.2}X",
+        suite.threads,
+        suite.average_gap(),
+        suite.average_residual()
+    );
+}

@@ -1,0 +1,11 @@
+//! A3: throughput scaling across working-set sizes for the naive and ninja
+//! tiers of every kernel.
+
+fn main() {
+    let cli = ninja_bench::cli_from_env();
+    eprintln!("measuring scaling (test + quick presets, {} thread(s))...", cli.threads);
+    println!(
+        "{}",
+        ninja_core::experiments::size_scaling(cli.threads, cli.reps)
+    );
+}

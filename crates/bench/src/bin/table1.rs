@@ -1,0 +1,5 @@
+//! T1: prints the benchmark-suite table.
+
+fn main() {
+    println!("{}", ninja_core::experiments::table1_suite());
+}

@@ -1,0 +1,5 @@
+//! T2: prints the platform (machine-description) table.
+
+fn main() {
+    println!("{}", ninja_core::experiments::table2_platforms());
+}

@@ -1,0 +1,130 @@
+//! Shared plumbing for the `fig*`/`table*` reproduction binaries.
+//!
+//! Every binary accepts the same flags:
+//!
+//! ```text
+//! --size test|quick|paper   problem-size preset (default: quick)
+//! --threads N               measurement pool threads (default: hardware)
+//! --reps N                  timed repetitions per variant (default: 3)
+//! ```
+//!
+//! Run `cargo run --release -p ninja-bench --bin reproduce` to regenerate
+//! every table and figure in one go.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use ninja_kernels::ProblemSize;
+
+/// Parsed command-line options shared by the reproduction binaries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Cli {
+    /// Problem-size preset.
+    pub size: ProblemSize,
+    /// Pool threads for parallel variants.
+    pub threads: usize,
+    /// Timed repetitions per variant.
+    pub reps: u32,
+}
+
+impl Default for Cli {
+    fn default() -> Self {
+        Self {
+            size: ProblemSize::Quick,
+            threads: ninja_parallel::hardware_threads(),
+            reps: 3,
+        }
+    }
+}
+
+/// Parses an argument iterator (without the program name).
+///
+/// Unknown flags are rejected with an error message so typos don't
+/// silently measure the wrong configuration.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags or malformed values.
+pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--size" => {
+                let v = value("--size")?;
+                cli.size = match v.as_str() {
+                    "test" => ProblemSize::Test,
+                    "quick" => ProblemSize::Quick,
+                    "paper" => ProblemSize::Paper,
+                    other => return Err(format!("unknown size '{other}' (test|quick|paper)")),
+                };
+            }
+            "--threads" => {
+                cli.threads = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                if cli.threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
+            }
+            "--reps" => {
+                cli.reps = value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?;
+                if cli.reps == 0 {
+                    return Err("--reps must be positive".into());
+                }
+            }
+            "--help" | "-h" => {
+                return Err("usage: [--size test|quick|paper] [--threads N] [--reps N]".into())
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(cli)
+}
+
+/// Parses `std::env::args()` and exits with a message on error.
+pub fn cli_from_env() -> Cli {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<Cli, String> {
+        parse_args(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.size, ProblemSize::Quick);
+        assert_eq!(cli.reps, 3);
+        assert!(cli.threads >= 1);
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let cli = parse(&["--size", "paper", "--threads", "4", "--reps", "7"]).unwrap();
+        assert_eq!(cli.size, ProblemSize::Paper);
+        assert_eq!(cli.threads, 4);
+        assert_eq!(cli.reps, 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&["--size", "huge"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--reps"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--help"]).is_err());
+    }
+}

@@ -1,0 +1,198 @@
+//! The measurement driver: runs (kernel × variant) pairs with validation.
+
+use crate::measure::measure;
+use crate::report::{KernelReport, SuiteReport, VariantResult};
+use ninja_kernels::{registry, KernelSpec, ProblemSize, Variant};
+use ninja_parallel::ThreadPool;
+
+/// Configures and runs Ninja-gap measurements.
+///
+/// Non-consuming builder: configure with [`size`](Harness::size),
+/// [`seed`](Harness::seed), [`repetitions`](Harness::repetitions),
+/// [`threads`](Harness::threads), then call
+/// [`run_suite`](Harness::run_suite) or [`run_kernel`](Harness::run_kernel).
+#[derive(Debug)]
+pub struct Harness {
+    size: ProblemSize,
+    seed: u64,
+    warmup: u32,
+    runs: u32,
+    pool: ThreadPool,
+    validate: bool,
+}
+
+impl Harness {
+    /// Creates a harness with default settings: `Quick` size, seed 42, one
+    /// warmup plus three timed runs, a hardware-sized pool, validation on.
+    pub fn new() -> Self {
+        Self {
+            size: ProblemSize::Quick,
+            seed: 42,
+            warmup: 1,
+            runs: 3,
+            pool: ThreadPool::new(),
+            validate: true,
+        }
+    }
+
+    /// Sets the problem-size preset.
+    pub fn size(mut self, size: ProblemSize) -> Self {
+        self.size = size;
+        self
+    }
+
+    /// Sets the input-generation seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of timed repetitions (median is reported).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runs == 0`.
+    pub fn repetitions(mut self, runs: u32) -> Self {
+        assert!(runs > 0, "need at least one repetition");
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the number of pool threads used by parallel variants.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.pool = ThreadPool::with_threads(n);
+        self
+    }
+
+    /// Disables output validation (measurement only). Validation is on by
+    /// default and strongly recommended.
+    pub fn skip_validation(mut self) -> Self {
+        self.validate = false;
+        self
+    }
+
+    /// Number of threads parallel variants will use.
+    pub fn num_threads(&self) -> usize {
+        self.pool.num_threads()
+    }
+
+    /// Runs every variant of one kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if validation is enabled and a variant's output disagrees
+    /// with the reference implementation — a wrong answer makes every
+    /// timing meaningless.
+    pub fn run_kernel(&self, spec: &KernelSpec) -> KernelReport {
+        let mut instance = (spec.make)(self.size, self.seed);
+        let work = instance.work();
+        let mut variants = Vec::with_capacity(Variant::ALL.len());
+        for v in Variant::ALL {
+            if self.validate {
+                if let Err(e) = instance.validate(v, &self.pool) {
+                    panic!("{e}");
+                }
+            }
+            let mut checksum = 0.0;
+            let timing = measure(self.warmup, self.runs, || {
+                checksum = instance.run(v, &self.pool);
+            });
+            variants.push(VariantResult {
+                variant: v.name().to_owned(),
+                timing,
+                checksum,
+                gflops: work.flops / timing.median_s / 1e9,
+                gbs: work.bytes / timing.median_s / 1e9,
+                validated: self.validate,
+            });
+        }
+        KernelReport {
+            kernel: spec.name.to_owned(),
+            bound: spec.bound.to_owned(),
+            variants,
+        }
+    }
+
+    /// Runs the full ten-kernel suite.
+    pub fn run_suite(&self) -> SuiteReport {
+        let mut report = SuiteReport::new_empty(self.size, self.seed, self.pool.num_threads());
+        for spec in registry() {
+            report.kernels.push(self.run_kernel(&spec));
+        }
+        report
+    }
+
+    /// Runs a named subset of the suite (names as in the registry).
+    pub fn run_kernels(&self, names: &[&str]) -> SuiteReport {
+        let mut report = SuiteReport::new_empty(self.size, self.seed, self.pool.num_threads());
+        for spec in registry() {
+            if names.contains(&spec.name) {
+                report.kernels.push(self.run_kernel(&spec));
+            }
+        }
+        report
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_harness() -> Harness {
+        Harness::new().size(ProblemSize::Test).threads(2).repetitions(1)
+    }
+
+    #[test]
+    fn runs_one_kernel_with_all_variants() {
+        let h = test_harness();
+        let spec = &registry()[0];
+        let r = h.run_kernel(spec);
+        assert_eq!(r.kernel, spec.name);
+        assert_eq!(r.variants.len(), 5);
+        assert!(r.variants.iter().all(|v| v.validated));
+        assert!(r.measured_gap().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn subset_run_filters_by_name() {
+        let h = test_harness();
+        let r = h.run_kernels(&["nbody", "lbm"]);
+        let names: Vec<_> = r.kernels.iter().map(|k| k.kernel.as_str()).collect();
+        assert_eq!(names, ["nbody", "lbm"]);
+    }
+
+    #[test]
+    fn checksums_are_consistent_across_variants() {
+        let h = test_harness();
+        let r = h.run_kernel(&registry()[2]); // conv1d
+        let naive = r.variants[0].checksum;
+        for v in &r.variants {
+            let rel = (v.checksum - naive).abs() / naive.abs().max(1.0);
+            assert!(rel < 1e-2, "{}: {} vs {}", v.variant, v.checksum, naive);
+        }
+    }
+
+    #[test]
+    fn skip_validation_still_measures() {
+        let h = Harness::new()
+            .size(ProblemSize::Test)
+            .threads(1)
+            .repetitions(1)
+            .skip_validation();
+        let r = h.run_kernel(&registry()[3]); // blackscholes
+        assert!(r.variants.iter().all(|v| !v.validated));
+        assert!(r.variants.iter().all(|v| v.timing.median_s > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one repetition")]
+    fn zero_repetitions_rejected() {
+        let _ = Harness::new().repetitions(0);
+    }
+}

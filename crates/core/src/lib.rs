@@ -1,0 +1,36 @@
+//! The Ninja-gap analysis harness.
+//!
+//! This crate is the paper's "experimental apparatus": it takes the
+//! benchmark suite from [`ninja_kernels`], times every (kernel × variant)
+//! pair with validation, computes measured Ninja gaps and residuals,
+//! combines them with [`ninja_model`] projections for the machines this
+//! host cannot be (multi-core Westmere, MIC, future parts), and renders
+//! every table and figure of the paper as ASCII tables/bars, CSV, or JSON.
+//!
+//! Typical use:
+//!
+//! ```no_run
+//! use ninja_core::{Harness, render};
+//! use ninja_kernels::ProblemSize;
+//!
+//! let harness = Harness::new().size(ProblemSize::Quick).repetitions(3);
+//! let suite = harness.run_suite();
+//! println!("{}", render::suite_table(&suite));
+//! println!("average measured gap: {:.1}X", suite.average_gap());
+//! ```
+//!
+//! The per-figure entry points live in [`experiments`]; the `ninja-bench`
+//! crate wraps each one in a `fig*`/`table*` binary.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+mod harness;
+mod measure;
+pub mod render;
+mod report;
+
+pub use harness::Harness;
+pub use measure::{measure, Measurement};
+pub use report::{KernelReport, SuiteReport, VariantResult};

@@ -1,0 +1,103 @@
+//! Wall-clock measurement with warmup and median-of-N repetition.
+
+use std::time::Instant;
+
+/// The timing of one measured workload.
+#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Measurement {
+    /// Median wall-clock seconds across repetitions.
+    pub median_s: f64,
+    /// Arithmetic mean across repetitions.
+    pub mean_s: f64,
+    /// Sample standard deviation across repetitions (0 for one run).
+    pub stddev_s: f64,
+    /// Fastest repetition.
+    pub min_s: f64,
+    /// Slowest repetition.
+    pub max_s: f64,
+    /// Number of timed repetitions.
+    pub runs: u32,
+}
+
+impl Measurement {
+    /// Relative spread `(max − min) / median` — a quick noise indicator.
+    pub fn spread(&self) -> f64 {
+        if self.median_s == 0.0 {
+            0.0
+        } else {
+            (self.max_s - self.min_s) / self.median_s
+        }
+    }
+}
+
+/// Times `body` with `warmup` untimed runs followed by `runs` timed runs,
+/// reporting the median (robust to one-off scheduling noise).
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn measure<F: FnMut()>(warmup: u32, runs: u32, mut body: F) -> Measurement {
+    assert!(runs > 0, "measure needs at least one timed run");
+    for _ in 0..warmup {
+        body();
+    }
+    let mut times = Vec::with_capacity(runs as usize);
+    for _ in 0..runs {
+        let start = Instant::now();
+        body();
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN durations"));
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    let var = if times.len() > 1 {
+        times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / (times.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Measurement {
+        median_s: times[times.len() / 2],
+        mean_s: mean,
+        stddev_s: var.sqrt(),
+        min_s: times[0],
+        max_s: times[times.len() - 1],
+        runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_warmup_and_runs() {
+        let mut calls = 0;
+        let m = measure(2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+        assert_eq!(m.runs, 5);
+        assert!(m.min_s <= m.median_s && m.median_s <= m.max_s);
+    }
+
+    #[test]
+    fn measures_something_positive() {
+        let m = measure(0, 3, || {
+            std::hint::black_box((0..10_000).sum::<u64>());
+        });
+        assert!(m.median_s >= 0.0);
+        assert!(m.spread() >= 0.0);
+        assert!(m.mean_s >= m.min_s && m.mean_s <= m.max_s);
+        assert!(m.stddev_s >= 0.0);
+    }
+
+    #[test]
+    fn single_run_has_zero_stddev() {
+        let m = measure(0, 1, || {});
+        assert_eq!(m.stddev_s, 0.0);
+        assert_eq!(m.mean_s, m.median_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_runs_rejected() {
+        let _ = measure(0, 0, || {});
+    }
+}

@@ -1,0 +1,122 @@
+//! ASCII rendering of tables and bar "figures" for terminal output.
+
+use crate::report::SuiteReport;
+
+/// Renders an aligned ASCII table with a header rule.
+///
+/// ```
+/// let t = ninja_core::render::table(
+///     &["kernel", "gap"],
+///     &[vec!["nbody".into(), "24.0X".into()]],
+/// );
+/// assert!(t.contains("nbody"));
+/// assert!(t.lines().count() >= 3);
+/// ```
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a horizontal bar scaled so `max` fills `width` characters.
+///
+/// ```
+/// assert_eq!(ninja_core::render::bar(2.0, 4.0, 8), "####");
+/// ```
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "#".repeat(n.clamp(1, width))
+}
+
+/// Renders a log-scale bar (useful for gap ratios spanning 1X-50X).
+pub fn log_bar(value: f64, max: f64, width: usize) -> String {
+    if value <= 1.0 {
+        return String::new();
+    }
+    bar(value.ln(), max.max(std::f64::consts::E).ln(), width)
+}
+
+/// Renders the per-kernel measurement table of a suite run.
+pub fn suite_table(report: &SuiteReport) -> String {
+    let mut rows = Vec::new();
+    for k in &report.kernels {
+        for v in &k.variants {
+            rows.push(vec![
+                k.kernel.clone(),
+                v.variant.clone(),
+                format!("{:.4}", v.timing.median_s),
+                format!("{:.2}", v.gflops),
+                format!("{:.2}", v.gbs),
+                format!("{:.2}X", k.variants[0].timing.median_s / v.timing.median_s),
+            ]);
+        }
+    }
+    table(
+        &["kernel", "variant", "median s", "GFLOP/s", "GB/s", "vs naive"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "long-header"],
+            &[
+                vec!["xxxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Both data rows start their second column at the same offset.
+        let col = lines[2].find('1').unwrap();
+        assert_eq!(lines[3].find('2').unwrap(), col);
+    }
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(4.0, 4.0, 10), "##########");
+        assert_eq!(bar(0.0, 4.0, 10), "");
+        assert_eq!(bar(0.0001, 4.0, 10), "#"); // at least one mark if positive
+        assert_eq!(bar(8.0, 4.0, 10), "##########"); // clamped
+    }
+
+    #[test]
+    fn log_bar_handles_unity() {
+        assert_eq!(log_bar(1.0, 50.0, 20), "");
+        assert!(!log_bar(2.0, 50.0, 20).is_empty());
+        assert!(log_bar(50.0, 50.0, 20).len() > log_bar(5.0, 50.0, 20).len());
+    }
+}

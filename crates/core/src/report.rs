@@ -1,0 +1,261 @@
+//! Result structures for suite runs (serializable for EXPERIMENTS.md and
+//! machine-readable output).
+
+use crate::Measurement;
+use ninja_kernels::{ProblemSize, Variant};
+use serde::{Deserialize, Serialize};
+
+/// One measured (kernel, variant) cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VariantResult {
+    /// Variant label (see [`Variant::name`]).
+    pub variant: String,
+    /// Timing of the variant.
+    pub timing: Measurement,
+    /// Output checksum (anti-DCE witness; equal-ish across variants).
+    pub checksum: f64,
+    /// Achieved useful GFLOP/s.
+    pub gflops: f64,
+    /// Achieved streaming GB/s.
+    pub gbs: f64,
+    /// Whether the output matched the reference implementation.
+    pub validated: bool,
+}
+
+/// All variants of one kernel.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub kernel: String,
+    /// Compute- or memory-bound classification from the suite table.
+    pub bound: String,
+    /// Per-variant results in ladder order.
+    pub variants: Vec<VariantResult>,
+}
+
+impl KernelReport {
+    fn time_of(&self, v: Variant) -> Option<f64> {
+        self.variants
+            .iter()
+            .find(|r| r.variant == v.name())
+            .map(|r| r.timing.median_s)
+    }
+
+    /// Measured Ninja gap on this host: `time(Naive) / time(Ninja)`.
+    ///
+    /// On a single-core host this captures the SIMD and algorithmic axes
+    /// only; the thread axis is projected by `ninja-model`.
+    pub fn measured_gap(&self) -> Option<f64> {
+        Some(self.time_of(Variant::Naive)? / self.time_of(Variant::Ninja)?)
+    }
+
+    /// Measured residual: `time(Algorithmic) / time(Ninja)`.
+    pub fn measured_residual(&self) -> Option<f64> {
+        Some(self.time_of(Variant::Algorithmic)? / self.time_of(Variant::Ninja)?)
+    }
+
+    /// Measured speedup of any variant over naive.
+    pub fn speedup_over_naive(&self, v: Variant) -> Option<f64> {
+        Some(self.time_of(Variant::Naive)? / self.time_of(v)?)
+    }
+}
+
+/// A full suite run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SuiteReport {
+    /// Problem-size preset used.
+    pub size: String,
+    /// RNG seed used for input generation.
+    pub seed: u64,
+    /// Threads in the measurement pool.
+    pub threads: usize,
+    /// Active SIMD backend (from `ninja_simd::backend_name`).
+    pub simd_backend: String,
+    /// Per-kernel reports in suite order.
+    pub kernels: Vec<KernelReport>,
+}
+
+impl SuiteReport {
+    /// Geometric-mean measured Ninja gap across kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is empty.
+    pub fn average_gap(&self) -> f64 {
+        let gaps: Vec<f64> = self.kernels.iter().filter_map(KernelReport::measured_gap).collect();
+        ninja_model::geomean(&gaps)
+    }
+
+    /// Geometric-mean measured residual (`Algorithmic / Ninja`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is empty.
+    pub fn average_residual(&self) -> f64 {
+        let rs: Vec<f64> =
+            self.kernels.iter().filter_map(KernelReport::measured_residual).collect();
+        ninja_model::geomean(&rs)
+    }
+
+    /// Looks up one kernel's report by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelReport> {
+        self.kernels.iter().find(|k| k.kernel == name)
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("suite reports are serializable")
+    }
+
+    /// Renders the report as CSV (`kernel,variant,median_s,...`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kernel,variant,median_s,min_s,gflops,gbs,validated\n");
+        for k in &self.kernels {
+            for v in &k.variants {
+                out.push_str(&format!(
+                    "{},{},{:.6e},{:.6e},{:.3},{:.3},{}\n",
+                    k.kernel, v.variant, v.timing.median_s, v.timing.min_s, v.gflops, v.gbs, v.validated
+                ));
+            }
+        }
+        out
+    }
+
+    /// Parses a previously serialized report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying `serde_json` error for malformed input.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Renders a side-by-side comparison against `baseline`: the ratio
+    /// `baseline_time / self_time` per (kernel, variant) — values above 1
+    /// mean this report is faster. Kernels/variants missing from either
+    /// report are skipped.
+    ///
+    /// Useful for regression tracking across commits or comparing two
+    /// machines' suite runs.
+    pub fn compare(&self, baseline: &SuiteReport) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "comparison: {} ({} thr) vs baseline {} ({} thr)\n",
+            self.size, self.threads, baseline.size, baseline.threads
+        ));
+        out.push_str(&format!(
+            "{:<16} {:<12} {:>10} {:>10} {:>8}\n",
+            "kernel", "variant", "self s", "base s", "speedup"
+        ));
+        for k in &self.kernels {
+            let Some(bk) = baseline.kernel(&k.kernel) else { continue };
+            for v in &k.variants {
+                let Some(bv) = bk.variants.iter().find(|b| b.variant == v.variant) else {
+                    continue;
+                };
+                out.push_str(&format!(
+                    "{:<16} {:<12} {:>10.4} {:>10.4} {:>7.2}X\n",
+                    k.kernel,
+                    v.variant,
+                    v.timing.median_s,
+                    bv.timing.median_s,
+                    bv.timing.median_s / v.timing.median_s
+                ));
+            }
+        }
+        out
+    }
+
+    /// Helper for constructing a report header.
+    pub(crate) fn new_empty(size: ProblemSize, seed: u64, threads: usize) -> Self {
+        Self {
+            size: size.name().to_owned(),
+            seed,
+            threads,
+            simd_backend: ninja_simd::backend_name().to_owned(),
+            kernels: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_report() -> SuiteReport {
+        let timing = |s: f64| Measurement { median_s: s, mean_s: s, stddev_s: 0.0, min_s: s, max_s: s, runs: 1 };
+        let vr = |name: &str, s: f64| VariantResult {
+            variant: name.into(),
+            timing: timing(s),
+            checksum: 1.0,
+            gflops: 1.0,
+            gbs: 1.0,
+            validated: true,
+        };
+        SuiteReport {
+            size: "test".into(),
+            seed: 1,
+            threads: 1,
+            simd_backend: "x".into(),
+            kernels: vec![KernelReport {
+                kernel: "k".into(),
+                bound: "compute".into(),
+                variants: vec![
+                    vr("naive", 8.0),
+                    vr("parallel", 4.0),
+                    vr("simd", 2.0),
+                    vr("algorithmic", 1.3),
+                    vr("ninja", 1.0),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn gap_and_residual_math() {
+        let r = dummy_report();
+        let k = &r.kernels[0];
+        assert_eq!(k.measured_gap(), Some(8.0));
+        assert_eq!(k.measured_residual(), Some(1.3));
+        assert_eq!(k.speedup_over_naive(Variant::Simd), Some(4.0));
+        assert!((r.average_gap() - 8.0).abs() < 1e-12);
+        assert!((r.average_residual() - 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = dummy_report();
+        let back = SuiteReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = dummy_report().to_csv();
+        assert!(csv.starts_with("kernel,variant"));
+        assert_eq!(csv.lines().count(), 1 + 5);
+        assert!(csv.contains("k,ninja"));
+    }
+
+    #[test]
+    fn compare_reports_speedups() {
+        let a = dummy_report();
+        let mut b = dummy_report();
+        for v in &mut b.kernels[0].variants {
+            v.timing.median_s *= 2.0;
+        }
+        let cmp = a.compare(&b);
+        assert!(cmp.contains("2.00X"), "{cmp}");
+        // Missing kernels are skipped silently.
+        let empty = SuiteReport { kernels: Vec::new(), ..dummy_report() };
+        let cmp2 = a.compare(&empty);
+        assert!(!cmp2.contains("naive"));
+    }
+
+    #[test]
+    fn kernel_lookup() {
+        let r = dummy_report();
+        assert!(r.kernel("k").is_some());
+        assert!(r.kernel("missing").is_none());
+    }
+}

@@ -1,0 +1,451 @@
+//! BlackScholes: European option pricing over a large option batch.
+//!
+//! The paper's transcendental-heavy financial kernel: for each option,
+//! evaluate the closed-form Black-Scholes call and put prices, which costs
+//! two `ln`/`exp`/`sqrt` groups and two normal-CDF evaluations per option.
+//!
+//! Optimization story (paper §4):
+//! * the **naive** version prices one array-of-structs option at a time in
+//!   `f64`, calling libm — the compiler cannot vectorize across the struct
+//!   layout or the opaque math calls;
+//! * **algorithmic change**: AoS→SoA plus inlining polynomial math in `f32`
+//!   turns the loop into straight-line arithmetic the vectorizer handles
+//!   (the paper gets this from `#pragma simd` + SVML);
+//! * **Ninja**: explicit 4-wide SIMD with the vector `exp`/`ln`/CDF from
+//!   `ninja-simd::math`.
+
+use crate::framework::{
+    Adapter, Characterization, Instance, KernelSpec, ProblemSize, Variant, VariantInfo, Work,
+};
+use ninja_parallel::{par_chunks_mut, ThreadPool};
+use ninja_simd::math::{exp_v4, ln_v4, norm_cdf_scalar, norm_cdf_v4};
+use ninja_simd::{AlignedVec, F32x4};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Block length of the staged polynomial pricing loops (fits L1).
+const POLY_BLOCK: usize = 1024;
+
+/// One option contract in the naive array-of-structs layout.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct OptionContract {
+    /// Spot price.
+    pub spot: f32,
+    /// Strike price.
+    pub strike: f32,
+    /// Time to maturity in years.
+    pub years: f32,
+    /// Risk-free rate.
+    pub rate: f32,
+    /// Volatility.
+    pub vol: f32,
+}
+
+/// A batch-pricing problem instance (AoS and SoA mirrors of the same book).
+pub struct BlackScholes {
+    contracts: Vec<OptionContract>,
+    // SoA mirror for the vectorized tiers, padded to a multiple of 4 and
+    // cache-line aligned.
+    spot: AlignedVec<f32>,
+    strike: AlignedVec<f32>,
+    years: AlignedVec<f32>,
+    rate: AlignedVec<f32>,
+    vol: AlignedVec<f32>,
+}
+
+impl BlackScholes {
+    /// Number of options for each size preset.
+    pub fn n_for(size: ProblemSize) -> usize {
+        match size {
+            ProblemSize::Test => 1 << 10,
+            ProblemSize::Quick => 1 << 19,
+            ProblemSize::Paper => 1 << 22,
+        }
+    }
+
+    /// Generates a deterministic random option book.
+    pub fn generate(size: ProblemSize, seed: u64) -> Self {
+        let n = Self::n_for(size);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let contracts: Vec<OptionContract> = (0..n)
+            .map(|_| OptionContract {
+                spot: rng.gen_range(5.0..120.0),
+                strike: rng.gen_range(10.0..100.0),
+                years: rng.gen_range(0.1..5.0),
+                rate: rng.gen_range(0.01..0.08),
+                vol: rng.gen_range(0.05..0.6),
+            })
+            .collect();
+        let padded = n.div_ceil(4) * 4;
+        let mut this = Self {
+            spot: AlignedVec::filled(padded, 1.0),
+            strike: AlignedVec::filled(padded, 1.0),
+            years: AlignedVec::filled(padded, 1.0),
+            rate: AlignedVec::zeroed(padded),
+            vol: AlignedVec::filled(padded, 0.5),
+            contracts,
+        };
+        for (i, c) in this.contracts.iter().enumerate() {
+            this.spot[i] = c.spot;
+            this.strike[i] = c.strike;
+            this.years[i] = c.years;
+            this.rate[i] = c.rate;
+            this.vol[i] = c.vol;
+        }
+        this
+    }
+
+    /// Number of options.
+    pub fn len(&self) -> usize {
+        self.contracts.len()
+    }
+
+    /// True if the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.contracts.is_empty()
+    }
+
+    /// The option book in its array-of-structs form.
+    pub fn contracts(&self) -> &[OptionContract] {
+        &self.contracts
+    }
+
+    #[inline]
+    fn price_scalar_f64(c: &OptionContract) -> (f32, f32) {
+        let s = c.spot as f64;
+        let k = c.strike as f64;
+        let t = c.years as f64;
+        let r = c.rate as f64;
+        let v = c.vol as f64;
+        let sqrt_t = t.sqrt();
+        let d1 = ((s / k).ln() + (r + 0.5 * v * v) * t) / (v * sqrt_t);
+        let d2 = d1 - v * sqrt_t;
+        let disc = (-r * t).exp();
+        let call = s * norm_cdf_scalar(d1) - k * disc * norm_cdf_scalar(d2);
+        let put = k * disc * norm_cdf_scalar(-d2) - s * norm_cdf_scalar(-d1);
+        (call as f32, put as f32)
+    }
+
+    /// Naive tier: serial AoS, `f64` libm math per option.
+    pub fn run_naive(&self) -> Vec<f32> {
+        let n = self.len();
+        let mut out = vec![0.0f32; 2 * n];
+        for (i, c) in self.contracts.iter().enumerate() {
+            let (call, put) = Self::price_scalar_f64(c);
+            out[2 * i] = call;
+            out[2 * i + 1] = put;
+        }
+        out
+    }
+
+    /// Parallel tier: the naive option loop behind a `parallel_for`.
+    pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
+        let n = self.len();
+        let mut out = vec![0.0f32; 2 * n];
+        par_chunks_mut(pool, &mut out, 2 * 4096, |chunk_idx, chunk| {
+            let base = chunk_idx * 4096;
+            for (k, pair) in chunk.chunks_mut(2).enumerate() {
+                let (call, put) = Self::price_scalar_f64(&self.contracts[base + k]);
+                pair[0] = call;
+                pair[1] = put;
+            }
+        });
+        out
+    }
+
+    /// Prices options `[lo, hi)` from the SoA arrays with explicit SIMD.
+    fn price_simd_range(&self, lo: usize, hi: usize, out: &mut [f32]) {
+        debug_assert_eq!(lo % 4, 0);
+        let half = F32x4::splat(0.5);
+        let one = F32x4::splat(1.0);
+        for j in (lo..hi).step_by(4) {
+            let s = F32x4::from_slice(&self.spot[j..]);
+            let k = F32x4::from_slice(&self.strike[j..]);
+            let t = F32x4::from_slice(&self.years[j..]);
+            let r = F32x4::from_slice(&self.rate[j..]);
+            let v = F32x4::from_slice(&self.vol[j..]);
+
+            let sqrt_t = t.sqrt();
+            let vt = v * sqrt_t;
+            let d1 = (ln_v4(s / k) + (r + half * v * v) * t) / vt;
+            let d2 = d1 - vt;
+            let disc = exp_v4(-(r * t));
+            let nd1 = norm_cdf_v4(d1);
+            let nd2 = norm_cdf_v4(d2);
+            let call = s * nd1 - k * disc * nd2;
+            let put = k * disc * (one - nd2) - s * (one - nd1);
+
+            // Interleave (call, put) pairs back into the output layout.
+            let lo_pairs = call.interleave_lo(put);
+            let hi_pairs = call.interleave_hi(put);
+            let base = 2 * (j - lo);
+            let avail = out.len() - base;
+            if avail >= 8 {
+                lo_pairs.write_to_slice(&mut out[base..]);
+                hi_pairs.write_to_slice(&mut out[base + 4..]);
+            } else {
+                let mut tmp = [0.0f32; 8];
+                lo_pairs.write_to_slice(&mut tmp[..4]);
+                hi_pairs.write_to_slice(&mut tmp[4..]);
+                out[base..].copy_from_slice(&tmp[..avail]);
+            }
+        }
+    }
+
+    /// Prices a block of options with staged unit-stride `f32` loops —
+    /// the restructuring an auto-vectorizer needs: each stage is a simple
+    /// elementwise pass with branch-free polynomial bodies.
+    fn price_block_poly(&self, lo: usize, n: usize, out: &mut [f32]) {
+        debug_assert!(n <= POLY_BLOCK);
+        let s = &self.spot[lo..lo + n];
+        let k = &self.strike[lo..lo + n];
+        let t = &self.years[lo..lo + n];
+        let r = &self.rate[lo..lo + n];
+        let v = &self.vol[lo..lo + n];
+        let mut d1 = [0.0f32; POLY_BLOCK];
+        let mut d2 = [0.0f32; POLY_BLOCK];
+        let mut disc = [0.0f32; POLY_BLOCK];
+        for j in 0..n {
+            let sqrt_t = t[j].sqrt();
+            let vt = v[j] * sqrt_t;
+            let d = (ln_poly(s[j] / k[j]) + (r[j] + 0.5 * v[j] * v[j]) * t[j]) / vt;
+            d1[j] = d;
+            d2[j] = d - vt;
+            disc[j] = exp_poly(-(r[j] * t[j]));
+        }
+        let mut nd1 = [0.0f32; POLY_BLOCK];
+        let mut nd2 = [0.0f32; POLY_BLOCK];
+        for j in 0..n {
+            nd1[j] = cnd_poly(d1[j]);
+            nd2[j] = cnd_poly(d2[j]);
+        }
+        for j in 0..n {
+            let kd = k[j] * disc[j];
+            out[2 * j] = s[j] * nd1[j] - kd * nd2[j];
+            out[2 * j + 1] = kd * (1.0 - nd2[j]) - s[j] * (1.0 - nd1[j]);
+        }
+    }
+
+    /// Compiler-vectorizable tier: serial SoA `f32` staged loops with
+    /// inlined branch-free polynomial math (no opaque calls).
+    pub fn run_simd(&self) -> Vec<f32> {
+        let n = self.len();
+        let mut out = vec![0.0f32; 2 * n];
+        let mut lo = 0;
+        while lo < n {
+            let len = POLY_BLOCK.min(n - lo);
+            self.price_block_poly(lo, len, &mut out[2 * lo..2 * (lo + len)]);
+            lo += len;
+        }
+        out
+    }
+
+    /// Low-effort endpoint: SoA `f32` staged polynomial loops plus
+    /// `parallel_for`.
+    pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
+        let n = self.len();
+        let mut out = vec![0.0f32; 2 * n];
+        par_chunks_mut(pool, &mut out, 2 * POLY_BLOCK, |chunk_idx, chunk| {
+            let lo = chunk_idx * POLY_BLOCK;
+            self.price_block_poly(lo, chunk.len() / 2, chunk);
+        });
+        out
+    }
+
+    /// Ninja tier: explicit SIMD pricing with vector `exp`/`ln`/CDF,
+    /// parallel over option blocks.
+    pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
+        let n = self.len();
+        let mut out = vec![0.0f32; 2 * n];
+        const BLOCK: usize = 4096;
+        par_chunks_mut(pool, &mut out, 2 * BLOCK, |chunk_idx, chunk| {
+            let lo = chunk_idx * BLOCK;
+            let hi = (lo + chunk.len() / 2).min(self.spot.len());
+            // Round up to cover a trailing partial group (padding exists).
+            let hi = hi.div_ceil(4) * 4;
+            self.price_simd_range(lo, hi.min(self.spot.len()), chunk);
+        });
+        out
+    }
+}
+
+use crate::scalar_math::{cnd_poly, exp_poly, ln_poly};
+
+fn run(k: &BlackScholes, variant: Variant, pool: &ThreadPool) -> Vec<f32> {
+    match variant {
+        Variant::Naive => k.run_naive(),
+        Variant::Parallel => k.run_parallel(pool),
+        Variant::Simd => k.run_simd(),
+        Variant::Algorithmic => k.run_algorithmic(pool),
+        Variant::Ninja => k.run_ninja(pool),
+    }
+}
+
+fn work(k: &BlackScholes) -> Work {
+    let n = k.len() as f64;
+    Work {
+        flops: n * 90.0, // polynomial-expanded transcendental cost
+        bytes: n * (5.0 * 4.0 + 2.0 * 4.0),
+        elems: k.len() as u64,
+    }
+}
+
+/// Suite entry for the BlackScholes kernel.
+pub fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "blackscholes",
+        description: "European option pricing (compute bound, exp/ln/CDF heavy)",
+        bound: "compute",
+        variants: [
+            VariantInfo {
+                variant: Variant::Naive,
+                effort_loc: 0,
+                what_changed: "serial AoS, f64 libm per option",
+            },
+            VariantInfo {
+                variant: Variant::Parallel,
+                effort_loc: 2,
+                what_changed: "parallel_for over options",
+            },
+            VariantInfo {
+                variant: Variant::Simd,
+                effort_loc: 15,
+                what_changed: "AoS->SoA, f32, inlined polynomial math",
+            },
+            VariantInfo {
+                variant: Variant::Algorithmic,
+                effort_loc: 17,
+                what_changed: "SoA polynomial loop + parallel_for",
+            },
+            VariantInfo {
+                variant: Variant::Ninja,
+                effort_loc: 90,
+                what_changed: "hand SIMD with vector exp/ln/CDF, interleaved stores",
+            },
+        ],
+        character: Characterization {
+            flops_per_elem: 90.0,
+            bytes_per_elem: 28.0,
+            naive_simd_frac: 0.0,
+            restructure_simd_frac: 1.0,
+            simd_friendly_frac: 1.0,
+            parallel_frac: 1.0,
+            gather_per_elem: 0.0,
+            algorithmic_factor: 1.6, // f64 libm -> f32 polynomial also wins scalar time
+            simd_efficiency: 1.0,
+        },
+        make: |size, seed| {
+            Box::new(Adapter {
+                kernel: BlackScholes::generate(size, seed),
+                name: "blackscholes",
+                tolerance: 5e-3,
+                run,
+                work,
+                reference: None,
+            }) as Box<dyn Instance>
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_price_textbook_case() {
+        // S=100, K=100, T=1, r=5%, v=20%: call ≈ 10.4506, put ≈ 5.5735.
+        let c = OptionContract {
+            spot: 100.0,
+            strike: 100.0,
+            years: 1.0,
+            rate: 0.05,
+            vol: 0.2,
+        };
+        let (call, put) = BlackScholes::price_scalar_f64(&c);
+        assert!((call - 10.4506).abs() < 1e-3, "call {call}");
+        assert!((put - 5.5735).abs() < 1e-3, "put {put}");
+    }
+
+    #[test]
+    fn put_call_parity_holds() {
+        let k = BlackScholes::generate(ProblemSize::Test, 11);
+        let out = k.run_naive();
+        for (i, c) in k.contracts.iter().enumerate().take(100) {
+            let call = out[2 * i] as f64;
+            let put = out[2 * i + 1] as f64;
+            let lhs = call - put;
+            let rhs = c.spot as f64 - c.strike as f64 * (-(c.rate as f64) * c.years as f64).exp();
+            assert!(
+                (lhs - rhs).abs() < 1e-3 * (c.spot as f64).max(1.0),
+                "parity violated at {i}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_variants_agree_with_naive() {
+        let k = BlackScholes::generate(ProblemSize::Test, 5);
+        let pool = ThreadPool::with_threads(2);
+        let reference = k.run_naive();
+        for (label, out) in [
+            ("parallel", k.run_parallel(&pool)),
+            ("simd", k.run_simd()),
+            ("algorithmic", k.run_algorithmic(&pool)),
+            ("ninja", k.run_ninja(&pool)),
+        ] {
+            assert_eq!(out.len(), reference.len(), "{label}");
+            for (i, (&a, &b)) in out.iter().zip(reference.iter()).enumerate() {
+                let err = (a - b).abs() / b.abs().max(1.0);
+                assert!(err < 5e-3, "{label}[{i}]: {a} vs {b} (err {err})");
+            }
+        }
+    }
+
+    #[test]
+    fn adapter_validates_all_variants() {
+        let spec = spec();
+        let pool = ThreadPool::with_threads(1);
+        let mut inst = (spec.make)(ProblemSize::Test, 2);
+        for v in Variant::ALL {
+            inst.validate(v, &pool).unwrap();
+        }
+    }
+
+    #[test]
+    fn prices_are_nonnegative_and_bounded() {
+        let k = BlackScholes::generate(ProblemSize::Test, 21);
+        let out = k.run_ninja(&ThreadPool::with_threads(1));
+        for (i, c) in k.contracts.iter().enumerate() {
+            let call = out[2 * i];
+            let put = out[2 * i + 1];
+            assert!(call >= -1e-3 && call <= c.spot + 1e-3, "call bounds at {i}");
+            assert!(put >= -1e-3 && put <= c.strike + 1e-3, "put bounds at {i}");
+        }
+    }
+
+    #[test]
+    fn call_price_is_monotone_in_spot_and_vol() {
+        let price = |spot: f32, vol: f32| {
+            BlackScholes::price_scalar_f64(&OptionContract {
+                spot,
+                strike: 50.0,
+                years: 1.0,
+                rate: 0.03,
+                vol,
+            })
+        };
+        let mut prev_call = -1.0f32;
+        for s in [20.0f32, 40.0, 50.0, 60.0, 80.0] {
+            let (call, _) = price(s, 0.25);
+            assert!(call > prev_call, "call not increasing in spot at {s}");
+            prev_call = call;
+        }
+        let mut prev = -1.0f32;
+        for v in [0.05f32, 0.15, 0.3, 0.5] {
+            let (call, _) = price(50.0, v);
+            assert!(call > prev, "call not increasing in vol at {v}");
+            prev = call;
+        }
+    }
+
+}

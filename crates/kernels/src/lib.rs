@@ -1,0 +1,126 @@
+//! The ten throughput-computing benchmarks of the Ninja-gap study.
+//!
+//! Each kernel is implemented at five optimization tiers — the paper's
+//! optimization ladder:
+//!
+//! | [`Variant`]      | Meaning                                                        | Paper analogue                          |
+//! |------------------|----------------------------------------------------------------|-----------------------------------------|
+//! | `Naive`          | serial, scalar, parallelism-unaware C-style code               | the "naive" baseline                     |
+//! | `Parallel`       | naive + a `parallel_for` annotation                            | `+ OpenMP pragma`                        |
+//! | `Simd`           | serial, restructured so the compiler *can* vectorize           | `+ #pragma simd` / auto-vectorization    |
+//! | `Algorithmic`    | SoA / blocking / SIMD-friendly algorithm + threads + compiler  | the paper's "low effort" endpoint        |
+//! | `Ninja`          | hand-written intrinsics + threads + tuning                     | best-optimized "Ninja" code              |
+//!
+//! The **Ninja gap** for a kernel is `time(Naive) / time(Ninja)`; the
+//! paper's headline claim is that `time(Algorithmic) / time(Ninja)` averages
+//! just ~1.3X.
+//!
+//! Every kernel ships a reference implementation and validates each variant
+//! against it; [`registry`] exposes the whole suite behind the type-erased
+//! [`Instance`] interface consumed by the `ninja-core` harness.
+//!
+//! # Example
+//!
+//! ```
+//! use ninja_kernels::{registry, ProblemSize, Variant};
+//! use ninja_parallel::ThreadPool;
+//!
+//! let pool = ThreadPool::with_threads(1);
+//! let spec = &registry()[0];
+//! let mut instance = (spec.make)(ProblemSize::Test, 42);
+//! instance.validate(Variant::Ninja, &pool).unwrap();
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backprojection;
+pub mod black_scholes;
+pub mod conv1d;
+pub mod conv2d;
+pub mod lbm;
+pub mod libor;
+pub mod merge_sort;
+pub mod nbody;
+pub mod tree_search;
+pub mod volume_render;
+
+mod framework;
+pub mod scalar_math;
+
+pub use framework::{
+    Characterization, Instance, KernelSpec, OutputData, ProblemSize, ValidationError, Variant,
+    VariantInfo, Work,
+};
+
+/// Returns the full benchmark suite, in the paper's presentation order.
+///
+/// Each [`KernelSpec`] carries the kernel's metadata, its roofline
+/// characterization (consumed by `ninja-model`), and a factory for runnable
+/// instances.
+pub fn registry() -> Vec<KernelSpec> {
+    vec![
+        nbody::spec(),
+        backprojection::spec(),
+        conv1d::spec(),
+        black_scholes::spec(),
+        tree_search::spec(),
+        merge_sort::spec(),
+        conv2d::spec(),
+        volume_render::spec(),
+        lbm::spec(),
+        libor::spec(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_ten_kernels_with_unique_names() {
+        let specs = registry();
+        assert_eq!(specs.len(), 10);
+        let mut names: Vec<_> = specs.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10, "kernel names must be unique");
+    }
+
+    #[test]
+    fn every_kernel_declares_five_variants() {
+        for spec in registry() {
+            assert_eq!(spec.variants.len(), 5, "{}", spec.name);
+            for (v, info) in Variant::ALL.iter().zip(spec.variants.iter()) {
+                assert_eq!(info.variant, *v, "{} variant order", spec.name);
+            }
+            // Ninja effort must dominate every traditional tier (the paper's
+            // programming-effort argument).
+            let ninja = spec.variants[4].effort_loc;
+            for info in &spec.variants[..4] {
+                assert!(
+                    info.effort_loc < ninja,
+                    "{}: {} effort {} !< ninja {}",
+                    spec.name,
+                    info.variant.name(),
+                    info.effort_loc,
+                    ninja
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn characterizations_are_sane() {
+        for spec in registry() {
+            let c = &spec.character;
+            assert!(c.flops_per_elem > 0.0, "{}", spec.name);
+            assert!(c.bytes_per_elem > 0.0, "{}", spec.name);
+            assert!((0.0..=1.0).contains(&c.naive_simd_frac), "{}", spec.name);
+            assert!((0.0..=1.0).contains(&c.simd_friendly_frac), "{}", spec.name);
+            assert!(c.naive_simd_frac <= c.restructure_simd_frac && c.restructure_simd_frac <= c.simd_friendly_frac, "{}", spec.name);
+            assert!((0.5..=1.0).contains(&c.parallel_frac), "{}", spec.name);
+            assert!(c.algorithmic_factor >= 1.0, "{}", spec.name);
+        }
+    }
+}

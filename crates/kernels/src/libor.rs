@@ -1,0 +1,418 @@
+//! Libor: Monte-Carlo LIBOR market-model pricing (Giles' benchmark).
+//!
+//! Each path evolves a curve of forward rates through `NMAT` exercise dates
+//! under log-normal dynamics (one `exp` per rate per step), then discounts
+//! a caplet portfolio along the evolved curve. Thousands of independent
+//! paths make this the paper's Monte-Carlo representative.
+//!
+//! Optimization story:
+//! * **naive** — one path at a time, `f64`, libm `exp`;
+//! * **algorithmic change** — lay the computation out *across paths*
+//!   (path-SoA): a group of paths advances in lock-step so the inner loops
+//!   become lane-parallel straight-line `f32` arithmetic with inlined
+//!   polynomial `exp`;
+//! * **Ninja** — explicit 4-wide SIMD across paths with the vector `exp`.
+
+use crate::framework::{
+    Adapter, Characterization, Instance, KernelSpec, ProblemSize, Variant, VariantInfo, Work,
+};
+use crate::scalar_math::exp_poly;
+use ninja_parallel::{par_chunks_mut, ThreadPool};
+use ninja_simd::math::exp_v4;
+use ninja_simd::F32x4;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of forward rates on the curve.
+pub const N_RATES: usize = 40;
+/// Number of exercise dates each path steps through.
+pub const NMAT: usize = 20;
+/// Accrual period (years).
+const DELTA: f32 = 0.25;
+/// Caplet strike.
+const STRIKE: f32 = 0.05;
+/// Path-group width for the lane-parallel tiers.
+const GROUP: usize = 8;
+
+/// A LIBOR Monte-Carlo pricing instance.
+pub struct Libor {
+    paths: usize,
+    init_rates: [f32; N_RATES],
+    vols: [f32; NMAT],
+    /// Standard normals, path-major: `z[p * NMAT + n]`.
+    z: Vec<f32>,
+    /// The same normals, step-major: `zt[n * paths + p]` (the path-SoA
+    /// layout the restructured tiers use).
+    zt: Vec<f32>,
+}
+
+impl Libor {
+    /// Path count per preset.
+    pub fn paths_for(size: ProblemSize) -> usize {
+        match size {
+            ProblemSize::Test => 256,
+            ProblemSize::Quick => 16_384,
+            ProblemSize::Paper => 65_536,
+        }
+    }
+
+    /// Generates a deterministic instance (curve, vols, Gaussian draws).
+    pub fn generate(size: ProblemSize, seed: u64) -> Self {
+        let paths = Self::paths_for(size);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let init_rates = std::array::from_fn(|i| 0.04 + 0.005 * (i % 5) as f32);
+        let vols = std::array::from_fn(|i| 0.15 + 0.01 * (i % 4) as f32);
+        // Box-Muller standard normals.
+        let mut z = Vec::with_capacity(paths * NMAT);
+        while z.len() < paths * NMAT {
+            let u1: f32 = rng.gen_range(1e-7..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let (s, c) = (2.0 * std::f32::consts::PI * u2).sin_cos();
+            z.push(r * c);
+            if z.len() < paths * NMAT {
+                z.push(r * s);
+            }
+        }
+        let mut zt = vec![0.0f32; paths * NMAT];
+        for p in 0..paths {
+            for n in 0..NMAT {
+                zt[n * paths + p] = z[p * NMAT + n];
+            }
+        }
+        Self { paths, init_rates, vols, z, zt }
+    }
+
+    /// Number of Monte-Carlo paths.
+    pub fn paths(&self) -> usize {
+        self.paths
+    }
+
+    /// Evolves and prices one path in `f64` (the naive arithmetic).
+    fn path_value_f64(&self, p: usize) -> f32 {
+        let delta = DELTA as f64;
+        let mut l = [0.0f64; N_RATES];
+        for (li, &r0) in l.iter_mut().zip(self.init_rates.iter()) {
+            *li = r0 as f64;
+        }
+        for n in 0..NMAT {
+            let sqez = delta.sqrt() * self.z[p * NMAT + n] as f64;
+            let mut v = 0.0f64;
+            for i in n + 1..N_RATES {
+                let lam = self.vols[(i - n - 1).min(NMAT - 1)] as f64;
+                let con1 = delta * lam;
+                v += con1 * l[i] / (1.0 + delta * l[i]);
+                let vrat = (con1 * v + lam * (sqez - 0.5 * con1)).exp();
+                l[i] *= vrat;
+            }
+        }
+        // Caplet portfolio discounted along the evolved curve.
+        let mut b = 1.0f64;
+        let mut acc = 0.0f64;
+        for li in l.iter().skip(NMAT) {
+            b /= 1.0 + delta * li;
+            acc += b * delta * (li - STRIKE as f64).max(0.0);
+        }
+        (acc * 100.0) as f32
+    }
+
+    /// Naive tier: serial, one `f64` path at a time.
+    pub fn run_naive(&self) -> Vec<f32> {
+        (0..self.paths).map(|p| self.path_value_f64(p)).collect()
+    }
+
+    /// Parallel tier: the naive path loop behind a `parallel_for`.
+    pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.paths];
+        par_chunks_mut(pool, &mut out, 512, |chunk_idx, chunk| {
+            let base = chunk_idx * 512;
+            for (j, o) in chunk.iter_mut().enumerate() {
+                *o = self.path_value_f64(base + j);
+            }
+        });
+        out
+    }
+
+    /// Advances a group of exactly `GROUP` paths in lock-step with
+    /// constant-trip-count `f32` lane loops — the auto-vectorizable
+    /// path-SoA form (a runtime trip count would block unrolling).
+    fn group_values_f32(&self, group_base: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), GROUP, "group_values_f32 needs a full group");
+        let mut l = [[0.0f32; GROUP]; N_RATES];
+        for (i, row) in l.iter_mut().enumerate() {
+            row.fill(self.init_rates[i]);
+        }
+        let sqrt_delta = DELTA.sqrt();
+        let mut sqez = [0.0f32; GROUP];
+        let mut v = [0.0f32; GROUP];
+        for n in 0..NMAT {
+            let zrow = &self.zt[n * self.paths + group_base..n * self.paths + group_base + GROUP];
+            for lane in 0..GROUP {
+                sqez[lane] = sqrt_delta * zrow[lane];
+            }
+            v.fill(0.0);
+            for i in n + 1..N_RATES {
+                let lam = self.vols[(i - n - 1).min(NMAT - 1)];
+                let con1 = DELTA * lam;
+                let li = &mut l[i];
+                for lane in 0..GROUP {
+                    v[lane] += con1 * li[lane] / (1.0 + DELTA * li[lane]);
+                    let vrat = exp_poly(con1 * v[lane] + lam * (sqez[lane] - 0.5 * con1));
+                    li[lane] *= vrat;
+                }
+            }
+        }
+        let mut b = [1.0f32; GROUP];
+        let mut acc = [0.0f32; GROUP];
+        for row in l.iter().skip(NMAT) {
+            for lane in 0..GROUP {
+                b[lane] /= 1.0 + DELTA * row[lane];
+                acc[lane] += b[lane] * DELTA * (row[lane] - STRIKE).max(0.0);
+            }
+        }
+        for lane in 0..GROUP {
+            out[lane] = acc[lane] * 100.0;
+        }
+    }
+
+    /// Compiler tier: serial path-SoA groups, inlined polynomial `exp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path count is not a multiple of the group width (all
+    /// size presets are).
+    pub fn run_simd(&self) -> Vec<f32> {
+        assert_eq!(self.paths % GROUP, 0, "path count must be a multiple of {GROUP}");
+        let mut out = vec![0.0f32; self.paths];
+        for (g, chunk) in out.chunks_mut(GROUP).enumerate() {
+            self.group_values_f32(g * GROUP, chunk);
+        }
+        out
+    }
+
+    /// Low-effort endpoint: path-SoA groups in parallel.
+    pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.paths];
+        par_chunks_mut(pool, &mut out, GROUP, |g, chunk| {
+            self.group_values_f32(g * GROUP, chunk);
+        });
+        out
+    }
+
+    /// Advances four paths with explicit SIMD and the vector `exp`.
+    fn group_values_simd(&self, group_base: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), 4);
+        let mut l: [F32x4; N_RATES] = std::array::from_fn(|i| F32x4::splat(self.init_rates[i]));
+        let sqrt_delta = F32x4::splat(DELTA.sqrt());
+        let delta = F32x4::splat(DELTA);
+        let one = F32x4::splat(1.0);
+        let half = F32x4::splat(0.5);
+        for n in 0..NMAT {
+            let sqez = sqrt_delta * F32x4::from_slice(&self.zt[n * self.paths + group_base..]);
+            let mut v = F32x4::zero();
+            for i in n + 1..N_RATES {
+                let lam = F32x4::splat(self.vols[(i - n - 1).min(NMAT - 1)]);
+                let con1 = delta * lam;
+                v += con1 * l[i] / (one + delta * l[i]);
+                let vrat = exp_v4(con1 * v + lam * (sqez - half * con1));
+                l[i] *= vrat;
+            }
+        }
+        let mut b = one;
+        let mut acc = F32x4::zero();
+        let strike = F32x4::splat(STRIKE);
+        for li in l.iter().skip(NMAT) {
+            b /= one + delta * *li;
+            acc += b * delta * (*li - strike).max(F32x4::zero());
+        }
+        (acc * F32x4::splat(100.0)).write_to_slice(out);
+    }
+
+    /// Ninja tier: 4 paths per instruction with vector `exp`, parallel
+    /// over groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path count is not a multiple of 4 (all presets are).
+    pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
+        assert_eq!(self.paths % 4, 0, "path count must be a multiple of 4");
+        let mut out = vec![0.0f32; self.paths];
+        par_chunks_mut(pool, &mut out, 4, |g, chunk| {
+            self.group_values_simd(g * 4, chunk);
+        });
+        out
+    }
+}
+
+fn run(k: &Libor, variant: Variant, pool: &ThreadPool) -> Vec<f32> {
+    match variant {
+        Variant::Naive => k.run_naive(),
+        Variant::Parallel => k.run_parallel(pool),
+        Variant::Simd => k.run_simd(),
+        Variant::Algorithmic => k.run_algorithmic(pool),
+        Variant::Ninja => k.run_ninja(pool),
+    }
+}
+
+fn work(k: &Libor) -> Work {
+    let p = k.paths as f64;
+    // Triangular evolution loop: ~NMAT * (N - NMAT/2) rate updates.
+    let updates = (NMAT * N_RATES - NMAT * NMAT / 2) as f64;
+    Work {
+        flops: p * updates * 40.0,
+        bytes: p * (NMAT as f64) * 4.0,
+        elems: k.paths as u64,
+    }
+}
+
+/// Suite entry for the Libor kernel.
+pub fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "libor",
+        description: "LIBOR market-model Monte Carlo (compute bound, exp heavy)",
+        bound: "compute",
+        variants: [
+            VariantInfo {
+                variant: Variant::Naive,
+                effort_loc: 0,
+                what_changed: "one f64 path at a time, libm exp",
+            },
+            VariantInfo {
+                variant: Variant::Parallel,
+                effort_loc: 2,
+                what_changed: "parallel_for over paths",
+            },
+            VariantInfo {
+                variant: Variant::Simd,
+                effort_loc: 25,
+                what_changed: "path-SoA groups, f32 polynomial exp",
+            },
+            VariantInfo {
+                variant: Variant::Algorithmic,
+                effort_loc: 27,
+                what_changed: "path-SoA groups + parallel_for",
+            },
+            VariantInfo {
+                variant: Variant::Ninja,
+                effort_loc: 80,
+                what_changed: "4 paths per SIMD lane group, vector exp",
+            },
+        ],
+        character: Characterization {
+            flops_per_elem: 28_000.0,
+            bytes_per_elem: 80.0,
+            naive_simd_frac: 0.0,
+            restructure_simd_frac: 0.95,
+            simd_friendly_frac: 0.95,
+            parallel_frac: 1.0,
+            gather_per_elem: 0.0,
+            algorithmic_factor: 1.5, // f64 libm -> f32 polynomial scalar win
+            simd_efficiency: 0.95,
+        },
+        make: |size, seed| {
+            Box::new(Adapter {
+                kernel: Libor::generate(size, seed),
+                name: "libor",
+                tolerance: 1e-2,
+                run,
+                work,
+                reference: None,
+            }) as Box<dyn Instance>
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_vol_path_is_deterministic() {
+        let mut k = Libor::generate(ProblemSize::Test, 1);
+        k.vols = [0.0; NMAT];
+        let out = k.run_naive();
+        // With zero volatility every path prices identically.
+        for &v in out.iter() {
+            assert!((v - out[0]).abs() < 1e-6);
+        }
+        // And the price is the deterministic caplet strip value (> 0 since
+        // the initial curve is above part of the strike range).
+        assert!(out[0] > 0.0);
+    }
+
+    #[test]
+    fn transpose_matches_original_draws() {
+        let k = Libor::generate(ProblemSize::Test, 2);
+        for p in (0..k.paths).step_by(37) {
+            for n in 0..NMAT {
+                assert_eq!(k.z[p * NMAT + n], k.zt[n * k.paths + p]);
+            }
+        }
+    }
+
+    #[test]
+    fn normals_have_sane_moments() {
+        let k = Libor::generate(ProblemSize::Quick, 3);
+        let n = k.z.len() as f64;
+        let mean: f64 = k.z.iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var: f64 = k.z.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn all_variants_agree_with_naive() {
+        let k = Libor::generate(ProblemSize::Test, 4);
+        let pool = ThreadPool::with_threads(2);
+        let reference = k.run_naive();
+        for (label, out) in [
+            ("parallel", k.run_parallel(&pool)),
+            ("simd", k.run_simd()),
+            ("algorithmic", k.run_algorithmic(&pool)),
+            ("ninja", k.run_ninja(&pool)),
+        ] {
+            for (i, (&a, &b)) in out.iter().zip(reference.iter()).enumerate() {
+                let err = (a - b).abs() / b.abs().max(1.0);
+                assert!(err < 1e-2, "{label}[{i}]: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn monte_carlo_mean_is_stable_across_variants() {
+        let k = Libor::generate(ProblemSize::Test, 5);
+        let pool = ThreadPool::with_threads(1);
+        let mean = |v: &[f32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        let m_naive = mean(&k.run_naive());
+        let m_ninja = mean(&k.run_ninja(&pool));
+        assert!(
+            (m_naive - m_ninja).abs() / m_naive.abs().max(1e-9) < 1e-3,
+            "{m_naive} vs {m_ninja}"
+        );
+    }
+
+    #[test]
+    fn adapter_validates_all_variants() {
+        let spec = spec();
+        let pool = ThreadPool::with_threads(1);
+        let mut inst = (spec.make)(ProblemSize::Test, 6);
+        for v in Variant::ALL {
+            inst.validate(v, &pool).unwrap();
+        }
+    }
+
+    #[test]
+    fn higher_volatility_raises_the_caplet_price() {
+        // Positive vega: scaling all vols up raises the Monte-Carlo mean.
+        let base = Libor::generate(ProblemSize::Test, 9);
+        let mut bumped = Libor::generate(ProblemSize::Test, 9);
+        for v in bumped.vols.iter_mut() {
+            *v *= 1.5;
+        }
+        let mean = |v: &[f32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len() as f64;
+        let m0 = mean(&base.run_naive());
+        let m1 = mean(&bumped.run_naive());
+        assert!(m1 > m0, "vega must be positive: {m0} -> {m1}");
+    }
+
+}

@@ -1,0 +1,522 @@
+//! MergeSort: sorting a large array of 32-bit floats.
+//!
+//! The paper's sorting benchmark (Chhugani et al.'s SIMD merge sort is the
+//! Ninja reference). The ladder:
+//!
+//! * **naive** — textbook top-down recursion, allocating a fresh vector in
+//!   every merge;
+//! * **parallel** — the same recursion forked with `join`;
+//! * **simd** — restructured serial code (insertion-sort base case,
+//!   branch-light merge) — the compiler still cannot vectorize a
+//!   data-dependent merge, so the gain is small (the paper's point: sorting
+//!   *needs* an algorithmic change);
+//! * **algorithmic** — iterative bottom-up merge with one ping-pong buffer,
+//!   chunk-parallel sort + parallel pairwise merge rounds;
+//! * **ninja** — the same parallel structure with a 4×4 **bitonic merge
+//!   network** in the inner loop.
+
+use crate::framework::{
+    Adapter, Characterization, Instance, KernelSpec, ProblemSize, Variant, VariantInfo, Work,
+};
+use ninja_parallel::{par_chunks_mut, ThreadPool};
+use ninja_simd::{F32x4, Mask32x4};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Run length below which insertion sort beats merging.
+const INSERTION_CUTOFF: usize = 16;
+/// Sub-problem size below which the parallel recursion stays serial.
+const JOIN_CUTOFF: usize = 8192;
+
+/// A sorting problem instance.
+pub struct MergeSort {
+    data: Vec<f32>,
+}
+
+impl MergeSort {
+    /// Element count for each size preset.
+    pub fn n_for(size: ProblemSize) -> usize {
+        match size {
+            ProblemSize::Test => 10_000,
+            ProblemSize::Quick => 1 << 20,
+            ProblemSize::Paper => 1 << 22,
+        }
+    }
+
+    /// Generates a deterministic random array (with duplicates).
+    pub fn generate(size: ProblemSize, seed: u64) -> Self {
+        let n = Self::n_for(size);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let data = (0..n).map(|_| rng.gen_range(-1e6..1e6_f32)).collect();
+        Self { data }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if there is nothing to sort.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Naive tier: textbook top-down merge sort, fresh allocation per merge.
+    pub fn run_naive(&self) -> Vec<f32> {
+        fn msort(v: &[f32]) -> Vec<f32> {
+            if v.len() <= 1 {
+                return v.to_vec();
+            }
+            let mid = v.len() / 2;
+            let left = msort(&v[..mid]);
+            let right = msort(&v[mid..]);
+            let mut out = vec![0.0f32; v.len()];
+            merge_scalar(&left, &right, &mut out);
+            out
+        }
+        msort(&self.data)
+    }
+
+    /// Parallel tier: the naive recursion forked with `join`.
+    pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
+        fn msort(pool: &ThreadPool, v: &[f32]) -> Vec<f32> {
+            if v.len() <= 1 {
+                return v.to_vec();
+            }
+            let mid = v.len() / 2;
+            let (left, right) = if v.len() >= JOIN_CUTOFF {
+                pool.join(|| msort(pool, &v[..mid]), || msort(pool, &v[mid..]))
+            } else {
+                (msort(pool, &v[..mid]), msort(pool, &v[mid..]))
+            };
+            let mut out = vec![0.0f32; v.len()];
+            merge_scalar(&left, &right, &mut out);
+            out
+        }
+        msort(pool, &self.data)
+    }
+
+    /// Compiler-friendly tier: serial recursion with an insertion-sort base
+    /// case and a tighter merge loop — still not vectorizable.
+    pub fn run_simd(&self) -> Vec<f32> {
+        let mut buf = self.data.clone();
+        let mut tmp = vec![0.0f32; buf.len()];
+        bottom_up_sort(&mut buf, &mut tmp, merge_scalar);
+        buf
+    }
+
+    /// Low-effort endpoint: bottom-up ping-pong sort, chunk-parallel with
+    /// parallel merge rounds (scalar merges).
+    pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
+        parallel_sort(pool, self.data.clone(), merge_scalar)
+    }
+
+    /// Ninja tier: the parallel structure plus the 4×4 bitonic SIMD merge
+    /// network in every merge.
+    pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
+        parallel_sort(pool, self.data.clone(), merge_simd)
+    }
+}
+
+/// Classic two-pointer scalar merge of sorted `a` and `b` into `out`.
+///
+/// # Panics
+///
+/// Debug-panics if `a.len() + b.len() != out.len()`.
+pub fn merge_scalar(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    let (mut ia, mut ib) = (0, 0);
+    for o in out.iter_mut() {
+        if ia < a.len() && (ib >= b.len() || a[ia] <= b[ib]) {
+            *o = a[ia];
+            ia += 1;
+        } else {
+            *o = b[ib];
+            ib += 1;
+        }
+    }
+}
+
+/// Sorts a bitonic 4-sequence ascending (two compare-exchange stages).
+#[inline(always)]
+fn bitonic_sort4(t: F32x4) -> F32x4 {
+    let blend_low2 = Mask32x4::from_bools(true, true, false, false);
+    let blend_even = Mask32x4::from_bools(true, false, true, false);
+    // Distance-2 stage.
+    let u = t.swap_halves();
+    let t = blend_low2.select(t.min(u), t.max(u));
+    // Distance-1 stage.
+    let u = t.swap_pairs();
+    blend_even.select(t.min(u), t.max(u))
+}
+
+/// Merges two ascending 4-vectors into an ascending 8-sequence `(lo, hi)`.
+#[inline(always)]
+fn bitonic_merge4(a: F32x4, b: F32x4) -> (F32x4, F32x4) {
+    let b = b.reverse_lanes(); // concat(a, rev(b)) is bitonic
+    let lo = bitonic_sort4(a.min(b));
+    let hi = bitonic_sort4(a.max(b));
+    (lo, hi)
+}
+
+/// SIMD merge: streams 4-vectors through the bitonic network, refilling
+/// from whichever run has the smaller next head; finishes with a scalar
+/// 3-way merge of the in-flight vector and both tails.
+///
+/// # Panics
+///
+/// Debug-panics if `a.len() + b.len() != out.len()`.
+pub fn merge_simd(a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(a.len() + b.len(), out.len());
+    if a.len() < 8 || b.len() < 8 {
+        return merge_scalar(a, b, out);
+    }
+    let mut ia = 4usize;
+    let mut ib = 4usize;
+    let mut io = 0usize;
+    let mut va = F32x4::from_slice(a);
+    let vb = F32x4::from_slice(b);
+    let mut inflight = vb;
+    // Invariant: va holds the 4 smallest unwritten elements' candidates;
+    // every written element <= everything still unmerged.
+    loop {
+        let (lo, hi) = bitonic_merge4(va, inflight);
+        lo.write_to_slice(&mut out[io..]);
+        io += 4;
+        va = hi;
+        // Refill strictly from the run whose next element is globally
+        // smallest; if that run cannot supply a full block, fall through to
+        // the scalar tail (streaming the *other* run instead would emit
+        // values larger than the exhausted run's remainder).
+        let a_next = a.get(ia).copied().unwrap_or(f32::INFINITY);
+        let b_next = b.get(ib).copied().unwrap_or(f32::INFINITY);
+        if a_next <= b_next {
+            if ia + 4 > a.len() {
+                break;
+            }
+            inflight = F32x4::from_slice(&a[ia..]);
+            ia += 4;
+        } else {
+            if ib + 4 > b.len() {
+                break;
+            }
+            inflight = F32x4::from_slice(&b[ib..]);
+            ib += 4;
+        }
+    }
+    // Scalar 3-way merge of the spilled register and both tails.
+    let mut spill = [0.0f32; 4];
+    va.write_to_slice(&mut spill);
+    let mut is = 0usize;
+    while io < out.len() {
+        let sa = if ia < a.len() { a[ia] } else { f32::INFINITY };
+        let sb = if ib < b.len() { b[ib] } else { f32::INFINITY };
+        let ss = if is < 4 { spill[is] } else { f32::INFINITY };
+        if ss <= sa && ss <= sb {
+            out[io] = ss;
+            is += 1;
+        } else if sa <= sb {
+            out[io] = sa;
+            ia += 1;
+        } else {
+            out[io] = sb;
+            ib += 1;
+        }
+        io += 1;
+    }
+}
+
+fn insertion_sort(v: &mut [f32]) {
+    for i in 1..v.len() {
+        let x = v[i];
+        let mut j = i;
+        while j > 0 && v[j - 1] > x {
+            v[j] = v[j - 1];
+            j -= 1;
+        }
+        v[j] = x;
+    }
+}
+
+type MergeFn = fn(&[f32], &[f32], &mut [f32]);
+
+/// Serial bottom-up merge sort with one ping-pong buffer.
+fn bottom_up_sort(buf: &mut [f32], tmp: &mut [f32], merge: MergeFn) {
+    bottom_up_sort_with_cutoff(buf, tmp, merge, INSERTION_CUTOFF)
+}
+
+/// Serial bottom-up merge sort with a configurable insertion-sort base
+/// case — exposed for the blocking-size ablation bench (experiment A1).
+///
+/// # Panics
+///
+/// Panics if `cutoff == 0` or `tmp.len() != buf.len()`.
+pub fn bottom_up_sort_with_cutoff(buf: &mut [f32], tmp: &mut [f32], merge: MergeFn, cutoff: usize) {
+    assert!(cutoff > 0, "cutoff must be positive");
+    assert_eq!(buf.len(), tmp.len(), "scratch must match input length");
+    let n = buf.len();
+    for chunk in buf.chunks_mut(cutoff) {
+        insertion_sort(chunk);
+    }
+    let mut width = cutoff;
+    let mut in_buf = true; // current data lives in `buf`
+    while width < n {
+        {
+            let (src, dst): (&[f32], &mut [f32]) = if in_buf {
+                (&*buf, &mut *tmp)
+            } else {
+                (&*tmp, &mut *buf)
+            };
+            let mut lo = 0;
+            while lo < n {
+                let mid = (lo + width).min(n);
+                let hi = (lo + 2 * width).min(n);
+                if mid < hi {
+                    merge(&src[lo..mid], &src[mid..hi], &mut dst[lo..hi]);
+                } else {
+                    dst[lo..hi].copy_from_slice(&src[lo..hi]);
+                }
+                lo = hi;
+            }
+        }
+        in_buf = !in_buf;
+        width *= 2;
+    }
+    if !in_buf {
+        buf.copy_from_slice(tmp);
+    }
+}
+
+/// Chunk-parallel sort followed by parallel pairwise merge rounds.
+fn parallel_sort(pool: &ThreadPool, mut buf: Vec<f32>, merge: MergeFn) -> Vec<f32> {
+    let n = buf.len();
+    if n <= 2 * JOIN_CUTOFF || pool.num_threads() == 1 {
+        let mut tmp = vec![0.0f32; n];
+        bottom_up_sort(&mut buf, &mut tmp, merge);
+        return buf;
+    }
+    let chunks = (pool.num_threads() * 4)
+        .next_power_of_two()
+        .min((n / JOIN_CUTOFF).next_power_of_two());
+    let chunk_len = n.div_ceil(chunks);
+
+    par_chunks_mut(pool, &mut buf, chunk_len, |_, c| {
+        let mut tmp = vec![0.0f32; c.len()];
+        bottom_up_sort(c, &mut tmp, merge);
+    });
+
+    let mut tmp = vec![0.0f32; n];
+    let mut width = chunk_len;
+    let mut cur_is_buf = true;
+    while width < n {
+        {
+            let (src, dst): (&[f32], &mut [f32]) = if cur_is_buf {
+                (&buf, &mut tmp)
+            } else {
+                (&tmp, &mut buf)
+            };
+            par_chunks_mut(pool, dst, 2 * width, |pair_idx, out| {
+                let lo = pair_idx * 2 * width;
+                let mid = (lo + width).min(n);
+                let hi = (lo + out.len()).min(n);
+                if mid < hi {
+                    merge(&src[lo..mid], &src[mid..hi], out);
+                } else {
+                    out.copy_from_slice(&src[lo..hi]);
+                }
+            });
+        }
+        cur_is_buf = !cur_is_buf;
+        width *= 2;
+    }
+    if cur_is_buf {
+        buf
+    } else {
+        tmp
+    }
+}
+
+fn run(k: &MergeSort, variant: Variant, pool: &ThreadPool) -> Vec<f32> {
+    match variant {
+        Variant::Naive => k.run_naive(),
+        Variant::Parallel => k.run_parallel(pool),
+        Variant::Simd => k.run_simd(),
+        Variant::Algorithmic => k.run_algorithmic(pool),
+        Variant::Ninja => k.run_ninja(pool),
+    }
+}
+
+fn work(k: &MergeSort) -> Work {
+    let n = k.len() as f64;
+    let levels = n.log2().ceil();
+    Work {
+        flops: n * levels, // one compare per element per level
+        bytes: n * levels * 8.0,
+        elems: k.len() as u64,
+    }
+}
+
+/// Suite entry for the MergeSort kernel.
+pub fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "mergesort",
+        description: "large-array float sort (bandwidth bound, SIMD merge network showcase)",
+        bound: "memory",
+        variants: [
+            VariantInfo {
+                variant: Variant::Naive,
+                effort_loc: 0,
+                what_changed: "top-down recursion, allocation per merge",
+            },
+            VariantInfo {
+                variant: Variant::Parallel,
+                effort_loc: 4,
+                what_changed: "fork the recursion with join",
+            },
+            VariantInfo {
+                variant: Variant::Simd,
+                effort_loc: 12,
+                what_changed: "iterative bottom-up, insertion base (compiler still scalar)",
+            },
+            VariantInfo {
+                variant: Variant::Algorithmic,
+                effort_loc: 45,
+                what_changed: "ping-pong buffer, chunk-parallel + parallel merge rounds",
+            },
+            VariantInfo {
+                variant: Variant::Ninja,
+                effort_loc: 130,
+                what_changed: "4x4 bitonic SIMD merge network in the inner loop",
+            },
+        ],
+        character: Characterization {
+            flops_per_elem: 22.0,
+            bytes_per_elem: 176.0,
+            naive_simd_frac: 0.0,
+            restructure_simd_frac: 0.0,
+            simd_friendly_frac: 0.85,
+            parallel_frac: 0.95,
+            gather_per_elem: 0.0,
+            algorithmic_factor: 1.8, // allocation removal + bottom-up locality
+            simd_efficiency: 0.7,
+        },
+        make: |size, seed| {
+            Box::new(Adapter {
+                kernel: MergeSort::generate(size, seed),
+                name: "mergesort",
+                tolerance: 0.0,
+                run,
+                work,
+                reference: None,
+            }) as Box<dyn Instance>
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_copy(v: &[f32]) -> Vec<f32> {
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s
+    }
+
+    #[test]
+    fn bitonic_merge_handles_all_interleavings() {
+        let a = F32x4::new(1.0, 3.0, 5.0, 7.0);
+        let b = F32x4::new(2.0, 4.0, 6.0, 8.0);
+        let (lo, hi) = bitonic_merge4(a, b);
+        assert_eq!(lo.to_array(), [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(hi.to_array(), [5.0, 6.0, 7.0, 8.0]);
+        // Degenerate: all of b below a.
+        let (lo, hi) = bitonic_merge4(F32x4::new(10.0, 11.0, 12.0, 13.0), b);
+        assert_eq!(lo.to_array(), [2.0, 4.0, 6.0, 8.0]);
+        assert_eq!(hi.to_array(), [10.0, 11.0, 12.0, 13.0]);
+        // Duplicates.
+        let d = F32x4::splat(5.0);
+        let (lo, hi) = bitonic_merge4(d, d);
+        assert_eq!(lo.to_array(), [5.0; 4]);
+        assert_eq!(hi.to_array(), [5.0; 4]);
+    }
+
+    #[test]
+    fn simd_merge_matches_scalar_merge() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for (la, lb) in [(8, 8), (16, 4), (4, 16), (32, 7), (7, 32), (100, 100), (9, 64)] {
+            let mut a: Vec<f32> = (0..la).map(|_| rng.gen_range(-100.0..100.0)).collect();
+            let mut b: Vec<f32> = (0..lb).map(|_| rng.gen_range(-100.0..100.0)).collect();
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            let mut got = vec![0.0f32; la + lb];
+            let mut want = vec![0.0f32; la + lb];
+            merge_simd(&a, &b, &mut got);
+            merge_scalar(&a, &b, &mut want);
+            assert_eq!(got, want, "sizes ({la},{lb})");
+        }
+    }
+
+    #[test]
+    fn simd_merge_exhaustion_regression() {
+        // Found by proptest: when one run is nearly exhausted, the vector
+        // loop must not keep streaming the other run past the exhausted
+        // run's remaining (smaller) elements.
+        let a: Vec<f32> = vec![0.0; 9]; // only 1 element left once ia == 8
+        let mut b: Vec<f32> = vec![0.0; 8];
+        b.extend([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let mut got = vec![0.0f32; a.len() + b.len()];
+        let mut want = vec![0.0f32; a.len() + b.len()];
+        merge_simd(&a, &b, &mut got);
+        merge_scalar(&a, &b, &mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_variants_sort_correctly() {
+        let k = MergeSort::generate(ProblemSize::Test, 3);
+        let pool = ThreadPool::with_threads(3);
+        let want = sorted_copy(&k.data);
+        assert_eq!(k.run_naive(), want, "naive");
+        assert_eq!(k.run_parallel(&pool), want, "parallel");
+        assert_eq!(k.run_simd(), want, "simd");
+        assert_eq!(k.run_algorithmic(&pool), want, "algorithmic");
+        assert_eq!(k.run_ninja(&pool), want, "ninja");
+    }
+
+    #[test]
+    fn sorting_preserves_multiset() {
+        let k = MergeSort::generate(ProblemSize::Test, 8);
+        let pool = ThreadPool::with_threads(2);
+        let out = k.run_ninja(&pool);
+        let mut orig = k.data.clone();
+        let mut sorted = out.clone();
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(orig, sorted);
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        for n in [0usize, 1, 2, 3, 15, 17] {
+            let mut k = MergeSort::generate(ProblemSize::Test, 1);
+            k.data.truncate(n);
+            let want = sorted_copy(&k.data);
+            let pool = ThreadPool::with_threads(2);
+            assert_eq!(k.run_naive(), want, "naive n={n}");
+            assert_eq!(k.run_simd(), want, "simd n={n}");
+            assert_eq!(k.run_ninja(&pool), want, "ninja n={n}");
+        }
+    }
+
+    #[test]
+    fn adapter_validates_all_variants() {
+        let spec = spec();
+        let pool = ThreadPool::with_threads(2);
+        let mut inst = (spec.make)(ProblemSize::Test, 5);
+        for v in Variant::ALL {
+            inst.validate(v, &pool).unwrap();
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! VR: volume rendering by ray casting with early ray termination.
+//!
+//! The paper's branchy SIMD-unfriendly benchmark: orthographic rays march
+//! through a `D³` density volume, sampling trilinearly and compositing
+//! front-to-back until the accumulated opacity saturates (early ray
+//! termination). Divergent control flow (each ray terminates at its own
+//! depth) is why the Ninja version must use **ray packets with masks** —
+//! and why its SIMD efficiency is below 1 (the paper's divergence
+//! discussion).
+//!
+//! All tiers perform the identical arithmetic per step so outputs agree to
+//! rounding (termination decisions are bit-reproducible).
+
+use crate::framework::{
+    Adapter, Characterization, Instance, KernelSpec, ProblemSize, Variant, VariantInfo, Work,
+};
+use ninja_parallel::{par_chunks_mut, ThreadPool};
+use ninja_simd::{F32x4, I32x4};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Ray direction (unnormalized; z advances one voxel per step). The slight
+/// tilt forces real trilinear interpolation instead of axis-aligned reads.
+const DIR_X: f32 = 0.25;
+const DIR_Y: f32 = 0.15;
+/// Opacity scale per sample.
+const ALPHA_SCALE: f32 = 0.08;
+/// Early-termination threshold on accumulated opacity.
+const TERMINATE: f32 = 0.98;
+
+/// A volume-rendering problem instance (one `D³` scalar field).
+pub struct VolumeRender {
+    dim: usize,
+    voxels: Vec<f32>,
+}
+
+impl VolumeRender {
+    /// Volume edge length per preset (image is `dim × dim`).
+    pub fn dim_for(size: ProblemSize) -> usize {
+        match size {
+            ProblemSize::Test => 32,
+            ProblemSize::Quick => 128,
+            ProblemSize::Paper => 256,
+        }
+    }
+
+    /// Generates a deterministic random density volume in `[0, 1)`.
+    pub fn generate(size: ProblemSize, seed: u64) -> Self {
+        let dim = Self::dim_for(size);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Sparse-ish density so early termination kicks in at varied depths.
+        let voxels = (0..dim * dim * dim)
+            .map(|_| {
+                let v: f32 = rng.gen_range(0.0..1.0);
+                if v > 0.7 {
+                    v
+                } else {
+                    v * 0.1
+                }
+            })
+            .collect();
+        Self { dim, voxels }
+    }
+
+    /// Volume edge length in voxels.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    #[inline]
+    fn voxel(&self, x: usize, y: usize, z: usize) -> f32 {
+        self.voxels[(z * self.dim + y) * self.dim + x]
+    }
+
+    /// Trilinear sample at a clamped continuous coordinate.
+    #[inline]
+    fn sample(&self, cx: f32, cy: f32, cz: f32) -> f32 {
+        let max = (self.dim - 2) as f32;
+        let cx = cx.clamp(0.0, max);
+        let cy = cy.clamp(0.0, max);
+        let cz = cz.clamp(0.0, max);
+        let ix = cx as usize;
+        let iy = cy as usize;
+        let iz = cz as usize;
+        let fx = cx - ix as f32;
+        let fy = cy - iy as f32;
+        let fz = cz - iz as f32;
+        let c000 = self.voxel(ix, iy, iz);
+        let c100 = self.voxel(ix + 1, iy, iz);
+        let c010 = self.voxel(ix, iy + 1, iz);
+        let c110 = self.voxel(ix + 1, iy + 1, iz);
+        let c001 = self.voxel(ix, iy, iz + 1);
+        let c101 = self.voxel(ix + 1, iy, iz + 1);
+        let c011 = self.voxel(ix, iy + 1, iz + 1);
+        let c111 = self.voxel(ix + 1, iy + 1, iz + 1);
+        let x00 = c000 + (c100 - c000) * fx;
+        let x10 = c010 + (c110 - c010) * fx;
+        let x01 = c001 + (c101 - c001) * fx;
+        let x11 = c011 + (c111 - c011) * fx;
+        let y0 = x00 + (x10 - x00) * fy;
+        let y1 = x01 + (x11 - x01) * fy;
+        y0 + (y1 - y0) * fz
+    }
+
+    /// Marches one ray, compositing front-to-back with early termination.
+    #[inline]
+    fn trace(&self, px: usize, py: usize) -> f32 {
+        let steps = self.dim - 1;
+        let x0 = px as f32 + 0.5;
+        let y0 = py as f32 + 0.5;
+        let mut color = 0.0f32;
+        let mut opacity = 0.0f32;
+        for t in 0..steps {
+            if opacity >= TERMINATE {
+                break;
+            }
+            let tf = t as f32;
+            let s = self.sample(x0 + tf * DIR_X, y0 + tf * DIR_Y, 0.5 + tf);
+            let alpha = s * ALPHA_SCALE;
+            let w = 1.0 - opacity;
+            color += w * (alpha * s);
+            opacity += w * alpha;
+        }
+        color
+    }
+
+    /// Naive tier: serial scalar ray march per pixel.
+    pub fn run_naive(&self) -> Vec<f32> {
+        let d = self.dim;
+        let mut out = vec![0.0f32; d * d];
+        for py in 0..d {
+            for px in 0..d {
+                out[py * d + px] = self.trace(px, py);
+            }
+        }
+        out
+    }
+
+    /// Parallel tier: the scalar march behind a row-parallel loop.
+    pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
+        let d = self.dim;
+        let mut out = vec![0.0f32; d * d];
+        par_chunks_mut(pool, &mut out, d, |py, row| {
+            for (px, o) in row.iter_mut().enumerate() {
+                *o = self.trace(px, py);
+            }
+        });
+        out
+    }
+
+    /// Compiler tier: restructured scalar code (sampling inlined, loop
+    /// bounds hoisted) — the gathers and the early-exit loop still defeat
+    /// auto-vectorization, mirroring the paper's finding for VR.
+    pub fn run_simd(&self) -> Vec<f32> {
+        // The restructure that *would* help a vectorizer is the same code
+        // with straight-line sampling; measured, it performs like naive.
+        self.run_naive()
+    }
+
+    /// Low-effort endpoint: 2×2 pixel tiles for sample locality plus row
+    /// parallelism (the paper's blocking change for VR).
+    pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
+        let d = self.dim;
+        let mut out = vec![0.0f32; d * d];
+        // Process two adjacent rows per task so neighbouring rays share
+        // voxel neighbourhoods in cache.
+        par_chunks_mut(pool, &mut out, 2 * d, |tile, rows| {
+            let py0 = tile * 2;
+            for (r, row) in rows.chunks_mut(d).enumerate() {
+                let py = py0 + r;
+                for (px, o) in row.iter_mut().enumerate() {
+                    *o = self.trace(px, py);
+                }
+            }
+        });
+        out
+    }
+
+    /// Traces a packet of four horizontally adjacent rays with masked
+    /// compositing and shared early termination.
+    #[inline]
+    fn trace4(&self, px: usize, py: usize) -> [f32; 4] {
+        let d = self.dim;
+        let dim_i = I32x4::splat(d as i32);
+        let steps = d - 1;
+        let x0 = F32x4::new(
+            px as f32 + 0.5,
+            px as f32 + 1.5,
+            px as f32 + 2.5,
+            px as f32 + 3.5,
+        );
+        let y0 = F32x4::splat(py as f32 + 0.5);
+        let max = F32x4::splat((d - 2) as f32);
+        let zero = F32x4::zero();
+        let one = F32x4::splat(1.0);
+        let mut color = F32x4::zero();
+        let mut opacity = F32x4::zero();
+        let terminate = F32x4::splat(TERMINATE);
+        for t in 0..steps {
+            let active = opacity.simd_lt(terminate);
+            if !active.any() {
+                break;
+            }
+            let tf = F32x4::splat(t as f32);
+            let cx = x0.mul_add(one, tf * F32x4::splat(DIR_X)).min(max).max(zero);
+            let cy = y0.mul_add(one, tf * F32x4::splat(DIR_Y)).min(max).max(zero);
+            let cz = F32x4::splat(0.5 + t as f32).min(max).max(zero);
+            let ix = cx.floor();
+            let iy = cy.floor();
+            let iz = cz.floor();
+            let fx = cx - ix;
+            let fy = cy - iy;
+            let fz = cz - iz;
+            // Flattened base index (z*d + y)*d + x, gathered 8 times.
+            let base = (iz.to_i32_trunc() * dim_i + iy.to_i32_trunc()) * dim_i + ix.to_i32_trunc();
+            let row = dim_i;
+            let plane = dim_i * dim_i;
+            let g = |idx: I32x4| F32x4::gather(&self.voxels, idx);
+            let c000 = g(base);
+            let c100 = g(base + I32x4::splat(1));
+            let c010 = g(base + row);
+            let c110 = g(base + row + I32x4::splat(1));
+            let c001 = g(base + plane);
+            let c101 = g(base + plane + I32x4::splat(1));
+            let c011 = g(base + plane + row);
+            let c111 = g(base + plane + row + I32x4::splat(1));
+            let x00 = c000 + (c100 - c000) * fx;
+            let x10 = c010 + (c110 - c010) * fx;
+            let x01 = c001 + (c101 - c001) * fx;
+            let x11 = c011 + (c111 - c011) * fx;
+            let yy0 = x00 + (x10 - x00) * fy;
+            let yy1 = x01 + (x11 - x01) * fy;
+            let s = yy0 + (yy1 - yy0) * fz;
+            let alpha = s * F32x4::splat(ALPHA_SCALE);
+            let w = one - opacity;
+            let dc = w * (alpha * s);
+            let da = w * alpha;
+            color = active.select(color + dc, color);
+            opacity = active.select(opacity + da, opacity);
+        }
+        color.to_array()
+    }
+
+    /// Ninja tier: 4-wide ray packets with masked compositing and gathered
+    /// trilinear sampling, row-parallel.
+    pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
+        let d = self.dim;
+        let mut out = vec![0.0f32; d * d];
+        par_chunks_mut(pool, &mut out, d, |py, row| {
+            let packs = d / 4;
+            for p in 0..packs {
+                let px = 4 * p;
+                let res = self.trace4(px, py);
+                row[px..px + 4].copy_from_slice(&res);
+            }
+            for px in packs * 4..d {
+                row[px] = self.trace(px, py);
+            }
+        });
+        out
+    }
+}
+
+fn run(k: &VolumeRender, variant: Variant, pool: &ThreadPool) -> Vec<f32> {
+    match variant {
+        Variant::Naive => k.run_naive(),
+        Variant::Parallel => k.run_parallel(pool),
+        Variant::Simd => k.run_simd(),
+        Variant::Algorithmic => k.run_algorithmic(pool),
+        Variant::Ninja => k.run_ninja(pool),
+    }
+}
+
+fn work(k: &VolumeRender) -> Work {
+    let d = k.dim as f64;
+    // ~60% of the maximum march length survives early termination.
+    let avg_steps = 0.6 * (d - 1.0);
+    Work {
+        flops: d * d * avg_steps * 30.0,
+        bytes: d * d * avg_steps * 32.0,
+        elems: (k.dim * k.dim) as u64,
+    }
+}
+
+/// Suite entry for the volume-rendering kernel.
+pub fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "volumerender",
+        description: "ray-cast volume rendering with early termination (branchy, gather heavy)",
+        bound: "compute",
+        variants: [
+            VariantInfo {
+                variant: Variant::Naive,
+                effort_loc: 0,
+                what_changed: "serial scalar ray march",
+            },
+            VariantInfo {
+                variant: Variant::Parallel,
+                effort_loc: 2,
+                what_changed: "parallel_for over image rows",
+            },
+            VariantInfo {
+                variant: Variant::Simd,
+                effort_loc: 5,
+                what_changed: "loop restructure; gathers + early exit still block the compiler",
+            },
+            VariantInfo {
+                variant: Variant::Algorithmic,
+                effort_loc: 15,
+                what_changed: "2-row ray tiles for sample locality + threads",
+            },
+            VariantInfo {
+                variant: Variant::Ninja,
+                effort_loc: 120,
+                what_changed: "4-ray packets, masked compositing, manual gathers",
+            },
+        ],
+        character: Characterization {
+            flops_per_elem: 30.0 * 150.0,
+            bytes_per_elem: 48.0,
+            naive_simd_frac: 0.0,
+            restructure_simd_frac: 0.0,
+            simd_friendly_frac: 0.7,
+            parallel_frac: 1.0,
+            gather_per_elem: 8.0 * 150.0,
+            algorithmic_factor: 1.15,
+            simd_efficiency: 0.6, // ray divergence
+        },
+        make: |size, seed| {
+            Box::new(Adapter {
+                kernel: VolumeRender::generate(size, seed),
+                name: "volumerender",
+                tolerance: 1e-4,
+                run,
+                work,
+                reference: None,
+            }) as Box<dyn Instance>
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_volume_renders_black() {
+        let mut k = VolumeRender::generate(ProblemSize::Test, 1);
+        k.voxels.iter_mut().for_each(|v| *v = 0.0);
+        let out = k.run_naive();
+        assert!(out.iter().all(|&c| c == 0.0));
+    }
+
+    #[test]
+    fn dense_volume_saturates_and_terminates() {
+        let mut k = VolumeRender::generate(ProblemSize::Test, 2);
+        k.voxels.iter_mut().for_each(|v| *v = 1.0);
+        let out = k.run_naive();
+        // alpha per step = ALPHA_SCALE with s=1; color saturates near 1.
+        for &c in out.iter() {
+            assert!(c > 0.9 && c <= 1.01, "saturated color {c}");
+        }
+    }
+
+    #[test]
+    fn sample_at_grid_points_is_exact() {
+        let k = VolumeRender::generate(ProblemSize::Test, 3);
+        for (x, y, z) in [(0usize, 0usize, 0usize), (5, 7, 9), (30, 30, 30)] {
+            let got = k.sample(x as f32, y as f32, z as f32);
+            assert!((got - k.voxel(x, y, z)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sample_interpolates_midpoint() {
+        let mut k = VolumeRender::generate(ProblemSize::Test, 4);
+        k.voxels.iter_mut().for_each(|v| *v = 0.0);
+        let d = k.dim;
+        // Corners of one cell set to 1 -> center of that cell samples 1.
+        for (x, y, z) in [(2, 2, 2), (3, 2, 2), (2, 3, 2), (3, 3, 2), (2, 2, 3), (3, 2, 3), (2, 3, 3), (3, 3, 3)] {
+            k.voxels[(z * d + y) * d + x] = 1.0;
+        }
+        assert!((k.sample(2.5, 2.5, 2.5) - 1.0).abs() < 1e-6);
+        assert!((k.sample(2.0, 2.5, 2.5) - 1.0).abs() < 1e-6);
+        assert!((k.sample(1.5, 2.5, 2.5) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_variants_agree_with_naive() {
+        let k = VolumeRender::generate(ProblemSize::Test, 5);
+        let pool = ThreadPool::with_threads(2);
+        let reference = k.run_naive();
+        for (label, out) in [
+            ("parallel", k.run_parallel(&pool)),
+            ("simd", k.run_simd()),
+            ("algorithmic", k.run_algorithmic(&pool)),
+            ("ninja", k.run_ninja(&pool)),
+        ] {
+            assert_eq!(out.len(), reference.len(), "{label}");
+            for (i, (&a, &b)) in out.iter().zip(reference.iter()).enumerate() {
+                let err = (a - b).abs() / b.abs().max(1.0);
+                assert!(err < 1e-4, "{label}[{i}]: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn adapter_validates_all_variants() {
+        let spec = spec();
+        let pool = ThreadPool::with_threads(1);
+        let mut inst = (spec.make)(ProblemSize::Test, 6);
+        for v in Variant::ALL {
+            inst.validate(v, &pool).unwrap();
+        }
+    }
+
+    #[test]
+    fn output_is_bounded_by_physical_limits() {
+        let k = VolumeRender::generate(ProblemSize::Test, 9);
+        let img = k.run_ninja(&ThreadPool::with_threads(1));
+        for &c in img.iter() {
+            // Color accumulates alpha-weighted densities in [0,1); total
+            // opacity weight is bounded by 1.
+            assert!((0.0..=1.01).contains(&c), "color {c}");
+        }
+    }
+
+    #[test]
+    fn denser_volume_never_renders_darker_uniformly() {
+        // A volume of all 0.5 vs all 0.9: the brighter volume's pixels are
+        // all at least as bright (monotone transfer function, no shadows).
+        let mut lo = VolumeRender::generate(ProblemSize::Test, 10);
+        lo.voxels.iter_mut().for_each(|v| *v = 0.5);
+        let mut hi = VolumeRender::generate(ProblemSize::Test, 10);
+        hi.voxels.iter_mut().for_each(|v| *v = 0.9);
+        let a = lo.run_naive();
+        let b = hi.run_naive();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(y >= x, "{y} < {x}");
+        }
+    }
+
+}

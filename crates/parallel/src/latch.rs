@@ -1,0 +1,72 @@
+//! Countdown latch used to wait for stack-borrowed jobs to finish.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A counter that threads decrement as they finish; `wait` blocks until it
+/// reaches zero.
+///
+/// Used to guarantee that every job referencing stack data has completed
+/// before the frame owning that data returns.
+pub(crate) struct CountLatch {
+    remaining: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl CountLatch {
+    pub(crate) fn new(count: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(count),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Decrements the counter, waking waiters when it hits zero.
+    pub(crate) fn count_down(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    /// Blocks until the counter reaches zero.
+    pub(crate) fn wait(&self) {
+        if self.remaining.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        let mut guard = self.lock.lock();
+        while self.remaining.load(Ordering::Acquire) != 0 {
+            self.cv.wait(&mut guard);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn zero_count_returns_immediately() {
+        CountLatch::new(0).wait();
+    }
+
+    #[test]
+    fn wait_blocks_until_all_count_down() {
+        let latch = Arc::new(CountLatch::new(3));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let l = Arc::clone(&latch);
+            handles.push(std::thread::spawn(move || {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                l.count_down();
+            }));
+        }
+        latch.wait();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! The thread pool and its scheduling primitives.
+
+use crate::latch::CountLatch;
+use crossbeam::deque::{Injector, Steal};
+use parking_lot::{Condvar, Mutex};
+use std::cell::UnsafeCell;
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A type-erased pointer to a job living on some waiting caller's stack.
+///
+/// Safety protocol: the frame that created the job blocks (via
+/// [`CountLatch`] or a state flag) until every pushed `JobRef` has been
+/// executed, so the pointer never dangles.
+struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointed-to job types are Sync (shared-call jobs) or carry
+// Send payloads (once jobs); the lifetime protocol above keeps them alive.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    #[inline]
+    unsafe fn execute(self) {
+        (self.exec)(self.data)
+    }
+}
+
+/// A job executed by several threads concurrently through a shared `Fn`.
+struct SharedJob<'a> {
+    func: &'a (dyn Fn() + Sync),
+    latch: &'a CountLatch,
+    panicked: &'a AtomicBool,
+}
+
+unsafe fn exec_shared(ptr: *const ()) {
+    // SAFETY: ptr was created from a live SharedJob per the JobRef protocol.
+    let job = unsafe { &*(ptr as *const SharedJob<'_>) };
+    if catch_unwind(AssertUnwindSafe(job.func)).is_err() {
+        job.panicked.store(true, Ordering::Release);
+    }
+    job.latch.count_down();
+}
+
+const ONCE_PENDING: u8 = 0;
+const ONCE_RUNNING: u8 = 1;
+const ONCE_DONE: u8 = 2;
+
+/// A run-exactly-once job with a return value, used by [`ThreadPool::join`].
+struct OnceJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<R>>,
+    state: AtomicU8,
+    panicked: AtomicBool,
+}
+
+// SAFETY: access to func/result is serialized by the `state` machine:
+// exactly one thread wins the PENDING->RUNNING transition and touches the
+// cells; readers wait for DONE (Acquire) before reading `result`.
+unsafe impl<F: Send, R: Send> Sync for OnceJob<F, R> {}
+
+impl<F: FnOnce() -> R, R> OnceJob<F, R> {
+    fn new(func: F) -> Self {
+        Self {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            state: AtomicU8::new(ONCE_PENDING),
+            panicked: AtomicBool::new(false),
+        }
+    }
+
+    /// Attempts to claim and run the job; returns false if already claimed.
+    fn try_run(&self) -> bool {
+        if self
+            .state
+            .compare_exchange(ONCE_PENDING, ONCE_RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return false;
+        }
+        // SAFETY: we won the CAS, so we are the only thread touching the cells.
+        let func = unsafe { (*self.func.get()).take().expect("once job claimed twice") };
+        match catch_unwind(AssertUnwindSafe(func)) {
+            Ok(r) => unsafe { *self.result.get() = Some(r) },
+            Err(_) => self.panicked.store(true, Ordering::Release),
+        }
+        self.state.store(ONCE_DONE, Ordering::Release);
+        true
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.load(Ordering::Acquire) == ONCE_DONE
+    }
+
+    /// Takes the result after `is_done` returned true.
+    ///
+    /// # Panics
+    ///
+    /// Panics (propagating) if the job itself panicked.
+    fn take_result(&self) -> R {
+        assert!(self.is_done());
+        if self.panicked.load(Ordering::Acquire) {
+            panic!("a task submitted to ThreadPool::join panicked");
+        }
+        // SAFETY: state is DONE, the runner has released the cells.
+        unsafe { (*self.result.get()).take().expect("once job result taken twice") }
+    }
+}
+
+/// A heap-allocated `OnceJob` shared between the queue entry and the
+/// waiting caller.
+///
+/// Two owners exist after `join` pushes the job: the queued [`JobRef`] and
+/// the caller. Either may run the job (exactly one wins the state CAS);
+/// **both** must release their reference, and the last one frees the
+/// allocation. Keeping the queue entry as a real owner is what makes
+/// claim-back sound: a stale queued `JobRef` popped after the `join`
+/// returned still points at live memory and its `try_run` is a no-op.
+struct SharedOnce<F, R> {
+    job: OnceJob<F, R>,
+    refs: AtomicUsize,
+}
+
+/// Drops one reference to a `SharedOnce`, freeing it when it was the last.
+unsafe fn release_shared_once<F: FnOnce() -> R + Send, R: Send>(ptr: *const ()) {
+    let shared = ptr as *mut SharedOnce<F, R>;
+    // SAFETY: caller holds one of the outstanding references.
+    if unsafe { (*shared).refs.fetch_sub(1, Ordering::AcqRel) } == 1 {
+        // SAFETY: last reference; no other thread can touch the job now.
+        drop(unsafe { Box::from_raw(shared) });
+    }
+}
+
+unsafe fn exec_once<F: FnOnce() -> R + Send, R: Send>(ptr: *const ()) {
+    {
+        // SAFETY: the queue entry owns a reference (released below).
+        let shared = unsafe { &*(ptr as *const SharedOnce<F, R>) };
+        shared.job.try_run();
+    }
+    // SAFETY: releasing the queue entry's reference.
+    unsafe { release_shared_once::<F, R>(ptr) };
+}
+
+struct Shared {
+    injector: Injector<JobRef>,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn push(&self, job: JobRef) {
+        self.injector.push(job);
+        let _guard = self.sleep_lock.lock();
+        self.sleep_cv.notify_one();
+    }
+
+    fn notify_all(&self) {
+        let _guard = self.sleep_lock.lock();
+        self.sleep_cv.notify_all();
+    }
+
+    /// Pops one job, or returns None when the queue looks empty.
+    fn try_pop(&self) -> Option<JobRef> {
+        loop {
+            match self.injector.steal() {
+                Steal::Success(job) => return Some(job),
+                Steal::Empty => return None,
+                Steal::Retry => continue,
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        if let Some(job) = shared.try_pop() {
+            // SAFETY: per the JobRef protocol the job outlives its queue entry.
+            unsafe { job.execute() };
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut guard = shared.sleep_lock.lock();
+        if !shared.injector.is_empty() || shared.shutdown.load(Ordering::Acquire) {
+            continue;
+        }
+        // Timed wait as a backstop against any missed wakeup.
+        shared
+            .sleep_cv
+            .wait_for(&mut guard, Duration::from_millis(2));
+    }
+}
+
+/// A persistent pool of worker threads with OpenMP-style loop scheduling.
+///
+/// The pool is the reproduction's stand-in for the paper's OpenMP runtime:
+/// kernels hand it index ranges and it distributes dynamically-sized chunks
+/// over the workers (plus the calling thread, which always participates).
+///
+/// Dropping the pool joins all workers.
+///
+/// ```
+/// use ninja_parallel::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let pool = ThreadPool::with_threads(4);
+/// let hits = AtomicUsize::new(0);
+/// pool.parallel_for(0..100, 8, |range| {
+///     hits.fetch_add(range.len(), Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 100);
+/// ```
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with one thread per available hardware thread.
+    pub fn new() -> Self {
+        Self::with_threads(crate::hardware_threads())
+    }
+
+    /// Creates a pool with exactly `num_threads` participating threads
+    /// (including the caller; `num_threads - 1` workers are spawned).
+    ///
+    /// A pool of 1 runs everything inline on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads == 0`.
+    pub fn with_threads(num_threads: usize) -> Self {
+        assert!(num_threads > 0, "a ThreadPool needs at least one thread");
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let workers = (1..num_threads)
+            .map(|i| {
+                let s = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ninja-worker-{i}"))
+                    .spawn(move || worker_loop(s))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            num_threads,
+        }
+    }
+
+    /// A process-wide pool sized to the hardware, created on first use.
+    pub fn global() -> &'static ThreadPool {
+        static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+        GLOBAL.get_or_init(ThreadPool::new)
+    }
+
+    /// Number of threads that participate in parallel regions (workers plus
+    /// the calling thread).
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `body` over every index chunk of `range`, in parallel, with
+    /// dynamic scheduling. Chunks have at most `grain` indices.
+    ///
+    /// Equivalent to `#pragma omp parallel for schedule(dynamic, grain)`.
+    /// The calling thread participates. Returns when every chunk has run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invocation of `body` panicked (after all other chunks
+    /// finish).
+    pub fn parallel_for<F>(&self, range: Range<usize>, grain: usize, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let n = range.end.saturating_sub(range.start);
+        if n == 0 {
+            return;
+        }
+        let grain = grain.max(1);
+        let n_chunks = n.div_ceil(grain);
+        let threads = self.num_threads.min(n_chunks);
+        if threads <= 1 {
+            body(range);
+            return;
+        }
+
+        let next_chunk = AtomicUsize::new(0);
+        let start = range.start;
+        let end = range.end;
+        let harness = move || loop {
+            let i = next_chunk.fetch_add(1, Ordering::Relaxed);
+            if i >= n_chunks {
+                break;
+            }
+            let lo = start + i * grain;
+            let hi = (lo + grain).min(end);
+            body(lo..hi);
+        };
+
+        let helpers = threads - 1;
+        let latch = CountLatch::new(helpers);
+        let panicked = AtomicBool::new(false);
+        let job = SharedJob {
+            func: &harness,
+            latch: &latch,
+            panicked: &panicked,
+        };
+        for _ in 0..helpers {
+            self.shared.push(JobRef {
+                data: &job as *const SharedJob<'_> as *const (),
+                exec: exec_shared,
+            });
+        }
+
+        // Even if the inline harness panics we must wait for the workers
+        // before unwinding, or they would reference a dead stack frame.
+        struct WaitOnDrop<'a>(&'a CountLatch);
+        impl Drop for WaitOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.wait();
+            }
+        }
+        {
+            let _wait = WaitOnDrop(&latch);
+            harness();
+        }
+        if panicked.load(Ordering::Acquire) {
+            panic!("a task submitted to ThreadPool::parallel_for panicked");
+        }
+    }
+
+    /// Parallel map-reduce over an index range.
+    ///
+    /// `map` produces a partial value for each chunk; partials are folded
+    /// with `reduce` in a nondeterministic order (use associative,
+    /// commutative reductions — for floating point this means results can
+    /// differ across runs in the last bits).
+    pub fn parallel_reduce<T, M, R>(
+        &self,
+        range: Range<usize>,
+        grain: usize,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> T
+    where
+        T: Send,
+        M: Fn(Range<usize>) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+    {
+        let acc: Mutex<Option<T>> = Mutex::new(None);
+        self.parallel_for(range, grain, |chunk| {
+            let part = map(chunk);
+            let mut guard = acc.lock();
+            *guard = Some(match guard.take() {
+                Some(prev) => reduce(prev, part),
+                None => part,
+            });
+        });
+        match acc.into_inner() {
+            Some(total) => reduce(identity, total),
+            None => identity,
+        }
+    }
+
+    /// Queues a type-erased heap job (used by [`crate::Scope`]).
+    pub(crate) fn push_heap_job(&self, data: *const (), exec: unsafe fn(*const ())) {
+        self.shared.push(JobRef { data, exec });
+    }
+
+    /// Pops and executes one queued job if any; returns whether it did.
+    /// Lets waiting threads contribute instead of spinning.
+    pub(crate) fn help_one(&self) -> bool {
+        if let Some(job) = self.shared.try_pop() {
+            // SAFETY: queued jobs are kept alive by their waiters.
+            unsafe { job.execute() };
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Calls `body` on every element of `items`, in parallel, with dynamic
+    /// chunk scheduling (`grain` elements per chunk).
+    ///
+    /// Convenience wrapper over [`ThreadPool::parallel_for`] for read-only
+    /// sweeps (use [`crate::par_chunks_mut`] to write).
+    pub fn parallel_for_each<T, F>(&self, items: &[T], grain: usize, body: F)
+    where
+        T: Sync,
+        F: Fn(usize, &T) + Sync,
+    {
+        self.parallel_for(0..items.len(), grain, |range| {
+            for i in range {
+                body(i, &items[i]);
+            }
+        });
+    }
+
+    /// Runs two closures, potentially in parallel, returning both results.
+    ///
+    /// The second closure is offered to the pool; the caller runs the first
+    /// and then claims the second back if no worker has started it (the
+    /// common case on an idle pool), or waits for the thief to finish.
+    ///
+    /// The waiter deliberately does **not** execute unrelated queued jobs:
+    /// executing an arbitrary job while blocked nests that job's entire
+    /// subtree on the current stack, and with a FIFO queue the nesting
+    /// depth is bounded only by the number of outstanding jobs — deeply
+    /// recursive `join` trees (e.g. parallel merge sort) overflow the
+    /// stack. Claim-back already guarantees progress without helping.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from either closure.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        if self.num_threads <= 1 {
+            return (a(), b());
+        }
+        // Two references: one for the queue entry, one for this frame.
+        let shared = Box::into_raw(Box::new(SharedOnce {
+            job: OnceJob::new(b),
+            refs: AtomicUsize::new(2),
+        }));
+        self.shared.push(JobRef {
+            data: shared as *const (),
+            exec: exec_once::<B, RB>,
+        });
+        let ra = a();
+        // SAFETY: we hold one reference until release below.
+        let job = unsafe { &(*shared).job };
+        // Claim b back if nobody started it; otherwise wait for the thief.
+        if !job.try_run() {
+            let mut spins = 0u32;
+            while !job.is_done() {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        let rb = job.take_result();
+        // SAFETY: releasing this frame's reference.
+        unsafe { release_shared_once::<B, RB>(shared as *const ()) };
+        (ra, rb)
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("num_threads", &self.num_threads)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::with_threads(1);
+        let mut hits = vec![false; 50];
+        let cell = Mutex::new(&mut hits);
+        pool.parallel_for(0..50, 7, |r| {
+            let mut guard = cell.lock();
+            for i in r {
+                guard[i] = true;
+            }
+        });
+        assert!(hits.iter().all(|&h| h));
+    }
+
+    #[test]
+    fn parallel_for_covers_every_index_exactly_once() {
+        let pool = ThreadPool::with_threads(4);
+        let counts: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..1000, 13, |r| {
+            for i in r {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_noop() {
+        let pool = ThreadPool::with_threads(2);
+        pool.parallel_for(5..5, 4, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn parallel_for_grain_zero_treated_as_one() {
+        let pool = ThreadPool::with_threads(2);
+        let n = AtomicUsize::new(0);
+        pool.parallel_for(0..10, 0, |r| {
+            assert_eq!(r.len(), 1);
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn reduce_sums_correctly() {
+        let pool = ThreadPool::with_threads(3);
+        let total =
+            pool.parallel_reduce(0..10_000, 97, 0u64, |r| r.map(|i| i as u64).sum(), |a, b| a + b);
+        assert_eq!(total, (0..10_000u64).sum());
+    }
+
+    #[test]
+    fn reduce_empty_range_yields_identity() {
+        let pool = ThreadPool::with_threads(2);
+        let v = pool.parallel_reduce(3..3, 8, 42i32, |_| panic!("no chunks"), |a, b| a + b);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn for_each_visits_every_item_once() {
+        let pool = ThreadPool::with_threads(3);
+        let items: Vec<u32> = (0..500).collect();
+        let hits: Vec<AtomicUsize> = (0..items.len()).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_each(&items, 17, |i, &v| {
+            assert_eq!(v as usize, i);
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::with_threads(2);
+        let (a, b) = pool.join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn join_single_thread() {
+        let pool = ThreadPool::with_threads(1);
+        let (a, b) = pool.join(|| 5, || 6);
+        assert_eq!((a, b), (5, 6));
+    }
+
+    #[test]
+    fn claimed_back_join_refs_are_harmless() {
+        // Regression: a claimed-back join leaves its JobRef in the queue;
+        // the entry must stay valid (refcounted) until a worker pops it,
+        // even long after the join frame returned.
+        let pool = ThreadPool::with_threads(2);
+        for i in 0..2_000u64 {
+            let (a, b) = pool.join(move || i, move || i + 1);
+            assert_eq!((a, b), (i, i + 1));
+        }
+        // Force the workers to drain any stale queued refs.
+        let n = AtomicUsize::new(0);
+        pool.parallel_for(0..256, 1, |_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn nested_joins_recursive_fib() {
+        fn fib(pool: &ThreadPool, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+            a + b
+        }
+        let pool = ThreadPool::with_threads(4);
+        assert_eq!(fib(&pool, 16), 987);
+    }
+
+    #[test]
+    fn panic_in_parallel_for_propagates() {
+        let pool = ThreadPool::with_threads(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(0..8, 1, |r| {
+                if r.start == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err());
+        // Pool must still be usable afterwards.
+        let n = AtomicUsize::new(0);
+        pool.parallel_for(0..4, 1, |_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panic_in_join_propagates() {
+        let pool = ThreadPool::with_threads(2);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.join(|| 1, || -> i32 { panic!("boom") })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn global_pool_is_singleton() {
+        let a = ThreadPool::global() as *const _;
+        let b = ThreadPool::global() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn many_sequential_regions_reuse_workers() {
+        let pool = ThreadPool::with_threads(3);
+        for round in 0..100 {
+            let sum = pool.parallel_reduce(
+                0..128,
+                16,
+                0usize,
+                |r| r.sum::<usize>() + round - round,
+                |a, b| a + b,
+            );
+            assert_eq!(sum, (0..128).sum());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = ThreadPool::with_threads(0);
+    }
+
+    #[test]
+    fn debug_format_mentions_threads() {
+        let pool = ThreadPool::with_threads(2);
+        assert!(format!("{pool:?}").contains("num_threads"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Structured task scopes: spawn a dynamic number of borrow-scoped tasks
+//! and wait for all of them.
+//!
+//! [`ThreadPool::scope`] complements the fixed-shape primitives
+//! (`parallel_for`, `join`) for irregular task graphs — e.g. walking a
+//! directory tree or processing a work queue whose length is discovered on
+//! the fly.
+
+use crate::latch::CountLatch;
+use crate::pool::ThreadPool;
+use parking_lot::{Condvar, Mutex};
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Counts outstanding scope tasks; `wait_zero` blocks until all complete.
+pub(crate) struct ScopeLatch {
+    outstanding: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl ScopeLatch {
+    fn new() -> Self {
+        Self {
+            outstanding: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn add_task(&self) {
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn task_done(&self) {
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.lock.lock();
+            self.cv.notify_all();
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.outstanding.load(Ordering::Acquire) == 0
+    }
+}
+
+/// A scope handed to the closure passed to [`ThreadPool::scope`].
+///
+/// Tasks spawned on the scope may borrow anything that outlives the
+/// `scope` call; the call does not return until every task finished.
+pub struct Scope<'scope> {
+    pool: &'scope ThreadPool,
+    latch: ScopeLatch,
+    panicked: AtomicBool,
+    // Invariant over 'scope, like std::thread::scope.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Queues `task` for execution on the pool (or inline on a 1-thread
+    /// pool when the scope drains).
+    ///
+    /// Tasks run in no particular order. A panicking task is reported when
+    /// the scope closes.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.latch.add_task();
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
+        // SAFETY: `ThreadPool::scope` does not return until the latch hits
+        // zero, so the task (and everything it borrows, which outlives
+        // 'scope) stays valid for as long as the queue may hold it.
+        let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
+        let job = Box::new(ScopeJob {
+            task: Some(boxed),
+            scope: self as *const Scope<'scope> as *const Scope<'static>,
+        });
+        self.pool.push_heap_job(Box::into_raw(job) as *const (), exec_scope_job);
+    }
+}
+
+struct ScopeJob {
+    task: Option<Box<dyn FnOnce() + Send + 'static>>,
+    scope: *const Scope<'static>,
+}
+
+unsafe fn exec_scope_job(ptr: *const ()) {
+    // SAFETY: created by Box::into_raw in `spawn`, executed exactly once.
+    let mut job = unsafe { Box::from_raw(ptr as *mut ScopeJob) };
+    let task = job.task.take().expect("scope job executed twice");
+    // SAFETY: the scope outlives all its jobs (wait_zero before return).
+    let scope = unsafe { &*job.scope };
+    if catch_unwind(AssertUnwindSafe(task)).is_err() {
+        scope.panicked.store(true, Ordering::Release);
+    }
+    scope.latch.task_done();
+}
+
+impl ThreadPool {
+    /// Creates a task scope: `body` may spawn any number of tasks that
+    /// borrow from the enclosing frame; `scope` returns once all of them
+    /// (and `body`) finished.
+    ///
+    /// The calling thread helps execute queued work while waiting, so
+    /// scopes make progress even on a single-thread pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics after all tasks complete if any spawned task panicked.
+    ///
+    /// ```
+    /// use ninja_parallel::ThreadPool;
+    /// use std::sync::atomic::{AtomicU32, Ordering};
+    ///
+    /// let pool = ThreadPool::with_threads(2);
+    /// let total = AtomicU32::new(0);
+    /// pool.scope(|s| {
+    ///     let total = &total;
+    ///     for i in 1..=10 {
+    ///         s.spawn(move || {
+    ///             total.fetch_add(i, Ordering::Relaxed);
+    ///         });
+    ///     }
+    /// });
+    /// assert_eq!(total.load(Ordering::Relaxed), 55);
+    /// ```
+    pub fn scope<'scope, F, R>(&'scope self, body: F) -> R
+    where
+        F: FnOnce(&Scope<'scope>) -> R,
+    {
+        let scope = Scope {
+            pool: self,
+            latch: ScopeLatch::new(),
+            panicked: AtomicBool::new(false),
+            _marker: PhantomData,
+        };
+        // Drain-on-unwind guard: even if `body` panics, every already
+        // spawned task must finish before the frame dies.
+        struct DrainGuard<'a, 'scope>(&'a Scope<'scope>);
+        impl Drop for DrainGuard<'_, '_> {
+            fn drop(&mut self) {
+                while !self.0.latch.is_idle() {
+                    if !self.0.pool.help_one() {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        let result = {
+            let _guard = DrainGuard(&scope);
+            body(&scope)
+        };
+        if scope.panicked.load(Ordering::Acquire) {
+            panic!("a task spawned in ThreadPool::scope panicked");
+        }
+        result
+    }
+}
+
+// Re-exported latch pieces used by the pool internals live in `latch.rs`;
+// keep the unused import linter honest about the shared type.
+#[allow(unused)]
+fn _uses_count_latch(_: &CountLatch) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn scope_runs_all_tasks_with_borrows() {
+        let pool = ThreadPool::with_threads(3);
+        let data: Vec<usize> = (0..100).collect();
+        let sum = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for chunk in data.chunks(7) {
+                s.spawn(|| {
+                    sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum());
+    }
+
+    #[test]
+    fn scope_on_single_thread_pool_drains_inline() {
+        let pool = ThreadPool::with_threads(1);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..25 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 25);
+    }
+
+    #[test]
+    fn scope_returns_body_value() {
+        let pool = ThreadPool::with_threads(2);
+        let v = pool.scope(|_| 42);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn empty_scope_is_fine() {
+        let pool = ThreadPool::with_threads(2);
+        pool.scope(|_| {});
+    }
+
+    #[test]
+    fn scope_task_panic_propagates_after_drain() {
+        let pool = ThreadPool::with_threads(2);
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                let completed = &completed;
+                for i in 0..10 {
+                    s.spawn(move || {
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(result.is_err());
+        assert_eq!(completed.load(Ordering::Relaxed), 9, "other tasks still ran");
+    }
+
+    #[test]
+    fn nested_scopes_work() {
+        let pool = ThreadPool::with_threads(2);
+        let n = AtomicUsize::new(0);
+        pool.scope(|outer| {
+            outer.spawn(|| {
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+            // A fresh inner scope on the same pool.
+            pool.scope(|inner| {
+                inner.spawn(|| {
+                    n.fetch_add(10, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 11);
+    }
+}

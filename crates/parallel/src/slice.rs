@@ -1,0 +1,184 @@
+//! Parallel iteration over disjoint mutable chunks of slices.
+//!
+//! These helpers express the ubiquitous throughput-computing pattern "each
+//! thread owns a contiguous tile of the output array" without requiring
+//! callers to write unsafe code.
+
+use crate::ThreadPool;
+
+/// A raw pointer that may cross thread boundaries.
+///
+/// Safety rests on the chunk arithmetic below handing each thread a
+/// disjoint region.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor method (rather than field access) so closures capture the
+    /// whole `SendPtr` — edition-2021 disjoint capture would otherwise grab
+    /// the raw pointer field, which is not `Sync`.
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Calls `body(chunk_index, chunk)` for every `chunk_len`-sized chunk of
+/// `data`, in parallel. The final chunk may be shorter.
+///
+/// Chunks are disjoint, so each invocation gets exclusive access to its
+/// piece — the safe equivalent of OpenMP's canonical
+/// `parallel for` over an output array.
+///
+/// ```
+/// use ninja_parallel::{par_chunks_mut, ThreadPool};
+///
+/// let pool = ThreadPool::with_threads(2);
+/// let mut data = vec![0usize; 100];
+/// par_chunks_mut(&pool, &mut data, 16, |idx, chunk| {
+///     for x in chunk.iter_mut() {
+///         *x = idx;
+///     }
+/// });
+/// assert_eq!(data[0], 0);
+/// assert_eq!(data[99], 6);
+/// ```
+pub fn par_chunks_mut<T, F>(pool: &ThreadPool, data: &mut [T], chunk_len: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = len.div_ceil(chunk_len);
+    let base = SendPtr(data.as_mut_ptr());
+    pool.parallel_for(0..n_chunks, 1, move |r| {
+        for i in r {
+            let lo = i * chunk_len;
+            let hi = (lo + chunk_len).min(len);
+            // SAFETY: [lo, hi) ranges for distinct i are disjoint and within
+            // `data`, which outlives this call (parallel_for blocks).
+            let chunk = unsafe { std::slice::from_raw_parts_mut(base.get().add(lo), hi - lo) };
+            body(i, chunk);
+        }
+    });
+}
+
+/// Like [`par_chunks_mut`] but walks two equal-length slices in lockstep,
+/// handing `body` matching mutable chunks of both.
+///
+/// Used by SoA kernels that update several parallel arrays per element
+/// (e.g. positions and velocities in the N-body integrator).
+///
+/// # Panics
+///
+/// Panics if `a.len() != b.len()`.
+pub fn par_zip_chunks_mut<T, U, F>(
+    pool: &ThreadPool,
+    a: &mut [T],
+    b: &mut [U],
+    chunk_len: usize,
+    body: F,
+) where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut [U]) + Sync,
+{
+    assert_eq!(a.len(), b.len(), "par_zip_chunks_mut needs equal lengths");
+    let len = a.len();
+    if len == 0 {
+        return;
+    }
+    let chunk_len = chunk_len.max(1);
+    let n_chunks = len.div_ceil(chunk_len);
+    let pa = SendPtr(a.as_mut_ptr());
+    let pb = SendPtr(b.as_mut_ptr());
+    pool.parallel_for(0..n_chunks, 1, move |r| {
+        for i in r {
+            let lo = i * chunk_len;
+            let hi = (lo + chunk_len).min(len);
+            // SAFETY: disjoint ranges per i; both slices outlive the call.
+            let ca = unsafe { std::slice::from_raw_parts_mut(pa.get().add(lo), hi - lo) };
+            let cb = unsafe { std::slice::from_raw_parts_mut(pb.get().add(lo), hi - lo) };
+            body(i, ca, cb);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_whole_slice() {
+        let pool = ThreadPool::with_threads(4);
+        let mut data = vec![0u32; 1003];
+        par_chunks_mut(&pool, &mut data, 64, |_, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn chunk_indices_match_offsets() {
+        let pool = ThreadPool::with_threads(3);
+        let mut data = vec![usize::MAX; 100];
+        par_chunks_mut(&pool, &mut data, 9, |idx, chunk| {
+            for x in chunk.iter_mut() {
+                *x = idx;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 9);
+        }
+    }
+
+    #[test]
+    fn empty_slice_is_noop() {
+        let pool = ThreadPool::with_threads(2);
+        let mut data: Vec<u8> = Vec::new();
+        par_chunks_mut(&pool, &mut data, 8, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn last_chunk_may_be_short() {
+        let pool = ThreadPool::with_threads(2);
+        let mut data = vec![0usize; 10];
+        par_chunks_mut(&pool, &mut data, 4, |idx, chunk| {
+            if idx == 2 {
+                assert_eq!(chunk.len(), 2);
+            } else {
+                assert_eq!(chunk.len(), 4);
+            }
+        });
+    }
+
+    #[test]
+    fn zip_updates_both_slices() {
+        let pool = ThreadPool::with_threads(4);
+        let mut a = vec![1i64; 500];
+        let mut b = vec![2i64; 500];
+        par_zip_chunks_mut(&pool, &mut a, &mut b, 33, |_, ca, cb| {
+            for (x, y) in ca.iter_mut().zip(cb.iter_mut()) {
+                std::mem::swap(x, y);
+            }
+        });
+        assert!(a.iter().all(|&x| x == 2));
+        assert!(b.iter().all(|&y| y == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn zip_length_mismatch_panics() {
+        let pool = ThreadPool::with_threads(1);
+        let mut a = vec![0u8; 3];
+        let mut b = vec![0u8; 4];
+        par_zip_chunks_mut(&pool, &mut a, &mut b, 2, |_, _, _| {});
+    }
+}

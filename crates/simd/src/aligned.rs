@@ -1,0 +1,270 @@
+//! Cache-line-aligned numeric buffers.
+//!
+//! Ninja SSE code of the paper's era relied on 16-byte-aligned loads
+//! (`movaps`); aligning to a full 64-byte cache line additionally avoids
+//! split-line accesses and false sharing between threads. [`AlignedVec`] is
+//! the allocation primitive used by the ninja-tier kernels.
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+
+/// Alignment (bytes) of every [`AlignedVec`] allocation: one cache line.
+pub const CACHE_LINE: usize = 64;
+
+mod private {
+    /// Seals [`Element`](super::Element) to the numeric primitives for which
+    /// an all-zero bit pattern is a valid value.
+    pub trait Sealed: Copy {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+    impl Sealed for i32 {}
+    impl Sealed for u32 {}
+    impl Sealed for i64 {}
+    impl Sealed for u64 {}
+    impl Sealed for u8 {}
+}
+
+/// Numeric element types storable in an [`AlignedVec`].
+///
+/// This trait is sealed; it is implemented for `f32`, `f64`, `i32`, `u32`,
+/// `i64`, `u64` and `u8` — types whose all-zero bit pattern is a valid value,
+/// which lets the buffer be allocated zeroed.
+pub trait Element: private::Sealed {}
+impl<T: private::Sealed> Element for T {}
+
+/// A fixed-length numeric buffer aligned to a 64-byte cache line.
+///
+/// Dereferences to a slice, so it can be used anywhere a `&[T]`/`&mut [T]`
+/// is expected. Unlike `Vec`, its length is fixed at construction; the
+/// kernels size their working sets once up front.
+///
+/// ```
+/// use ninja_simd::AlignedVec;
+///
+/// let mut buf = AlignedVec::<f32>::zeroed(1024);
+/// assert_eq!(buf.len(), 1024);
+/// assert_eq!(buf.as_ptr() as usize % 64, 0);
+/// buf[0] = 1.5;
+/// assert_eq!(buf.iter().sum::<f32>(), 1.5);
+/// ```
+pub struct AlignedVec<T: Element> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: AlignedVec owns its allocation exclusively, like Vec<T>; the
+// elements are plain numeric values.
+unsafe impl<T: Element + Send> Send for AlignedVec<T> {}
+unsafe impl<T: Element + Sync> Sync for AlignedVec<T> {}
+
+impl<T: Element> AlignedVec<T> {
+    /// Allocates a zero-initialized buffer of `len` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len * size_of::<T>()` overflows `isize`.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: core::ptr::NonNull::dangling().as_ptr(),
+                len: 0,
+            };
+        }
+        let layout = Self::layout(len);
+        // SAFETY: layout has non-zero size (len > 0, T is a numeric primitive).
+        let raw = unsafe { alloc_zeroed(layout) };
+        if raw.is_null() {
+            handle_alloc_error(layout);
+        }
+        Self {
+            ptr: raw as *mut T,
+            len,
+        }
+    }
+
+    /// Allocates a buffer of `len` elements, all set to `value`.
+    pub fn filled(len: usize, value: T) -> Self {
+        let mut v = Self::zeroed(len);
+        for slot in v.iter_mut() {
+            *slot = value;
+        }
+        v
+    }
+
+    /// Copies `src` into a new aligned buffer.
+    pub fn from_slice(src: &[T]) -> Self {
+        let mut v = Self::zeroed(src.len());
+        v.copy_from_slice(src);
+        v
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer as an immutable slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        // SAFETY: ptr is valid for len elements for the lifetime of self.
+        unsafe { core::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// The buffer as a mutable slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // SAFETY: ptr is valid for len elements and uniquely owned.
+        unsafe { core::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+
+    fn layout(len: usize) -> Layout {
+        let bytes = len
+            .checked_mul(core::mem::size_of::<T>())
+            .expect("AlignedVec size overflow");
+        Layout::from_size_align(bytes, CACHE_LINE).expect("invalid AlignedVec layout")
+    }
+}
+
+impl<T: Element> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.len != 0 {
+            // SAFETY: allocated in `zeroed` with the identical layout.
+            unsafe { dealloc(self.ptr as *mut u8, Self::layout(self.len)) }
+        }
+    }
+}
+
+impl<T: Element> Deref for AlignedVec<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Element> DerefMut for AlignedVec<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Element> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self)
+    }
+}
+
+impl<T: Element + fmt::Debug> fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlignedVec")
+            .field("len", &self.len)
+            .field("data", &self.as_slice())
+            .finish()
+    }
+}
+
+impl<T: Element + PartialEq> PartialEq for AlignedVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Element> AsRef<[T]> for AlignedVec<T> {
+    #[inline]
+    fn as_ref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Element> AsMut<[T]> for AlignedVec<T> {
+    #[inline]
+    fn as_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Element> From<&[T]> for AlignedVec<T> {
+    fn from(src: &[T]) -> Self {
+        Self::from_slice(src)
+    }
+}
+
+impl<T: Element> FromIterator<T> for AlignedVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let tmp: Vec<T> = iter.into_iter().collect();
+        Self::from_slice(&tmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_zero_and_aligned() {
+        let v = AlignedVec::<f32>::zeroed(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.as_ptr() as usize % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn empty_buffer() {
+        let v = AlignedVec::<f64>::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[f64]);
+        let _ = v.clone();
+    }
+
+    #[test]
+    fn filled_and_from_slice() {
+        let v = AlignedVec::filled(5, 3u32);
+        assert_eq!(&*v, &[3, 3, 3, 3, 3]);
+        let w = AlignedVec::from_slice(&[1i32, 2, 3]);
+        assert_eq!(&*w, &[1, 2, 3]);
+        let c = w.clone();
+        assert_eq!(c, w);
+    }
+
+    #[test]
+    fn mutation_through_deref() {
+        let mut v = AlignedVec::<i64>::zeroed(4);
+        v[2] = 42;
+        v.as_mut_slice()[3] = 7;
+        assert_eq!(&*v, &[0, 0, 42, 7]);
+        assert_eq!(v.as_ref(), &*v);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let v: AlignedVec<u8> = (0u8..10).collect();
+        assert_eq!(v.len(), 10);
+        assert_eq!(v[9], 9);
+        assert_eq!(v.as_ptr() as usize % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn alignment_for_all_types() {
+        assert_eq!(AlignedVec::<f32>::zeroed(3).as_ptr() as usize % 64, 0);
+        assert_eq!(AlignedVec::<f64>::zeroed(3).as_ptr() as usize % 64, 0);
+        assert_eq!(AlignedVec::<u64>::zeroed(3).as_ptr() as usize % 64, 0);
+        assert_eq!(AlignedVec::<u8>::zeroed(3).as_ptr() as usize % 64, 0);
+    }
+
+    #[test]
+    fn debug_shows_len() {
+        let v = AlignedVec::<u32>::zeroed(2);
+        let s = format!("{v:?}");
+        assert!(s.contains("len: 2"));
+    }
+}

@@ -1,0 +1,879 @@
+//! 4-lane single-precision vector — the paper's native (SSE) vector width.
+
+use crate::masks::Mask32x4;
+use crate::I32x4;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+/// A vector of four `f32` lanes.
+///
+/// All operations are lane-wise unless documented otherwise. On `x86_64`
+/// this type is an `__m128`; elsewhere it is a `[f32; 4]` with identical
+/// semantics.
+///
+/// ```
+/// use ninja_simd::F32x4;
+/// let v = F32x4::new(1.0, 2.0, 3.0, 4.0) * F32x4::splat(2.0);
+/// assert_eq!(v.to_array(), [2.0, 4.0, 6.0, 8.0]);
+/// ```
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F32x4(pub(crate) Repr);
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) type Repr = __m128;
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) type Repr = [f32; 4];
+
+impl F32x4 {
+    /// Number of lanes.
+    pub const LANES: usize = 4;
+
+    /// Builds a vector with the given lanes, lane 0 first.
+    #[inline(always)]
+    pub fn new(x0: f32, x1: f32, x2: f32, x3: f32) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_set_ps(x3, x2, x1, x0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([x0, x1, x2, x3])
+        }
+    }
+
+    /// Broadcasts `v` to all lanes.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_set1_ps(v))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([v; 4])
+        }
+    }
+
+    /// The all-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_setzero_ps())
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([0.0; 4])
+        }
+    }
+
+    /// Loads four consecutive lanes from `slice` starting at index 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() < 4`.
+    #[inline(always)]
+    pub fn from_slice(slice: &[f32]) -> Self {
+        assert!(slice.len() >= 4, "F32x4::from_slice needs at least 4 elements");
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_loadu_ps(slice.as_ptr()))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([slice[0], slice[1], slice[2], slice[3]])
+        }
+    }
+
+    /// Converts an array into a vector (lane 0 = `a[0]`).
+    #[inline(always)]
+    pub fn from_array(a: [f32; 4]) -> Self {
+        Self::new(a[0], a[1], a[2], a[3])
+    }
+
+    /// Returns the lanes as an array (lane 0 = `a[0]`).
+    #[inline(always)]
+    pub fn to_array(self) -> [f32; 4] {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            let mut out = [0.0f32; 4];
+            _mm_storeu_ps(out.as_mut_ptr(), self.0);
+            out
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            self.0
+        }
+    }
+
+    /// Stores the four lanes into `slice[..4]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() < 4`.
+    #[inline(always)]
+    pub fn write_to_slice(self, slice: &mut [f32]) {
+        assert!(slice.len() >= 4, "F32x4::write_to_slice needs at least 4 elements");
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            _mm_storeu_ps(slice.as_mut_ptr(), self.0);
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            slice[..4].copy_from_slice(&self.0);
+        }
+    }
+
+    /// Returns lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    #[inline(always)]
+    pub fn lane(self, i: usize) -> f32 {
+        self.to_array()[i]
+    }
+
+    /// Lane-wise fused-style multiply-add: `self * m + a`.
+    ///
+    /// On machines without FMA this is an unfused multiply then add; the
+    /// Ninja-gap kernels only rely on the value, not on single-rounding.
+    #[inline(always)]
+    pub fn mul_add(self, m: Self, a: Self) -> Self {
+        self * m + a
+    }
+
+    /// Lane-wise minimum.
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_min_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self(lanewise2(self.0, rhs.0, |a, b| if a < b { a } else { b }))
+        }
+    }
+
+    /// Lane-wise maximum.
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_max_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self(lanewise2(self.0, rhs.0, |a, b| if a > b { a } else { b }))
+        }
+    }
+
+    /// Lane-wise absolute value.
+    #[inline(always)]
+    pub fn abs(self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            let sign_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fff_ffff));
+            Self(_mm_and_ps(self.0, sign_mask))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self(lanewise1(self.0, f32::abs))
+        }
+    }
+
+    /// Lane-wise IEEE square root.
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_sqrt_ps(self.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self(lanewise1(self.0, f32::sqrt))
+        }
+    }
+
+    /// Fast approximate reciprocal square root (~12-bit accuracy).
+    ///
+    /// This is the `rsqrtps` trick at the heart of Ninja N-body kernels.
+    /// Use [`F32x4::rsqrt`] for a Newton-refined (~23-bit) result.
+    #[inline(always)]
+    pub fn rsqrt_approx(self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_rsqrt_ps(self.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self(lanewise1(self.0, |a| 1.0 / a.sqrt()))
+        }
+    }
+
+    /// Reciprocal square root refined with one Newton-Raphson step.
+    ///
+    /// Accuracy is ~1 ulp of `1.0 / x.sqrt()` for normal positive inputs,
+    /// at roughly half the cost of a division plus square root.
+    #[inline(always)]
+    pub fn rsqrt(self) -> Self {
+        let approx = self.rsqrt_approx();
+        // y' = y * (1.5 - 0.5 * x * y * y)
+        let half = Self::splat(0.5);
+        let three_halves = Self::splat(1.5);
+        approx * (three_halves - half * self * approx * approx)
+    }
+
+    /// Fast approximate reciprocal (~12-bit accuracy).
+    #[inline(always)]
+    pub fn recip_approx(self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_rcp_ps(self.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self(lanewise1(self.0, |a| 1.0 / a))
+        }
+    }
+
+    /// Reciprocal refined with one Newton-Raphson step (~22-bit accuracy).
+    #[inline(always)]
+    pub fn recip(self) -> Self {
+        let approx = self.recip_approx();
+        // y' = y * (2 - x * y)
+        approx * (Self::splat(2.0) - self * approx)
+    }
+
+    /// Lane-wise floor.
+    ///
+    /// Exact for inputs with `|x| < 2^31`; the sampling kernels that use it
+    /// (volume rendering, back-projection) index arrays far smaller than
+    /// that.
+    #[inline(always)]
+    pub fn floor(self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            let t = _mm_cvtepi32_ps(_mm_cvttps_epi32(self.0)); // trunc toward zero
+            let gt = _mm_cmpgt_ps(t, self.0); // lanes where trunc overshot (negative non-integers)
+            let one = _mm_and_ps(gt, _mm_set1_ps(1.0));
+            Self(_mm_sub_ps(t, one))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self(lanewise1(self.0, f32::floor))
+        }
+    }
+
+    /// Converts lanes to `i32` with truncation toward zero.
+    #[inline(always)]
+    pub fn to_i32_trunc(self) -> I32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            I32x4(_mm_cvttps_epi32(self.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            I32x4([a[0] as i32, a[1] as i32, a[2] as i32, a[3] as i32])
+        }
+    }
+
+    /// Sum of all four lanes.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f32 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            let v = self.0;
+            let shuf = _mm_shuffle_ps::<0b10_11_00_01>(v, v); // [1,0,3,2]
+            let sums = _mm_add_ps(v, shuf);
+            let shuf2 = _mm_movehl_ps(shuf, sums); // [2+3, ...]
+            let total = _mm_add_ss(sums, shuf2);
+            _mm_cvtss_f32(total)
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            (a[0] + a[1]) + (a[2] + a[3])
+        }
+    }
+
+    /// Minimum over all four lanes.
+    #[inline(always)]
+    pub fn reduce_min(self) -> f32 {
+        let a = self.to_array();
+        let m01 = if a[0] < a[1] { a[0] } else { a[1] };
+        let m23 = if a[2] < a[3] { a[2] } else { a[3] };
+        if m01 < m23 {
+            m01
+        } else {
+            m23
+        }
+    }
+
+    /// Maximum over all four lanes.
+    #[inline(always)]
+    pub fn reduce_max(self) -> f32 {
+        let a = self.to_array();
+        let m01 = if a[0] > a[1] { a[0] } else { a[1] };
+        let m23 = if a[2] > a[3] { a[2] } else { a[3] };
+        if m01 > m23 {
+            m01
+        } else {
+            m23
+        }
+    }
+
+    /// Lane-wise `==` comparison.
+    #[inline(always)]
+    pub fn simd_eq(self, rhs: Self) -> Mask32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Mask32x4(_mm_cmpeq_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Mask32x4(cmp_lanes(self.0, rhs.0, |a, b| a == b))
+        }
+    }
+
+    /// Lane-wise `<` comparison.
+    #[inline(always)]
+    pub fn simd_lt(self, rhs: Self) -> Mask32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Mask32x4(_mm_cmplt_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Mask32x4(cmp_lanes(self.0, rhs.0, |a, b| a < b))
+        }
+    }
+
+    /// Lane-wise `<=` comparison.
+    #[inline(always)]
+    pub fn simd_le(self, rhs: Self) -> Mask32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Mask32x4(_mm_cmple_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Mask32x4(cmp_lanes(self.0, rhs.0, |a, b| a <= b))
+        }
+    }
+
+    /// Lane-wise `>` comparison.
+    #[inline(always)]
+    pub fn simd_gt(self, rhs: Self) -> Mask32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Mask32x4(_mm_cmpgt_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Mask32x4(cmp_lanes(self.0, rhs.0, |a, b| a > b))
+        }
+    }
+
+    /// Lane-wise `>=` comparison.
+    #[inline(always)]
+    pub fn simd_ge(self, rhs: Self) -> Mask32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Mask32x4(_mm_cmpge_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Mask32x4(cmp_lanes(self.0, rhs.0, |a, b| a >= b))
+        }
+    }
+
+    /// Reinterprets the integer lanes of `bits` as IEEE-754 `f32` lanes.
+    ///
+    /// Used by the vector transcendentals to assemble `2^n` from a biased
+    /// exponent.
+    #[inline(always)]
+    pub fn from_bits(bits: I32x4) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_castsi128_ps(bits.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = bits.to_array();
+            Self::new(
+                f32::from_bits(a[0] as u32),
+                f32::from_bits(a[1] as u32),
+                f32::from_bits(a[2] as u32),
+                f32::from_bits(a[3] as u32),
+            )
+        }
+    }
+
+    /// Reinterprets the `f32` lanes as their IEEE-754 bit patterns.
+    #[inline(always)]
+    pub fn to_bits(self) -> I32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            I32x4(_mm_castps_si128(self.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            I32x4::new(
+                a[0].to_bits() as i32,
+                a[1].to_bits() as i32,
+                a[2].to_bits() as i32,
+                a[3].to_bits() as i32,
+            )
+        }
+    }
+
+    /// Software gather: `[base[idx.lane(0)], .., base[idx.lane(3)]]`.
+    ///
+    /// The paper's hardware-programmability discussion (our experiment F7)
+    /// centers on exactly this operation: without hardware gather the Ninja
+    /// programmer pays four scalar loads plus packing, which this function
+    /// makes explicit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or negative.
+    #[inline(always)]
+    pub fn gather(base: &[f32], idx: I32x4) -> Self {
+        let i = idx.to_array();
+        Self::new(
+            base[i[0] as usize],
+            base[i[1] as usize],
+            base[i[2] as usize],
+            base[i[3] as usize],
+        )
+    }
+
+    /// Interleaves the low halves of `self` and `rhs`:
+    /// `[a0, b0, a1, b1]`.
+    #[inline(always)]
+    pub fn interleave_lo(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_unpacklo_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            let b = rhs.0;
+            Self([a[0], b[0], a[1], b[1]])
+        }
+    }
+
+    /// Interleaves the high halves of `self` and `rhs`:
+    /// `[a2, b2, a3, b3]`.
+    #[inline(always)]
+    pub fn interleave_hi(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_unpackhi_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            let b = rhs.0;
+            Self([a[2], b[2], a[3], b[3]])
+        }
+    }
+
+    /// Rotates lanes left by one: `[a1, a2, a3, a0]`.
+    #[inline(always)]
+    pub fn rotate_lanes_left(self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_shuffle_ps::<0b00_11_10_01>(self.0, self.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            Self([a[1], a[2], a[3], a[0]])
+        }
+    }
+
+    /// Swaps the 64-bit halves: `[a2, a3, a0, a1]`.
+    ///
+    /// One of the two shuffles needed by the bitonic merge network in the
+    /// Ninja merge-sort kernel.
+    #[inline(always)]
+    pub fn swap_halves(self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_shuffle_ps::<0b01_00_11_10>(self.0, self.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            Self([a[2], a[3], a[0], a[1]])
+        }
+    }
+
+    /// Swaps adjacent lanes: `[a1, a0, a3, a2]`.
+    #[inline(always)]
+    pub fn swap_pairs(self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_shuffle_ps::<0b10_11_00_01>(self.0, self.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            Self([a[1], a[0], a[3], a[2]])
+        }
+    }
+
+    /// Lane-wise clamp to `[lo, hi]` (`min` then `max`, like `clamp_ps`
+    /// idioms; NaN handling follows the underlying min/max).
+    #[inline(always)]
+    pub fn clamp(self, lo: Self, hi: Self) -> Self {
+        self.max(lo).min(hi)
+    }
+
+    /// Transposes a 4×4 matrix held in four row registers — the classic
+    /// `_MM_TRANSPOSE4_PS` idiom Ninja code uses to convert four AoS
+    /// records into SoA registers (and back).
+    ///
+    /// ```
+    /// use ninja_simd::F32x4;
+    /// let rows = [
+    ///     F32x4::new(0.0, 1.0, 2.0, 3.0),
+    ///     F32x4::new(10.0, 11.0, 12.0, 13.0),
+    ///     F32x4::new(20.0, 21.0, 22.0, 23.0),
+    ///     F32x4::new(30.0, 31.0, 32.0, 33.0),
+    /// ];
+    /// let cols = F32x4::transpose4(rows);
+    /// assert_eq!(cols[1].to_array(), [1.0, 11.0, 21.0, 31.0]);
+    /// ```
+    #[inline(always)]
+    pub fn transpose4(rows: [Self; 4]) -> [Self; 4] {
+        let t0 = rows[0].interleave_lo(rows[2]); // a0 c0 a1 c1
+        let t1 = rows[1].interleave_lo(rows[3]); // b0 d0 b1 d1
+        let t2 = rows[0].interleave_hi(rows[2]); // a2 c2 a3 c3
+        let t3 = rows[1].interleave_hi(rows[3]); // b2 d2 b3 d3
+        [
+            t0.interleave_lo(t1), // a0 b0 c0 d0
+            t0.interleave_hi(t1), // a1 b1 c1 d1
+            t2.interleave_lo(t3), // a2 b2 c2 d2
+            t2.interleave_hi(t3), // a3 b3 c3 d3
+        ]
+    }
+
+    /// Reverses the lane order: `[a3, a2, a1, a0]`.
+    #[inline(always)]
+    pub fn reverse_lanes(self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_shuffle_ps::<0b00_01_10_11>(self.0, self.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            Self([a[3], a[2], a[1], a[0]])
+        }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn lanewise1(a: [f32; 4], f: impl Fn(f32) -> f32) -> [f32; 4] {
+    [f(a[0]), f(a[1]), f(a[2]), f(a[3])]
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+pub(crate) fn lanewise2(a: [f32; 4], b: [f32; 4], f: impl Fn(f32, f32) -> f32) -> [f32; 4] {
+    [f(a[0], b[0]), f(a[1], b[1]), f(a[2], b[2]), f(a[3], b[3])]
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn cmp_lanes(a: [f32; 4], b: [f32; 4], f: impl Fn(f32, f32) -> bool) -> [u32; 4] {
+    let m = |x: bool| if x { u32::MAX } else { 0 };
+    [
+        m(f(a[0], b[0])),
+        m(f(a[1], b[1])),
+        m(f(a[2], b[2])),
+        m(f(a[3], b[3])),
+    ]
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $intrinsic:ident, $op:tt) => {
+        impl $trait for F32x4 {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> Self {
+                #[cfg(target_arch = "x86_64")]
+                unsafe {
+                    Self($intrinsic(self.0, rhs.0))
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    Self(lanewise2(self.0, rhs.0, |a, b| a $op b))
+                }
+            }
+        }
+        impl $assign_trait for F32x4 {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: Self) {
+                *self = $trait::$method(*self, rhs);
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, AddAssign, add_assign, _mm_add_ps, +);
+impl_binop!(Sub, sub, SubAssign, sub_assign, _mm_sub_ps, -);
+impl_binop!(Mul, mul, MulAssign, mul_assign, _mm_mul_ps, *);
+impl_binop!(Div, div, DivAssign, div_assign, _mm_div_ps, /);
+
+impl Neg for F32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self::zero() - self
+    }
+}
+
+impl Default for F32x4 {
+    #[inline]
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl PartialEq for F32x4 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.to_array() == other.to_array()
+    }
+}
+
+impl fmt::Debug for F32x4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.to_array();
+        write!(f, "F32x4({}, {}, {}, {})", a[0], a[1], a[2], a[3])
+    }
+}
+
+impl From<[f32; 4]> for F32x4 {
+    #[inline]
+    fn from(a: [f32; 4]) -> Self {
+        Self::from_array(a)
+    }
+}
+
+impl From<F32x4> for [f32; 4] {
+    #[inline]
+    fn from(v: F32x4) -> Self {
+        v.to_array()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(a: f32, b: f32, c: f32, d: f32) -> F32x4 {
+        F32x4::new(a, b, c, d)
+    }
+
+    #[test]
+    fn construct_and_extract() {
+        let x = v(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(x.to_array(), [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(x.lane(0), 1.0);
+        assert_eq!(x.lane(3), 4.0);
+        assert_eq!(F32x4::splat(7.5).to_array(), [7.5; 4]);
+        assert_eq!(F32x4::zero().to_array(), [0.0; 4]);
+        assert_eq!(F32x4::default(), F32x4::zero());
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let data = [9.0, 8.0, 7.0, 6.0, 5.0];
+        let x = F32x4::from_slice(&data);
+        assert_eq!(x.to_array(), [9.0, 8.0, 7.0, 6.0]);
+        let mut out = [0.0f32; 5];
+        x.write_to_slice(&mut out);
+        assert_eq!(out, [9.0, 8.0, 7.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn short_slice_panics() {
+        let _ = F32x4::from_slice(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = v(1.0, 2.0, 3.0, 4.0);
+        let b = v(10.0, 20.0, 30.0, 40.0);
+        assert_eq!((a + b).to_array(), [11.0, 22.0, 33.0, 44.0]);
+        assert_eq!((b - a).to_array(), [9.0, 18.0, 27.0, 36.0]);
+        assert_eq!((a * b).to_array(), [10.0, 40.0, 90.0, 160.0]);
+        assert_eq!((b / a).to_array(), [10.0; 4]);
+        assert_eq!((-a).to_array(), [-1.0, -2.0, -3.0, -4.0]);
+        let mut c = a;
+        c += b;
+        c -= a;
+        c *= F32x4::splat(2.0);
+        c /= F32x4::splat(4.0);
+        assert_eq!(c.to_array(), [5.0, 10.0, 15.0, 20.0]);
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let a = v(1.5, -2.0, 3.25, 0.0);
+        let m = v(2.0, 2.0, -1.0, 5.0);
+        let c = v(0.5, 0.5, 0.5, 0.5);
+        assert_eq!(a.mul_add(m, c).to_array(), (a * m + c).to_array());
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = v(1.0, -5.0, 3.0, -0.5);
+        let b = v(0.0, -4.0, 9.0, -1.0);
+        assert_eq!(a.min(b).to_array(), [0.0, -5.0, 3.0, -1.0]);
+        assert_eq!(a.max(b).to_array(), [1.0, -4.0, 9.0, -0.5]);
+        assert_eq!(a.abs().to_array(), [1.0, 5.0, 3.0, 0.5]);
+    }
+
+    #[test]
+    fn sqrt_and_rsqrt() {
+        let a = v(4.0, 9.0, 16.0, 25.0);
+        assert_eq!(a.sqrt().to_array(), [2.0, 3.0, 4.0, 5.0]);
+        let r = a.rsqrt().to_array();
+        let expect = [0.5, 1.0 / 3.0, 0.25, 0.2];
+        for i in 0..4 {
+            assert!(
+                (r[i] - expect[i]).abs() < 1e-5,
+                "lane {i}: {} vs {}",
+                r[i],
+                expect[i]
+            );
+        }
+    }
+
+    #[test]
+    fn recip_refined() {
+        let a = v(2.0, 4.0, 0.5, 8.0);
+        let r = a.recip().to_array();
+        let expect = [0.5, 0.25, 2.0, 0.125];
+        for i in 0..4 {
+            assert!((r[i] - expect[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn floor_handles_negatives() {
+        let a = v(1.5, -1.5, 2.0, -2.0);
+        assert_eq!(a.floor().to_array(), [1.0, -2.0, 2.0, -2.0]);
+        let b = v(0.99, -0.01, -0.99, 0.0);
+        assert_eq!(b.floor().to_array(), [0.0, -1.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn conversions_to_int() {
+        let a = v(1.9, -1.9, 3.0, 0.2);
+        assert_eq!(a.to_i32_trunc().to_array(), [1, -1, 3, 0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = v(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(a.reduce_sum(), 10.0);
+        assert_eq!(a.reduce_min(), 1.0);
+        assert_eq!(a.reduce_max(), 4.0);
+        let b = v(-1.0, 7.0, -3.0, 2.0);
+        assert_eq!(b.reduce_min(), -3.0);
+        assert_eq!(b.reduce_max(), 7.0);
+    }
+
+    #[test]
+    fn comparisons_and_select() {
+        let a = v(1.0, 2.0, 3.0, 4.0);
+        let b = v(4.0, 2.0, 1.0, 4.0);
+        assert_eq!(a.simd_eq(b).bitmask(), 0b1010);
+        assert_eq!(a.simd_lt(b).bitmask(), 0b0001);
+        assert_eq!(a.simd_le(b).bitmask(), 0b1011);
+        assert_eq!(a.simd_gt(b).bitmask(), 0b0100);
+        assert_eq!(a.simd_ge(b).bitmask(), 0b1110);
+        let sel = a.simd_lt(b).select(F32x4::splat(1.0), F32x4::splat(0.0));
+        assert_eq!(sel.to_array(), [1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gather_reads_indexed_lanes() {
+        let table: Vec<f32> = (0..16).map(|i| i as f32 * 10.0).collect();
+        let idx = I32x4::new(3, 0, 15, 7);
+        let g = F32x4::gather(&table, idx);
+        assert_eq!(g.to_array(), [30.0, 0.0, 150.0, 70.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_out_of_bounds_panics() {
+        let table = [1.0f32; 4];
+        let _ = F32x4::gather(&table, I32x4::new(0, 1, 2, 9));
+    }
+
+    #[test]
+    fn shuffles() {
+        let a = v(0.0, 1.0, 2.0, 3.0);
+        let b = v(10.0, 11.0, 12.0, 13.0);
+        assert_eq!(a.interleave_lo(b).to_array(), [0.0, 10.0, 1.0, 11.0]);
+        assert_eq!(a.interleave_hi(b).to_array(), [2.0, 12.0, 3.0, 13.0]);
+        assert_eq!(a.rotate_lanes_left().to_array(), [1.0, 2.0, 3.0, 0.0]);
+        assert_eq!(a.reverse_lanes().to_array(), [3.0, 2.0, 1.0, 0.0]);
+        assert_eq!(a.swap_halves().to_array(), [2.0, 3.0, 0.0, 1.0]);
+        assert_eq!(a.swap_pairs().to_array(), [1.0, 0.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn clamp_limits_lanes() {
+        let x = v(-5.0, 0.5, 2.0, 99.0);
+        let c = x.clamp(F32x4::splat(0.0), F32x4::splat(1.0));
+        assert_eq!(c.to_array(), [0.0, 0.5, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn transpose_is_involutive() {
+        let rows = [
+            v(0.0, 1.0, 2.0, 3.0),
+            v(4.0, 5.0, 6.0, 7.0),
+            v(8.0, 9.0, 10.0, 11.0),
+            v(12.0, 13.0, 14.0, 15.0),
+        ];
+        let cols = F32x4::transpose4(rows);
+        assert_eq!(cols[0].to_array(), [0.0, 4.0, 8.0, 12.0]);
+        assert_eq!(cols[3].to_array(), [3.0, 7.0, 11.0, 15.0]);
+        let back = F32x4::transpose4(cols);
+        for (r, b) in rows.iter().zip(back.iter()) {
+            assert_eq!(r.to_array(), b.to_array());
+        }
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", v(1.0, 2.0, 3.0, 4.0)), "F32x4(1, 2, 3, 4)");
+    }
+
+    #[test]
+    fn array_conversions() {
+        let x: F32x4 = [1.0, 2.0, 3.0, 4.0].into();
+        let back: [f32; 4] = x.into();
+        assert_eq!(back, [1.0, 2.0, 3.0, 4.0]);
+    }
+}

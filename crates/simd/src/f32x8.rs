@@ -1,0 +1,252 @@
+//! 8-lane single-precision vector built from two 128-bit halves.
+//!
+//! Stands in for AVX on machines (or builds) where only SSE is available —
+//! exactly the "wider SIMD over the same code" axis the MIC part of the
+//! paper explores.
+
+use crate::F32x4;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A vector of eight `f32` lanes (a pair of [`F32x4`]).
+///
+/// ```
+/// use ninja_simd::F32x8;
+/// let v = F32x8::splat(2.0) * F32x8::from_fn(|i| i as f32);
+/// assert_eq!(v.reduce_sum(), 2.0 * (0..8).sum::<i32>() as f32);
+/// ```
+#[derive(Copy, Clone, Default, PartialEq)]
+pub struct F32x8 {
+    lo: F32x4,
+    hi: F32x4,
+}
+
+impl F32x8 {
+    /// Number of lanes.
+    pub const LANES: usize = 8;
+
+    /// Broadcasts `v` to all lanes.
+    #[inline(always)]
+    pub fn splat(v: f32) -> Self {
+        Self {
+            lo: F32x4::splat(v),
+            hi: F32x4::splat(v),
+        }
+    }
+
+    /// The all-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self::splat(0.0)
+    }
+
+    /// Builds a vector lane-by-lane from a function of the lane index.
+    #[inline(always)]
+    pub fn from_fn(mut f: impl FnMut(usize) -> f32) -> Self {
+        Self {
+            lo: F32x4::new(f(0), f(1), f(2), f(3)),
+            hi: F32x4::new(f(4), f(5), f(6), f(7)),
+        }
+    }
+
+    /// Builds a vector from its two 128-bit halves.
+    #[inline(always)]
+    pub fn from_halves(lo: F32x4, hi: F32x4) -> Self {
+        Self { lo, hi }
+    }
+
+    /// Loads eight consecutive lanes from `slice` starting at index 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() < 8`.
+    #[inline(always)]
+    pub fn from_slice(slice: &[f32]) -> Self {
+        assert!(slice.len() >= 8, "F32x8::from_slice needs at least 8 elements");
+        Self {
+            lo: F32x4::from_slice(&slice[..4]),
+            hi: F32x4::from_slice(&slice[4..8]),
+        }
+    }
+
+    /// Returns the lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f32; 8] {
+        let lo = self.lo.to_array();
+        let hi = self.hi.to_array();
+        [lo[0], lo[1], lo[2], lo[3], hi[0], hi[1], hi[2], hi[3]]
+    }
+
+    /// Stores all eight lanes into `slice[..8]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() < 8`.
+    #[inline(always)]
+    pub fn write_to_slice(self, slice: &mut [f32]) {
+        assert!(slice.len() >= 8, "F32x8::write_to_slice needs at least 8 elements");
+        self.lo.write_to_slice(&mut slice[..4]);
+        self.hi.write_to_slice(&mut slice[4..8]);
+    }
+
+    /// The low four lanes.
+    #[inline(always)]
+    pub fn lo(self) -> F32x4 {
+        self.lo
+    }
+
+    /// The high four lanes.
+    #[inline(always)]
+    pub fn hi(self) -> F32x4 {
+        self.hi
+    }
+
+    /// Lane-wise fused-style multiply-add: `self * m + a`.
+    #[inline(always)]
+    pub fn mul_add(self, m: Self, a: Self) -> Self {
+        Self {
+            lo: self.lo.mul_add(m.lo, a.lo),
+            hi: self.hi.mul_add(m.hi, a.hi),
+        }
+    }
+
+    /// Lane-wise minimum.
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        Self {
+            lo: self.lo.min(rhs.lo),
+            hi: self.hi.min(rhs.hi),
+        }
+    }
+
+    /// Lane-wise maximum.
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        Self {
+            lo: self.lo.max(rhs.lo),
+            hi: self.hi.max(rhs.hi),
+        }
+    }
+
+    /// Lane-wise IEEE square root.
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        Self {
+            lo: self.lo.sqrt(),
+            hi: self.hi.sqrt(),
+        }
+    }
+
+    /// Newton-refined reciprocal square root (see [`F32x4::rsqrt`]).
+    #[inline(always)]
+    pub fn rsqrt(self) -> Self {
+        Self {
+            lo: self.lo.rsqrt(),
+            hi: self.hi.rsqrt(),
+        }
+    }
+
+    /// Sum of all eight lanes.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f32 {
+        (self.lo + self.hi).reduce_sum()
+    }
+}
+
+macro_rules! impl_binop_8 {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for F32x8 {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> Self {
+                Self {
+                    lo: $trait::$method(self.lo, rhs.lo),
+                    hi: $trait::$method(self.hi, rhs.hi),
+                }
+            }
+        }
+        impl $assign_trait for F32x8 {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: Self) {
+                *self = $trait::$method(*self, rhs);
+            }
+        }
+    };
+}
+
+impl_binop_8!(Add, add, AddAssign, add_assign);
+impl_binop_8!(Sub, sub, SubAssign, sub_assign);
+impl_binop_8!(Mul, mul, MulAssign, mul_assign);
+impl_binop_8!(Div, div, DivAssign, div_assign);
+
+impl Neg for F32x8 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self {
+            lo: -self.lo,
+            hi: -self.hi,
+        }
+    }
+}
+
+impl fmt::Debug for F32x8 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F32x8({:?})", self.to_array())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_extract() {
+        let v = F32x8::from_fn(|i| i as f32);
+        assert_eq!(v.to_array(), [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(v.lo().to_array(), [0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(v.hi().to_array(), [4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(F32x8::splat(2.0).to_array(), [2.0; 8]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = F32x8::from_fn(|i| i as f32);
+        let b = F32x8::splat(10.0);
+        assert_eq!((a + b).to_array()[7], 17.0);
+        assert_eq!((b - a).to_array()[3], 7.0);
+        assert_eq!((a * b).to_array()[2], 20.0);
+        assert_eq!((b / F32x8::splat(2.0)).to_array(), [5.0; 8]);
+        assert_eq!((-a).to_array()[1], -1.0);
+        assert_eq!(a.mul_add(b, a).to_array()[4], 44.0);
+    }
+
+    #[test]
+    fn reductions_and_math() {
+        let a = F32x8::from_fn(|i| (i + 1) as f32);
+        assert_eq!(a.reduce_sum(), 36.0);
+        let sq = F32x8::from_fn(|i| ((i + 1) * (i + 1)) as f32);
+        assert_eq!(sq.sqrt().to_array(), a.to_array());
+        let r = sq.rsqrt().to_array();
+        for (i, &x) in r.iter().enumerate() {
+            assert!((x - 1.0 / (i + 1) as f32).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let data: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let v = F32x8::from_slice(&data);
+        let mut out = [0.0f32; 8];
+        v.write_to_slice(&mut out);
+        assert_eq!(&out[..], &data[..8]);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = F32x8::from_fn(|i| i as f32);
+        let b = F32x8::splat(3.5);
+        assert_eq!(a.min(b).to_array(), [0.0, 1.0, 2.0, 3.0, 3.5, 3.5, 3.5, 3.5]);
+        assert_eq!(a.max(b).to_array(), [3.5, 3.5, 3.5, 3.5, 4.0, 5.0, 6.0, 7.0]);
+    }
+}

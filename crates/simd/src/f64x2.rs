@@ -1,0 +1,351 @@
+//! 2-lane double-precision vector.
+
+use crate::masks::Mask64x2;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+/// A vector of two `f64` lanes.
+///
+/// Double precision is used by the Monte-Carlo LIBOR kernel, where the
+/// paper's reference implementation accumulates in `double`.
+///
+/// ```
+/// use ninja_simd::F64x2;
+/// let v = F64x2::new(1.0, 2.0) * F64x2::splat(3.0);
+/// assert_eq!(v.to_array(), [3.0, 6.0]);
+/// assert_eq!(v.reduce_sum(), 9.0);
+/// ```
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct F64x2(pub(crate) DRepr);
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) type DRepr = __m128d;
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) type DRepr = [f64; 2];
+
+impl F64x2 {
+    /// Number of lanes.
+    pub const LANES: usize = 2;
+
+    /// Builds a vector with the given lanes, lane 0 first.
+    #[inline(always)]
+    pub fn new(x0: f64, x1: f64) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_set_pd(x1, x0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([x0, x1])
+        }
+    }
+
+    /// Broadcasts `v` to both lanes.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_set1_pd(v))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([v; 2])
+        }
+    }
+
+    /// The all-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self::splat(0.0)
+    }
+
+    /// Loads two consecutive lanes from `slice` starting at index 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() < 2`.
+    #[inline(always)]
+    pub fn from_slice(slice: &[f64]) -> Self {
+        assert!(slice.len() >= 2, "F64x2::from_slice needs at least 2 elements");
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_loadu_pd(slice.as_ptr()))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([slice[0], slice[1]])
+        }
+    }
+
+    /// Converts an array into a vector.
+    #[inline(always)]
+    pub fn from_array(a: [f64; 2]) -> Self {
+        Self::new(a[0], a[1])
+    }
+
+    /// Returns the lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f64; 2] {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            let mut out = [0.0f64; 2];
+            _mm_storeu_pd(out.as_mut_ptr(), self.0);
+            out
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            self.0
+        }
+    }
+
+    /// Stores both lanes into `slice[..2]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() < 2`.
+    #[inline(always)]
+    pub fn write_to_slice(self, slice: &mut [f64]) {
+        assert!(slice.len() >= 2, "F64x2::write_to_slice needs at least 2 elements");
+        slice[..2].copy_from_slice(&self.to_array());
+    }
+
+    /// Returns lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 2`.
+    #[inline(always)]
+    pub fn lane(self, i: usize) -> f64 {
+        self.to_array()[i]
+    }
+
+    /// Lane-wise fused-style multiply-add: `self * m + a`.
+    #[inline(always)]
+    pub fn mul_add(self, m: Self, a: Self) -> Self {
+        self * m + a
+    }
+
+    /// Lane-wise minimum.
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_min_pd(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let (a, b) = (self.0, rhs.0);
+            Self([
+                if a[0] < b[0] { a[0] } else { b[0] },
+                if a[1] < b[1] { a[1] } else { b[1] },
+            ])
+        }
+    }
+
+    /// Lane-wise maximum.
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_max_pd(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let (a, b) = (self.0, rhs.0);
+            Self([
+                if a[0] > b[0] { a[0] } else { b[0] },
+                if a[1] > b[1] { a[1] } else { b[1] },
+            ])
+        }
+    }
+
+    /// Lane-wise IEEE square root.
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_sqrt_pd(self.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([self.0[0].sqrt(), self.0[1].sqrt()])
+        }
+    }
+
+    /// Lane-wise absolute value.
+    #[inline(always)]
+    pub fn abs(self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            let sign_mask = _mm_castsi128_pd(_mm_set1_epi64x(0x7fff_ffff_ffff_ffff));
+            Self(_mm_and_pd(self.0, sign_mask))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([self.0[0].abs(), self.0[1].abs()])
+        }
+    }
+
+    /// Sum of both lanes.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f64 {
+        let a = self.to_array();
+        a[0] + a[1]
+    }
+
+    /// Lane-wise `<` comparison.
+    #[inline(always)]
+    pub fn simd_lt(self, rhs: Self) -> Mask64x2 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Mask64x2(_mm_cmplt_pd(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let m = |x: bool| if x { u64::MAX } else { 0 };
+            Mask64x2([m(self.0[0] < rhs.0[0]), m(self.0[1] < rhs.0[1])])
+        }
+    }
+
+    /// Lane-wise `>` comparison.
+    #[inline(always)]
+    pub fn simd_gt(self, rhs: Self) -> Mask64x2 {
+        rhs.simd_lt(self)
+    }
+}
+
+macro_rules! impl_binop_d {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident, $intrinsic:ident, $op:tt) => {
+        impl $trait for F64x2 {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> Self {
+                #[cfg(target_arch = "x86_64")]
+                unsafe {
+                    Self($intrinsic(self.0, rhs.0))
+                }
+                #[cfg(not(target_arch = "x86_64"))]
+                {
+                    Self([self.0[0] $op rhs.0[0], self.0[1] $op rhs.0[1]])
+                }
+            }
+        }
+        impl $assign_trait for F64x2 {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: Self) {
+                *self = $trait::$method(*self, rhs);
+            }
+        }
+    };
+}
+
+impl_binop_d!(Add, add, AddAssign, add_assign, _mm_add_pd, +);
+impl_binop_d!(Sub, sub, SubAssign, sub_assign, _mm_sub_pd, -);
+impl_binop_d!(Mul, mul, MulAssign, mul_assign, _mm_mul_pd, *);
+impl_binop_d!(Div, div, DivAssign, div_assign, _mm_div_pd, /);
+
+impl Neg for F64x2 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self::zero() - self
+    }
+}
+
+impl Default for F64x2 {
+    #[inline]
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl PartialEq for F64x2 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.to_array() == other.to_array()
+    }
+}
+
+impl fmt::Debug for F64x2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.to_array();
+        write!(f, "F64x2({}, {})", a[0], a[1])
+    }
+}
+
+impl From<[f64; 2]> for F64x2 {
+    #[inline]
+    fn from(a: [f64; 2]) -> Self {
+        Self::from_array(a)
+    }
+}
+
+impl From<F64x2> for [f64; 2] {
+    #[inline]
+    fn from(v: F64x2) -> Self {
+        v.to_array()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_extract() {
+        let x = F64x2::new(1.5, -2.5);
+        assert_eq!(x.to_array(), [1.5, -2.5]);
+        assert_eq!(x.lane(0), 1.5);
+        assert_eq!(F64x2::splat(3.0).to_array(), [3.0, 3.0]);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = F64x2::new(1.0, 2.0);
+        let b = F64x2::new(3.0, 4.0);
+        assert_eq!((a + b).to_array(), [4.0, 6.0]);
+        assert_eq!((a - b).to_array(), [-2.0, -2.0]);
+        assert_eq!((a * b).to_array(), [3.0, 8.0]);
+        assert_eq!((b / a).to_array(), [3.0, 2.0]);
+        assert_eq!((-a).to_array(), [-1.0, -2.0]);
+        let mut c = a;
+        c += b;
+        c *= F64x2::splat(2.0);
+        c -= a;
+        c /= F64x2::splat(2.0);
+        assert_eq!(c.to_array(), [3.5, 5.0]);
+    }
+
+    #[test]
+    fn math_ops() {
+        let a = F64x2::new(4.0, 9.0);
+        assert_eq!(a.sqrt().to_array(), [2.0, 3.0]);
+        assert_eq!(F64x2::new(-1.0, 2.0).abs().to_array(), [1.0, 2.0]);
+        let b = F64x2::new(5.0, 1.0);
+        assert_eq!(a.min(b).to_array(), [4.0, 1.0]);
+        assert_eq!(a.max(b).to_array(), [5.0, 9.0]);
+        assert_eq!(a.mul_add(b, a).to_array(), [24.0, 18.0]);
+        assert_eq!(a.reduce_sum(), 13.0);
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = F64x2::new(1.0, 9.0);
+        let b = F64x2::splat(5.0);
+        assert_eq!(a.simd_lt(b).bitmask(), 0b01);
+        assert_eq!(a.simd_gt(b).bitmask(), 0b10);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let data = [7.0, 8.0, 9.0];
+        let v = F64x2::from_slice(&data);
+        let mut out = [0.0; 2];
+        v.write_to_slice(&mut out);
+        assert_eq!(out, [7.0, 8.0]);
+    }
+}

@@ -1,0 +1,202 @@
+//! 4-lane double-precision vector built from two 128-bit halves.
+
+use crate::F64x2;
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A vector of four `f64` lanes (a pair of [`F64x2`]).
+///
+/// ```
+/// use ninja_simd::F64x4;
+/// let v = F64x4::from_fn(|i| (i + 1) as f64);
+/// assert_eq!(v.reduce_sum(), 10.0);
+/// ```
+#[derive(Copy, Clone, Default, PartialEq)]
+pub struct F64x4 {
+    lo: F64x2,
+    hi: F64x2,
+}
+
+impl F64x4 {
+    /// Number of lanes.
+    pub const LANES: usize = 4;
+
+    /// Broadcasts `v` to all lanes.
+    #[inline(always)]
+    pub fn splat(v: f64) -> Self {
+        Self {
+            lo: F64x2::splat(v),
+            hi: F64x2::splat(v),
+        }
+    }
+
+    /// The all-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self::splat(0.0)
+    }
+
+    /// Builds a vector lane-by-lane from a function of the lane index.
+    #[inline(always)]
+    pub fn from_fn(mut f: impl FnMut(usize) -> f64) -> Self {
+        Self {
+            lo: F64x2::new(f(0), f(1)),
+            hi: F64x2::new(f(2), f(3)),
+        }
+    }
+
+    /// Loads four consecutive lanes from `slice` starting at index 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() < 4`.
+    #[inline(always)]
+    pub fn from_slice(slice: &[f64]) -> Self {
+        assert!(slice.len() >= 4, "F64x4::from_slice needs at least 4 elements");
+        Self {
+            lo: F64x2::from_slice(&slice[..2]),
+            hi: F64x2::from_slice(&slice[2..4]),
+        }
+    }
+
+    /// Returns the lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f64; 4] {
+        let lo = self.lo.to_array();
+        let hi = self.hi.to_array();
+        [lo[0], lo[1], hi[0], hi[1]]
+    }
+
+    /// Stores all four lanes into `slice[..4]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() < 4`.
+    #[inline(always)]
+    pub fn write_to_slice(self, slice: &mut [f64]) {
+        assert!(slice.len() >= 4, "F64x4::write_to_slice needs at least 4 elements");
+        self.lo.write_to_slice(&mut slice[..2]);
+        self.hi.write_to_slice(&mut slice[2..4]);
+    }
+
+    /// Lane-wise fused-style multiply-add: `self * m + a`.
+    #[inline(always)]
+    pub fn mul_add(self, m: Self, a: Self) -> Self {
+        Self {
+            lo: self.lo.mul_add(m.lo, a.lo),
+            hi: self.hi.mul_add(m.hi, a.hi),
+        }
+    }
+
+    /// Lane-wise IEEE square root.
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        Self {
+            lo: self.lo.sqrt(),
+            hi: self.hi.sqrt(),
+        }
+    }
+
+    /// Lane-wise minimum.
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        Self {
+            lo: self.lo.min(rhs.lo),
+            hi: self.hi.min(rhs.hi),
+        }
+    }
+
+    /// Lane-wise maximum.
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        Self {
+            lo: self.lo.max(rhs.lo),
+            hi: self.hi.max(rhs.hi),
+        }
+    }
+
+    /// Sum of all four lanes.
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f64 {
+        (self.lo + self.hi).reduce_sum()
+    }
+}
+
+macro_rules! impl_binop_d4 {
+    ($trait:ident, $method:ident, $assign_trait:ident, $assign_method:ident) => {
+        impl $trait for F64x4 {
+            type Output = Self;
+            #[inline(always)]
+            fn $method(self, rhs: Self) -> Self {
+                Self {
+                    lo: $trait::$method(self.lo, rhs.lo),
+                    hi: $trait::$method(self.hi, rhs.hi),
+                }
+            }
+        }
+        impl $assign_trait for F64x4 {
+            #[inline(always)]
+            fn $assign_method(&mut self, rhs: Self) {
+                *self = $trait::$method(*self, rhs);
+            }
+        }
+    };
+}
+
+impl_binop_d4!(Add, add, AddAssign, add_assign);
+impl_binop_d4!(Sub, sub, SubAssign, sub_assign);
+impl_binop_d4!(Mul, mul, MulAssign, mul_assign);
+impl_binop_d4!(Div, div, DivAssign, div_assign);
+
+impl Neg for F64x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn neg(self) -> Self {
+        Self {
+            lo: -self.lo,
+            hi: -self.hi,
+        }
+    }
+}
+
+impl fmt::Debug for F64x4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F64x4({:?})", self.to_array())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_arithmetic() {
+        let a = F64x4::from_fn(|i| i as f64);
+        let b = F64x4::splat(2.0);
+        assert_eq!((a + b).to_array(), [2.0, 3.0, 4.0, 5.0]);
+        assert_eq!((a - b).to_array(), [-2.0, -1.0, 0.0, 1.0]);
+        assert_eq!((a * b).to_array(), [0.0, 2.0, 4.0, 6.0]);
+        assert_eq!((a / b).to_array(), [0.0, 0.5, 1.0, 1.5]);
+        assert_eq!((-a).to_array(), [0.0, -1.0, -2.0, -3.0]);
+        assert_eq!(a.mul_add(b, a).to_array(), [0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn math_and_reduce() {
+        let a = F64x4::from_fn(|i| ((i + 1) * (i + 1)) as f64);
+        assert_eq!(a.sqrt().to_array(), [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.reduce_sum(), 30.0);
+        let b = F64x4::splat(5.0);
+        assert_eq!(a.min(b).to_array(), [1.0, 4.0, 5.0, 5.0]);
+        assert_eq!(a.max(b).to_array(), [5.0, 5.0, 9.0, 16.0]);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let v = F64x4::from_slice(&data);
+        let mut out = [0.0; 4];
+        v.write_to_slice(&mut out);
+        assert_eq!(out, [1.0, 2.0, 3.0, 4.0]);
+    }
+}

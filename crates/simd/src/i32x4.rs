@@ -1,0 +1,503 @@
+//! 4-lane 32-bit integer vector, used for indices, keys, and counters.
+
+use crate::masks::Mask32x4;
+use crate::F32x4;
+use core::fmt;
+use core::ops::{Add, AddAssign, BitAnd, BitOr, BitXor, Mul, Shl, Shr, Sub, SubAssign};
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+/// A vector of four `i32` lanes.
+///
+/// Used by the Ninja kernels for SIMD index arithmetic (volume rendering,
+/// back-projection), multi-key comparisons (tree search), and counters.
+///
+/// ```
+/// use ninja_simd::I32x4;
+/// let a = I32x4::new(1, 2, 3, 4);
+/// let b = a + I32x4::splat(10);
+/// assert_eq!(b.to_array(), [11, 12, 13, 14]);
+/// assert_eq!((b << 1).to_array(), [22, 24, 26, 28]);
+/// ```
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct I32x4(pub(crate) IRepr);
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) type IRepr = __m128i;
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) type IRepr = [i32; 4];
+
+impl I32x4 {
+    /// Number of lanes.
+    pub const LANES: usize = 4;
+
+    /// Builds a vector with the given lanes, lane 0 first.
+    #[inline(always)]
+    pub fn new(x0: i32, x1: i32, x2: i32, x3: i32) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_set_epi32(x3, x2, x1, x0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([x0, x1, x2, x3])
+        }
+    }
+
+    /// Broadcasts `v` to all lanes.
+    #[inline(always)]
+    pub fn splat(v: i32) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_set1_epi32(v))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([v; 4])
+        }
+    }
+
+    /// The all-zero vector.
+    #[inline(always)]
+    pub fn zero() -> Self {
+        Self::splat(0)
+    }
+
+    /// Loads four consecutive lanes from `slice` starting at index 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() < 4`.
+    #[inline(always)]
+    pub fn from_slice(slice: &[i32]) -> Self {
+        assert!(slice.len() >= 4, "I32x4::from_slice needs at least 4 elements");
+        Self::new(slice[0], slice[1], slice[2], slice[3])
+    }
+
+    /// Converts an array into a vector.
+    #[inline(always)]
+    pub fn from_array(a: [i32; 4]) -> Self {
+        Self::new(a[0], a[1], a[2], a[3])
+    }
+
+    /// Returns the lanes as an array.
+    #[inline(always)]
+    pub fn to_array(self) -> [i32; 4] {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            let mut out = [0i32; 4];
+            _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, self.0);
+            out
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            self.0
+        }
+    }
+
+    /// Stores the four lanes into `slice[..4]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() < 4`.
+    #[inline(always)]
+    pub fn write_to_slice(self, slice: &mut [i32]) {
+        assert!(slice.len() >= 4, "I32x4::write_to_slice needs at least 4 elements");
+        slice[..4].copy_from_slice(&self.to_array());
+    }
+
+    /// Returns lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    #[inline(always)]
+    pub fn lane(self, i: usize) -> i32 {
+        self.to_array()[i]
+    }
+
+    /// Converts lanes to `f32`.
+    #[inline(always)]
+    pub fn to_f32(self) -> F32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            F32x4(_mm_cvtepi32_ps(self.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            F32x4::new(a[0] as f32, a[1] as f32, a[2] as f32, a[3] as f32)
+        }
+    }
+
+    /// Lane-wise `==` comparison.
+    #[inline(always)]
+    pub fn simd_eq(self, rhs: Self) -> Mask32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Mask32x4(_mm_castsi128_ps(_mm_cmpeq_epi32(self.0, rhs.0)))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Mask32x4(icmp(self.0, rhs.0, |a, b| a == b))
+        }
+    }
+
+    /// Lane-wise signed `>` comparison.
+    #[inline(always)]
+    pub fn simd_gt(self, rhs: Self) -> Mask32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Mask32x4(_mm_castsi128_ps(_mm_cmpgt_epi32(self.0, rhs.0)))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Mask32x4(icmp(self.0, rhs.0, |a, b| a > b))
+        }
+    }
+
+    /// Lane-wise signed `<` comparison.
+    #[inline(always)]
+    pub fn simd_lt(self, rhs: Self) -> Mask32x4 {
+        rhs.simd_gt(self)
+    }
+
+    /// Lane-wise signed minimum (SSE2-compatible compare-and-blend).
+    #[inline(always)]
+    pub fn min(self, rhs: Self) -> Self {
+        self.simd_lt(rhs).select_i32(self, rhs)
+    }
+
+    /// Lane-wise signed maximum (SSE2-compatible compare-and-blend).
+    #[inline(always)]
+    pub fn max(self, rhs: Self) -> Self {
+        self.simd_gt(rhs).select_i32(self, rhs)
+    }
+
+    /// Software gather: `[base[idx.lane(0)], .., base[idx.lane(3)]]`.
+    ///
+    /// Integer counterpart of [`crate::F32x4::gather`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds or negative.
+    #[inline(always)]
+    pub fn gather(base: &[i32], idx: I32x4) -> Self {
+        let i = idx.to_array();
+        Self::new(
+            base[i[0] as usize],
+            base[i[1] as usize],
+            base[i[2] as usize],
+            base[i[3] as usize],
+        )
+    }
+
+    /// Sum of all four lanes (wrapping).
+    #[inline(always)]
+    pub fn reduce_sum(self) -> i32 {
+        let a = self.to_array();
+        a[0].wrapping_add(a[1]).wrapping_add(a[2]).wrapping_add(a[3])
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline(always)]
+fn icmp(a: [i32; 4], b: [i32; 4], f: impl Fn(i32, i32) -> bool) -> [u32; 4] {
+    let m = |x: bool| if x { u32::MAX } else { 0 };
+    [
+        m(f(a[0], b[0])),
+        m(f(a[1], b[1])),
+        m(f(a[2], b[2])),
+        m(f(a[3], b[3])),
+    ]
+}
+
+impl Add for I32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_add_epi32(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let (a, b) = (self.0, rhs.0);
+            Self([
+                a[0].wrapping_add(b[0]),
+                a[1].wrapping_add(b[1]),
+                a[2].wrapping_add(b[2]),
+                a[3].wrapping_add(b[3]),
+            ])
+        }
+    }
+}
+
+impl Sub for I32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_sub_epi32(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let (a, b) = (self.0, rhs.0);
+            Self([
+                a[0].wrapping_sub(b[0]),
+                a[1].wrapping_sub(b[1]),
+                a[2].wrapping_sub(b[2]),
+                a[3].wrapping_sub(b[3]),
+            ])
+        }
+    }
+}
+
+impl Mul for I32x4 {
+    type Output = Self;
+    /// Lane-wise wrapping multiply.
+    ///
+    /// SSE2 has no 32-bit `mullo`, so the x86 path combines two widening
+    /// multiplies with shuffles — the same sequence SSE2-era Ninja code used.
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            let even = _mm_mul_epu32(self.0, rhs.0); // lanes 0,2 (64-bit)
+            let odd = _mm_mul_epu32(_mm_srli_si128::<4>(self.0), _mm_srli_si128::<4>(rhs.0));
+            let even_lo = _mm_shuffle_epi32::<0b00_00_10_00>(even);
+            let odd_lo = _mm_shuffle_epi32::<0b00_00_10_00>(odd);
+            Self(_mm_unpacklo_epi32(even_lo, odd_lo))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let (a, b) = (self.0, rhs.0);
+            Self([
+                a[0].wrapping_mul(b[0]),
+                a[1].wrapping_mul(b[1]),
+                a[2].wrapping_mul(b[2]),
+                a[3].wrapping_mul(b[3]),
+            ])
+        }
+    }
+}
+
+impl AddAssign for I32x4 {
+    #[inline(always)]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for I32x4 {
+    #[inline(always)]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl BitAnd for I32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitand(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_and_si128(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let (a, b) = (self.0, rhs.0);
+            Self([a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]])
+        }
+    }
+}
+
+impl BitOr for I32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitor(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_or_si128(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let (a, b) = (self.0, rhs.0);
+            Self([a[0] | b[0], a[1] | b[1], a[2] | b[2], a[3] | b[3]])
+        }
+    }
+}
+
+impl BitXor for I32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitxor(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_xor_si128(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let (a, b) = (self.0, rhs.0);
+            Self([a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]])
+        }
+    }
+}
+
+impl Shl<i32> for I32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn shl(self, shift: i32) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_sll_epi32(self.0, _mm_cvtsi32_si128(shift)))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            Self([
+                a[0].wrapping_shl(shift as u32),
+                a[1].wrapping_shl(shift as u32),
+                a[2].wrapping_shl(shift as u32),
+                a[3].wrapping_shl(shift as u32),
+            ])
+        }
+    }
+}
+
+impl Shr<i32> for I32x4 {
+    type Output = Self;
+    /// Arithmetic (sign-extending) right shift.
+    #[inline(always)]
+    fn shr(self, shift: i32) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_sra_epi32(self.0, _mm_cvtsi32_si128(shift)))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let a = self.0;
+            Self([
+                a[0] >> shift,
+                a[1] >> shift,
+                a[2] >> shift,
+                a[3] >> shift,
+            ])
+        }
+    }
+}
+
+impl Default for I32x4 {
+    #[inline]
+    fn default() -> Self {
+        Self::zero()
+    }
+}
+
+impl PartialEq for I32x4 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.to_array() == other.to_array()
+    }
+}
+
+impl Eq for I32x4 {}
+
+impl fmt::Debug for I32x4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let a = self.to_array();
+        write!(f, "I32x4({}, {}, {}, {})", a[0], a[1], a[2], a[3])
+    }
+}
+
+impl From<[i32; 4]> for I32x4 {
+    #[inline]
+    fn from(a: [i32; 4]) -> Self {
+        Self::from_array(a)
+    }
+}
+
+impl From<I32x4> for [i32; 4] {
+    #[inline]
+    fn from(v: I32x4) -> Self {
+        v.to_array()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_extract() {
+        let x = I32x4::new(1, -2, 3, -4);
+        assert_eq!(x.to_array(), [1, -2, 3, -4]);
+        assert_eq!(x.lane(1), -2);
+        assert_eq!(I32x4::splat(9).to_array(), [9; 4]);
+        assert_eq!(I32x4::default(), I32x4::zero());
+    }
+
+    #[test]
+    fn arithmetic_wraps() {
+        let a = I32x4::new(i32::MAX, 1, 2, 3);
+        let b = I32x4::splat(1);
+        assert_eq!((a + b).lane(0), i32::MIN);
+        assert_eq!((a - b).to_array(), [i32::MAX - 1, 0, 1, 2]);
+        let m = I32x4::new(3, -4, 5, 1 << 20) * I32x4::new(7, 6, -5, 1 << 20);
+        assert_eq!(m.to_array(), [21, -24, -25, (1i32 << 20).wrapping_mul(1 << 20)]);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = I32x4::new(1, 2, -8, 16);
+        assert_eq!((a << 2).to_array(), [4, 8, -32, 64]);
+        assert_eq!((a >> 1).to_array(), [0, 1, -4, 8]); // arithmetic shift
+    }
+
+    #[test]
+    fn bit_ops() {
+        let a = I32x4::new(0b1100, 0b1010, -1, 0);
+        let b = I32x4::splat(0b0110);
+        assert_eq!((a & b).to_array(), [0b0100, 0b0010, 0b0110, 0]);
+        assert_eq!((a | b).to_array(), [0b1110, 0b1110, -1, 0b0110]);
+        assert_eq!((a ^ b).to_array(), [0b1010, 0b1100, !0b0110, 0b0110]);
+    }
+
+    #[test]
+    fn comparisons_and_minmax() {
+        let a = I32x4::new(1, 5, -3, 0);
+        let b = I32x4::new(2, 5, -4, 1);
+        assert_eq!(a.simd_eq(b).bitmask(), 0b0010);
+        assert_eq!(a.simd_gt(b).bitmask(), 0b0100);
+        assert_eq!(a.simd_lt(b).bitmask(), 0b1001);
+        assert_eq!(a.min(b).to_array(), [1, 5, -4, 0]);
+        assert_eq!(a.max(b).to_array(), [2, 5, -3, 1]);
+    }
+
+    #[test]
+    fn conversion_and_reduction() {
+        let a = I32x4::new(1, 2, 3, 4);
+        assert_eq!(a.to_f32().to_array(), [1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.reduce_sum(), 10);
+        assert_eq!(I32x4::splat(i32::MAX).reduce_sum(), i32::MAX.wrapping_mul(4));
+    }
+
+    #[test]
+    fn gather_reads_indexed_lanes() {
+        let table: Vec<i32> = (0..10).map(|i| i * 100).collect();
+        let g = I32x4::gather(&table, I32x4::new(9, 0, 3, 3));
+        assert_eq!(g.to_array(), [900, 0, 300, 300]);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let data = [5, 6, 7, 8, 9];
+        let v = I32x4::from_slice(&data);
+        let mut out = [0i32; 4];
+        v.write_to_slice(&mut out);
+        assert_eq!(out, [5, 6, 7, 8]);
+    }
+}

@@ -1,0 +1,439 @@
+//! Lane masks produced by SIMD comparisons, used for branch-free selection.
+
+use crate::{F32x4, F64x2, I32x4};
+use core::fmt;
+use core::ops::{BitAnd, BitOr, BitXor, Not};
+
+#[cfg(target_arch = "x86_64")]
+use core::arch::x86_64::*;
+
+/// A mask over four 32-bit lanes (the result of [`F32x4`]/[`I32x4`]
+/// comparisons).
+///
+/// Each lane is either all-ones (true) or all-zeros (false). Masks support
+/// the usual boolean algebra and drive branch-free [`select`](Mask32x4::select),
+/// which is how Ninja kernels replace data-dependent branches (e.g. early
+/// ray termination in volume rendering) with predication.
+///
+/// ```
+/// use ninja_simd::F32x4;
+/// let m = F32x4::new(1.0, 5.0, 2.0, 8.0).simd_gt(F32x4::splat(3.0));
+/// assert_eq!(m.bitmask(), 0b1010);
+/// assert!(m.any());
+/// assert!(!m.all());
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct Mask32x4(pub(crate) MaskRepr32);
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) type MaskRepr32 = __m128;
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) type MaskRepr32 = [u32; 4];
+
+impl Mask32x4 {
+    /// Number of lanes.
+    pub const LANES: usize = 4;
+
+    /// Mask with all lanes false.
+    #[inline(always)]
+    pub fn none() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_setzero_ps())
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([0; 4])
+        }
+    }
+
+    /// Mask with all lanes true.
+    #[inline(always)]
+    pub fn all_true() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_castsi128_ps(_mm_set1_epi32(-1)))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([u32::MAX; 4])
+        }
+    }
+
+    /// Builds a mask from four booleans, lane 0 first.
+    #[inline(always)]
+    pub fn from_bools(b0: bool, b1: bool, b2: bool, b3: bool) -> Self {
+        let l = |b: bool| if b { -1i32 } else { 0 };
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_castsi128_ps(_mm_set_epi32(l(b3), l(b2), l(b1), l(b0))))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([l(b0) as u32, l(b1) as u32, l(b2) as u32, l(b3) as u32])
+        }
+    }
+
+    /// Packs lane truth values into the low four bits (lane 0 = bit 0).
+    #[inline(always)]
+    pub fn bitmask(self) -> u8 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            _mm_movemask_ps(self.0) as u8
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let mut bits = 0u8;
+            for (i, l) in self.0.iter().enumerate() {
+                if *l != 0 {
+                    bits |= 1 << i;
+                }
+            }
+            bits
+        }
+    }
+
+    /// True if any lane is true.
+    #[inline(always)]
+    pub fn any(self) -> bool {
+        self.bitmask() != 0
+    }
+
+    /// True if every lane is true.
+    #[inline(always)]
+    pub fn all(self) -> bool {
+        self.bitmask() == 0b1111
+    }
+
+    /// Number of true lanes.
+    #[inline(always)]
+    pub fn count(self) -> u32 {
+        self.bitmask().count_ones()
+    }
+
+    /// Returns the truth value of lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    #[inline(always)]
+    pub fn lane(self, i: usize) -> bool {
+        assert!(i < 4, "lane index out of range");
+        self.bitmask() & (1 << i) != 0
+    }
+
+    /// Lane-wise `if mask { on_true } else { on_false }` for floats.
+    #[inline(always)]
+    pub fn select(self, on_true: F32x4, on_false: F32x4) -> F32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            // (mask & on_true) | (!mask & on_false)
+            F32x4(_mm_or_ps(
+                _mm_and_ps(self.0, on_true.0),
+                _mm_andnot_ps(self.0, on_false.0),
+            ))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let mut out = [0.0f32; 4];
+            let t = on_true.to_array();
+            let f = on_false.to_array();
+            for i in 0..4 {
+                out[i] = if self.0[i] != 0 { t[i] } else { f[i] };
+            }
+            F32x4::from_array(out)
+        }
+    }
+
+    /// Lane-wise `if mask { on_true } else { on_false }` for integers.
+    #[inline(always)]
+    pub fn select_i32(self, on_true: I32x4, on_false: I32x4) -> I32x4 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            let m = _mm_castps_si128(self.0);
+            I32x4(_mm_or_si128(
+                _mm_and_si128(m, on_true.0),
+                _mm_andnot_si128(m, on_false.0),
+            ))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let mut out = [0i32; 4];
+            let t = on_true.to_array();
+            let f = on_false.to_array();
+            for i in 0..4 {
+                out[i] = if self.0[i] != 0 { t[i] } else { f[i] };
+            }
+            I32x4::from_array(out)
+        }
+    }
+}
+
+impl BitAnd for Mask32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitand(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_and_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let mut out = [0u32; 4];
+            for i in 0..4 {
+                out[i] = self.0[i] & rhs.0[i];
+            }
+            Self(out)
+        }
+    }
+}
+
+impl BitOr for Mask32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitor(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_or_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let mut out = [0u32; 4];
+            for i in 0..4 {
+                out[i] = self.0[i] | rhs.0[i];
+            }
+            Self(out)
+        }
+    }
+}
+
+impl BitXor for Mask32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitxor(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_xor_ps(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let mut out = [0u32; 4];
+            for i in 0..4 {
+                out[i] = self.0[i] ^ rhs.0[i];
+            }
+            Self(out)
+        }
+    }
+}
+
+impl Not for Mask32x4 {
+    type Output = Self;
+    #[inline(always)]
+    fn not(self) -> Self {
+        self ^ Self::all_true()
+    }
+}
+
+impl Default for Mask32x4 {
+    #[inline]
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl PartialEq for Mask32x4 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.bitmask() == other.bitmask()
+    }
+}
+
+impl Eq for Mask32x4 {}
+
+impl fmt::Debug for Mask32x4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Mask32x4({}, {}, {}, {})",
+            self.lane(0),
+            self.lane(1),
+            self.lane(2),
+            self.lane(3)
+        )
+    }
+}
+
+/// A mask over two 64-bit lanes (the result of [`F64x2`] comparisons).
+///
+/// Semantics mirror [`Mask32x4`] with two lanes.
+#[derive(Copy, Clone)]
+#[repr(transparent)]
+pub struct Mask64x2(pub(crate) MaskRepr64);
+
+#[cfg(target_arch = "x86_64")]
+pub(crate) type MaskRepr64 = __m128d;
+#[cfg(not(target_arch = "x86_64"))]
+pub(crate) type MaskRepr64 = [u64; 2];
+
+impl Mask64x2 {
+    /// Number of lanes.
+    pub const LANES: usize = 2;
+
+    /// Mask with all lanes false.
+    #[inline(always)]
+    pub fn none() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_setzero_pd())
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([0; 2])
+        }
+    }
+
+    /// Mask with all lanes true.
+    #[inline(always)]
+    pub fn all_true() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            Self(_mm_castsi128_pd(_mm_set1_epi32(-1)))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([u64::MAX; 2])
+        }
+    }
+
+    /// Packs lane truth values into the low two bits (lane 0 = bit 0).
+    #[inline(always)]
+    pub fn bitmask(self) -> u8 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            _mm_movemask_pd(self.0) as u8
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let mut bits = 0u8;
+            for (i, l) in self.0.iter().enumerate() {
+                if *l != 0 {
+                    bits |= 1 << i;
+                }
+            }
+            bits
+        }
+    }
+
+    /// True if any lane is true.
+    #[inline(always)]
+    pub fn any(self) -> bool {
+        self.bitmask() != 0
+    }
+
+    /// True if every lane is true.
+    #[inline(always)]
+    pub fn all(self) -> bool {
+        self.bitmask() == 0b11
+    }
+
+    /// Lane-wise `if mask { on_true } else { on_false }` for doubles.
+    #[inline(always)]
+    pub fn select(self, on_true: F64x2, on_false: F64x2) -> F64x2 {
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            F64x2(_mm_or_pd(
+                _mm_and_pd(self.0, on_true.0),
+                _mm_andnot_pd(self.0, on_false.0),
+            ))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let mut out = [0.0f64; 2];
+            let t = on_true.to_array();
+            let f = on_false.to_array();
+            for i in 0..2 {
+                out[i] = if self.0[i] != 0 { t[i] } else { f[i] };
+            }
+            F64x2::from_array(out)
+        }
+    }
+}
+
+impl Default for Mask64x2 {
+    #[inline]
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl PartialEq for Mask64x2 {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.bitmask() == other.bitmask()
+    }
+}
+
+impl Eq for Mask64x2 {}
+
+impl fmt::Debug for Mask64x2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.bitmask();
+        write!(f, "Mask64x2({}, {})", b & 1 != 0, b & 2 != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boolean_algebra() {
+        let a = Mask32x4::from_bools(true, false, true, false);
+        let b = Mask32x4::from_bools(true, true, false, false);
+        assert_eq!((a & b).bitmask(), 0b0001);
+        assert_eq!((a | b).bitmask(), 0b0111);
+        assert_eq!((a ^ b).bitmask(), 0b0110);
+        assert_eq!((!a).bitmask(), 0b1010);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(!Mask32x4::none().any());
+        assert!(Mask32x4::all_true().all());
+        assert_eq!(Mask32x4::all_true().count(), 4);
+        let m = Mask32x4::from_bools(false, true, false, true);
+        assert!(m.any());
+        assert!(!m.all());
+        assert_eq!(m.count(), 2);
+        assert!(!m.lane(0));
+        assert!(m.lane(1));
+    }
+
+    #[test]
+    fn select_i32_lanes() {
+        let m = Mask32x4::from_bools(true, false, false, true);
+        let t = I32x4::new(1, 2, 3, 4);
+        let f = I32x4::new(-1, -2, -3, -4);
+        assert_eq!(m.select_i32(t, f).to_array(), [1, -2, -3, 4]);
+    }
+
+    #[test]
+    fn mask64_basics() {
+        assert!(!Mask64x2::none().any());
+        assert!(Mask64x2::all_true().all());
+        let m = F64x2::new(1.0, 3.0).simd_lt(F64x2::splat(2.0));
+        assert_eq!(m.bitmask(), 0b01);
+        let s = m.select(F64x2::splat(9.0), F64x2::splat(0.0));
+        assert_eq!(s.to_array(), [9.0, 0.0]);
+    }
+
+    #[test]
+    fn default_and_eq() {
+        assert_eq!(Mask32x4::default(), Mask32x4::none());
+        assert_eq!(Mask64x2::default(), Mask64x2::none());
+        assert!(format!("{:?}", Mask32x4::none()).contains("false"));
+        assert!(format!("{:?}", Mask64x2::all_true()).contains("true"));
+    }
+}

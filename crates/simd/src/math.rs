@@ -1,0 +1,258 @@
+//! Vectorized transcendental math.
+//!
+//! The paper's financial kernels (BlackScholes, Libor) are dominated by
+//! `exp`/`log`/normal-CDF evaluations; ICC vectorizes them by calling the
+//! SVML vector math library. This module is the reproduction's SVML stand-in:
+//! Cephes-style polynomial kernels evaluated lane-wise on [`F32x4`]/[`F32x8`].
+//!
+//! Accuracy targets (tested in this module and by property tests):
+//!
+//! * [`exp_v4`]: relative error < 1e-6 over `[-87, 88]`.
+//! * [`ln_v4`]: relative error < 1e-6 for normal positive inputs.
+//! * [`norm_cdf_v4`]: absolute error < 1e-6 over `[-10, 10]`
+//!   (Abramowitz & Stegun 26.2.17, the classic Black-Scholes CND).
+
+use crate::{F32x4, F32x8, I32x4};
+
+const EXP_HI: f32 = 88.376_26;
+const EXP_LO: f32 = -87.336_54;
+const LOG2E: f32 = 1.442_695_04;
+// ln(2) split into a high part exactly representable in f32 and a low
+// correction, so that `x - n*ln2` stays accurate (Cody-Waite reduction).
+const LN2_HI: f32 = 0.693_359_375;
+const LN2_LO: f32 = -2.121_944_4e-4;
+
+/// Lane-wise `e^x` on four lanes.
+///
+/// Inputs are clamped to `[-87.3, 88.4]` (beyond which `f32` under/overflows),
+/// then reduced as `x = n·ln2 + r` and reconstructed from a degree-5
+/// polynomial in `r` scaled by `2^n`.
+///
+/// ```
+/// use ninja_simd::{F32x4, math};
+/// let y = math::exp_v4(F32x4::new(0.0, 1.0, -1.0, 2.0)).to_array();
+/// assert!((y[1] - std::f32::consts::E).abs() < 1e-5);
+/// ```
+#[inline]
+pub fn exp_v4(x: F32x4) -> F32x4 {
+    let x = x.min(F32x4::splat(EXP_HI)).max(F32x4::splat(EXP_LO));
+
+    // n = round(x / ln2), computed as floor(x*log2e + 0.5).
+    let fx = x.mul_add(F32x4::splat(LOG2E), F32x4::splat(0.5)).floor();
+
+    // r = x - n*ln2, in two steps for accuracy.
+    let r = x - fx * F32x4::splat(LN2_HI) - fx * F32x4::splat(LN2_LO);
+
+    // Degree-5 minimax polynomial for e^r on [-ln2/2, ln2/2] (Cephes expf).
+    let mut p = F32x4::splat(1.987_569_1e-4);
+    p = p.mul_add(r, F32x4::splat(1.398_199_9e-3));
+    p = p.mul_add(r, F32x4::splat(8.333_452e-3));
+    p = p.mul_add(r, F32x4::splat(4.166_579_6e-2));
+    p = p.mul_add(r, F32x4::splat(1.666_666_6e-1));
+    p = p.mul_add(r, F32x4::splat(0.5));
+    let y = p.mul_add(r * r, r + F32x4::splat(1.0));
+
+    // 2^n assembled directly in the exponent field.
+    let n = fx.to_i32_trunc();
+    let pow2n = F32x4::from_bits((n + I32x4::splat(127)) << 23);
+    y * pow2n
+}
+
+/// Lane-wise natural logarithm on four lanes.
+///
+/// Returns a platform-dependent garbage value (not a trap) for
+/// non-positive or non-finite lanes, like SVML's fast variants; callers in
+/// this workspace only pass positive finite values. Relative error is below
+/// 1e-6 for normal positive inputs.
+#[inline]
+pub fn ln_v4(x: F32x4) -> F32x4 {
+    // Decompose x = m * 2^e with m in [sqrt(0.5), sqrt(2)).
+    let bits = x.to_bits();
+    let exp_raw = (bits >> 23) - I32x4::splat(127);
+    // Mantissa with exponent forced to 0 => m in [1, 2).
+    let mant_bits = (bits & I32x4::splat(0x007f_ffff)) | I32x4::splat(0x3f80_0000);
+    let m = F32x4::from_bits(mant_bits);
+
+    // Fold m into [sqrt(0.5), sqrt(2)): if m > sqrt(2), halve it and bump e.
+    let sqrt2 = F32x4::splat(std::f32::consts::SQRT_2);
+    let fold = m.simd_gt(sqrt2);
+    let m = fold.select(m * F32x4::splat(0.5), m);
+    let e = fold
+        .select_i32(exp_raw + I32x4::splat(1), exp_raw)
+        .to_f32();
+
+    // ln(m) via atanh identity: ln(m) = 2·atanh((m-1)/(m+1)).
+    let one = F32x4::splat(1.0);
+    let t = (m - one) / (m + one);
+    let t2 = t * t;
+    // Degree-4 polynomial in t^2 for 2*atanh(t)/t.
+    let mut p = F32x4::splat(2.0 / 9.0);
+    p = p.mul_add(t2, F32x4::splat(2.0 / 7.0));
+    p = p.mul_add(t2, F32x4::splat(2.0 / 5.0));
+    p = p.mul_add(t2, F32x4::splat(2.0 / 3.0));
+    p = p.mul_add(t2, F32x4::splat(2.0));
+    let ln_m = p * t;
+
+    e.mul_add(F32x4::splat(std::f32::consts::LN_2), ln_m)
+}
+
+/// Lane-wise standard normal CDF on four lanes.
+///
+/// Abramowitz & Stegun 26.2.17 (the formula used by virtually every
+/// Black-Scholes benchmark, including the paper's): absolute error < 7.5e-8
+/// in exact arithmetic, < 1e-6 here in `f32`.
+#[inline]
+pub fn norm_cdf_v4(x: F32x4) -> F32x4 {
+    let one = F32x4::splat(1.0);
+    let ax = x.abs();
+    let k = one / ax.mul_add(F32x4::splat(0.231_641_9), one);
+
+    let mut poly = F32x4::splat(1.330_274_429);
+    poly = poly.mul_add(k, F32x4::splat(-1.821_255_978));
+    poly = poly.mul_add(k, F32x4::splat(1.781_477_937));
+    poly = poly.mul_add(k, F32x4::splat(-0.356_563_782));
+    poly = poly.mul_add(k, F32x4::splat(0.319_381_530));
+    poly = poly * k;
+
+    // phi(ax) = exp(-ax^2/2) / sqrt(2*pi)
+    let inv_sqrt_2pi = F32x4::splat(0.398_942_28);
+    let pdf = inv_sqrt_2pi * exp_v4(-(ax * ax) * F32x4::splat(0.5));
+
+    let cdf_pos = one - pdf * poly;
+    // Reflect for negative inputs: N(-x) = 1 - N(x).
+    x.simd_ge(F32x4::zero()).select(cdf_pos, one - cdf_pos)
+}
+
+/// Lane-wise `e^x` on eight lanes (two [`exp_v4`] halves).
+#[inline]
+pub fn exp_v8(x: F32x8) -> F32x8 {
+    F32x8::from_halves(exp_v4(x.lo()), exp_v4(x.hi()))
+}
+
+/// Lane-wise natural logarithm on eight lanes (two [`ln_v4`] halves).
+#[inline]
+pub fn ln_v8(x: F32x8) -> F32x8 {
+    F32x8::from_halves(ln_v4(x.lo()), ln_v4(x.hi()))
+}
+
+/// Lane-wise standard normal CDF on eight lanes (two [`norm_cdf_v4`] halves).
+#[inline]
+pub fn norm_cdf_v8(x: F32x8) -> F32x8 {
+    F32x8::from_halves(norm_cdf_v4(x.lo()), norm_cdf_v4(x.hi()))
+}
+
+/// Scalar standard normal CDF (same A&S 26.2.17 formula, `f64` arithmetic).
+///
+/// This is the reference the vector version is validated against, and the
+/// implementation the *naive* Black-Scholes kernel calls per element.
+#[inline]
+pub fn norm_cdf_scalar(x: f64) -> f64 {
+    let ax = x.abs();
+    let k = 1.0 / (1.0 + 0.2316419 * ax);
+    let poly = k
+        * (0.319381530
+            + k * (-0.356563782 + k * (1.781477937 + k * (-1.821255978 + k * 1.330274429))));
+    let pdf = (-(ax * ax) * 0.5).exp() * 0.39894228040143267;
+    let cdf_pos = 1.0 - pdf * poly;
+    if x >= 0.0 {
+        cdf_pos
+    } else {
+        1.0 - cdf_pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_v4(f: impl Fn(F32x4) -> F32x4, reference: impl Fn(f32) -> f32, xs: &[f32], tol: f32) {
+        for chunk in xs.chunks(4) {
+            let mut padded = [chunk[0]; 4];
+            padded[..chunk.len()].copy_from_slice(chunk);
+            let got = f(F32x4::from_array(padded)).to_array();
+            for i in 0..chunk.len() {
+                let want = reference(padded[i]);
+                let err = (got[i] - want).abs() / want.abs().max(1e-30);
+                assert!(
+                    err < tol,
+                    "x={} got={} want={} rel_err={}",
+                    padded[i],
+                    got[i],
+                    want,
+                    err
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exp_matches_std() {
+        let xs: Vec<f32> = (-860..880).map(|i| i as f32 * 0.1).collect();
+        check_v4(exp_v4, f32::exp, &xs, 2e-6);
+    }
+
+    #[test]
+    fn exp_extreme_inputs_clamped() {
+        let y = exp_v4(F32x4::new(-1000.0, 1000.0, 0.0, 88.0)).to_array();
+        assert!(y[0] > 0.0 && y[0] < 1e-37, "underflow clamp: {}", y[0]);
+        assert!(y[1].is_finite() && y[1] > 1e38, "overflow clamp: {}", y[1]);
+        assert!((y[2] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ln_matches_std() {
+        let xs: Vec<f32> = (1..2000)
+            .map(|i| i as f32 * 0.05)
+            .chain([1e-6, 1e6, 3.3e7, 0.999, 1.001])
+            .collect();
+        check_v4(ln_v4, f32::ln, &xs, 2e-6);
+    }
+
+    #[test]
+    fn ln_exp_roundtrip() {
+        for &x in &[0.1f32, 0.5, 1.0, 2.0, 10.0, 42.0] {
+            let rt = ln_v4(exp_v4(F32x4::splat(x))).lane(0);
+            assert!((rt - x).abs() < 1e-4, "roundtrip {x} -> {rt}");
+        }
+    }
+
+    #[test]
+    fn norm_cdf_matches_scalar_reference() {
+        for i in -100..=100 {
+            let x = i as f32 * 0.1;
+            let got = norm_cdf_v4(F32x4::splat(x)).lane(0);
+            let want = norm_cdf_scalar(x as f64) as f32;
+            assert!(
+                (got - want).abs() < 2e-6,
+                "x={x} got={got} want={want}"
+            );
+        }
+    }
+
+    #[test]
+    fn norm_cdf_basic_properties() {
+        let y = norm_cdf_v4(F32x4::new(0.0, -8.0, 8.0, 1.0)).to_array();
+        assert!((y[0] - 0.5).abs() < 1e-6);
+        assert!(y[1] < 1e-6);
+        assert!(y[2] > 1.0 - 1e-6);
+        assert!((y[3] - 0.841_344_7).abs() < 1e-5);
+        // Symmetry: N(x) + N(-x) == 1.
+        for i in 0..40 {
+            let x = i as f32 * 0.25;
+            let s = norm_cdf_v4(F32x4::splat(x)).lane(0) + norm_cdf_v4(F32x4::splat(-x)).lane(0);
+            assert!((s - 1.0).abs() < 2e-6);
+        }
+    }
+
+    #[test]
+    fn v8_matches_v4_halves() {
+        let x = F32x8::from_fn(|i| i as f32 * 0.3 - 1.0);
+        assert_eq!(exp_v8(x).to_array()[..4], exp_v4(x.lo()).to_array());
+        let pos = F32x8::from_fn(|i| (i + 1) as f32);
+        assert_eq!(ln_v8(pos).to_array()[4..], ln_v4(pos.hi()).to_array());
+        assert_eq!(
+            norm_cdf_v8(x).to_array()[..4],
+            norm_cdf_v4(x.lo()).to_array()
+        );
+    }
+}

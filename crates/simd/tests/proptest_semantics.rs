@@ -1,0 +1,170 @@
+//! Property tests: every SIMD operation must agree lane-exactly with the
+//! corresponding scalar operation (or within documented tolerance for the
+//! approximate transcendentals).
+
+use ninja_simd::{math, F32x4, F64x2, I32x4, Mask32x4};
+use proptest::prelude::*;
+
+fn finite_f32() -> impl Strategy<Value = f32> {
+    // Stay inside a range where f32 arithmetic cannot overflow in one op.
+    (-1e18f32..1e18f32).prop_filter("finite", |x| x.is_finite())
+}
+
+fn small_f32() -> impl Strategy<Value = f32> {
+    -1e4f32..1e4f32
+}
+
+proptest! {
+    #[test]
+    fn add_matches_scalar(a in prop::array::uniform4(finite_f32()), b in prop::array::uniform4(finite_f32())) {
+        let v = (F32x4::from_array(a) + F32x4::from_array(b)).to_array();
+        for i in 0..4 {
+            prop_assert_eq!(v[i], a[i] + b[i]);
+        }
+    }
+
+    #[test]
+    fn sub_mul_match_scalar(a in prop::array::uniform4(small_f32()), b in prop::array::uniform4(small_f32())) {
+        let va = F32x4::from_array(a);
+        let vb = F32x4::from_array(b);
+        let s = (va - vb).to_array();
+        let m = (va * vb).to_array();
+        for i in 0..4 {
+            prop_assert_eq!(s[i], a[i] - b[i]);
+            prop_assert_eq!(m[i], a[i] * b[i]);
+        }
+    }
+
+    #[test]
+    fn min_max_match_scalar(a in prop::array::uniform4(finite_f32()), b in prop::array::uniform4(finite_f32())) {
+        let va = F32x4::from_array(a);
+        let vb = F32x4::from_array(b);
+        let mn = va.min(vb).to_array();
+        let mx = va.max(vb).to_array();
+        for i in 0..4 {
+            prop_assert_eq!(mn[i], if a[i] < b[i] { a[i] } else { b[i] });
+            prop_assert_eq!(mx[i], if a[i] > b[i] { a[i] } else { b[i] });
+        }
+    }
+
+    #[test]
+    fn comparisons_match_scalar(a in prop::array::uniform4(small_f32()), b in prop::array::uniform4(small_f32())) {
+        let va = F32x4::from_array(a);
+        let vb = F32x4::from_array(b);
+        for i in 0..4 {
+            prop_assert_eq!(va.simd_lt(vb).lane(i), a[i] < b[i]);
+            prop_assert_eq!(va.simd_le(vb).lane(i), a[i] <= b[i]);
+            prop_assert_eq!(va.simd_gt(vb).lane(i), a[i] > b[i]);
+            prop_assert_eq!(va.simd_ge(vb).lane(i), a[i] >= b[i]);
+            prop_assert_eq!(va.simd_eq(vb).lane(i), a[i] == b[i]);
+        }
+    }
+
+    #[test]
+    fn select_matches_branch(
+        m in prop::array::uniform4(any::<bool>()),
+        t in prop::array::uniform4(small_f32()),
+        f in prop::array::uniform4(small_f32()),
+    ) {
+        let mask = Mask32x4::from_bools(m[0], m[1], m[2], m[3]);
+        let sel = mask.select(F32x4::from_array(t), F32x4::from_array(f)).to_array();
+        for i in 0..4 {
+            prop_assert_eq!(sel[i], if m[i] { t[i] } else { f[i] });
+        }
+    }
+
+    #[test]
+    fn reduce_sum_is_pairwise(a in prop::array::uniform4(small_f32())) {
+        let got = F32x4::from_array(a).reduce_sum();
+        let want = (a[0] + a[1]) + (a[2] + a[3]);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn floor_matches_scalar(a in prop::array::uniform4(-1e6f32..1e6f32)) {
+        let got = F32x4::from_array(a).floor().to_array();
+        for i in 0..4 {
+            prop_assert_eq!(got[i], a[i].floor());
+        }
+    }
+
+    #[test]
+    fn i32_ops_match_scalar(a in prop::array::uniform4(any::<i32>()), b in prop::array::uniform4(any::<i32>())) {
+        let va = I32x4::from_array(a);
+        let vb = I32x4::from_array(b);
+        let add = (va + vb).to_array();
+        let sub = (va - vb).to_array();
+        let mul = (va * vb).to_array();
+        for i in 0..4 {
+            prop_assert_eq!(add[i], a[i].wrapping_add(b[i]));
+            prop_assert_eq!(sub[i], a[i].wrapping_sub(b[i]));
+            prop_assert_eq!(mul[i], a[i].wrapping_mul(b[i]));
+            prop_assert_eq!(va.simd_gt(vb).lane(i), a[i] > b[i]);
+            prop_assert_eq!(va.min(vb).to_array()[i], a[i].min(b[i]));
+            prop_assert_eq!(va.max(vb).to_array()[i], a[i].max(b[i]));
+        }
+    }
+
+    #[test]
+    fn i32_shifts_match_scalar(a in prop::array::uniform4(any::<i32>()), s in 0i32..31) {
+        let va = I32x4::from_array(a);
+        let shl = (va << s).to_array();
+        let shr = (va >> s).to_array();
+        for i in 0..4 {
+            prop_assert_eq!(shl[i], a[i].wrapping_shl(s as u32));
+            prop_assert_eq!(shr[i], a[i] >> s);
+        }
+    }
+
+    #[test]
+    fn gather_matches_indexing(data in prop::collection::vec(small_f32(), 4..64), raw in prop::array::uniform4(0usize..1000)) {
+        let idx: Vec<i32> = raw.iter().map(|r| (r % data.len()) as i32).collect();
+        let g = F32x4::gather(&data, I32x4::new(idx[0], idx[1], idx[2], idx[3])).to_array();
+        for i in 0..4 {
+            prop_assert_eq!(g[i], data[idx[i] as usize]);
+        }
+    }
+
+    #[test]
+    fn exp_within_tolerance(x in -80.0f32..80.0) {
+        let got = math::exp_v4(F32x4::splat(x)).lane(0);
+        let want = x.exp();
+        let rel = (got - want).abs() / want.max(1e-30);
+        prop_assert!(rel < 3e-6, "x={} got={} want={} rel={}", x, got, want, rel);
+    }
+
+    #[test]
+    fn ln_within_tolerance(x in 1e-30f32..1e30) {
+        let got = math::ln_v4(F32x4::splat(x)).lane(0);
+        let want = x.ln();
+        let err = (got - want).abs() / want.abs().max(1.0);
+        prop_assert!(err < 3e-6, "x={} got={} want={} err={}", x, got, want, err);
+    }
+
+    #[test]
+    fn norm_cdf_monotone_and_bounded(a in -12.0f32..12.0, b in -12.0f32..12.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let ylo = math::norm_cdf_v4(F32x4::splat(lo)).lane(0);
+        let yhi = math::norm_cdf_v4(F32x4::splat(hi)).lane(0);
+        prop_assert!((0.0..=1.0).contains(&ylo));
+        prop_assert!((0.0..=1.0).contains(&yhi));
+        // Allow tiny non-monotonicity from f32 rounding of the approximation.
+        prop_assert!(yhi >= ylo - 2e-6, "lo={} hi={} ylo={} yhi={}", lo, hi, ylo, yhi);
+    }
+
+    #[test]
+    fn f64x2_ops_match_scalar(a in prop::array::uniform2(-1e12f64..1e12), b in prop::array::uniform2(-1e12f64..1e12)) {
+        let va = F64x2::from_array(a);
+        let vb = F64x2::from_array(b);
+        prop_assert_eq!((va + vb).to_array(), [a[0] + b[0], a[1] + b[1]]);
+        prop_assert_eq!((va * vb).to_array(), [a[0] * b[0], a[1] * b[1]]);
+        prop_assert_eq!((va - vb).to_array(), [a[0] - b[0], a[1] - b[1]]);
+    }
+
+    #[test]
+    fn bits_roundtrip(a in prop::array::uniform4(finite_f32())) {
+        let v = F32x4::from_array(a);
+        let rt = F32x4::from_bits(v.to_bits()).to_array();
+        prop_assert_eq!(rt, a);
+    }
+}

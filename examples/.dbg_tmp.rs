@@ -1,0 +1,22 @@
+use ninja_kernels::scalar_math::cnd_poly;
+use ninja_simd::{F32x4, math::norm_cdf_v4, math::exp_v4};
+fn main() {
+    let x = 0.0f32;
+    println!("scalar {:?}", cnd_poly(x));
+    println!("vector {:?}", norm_cdf_v4(F32x4::splat(x)).lane(0));
+    // components
+    let ax = x.abs();
+    let k = 1.0f32 / (ax * 0.231_641_9 + 1.0);
+    println!("k scalar {k:?}");
+    let kv = F32x4::splat(1.0) / F32x4::splat(ax).mul_add(F32x4::splat(0.231_641_9), F32x4::splat(1.0));
+    println!("k vector {:?}", kv.lane(0));
+    let e_s = {
+        let arg = -(ax*ax)*0.5;
+        println!("arg scalar {arg:?} bits {:x}", arg.to_bits());
+        ninja_kernels::scalar_math::exp_poly(arg)
+    };
+    let argv = -(F32x4::splat(ax)*F32x4::splat(ax)) * F32x4::splat(0.5);
+    println!("arg vector {:?} bits {:x}", argv.lane(0), argv.lane(0).to_bits());
+    let e_v = exp_v4(argv).lane(0);
+    println!("exp scalar {e_s:?} vector {e_v:?}");
+}

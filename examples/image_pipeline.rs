@@ -1,0 +1,65 @@
+//! Domain example: a medical-imaging-flavoured pipeline — reconstruct a
+//! slice from projections with the backprojection kernel, denoise it with
+//! the 5×5 convolution, and render a volume built from slices.
+//!
+//! ```sh
+//! cargo run --release --example image_pipeline
+//! ```
+
+use ninja_gap::kernels::backprojection::BackProjection;
+use ninja_gap::kernels::conv2d::Conv2d;
+use ninja_gap::kernels::volume_render::VolumeRender;
+use ninja_gap::kernels::ProblemSize;
+use ninja_gap::parallel::ThreadPool;
+use std::time::Instant;
+
+fn stage<T>(label: &str, f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    let secs = start.elapsed().as_secs_f64();
+    println!("  {label:<44} {secs:>8.3}s");
+    (out, secs)
+}
+
+fn main() {
+    let pool = ThreadPool::new();
+    println!("== imaging pipeline (naive vs ninja per stage) ==\n");
+
+    // Stage 1: CT reconstruction.
+    let bp = BackProjection::generate(ProblemSize::Quick, 3);
+    println!("backprojection ({0}x{0} image, {1} angles):", bp.image_dim(), bp.angles());
+    let (slice_naive, t1n) = stage("naive", || bp.run_naive());
+    let (slice, t1j) = stage("ninja", || bp.run_ninja(&pool));
+    let worst = slice
+        .iter()
+        .zip(slice_naive.iter())
+        .map(|(&a, &b)| ((a - b).abs() / b.abs().max(1.0)) as f64)
+        .fold(0.0f64, f64::max);
+    println!("  speedup {:.2}X, worst deviation {worst:.2e}\n", t1n / t1j);
+
+    // Stage 2: denoise the reconstructed slice.
+    let conv = Conv2d::generate(ProblemSize::Quick, 4);
+    println!("5x5 denoise convolution ({0}x{0}):", conv.width());
+    let (_, t2n) = stage("naive", || conv.run_naive());
+    let (_, t2j) = stage("ninja", || conv.run_ninja(&pool));
+    println!("  speedup {:.2}X\n", t2n / t2j);
+
+    // Stage 3: volume render a stack of slices.
+    let vr = VolumeRender::generate(ProblemSize::Quick, 5);
+    println!("volume rendering ({0}^3 volume):", vr.dim());
+    let (img_naive, t3n) = stage("naive", || vr.run_naive());
+    let (img, t3j) = stage("ninja ray packets", || vr.run_ninja(&pool));
+    let worst = img
+        .iter()
+        .zip(img_naive.iter())
+        .map(|(&a, &b)| ((a - b).abs() / b.abs().max(1.0)) as f64)
+        .fold(0.0f64, f64::max);
+    println!("  speedup {:.2}X, worst deviation {worst:.2e}\n", t3n / t3j);
+
+    println!(
+        "pipeline total: naive {:.3}s -> ninja {:.3}s ({:.2}X end to end)",
+        t1n + t2n + t3n,
+        t1j + t2j + t3j,
+        (t1n + t2n + t3n) / (t1j + t2j + t3j)
+    );
+}

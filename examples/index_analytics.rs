@@ -1,0 +1,64 @@
+//! Domain example: a database-flavoured pipeline built from two kernels —
+//! bulk-sort a column with the Ninja merge sort, build the linearized
+//! search index, and answer a large batch of range-count queries with the
+//! SIMD tree search.
+//!
+//! ```sh
+//! cargo run --release --example index_analytics
+//! ```
+
+use ninja_gap::kernels::merge_sort::MergeSort;
+use ninja_gap::kernels::tree_search::TreeSearch;
+use ninja_gap::kernels::ProblemSize;
+use ninja_gap::parallel::ThreadPool;
+use std::time::Instant;
+
+fn main() {
+    let pool = ThreadPool::new();
+
+    // 1. Sort the "column" (the ingest step).
+    let column = MergeSort::generate(ProblemSize::Quick, 7);
+    println!("sorting a {}-row column...", column.len());
+    let start = Instant::now();
+    let naive_sorted = column.run_naive();
+    let t_naive = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let sorted = column.run_ninja(&pool);
+    let t_ninja = start.elapsed().as_secs_f64();
+    assert_eq!(naive_sorted, sorted, "both sorts must agree");
+    println!(
+        "  textbook merge sort: {:.3}s   ninja SIMD merge sort: {:.3}s   ({:.2}X)",
+        t_naive,
+        t_ninja,
+        t_naive / t_ninja
+    );
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+
+    // 2. Probe the index (the query step) with the tree-search kernel.
+    let index = TreeSearch::generate(ProblemSize::Quick, 9);
+    println!("\nanswering {} lower-bound queries against a {}-key index...",
+        index.num_queries(), index.num_keys());
+    let start = Instant::now();
+    let baseline = index.run_naive();
+    let t_bst = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let answers = index.run_ninja(&pool);
+    let t_simd = start.elapsed().as_secs_f64();
+    assert_eq!(baseline, answers, "SIMD search must agree with the BST");
+    println!(
+        "  pointer BST: {:.3}s   SIMD-blocked Eytzinger: {:.3}s   ({:.2}X)",
+        t_bst,
+        t_simd,
+        t_bst / t_simd
+    );
+
+    // 3. Use the answers: a tiny range-count "query plan".
+    let hits_below_median = answers
+        .iter()
+        .filter(|&&rank| (rank as usize) < index.num_keys() / 2)
+        .count();
+    println!(
+        "\nquery-plan result: {hits_below_median} of {} probes land in the lower half of the index",
+        answers.len()
+    );
+}

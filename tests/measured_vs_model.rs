@@ -1,0 +1,60 @@
+//! Consistency between host measurements and the paper's claims, at sizes
+//! big enough for timing to be meaningful.
+//!
+//! These tests use the `Quick` preset for a few strongly-vectorizable
+//! kernels and assert *performance* relationships, which only hold with
+//! optimized codegen — they are `#[ignore]`d in debug builds (run them
+//! with `cargo test --release`).
+
+use ninja_gap::prelude::*;
+
+fn quick_report(names: &[&str]) -> ninja_gap::harness::SuiteReport {
+    Harness::new()
+        .size(ProblemSize::Quick)
+        .repetitions(2)
+        .run_kernels(names)
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "performance assertions require --release codegen")]
+fn ninja_beats_naive_on_vector_friendly_kernels() {
+    // On any x86-64 host the explicit-SIMD + algorithmic tiers must beat
+    // the naive tier for the compute-bound, fully vectorizable kernels —
+    // this is the measurable (single-core) slice of the Ninja gap.
+    let suite = quick_report(&["conv1d", "blackscholes"]);
+    for k in &suite.kernels {
+        let gap = k.measured_gap().unwrap();
+        assert!(gap > 1.2, "{}: measured gap only {gap:.2}X", k.kernel);
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "performance assertions require --release codegen")]
+fn low_effort_tier_lands_near_ninja() {
+    // The paper's core claim, measured: the algorithmic+compiler tier is
+    // within a small factor of hand-written SIMD.
+    let suite = quick_report(&["conv1d", "nbody"]);
+    for k in &suite.kernels {
+        let residual = k.measured_residual().unwrap();
+        assert!(
+            residual < 4.0,
+            "{}: residual {residual:.2}X too large for a restructured kernel",
+            k.kernel
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "performance assertions require --release codegen")]
+fn model_and_measurement_agree_on_direction() {
+    // Wherever the Westmere model predicts a benefit from the algorithmic
+    // tier over naive (per core), the host should too (direction, not
+    // magnitude — the host is a different microarchitecture).
+    let suite = quick_report(&["blackscholes"]);
+    let k = suite.kernel("blackscholes").unwrap();
+    let measured = k.speedup_over_naive(Variant::Algorithmic).unwrap();
+    assert!(
+        measured > 1.0,
+        "blackscholes low-effort tier should beat naive per core (got {measured:.2}X)"
+    );
+}

@@ -1,0 +1,63 @@
+//! Property tests over the public API: kernel outputs must stay valid for
+//! arbitrary seeds, and the model must respect its monotonicity laws.
+
+use ninja_gap::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn any_seed_validates_every_kernel(seed in 0u64..1_000_000) {
+        let pool = ThreadPool::with_threads(2);
+        for spec in registry() {
+            let mut instance = (spec.make)(ProblemSize::Test, seed);
+            for v in [Variant::Algorithmic, Variant::Ninja] {
+                prop_assert!(
+                    instance.validate(v, &pool).is_ok(),
+                    "{} {} seed {}", spec.name, v, seed
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn model_gap_at_least_one(cores in 1u32..128, lanes_exp in 0u32..5) {
+        let mut m = machines::westmere();
+        m.cores = cores;
+        m.simd_f32_lanes = 1 << lanes_exp;
+        for spec in registry() {
+            let gap = predicted_gap(&spec.character, &m);
+            prop_assert!(gap >= 0.99, "{}: gap {gap}", spec.name);
+            let residual = predicted_residual(&spec.character, &m);
+            prop_assert!(residual >= 0.99 && residual < 10.0, "{}: residual {residual}", spec.name);
+        }
+    }
+
+    #[test]
+    fn model_monotone_in_cores(cores in 1u32..64) {
+        let mut small = machines::westmere();
+        small.cores = cores;
+        let mut big = small.clone();
+        big.cores = cores * 2;
+        for spec in registry() {
+            let t_small = ninja_gap::model::time_per_elem(
+                &spec.character, Variant::Ninja, &small);
+            let t_big = ninja_gap::model::time_per_elem(
+                &spec.character, Variant::Ninja, &big);
+            prop_assert!(t_big <= t_small * 1.0001, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn geomean_between_min_and_max(values in prop::collection::vec(0.1f64..100.0, 1..10)) {
+        let g = ninja_gap::model::geomean(&values);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(0.0, f64::max);
+        prop_assert!(g >= min * 0.999 && g <= max * 1.001);
+    }
+}

@@ -1,0 +1,65 @@
+//! Cross-crate integration: every kernel × variant must validate against
+//! its reference implementation across seeds and pool widths.
+
+use ninja_gap::prelude::*;
+
+#[test]
+fn every_variant_validates_on_two_seeds() {
+    let pool = ThreadPool::with_threads(2);
+    for seed in [1u64, 99] {
+        for spec in registry() {
+            let mut instance = (spec.make)(ProblemSize::Test, seed);
+            for v in Variant::ALL {
+                instance
+                    .validate(v, &pool)
+                    .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn validation_is_pool_width_independent() {
+    for threads in [1usize, 3] {
+        let pool = ThreadPool::with_threads(threads);
+        for spec in registry() {
+            let mut instance = (spec.make)(ProblemSize::Test, 7);
+            instance
+                .validate(Variant::Ninja, &pool)
+                .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+            instance
+                .validate(Variant::Algorithmic, &pool)
+                .unwrap_or_else(|e| panic!("{threads} threads: {e}"));
+        }
+    }
+}
+
+#[test]
+fn checksums_are_deterministic_for_fixed_seed() {
+    let pool = ThreadPool::with_threads(1);
+    for spec in registry() {
+        let mut a = (spec.make)(ProblemSize::Test, 5);
+        let mut b = (spec.make)(ProblemSize::Test, 5);
+        // Serial variants must be bit-deterministic.
+        for v in [Variant::Naive, Variant::Simd] {
+            assert_eq!(
+                a.run(v, &pool),
+                b.run(v, &pool),
+                "{} {} not deterministic",
+                spec.name,
+                v
+            );
+        }
+    }
+}
+
+#[test]
+fn work_accounting_is_positive_and_size_monotone() {
+    for spec in registry() {
+        let small = (spec.make)(ProblemSize::Test, 1).work();
+        let big = (spec.make)(ProblemSize::Quick, 1).work();
+        assert!(small.flops > 0.0 && small.bytes > 0.0, "{}", spec.name);
+        assert!(big.flops > small.flops, "{} flops must grow with size", spec.name);
+        assert!(big.elems > small.elems, "{} elems must grow with size", spec.name);
+    }
+}
