@@ -71,5 +71,10 @@ fn bench_mergesort_variants(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sort_cutoff, bench_nbody_grain, bench_mergesort_variants);
+criterion_group!(
+    benches,
+    bench_sort_cutoff,
+    bench_nbody_grain,
+    bench_mergesort_variants
+);
 criterion_main!(benches);

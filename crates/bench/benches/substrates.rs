@@ -10,7 +10,10 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
-fn setup_group<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn setup_group<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut group = c.benchmark_group(name);
     group
         .sample_size(10)
@@ -102,5 +105,10 @@ fn bench_pool_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_vector_math, bench_merge_network, bench_pool_overhead);
+criterion_group!(
+    benches,
+    bench_vector_math,
+    bench_merge_network,
+    bench_pool_overhead
+);
 criterion_main!(benches);

@@ -45,7 +45,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["kernel", "measured gap", "model gap (calibrated)", "ratio", "model ninja s/elem"],
+            &[
+                "kernel",
+                "measured gap",
+                "model gap (calibrated)",
+                "ratio",
+                "model ninja s/elem"
+            ],
             &rows
         )
     );

@@ -3,14 +3,23 @@
 
 fn main() {
     let cli = ninja_bench::cli_from_env();
-    println!("{}", ninja_core::experiments::fig_breakdown(&ninja_model::machines::westmere()));
-    eprintln!("measuring host ladder ({} size, {} thread(s))...", cli.size, cli.threads);
+    println!(
+        "{}",
+        ninja_core::experiments::fig_breakdown(&ninja_model::machines::westmere())
+    );
+    eprintln!(
+        "measuring host ladder ({} size, {} thread(s))...",
+        cli.size, cli.threads
+    );
     let harness = ninja_core::Harness::new()
         .size(cli.size)
         .threads(cli.threads)
         .repetitions(cli.reps);
     let suite = harness.run_suite();
-    println!("Measured speedup over naive on this host ({} thread(s)):", suite.threads);
+    println!(
+        "Measured speedup over naive on this host ({} thread(s)):",
+        suite.threads
+    );
     println!();
     println!("{}", ninja_core::experiments::measured_ladder(&suite));
 }

@@ -1,5 +1,8 @@
 //! F3: per-benchmark Ninja-gap breakdown projected on Intel MIC.
 
 fn main() {
-    println!("{}", ninja_core::experiments::fig_breakdown(&ninja_model::machines::mic()));
+    println!(
+        "{}",
+        ninja_core::experiments::fig_breakdown(&ninja_model::machines::mic())
+    );
 }

@@ -3,7 +3,10 @@
 
 fn main() {
     let cli = ninja_bench::cli_from_env();
-    eprintln!("measuring ({} size, {} thread(s), {} rep(s))...", cli.size, cli.threads, cli.reps);
+    eprintln!(
+        "measuring ({} size, {} thread(s), {} rep(s))...",
+        cli.size, cli.threads, cli.reps
+    );
     let harness = ninja_core::Harness::new()
         .size(cli.size)
         .threads(cli.threads)

@@ -1,21 +1,70 @@
 //! Regenerates every table and figure of the evaluation in one run and
 //! writes the measured suite report to `suite_report.json` / `.csv`.
+//!
+//! Failed variants (panic, hang, NaN checksum, validation mismatch) never
+//! abort the run: the partial report is still written and rendered, and
+//! the process exits with status 1 so CI notices.
 
 fn main() {
     let cli = ninja_bench::cli_from_env();
     eprintln!(
-        "running full reproduction: size={} threads={} reps={}",
-        cli.size, cli.threads, cli.reps
+        "running full reproduction: size={} threads={} reps={} timeout={} mode={}{}",
+        cli.size,
+        cli.threads,
+        cli.reps,
+        match cli.timeout() {
+            Some(budget) => format!("{}s", budget.as_secs()),
+            None => "off".into(),
+        },
+        if cli.fail_fast {
+            "fail-fast"
+        } else {
+            "keep-going"
+        },
+        match cli.chaos {
+            Some(mode) => format!(" chaos={mode}"),
+            None => String::new(),
+        }
     );
-    let (suite, rendered) = ninja_core::experiments::full_report(cli.size, cli.threads, cli.reps);
+
+    let mut harness = ninja_core::Harness::new()
+        .size(cli.size)
+        .threads(cli.threads)
+        .repetitions(cli.reps)
+        .fail_fast(cli.fail_fast);
+    harness = match cli.timeout() {
+        Some(budget) => harness.timeout(budget),
+        None => harness.no_timeout(),
+    };
+    let extra = match cli.chaos {
+        Some(mode) => vec![ninja_kernels::chaos::spec(mode)],
+        None => Vec::new(),
+    };
+
+    let (suite, rendered) = ninja_core::experiments::full_report_with(&harness, extra);
     println!("{rendered}");
     std::fs::write("suite_report.json", suite.to_json()).expect("write suite_report.json");
     std::fs::write("suite_report.csv", suite.to_csv()).expect("write suite_report.csv");
     eprintln!("wrote suite_report.json and suite_report.csv");
-    println!(
-        "measured average gap (this host, {} thread(s)): {:.2}X; average residual: {:.2}X",
-        suite.threads,
-        suite.average_gap(),
-        suite.average_residual()
-    );
+
+    let has_gap = suite.kernels.iter().any(|k| k.measured_gap().is_some());
+    if has_gap {
+        println!(
+            "measured average gap (this host, {} thread(s)): {:.2}X; average residual: {:.2}X",
+            suite.threads,
+            suite.average_gap(),
+            suite.average_residual()
+        );
+    } else {
+        println!("no kernel produced a complete variant ladder; gap averages unavailable");
+    }
+
+    if suite.has_failures() {
+        eprintln!(
+            "{} variant(s) failed; partial report written:\n{}",
+            suite.failures().len(),
+            suite.failure_summary()
+        );
+        std::process::exit(1);
+    }
 }

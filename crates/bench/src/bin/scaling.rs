@@ -3,7 +3,10 @@
 
 fn main() {
     let cli = ninja_bench::cli_from_env();
-    eprintln!("measuring scaling (test + quick presets, {} thread(s))...", cli.threads);
+    eprintln!(
+        "measuring scaling (test + quick presets, {} thread(s))...",
+        cli.threads
+    );
     println!(
         "{}",
         ninja_core::experiments::size_scaling(cli.threads, cli.reps)

@@ -6,6 +6,13 @@
 //! --size test|quick|paper   problem-size preset (default: quick)
 //! --threads N               measurement pool threads (default: hardware)
 //! --reps N                  timed repetitions per variant (default: 3)
+//! --timeout SECONDS         per-variant wall-clock budget; 0 disables
+//!                           (default: 120)
+//! --fail-fast               stop the suite at the first failed variant
+//! --keep-going              run every kernel even after failures (default)
+//! --chaos panic|hang|nan|wrong
+//!                           inject one fault-injection kernel (testing the
+//!                           harness itself; forces a nonzero exit code)
 //! ```
 //!
 //! Run `cargo run --release -p ninja-bench --bin reproduce` to regenerate
@@ -14,6 +21,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use ninja_kernels::chaos::FailureMode;
 use ninja_kernels::ProblemSize;
 
 /// Parsed command-line options shared by the reproduction binaries.
@@ -25,6 +33,19 @@ pub struct Cli {
     pub threads: usize,
     /// Timed repetitions per variant.
     pub reps: u32,
+    /// Per-variant wall-clock budget in seconds; `0` disables the watchdog.
+    pub timeout_s: u64,
+    /// Stop the suite at the first failed variant instead of keeping going.
+    pub fail_fast: bool,
+    /// Optional chaos kernel to append to the suite (harness self-test).
+    pub chaos: Option<FailureMode>,
+}
+
+impl Cli {
+    /// The watchdog budget as a `Duration`, or `None` when disabled.
+    pub fn timeout(&self) -> Option<std::time::Duration> {
+        (self.timeout_s > 0).then(|| std::time::Duration::from_secs(self.timeout_s))
+    }
 }
 
 impl Default for Cli {
@@ -33,6 +54,9 @@ impl Default for Cli {
             size: ProblemSize::Quick,
             threads: ninja_parallel::hardware_threads(),
             reps: 3,
+            timeout_s: 120,
+            fail_fast: false,
+            chaos: None,
         }
     }
 }
@@ -48,9 +72,7 @@ impl Default for Cli {
 pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String> {
     let mut cli = Cli::default();
     while let Some(flag) = args.next() {
-        let mut value = |name: &str| {
-            args.next().ok_or_else(|| format!("{name} needs a value"))
-        };
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
         match flag.as_str() {
             "--size" => {
                 let v = value("--size")?;
@@ -70,13 +92,34 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
                 }
             }
             "--reps" => {
-                cli.reps = value("--reps")?.parse().map_err(|e| format!("--reps: {e}"))?;
+                cli.reps = value("--reps")?
+                    .parse()
+                    .map_err(|e| format!("--reps: {e}"))?;
                 if cli.reps == 0 {
                     return Err("--reps must be positive".into());
                 }
             }
+            "--timeout" => {
+                cli.timeout_s = value("--timeout")?
+                    .parse()
+                    .map_err(|e| format!("--timeout: {e}"))?;
+            }
+            "--fail-fast" => cli.fail_fast = true,
+            "--keep-going" => cli.fail_fast = false,
+            "--chaos" => {
+                let v = value("--chaos")?;
+                cli.chaos =
+                    Some(FailureMode::from_name(&v).ok_or_else(|| {
+                        format!("unknown chaos mode '{v}' (panic|hang|nan|wrong)")
+                    })?);
+            }
             "--help" | "-h" => {
-                return Err("usage: [--size test|quick|paper] [--threads N] [--reps N]".into())
+                return Err(concat!(
+                    "usage: [--size test|quick|paper] [--threads N] [--reps N]\n",
+                    "       [--timeout SECONDS] [--fail-fast|--keep-going]\n",
+                    "       [--chaos panic|hang|nan|wrong]"
+                )
+                .into())
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -113,10 +156,47 @@ mod tests {
 
     #[test]
     fn parses_all_flags() {
-        let cli = parse(&["--size", "paper", "--threads", "4", "--reps", "7"]).unwrap();
+        let cli = parse(&[
+            "--size",
+            "paper",
+            "--threads",
+            "4",
+            "--reps",
+            "7",
+            "--timeout",
+            "30",
+            "--fail-fast",
+            "--chaos",
+            "hang",
+        ])
+        .unwrap();
         assert_eq!(cli.size, ProblemSize::Paper);
         assert_eq!(cli.threads, 4);
         assert_eq!(cli.reps, 7);
+        assert_eq!(cli.timeout_s, 30);
+        assert_eq!(cli.timeout(), Some(std::time::Duration::from_secs(30)));
+        assert!(cli.fail_fast);
+        assert_eq!(cli.chaos, Some(FailureMode::Hang));
+    }
+
+    #[test]
+    fn failure_flags_default_to_keep_going_with_watchdog() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.timeout_s, 120);
+        assert!(!cli.fail_fast);
+        assert_eq!(cli.chaos, None);
+    }
+
+    #[test]
+    fn zero_timeout_disables_watchdog() {
+        let cli = parse(&["--timeout", "0"]).unwrap();
+        assert_eq!(cli.timeout(), None);
+    }
+
+    #[test]
+    fn keep_going_overrides_earlier_fail_fast() {
+        let cli = parse(&["--fail-fast", "--keep-going"]).unwrap();
+        assert!(!cli.fail_fast);
     }
 
     #[test]
@@ -126,5 +206,7 @@ mod tests {
         assert!(parse(&["--reps"]).is_err());
         assert!(parse(&["--wat"]).is_err());
         assert!(parse(&["--help"]).is_err());
+        assert!(parse(&["--timeout", "soon"]).is_err());
+        assert!(parse(&["--chaos", "gremlins"]).is_err());
     }
 }

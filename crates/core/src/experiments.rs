@@ -15,7 +15,7 @@
 
 use crate::render::{log_bar, table};
 use crate::report::SuiteReport;
-use ninja_kernels::{registry, ProblemSize, Variant};
+use ninja_kernels::{registry, KernelSpec, ProblemSize, Variant};
 use ninja_model::{
     gap_breakdown, gather_ablation, geomean, hardware_evolution, machines, predicted_gap,
     predicted_residual, Machine,
@@ -34,7 +34,10 @@ pub fn table1_suite() -> String {
             ]
         })
         .collect();
-    table(&["kernel", "description", "bound", "key low-effort change"], &rows)
+    table(
+        &["kernel", "description", "bound", "key low-effort change"],
+        &rows,
+    )
 }
 
 /// T2: the platform table (the paper's measured machines plus futures).
@@ -58,7 +61,16 @@ pub fn table2_platforms() -> String {
         })
         .collect();
     table(
-        &["platform", "year", "cores", "GHz", "SIMD", "peak GF/s", "GB/s", "gather"],
+        &[
+            "platform",
+            "year",
+            "cores",
+            "GHz",
+            "SIMD",
+            "peak GF/s",
+            "GB/s",
+            "gather",
+        ],
         &rows,
     )
 }
@@ -76,7 +88,10 @@ pub fn fig1_gap_growth() -> String {
     let mut rows = Vec::new();
     let mut out = String::from("F1: projected Ninja gap (naive / best) per CPU generation\n\n");
     for m in &machines_list {
-        let gaps: Vec<f64> = specs.iter().map(|s| predicted_gap(&s.character, m)).collect();
+        let gaps: Vec<f64> = specs
+            .iter()
+            .map(|s| predicted_gap(&s.character, m))
+            .collect();
         let avg = geomean(&gaps);
         let max = gaps.iter().cloned().fold(0.0, f64::max);
         rows.push(vec![
@@ -87,7 +102,10 @@ pub fn fig1_gap_growth() -> String {
             log_bar(avg, 120.0, 40),
         ]);
     }
-    out.push_str(&table(&["platform", "year", "avg gap", "max gap", ""], &rows));
+    out.push_str(&table(
+        &["platform", "year", "avg gap", "max gap", ""],
+        &rows,
+    ));
     out
 }
 
@@ -124,7 +142,15 @@ pub fn fig_breakdown(m: &Machine) -> String {
     ]);
     let mut out = format!("Gap breakdown on {} (model projection)\n\n", m.name);
     out.push_str(&table(
-        &["kernel", "total gap", "+threads", "+compiler SIMD", "algo factor", "residual", ""],
+        &[
+            "kernel",
+            "total gap",
+            "+threads",
+            "+compiler SIMD",
+            "algo factor",
+            "residual",
+            "",
+        ],
         &rows,
     ));
     out
@@ -150,7 +176,12 @@ pub fn fig4_residual(suite: &SuiteReport) -> String {
             }
             None => ("-".into(), String::new()),
         };
-        rows.push(vec![s.name.to_owned(), m_str, format!("{model_r:.2}X"), bar]);
+        rows.push(vec![
+            s.name.to_owned(),
+            m_str,
+            format!("{model_r:.2}X"),
+            bar,
+        ]);
     }
     let mut footer = vec!["GEOMEAN".to_owned()];
     footer.push(if measured.is_empty() {
@@ -180,9 +211,17 @@ pub fn fig5_mic_residual() -> String {
     for s in &specs {
         let r = predicted_residual(&s.character, &mic);
         rs.push(r);
-        rows.push(vec![s.name.to_owned(), format!("{r:.2}X"), log_bar(r, 4.0, 24)]);
+        rows.push(vec![
+            s.name.to_owned(),
+            format!("{r:.2}X"),
+            log_bar(r, 4.0, 24),
+        ]);
     }
-    rows.push(vec!["GEOMEAN".into(), format!("{:.2}X", geomean(&rs)), String::new()]);
+    rows.push(vec![
+        "GEOMEAN".into(),
+        format!("{:.2}X", geomean(&rs)),
+        String::new(),
+    ]);
     let mut out = String::from("F5: residual gap vs Ninja on Intel MIC (model projection)\n\n");
     out.push_str(&table(&["kernel", "residual", ""], &rows));
     out
@@ -214,7 +253,13 @@ pub fn fig6_effort() -> String {
         "F6: programming effort — lines changed vs naive, and the share of\nNinja performance the low-effort tier reaches (Westmere model)\n\n",
     );
     out.push_str(&table(
-        &["kernel", "low-effort LoC", "ninja LoC", "effort ratio", "perf reached"],
+        &[
+            "kernel",
+            "low-effort LoC",
+            "ninja LoC",
+            "effort ratio",
+            "perf reached",
+        ],
         &rows,
     ));
     out
@@ -238,11 +283,16 @@ pub fn fig7_hardware_gather() -> String {
             format!("{ninja_gain:.2}X"),
         ]);
     }
-    let mut out = String::from(
-        "F7: effect of hardware gather support (model, Westmere-class core)\n\n",
-    );
+    let mut out =
+        String::from("F7: effect of hardware gather support (model, Westmere-class core)\n\n");
     out.push_str(&table(
-        &["kernel", "gathers/elem", "residual w/o gather", "residual w/ gather", "ninja speedup"],
+        &[
+            "kernel",
+            "gathers/elem",
+            "residual w/o gather",
+            "residual w/ gather",
+            "ninja speedup",
+        ],
         &rows,
     ));
     out.push_str("\nHardware-evolution sweep (gather -> +FMA -> +AVX) on the same core:\n\n");
@@ -274,25 +324,30 @@ pub fn size_scaling(threads: usize, reps: u32) -> String {
 /// custom sweeps).
 pub fn size_scaling_over(sizes: &[ProblemSize], threads: usize, reps: u32) -> String {
     let specs = registry();
-    let mut per_kernel: Vec<Vec<String>> = specs
-        .iter()
-        .map(|s| vec![s.name.to_owned()])
-        .collect();
+    let mut per_kernel: Vec<Vec<String>> = specs.iter().map(|s| vec![s.name.to_owned()]).collect();
     for &size in sizes {
-        let harness = crate::Harness::new().size(size).threads(threads).repetitions(reps);
+        let harness = crate::Harness::new()
+            .size(size)
+            .threads(threads)
+            .repetitions(reps);
         let suite = harness.run_suite();
         for (row, spec) in per_kernel.iter_mut().zip(specs.iter()) {
             let k = suite.kernel(spec.name).expect("kernel ran");
             let mut cells = Vec::new();
             for vname in ["naive", "ninja"] {
-                let v = k
+                let median = k
                     .variants
                     .iter()
                     .find(|v| v.variant == vname)
-                    .expect("variant present");
-                let instance = (spec.make)(size, 42);
-                let elems = instance.work().elems as f64;
-                cells.push(format!("{:.2}", elems / v.timing.median_s / 1e6));
+                    .and_then(|v| v.median_s());
+                cells.push(match median {
+                    Some(s) => {
+                        let instance = (spec.make)(size, 42);
+                        let elems = instance.work().elems as f64;
+                        format!("{:.2}", elems / s / 1e6)
+                    }
+                    None => "-".into(),
+                });
             }
             row.extend(cells);
         }
@@ -312,8 +367,21 @@ pub fn size_scaling_over(sizes: &[ProblemSize], threads: usize, reps: u32) -> St
 /// Runs the measured half of the evaluation at the given size and renders
 /// everything (convenience for the `reproduce` binary).
 pub fn full_report(size: ProblemSize, threads: usize, reps: u32) -> (SuiteReport, String) {
-    let harness = crate::Harness::new().size(size).threads(threads).repetitions(reps);
-    let suite = harness.run_suite();
+    let harness = crate::Harness::new()
+        .size(size)
+        .threads(threads)
+        .repetitions(reps);
+    full_report_with(&harness, Vec::new())
+}
+
+/// [`full_report`] over a pre-configured harness (timeout, fail-fast, …)
+/// plus injected extra specs — e.g. chaos kernels — which run after the
+/// registry suite. A failed variant never aborts the run; the rendered
+/// output ends with a failure summary when anything went wrong.
+pub fn full_report_with(harness: &crate::Harness, extra: Vec<KernelSpec>) -> (SuiteReport, String) {
+    let mut specs = registry();
+    specs.extend(extra);
+    let suite = harness.run_specs(&specs);
     let mut out = String::new();
     out.push_str("== T1: benchmark suite ==\n\n");
     out.push_str(&table1_suite());
@@ -335,6 +403,10 @@ pub fn full_report(size: ProblemSize, threads: usize, reps: u32) -> (SuiteReport
     out.push_str(&fig7_hardware_gather());
     out.push_str("\n== measured suite detail ==\n\n");
     out.push_str(&crate::render::suite_table(&suite));
+    if suite.has_failures() {
+        out.push_str("\n== FAILURES (partial results above are still valid) ==\n\n");
+        out.push_str(&suite.failure_summary());
+    }
     (suite, out)
 }
 
@@ -344,7 +416,12 @@ pub fn measured_ladder(suite: &SuiteReport) -> String {
     let mut rows = Vec::new();
     for k in &suite.kernels {
         let mut row = vec![k.kernel.clone()];
-        for v in [Variant::Parallel, Variant::Simd, Variant::Algorithmic, Variant::Ninja] {
+        for v in [
+            Variant::Parallel,
+            Variant::Simd,
+            Variant::Algorithmic,
+            Variant::Ninja,
+        ] {
             row.push(match k.speedup_over_naive(v) {
                 Some(s) => format!("{s:.2}X"),
                 None => "-".into(),
@@ -353,7 +430,13 @@ pub fn measured_ladder(suite: &SuiteReport) -> String {
         rows.push(row);
     }
     table(
-        &["kernel", "+threads", "+compiler SIMD", "low-effort", "ninja"],
+        &[
+            "kernel",
+            "+threads",
+            "+compiler SIMD",
+            "low-effort",
+            "ninja",
+        ],
         &rows,
     )
 }

@@ -1,15 +1,76 @@
-//! The measurement driver: runs (kernel × variant) pairs with validation.
+//! The measurement driver: runs (kernel × variant) pairs with validation,
+//! per-variant fault isolation, and an optional wall-clock watchdog.
+//!
+//! # Failure semantics
+//!
+//! A suite run is a grid of (kernel, variant) cells, and one bad cell must
+//! not cost the rest of the grid. Each variant's validate+measure step is
+//! isolated: panics are caught ([`std::panic::catch_unwind`]) and recorded
+//! as [`VariantOutcome::Panicked`] with the original payload's message;
+//! validation mismatches become [`VariantOutcome::ValidationFailed`];
+//! non-finite checksums become [`VariantOutcome::NonFinite`]. With a
+//! [`timeout`](Harness::timeout) budget set, the step runs on a watchdog
+//! thread — if the budget elapses the thread is abandoned, the variant is
+//! recorded as [`VariantOutcome::TimedOut`], the pool is replaced with a
+//! fresh one (the abandoned step may still hold the old pool hostage), and
+//! the suite moves on. After a panic or timeout the kernel instance is
+//! considered tainted and is rebuilt from its spec before the next variant.
 
 use crate::measure::measure;
-use crate::report::{KernelReport, SuiteReport, VariantResult};
-use ninja_kernels::{registry, KernelSpec, ProblemSize, Variant};
+use crate::report::{KernelReport, SuiteReport, VariantOutcome, VariantResult};
+use crate::Measurement;
+use ninja_kernels::{registry, Instance, KernelSpec, ProblemSize, Variant};
 use ninja_parallel::ThreadPool;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Turns a caught panic payload into the message the report records.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_owned())
+}
+
+/// What one isolated validate+measure attempt produced.
+enum Attempt {
+    Measured { timing: Measurement, checksum: f64 },
+    Invalid { reason: String },
+}
+
+/// Runs validation (when enabled) and measurement for one variant. This is
+/// the code that executes inside the isolation boundary — inline under
+/// `catch_unwind`, or on a watchdog thread when a budget is set.
+fn exec_variant(
+    instance: &mut dyn Instance,
+    v: Variant,
+    pool: &ThreadPool,
+    validate: bool,
+    warmup: u32,
+    runs: u32,
+) -> Attempt {
+    if validate {
+        if let Err(e) = instance.validate(v, pool) {
+            return Attempt::Invalid { reason: e.detail };
+        }
+    }
+    let mut checksum = 0.0;
+    let timing = measure(warmup, runs, || {
+        checksum = instance.run(v, pool);
+    });
+    Attempt::Measured { timing, checksum }
+}
 
 /// Configures and runs Ninja-gap measurements.
 ///
 /// Non-consuming builder: configure with [`size`](Harness::size),
 /// [`seed`](Harness::seed), [`repetitions`](Harness::repetitions),
-/// [`threads`](Harness::threads), then call
+/// [`threads`](Harness::threads), [`timeout`](Harness::timeout),
+/// [`fail_fast`](Harness::fail_fast), then call
 /// [`run_suite`](Harness::run_suite) or [`run_kernel`](Harness::run_kernel).
 #[derive(Debug)]
 pub struct Harness {
@@ -17,21 +78,34 @@ pub struct Harness {
     seed: u64,
     warmup: u32,
     runs: u32,
-    pool: ThreadPool,
+    /// Interior mutability: a timed-out variant may leave its (abandoned)
+    /// watchdog thread using the pool, so the harness swaps in a fresh one.
+    /// The abandoned thread's `Arc` clone keeps the old pool alive, which
+    /// is exactly what makes the swap non-blocking: `ThreadPool::drop`
+    /// (which joins workers) never runs while a thread is stuck in it.
+    pool: Mutex<Arc<ThreadPool>>,
+    threads: usize,
     validate: bool,
+    timeout: Option<Duration>,
+    fail_fast: bool,
 }
 
 impl Harness {
     /// Creates a harness with default settings: `Quick` size, seed 42, one
-    /// warmup plus three timed runs, a hardware-sized pool, validation on.
+    /// warmup plus three timed runs, a hardware-sized pool, validation on,
+    /// no watchdog, keep-going on failures.
     pub fn new() -> Self {
+        let threads = ninja_parallel::hardware_threads();
         Self {
             size: ProblemSize::Quick,
             seed: 42,
             warmup: 1,
             runs: 3,
-            pool: ThreadPool::new(),
+            pool: Mutex::new(Arc::new(ThreadPool::new())),
+            threads,
             validate: true,
+            timeout: None,
+            fail_fast: false,
         }
     }
 
@@ -60,7 +134,8 @@ impl Harness {
 
     /// Sets the number of pool threads used by parallel variants.
     pub fn threads(mut self, n: usize) -> Self {
-        self.pool = ThreadPool::with_threads(n);
+        self.pool = Mutex::new(Arc::new(ThreadPool::with_threads(n)));
+        self.threads = n;
         self
     }
 
@@ -71,40 +146,193 @@ impl Harness {
         self
     }
 
+    /// Sets a per-variant wall-clock budget covering validate+measure.
+    ///
+    /// Off by default (benchmarks should never eat a watchdog-thread
+    /// context switch); the `reproduce` binary turns it on so a hung
+    /// variant cannot stall the full reproduction. A variant exceeding the
+    /// budget is recorded as [`VariantOutcome::TimedOut`] and its thread
+    /// abandoned; the pool is rebuilt so later variants run on healthy
+    /// workers.
+    pub fn timeout(mut self, budget: Duration) -> Self {
+        self.timeout = Some(budget);
+        self
+    }
+
+    /// Removes the per-variant budget (the default).
+    pub fn no_timeout(mut self) -> Self {
+        self.timeout = None;
+        self
+    }
+
+    /// Stops the run at the first failed variant (remaining variants and
+    /// kernels are simply absent from the report). Default is keep-going:
+    /// record the failure and continue.
+    pub fn fail_fast(mut self, enabled: bool) -> Self {
+        self.fail_fast = enabled;
+        self
+    }
+
     /// Number of threads parallel variants will use.
     pub fn num_threads(&self) -> usize {
-        self.pool.num_threads()
+        self.threads
+    }
+
+    /// The current pool handle (test hook; the handle changes after a
+    /// timeout rebuilds the pool).
+    fn pool_handle(&self) -> Arc<ThreadPool> {
+        Arc::clone(&self.pool.lock())
+    }
+
+    /// Replaces the pool after a timeout abandoned a thread that may still
+    /// be using (or blocking) the old one.
+    fn rebuild_pool(&self) {
+        *self.pool.lock() = Arc::new(ThreadPool::with_threads(self.threads));
+    }
+
+    /// Runs one variant inside the isolation boundary, returning the
+    /// instance for reuse when it survived untainted.
+    fn run_variant(
+        &self,
+        spec: &KernelSpec,
+        v: Variant,
+        mut instance: Box<dyn Instance>,
+        work: ninja_kernels::Work,
+    ) -> (Option<Box<dyn Instance>>, VariantResult) {
+        let pool = self.pool_handle();
+        let (validate, warmup, runs) = (self.validate, self.warmup, self.runs);
+
+        let (instance, attempt) = match self.timeout {
+            None => {
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    exec_variant(instance.as_mut(), v, &pool, validate, warmup, runs)
+                }));
+                match attempt {
+                    Ok(a) => (Some(instance), Ok(a)),
+                    Err(payload) => (None, Err(panic_message(payload.as_ref()))),
+                }
+            }
+            Some(budget) => {
+                let (tx, rx) = mpsc::channel();
+                let builder =
+                    std::thread::Builder::new().name(format!("watchdog-{}-{}", spec.name, v));
+                let handle = builder
+                    .spawn(move || {
+                        let attempt = catch_unwind(AssertUnwindSafe(|| {
+                            exec_variant(instance.as_mut(), v, &pool, validate, warmup, runs)
+                        }));
+                        // The receiver may have given up (timeout); a send
+                        // error just drops the instance with this thread.
+                        let _ = tx.send((instance, attempt));
+                    })
+                    .expect("spawn watchdog thread");
+                match rx.recv_timeout(budget) {
+                    Ok((instance, Ok(a))) => {
+                        let _ = handle.join();
+                        (Some(instance), Ok(a))
+                    }
+                    Ok((_tainted, Err(payload))) => {
+                        let _ = handle.join();
+                        (None, Err(panic_message(payload.as_ref())))
+                    }
+                    Err(_) => {
+                        // The variant is stuck; abandon its thread (it holds
+                        // an Arc to the old pool, keeping it alive) and give
+                        // later variants a fresh pool.
+                        drop(handle);
+                        self.rebuild_pool();
+                        let outcome = VariantOutcome::TimedOut {
+                            budget_s: budget.as_secs_f64(),
+                        };
+                        return (None, VariantResult::failed(v, validate, outcome));
+                    }
+                }
+            }
+        };
+
+        let result = match attempt {
+            Err(message) => {
+                VariantResult::failed(v, validate, VariantOutcome::Panicked { message })
+            }
+            Ok(Attempt::Invalid { reason }) => {
+                VariantResult::failed(v, validate, VariantOutcome::ValidationFailed { reason })
+            }
+            Ok(Attempt::Measured { checksum, .. }) if !checksum.is_finite() => {
+                VariantResult::failed(v, validate, VariantOutcome::NonFinite)
+            }
+            Ok(Attempt::Measured { timing, checksum }) => VariantResult {
+                variant: v.name().to_owned(),
+                timing: Some(timing),
+                checksum,
+                gflops: work.flops / timing.median_s / 1e9,
+                gbs: work.bytes / timing.median_s / 1e9,
+                validated: validate,
+                outcome: VariantOutcome::Ok,
+            },
+        };
+        (instance, result)
+    }
+
+    /// Builds a fresh instance for `spec`, converting a panicking factory
+    /// into a recorded failure instead of a crashed suite.
+    fn make_instance(&self, spec: &KernelSpec) -> Result<Box<dyn Instance>, String> {
+        catch_unwind(AssertUnwindSafe(|| (spec.make)(self.size, self.seed)))
+            .map_err(|payload| panic_message(payload.as_ref()))
     }
 
     /// Runs every variant of one kernel.
     ///
-    /// # Panics
-    ///
-    /// Panics if validation is enabled and a variant's output disagrees
-    /// with the reference implementation — a wrong answer makes every
-    /// timing meaningless.
+    /// Never panics on a misbehaving variant: each variant's outcome
+    /// (including panics, validation failures, timeouts, and non-finite
+    /// checksums) is recorded in the report.
     pub fn run_kernel(&self, spec: &KernelSpec) -> KernelReport {
-        let mut instance = (spec.make)(self.size, self.seed);
-        let work = instance.work();
         let mut variants = Vec::with_capacity(Variant::ALL.len());
-        for v in Variant::ALL {
-            if self.validate {
-                if let Err(e) = instance.validate(v, &self.pool) {
-                    panic!("{e}");
+        let mut instance = match self.make_instance(spec) {
+            Ok(i) => Some(i),
+            Err(message) => {
+                // The factory itself died: every variant inherits the failure.
+                for v in Variant::ALL {
+                    variants.push(VariantResult::failed(
+                        v,
+                        self.validate,
+                        VariantOutcome::Panicked {
+                            message: message.clone(),
+                        },
+                    ));
                 }
+                return KernelReport {
+                    kernel: spec.name.to_owned(),
+                    bound: spec.bound.to_owned(),
+                    variants,
+                };
             }
-            let mut checksum = 0.0;
-            let timing = measure(self.warmup, self.runs, || {
-                checksum = instance.run(v, &self.pool);
-            });
-            variants.push(VariantResult {
-                variant: v.name().to_owned(),
-                timing,
-                checksum,
-                gflops: work.flops / timing.median_s / 1e9,
-                gbs: work.bytes / timing.median_s / 1e9,
-                validated: self.validate,
-            });
+        };
+        let work = instance.as_ref().map(|i| i.work()).unwrap_or_default();
+        for v in Variant::ALL {
+            // Rebuild the instance if the previous variant tainted it
+            // (panic or timeout); inputs are seed-deterministic, so the
+            // rebuilt instance measures the same problem.
+            let inst = match instance.take() {
+                Some(i) => i,
+                None => match self.make_instance(spec) {
+                    Ok(i) => i,
+                    Err(message) => {
+                        variants.push(VariantResult::failed(
+                            v,
+                            self.validate,
+                            VariantOutcome::Panicked { message },
+                        ));
+                        continue;
+                    }
+                },
+            };
+            let (back, result) = self.run_variant(spec, v, inst, work);
+            instance = back;
+            let failed = !result.is_ok();
+            variants.push(result);
+            if failed && self.fail_fast {
+                break;
+            }
         }
         KernelReport {
             kernel: spec.name.to_owned(),
@@ -113,24 +341,37 @@ impl Harness {
         }
     }
 
-    /// Runs the full ten-kernel suite.
-    pub fn run_suite(&self) -> SuiteReport {
-        let mut report = SuiteReport::new_empty(self.size, self.seed, self.pool.num_threads());
-        for spec in registry() {
-            report.kernels.push(self.run_kernel(&spec));
+    /// Runs an explicit list of kernel specs (the full registry plus any
+    /// injected extras — e.g. the chaos kernel in fault-injection tests).
+    ///
+    /// With [`fail_fast`](Harness::fail_fast) the run stops after the
+    /// first kernel that records a failure; otherwise every spec runs and
+    /// failures are recorded per variant.
+    pub fn run_specs(&self, specs: &[KernelSpec]) -> SuiteReport {
+        let mut report = SuiteReport::new_empty(self.size, self.seed, self.threads);
+        for spec in specs {
+            let kernel_report = self.run_kernel(spec);
+            let failed = kernel_report.failures().next().is_some();
+            report.kernels.push(kernel_report);
+            if failed && self.fail_fast {
+                break;
+            }
         }
         report
     }
 
+    /// Runs the full ten-kernel suite.
+    pub fn run_suite(&self) -> SuiteReport {
+        self.run_specs(&registry())
+    }
+
     /// Runs a named subset of the suite (names as in the registry).
     pub fn run_kernels(&self, names: &[&str]) -> SuiteReport {
-        let mut report = SuiteReport::new_empty(self.size, self.seed, self.pool.num_threads());
-        for spec in registry() {
-            if names.contains(&spec.name) {
-                report.kernels.push(self.run_kernel(&spec));
-            }
-        }
-        report
+        let specs: Vec<KernelSpec> = registry()
+            .into_iter()
+            .filter(|s| names.contains(&s.name))
+            .collect();
+        self.run_specs(&specs)
     }
 }
 
@@ -143,9 +384,21 @@ impl Default for Harness {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ninja_kernels::chaos::{self, FailureMode};
 
     fn test_harness() -> Harness {
-        Harness::new().size(ProblemSize::Test).threads(2).repetitions(1)
+        Harness::new()
+            .size(ProblemSize::Test)
+            .threads(2)
+            .repetitions(1)
+    }
+
+    fn outcome_of(r: &KernelReport, v: Variant) -> &VariantOutcome {
+        &r.variants
+            .iter()
+            .find(|x| x.variant == v.name())
+            .expect("variant present")
+            .outcome
     }
 
     #[test]
@@ -156,6 +409,7 @@ mod tests {
         assert_eq!(r.kernel, spec.name);
         assert_eq!(r.variants.len(), 5);
         assert!(r.variants.iter().all(|v| v.validated));
+        assert!(r.variants.iter().all(|v| v.is_ok()));
         assert!(r.measured_gap().unwrap() > 0.0);
     }
 
@@ -187,12 +441,108 @@ mod tests {
             .skip_validation();
         let r = h.run_kernel(&registry()[3]); // blackscholes
         assert!(r.variants.iter().all(|v| !v.validated));
-        assert!(r.variants.iter().all(|v| v.timing.median_s > 0.0));
+        assert!(r.variants.iter().all(|v| v.timing.is_some()));
     }
 
     #[test]
     #[should_panic(expected = "at least one repetition")]
     fn zero_repetitions_rejected() {
         let _ = Harness::new().repetitions(0);
+    }
+
+    #[test]
+    fn chaos_panic_is_isolated_and_named() {
+        // Victim = simd (seed 2); the other four variants still measure.
+        let h = test_harness().seed(2);
+        let r = h.run_kernel(&chaos::spec(FailureMode::Panic));
+        match outcome_of(&r, Variant::Simd) {
+            VariantOutcome::Panicked { message } => {
+                assert!(message.contains("injected panic"), "{message}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        for v in [
+            Variant::Naive,
+            Variant::Parallel,
+            Variant::Algorithmic,
+            Variant::Ninja,
+        ] {
+            assert!(outcome_of(&r, v).is_ok(), "{v} should have measured");
+        }
+    }
+
+    #[test]
+    fn chaos_wrong_output_records_validation_failure() {
+        let h = test_harness().seed(4);
+        let r = h.run_kernel(&chaos::spec(FailureMode::WrongOutput));
+        match outcome_of(&r, Variant::Ninja) {
+            VariantOutcome::ValidationFailed { reason } => {
+                assert!(reason.contains("injected corruption"), "{reason}");
+            }
+            other => panic!("expected ValidationFailed, got {other:?}"),
+        }
+        assert_eq!(r.failures().count(), 1);
+    }
+
+    #[test]
+    fn chaos_nan_records_non_finite() {
+        let h = test_harness().seed(0);
+        let r = h.run_kernel(&chaos::spec(FailureMode::NonFinite));
+        assert_eq!(*outcome_of(&r, Variant::Naive), VariantOutcome::NonFinite);
+        // The naive failure must not poison the other variants.
+        assert_eq!(r.failures().count(), 1);
+    }
+
+    #[test]
+    fn chaos_hang_times_out_and_pool_recovers() {
+        let h = test_harness().timeout(Duration::from_millis(200)).seed(1);
+        let r = h.run_kernel(&chaos::spec(FailureMode::Hang));
+        match outcome_of(&r, Variant::Parallel) {
+            VariantOutcome::TimedOut { budget_s } => {
+                assert!((*budget_s - 0.2).abs() < 1e-9);
+            }
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        // Variants after the hang still measure on the rebuilt pool.
+        for v in [Variant::Simd, Variant::Algorithmic, Variant::Ninja] {
+            assert!(outcome_of(&r, v).is_ok(), "{v} should have measured");
+        }
+        // And a real kernel still runs end-to-end afterwards.
+        let real = h.run_kernel(&registry()[0]);
+        assert!(real.variants.iter().all(|v| v.is_ok()));
+    }
+
+    #[test]
+    fn suite_completes_with_chaos_injected() {
+        let h = test_harness().timeout(Duration::from_millis(200)).seed(0);
+        let mut specs = vec![chaos::spec(FailureMode::Panic)];
+        specs.extend(registry().into_iter().take(2));
+        let r = h.run_specs(&specs);
+        assert_eq!(r.kernels.len(), 3);
+        assert!(r.has_failures());
+        // Both real kernels after the chaos one measured cleanly.
+        for k in &r.kernels[1..] {
+            assert!(k.failures().next().is_none(), "{} had failures", k.kernel);
+        }
+    }
+
+    #[test]
+    fn fail_fast_stops_after_first_failure() {
+        let h = test_harness().fail_fast(true).seed(0);
+        let mut specs = vec![chaos::spec(FailureMode::WrongOutput)];
+        specs.extend(registry().into_iter().take(2));
+        let r = h.run_specs(&specs);
+        // The chaos kernel stops mid-ladder and no further kernel runs.
+        assert_eq!(r.kernels.len(), 1);
+        assert_eq!(r.kernels[0].variants.len(), 1);
+        assert!(!r.kernels[0].variants[0].is_ok());
+    }
+
+    #[test]
+    fn timeout_on_healthy_kernel_changes_nothing() {
+        let h = test_harness().timeout(Duration::from_secs(120));
+        let r = h.run_kernel(&registry()[3]); // blackscholes
+        assert!(r.variants.iter().all(|v| v.is_ok()));
+        assert!(r.measured_gap().is_some());
     }
 }

@@ -33,4 +33,4 @@ mod report;
 
 pub use harness::Harness;
 pub use measure::{measure, Measurement};
-pub use report::{KernelReport, SuiteReport, VariantResult};
+pub use report::{KernelReport, SuiteReport, VariantOutcome, VariantResult};

@@ -65,22 +65,45 @@ pub fn log_bar(value: f64, max: f64, width: usize) -> String {
 }
 
 /// Renders the per-kernel measurement table of a suite run.
+///
+/// Failed variants keep their row: timing columns show `-` and the last
+/// column names the failure, so a partial run is obvious at a glance.
 pub fn suite_table(report: &SuiteReport) -> String {
     let mut rows = Vec::new();
     for k in &report.kernels {
+        let naive_s = k.variants.first().and_then(|v| v.median_s());
         for v in &k.variants {
+            let (median, gflops, gbs, vs_naive) = match v.median_s() {
+                Some(s) => (
+                    format!("{s:.4}"),
+                    format!("{:.2}", v.gflops),
+                    format!("{:.2}", v.gbs),
+                    match naive_s {
+                        Some(n) => format!("{:.2}X", n / s),
+                        None => "-".into(),
+                    },
+                ),
+                None => ("-".into(), "-".into(), "-".into(), "-".into()),
+            };
             rows.push(vec![
                 k.kernel.clone(),
                 v.variant.clone(),
-                format!("{:.4}", v.timing.median_s),
-                format!("{:.2}", v.gflops),
-                format!("{:.2}", v.gbs),
-                format!("{:.2}X", k.variants[0].timing.median_s / v.timing.median_s),
+                median,
+                gflops,
+                gbs,
+                vs_naive,
+                if v.is_ok() {
+                    String::new()
+                } else {
+                    v.outcome.to_string()
+                },
             ]);
         }
     }
     table(
-        &["kernel", "variant", "median s", "GFLOP/s", "GB/s", "vs naive"],
+        &[
+            "kernel", "variant", "median s", "GFLOP/s", "GB/s", "vs naive", "failure",
+        ],
         &rows,
     )
 }

@@ -5,21 +5,164 @@ use crate::Measurement;
 use ninja_kernels::{ProblemSize, Variant};
 use serde::{Deserialize, Serialize};
 
+/// How one (kernel, variant) measurement ended.
+///
+/// The harness records an outcome for every variant instead of panicking,
+/// so a single bad variant cannot take down a suite run: the report keeps
+/// the partial results and names what failed and how.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VariantOutcome {
+    /// Measured (and, when validation was enabled, validated) successfully.
+    Ok,
+    /// The output disagreed with the reference implementation.
+    ValidationFailed {
+        /// The validator's mismatch description.
+        reason: String,
+    },
+    /// The variant panicked during validation or measurement.
+    Panicked {
+        /// The original panic payload, stringified.
+        message: String,
+    },
+    /// The variant exceeded its wall-clock budget and was abandoned.
+    TimedOut {
+        /// The budget that was exceeded, in seconds.
+        budget_s: f64,
+    },
+    /// The checksum came back NaN or infinite, so the timings measure
+    /// garbage arithmetic rather than useful work.
+    NonFinite,
+}
+
+impl VariantOutcome {
+    /// Whether the variant produced a trustworthy measurement.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, VariantOutcome::Ok)
+    }
+
+    /// Stable machine-readable tag (used in JSON/CSV).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VariantOutcome::Ok => "ok",
+            VariantOutcome::ValidationFailed { .. } => "validation_failed",
+            VariantOutcome::Panicked { .. } => "panicked",
+            VariantOutcome::TimedOut { .. } => "timed_out",
+            VariantOutcome::NonFinite => "non_finite",
+        }
+    }
+}
+
+impl std::fmt::Display for VariantOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VariantOutcome::Ok => f.write_str("ok"),
+            VariantOutcome::ValidationFailed { reason } => {
+                write!(f, "validation failed: {reason}")
+            }
+            VariantOutcome::Panicked { message } => write!(f, "panicked: {message}"),
+            VariantOutcome::TimedOut { budget_s } => {
+                write!(f, "timed out after {budget_s:.1}s budget")
+            }
+            VariantOutcome::NonFinite => f.write_str("non-finite checksum"),
+        }
+    }
+}
+
+// The derive stand-in only handles structs, so the enum impls are written
+// by hand: a tagged object `{"kind": "...", ...fields}`.
+impl Serialize for VariantOutcome {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![(
+            "kind".to_string(),
+            serde::Value::Str(self.kind().to_string()),
+        )];
+        match self {
+            VariantOutcome::Ok | VariantOutcome::NonFinite => {}
+            VariantOutcome::ValidationFailed { reason } => {
+                pairs.push(("reason".to_string(), reason.to_value()));
+            }
+            VariantOutcome::Panicked { message } => {
+                pairs.push(("message".to_string(), message.to_value()));
+            }
+            VariantOutcome::TimedOut { budget_s } => {
+                pairs.push(("budget_s".to_string(), budget_s.to_value()));
+            }
+        }
+        serde::Value::Object(pairs)
+    }
+}
+
+impl Deserialize for VariantOutcome {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let kind = String::from_value(v.field("kind")?)?;
+        match kind.as_str() {
+            "ok" => Ok(VariantOutcome::Ok),
+            "validation_failed" => Ok(VariantOutcome::ValidationFailed {
+                reason: String::from_value(v.field("reason")?)?,
+            }),
+            "panicked" => Ok(VariantOutcome::Panicked {
+                message: String::from_value(v.field("message")?)?,
+            }),
+            "timed_out" => Ok(VariantOutcome::TimedOut {
+                budget_s: f64::from_value(v.field("budget_s")?)?,
+            }),
+            "non_finite" => Ok(VariantOutcome::NonFinite),
+            other => Err(serde::DeError::new(format!(
+                "unknown variant outcome kind `{other}`"
+            ))),
+        }
+    }
+}
+
 /// One measured (kernel, variant) cell.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct VariantResult {
     /// Variant label (see [`Variant::name`]).
     pub variant: String,
-    /// Timing of the variant.
-    pub timing: Measurement,
+    /// Timing of the variant; `None` when the variant failed before a
+    /// trustworthy measurement existed.
+    pub timing: Option<Measurement>,
     /// Output checksum (anti-DCE witness; equal-ish across variants).
+    /// Zero when the variant failed or produced a non-finite value.
     pub checksum: f64,
-    /// Achieved useful GFLOP/s.
+    /// Achieved useful GFLOP/s (zero for failed variants).
     pub gflops: f64,
-    /// Achieved streaming GB/s.
+    /// Achieved streaming GB/s (zero for failed variants).
     pub gbs: f64,
-    /// Whether the output matched the reference implementation.
+    /// Whether validation against the reference implementation ran.
     pub validated: bool,
+    /// How the measurement ended.
+    pub outcome: VariantOutcome,
+}
+
+impl VariantResult {
+    /// Whether this cell holds a trustworthy measurement.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// The median time, if the variant was measured successfully.
+    pub fn median_s(&self) -> Option<f64> {
+        if self.is_ok() {
+            self.timing.as_ref().map(|t| t.median_s)
+        } else {
+            None
+        }
+    }
+
+    /// Builds the failure cell recorded for a variant that did not
+    /// produce a measurement.
+    pub fn failed(variant: Variant, validated: bool, outcome: VariantOutcome) -> Self {
+        Self {
+            variant: variant.name().to_owned(),
+            timing: None,
+            checksum: 0.0,
+            gflops: 0.0,
+            gbs: 0.0,
+            validated,
+            outcome,
+        }
+    }
 }
 
 /// All variants of one kernel.
@@ -38,13 +181,14 @@ impl KernelReport {
         self.variants
             .iter()
             .find(|r| r.variant == v.name())
-            .map(|r| r.timing.median_s)
+            .and_then(VariantResult::median_s)
     }
 
     /// Measured Ninja gap on this host: `time(Naive) / time(Ninja)`.
     ///
     /// On a single-core host this captures the SIMD and algorithmic axes
-    /// only; the thread axis is projected by `ninja-model`.
+    /// only; the thread axis is projected by `ninja-model`. `None` when
+    /// either endpoint failed to measure.
     pub fn measured_gap(&self) -> Option<f64> {
         Some(self.time_of(Variant::Naive)? / self.time_of(Variant::Ninja)?)
     }
@@ -57,6 +201,11 @@ impl KernelReport {
     /// Measured speedup of any variant over naive.
     pub fn speedup_over_naive(&self, v: Variant) -> Option<f64> {
         Some(self.time_of(Variant::Naive)? / self.time_of(v)?)
+    }
+
+    /// The variants of this kernel that did not measure cleanly.
+    pub fn failures(&self) -> impl Iterator<Item = &VariantResult> {
+        self.variants.iter().filter(|v| !v.is_ok())
     }
 }
 
@@ -76,13 +225,18 @@ pub struct SuiteReport {
 }
 
 impl SuiteReport {
-    /// Geometric-mean measured Ninja gap across kernels.
+    /// Geometric-mean measured Ninja gap across kernels that measured
+    /// both endpoints successfully.
     ///
     /// # Panics
     ///
-    /// Panics if the report is empty.
+    /// Panics if no kernel has a measurable gap.
     pub fn average_gap(&self) -> f64 {
-        let gaps: Vec<f64> = self.kernels.iter().filter_map(KernelReport::measured_gap).collect();
+        let gaps: Vec<f64> = self
+            .kernels
+            .iter()
+            .filter_map(KernelReport::measured_gap)
+            .collect();
         ninja_model::geomean(&gaps)
     }
 
@@ -90,10 +244,13 @@ impl SuiteReport {
     ///
     /// # Panics
     ///
-    /// Panics if the report is empty.
+    /// Panics if no kernel has a measurable residual.
     pub fn average_residual(&self) -> f64 {
-        let rs: Vec<f64> =
-            self.kernels.iter().filter_map(KernelReport::measured_residual).collect();
+        let rs: Vec<f64> = self
+            .kernels
+            .iter()
+            .filter_map(KernelReport::measured_residual)
+            .collect();
         ninja_model::geomean(&rs)
     }
 
@@ -102,19 +259,57 @@ impl SuiteReport {
         self.kernels.iter().find(|k| k.kernel == name)
     }
 
+    /// Every (kernel, variant) cell that did not measure cleanly.
+    pub fn failures(&self) -> Vec<(&str, &VariantResult)> {
+        self.kernels
+            .iter()
+            .flat_map(|k| k.failures().map(move |v| (k.kernel.as_str(), v)))
+            .collect()
+    }
+
+    /// Whether any variant in the run failed.
+    pub fn has_failures(&self) -> bool {
+        self.kernels.iter().any(|k| k.failures().next().is_some())
+    }
+
+    /// A human-readable list of failures, one per line; empty when the
+    /// run was clean.
+    pub fn failure_summary(&self) -> String {
+        let mut out = String::new();
+        for (kernel, v) in self.failures() {
+            out.push_str(&format!("{kernel}/{}: {}\n", v.variant, v.outcome));
+        }
+        out
+    }
+
     /// Serializes the report as pretty JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("suite reports are serializable")
     }
 
     /// Renders the report as CSV (`kernel,variant,median_s,...`).
+    ///
+    /// Failed variants keep their row — empty timing columns, zeroed
+    /// rates — with the outcome tag in the last column, so downstream
+    /// tooling sees exactly which cells are missing and why.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("kernel,variant,median_s,min_s,gflops,gbs,validated\n");
+        let mut out = String::from("kernel,variant,median_s,min_s,gflops,gbs,validated,outcome\n");
         for k in &self.kernels {
             for v in &k.variants {
+                let (median, min) = match &v.timing {
+                    Some(t) => (format!("{:.6e}", t.median_s), format!("{:.6e}", t.min_s)),
+                    None => (String::new(), String::new()),
+                };
                 out.push_str(&format!(
-                    "{},{},{:.6e},{:.6e},{:.3},{:.3},{}\n",
-                    k.kernel, v.variant, v.timing.median_s, v.timing.min_s, v.gflops, v.gbs, v.validated
+                    "{},{},{},{},{:.3},{:.3},{},{}\n",
+                    k.kernel,
+                    v.variant,
+                    median,
+                    min,
+                    v.gflops,
+                    v.gbs,
+                    v.validated,
+                    v.outcome.kind()
                 ));
             }
         }
@@ -132,8 +327,8 @@ impl SuiteReport {
 
     /// Renders a side-by-side comparison against `baseline`: the ratio
     /// `baseline_time / self_time` per (kernel, variant) — values above 1
-    /// mean this report is faster. Kernels/variants missing from either
-    /// report are skipped.
+    /// mean this report is faster. Kernels/variants missing or failed in
+    /// either report are skipped.
     ///
     /// Useful for regression tracking across commits or comparing two
     /// machines' suite runs.
@@ -148,18 +343,26 @@ impl SuiteReport {
             "kernel", "variant", "self s", "base s", "speedup"
         ));
         for k in &self.kernels {
-            let Some(bk) = baseline.kernel(&k.kernel) else { continue };
+            let Some(bk) = baseline.kernel(&k.kernel) else {
+                continue;
+            };
             for v in &k.variants {
-                let Some(bv) = bk.variants.iter().find(|b| b.variant == v.variant) else {
+                let Some(self_s) = v.median_s() else { continue };
+                let Some(base_s) = bk
+                    .variants
+                    .iter()
+                    .find(|b| b.variant == v.variant)
+                    .and_then(VariantResult::median_s)
+                else {
                     continue;
                 };
                 out.push_str(&format!(
                     "{:<16} {:<12} {:>10.4} {:>10.4} {:>7.2}X\n",
                     k.kernel,
                     v.variant,
-                    v.timing.median_s,
-                    bv.timing.median_s,
-                    bv.timing.median_s / v.timing.median_s
+                    self_s,
+                    base_s,
+                    base_s / self_s
                 ));
             }
         }
@@ -183,14 +386,22 @@ mod tests {
     use super::*;
 
     fn dummy_report() -> SuiteReport {
-        let timing = |s: f64| Measurement { median_s: s, mean_s: s, stddev_s: 0.0, min_s: s, max_s: s, runs: 1 };
+        let timing = |s: f64| Measurement {
+            median_s: s,
+            mean_s: s,
+            stddev_s: 0.0,
+            min_s: s,
+            max_s: s,
+            runs: 1,
+        };
         let vr = |name: &str, s: f64| VariantResult {
             variant: name.into(),
-            timing: timing(s),
+            timing: Some(timing(s)),
             checksum: 1.0,
             gflops: 1.0,
             gbs: 1.0,
             validated: true,
+            outcome: VariantOutcome::Ok,
         };
         SuiteReport {
             size: "test".into(),
@@ -209,6 +420,20 @@ mod tests {
                 ],
             }],
         }
+    }
+
+    fn all_outcomes() -> Vec<VariantOutcome> {
+        vec![
+            VariantOutcome::Ok,
+            VariantOutcome::ValidationFailed {
+                reason: "rel err 0.5 at [3]".into(),
+            },
+            VariantOutcome::Panicked {
+                message: "index out of bounds".into(),
+            },
+            VariantOutcome::TimedOut { budget_s: 2.5 },
+            VariantOutcome::NonFinite,
+        ]
     }
 
     #[test]
@@ -230,11 +455,94 @@ mod tests {
     }
 
     #[test]
+    fn json_roundtrip_with_failures() {
+        let mut r = dummy_report();
+        for (v, (slot, outcome)) in r.kernels[0]
+            .variants
+            .iter_mut()
+            .zip(Variant::ALL.into_iter().zip(all_outcomes()))
+        {
+            if !outcome.is_ok() {
+                *v = VariantResult::failed(slot, true, outcome);
+            }
+        }
+        assert_eq!(r.failures().len(), 4);
+        let back = SuiteReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn outcome_kind_and_display() {
+        let kinds: Vec<&str> = all_outcomes().iter().map(VariantOutcome::kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                "ok",
+                "validation_failed",
+                "panicked",
+                "timed_out",
+                "non_finite"
+            ]
+        );
+        let shown = format!(
+            "{}",
+            VariantOutcome::Panicked {
+                message: "boom".into()
+            }
+        );
+        assert_eq!(shown, "panicked: boom");
+    }
+
+    #[test]
+    fn failed_variants_drop_out_of_gap_math() {
+        let mut r = dummy_report();
+        r.kernels[0].variants[4] = VariantResult::failed(
+            Variant::Ninja,
+            true,
+            VariantOutcome::Panicked {
+                message: "boom".into(),
+            },
+        );
+        let k = &r.kernels[0];
+        assert_eq!(k.measured_gap(), None);
+        assert_eq!(k.measured_residual(), None);
+        // Naive/Simd still measure.
+        assert_eq!(k.speedup_over_naive(Variant::Simd), Some(4.0));
+        assert_eq!(k.failures().count(), 1);
+        assert!(r.has_failures());
+        let fails = r.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].0, "k");
+        assert_eq!(fails[0].1.variant, "ninja");
+        assert!(r.failure_summary().contains("k/ninja: panicked: boom"));
+    }
+
+    #[test]
     fn csv_has_header_and_rows() {
         let csv = dummy_report().to_csv();
         assert!(csv.starts_with("kernel,variant"));
+        assert!(csv.lines().next().unwrap().ends_with("outcome"));
         assert_eq!(csv.lines().count(), 1 + 5);
         assert!(csv.contains("k,ninja"));
+        assert!(csv.contains(",ok"));
+    }
+
+    #[test]
+    fn csv_keeps_rows_for_failures() {
+        let mut r = dummy_report();
+        r.kernels[0].variants[2] = VariantResult::failed(
+            Variant::Simd,
+            true,
+            VariantOutcome::TimedOut { budget_s: 1.0 },
+        );
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 1 + 5);
+        let simd_row = csv.lines().find(|l| l.contains(",simd,")).unwrap();
+        assert!(simd_row.ends_with("timed_out"), "{simd_row}");
+        assert!(
+            simd_row.contains(",,"),
+            "timing columns should be empty: {simd_row}"
+        );
     }
 
     #[test]
@@ -242,14 +550,26 @@ mod tests {
         let a = dummy_report();
         let mut b = dummy_report();
         for v in &mut b.kernels[0].variants {
-            v.timing.median_s *= 2.0;
+            if let Some(t) = &mut v.timing {
+                t.median_s *= 2.0;
+            }
         }
         let cmp = a.compare(&b);
         assert!(cmp.contains("2.00X"), "{cmp}");
         // Missing kernels are skipped silently.
-        let empty = SuiteReport { kernels: Vec::new(), ..dummy_report() };
+        let empty = SuiteReport {
+            kernels: Vec::new(),
+            ..dummy_report()
+        };
         let cmp2 = a.compare(&empty);
         assert!(!cmp2.contains("naive"));
+        // Failed variants are skipped too.
+        let mut c = dummy_report();
+        c.kernels[0].variants[0] =
+            VariantResult::failed(Variant::Naive, true, VariantOutcome::NonFinite);
+        let cmp3 = a.compare(&c);
+        assert!(!cmp3.contains("naive"));
+        assert!(cmp3.contains("parallel"));
     }
 
     #[test]

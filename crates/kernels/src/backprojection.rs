@@ -50,14 +50,23 @@ impl BackProjection {
         let (dim, angles) = Self::shape_for(size);
         let bins = dim * 3 / 2;
         let mut rng = SmallRng::seed_from_u64(seed);
-        let sino = (0..angles * bins).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let sino = (0..angles * bins)
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect();
         let cos_t = (0..angles)
             .map(|a| (std::f32::consts::PI * a as f32 / angles as f32).cos())
             .collect();
         let sin_t = (0..angles)
             .map(|a| (std::f32::consts::PI * a as f32 / angles as f32).sin())
             .collect();
-        Self { image_dim: dim, angles, bins, sino, cos_t, sin_t }
+        Self {
+            image_dim: dim,
+            angles,
+            bins,
+            sino,
+            cos_t,
+            sin_t,
+        }
     }
 
     /// Reconstructed image edge length.
@@ -302,10 +311,7 @@ mod tests {
         let mid = k.image_dim / 2;
         for a in 0..k.angles {
             let t = k.detector_t(a, mid, mid);
-            assert!(
-                (t - k.bins as f32 * 0.5).abs() < 1.0,
-                "angle {a}: t={t}"
-            );
+            assert!((t - k.bins as f32 * 0.5).abs() < 1.0, "angle {a}: t={t}");
         }
     }
 
@@ -368,5 +374,4 @@ mod tests {
             assert!((2.0 * x - y).abs() < 1e-3 * y.abs().max(1.0));
         }
     }
-
 }

@@ -447,5 +447,4 @@ mod tests {
             prev = call;
         }
     }
-
 }

@@ -1,0 +1,343 @@
+//! Fault-injection kernel for exercising the harness's failure paths.
+//!
+//! Not part of [`crate::registry`] — the chaos kernel never contributes to
+//! measured results. Tests and the `reproduce --chaos` flag inject it to
+//! prove that one misbehaving variant cannot take down a suite run: the
+//! victim variant fails in a chosen [`FailureMode`] while every other
+//! variant does honest, validated work.
+//!
+//! Because [`KernelSpec::make`] is a plain function pointer, the failure
+//! mode selects between four spec constructors and the *victim variant* is
+//! encoded in the instance seed (`seed % 5` indexes [`Variant::ALL`]), so
+//! tests can aim the fault at any rung of the ladder.
+
+use crate::framework::{
+    Characterization, Instance, KernelSpec, ProblemSize, ValidationError, Variant, VariantInfo,
+    Work,
+};
+use ninja_parallel::ThreadPool;
+
+/// How the victim variant misbehaves.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FailureMode {
+    /// Panic during validation/measurement.
+    Panic,
+    /// Block forever (sleeps rather than spins, so a watchdog-abandoned
+    /// thread does not burn a core for the rest of the process).
+    Hang,
+    /// Complete normally but return a NaN checksum.
+    NonFinite,
+    /// Return subtly wrong output that only validation can catch.
+    WrongOutput,
+}
+
+impl FailureMode {
+    /// Every mode, in the order the CLI documents them.
+    pub const ALL: [FailureMode; 4] = [
+        FailureMode::Panic,
+        FailureMode::Hang,
+        FailureMode::NonFinite,
+        FailureMode::WrongOutput,
+    ];
+
+    /// Short CLI label (`panic`, `hang`, `nan`, `wrong`).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureMode::Panic => "panic",
+            FailureMode::Hang => "hang",
+            FailureMode::NonFinite => "nan",
+            FailureMode::WrongOutput => "wrong",
+        }
+    }
+
+    /// Parses a label produced by [`FailureMode::name`].
+    pub fn from_name(name: &str) -> Option<FailureMode> {
+        FailureMode::ALL.into_iter().find(|m| m.name() == name)
+    }
+}
+
+impl std::fmt::Display for FailureMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The victim variant encoded by an instance seed (`seed % 5`).
+pub fn victim_of_seed(seed: u64) -> Variant {
+    Variant::ALL[(seed % Variant::ALL.len() as u64) as usize]
+}
+
+struct ChaosInstance {
+    mode: FailureMode,
+    victim: Variant,
+    data: Vec<f32>,
+}
+
+impl ChaosInstance {
+    fn new(mode: FailureMode, size: ProblemSize, seed: u64) -> Self {
+        let n = match size {
+            ProblemSize::Test => 1 << 10,
+            ProblemSize::Quick => 1 << 14,
+            ProblemSize::Paper => 1 << 16,
+        };
+        // Deterministic, seed-independent inputs: the seed is reserved for
+        // victim selection, and re-created instances (after a timeout or
+        // panic) must regenerate identical data.
+        let data = (0..n).map(|i| ((i % 97) as f32) * 0.25 + 1.0).collect();
+        Self {
+            mode,
+            victim: victim_of_seed(seed),
+            data,
+        }
+    }
+
+    /// The honest computation every non-victim variant performs.
+    fn honest_output(&self) -> Vec<f32> {
+        self.data.iter().map(|&x| x * 1.5 + 2.0).collect()
+    }
+
+    fn output(&self, variant: Variant) -> Vec<f32> {
+        let mut out = self.honest_output();
+        if variant == self.victim && self.mode == FailureMode::WrongOutput {
+            // Subtle corruption: one element, ~3% relative error — small
+            // enough to keep the checksum plausible, large enough that a
+            // per-element validator must flag it.
+            let mid = out.len() / 2;
+            out[mid] *= 1.03;
+        }
+        out
+    }
+}
+
+impl Instance for ChaosInstance {
+    fn run(&mut self, variant: Variant, _pool: &ThreadPool) -> f64 {
+        if variant == self.victim {
+            match self.mode {
+                FailureMode::Panic => {
+                    panic!("chaos: injected panic in variant {variant}")
+                }
+                FailureMode::Hang => loop {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                },
+                FailureMode::NonFinite => return f64::NAN,
+                FailureMode::WrongOutput => {}
+            }
+        }
+        self.output(variant).iter().map(|&x| x as f64).sum()
+    }
+
+    fn validate(&mut self, variant: Variant, _pool: &ThreadPool) -> Result<(), ValidationError> {
+        if variant == self.victim {
+            match self.mode {
+                FailureMode::Panic => {
+                    panic!("chaos: injected panic in variant {variant}")
+                }
+                FailureMode::Hang => loop {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                },
+                // NonFinite sabotages only the measured checksum, so
+                // validation passes and the harness's non-finite check is
+                // the one that must catch it.
+                FailureMode::NonFinite => return Ok(()),
+                FailureMode::WrongOutput => {}
+            }
+        }
+        let reference = self.honest_output();
+        let out = self.output(variant);
+        let mut worst = (0.0f64, 0usize);
+        for (i, (&a, &b)) in out.iter().zip(reference.iter()).enumerate() {
+            let err = ((a - b).abs() as f64) / (b.abs() as f64).max(1.0);
+            if err > worst.0 {
+                worst = (err, i);
+            }
+        }
+        if worst.0 > 1e-6 {
+            return Err(ValidationError {
+                kernel: "chaos",
+                variant,
+                detail: format!(
+                    "worst relative error {:.3e} at element {} (injected corruption)",
+                    worst.0, worst.1
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn work(&self) -> Work {
+        Work {
+            flops: 2.0 * self.data.len() as f64,
+            bytes: 8.0 * self.data.len() as f64,
+            elems: self.data.len() as u64,
+        }
+    }
+}
+
+fn make_panic(size: ProblemSize, seed: u64) -> Box<dyn Instance> {
+    Box::new(ChaosInstance::new(FailureMode::Panic, size, seed))
+}
+
+fn make_hang(size: ProblemSize, seed: u64) -> Box<dyn Instance> {
+    Box::new(ChaosInstance::new(FailureMode::Hang, size, seed))
+}
+
+fn make_nan(size: ProblemSize, seed: u64) -> Box<dyn Instance> {
+    Box::new(ChaosInstance::new(FailureMode::NonFinite, size, seed))
+}
+
+fn make_wrong(size: ProblemSize, seed: u64) -> Box<dyn Instance> {
+    Box::new(ChaosInstance::new(FailureMode::WrongOutput, size, seed))
+}
+
+fn variants() -> [VariantInfo; 5] {
+    let mut infos = Variant::ALL.map(|v| VariantInfo {
+        variant: v,
+        effort_loc: 1,
+        what_changed: "fault injection — not a real optimization tier",
+    });
+    for (i, info) in infos.iter_mut().enumerate() {
+        info.effort_loc = i as u32 + 1;
+    }
+    infos
+}
+
+/// The spec for one failure mode. The kernel is named `chaos-<mode>` so
+/// reports make the injection obvious.
+pub fn spec(mode: FailureMode) -> KernelSpec {
+    let (name, description, make): (&'static str, &'static str, _) = match mode {
+        FailureMode::Panic => (
+            "chaos-panic",
+            "fault injection: panics on the victim variant",
+            make_panic as fn(_, _) -> _,
+        ),
+        FailureMode::Hang => (
+            "chaos-hang",
+            "fault injection: hangs on the victim variant",
+            make_hang as fn(_, _) -> _,
+        ),
+        FailureMode::NonFinite => (
+            "chaos-nan",
+            "fault injection: NaN checksum on the victim variant",
+            make_nan as fn(_, _) -> _,
+        ),
+        FailureMode::WrongOutput => (
+            "chaos-wrong",
+            "fault injection: wrong output on the victim variant",
+            make_wrong as fn(_, _) -> _,
+        ),
+    };
+    KernelSpec {
+        name,
+        description,
+        bound: "compute",
+        variants: variants(),
+        character: Characterization {
+            flops_per_elem: 2.0,
+            bytes_per_elem: 8.0,
+            naive_simd_frac: 0.0,
+            restructure_simd_frac: 0.0,
+            simd_friendly_frac: 0.0,
+            parallel_frac: 0.5,
+            gather_per_elem: 0.0,
+            algorithmic_factor: 1.0,
+            simd_efficiency: 1.0,
+        },
+        make,
+    }
+}
+
+/// One spec per failure mode, in [`FailureMode::ALL`] order.
+pub fn all_specs() -> Vec<KernelSpec> {
+    FailureMode::ALL.into_iter().map(spec).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_names_roundtrip() {
+        for m in FailureMode::ALL {
+            assert_eq!(FailureMode::from_name(m.name()), Some(m));
+            assert_eq!(format!("{m}"), m.name());
+        }
+        assert_eq!(FailureMode::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn victim_selection_covers_all_variants() {
+        for (i, v) in Variant::ALL.into_iter().enumerate() {
+            assert_eq!(victim_of_seed(i as u64), v);
+            assert_eq!(victim_of_seed(i as u64 + 5), v);
+        }
+    }
+
+    #[test]
+    fn non_victim_variants_do_honest_work() {
+        let pool = ThreadPool::with_threads(1);
+        // Victim = ninja (seed 4); every other variant validates and
+        // produces a matching finite checksum.
+        let spec = spec(FailureMode::Panic);
+        let mut inst = (spec.make)(ProblemSize::Test, 4);
+        for v in [
+            Variant::Naive,
+            Variant::Parallel,
+            Variant::Simd,
+            Variant::Algorithmic,
+        ] {
+            inst.validate(v, &pool).unwrap();
+            let c = inst.run(v, &pool);
+            assert!(c.is_finite() && c > 0.0);
+        }
+    }
+
+    #[test]
+    fn panic_mode_panics_on_victim_only() {
+        let pool = ThreadPool::with_threads(1);
+        let spec = spec(FailureMode::Panic);
+        let mut inst = (spec.make)(ProblemSize::Test, 0); // victim = naive
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            inst.run(Variant::Naive, &pool)
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("injected panic"), "{msg}");
+    }
+
+    #[test]
+    fn nan_mode_passes_validation_but_poisons_checksum() {
+        let pool = ThreadPool::with_threads(1);
+        let spec = spec(FailureMode::NonFinite);
+        let mut inst = (spec.make)(ProblemSize::Test, 2); // victim = simd
+        inst.validate(Variant::Simd, &pool).unwrap();
+        assert!(inst.run(Variant::Simd, &pool).is_nan());
+        assert!(inst.run(Variant::Naive, &pool).is_finite());
+    }
+
+    #[test]
+    fn wrong_mode_fails_validation_with_detail() {
+        let pool = ThreadPool::with_threads(1);
+        let spec = spec(FailureMode::WrongOutput);
+        let mut inst = (spec.make)(ProblemSize::Test, 3); // victim = algorithmic
+        let err = inst.validate(Variant::Algorithmic, &pool).unwrap_err();
+        assert!(err.detail.contains("injected corruption"), "{}", err.detail);
+        inst.validate(Variant::Ninja, &pool).unwrap();
+        // The corrupted checksum is still finite and close to honest.
+        let bad = inst.run(Variant::Algorithmic, &pool);
+        let good = inst.run(Variant::Naive, &pool);
+        assert!(bad.is_finite());
+        assert!(
+            (bad - good).abs() / good > 0.0,
+            "corruption must move the checksum"
+        );
+    }
+
+    #[test]
+    fn all_specs_have_unique_chaos_names() {
+        let specs = all_specs();
+        assert_eq!(specs.len(), 4);
+        for s in &specs {
+            assert!(s.name.starts_with("chaos-"));
+        }
+    }
+}

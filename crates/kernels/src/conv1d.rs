@@ -64,7 +64,12 @@ impl Conv1d {
         let taps: Vec<Complex> = (0..TAPS).map(|_| sample(&mut rng)).collect();
         let sig_re: AlignedVec<f32> = signal.iter().map(|c| c.re).collect();
         let sig_im: AlignedVec<f32> = signal.iter().map(|c| c.im).collect();
-        Self { signal, taps, sig_re, sig_im }
+        Self {
+            signal,
+            taps,
+            sig_re,
+            sig_im,
+        }
     }
 
     /// Output length (`N − K + 1`).
@@ -141,7 +146,7 @@ impl Conv1d {
         let m = self.out_len();
         let mut re = vec![0.0f32; m];
         let mut im = vec![0.0f32; m];
-        let this = &*self;
+        let this = self;
         ninja_parallel::par_zip_chunks_mut(pool, &mut re, &mut im, 8192, |chunk_idx, cre, cim| {
             let lo = chunk_idx * 8192;
             this.soa_range(lo, lo + cre.len(), cre, cim);
@@ -156,7 +161,7 @@ impl Conv1d {
         let m = self.out_len();
         let mut re = vec![0.0f32; m];
         let mut im = vec![0.0f32; m];
-        let this = &*self;
+        let this = self;
         // Hoist the broadcast tap registers out of the hot loop.
         let taps_v: Vec<(F32x4, F32x4)> = self
             .taps

@@ -51,7 +51,12 @@ impl Conv2d {
                 *t = rng.gen_range(-0.5..0.5);
             }
         }
-        Self { width: dim, height: dim, image, taps }
+        Self {
+            width: dim,
+            height: dim,
+            image,
+            taps,
+        }
     }
 
     /// Image width in pixels.
@@ -195,14 +200,14 @@ impl Conv2d {
                     let base = (y + ky - R) * w + x - R;
                     let t = &self.taps[ky];
                     acc = F32x4::splat(t[0]).mul_add(F32x4::from_slice(&self.image[base..]), acc);
-                    acc = F32x4::splat(t[1])
-                        .mul_add(F32x4::from_slice(&self.image[base + 1..]), acc);
-                    acc = F32x4::splat(t[2])
-                        .mul_add(F32x4::from_slice(&self.image[base + 2..]), acc);
-                    acc = F32x4::splat(t[3])
-                        .mul_add(F32x4::from_slice(&self.image[base + 3..]), acc);
-                    acc = F32x4::splat(t[4])
-                        .mul_add(F32x4::from_slice(&self.image[base + 4..]), acc);
+                    acc =
+                        F32x4::splat(t[1]).mul_add(F32x4::from_slice(&self.image[base + 1..]), acc);
+                    acc =
+                        F32x4::splat(t[2]).mul_add(F32x4::from_slice(&self.image[base + 2..]), acc);
+                    acc =
+                        F32x4::splat(t[3]).mul_add(F32x4::from_slice(&self.image[base + 3..]), acc);
+                    acc =
+                        F32x4::splat(t[4]).mul_add(F32x4::from_slice(&self.image[base + 4..]), acc);
                 }
                 acc.write_to_slice(&mut row[x..]);
                 x += 4;
@@ -348,7 +353,9 @@ mod tests {
         let spec = spec();
         let pool = ThreadPool::with_threads(1);
         for v in Variant::ALL {
-            (spec.make)(ProblemSize::Test, 4).validate(v, &pool).unwrap();
+            (spec.make)(ProblemSize::Test, 4)
+                .validate(v, &pool)
+                .unwrap();
         }
     }
 
@@ -381,5 +388,4 @@ mod tests {
             }
         }
     }
-
 }

@@ -329,7 +329,9 @@ impl<K: Send, O: OutputData + Send> Instance for Adapter<K, O> {
             Some((err, pos)) if err > tolerance => Err(ValidationError {
                 kernel: name,
                 variant,
-                detail: format!("worst relative error {err:.3e} at element {pos} (tolerance {tolerance:.1e})"),
+                detail: format!(
+                    "worst relative error {err:.3e} at element {pos} (tolerance {tolerance:.1e})"
+                ),
             }),
             Some(_) => Ok(()),
         }
@@ -396,7 +398,11 @@ mod tests {
             }
         }
         fn fake_work(_: &Fake) -> Work {
-            Work { flops: 1.0, bytes: 1.0, elems: 3 }
+            Work {
+                flops: 1.0,
+                bytes: 1.0,
+                elems: 3,
+            }
         }
         let mut adapter = Adapter {
             kernel: Fake,

@@ -85,7 +85,12 @@ impl Lbm {
                 cell[d] = equilibrium(d, rho, ux, uy);
             }
         }
-        Self { width: dim, height: dim, steps, init }
+        Self {
+            width: dim,
+            height: dim,
+            steps,
+            init,
+        }
     }
 
     /// Grid width in cells.
@@ -148,8 +153,7 @@ impl Lbm {
 
     fn soa_init(&self) -> Vec<AlignedVec<f32>> {
         let cells = self.width * self.height;
-        let mut planes: Vec<AlignedVec<f32>> =
-            (0..Q).map(|_| AlignedVec::zeroed(cells)).collect();
+        let mut planes: Vec<AlignedVec<f32>> = (0..Q).map(|_| AlignedVec::zeroed(cells)).collect();
         for c in 0..cells {
             for d in 0..Q {
                 planes[d][c] = self.init[c * Q + d];
@@ -224,7 +228,8 @@ impl Lbm {
                 let vec_w = w / 4 * 4;
                 for x in (0..vec_w).step_by(4) {
                     let i = base + x;
-                    let f: [F32x4; Q] = std::array::from_fn(|d| F32x4::from_slice(&streamed[d][i..]));
+                    let f: [F32x4; Q] =
+                        std::array::from_fn(|d| F32x4::from_slice(&streamed[d][i..]));
                     let out = collide_v4(&f);
                     for d in 0..Q {
                         out[d].write_to_slice(&mut dst[d][i..]);
@@ -310,8 +315,7 @@ impl Lbm {
         let mut cur = self.soa_init();
         let mut streamed: Vec<AlignedVec<f32>> =
             (0..Q).map(|_| AlignedVec::zeroed(cells)).collect();
-        let mut next: Vec<AlignedVec<f32>> =
-            (0..Q).map(|_| AlignedVec::zeroed(cells)).collect();
+        let mut next: Vec<AlignedVec<f32>> = (0..Q).map(|_| AlignedVec::zeroed(cells)).collect();
         for _ in 0..self.steps {
             match pool {
                 None => Self::soa_step(&cur, &mut streamed, &mut next, w, h, 0..h, use_simd),
@@ -373,10 +377,14 @@ unsafe impl Send for PlanesPtr {}
 unsafe impl Sync for PlanesPtr {}
 impl PlanesPtr {
     fn new(planes: &mut [AlignedVec<f32>]) -> Self {
-        Self { ptr: planes.as_mut_ptr(), len: planes.len() }
+        Self {
+            ptr: planes.as_mut_ptr(),
+            len: planes.len(),
+        }
     }
     /// # Safety
     /// Callers must write disjoint element ranges per thread.
+    #[allow(clippy::mut_from_ref)]
     unsafe fn planes(&self) -> &mut [AlignedVec<f32>] {
         unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
     }
@@ -680,5 +688,4 @@ mod tests {
         assert!((mx0 - mx1).abs() < 1e-3 * cells.sqrt(), "{mx0} vs {mx1}");
         assert!((my0 - my1).abs() < 1e-3 * cells.sqrt(), "{my0} vs {my1}");
     }
-
 }

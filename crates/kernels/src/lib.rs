@@ -33,9 +33,15 @@
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
+// The naive tiers are intentionally index-style "C in Rust" loops — that
+// coding style is the object of study, so iterator rewrites are off-limits.
+#![allow(clippy::needless_range_loop)]
+// Ninja-tier inner loops take unpacked scalar state on purpose.
+#![allow(clippy::too_many_arguments)]
 
 pub mod backprojection;
 pub mod black_scholes;
+pub mod chaos;
 pub mod conv1d;
 pub mod conv2d;
 pub mod lbm;
@@ -118,7 +124,12 @@ mod tests {
             assert!(c.bytes_per_elem > 0.0, "{}", spec.name);
             assert!((0.0..=1.0).contains(&c.naive_simd_frac), "{}", spec.name);
             assert!((0.0..=1.0).contains(&c.simd_friendly_frac), "{}", spec.name);
-            assert!(c.naive_simd_frac <= c.restructure_simd_frac && c.restructure_simd_frac <= c.simd_friendly_frac, "{}", spec.name);
+            assert!(
+                c.naive_simd_frac <= c.restructure_simd_frac
+                    && c.restructure_simd_frac <= c.simd_friendly_frac,
+                "{}",
+                spec.name
+            );
             assert!((0.5..=1.0).contains(&c.parallel_frac), "{}", spec.name);
             assert!(c.algorithmic_factor >= 1.0, "{}", spec.name);
         }

@@ -80,7 +80,13 @@ impl Libor {
                 zt[n * paths + p] = z[p * NMAT + n];
             }
         }
-        Self { paths, init_rates, vols, z, zt }
+        Self {
+            paths,
+            init_rates,
+            vols,
+            z,
+            zt,
+        }
     }
 
     /// Number of Monte-Carlo paths.
@@ -182,7 +188,11 @@ impl Libor {
     /// Panics if the path count is not a multiple of the group width (all
     /// size presets are).
     pub fn run_simd(&self) -> Vec<f32> {
-        assert_eq!(self.paths % GROUP, 0, "path count must be a multiple of {GROUP}");
+        assert_eq!(
+            self.paths % GROUP,
+            0,
+            "path count must be a multiple of {GROUP}"
+        );
         let mut out = vec![0.0f32; self.paths];
         for (g, chunk) in out.chunks_mut(GROUP).enumerate() {
             self.group_values_f32(g * GROUP, chunk);
@@ -414,5 +424,4 @@ mod tests {
         let m1 = mean(&bumped.run_naive());
         assert!(m1 > m0, "vega must be positive: {m0} -> {m1}");
     }
-
 }

@@ -444,7 +444,15 @@ mod tests {
     #[test]
     fn simd_merge_matches_scalar_merge() {
         let mut rng = SmallRng::seed_from_u64(99);
-        for (la, lb) in [(8, 8), (16, 4), (4, 16), (32, 7), (7, 32), (100, 100), (9, 64)] {
+        for (la, lb) in [
+            (8, 8),
+            (16, 4),
+            (4, 16),
+            (32, 7),
+            (7, 32),
+            (100, 100),
+            (9, 64),
+        ] {
             let mut a: Vec<f32> = (0..la).map(|_| rng.gen_range(-100.0..100.0)).collect();
             let mut b: Vec<f32> = (0..lb).map(|_| rng.gen_range(-100.0..100.0)).collect();
             a.sort_by(|x, y| x.partial_cmp(y).unwrap());

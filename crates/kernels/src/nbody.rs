@@ -91,7 +91,13 @@ impl NBody {
             zs[i] = b.z;
             ms[i] = b.m;
         }
-        Self { bodies, xs, ys, zs, ms }
+        Self {
+            bodies,
+            xs,
+            ys,
+            zs,
+            ms,
+        }
     }
 
     /// Number of bodies.
@@ -330,7 +336,10 @@ mod tests {
     use super::*;
 
     fn small() -> (NBody, ThreadPool) {
-        (NBody::generate(ProblemSize::Test, 7), ThreadPool::with_threads(2))
+        (
+            NBody::generate(ProblemSize::Test, 7),
+            ThreadPool::with_threads(2),
+        )
     }
 
     #[test]
@@ -356,8 +365,18 @@ mod tests {
         // Two equal masses: accelerations must be equal and opposite.
         let mut k = NBody::generate(ProblemSize::Test, 1);
         k.bodies = vec![
-            Body { x: -1.0, y: 0.0, z: 0.0, m: 1.0 },
-            Body { x: 1.0, y: 0.0, z: 0.0, m: 1.0 },
+            Body {
+                x: -1.0,
+                y: 0.0,
+                z: 0.0,
+                m: 1.0,
+            },
+            Body {
+                x: 1.0,
+                y: 0.0,
+                z: 0.0,
+                m: 1.0,
+            },
         ];
         let a = k.run_naive();
         assert!((a[0] + a[3]).abs() < 1e-6, "ax symmetric");
@@ -367,7 +386,12 @@ mod tests {
     #[test]
     fn self_interaction_is_zero() {
         let mut k = NBody::generate(ProblemSize::Test, 1);
-        k.bodies = vec![Body { x: 0.5, y: -0.25, z: 1.0, m: 2.0 }];
+        k.bodies = vec![Body {
+            x: 0.5,
+            y: -0.25,
+            z: 1.0,
+            m: 2.0,
+        }];
         let a = k.run_naive();
         assert_eq!(a, vec![0.0, 0.0, 0.0]);
     }
@@ -416,7 +440,10 @@ mod tests {
             scale += (b.m as f64) * (a[3 * i] as f64).abs();
         }
         for p in [px, py, pz] {
-            assert!(p.abs() < 1e-4 * scale.max(1.0), "momentum drift {p} (scale {scale})");
+            assert!(
+                p.abs() < 1e-4 * scale.max(1.0),
+                "momentum drift {p} (scale {scale})"
+            );
         }
     }
 
@@ -424,12 +451,21 @@ mod tests {
     fn far_away_body_feels_tiny_force() {
         let mut k = NBody::generate(ProblemSize::Test, 14);
         k.bodies = vec![
-            Body { x: 0.0, y: 0.0, z: 0.0, m: 1.0 },
-            Body { x: 1000.0, y: 0.0, z: 0.0, m: 1.0 },
+            Body {
+                x: 0.0,
+                y: 0.0,
+                z: 0.0,
+                m: 1.0,
+            },
+            Body {
+                x: 1000.0,
+                y: 0.0,
+                z: 0.0,
+                m: 1.0,
+            },
         ];
         let a = k.run_naive();
         assert!(a[0].abs() < 1e-5, "force across 1000 units must be tiny");
         assert!(a[0] > 0.0, "but still attractive");
     }
-
 }

@@ -31,7 +31,7 @@ pub fn floor_f32(x: f32) -> f32 {
 pub fn exp_poly(x: f32) -> f32 {
     let x = x.clamp(-87.336_54, 88.376_26);
     let fx = floor_f32(x * std::f32::consts::LOG2_E + 0.5);
-    let r = x - fx * 0.693_359_375 - fx * -2.121_944_4e-4;
+    let r = x - fx * 0.693_359_4 - fx * -2.121_944_4e-4;
     let mut p = 1.987_569_1e-4;
     p = p * r + 1.398_199_9e-3;
     p = p * r + 8.333_452e-3;
@@ -67,13 +67,13 @@ pub fn ln_poly(x: f32) -> f32 {
 pub fn cnd_poly(x: f32) -> f32 {
     let ax = x.abs();
     let k = 1.0 / (ax * 0.231_641_9 + 1.0);
-    let mut poly = 1.330_274_429_f32;
-    poly = poly * k + -1.821_255_978;
-    poly = poly * k + 1.781_477_937;
-    poly = poly * k + -0.356_563_782;
-    poly = poly * k + 0.319_381_530;
+    let mut poly = 1.330_274_5_f32;
+    poly = poly * k + -1.821_255_9;
+    poly = poly * k + 1.781_477_9;
+    poly = poly * k + -0.356_563_78;
+    poly = poly * k + 0.319_381_54;
     poly *= k;
-    let pdf = 0.398_942_28 * exp_poly(-(ax * ax) * 0.5);
+    let pdf = 0.398_942_3 * exp_poly(-(ax * ax) * 0.5);
     let cdf_pos = 1.0 - pdf * poly;
     select_f32(x >= 0.0, cdf_pos, 1.0 - cdf_pos)
 }

@@ -88,7 +88,13 @@ impl TreeSearch {
         let mut eyt_rank = vec![0u32; n + 1];
         let mut cursor = 0usize;
         fill_eytzinger(&keys, &mut eyt, &mut eyt_rank, 1, &mut cursor);
-        Self { keys, queries, root, eyt, eyt_rank }
+        Self {
+            keys,
+            queries,
+            root,
+            eyt,
+            eyt_rank,
+        }
     }
 
     /// Number of keys in the tree.
@@ -167,7 +173,11 @@ impl TreeSearch {
                     if ge {
                         best = n.rank;
                     }
-                    node = if ge { n.left.as_deref() } else { n.right.as_deref() };
+                    node = if ge {
+                        n.left.as_deref()
+                    } else {
+                        n.right.as_deref()
+                    };
                 }
                 best
             })
@@ -213,7 +223,11 @@ impl TreeSearch {
         for (o, &kk) in out.iter_mut().zip(ks.iter()) {
             let mut kk = kk as u32;
             kk >>= (kk.trailing_ones() + 1).min(31);
-            *o = if kk == 0 { n as u32 } else { self.eyt_rank[kk as usize] };
+            *o = if kk == 0 {
+                n as u32
+            } else {
+                self.eyt_rank[kk as usize]
+            };
         }
         out
     }
@@ -436,5 +450,4 @@ mod tests {
             }
         }
     }
-
 }

@@ -377,7 +377,16 @@ mod tests {
         k.voxels.iter_mut().for_each(|v| *v = 0.0);
         let d = k.dim;
         // Corners of one cell set to 1 -> center of that cell samples 1.
-        for (x, y, z) in [(2, 2, 2), (3, 2, 2), (2, 3, 2), (3, 3, 2), (2, 2, 3), (3, 2, 3), (2, 3, 3), (3, 3, 3)] {
+        for (x, y, z) in [
+            (2, 2, 2),
+            (3, 2, 2),
+            (2, 3, 2),
+            (3, 3, 2),
+            (2, 2, 3),
+            (3, 2, 3),
+            (2, 3, 3),
+            (3, 3, 3),
+        ] {
             k.voxels[(z * d + y) * d + x] = 1.0;
         }
         assert!((k.sample(2.5, 2.5, 2.5) - 1.0).abs() < 1e-6);
@@ -439,5 +448,4 @@ mod tests {
             assert!(y >= x, "{y} < {x}");
         }
     }
-
 }

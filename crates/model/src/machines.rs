@@ -51,7 +51,12 @@ impl std::fmt::Display for Machine {
         write!(
             f,
             "{} ({}): {}C x {:.1} GHz, {}-wide SIMD, {:.0} GB/s",
-            self.name, self.year, self.cores, self.freq_ghz, self.simd_f32_lanes, self.bandwidth_gbs
+            self.name,
+            self.year,
+            self.cores,
+            self.freq_ghz,
+            self.simd_f32_lanes,
+            self.bandwidth_gbs
         )
     }
 }
@@ -180,7 +185,10 @@ mod tests {
         let w = westmere();
         let compute_growth = f2.peak_gflops() / w.peak_gflops();
         let bw_growth = f2.bandwidth_gbs / w.bandwidth_gbs;
-        assert!(compute_growth > bw_growth * 1.5, "{compute_growth} vs {bw_growth}");
+        assert!(
+            compute_growth > bw_growth * 1.5,
+            "{compute_growth} vs {bw_growth}"
+        );
     }
 
     #[test]

@@ -44,7 +44,13 @@ pub fn time_per_elem(c: &Characterization, v: Variant, m: &Machine) -> f64 {
     let lanes = m.simd_f32_lanes as f64;
 
     let (threads, vec_frac, vec_eff, extra_work, gathers) = match v {
-        Variant::Naive => (1.0, c.naive_simd_frac, COMPILER_VECTOR_EFFICIENCY, c.algorithmic_factor, 0.0),
+        Variant::Naive => (
+            1.0,
+            c.naive_simd_frac,
+            COMPILER_VECTOR_EFFICIENCY,
+            c.algorithmic_factor,
+            0.0,
+        ),
         Variant::Parallel => (
             m.cores as f64,
             c.naive_simd_frac,
@@ -82,7 +88,11 @@ pub fn time_per_elem(c: &Characterization, v: Variant, m: &Machine) -> f64 {
         let vec_speedup = amdahl(vec_frac, (lanes * vec_eff).max(1.0));
 
         let gather_cost = if gathers > 0.0 && vec_frac > 0.0 {
-            let per = if m.has_gather { HARD_GATHER_COST } else { SOFT_GATHER_COST + 0.5 * lanes };
+            let per = if m.has_gather {
+                HARD_GATHER_COST
+            } else {
+                SOFT_GATHER_COST + 0.5 * lanes
+            };
             gathers * per
         } else {
             0.0
@@ -233,7 +243,10 @@ mod tests {
     #[test]
     fn westmere_average_gap_is_paper_scale() {
         let m = machines::westmere();
-        let gaps: Vec<f64> = registry().iter().map(|s| predicted_gap(&s.character, &m)).collect();
+        let gaps: Vec<f64> = registry()
+            .iter()
+            .map(|s| predicted_gap(&s.character, &m))
+            .collect();
         let avg = crate::geomean(&gaps);
         // The paper reports an average of 24X (max 53X); the model should
         // land in the same regime.
@@ -245,8 +258,10 @@ mod tests {
     #[test]
     fn westmere_average_residual_is_small() {
         let m = machines::westmere();
-        let res: Vec<f64> =
-            registry().iter().map(|s| predicted_residual(&s.character, &m)).collect();
+        let res: Vec<f64> = registry()
+            .iter()
+            .map(|s| predicted_residual(&s.character, &m))
+            .collect();
         let avg = crate::geomean(&res);
         assert!(avg > 1.0 && avg < 1.8, "avg residual {avg} (paper: ~1.3X)");
         for (s, r) in registry().iter().zip(res.iter()) {
@@ -260,7 +275,10 @@ mod tests {
         let specs = registry();
         let avg_for = |m: &Machine| {
             crate::geomean(
-                &specs.iter().map(|s| predicted_gap(&s.character, m)).collect::<Vec<_>>(),
+                &specs
+                    .iter()
+                    .map(|s| predicted_gap(&s.character, m))
+                    .collect::<Vec<_>>(),
             )
         };
         let avgs: Vec<f64> = gens.iter().map(avg_for).collect();
@@ -339,7 +357,10 @@ mod tests {
         let m = machines::westmere();
         let (_, _, gain_tree) = gather_ablation(&kernel("treesearch"), &m);
         let (_, _, gain_conv) = gather_ablation(&kernel("conv1d"), &m);
-        assert!(gain_tree > 1.1, "treesearch ninja should gain from gather: {gain_tree}");
+        assert!(
+            gain_tree > 1.1,
+            "treesearch ninja should gain from gather: {gain_tree}"
+        );
         assert!((gain_conv - 1.0).abs() < 1e-9, "conv1d has no gathers");
     }
 
@@ -351,11 +372,7 @@ mod tests {
         assert_eq!(steps.len(), 4);
         assert!((steps[0].ninja_speedup - 1.0).abs() < 1e-9);
         for w in steps.windows(2) {
-            assert!(
-                w[1].ninja_speedup >= w[0].ninja_speedup * 0.999,
-                "{:?}",
-                w
-            );
+            assert!(w[1].ninja_speedup >= w[0].ninja_speedup * 0.999, "{:?}", w);
         }
         // FMA + AVX together should at least double ninja throughput for a
         // fully vectorizable compute-bound kernel.
@@ -368,7 +385,11 @@ mod tests {
         for s in registry() {
             let b = gap_breakdown(&s.character, &m);
             assert!(b.total >= 1.0, "{}", s.name);
-            assert!(b.parallel >= 1.0 && b.simd >= 1.0 && b.residual >= 1.0, "{}", s.name);
+            assert!(
+                b.parallel >= 1.0 && b.simd >= 1.0 && b.residual >= 1.0,
+                "{}",
+                s.name
+            );
             assert!(b.algorithmic > 0.5, "{}", s.name);
             // total == parallel * simd * algorithmic * residual (by construction).
             let product = b.parallel * b.simd * b.algorithmic * b.residual;

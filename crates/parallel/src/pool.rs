@@ -3,13 +3,28 @@
 use crate::latch::CountLatch;
 use crossbeam::deque::{Injector, Steal};
 use parking_lot::{Condvar, Mutex};
+use std::any::Any;
 use std::cell::UnsafeCell;
 use std::ops::Range;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// A captured panic payload in transit between a worker and the caller
+/// that will re-raise it.
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Stores `payload` unless a previous panic already claimed the slot
+/// (the first panic wins; later ones are dropped, mirroring what a
+/// sequential loop would have surfaced).
+fn store_first_panic(slot: &Mutex<Option<PanicPayload>>, payload: PanicPayload) {
+    let mut guard = slot.lock();
+    if guard.is_none() {
+        *guard = Some(payload);
+    }
+}
 
 /// A type-erased pointer to a job living on some waiting caller's stack.
 ///
@@ -36,14 +51,14 @@ impl JobRef {
 struct SharedJob<'a> {
     func: &'a (dyn Fn() + Sync),
     latch: &'a CountLatch,
-    panicked: &'a AtomicBool,
+    panic: &'a Mutex<Option<PanicPayload>>,
 }
 
 unsafe fn exec_shared(ptr: *const ()) {
     // SAFETY: ptr was created from a live SharedJob per the JobRef protocol.
     let job = unsafe { &*(ptr as *const SharedJob<'_>) };
-    if catch_unwind(AssertUnwindSafe(job.func)).is_err() {
-        job.panicked.store(true, Ordering::Release);
+    if let Err(payload) = catch_unwind(AssertUnwindSafe(job.func)) {
+        store_first_panic(job.panic, payload);
     }
     job.latch.count_down();
 }
@@ -57,7 +72,7 @@ struct OnceJob<F, R> {
     func: UnsafeCell<Option<F>>,
     result: UnsafeCell<Option<R>>,
     state: AtomicU8,
-    panicked: AtomicBool,
+    panic: UnsafeCell<Option<PanicPayload>>,
 }
 
 // SAFETY: access to func/result is serialized by the `state` machine:
@@ -71,7 +86,7 @@ impl<F: FnOnce() -> R, R> OnceJob<F, R> {
             func: UnsafeCell::new(Some(func)),
             result: UnsafeCell::new(None),
             state: AtomicU8::new(ONCE_PENDING),
-            panicked: AtomicBool::new(false),
+            panic: UnsafeCell::new(None),
         }
     }
 
@@ -79,7 +94,12 @@ impl<F: FnOnce() -> R, R> OnceJob<F, R> {
     fn try_run(&self) -> bool {
         if self
             .state
-            .compare_exchange(ONCE_PENDING, ONCE_RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                ONCE_PENDING,
+                ONCE_RUNNING,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_err()
         {
             return false;
@@ -88,7 +108,9 @@ impl<F: FnOnce() -> R, R> OnceJob<F, R> {
         let func = unsafe { (*self.func.get()).take().expect("once job claimed twice") };
         match catch_unwind(AssertUnwindSafe(func)) {
             Ok(r) => unsafe { *self.result.get() = Some(r) },
-            Err(_) => self.panicked.store(true, Ordering::Release),
+            // SAFETY: same exclusive access as `result` above; readers wait
+            // for the DONE store (Release/Acquire pair) before looking.
+            Err(payload) => unsafe { *self.panic.get() = Some(payload) },
         }
         self.state.store(ONCE_DONE, Ordering::Release);
         true
@@ -102,14 +124,20 @@ impl<F: FnOnce() -> R, R> OnceJob<F, R> {
     ///
     /// # Panics
     ///
-    /// Panics (propagating) if the job itself panicked.
+    /// Re-raises the job's own panic payload if the job panicked, so
+    /// callers of [`ThreadPool::join`] observe the original message.
     fn take_result(&self) -> R {
         assert!(self.is_done());
-        if self.panicked.load(Ordering::Acquire) {
-            panic!("a task submitted to ThreadPool::join panicked");
-        }
         // SAFETY: state is DONE, the runner has released the cells.
-        unsafe { (*self.result.get()).take().expect("once job result taken twice") }
+        if let Some(payload) = unsafe { (*self.panic.get()).take() } {
+            resume_unwind(payload);
+        }
+        // SAFETY: as above.
+        unsafe {
+            (*self.result.get())
+                .take()
+                .expect("once job result taken twice")
+        }
     }
 }
 
@@ -283,8 +311,10 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Panics if any invocation of `body` panicked (after all other chunks
-    /// finish).
+    /// Re-raises the first worker panic with its original payload (after
+    /// all other chunks finish), so `catch_unwind` around a parallel
+    /// region sees the same message a sequential loop would have raised.
+    /// The pool itself stays healthy and can run further regions.
     pub fn parallel_for<F>(&self, range: Range<usize>, grain: usize, body: F)
     where
         F: Fn(Range<usize>) + Sync,
@@ -316,11 +346,11 @@ impl ThreadPool {
 
         let helpers = threads - 1;
         let latch = CountLatch::new(helpers);
-        let panicked = AtomicBool::new(false);
+        let panic_slot: Mutex<Option<PanicPayload>> = Mutex::new(None);
         let job = SharedJob {
             func: &harness,
             latch: &latch,
-            panicked: &panicked,
+            panic: &panic_slot,
         };
         for _ in 0..helpers {
             self.shared.push(JobRef {
@@ -341,8 +371,9 @@ impl ThreadPool {
             let _wait = WaitOnDrop(&latch);
             harness();
         }
-        if panicked.load(Ordering::Acquire) {
-            panic!("a task submitted to ThreadPool::parallel_for panicked");
+        let worker_panic = panic_slot.lock().take();
+        if let Some(payload) = worker_panic {
+            resume_unwind(payload);
         }
     }
 
@@ -545,8 +576,13 @@ mod tests {
     #[test]
     fn reduce_sums_correctly() {
         let pool = ThreadPool::with_threads(3);
-        let total =
-            pool.parallel_reduce(0..10_000, 97, 0u64, |r| r.map(|i| i as u64).sum(), |a, b| a + b);
+        let total = pool.parallel_reduce(
+            0..10_000,
+            97,
+            0u64,
+            |r| r.map(|i| i as u64).sum(),
+            |a, b| a + b,
+        );
         assert_eq!(total, (0..10_000u64).sum());
     }
 
@@ -641,6 +677,63 @@ mod tests {
             pool.join(|| 1, || -> i32 { panic!("boom") })
         }));
         assert!(result.is_err());
+    }
+
+    /// Extracts the human-readable message from a caught panic payload.
+    fn payload_message(payload: &(dyn std::any::Any + Send)) -> &str {
+        payload
+            .downcast_ref::<&'static str>()
+            .copied()
+            .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+            .unwrap_or("<non-string payload>")
+    }
+
+    #[test]
+    fn parallel_for_preserves_panic_payload() {
+        let pool = ThreadPool::with_threads(4);
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(0..64, 1, |r| {
+                if r.start == 17 {
+                    panic!("chunk {} exploded", r.start);
+                }
+            });
+        }))
+        .unwrap_err();
+        assert_eq!(payload_message(err.as_ref()), "chunk 17 exploded");
+    }
+
+    #[test]
+    fn join_preserves_panic_payload_from_stolen_task() {
+        let pool = ThreadPool::with_threads(2);
+        for _ in 0..50 {
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.join(
+                    || std::thread::sleep(Duration::from_micros(50)),
+                    || -> i32 { panic!("task b failed: code 42") },
+                )
+            }))
+            .unwrap_err();
+            assert_eq!(payload_message(err.as_ref()), "task b failed: code 42");
+        }
+    }
+
+    #[test]
+    fn pool_runs_correctly_after_many_panics() {
+        let pool = ThreadPool::with_threads(3);
+        for round in 0..20 {
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.parallel_for(0..32, 1, |r| {
+                    if r.start % 5 == round % 5 {
+                        panic!("round {round}");
+                    }
+                });
+            }));
+            let n = AtomicUsize::new(0);
+            pool.parallel_for(0..100, 7, |r| {
+                n.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            assert_eq!(n.load(Ordering::Relaxed), 100);
+        }
     }
 
     #[test]

@@ -75,9 +75,10 @@ impl<'scope> Scope<'scope> {
         let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
         let job = Box::new(ScopeJob {
             task: Some(boxed),
-            scope: self as *const Scope<'scope> as *const Scope<'static>,
+            scope: (self as *const Scope<'scope>).cast::<Scope<'static>>(),
         });
-        self.pool.push_heap_job(Box::into_raw(job) as *const (), exec_scope_job);
+        self.pool
+            .push_heap_job(Box::into_raw(job) as *const (), exec_scope_job);
     }
 }
 
@@ -229,7 +230,11 @@ mod tests {
             });
         }));
         assert!(result.is_err());
-        assert_eq!(completed.load(Ordering::Relaxed), 9, "other tasks still ran");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            9,
+            "other tasks still ran"
+        );
     }
 
     #[test]

@@ -1,0 +1,60 @@
+//! Property: a `ThreadPool` survives an injected job panic — the panic
+//! payload surfaces on the caller, the pool's workers stay alive, and the
+//! very next dispatch on the same pool computes correct results.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ninja_parallel::ThreadPool;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Panic in a random chunk of a random-sized `parallel_for`, on a pool
+    /// with a random thread count: the caller observes the panic, and the
+    /// same pool immediately afterwards runs a full dispatch correctly.
+    #[test]
+    fn pool_stays_usable_after_injected_panic(
+        threads in 1usize..5,
+        len in 1usize..400,
+        grain in 1usize..64,
+        victim_salt in 0usize..1000,
+    ) {
+        let pool = ThreadPool::with_threads(threads);
+        let victim = victim_salt % len;
+
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.parallel_for(0..len, grain, |chunk| {
+                if chunk.contains(&victim) {
+                    panic!("injected panic at index {victim}");
+                }
+            });
+        }));
+        let payload = caught.expect_err("victim index must panic the dispatch");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&'static str>().map(|s| s.to_string()))
+            .unwrap_or_default();
+        assert!(
+            message.contains(&format!("injected panic at index {victim}")),
+            "panic payload lost: {message:?}"
+        );
+
+        // The same pool must still dispatch every index exactly once.
+        let hits: Vec<AtomicUsize> = (0..len).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for(0..len, grain, |chunk| {
+            for i in chunk {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, hit) in hits.iter().enumerate() {
+            assert_eq!(hit.load(Ordering::Relaxed), 1, "index {i} after recovery");
+        }
+
+        // `join` on the recovered pool still returns both results.
+        let (a, b) = pool.join(|| 6 * 7, || "ok");
+        assert_eq!((a, b), (42, "ok"));
+    }
+}

@@ -78,7 +78,10 @@ impl F32x4 {
     /// Panics if `slice.len() < 4`.
     #[inline(always)]
     pub fn from_slice(slice: &[f32]) -> Self {
-        assert!(slice.len() >= 4, "F32x4::from_slice needs at least 4 elements");
+        assert!(
+            slice.len() >= 4,
+            "F32x4::from_slice needs at least 4 elements"
+        );
         #[cfg(target_arch = "x86_64")]
         unsafe {
             Self(_mm_loadu_ps(slice.as_ptr()))
@@ -117,7 +120,10 @@ impl F32x4 {
     /// Panics if `slice.len() < 4`.
     #[inline(always)]
     pub fn write_to_slice(self, slice: &mut [f32]) {
-        assert!(slice.len() >= 4, "F32x4::write_to_slice needs at least 4 elements");
+        assert!(
+            slice.len() >= 4,
+            "F32x4::write_to_slice needs at least 4 elements"
+        );
         #[cfg(target_arch = "x86_64")]
         unsafe {
             _mm_storeu_ps(slice.as_mut_ptr(), self.0);

@@ -62,7 +62,10 @@ impl F32x8 {
     /// Panics if `slice.len() < 8`.
     #[inline(always)]
     pub fn from_slice(slice: &[f32]) -> Self {
-        assert!(slice.len() >= 8, "F32x8::from_slice needs at least 8 elements");
+        assert!(
+            slice.len() >= 8,
+            "F32x8::from_slice needs at least 8 elements"
+        );
         Self {
             lo: F32x4::from_slice(&slice[..4]),
             hi: F32x4::from_slice(&slice[4..8]),
@@ -84,7 +87,10 @@ impl F32x8 {
     /// Panics if `slice.len() < 8`.
     #[inline(always)]
     pub fn write_to_slice(self, slice: &mut [f32]) {
-        assert!(slice.len() >= 8, "F32x8::write_to_slice needs at least 8 elements");
+        assert!(
+            slice.len() >= 8,
+            "F32x8::write_to_slice needs at least 8 elements"
+        );
         self.lo.write_to_slice(&mut slice[..4]);
         self.hi.write_to_slice(&mut slice[4..8]);
     }
@@ -246,7 +252,13 @@ mod tests {
     fn min_max() {
         let a = F32x8::from_fn(|i| i as f32);
         let b = F32x8::splat(3.5);
-        assert_eq!(a.min(b).to_array(), [0.0, 1.0, 2.0, 3.0, 3.5, 3.5, 3.5, 3.5]);
-        assert_eq!(a.max(b).to_array(), [3.5, 3.5, 3.5, 3.5, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(
+            a.min(b).to_array(),
+            [0.0, 1.0, 2.0, 3.0, 3.5, 3.5, 3.5, 3.5]
+        );
+        assert_eq!(
+            a.max(b).to_array(),
+            [3.5, 3.5, 3.5, 3.5, 4.0, 5.0, 6.0, 7.0]
+        );
     }
 }

@@ -70,7 +70,10 @@ impl F64x2 {
     /// Panics if `slice.len() < 2`.
     #[inline(always)]
     pub fn from_slice(slice: &[f64]) -> Self {
-        assert!(slice.len() >= 2, "F64x2::from_slice needs at least 2 elements");
+        assert!(
+            slice.len() >= 2,
+            "F64x2::from_slice needs at least 2 elements"
+        );
         #[cfg(target_arch = "x86_64")]
         unsafe {
             Self(_mm_loadu_pd(slice.as_ptr()))
@@ -109,7 +112,10 @@ impl F64x2 {
     /// Panics if `slice.len() < 2`.
     #[inline(always)]
     pub fn write_to_slice(self, slice: &mut [f64]) {
-        assert!(slice.len() >= 2, "F64x2::write_to_slice needs at least 2 elements");
+        assert!(
+            slice.len() >= 2,
+            "F64x2::write_to_slice needs at least 2 elements"
+        );
         slice[..2].copy_from_slice(&self.to_array());
     }
 

@@ -52,7 +52,10 @@ impl F64x4 {
     /// Panics if `slice.len() < 4`.
     #[inline(always)]
     pub fn from_slice(slice: &[f64]) -> Self {
-        assert!(slice.len() >= 4, "F64x4::from_slice needs at least 4 elements");
+        assert!(
+            slice.len() >= 4,
+            "F64x4::from_slice needs at least 4 elements"
+        );
         Self {
             lo: F64x2::from_slice(&slice[..2]),
             hi: F64x2::from_slice(&slice[2..4]),
@@ -74,7 +77,10 @@ impl F64x4 {
     /// Panics if `slice.len() < 4`.
     #[inline(always)]
     pub fn write_to_slice(self, slice: &mut [f64]) {
-        assert!(slice.len() >= 4, "F64x4::write_to_slice needs at least 4 elements");
+        assert!(
+            slice.len() >= 4,
+            "F64x4::write_to_slice needs at least 4 elements"
+        );
         self.lo.write_to_slice(&mut slice[..2]);
         self.hi.write_to_slice(&mut slice[2..4]);
     }

@@ -72,7 +72,10 @@ impl I32x4 {
     /// Panics if `slice.len() < 4`.
     #[inline(always)]
     pub fn from_slice(slice: &[i32]) -> Self {
-        assert!(slice.len() >= 4, "I32x4::from_slice needs at least 4 elements");
+        assert!(
+            slice.len() >= 4,
+            "I32x4::from_slice needs at least 4 elements"
+        );
         Self::new(slice[0], slice[1], slice[2], slice[3])
     }
 
@@ -104,7 +107,10 @@ impl I32x4 {
     /// Panics if `slice.len() < 4`.
     #[inline(always)]
     pub fn write_to_slice(self, slice: &mut [i32]) {
-        assert!(slice.len() >= 4, "I32x4::write_to_slice needs at least 4 elements");
+        assert!(
+            slice.len() >= 4,
+            "I32x4::write_to_slice needs at least 4 elements"
+        );
         slice[..4].copy_from_slice(&self.to_array());
     }
 
@@ -198,7 +204,9 @@ impl I32x4 {
     #[inline(always)]
     pub fn reduce_sum(self) -> i32 {
         let a = self.to_array();
-        a[0].wrapping_add(a[1]).wrapping_add(a[2]).wrapping_add(a[3])
+        a[0].wrapping_add(a[1])
+            .wrapping_add(a[2])
+            .wrapping_add(a[3])
     }
 }
 
@@ -380,12 +388,7 @@ impl Shr<i32> for I32x4 {
         #[cfg(not(target_arch = "x86_64"))]
         {
             let a = self.0;
-            Self([
-                a[0] >> shift,
-                a[1] >> shift,
-                a[2] >> shift,
-                a[3] >> shift,
-            ])
+            Self([a[0] >> shift, a[1] >> shift, a[2] >> shift, a[3] >> shift])
         }
     }
 }
@@ -447,7 +450,10 @@ mod tests {
         assert_eq!((a + b).lane(0), i32::MIN);
         assert_eq!((a - b).to_array(), [i32::MAX - 1, 0, 1, 2]);
         let m = I32x4::new(3, -4, 5, 1 << 20) * I32x4::new(7, 6, -5, 1 << 20);
-        assert_eq!(m.to_array(), [21, -24, -25, (1i32 << 20).wrapping_mul(1 << 20)]);
+        assert_eq!(
+            m.to_array(),
+            [21, -24, -25, (1i32 << 20).wrapping_mul(1 << 20)]
+        );
     }
 
     #[test]
@@ -482,7 +488,10 @@ mod tests {
         let a = I32x4::new(1, 2, 3, 4);
         assert_eq!(a.to_f32().to_array(), [1.0, 2.0, 3.0, 4.0]);
         assert_eq!(a.reduce_sum(), 10);
-        assert_eq!(I32x4::splat(i32::MAX).reduce_sum(), i32::MAX.wrapping_mul(4));
+        assert_eq!(
+            I32x4::splat(i32::MAX).reduce_sum(),
+            i32::MAX.wrapping_mul(4)
+        );
     }
 
     #[test]

@@ -54,8 +54,8 @@ mod f32x8;
 mod f64x2;
 mod f64x4;
 mod i32x4;
-pub mod math;
 mod masks;
+pub mod math;
 
 pub use aligned::{AlignedVec, Element, CACHE_LINE};
 pub use f32x4::F32x4;

@@ -16,10 +16,10 @@ use crate::{F32x4, F32x8, I32x4};
 
 const EXP_HI: f32 = 88.376_26;
 const EXP_LO: f32 = -87.336_54;
-const LOG2E: f32 = 1.442_695_04;
+const LOG2E: f32 = std::f32::consts::LOG2_E;
 // ln(2) split into a high part exactly representable in f32 and a low
 // correction, so that `x - n*ln2` stays accurate (Cody-Waite reduction).
-const LN2_HI: f32 = 0.693_359_375;
+const LN2_HI: f32 = 0.693_359_4;
 const LN2_LO: f32 = -2.121_944_4e-4;
 
 /// Lane-wise `e^x` on four lanes.
@@ -77,9 +77,7 @@ pub fn ln_v4(x: F32x4) -> F32x4 {
     let sqrt2 = F32x4::splat(std::f32::consts::SQRT_2);
     let fold = m.simd_gt(sqrt2);
     let m = fold.select(m * F32x4::splat(0.5), m);
-    let e = fold
-        .select_i32(exp_raw + I32x4::splat(1), exp_raw)
-        .to_f32();
+    let e = fold.select_i32(exp_raw + I32x4::splat(1), exp_raw).to_f32();
 
     // ln(m) via atanh identity: ln(m) = 2·atanh((m-1)/(m+1)).
     let one = F32x4::splat(1.0);
@@ -107,15 +105,15 @@ pub fn norm_cdf_v4(x: F32x4) -> F32x4 {
     let ax = x.abs();
     let k = one / ax.mul_add(F32x4::splat(0.231_641_9), one);
 
-    let mut poly = F32x4::splat(1.330_274_429);
-    poly = poly.mul_add(k, F32x4::splat(-1.821_255_978));
-    poly = poly.mul_add(k, F32x4::splat(1.781_477_937));
-    poly = poly.mul_add(k, F32x4::splat(-0.356_563_782));
-    poly = poly.mul_add(k, F32x4::splat(0.319_381_530));
-    poly = poly * k;
+    let mut poly = F32x4::splat(1.330_274_5);
+    poly = poly.mul_add(k, F32x4::splat(-1.821_255_9));
+    poly = poly.mul_add(k, F32x4::splat(1.781_477_9));
+    poly = poly.mul_add(k, F32x4::splat(-0.356_563_78));
+    poly = poly.mul_add(k, F32x4::splat(0.319_381_54));
+    poly *= k;
 
     // phi(ax) = exp(-ax^2/2) / sqrt(2*pi)
-    let inv_sqrt_2pi = F32x4::splat(0.398_942_28);
+    let inv_sqrt_2pi = F32x4::splat(0.398_942_3);
     let pdf = inv_sqrt_2pi * exp_v4(-(ax * ax) * F32x4::splat(0.5));
 
     let cdf_pos = one - pdf * poly;
@@ -222,10 +220,7 @@ mod tests {
             let x = i as f32 * 0.1;
             let got = norm_cdf_v4(F32x4::splat(x)).lane(0);
             let want = norm_cdf_scalar(x as f64) as f32;
-            assert!(
-                (got - want).abs() < 2e-6,
-                "x={x} got={got} want={want}"
-            );
+            assert!((got - want).abs() < 2e-6, "x={x} got={got} want={want}");
         }
     }
 

@@ -24,9 +24,14 @@ fn main() {
     println!("== Ninja gap vs architecture timeline (model projection) ==\n");
     let mut rows = Vec::new();
     for m in &timeline {
-        let gaps: Vec<f64> = specs.iter().map(|s| predicted_gap(&s.character, m)).collect();
-        let residuals: Vec<f64> =
-            specs.iter().map(|s| predicted_residual(&s.character, m)).collect();
+        let gaps: Vec<f64> = specs
+            .iter()
+            .map(|s| predicted_gap(&s.character, m))
+            .collect();
+        let residuals: Vec<f64> = specs
+            .iter()
+            .map(|s| predicted_residual(&s.character, m))
+            .collect();
         rows.push(vec![
             m.name.clone(),
             m.year.to_string(),
@@ -39,7 +44,14 @@ fn main() {
     println!(
         "{}",
         render::table(
-            &["platform", "year", "shape", "peak GF/s", "avg naive gap", "avg low-effort residual"],
+            &[
+                "platform",
+                "year",
+                "shape",
+                "peak GF/s",
+                "avg naive gap",
+                "avg low-effort residual"
+            ],
             &rows,
         )
     );

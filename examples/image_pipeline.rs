@@ -27,7 +27,11 @@ fn main() {
 
     // Stage 1: CT reconstruction.
     let bp = BackProjection::generate(ProblemSize::Quick, 3);
-    println!("backprojection ({0}x{0} image, {1} angles):", bp.image_dim(), bp.angles());
+    println!(
+        "backprojection ({0}x{0} image, {1} angles):",
+        bp.image_dim(),
+        bp.angles()
+    );
     let (slice_naive, t1n) = stage("naive", || bp.run_naive());
     let (slice, t1j) = stage("ninja", || bp.run_ninja(&pool));
     let worst = slice

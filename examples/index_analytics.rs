@@ -36,8 +36,11 @@ fn main() {
 
     // 2. Probe the index (the query step) with the tree-search kernel.
     let index = TreeSearch::generate(ProblemSize::Quick, 9);
-    println!("\nanswering {} lower-bound queries against a {}-key index...",
-        index.num_queries(), index.num_keys());
+    println!(
+        "\nanswering {} lower-bound queries against a {}-key index...",
+        index.num_queries(),
+        index.num_keys()
+    );
     let start = Instant::now();
     let baseline = index.run_naive();
     let t_bst = start.elapsed().as_secs_f64();

@@ -19,8 +19,14 @@ fn main() {
 
     let mut last: Option<Vec<f32>> = None;
     for (label, run) in [
-        ("naive (serial f64 libm)", Box::new(|| book.run_naive()) as Box<dyn Fn() -> Vec<f32>>),
-        ("low-effort (SoA + poly + threads)", Box::new(|| book.run_algorithmic(&pool))),
+        (
+            "naive (serial f64 libm)",
+            Box::new(|| book.run_naive()) as Box<dyn Fn() -> Vec<f32>>,
+        ),
+        (
+            "low-effort (SoA + poly + threads)",
+            Box::new(|| book.run_algorithmic(&pool)),
+        ),
         ("ninja (hand SIMD)", Box::new(|| book.run_ninja(&pool))),
     ] {
         let start = Instant::now();

@@ -33,7 +33,10 @@ fn main() {
     );
 
     // 2. Project onto the paper's 6-core Westmere and the MIC part.
-    let spec = registry().into_iter().find(|s| s.name == spec_name).expect("in registry");
+    let spec = registry()
+        .into_iter()
+        .find(|s| s.name == spec_name)
+        .expect("in registry");
     for m in [machines::westmere(), machines::mic()] {
         println!(
             "projected on {:<28} gap {:5.1}X, residual {:.2}X",

@@ -47,7 +47,7 @@ pub use ninja_simd as simd;
 
 /// Convenience re-exports of the most used types.
 pub mod prelude {
-    pub use ninja_core::{Harness, KernelReport, SuiteReport};
+    pub use ninja_core::{Harness, KernelReport, SuiteReport, VariantOutcome};
     pub use ninja_kernels::{registry, ProblemSize, Variant};
     pub use ninja_model::{machines, predicted_gap, predicted_residual, Machine};
     pub use ninja_parallel::ThreadPool;

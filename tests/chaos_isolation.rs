@@ -1,0 +1,113 @@
+//! Fault-isolation end-to-end: a suite seeded with every chaos failure mode
+//! still completes, records structured outcomes, keeps healthy kernels'
+//! measurements, and serializes cleanly.
+
+use std::time::Duration;
+
+use ninja_gap::harness::{Harness, VariantResult};
+use ninja_gap::kernels::chaos::{self, FailureMode};
+use ninja_gap::prelude::*;
+
+/// Seed 0 makes the `naive` variant the chaos victim in every mode, so the
+/// other four variants of each chaos kernel must still measure cleanly.
+fn chaotic_suite() -> SuiteReport {
+    let mut specs = vec![registry().into_iter().find(|s| s.name == "conv1d").unwrap()];
+    specs.extend(chaos::all_specs());
+    Harness::new()
+        .size(ProblemSize::Test)
+        .threads(2)
+        .repetitions(1)
+        .seed(0)
+        .timeout(Duration::from_millis(250))
+        .run_specs(&specs)
+}
+
+#[test]
+fn suite_records_every_failure_kind_and_keeps_going() {
+    let suite = chaotic_suite();
+    assert_eq!(suite.kernels.len(), 1 + FailureMode::ALL.len());
+
+    // The healthy kernel is untouched by its chaotic neighbors.
+    let conv = suite.kernel("conv1d").expect("conv1d present");
+    assert!(conv.variants.iter().all(VariantResult::is_ok));
+    assert!(conv.measured_gap().is_some());
+
+    // Each chaos kernel fails exactly its victim variant, with the
+    // structured outcome matching the injected failure mode.
+    for (kernel, kind) in [
+        ("chaos-panic", "panicked"),
+        ("chaos-hang", "timed_out"),
+        ("chaos-nan", "non_finite"),
+        ("chaos-wrong", "validation_failed"),
+    ] {
+        let k = suite
+            .kernel(kernel)
+            .unwrap_or_else(|| panic!("{kernel} missing"));
+        let failed: Vec<_> = k.variants.iter().filter(|v| !v.is_ok()).collect();
+        assert_eq!(failed.len(), 1, "{kernel} should fail only its victim");
+        assert_eq!(failed[0].variant, "naive", "{kernel}");
+        assert_eq!(failed[0].outcome.kind(), kind, "{kernel}");
+        assert!(
+            failed[0].timing.is_none(),
+            "{kernel} failure must not carry timing"
+        );
+    }
+
+    let failures = suite.failures();
+    assert_eq!(failures.len(), FailureMode::ALL.len());
+    assert!(suite.has_failures());
+    let summary = suite.failure_summary();
+    for kernel in ["chaos-panic", "chaos-hang", "chaos-nan", "chaos-wrong"] {
+        assert!(
+            summary.contains(kernel),
+            "summary missing {kernel}:\n{summary}"
+        );
+    }
+}
+
+#[test]
+fn panic_outcome_preserves_the_payload_message() {
+    let suite = chaotic_suite();
+    let k = suite.kernel("chaos-panic").unwrap();
+    let failed = k.variants.iter().find(|v| !v.is_ok()).unwrap();
+    match &failed.outcome {
+        VariantOutcome::Panicked { message } => {
+            assert!(
+                message.contains("chaos: injected panic"),
+                "payload lost: {message:?}"
+            );
+        }
+        other => panic!("expected Panicked, got {other}"),
+    }
+}
+
+#[test]
+fn partial_report_roundtrips_through_json_and_csv() {
+    let suite = chaotic_suite();
+    let back = SuiteReport::from_json(&suite.to_json()).expect("parse own JSON");
+    assert_eq!(suite, back);
+
+    let csv = suite.to_csv();
+    assert_eq!(csv.lines().count(), 1 + suite.kernels.len() * 5);
+    // Failed rows keep their line but leave timing columns empty.
+    let hang_row = csv
+        .lines()
+        .find(|l| l.starts_with("chaos-hang,naive"))
+        .expect("failed row present in CSV");
+    assert!(hang_row.contains("timed_out"), "{hang_row}");
+}
+
+#[test]
+fn fail_fast_stops_the_suite_at_the_first_failure() {
+    let mut specs = vec![chaos::spec(FailureMode::Panic)];
+    specs.push(registry().into_iter().find(|s| s.name == "conv1d").unwrap());
+    let suite = Harness::new()
+        .size(ProblemSize::Test)
+        .threads(2)
+        .repetitions(1)
+        .seed(0)
+        .fail_fast(true)
+        .run_specs(&specs);
+    assert_eq!(suite.kernels.len(), 1, "fail-fast must not reach conv1d");
+    assert!(suite.has_failures());
+}

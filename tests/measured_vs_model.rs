@@ -16,7 +16,10 @@ fn quick_report(names: &[&str]) -> ninja_gap::harness::SuiteReport {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "performance assertions require --release codegen")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "performance assertions require --release codegen"
+)]
 fn ninja_beats_naive_on_vector_friendly_kernels() {
     // On any x86-64 host the explicit-SIMD + algorithmic tiers must beat
     // the naive tier for the compute-bound, fully vectorizable kernels —
@@ -29,7 +32,10 @@ fn ninja_beats_naive_on_vector_friendly_kernels() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "performance assertions require --release codegen")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "performance assertions require --release codegen"
+)]
 fn low_effort_tier_lands_near_ninja() {
     // The paper's core claim, measured: the algorithmic+compiler tier is
     // within a small factor of hand-written SIMD.
@@ -45,7 +51,10 @@ fn low_effort_tier_lands_near_ninja() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "performance assertions require --release codegen")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "performance assertions require --release codegen"
+)]
 fn model_and_measurement_agree_on_direction() {
     // Wherever the Westmere model predicts a benefit from the algorithmic
     // tier over naive (per core), the host should too (direction, not

@@ -34,7 +34,7 @@ proptest! {
             let gap = predicted_gap(&spec.character, &m);
             prop_assert!(gap >= 0.99, "{}: gap {gap}", spec.name);
             let residual = predicted_residual(&spec.character, &m);
-            prop_assert!(residual >= 0.99 && residual < 10.0, "{}: residual {residual}", spec.name);
+            prop_assert!((0.99..10.0).contains(&residual), "{}: residual {residual}", spec.name);
         }
     }
 

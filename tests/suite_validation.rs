@@ -59,7 +59,15 @@ fn work_accounting_is_positive_and_size_monotone() {
         let small = (spec.make)(ProblemSize::Test, 1).work();
         let big = (spec.make)(ProblemSize::Quick, 1).work();
         assert!(small.flops > 0.0 && small.bytes > 0.0, "{}", spec.name);
-        assert!(big.flops > small.flops, "{} flops must grow with size", spec.name);
-        assert!(big.elems > small.elems, "{} elems must grow with size", spec.name);
+        assert!(
+            big.flops > small.flops,
+            "{} flops must grow with size",
+            spec.name
+        );
+        assert!(
+            big.elems > small.elems,
+            "{} elems must grow with size",
+            spec.name
+        );
     }
 }

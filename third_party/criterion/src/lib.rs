@@ -1,0 +1,237 @@
+//! Offline stand-in for `criterion`: the API surface the bench targets
+//! use (`benchmark_group`, chained group config, `bench_function`,
+//! `Bencher::iter`, `criterion_group!`/`criterion_main!`).
+//!
+//! Instead of criterion's statistical analysis it runs a short
+//! warm-up, then times `measurement_time`'s worth of iterations and
+//! prints mean/min per-iteration wall time. Good enough to exercise
+//! the bench code paths and give ballpark numbers offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Measurement marker types (only wall time is supported).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    pub struct WallTime;
+}
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor a trailing CLI filter argument like criterion does, so
+        // `cargo bench -- <name>` narrows which benchmarks run.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(1),
+            _measurement: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let filter = self.filter.clone();
+        let mut group = self.benchmark_group("");
+        group.name.clear();
+        let _ = filter;
+        group.run_one(id.to_string(), f);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _measurement: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Times one benchmark body.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run_one(id.into(), f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; analysis happens inline).
+    pub fn finish(self) {}
+
+    fn run_one(&mut self, id: String, mut f: impl FnMut(&mut Bencher)) {
+        let full_name = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if !self.criterion.matches(&full_name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up: run single iterations until the warm-up budget is
+        // spent, tracking the per-iteration cost to size real samples.
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_micros(1);
+        while warm_start.elapsed() < self.warm_up_time {
+            bencher.iters = 1;
+            f(&mut bencher);
+            per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        }
+        // Measure: split the budget across `sample_size` samples.
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let iters_per_sample =
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters_per_sample;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_secs_f64() / iters_per_sample as f64);
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "{full_name:<40} mean {:>12}  min {:>12}  ({} samples x {} iters)",
+            format_time(mean),
+            format_time(min),
+            samples.len(),
+            iters_per_sample
+        );
+    }
+}
+
+/// Passed to each benchmark body; times the closure under `iter`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        let mut ran = false;
+        group.bench_function("sum", |b| {
+            ran = true;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let c = Criterion {
+            filter: Some("wanted".into()),
+        };
+        assert!(c.matches("group/wanted_bench"));
+        assert!(!c.matches("group/other"));
+    }
+}

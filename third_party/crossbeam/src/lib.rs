@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` facade: only the
+//! `deque::{Injector, Steal}` API used by `ninja-parallel`.
+
+/// Work-stealing deque module (here: a mutex-backed FIFO injector).
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// The result of a steal attempt.
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried.
+        Retry,
+    }
+
+    /// A FIFO queue that any thread can push to and steal from.
+    ///
+    /// Upstream crossbeam uses a lock-free segmented queue; this stand-in
+    /// trades peak throughput for simplicity with a `Mutex<VecDeque>`. The
+    /// pool amortizes queue traffic over chunked loops, so scheduling
+    /// overhead stays off the measured path.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Self {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Pushes a task onto the back of the queue.
+        pub fn push(&self, task: T) {
+            self.lock().push_back(task);
+        }
+
+        /// Steals the task at the front of the queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.lock().pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue was empty at the time of the call.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            // A panic while holding this internal lock cannot leave the
+            // queue in a broken state; ignore std's poisoning.
+            self.queue
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::deque::{Injector, Steal};
+
+    #[test]
+    fn fifo_order_and_empty() {
+        let q = Injector::new();
+        assert!(q.is_empty());
+        q.push(1);
+        q.push(2);
+        assert!(!q.is_empty());
+        assert!(matches!(q.steal(), Steal::Success(1)));
+        assert!(matches!(q.steal(), Steal::Success(2)));
+        assert!(matches!(q.steal(), Steal::Empty));
+    }
+}

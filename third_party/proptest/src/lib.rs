@@ -1,0 +1,397 @@
+//! Offline stand-in for `proptest`: deterministic randomized property
+//! testing covering the strategy combinators this workspace uses.
+//!
+//! Differences from upstream, by design: no shrinking (a failing case
+//! panics with its assertion message directly), no persistence of failing
+//! seeds (`.proptest-regressions` files are ignored), and a fixed
+//! per-case seed schedule so failures reproduce across runs.
+
+/// Test-runner configuration.
+pub mod test_runner {
+    /// Configuration for a `proptest!` block.
+    #[derive(Copy, Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Upstream defaults to 256; this stand-in runs on small CI
+            // hosts, so trade a little coverage for wall-clock.
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-case RNG (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates the RNG for one test case.
+        pub fn new(case: u64) -> Self {
+            Self {
+                state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+/// Strategies: value generators composable with `prop_map`/`prop_filter`.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A generator of random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values failing `pred`, resampling (up to a cap).
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn sample(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let v = self.inner.sample(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter `{}` rejected 1000 consecutive samples",
+                self.reason
+            );
+        }
+    }
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range_strategy!(f32, f64);
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty integer range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Marker returned by [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: crate::arbitrary::Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::Any;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection`, `prop::array`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `Vec` of values from `elem` with length in `len`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    macro_rules! uniform_array {
+        ($name:ident, $strat:ident, $n:literal) => {
+            /// Array of $n values drawn from one strategy.
+            pub struct $strat<S> {
+                elem: S,
+            }
+
+            /// `[T; $n]` with every element drawn from `elem`.
+            pub fn $name<S: Strategy>(elem: S) -> $strat<S> {
+                $strat { elem }
+            }
+
+            impl<S: Strategy> Strategy for $strat<S> {
+                type Value = [S::Value; $n];
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    std::array::from_fn(|_| self.elem.sample(rng))
+                }
+            }
+        };
+    }
+
+    uniform_array!(uniform2, Uniform2, 2);
+    uniform_array!(uniform3, Uniform3, 3);
+    uniform_array!(uniform4, Uniform4, 4);
+    uniform_array!(uniform8, Uniform8, 8);
+}
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Namespace mirror of upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::array;
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident,) => {};
+    ($rng:ident, $pat:pat in $strat:expr) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident, $pat:pat in $strat:expr, $($rest:tt)*) => {
+        let $pat = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+}
+
+/// Declares property tests: each `fn` runs its body over many sampled
+/// inputs. Supports an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(N))]`.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident ($($params:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut __proptest_rng = $crate::test_runner::TestRng::new(case);
+                    $crate::__proptest_bind!(__proptest_rng, $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @run ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @run ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_sample_in_bounds(x in 10u32..20, f in -1.5f32..2.5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-1.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in prop::collection::vec(0u64..100, 2..10).prop_map(|mut v| { v.sort_unstable(); v })) {
+            prop_assert!(v.len() >= 2 && v.len() < 10);
+            prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn arrays_and_any(a in prop::array::uniform4(any::<bool>()), b in prop::array::uniform2(0i32..5)) {
+            prop_assert_eq!(a.len(), 4);
+            prop_assert!(b.iter().all(|&x| (0..5).contains(&x)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn config_and_filter_apply(x in (0u32..100).prop_filter("even", |x| x % 2 == 0)) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn mut_bindings_work(mut v in prop::collection::vec(0u8..10, 0..5)) {
+            v.push(1);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_runner::TestRng::new(7);
+        let mut b = crate::test_runner::TestRng::new(7);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

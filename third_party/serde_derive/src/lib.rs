@@ -1,0 +1,171 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for non-generic structs with named fields, targeting the value-model
+//! traits of the sibling `serde` stand-in.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote`) so it builds in
+//! hermetic environments. Enums and generic or tuple structs are rejected
+//! with a compile error — hand-implement the traits for those (see
+//! `VariantOutcome` in `ninja-core` for the pattern).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a derive input we support: a named-field struct.
+struct StructDef {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and field names from a derive input stream.
+///
+/// Panics (surfacing as a compile error) on enums, tuple structs, unions,
+/// and generic structs.
+fn parse_struct(input: TokenStream, trait_name: &str) -> StructDef {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes (`#[...]`) and visibility before the `struct` keyword.
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Consume the bracketed attribute body.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // `pub(crate)` and friends carry a parenthesized group.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match tokens.next() {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                other => panic!("derive({trait_name}): expected struct name, got {other:?}"),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!(
+                    "derive({trait_name}) stand-in supports only structs with named \
+                     fields; implement the trait by hand for `{}`s",
+                    id
+                );
+            }
+            Some(_) => continue,
+            None => panic!("derive({trait_name}): no struct found in input"),
+        }
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("derive({trait_name}) stand-in does not support generic structs")
+        }
+        other => {
+            panic!("derive({trait_name}) stand-in needs named fields (brace body), got {other:?}")
+        }
+    };
+    StructDef {
+        name,
+        fields: parse_field_names(body, trait_name),
+    }
+}
+
+/// Walks a brace-delimited struct body and collects the field names.
+fn parse_field_names(body: TokenStream, trait_name: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Field attributes.
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next(); // the `[...]` group
+            } else {
+                break;
+            }
+        }
+        // Visibility.
+        if let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(field)) => fields.push(field.to_string()),
+            None => break,
+            other => panic!("derive({trait_name}): expected field name, got {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive({trait_name}): expected `:`, got {other:?}"),
+        }
+        // Consume the type up to the next top-level comma. Commas inside
+        // angle brackets (e.g. `HashMap<K, V>`) are not separators; bracketed
+        // groups arrive as single opaque tokens and need no tracking.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    match p.as_char() {
+                        '<' => angle_depth += 1,
+                        '>' => angle_depth -= 1,
+                        ',' if angle_depth == 0 => {
+                            tokens.next();
+                            break;
+                        }
+                        _ => {}
+                    }
+                    tokens.next();
+                }
+                Some(_) => {
+                    tokens.next();
+                }
+            }
+        }
+    }
+    fields
+}
+
+/// `#[derive(Serialize)]` — named-field structs only.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input, "Serialize");
+    let pairs: Vec<String> = def
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+        .collect();
+    let code = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(vec![{pairs}])\n\
+             }}\n\
+         }}",
+        name = def.name,
+        pairs = pairs.join(", ")
+    );
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]` — named-field structs only.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input, "Deserialize");
+    let inits: Vec<String> = def
+        .fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+        .collect();
+    let code = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 Ok(Self {{ {inits} }})\n\
+             }}\n\
+         }}",
+        name = def.name,
+        inits = inits.join(", ")
+    );
+    code.parse().expect("generated Deserialize impl parses")
+}
