@@ -7,6 +7,16 @@
 
 fn main() {
     let cli = ninja_bench::cli_from_env();
+    if cli.lint {
+        match ninja_bench::lint_preflight() {
+            Ok(files) => eprintln!("lint preflight: clean ({files} file(s) scanned)"),
+            Err(findings) => {
+                eprintln!("lint preflight failed; refusing to measure a mislabeled suite:");
+                eprintln!("{findings}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!(
         "running full reproduction: size={} threads={} reps={} timeout={} mode={}{}",
         cli.size,

@@ -13,6 +13,8 @@
 //! --chaos panic|hang|nan|wrong
 //!                           inject one fault-injection kernel (testing the
 //!                           harness itself; forces a nonzero exit code)
+//! --lint                    run the ninja-lint taxonomy audit as a
+//!                           preflight and refuse to measure on findings
 //! ```
 //!
 //! Run `cargo run --release -p ninja-bench --bin reproduce` to regenerate
@@ -39,6 +41,9 @@ pub struct Cli {
     pub fail_fast: bool,
     /// Optional chaos kernel to append to the suite (harness self-test).
     pub chaos: Option<FailureMode>,
+    /// Run the `ninja-lint` taxonomy audit before measuring; findings
+    /// abort the run so mislabeled variants cannot produce numbers.
+    pub lint: bool,
 }
 
 impl Cli {
@@ -57,6 +62,7 @@ impl Default for Cli {
             timeout_s: 120,
             fail_fast: false,
             chaos: None,
+            lint: false,
         }
     }
 }
@@ -106,6 +112,7 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
             }
             "--fail-fast" => cli.fail_fast = true,
             "--keep-going" => cli.fail_fast = false,
+            "--lint" => cli.lint = true,
             "--chaos" => {
                 let v = value("--chaos")?;
                 cli.chaos =
@@ -117,7 +124,7 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
                 return Err(concat!(
                     "usage: [--size test|quick|paper] [--threads N] [--reps N]\n",
                     "       [--timeout SECONDS] [--fail-fast|--keep-going]\n",
-                    "       [--chaos panic|hang|nan|wrong]"
+                    "       [--chaos panic|hang|nan|wrong] [--lint]"
                 )
                 .into())
             }
@@ -125,6 +132,27 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
         }
     }
     Ok(cli)
+}
+
+/// Runs the `ninja-lint` workspace audit as a measurement preflight.
+///
+/// Returns the number of files scanned when the tree is clean.
+///
+/// # Errors
+///
+/// Returns the rendered findings when the audit fails, or the underlying
+/// I/O message when the workspace sources cannot be read.
+pub fn lint_preflight() -> Result<u64, String> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root");
+    let report = ninja_lint::analyze_workspace(root).map_err(|e| e.to_string())?;
+    if report.clean {
+        Ok(report.files_scanned)
+    } else {
+        Err(report.render_text())
+    }
 }
 
 /// Parses `std::env::args()` and exits with a message on error.
@@ -168,6 +196,7 @@ mod tests {
             "--fail-fast",
             "--chaos",
             "hang",
+            "--lint",
         ])
         .unwrap();
         assert_eq!(cli.size, ProblemSize::Paper);
@@ -177,6 +206,14 @@ mod tests {
         assert_eq!(cli.timeout(), Some(std::time::Duration::from_secs(30)));
         assert!(cli.fail_fast);
         assert_eq!(cli.chaos, Some(FailureMode::Hang));
+        assert!(cli.lint);
+    }
+
+    #[test]
+    fn lint_defaults_off_and_preflight_passes_on_this_tree() {
+        assert!(!parse(&[]).unwrap().lint);
+        let files = lint_preflight().expect("the merged tree must lint clean");
+        assert!(files > 20);
     }
 
     #[test]

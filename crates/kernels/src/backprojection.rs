@@ -81,6 +81,7 @@ impl BackProjection {
 
     /// Clamped linear interpolation into one sinogram row.
     #[inline(always)]
+    // ninja-lint: effort(naive)
     fn sample(&self, angle: usize, t: f32) -> f32 {
         let max = (self.bins - 2) as f32;
         let t = t.clamp(0.0, max);
@@ -94,6 +95,7 @@ impl BackProjection {
 
     /// Detector coordinate for pixel center (x, y) at `angle`.
     #[inline(always)]
+    // ninja-lint: effort(naive)
     fn detector_t(&self, angle: usize, x: usize, y: usize) -> f32 {
         let c = self.cos_t[angle];
         let s = self.sin_t[angle];
@@ -104,6 +106,7 @@ impl BackProjection {
     }
 
     /// Naive tier: pixel-major, rotation recomputed per (pixel, angle).
+    // ninja-lint: variant(naive)
     pub fn run_naive(&self) -> Vec<f32> {
         let d = self.image_dim;
         let mut img = vec![0.0f32; d * d];
@@ -120,6 +123,7 @@ impl BackProjection {
     }
 
     /// Parallel tier: the naive pixel loop behind a row-parallel loop.
+    // ninja-lint: variant(parallel)
     pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
         let d = self.image_dim;
         let mut img = vec![0.0f32; d * d];
@@ -141,6 +145,7 @@ impl BackProjection {
     /// `t0 + x*c` (not a running sum) so results match the naive rotation
     /// to rounding.
     #[inline]
+    // ninja-lint: effort(simd, algorithmic)
     fn accumulate_row(&self, y: usize, row: &mut [f32]) {
         let d = self.image_dim;
         let half = d as f32 * 0.5;
@@ -156,6 +161,7 @@ impl BackProjection {
 
     /// Compiler tier: angle-major with incremental detector coordinates —
     /// the gathered interpolation still blocks auto-vectorization.
+    // ninja-lint: variant(simd)
     pub fn run_simd(&self) -> Vec<f32> {
         let d = self.image_dim;
         let mut img = vec![0.0f32; d * d];
@@ -167,6 +173,7 @@ impl BackProjection {
 
     /// Low-effort endpoint: angle-major strength reduction + row
     /// parallelism.
+    // ninja-lint: variant(algorithmic)
     pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
         let d = self.image_dim;
         let mut img = vec![0.0f32; d * d];
@@ -177,6 +184,7 @@ impl BackProjection {
     }
 
     /// Ninja tier: 4 pixels per step with explicit interpolation gathers.
+    // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
         let d = self.image_dim;
         let mut img = vec![0.0f32; d * d];

@@ -111,6 +111,7 @@ impl BlackScholes {
     }
 
     #[inline]
+    // ninja-lint: effort(naive)
     fn price_scalar_f64(c: &OptionContract) -> (f32, f32) {
         let s = c.spot as f64;
         let k = c.strike as f64;
@@ -127,6 +128,7 @@ impl BlackScholes {
     }
 
     /// Naive tier: serial AoS, `f64` libm math per option.
+    // ninja-lint: variant(naive)
     pub fn run_naive(&self) -> Vec<f32> {
         let n = self.len();
         let mut out = vec![0.0f32; 2 * n];
@@ -139,6 +141,7 @@ impl BlackScholes {
     }
 
     /// Parallel tier: the naive option loop behind a `parallel_for`.
+    // ninja-lint: variant(parallel)
     pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
         let n = self.len();
         let mut out = vec![0.0f32; 2 * n];
@@ -154,6 +157,7 @@ impl BlackScholes {
     }
 
     /// Prices options `[lo, hi)` from the SoA arrays with explicit SIMD.
+    // ninja-lint: effort(ninja)
     fn price_simd_range(&self, lo: usize, hi: usize, out: &mut [f32]) {
         debug_assert_eq!(lo % 4, 0);
         let half = F32x4::splat(0.5);
@@ -195,6 +199,7 @@ impl BlackScholes {
     /// Prices a block of options with staged unit-stride `f32` loops —
     /// the restructuring an auto-vectorizer needs: each stage is a simple
     /// elementwise pass with branch-free polynomial bodies.
+    // ninja-lint: effort(simd, algorithmic)
     fn price_block_poly(&self, lo: usize, n: usize, out: &mut [f32]) {
         debug_assert!(n <= POLY_BLOCK);
         let s = &self.spot[lo..lo + n];
@@ -228,6 +233,7 @@ impl BlackScholes {
 
     /// Compiler-vectorizable tier: serial SoA `f32` staged loops with
     /// inlined branch-free polynomial math (no opaque calls).
+    // ninja-lint: variant(simd)
     pub fn run_simd(&self) -> Vec<f32> {
         let n = self.len();
         let mut out = vec![0.0f32; 2 * n];
@@ -242,6 +248,7 @@ impl BlackScholes {
 
     /// Low-effort endpoint: SoA `f32` staged polynomial loops plus
     /// `parallel_for`.
+    // ninja-lint: variant(algorithmic)
     pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
         let n = self.len();
         let mut out = vec![0.0f32; 2 * n];
@@ -254,6 +261,7 @@ impl BlackScholes {
 
     /// Ninja tier: explicit SIMD pricing with vector `exp`/`ln`/CDF,
     /// parallel over option blocks.
+    // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
         let n = self.len();
         let mut out = vec![0.0f32; 2 * n];

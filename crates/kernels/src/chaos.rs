@@ -11,6 +11,8 @@
 //! encoded in the instance seed (`seed % 5` indexes [`Variant::ALL`]), so
 //! tests can aim the fault at any rung of the ladder.
 
+// ninja-lint: skip-file("fault-injection harness kernel; its variants fake work by design")
+
 use crate::framework::{
     Characterization, Instance, KernelSpec, ProblemSize, ValidationError, Variant, VariantInfo,
     Work,

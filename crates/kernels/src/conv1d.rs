@@ -78,6 +78,7 @@ impl Conv1d {
     }
 
     /// Naive tier: serial AoS complex MAC loop.
+    // ninja-lint: variant(naive)
     pub fn run_naive(&self) -> Vec<f32> {
         let m = self.out_len();
         let mut out = vec![0.0f32; 2 * m];
@@ -95,6 +96,7 @@ impl Conv1d {
     }
 
     /// Parallel tier: naive loop behind a `parallel_for`.
+    // ninja-lint: variant(parallel)
     pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
         let m = self.out_len();
         let mut out = vec![0.0f32; 2 * m];
@@ -118,6 +120,7 @@ impl Conv1d {
     /// Fills SoA outputs for `i` in `[lo, hi)` with a vectorizable loop
     /// (tap-outer, sample-inner; unit-stride float arithmetic only).
     #[inline]
+    // ninja-lint: effort(simd, algorithmic)
     fn soa_range(&self, lo: usize, hi: usize, out_re: &mut [f32], out_im: &mut [f32]) {
         out_re.fill(0.0);
         out_im.fill(0.0);
@@ -133,6 +136,7 @@ impl Conv1d {
     }
 
     /// Compiler-vectorizable tier: serial SoA, tap-outer streaming loops.
+    // ninja-lint: variant(simd)
     pub fn run_simd(&self) -> Vec<f32> {
         let m = self.out_len();
         let mut re = vec![0.0f32; m];
@@ -142,6 +146,7 @@ impl Conv1d {
     }
 
     /// Low-effort endpoint: SoA streaming loops plus `parallel_for`.
+    // ninja-lint: variant(algorithmic)
     pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
         let m = self.out_len();
         let mut re = vec![0.0f32; m];
@@ -157,6 +162,7 @@ impl Conv1d {
     /// Ninja tier: explicit 4-wide SIMD complex MAC in the tap-outer
     /// streaming form (measured fastest on SSE-class cores: unit-stride
     /// loads, two read-modify-write streams), parallel over output blocks.
+    // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
         let m = self.out_len();
         let mut re = vec![0.0f32; m];

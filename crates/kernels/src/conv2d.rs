@@ -70,6 +70,7 @@ impl Conv2d {
     }
 
     #[inline]
+    // ninja-lint: effort(naive)
     fn pixel_checked(&self, x: isize, y: isize) -> f32 {
         if x < 0 || y < 0 || x >= self.width as isize || y >= self.height as isize {
             0.0
@@ -79,6 +80,7 @@ impl Conv2d {
     }
 
     #[inline]
+    // ninja-lint: effort(naive)
     fn convolve_checked(&self, x: usize, y: usize) -> f32 {
         let mut acc = 0.0f32;
         for ky in 0..K {
@@ -92,6 +94,7 @@ impl Conv2d {
     }
 
     /// Naive tier: bounds check inside the innermost tap loop, serial.
+    // ninja-lint: variant(naive)
     pub fn run_naive(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.width * self.height];
         for y in 0..self.height {
@@ -103,6 +106,7 @@ impl Conv2d {
     }
 
     /// Parallel tier: naive per-pixel code behind a row-parallel loop.
+    // ninja-lint: variant(parallel)
     pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
         let w = self.width;
         let mut out = vec![0.0f32; w * self.height];
@@ -119,6 +123,7 @@ impl Conv2d {
     /// `row[x]` for `x` in `[R, w-R)` is written with branch-free code; the
     /// border pixels of the row use the checked path.
     #[inline]
+    // ninja-lint: effort(simd, algorithmic)
     fn interior_row(&self, y: usize, row: &mut [f32]) {
         let w = self.width;
         for x in 0..R {
@@ -142,6 +147,7 @@ impl Conv2d {
     }
 
     /// Compiler-vectorizable tier: interior/boundary split, serial.
+    // ninja-lint: variant(simd)
     pub fn run_simd(&self) -> Vec<f32> {
         let w = self.width;
         let mut out = vec![0.0f32; w * self.height];
@@ -159,6 +165,7 @@ impl Conv2d {
     }
 
     /// Low-effort endpoint: interior/boundary split plus row parallelism.
+    // ninja-lint: variant(algorithmic)
     pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
         let w = self.width;
         let h = self.height;
@@ -177,6 +184,7 @@ impl Conv2d {
 
     /// Ninja tier: explicit 4-wide SIMD across `x` with all 25 taps
     /// register-blocked, row-parallel.
+    // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
         let w = self.width;
         let h = self.height;

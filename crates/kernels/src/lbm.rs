@@ -104,6 +104,7 @@ impl Lbm {
     }
 
     /// Naive tier: AoS layout, periodic wrap computed per access, serial.
+    // ninja-lint: variant(naive)
     pub fn run_naive(&self) -> Vec<f32> {
         let (w, h) = (self.width, self.height);
         let mut cur = self.init.clone();
@@ -127,6 +128,7 @@ impl Lbm {
     }
 
     /// Parallel tier: the naive cell update behind a row-parallel loop.
+    // ninja-lint: variant(parallel)
     pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
         let (w, h) = (self.width, self.height);
         let mut cur = self.init.clone();
@@ -151,6 +153,7 @@ impl Lbm {
         densities_aos(&cur, w * h)
     }
 
+    // ninja-lint: effort(simd, algorithmic, ninja)
     fn soa_init(&self) -> Vec<AlignedVec<f32>> {
         let cells = self.width * self.height;
         let mut planes: Vec<AlignedVec<f32>> = (0..Q).map(|_| AlignedVec::zeroed(cells)).collect();
@@ -164,6 +167,7 @@ impl Lbm {
 
     /// One SoA row update for `y`, cells `[x0, x1)`, scalar arithmetic.
     #[inline]
+    // ninja-lint: effort(simd, algorithmic, ninja)
     fn soa_row_scalar(
         src: &[AlignedVec<f32>],
         dst_row: &mut [f32],
@@ -195,6 +199,7 @@ impl Lbm {
     ///
     /// `streamed` is scratch: Q planes holding post-stream values, then
     /// collided in a second fused loop over cells.
+    // ninja-lint: effort(simd, algorithmic, ninja)
     fn soa_step(
         src: &[AlignedVec<f32>],
         streamed: &mut [AlignedVec<f32>],
@@ -255,6 +260,7 @@ impl Lbm {
     /// plane with an elementwise pass — every loop is unit-stride scalar
     /// `f32` arithmetic an auto-vectorizer handles, with the identical
     /// operation order as [`collide`] so results match bitwise.
+    // ninja-lint: effort(simd, algorithmic)
     fn collide_row_staged(
         streamed: &[AlignedVec<f32>],
         dst: &mut [AlignedVec<f32>],
@@ -309,6 +315,7 @@ impl Lbm {
         }
     }
 
+    // ninja-lint: effort(simd, algorithmic, ninja)
     fn run_soa(&self, pool: Option<&ThreadPool>, use_simd: bool) -> Vec<f32> {
         let (w, h) = (self.width, self.height);
         let cells = w * h;
@@ -333,6 +340,7 @@ impl Lbm {
                             let y1 = (y0 + BAND).min(h);
                             // SAFETY: bands cover disjoint row ranges.
                             let streamed = unsafe { streamed_ptr.planes() };
+                            // SAFETY: same disjoint-rows argument as above.
                             let next = unsafe { next_ptr.planes() };
                             Self::soa_step(src, streamed, next, w, h, y0..y1, use_simd);
                         }
@@ -352,16 +360,19 @@ impl Lbm {
 
     /// Compiler-vectorizable tier: SoA planes, interior/boundary split,
     /// serial.
+    // ninja-lint: variant(simd)
     pub fn run_simd(&self) -> Vec<f32> {
         self.run_soa(None, false)
     }
 
     /// Low-effort endpoint: SoA + split + row-band parallelism.
+    // ninja-lint: variant(algorithmic)
     pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
         self.run_soa(Some(pool), false)
     }
 
     /// Ninja tier: explicit 4-wide SIMD collide on SoA planes + threads.
+    // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
         self.run_soa(Some(pool), true)
     }
@@ -373,6 +384,8 @@ struct PlanesPtr {
     ptr: *mut AlignedVec<f32>,
     len: usize,
 }
+// SAFETY: PlanesPtr is only handed to pool tasks that write disjoint row
+// ranges of the planes; the pointer and length stay valid for the region.
 unsafe impl Send for PlanesPtr {}
 unsafe impl Sync for PlanesPtr {}
 impl PlanesPtr {
@@ -386,11 +399,14 @@ impl PlanesPtr {
     /// Callers must write disjoint element ranges per thread.
     #[allow(clippy::mut_from_ref)]
     unsafe fn planes(&self) -> &mut [AlignedVec<f32>] {
+        // SAFETY: upheld by the caller per this function's contract; the
+        // pointer/len came from a live `&mut [AlignedVec<f32>]` in `new`.
         unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
     }
 }
 
 #[inline(always)]
+// ninja-lint: effort(naive)
 fn wrap(v: i32, n: usize) -> usize {
     let n = n as i32;
     (((v % n) + n) % n) as usize
@@ -398,6 +414,7 @@ fn wrap(v: i32, n: usize) -> usize {
 
 /// Fixed-order 9-way sum, shared by every tier so densities agree bitwise.
 #[inline(always)]
+// ninja-lint: effort(naive)
 fn sum_q(f: &[f32; Q]) -> f32 {
     let mut s = f[0];
     for d in 1..Q {
@@ -408,6 +425,7 @@ fn sum_q(f: &[f32; Q]) -> f32 {
 
 /// Equilibrium distribution for direction `d`.
 #[inline(always)]
+// ninja-lint: effort(naive)
 fn equilibrium(d: usize, rho: f32, ux: f32, uy: f32) -> f32 {
     let (ex, ey) = E[d];
     let eu = ex as f32 * ux + ey as f32 * uy;
@@ -417,6 +435,7 @@ fn equilibrium(d: usize, rho: f32, ux: f32, uy: f32) -> f32 {
 
 /// BGK collision: relax the streamed distributions toward equilibrium.
 #[inline(always)]
+// ninja-lint: effort(naive)
 fn collide(f: &[f32; Q], out: &mut [f32]) {
     let rho = sum_q(f);
     let inv_rho = 1.0 / rho;
@@ -439,6 +458,7 @@ fn collide(f: &[f32; Q], out: &mut [f32]) {
 
 /// Vector mirror of [`collide`] with the identical operation order.
 #[inline(always)]
+// ninja-lint: effort(ninja)
 fn collide_v4(f: &[F32x4; Q]) -> [F32x4; Q] {
     let mut rho = f[0];
     for d in 1..Q {
@@ -467,6 +487,7 @@ fn collide_v4(f: &[F32x4; Q]) -> [F32x4; Q] {
     })
 }
 
+// ninja-lint: effort(naive)
 fn densities_aos(f: &[f32], cells: usize) -> Vec<f32> {
     let mut rho = vec![0.0f32; cells];
     for (c, r) in rho.iter_mut().enumerate() {

@@ -95,6 +95,7 @@ impl Libor {
     }
 
     /// Evolves and prices one path in `f64` (the naive arithmetic).
+    // ninja-lint: effort(naive)
     fn path_value_f64(&self, p: usize) -> f32 {
         let delta = DELTA as f64;
         let mut l = [0.0f64; N_RATES];
@@ -123,11 +124,13 @@ impl Libor {
     }
 
     /// Naive tier: serial, one `f64` path at a time.
+    // ninja-lint: variant(naive)
     pub fn run_naive(&self) -> Vec<f32> {
         (0..self.paths).map(|p| self.path_value_f64(p)).collect()
     }
 
     /// Parallel tier: the naive path loop behind a `parallel_for`.
+    // ninja-lint: variant(parallel)
     pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
         let mut out = vec![0.0f32; self.paths];
         par_chunks_mut(pool, &mut out, 512, |chunk_idx, chunk| {
@@ -142,6 +145,7 @@ impl Libor {
     /// Advances a group of exactly `GROUP` paths in lock-step with
     /// constant-trip-count `f32` lane loops — the auto-vectorizable
     /// path-SoA form (a runtime trip count would block unrolling).
+    // ninja-lint: effort(simd, algorithmic)
     fn group_values_f32(&self, group_base: usize, out: &mut [f32]) {
         assert_eq!(out.len(), GROUP, "group_values_f32 needs a full group");
         let mut l = [[0.0f32; GROUP]; N_RATES];
@@ -187,6 +191,7 @@ impl Libor {
     ///
     /// Panics if the path count is not a multiple of the group width (all
     /// size presets are).
+    // ninja-lint: variant(simd)
     pub fn run_simd(&self) -> Vec<f32> {
         assert_eq!(
             self.paths % GROUP,
@@ -201,6 +206,7 @@ impl Libor {
     }
 
     /// Low-effort endpoint: path-SoA groups in parallel.
+    // ninja-lint: variant(algorithmic)
     pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
         let mut out = vec![0.0f32; self.paths];
         par_chunks_mut(pool, &mut out, GROUP, |g, chunk| {
@@ -210,6 +216,7 @@ impl Libor {
     }
 
     /// Advances four paths with explicit SIMD and the vector `exp`.
+    // ninja-lint: effort(ninja)
     fn group_values_simd(&self, group_base: usize, out: &mut [f32]) {
         debug_assert_eq!(out.len(), 4);
         let mut l: [F32x4; N_RATES] = std::array::from_fn(|i| F32x4::splat(self.init_rates[i]));
@@ -244,6 +251,7 @@ impl Libor {
     /// # Panics
     ///
     /// Panics if the path count is not a multiple of 4 (all presets are).
+    // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
         assert_eq!(self.paths % 4, 0, "path count must be a multiple of 4");
         let mut out = vec![0.0f32; self.paths];

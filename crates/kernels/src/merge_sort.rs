@@ -62,6 +62,7 @@ impl MergeSort {
     }
 
     /// Naive tier: textbook top-down merge sort, fresh allocation per merge.
+    // ninja-lint: variant(naive)
     pub fn run_naive(&self) -> Vec<f32> {
         fn msort(v: &[f32]) -> Vec<f32> {
             if v.len() <= 1 {
@@ -78,6 +79,7 @@ impl MergeSort {
     }
 
     /// Parallel tier: the naive recursion forked with `join`.
+    // ninja-lint: variant(parallel)
     pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
         fn msort(pool: &ThreadPool, v: &[f32]) -> Vec<f32> {
             if v.len() <= 1 {
@@ -98,6 +100,7 @@ impl MergeSort {
 
     /// Compiler-friendly tier: serial recursion with an insertion-sort base
     /// case and a tighter merge loop — still not vectorizable.
+    // ninja-lint: variant(simd)
     pub fn run_simd(&self) -> Vec<f32> {
         let mut buf = self.data.clone();
         let mut tmp = vec![0.0f32; buf.len()];
@@ -107,12 +110,14 @@ impl MergeSort {
 
     /// Low-effort endpoint: bottom-up ping-pong sort, chunk-parallel with
     /// parallel merge rounds (scalar merges).
+    // ninja-lint: variant(algorithmic)
     pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
         parallel_sort(pool, self.data.clone(), merge_scalar)
     }
 
     /// Ninja tier: the parallel structure plus the 4×4 bitonic SIMD merge
     /// network in every merge.
+    // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
         parallel_sort(pool, self.data.clone(), merge_simd)
     }
@@ -123,6 +128,7 @@ impl MergeSort {
 /// # Panics
 ///
 /// Debug-panics if `a.len() + b.len() != out.len()`.
+// ninja-lint: effort(naive)
 pub fn merge_scalar(a: &[f32], b: &[f32], out: &mut [f32]) {
     debug_assert_eq!(a.len() + b.len(), out.len());
     let (mut ia, mut ib) = (0, 0);
@@ -139,6 +145,7 @@ pub fn merge_scalar(a: &[f32], b: &[f32], out: &mut [f32]) {
 
 /// Sorts a bitonic 4-sequence ascending (two compare-exchange stages).
 #[inline(always)]
+// ninja-lint: effort(ninja)
 fn bitonic_sort4(t: F32x4) -> F32x4 {
     let blend_low2 = Mask32x4::from_bools(true, true, false, false);
     let blend_even = Mask32x4::from_bools(true, false, true, false);
@@ -152,6 +159,7 @@ fn bitonic_sort4(t: F32x4) -> F32x4 {
 
 /// Merges two ascending 4-vectors into an ascending 8-sequence `(lo, hi)`.
 #[inline(always)]
+// ninja-lint: effort(ninja)
 fn bitonic_merge4(a: F32x4, b: F32x4) -> (F32x4, F32x4) {
     let b = b.reverse_lanes(); // concat(a, rev(b)) is bitonic
     let lo = bitonic_sort4(a.min(b));
@@ -166,6 +174,7 @@ fn bitonic_merge4(a: F32x4, b: F32x4) -> (F32x4, F32x4) {
 /// # Panics
 ///
 /// Debug-panics if `a.len() + b.len() != out.len()`.
+// ninja-lint: effort(ninja)
 pub fn merge_simd(a: &[f32], b: &[f32], out: &mut [f32]) {
     debug_assert_eq!(a.len() + b.len(), out.len());
     if a.len() < 8 || b.len() < 8 {
@@ -226,6 +235,7 @@ pub fn merge_simd(a: &[f32], b: &[f32], out: &mut [f32]) {
     }
 }
 
+// ninja-lint: effort(simd, algorithmic, ninja)
 fn insertion_sort(v: &mut [f32]) {
     for i in 1..v.len() {
         let x = v[i];
@@ -241,6 +251,7 @@ fn insertion_sort(v: &mut [f32]) {
 type MergeFn = fn(&[f32], &[f32], &mut [f32]);
 
 /// Serial bottom-up merge sort with one ping-pong buffer.
+// ninja-lint: effort(simd, algorithmic, ninja)
 fn bottom_up_sort(buf: &mut [f32], tmp: &mut [f32], merge: MergeFn) {
     bottom_up_sort_with_cutoff(buf, tmp, merge, INSERTION_CUTOFF)
 }
@@ -251,6 +262,7 @@ fn bottom_up_sort(buf: &mut [f32], tmp: &mut [f32], merge: MergeFn) {
 /// # Panics
 ///
 /// Panics if `cutoff == 0` or `tmp.len() != buf.len()`.
+// ninja-lint: effort(simd, algorithmic, ninja)
 pub fn bottom_up_sort_with_cutoff(buf: &mut [f32], tmp: &mut [f32], merge: MergeFn, cutoff: usize) {
     assert!(cutoff > 0, "cutoff must be positive");
     assert_eq!(buf.len(), tmp.len(), "scratch must match input length");
@@ -288,6 +300,7 @@ pub fn bottom_up_sort_with_cutoff(buf: &mut [f32], tmp: &mut [f32], merge: Merge
 }
 
 /// Chunk-parallel sort followed by parallel pairwise merge rounds.
+// ninja-lint: effort(algorithmic, ninja)
 fn parallel_sort(pool: &ThreadPool, mut buf: Vec<f32>, merge: MergeFn) -> Vec<f32> {
     let n = buf.len();
     if n <= 2 * JOIN_CUTOFF || pool.num_threads() == 1 {

@@ -111,6 +111,7 @@ impl NBody {
     }
 
     #[inline]
+    // ninja-lint: effort(naive)
     fn accel_of(&self, i: usize) -> [f32; 3] {
         let bi = self.bodies[i];
         let (mut ax, mut ay, mut az) = (0.0f32, 0.0f32, 0.0f32);
@@ -129,6 +130,7 @@ impl NBody {
     }
 
     /// Naive tier: serial AoS double loop, divide + `sqrt` per interaction.
+    // ninja-lint: variant(naive)
     pub fn run_naive(&self) -> Vec<f32> {
         let n = self.len();
         let mut out = vec![0.0f32; 3 * n];
@@ -142,6 +144,7 @@ impl NBody {
     }
 
     /// Parallel tier: the naive body loop behind a `parallel_for`.
+    // ninja-lint: variant(parallel)
     pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
         let n = self.len();
         let mut out = vec![0.0f32; 3 * n];
@@ -161,6 +164,7 @@ impl NBody {
     /// licenses (`rustc` has no `#pragma simd`, so the programmer splits
     /// the accumulator; the paper counts this as low-effort).
     #[inline]
+    // ninja-lint: effort(simd, algorithmic)
     fn accel_soa(&self, i: usize) -> [f32; 3] {
         const LANES: usize = 4;
         let (xi, yi, zi) = (self.xs[i], self.ys[i], self.zs[i]);
@@ -195,6 +199,7 @@ impl NBody {
 
     /// Compiler-vectorizable tier: serial, SoA layout, blocked independent
     /// accumulators — the form an auto-vectorizer handles.
+    // ninja-lint: variant(simd)
     pub fn run_simd(&self) -> Vec<f32> {
         let n = self.len();
         let mut out = vec![0.0f32; 3 * n];
@@ -206,6 +211,7 @@ impl NBody {
     }
 
     /// Low-effort endpoint: the SoA vectorizable loop plus `parallel_for`.
+    // ninja-lint: variant(algorithmic)
     pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
         let n = self.len();
         let mut out = vec![0.0f32; 3 * n];
@@ -220,6 +226,7 @@ impl NBody {
 
     /// Ninja tier: explicit 4-wide SIMD over `j` with Newton-refined
     /// `rsqrt`, parallel over `i`.
+    // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
         let n = self.len();
         let mut out = vec![0.0f32; 3 * n];

@@ -108,6 +108,7 @@ impl TreeSearch {
     }
 
     #[inline]
+    // ninja-lint: effort(naive)
     fn search_bst(&self, q: f32) -> u32 {
         let mut best = self.keys.len() as u32;
         let mut node = self.root.as_deref();
@@ -123,11 +124,13 @@ impl TreeSearch {
     }
 
     /// Naive tier: serial pointer-chasing BST descent per query.
+    // ninja-lint: variant(naive)
     pub fn run_naive(&self) -> Vec<u32> {
         self.queries.iter().map(|&q| self.search_bst(q)).collect()
     }
 
     /// Parallel tier: the naive descent behind a `parallel_for`.
+    // ninja-lint: variant(parallel)
     pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<u32> {
         let mut out = vec![0u32; self.queries.len()];
         par_chunks_mut(pool, &mut out, 4096, |chunk_idx, chunk| {
@@ -140,6 +143,7 @@ impl TreeSearch {
     }
 
     #[inline]
+    // ninja-lint: effort(algorithmic, ninja)
     fn search_eytzinger(&self, q: f32) -> u32 {
         let n = self.keys.len();
         let mut k = 1usize;
@@ -161,6 +165,7 @@ impl TreeSearch {
     /// iteratively — the restructuring a compiler needs, but pointer
     /// chasing still defeats vectorization (≈1X, as the paper observes
     /// for search).
+    // ninja-lint: variant(simd)
     pub fn run_simd(&self) -> Vec<u32> {
         // Iterative descent without recursion; still on the boxed tree.
         self.queries
@@ -186,6 +191,7 @@ impl TreeSearch {
 
     /// Low-effort endpoint: linearized (Eytzinger) layout plus query
     /// parallelism — the paper's "restructure the data, keep scalar code".
+    // ninja-lint: variant(algorithmic)
     pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<u32> {
         let mut out = vec![0u32; self.queries.len()];
         par_chunks_mut(pool, &mut out, 4096, |chunk_idx, chunk| {
@@ -199,6 +205,7 @@ impl TreeSearch {
 
     /// Descends four queries simultaneously through the Eytzinger tree.
     #[inline]
+    // ninja-lint: effort(ninja)
     fn search4(&self, qs: [f32; 4]) -> [u32; 4] {
         let n = self.keys.len() as i32;
         let q = F32x4::from_array(qs);
@@ -234,6 +241,7 @@ impl TreeSearch {
 
     /// Ninja tier: SIMD-blocked search — four queries per descent step with
     /// gathered key loads — plus query parallelism.
+    // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<u32> {
         let m = self.queries.len();
         let mut out = vec![0u32; m];

@@ -68,12 +68,14 @@ impl VolumeRender {
     }
 
     #[inline]
+    // ninja-lint: effort(naive)
     fn voxel(&self, x: usize, y: usize, z: usize) -> f32 {
         self.voxels[(z * self.dim + y) * self.dim + x]
     }
 
     /// Trilinear sample at a clamped continuous coordinate.
     #[inline]
+    // ninja-lint: effort(naive)
     fn sample(&self, cx: f32, cy: f32, cz: f32) -> f32 {
         let max = (self.dim - 2) as f32;
         let cx = cx.clamp(0.0, max);
@@ -104,6 +106,7 @@ impl VolumeRender {
 
     /// Marches one ray, compositing front-to-back with early termination.
     #[inline]
+    // ninja-lint: effort(naive)
     fn trace(&self, px: usize, py: usize) -> f32 {
         let steps = self.dim - 1;
         let x0 = px as f32 + 0.5;
@@ -125,6 +128,7 @@ impl VolumeRender {
     }
 
     /// Naive tier: serial scalar ray march per pixel.
+    // ninja-lint: variant(naive)
     pub fn run_naive(&self) -> Vec<f32> {
         let d = self.dim;
         let mut out = vec![0.0f32; d * d];
@@ -137,6 +141,7 @@ impl VolumeRender {
     }
 
     /// Parallel tier: the scalar march behind a row-parallel loop.
+    // ninja-lint: variant(parallel)
     pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
         let d = self.dim;
         let mut out = vec![0.0f32; d * d];
@@ -151,6 +156,7 @@ impl VolumeRender {
     /// Compiler tier: restructured scalar code (sampling inlined, loop
     /// bounds hoisted) — the gathers and the early-exit loop still defeat
     /// auto-vectorization, mirroring the paper's finding for VR.
+    // ninja-lint: variant(simd)
     pub fn run_simd(&self) -> Vec<f32> {
         // The restructure that *would* help a vectorizer is the same code
         // with straight-line sampling; measured, it performs like naive.
@@ -159,6 +165,7 @@ impl VolumeRender {
 
     /// Low-effort endpoint: 2×2 pixel tiles for sample locality plus row
     /// parallelism (the paper's blocking change for VR).
+    // ninja-lint: variant(algorithmic)
     pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
         let d = self.dim;
         let mut out = vec![0.0f32; d * d];
@@ -179,6 +186,7 @@ impl VolumeRender {
     /// Traces a packet of four horizontally adjacent rays with masked
     /// compositing and shared early termination.
     #[inline]
+    // ninja-lint: effort(ninja)
     fn trace4(&self, px: usize, py: usize) -> [f32; 4] {
         let d = self.dim;
         let dim_i = I32x4::splat(d as i32);
@@ -243,6 +251,7 @@ impl VolumeRender {
 
     /// Ninja tier: 4-wide ray packets with masked compositing and gathered
     /// trilinear sampling, row-parallel.
+    // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
         let d = self.dim;
         let mut out = vec![0.0f32; d * d];

@@ -1,0 +1,122 @@
+//! The `ninja-lint` binary: taxonomy enforcement for CI and preflights.
+//!
+//! ```text
+//! ninja-lint [--root DIR] [--json PATH] [--deny-warnings] [--list-rules] [FILES...]
+//! ```
+//!
+//! With no `FILES`, lints the audited crates of the workspace found at
+//! `--root` (default: walk up from the current directory). Findings are
+//! printed one per line as `file:line: [ID name] message`; `--json`
+//! additionally writes the machine-readable report (`-` for stdout).
+//! With `--deny-warnings` any finding makes the exit status 1; I/O and
+//! usage errors exit 2.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Parsed command line.
+struct Args {
+    root: Option<PathBuf>,
+    json: Option<String>,
+    deny_warnings: bool,
+    list_rules: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: None,
+        deny_warnings: false,
+        list_rules: false,
+        files: Vec::new(),
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(
+                    argv.next().ok_or("--root needs a directory")?,
+                ));
+            }
+            "--json" => {
+                args.json = Some(argv.next().ok_or("--json needs a path (or -)")?);
+            }
+            "--deny-warnings" => args.deny_warnings = true,
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                return Err(concat!(
+                    "usage: ninja-lint [--root DIR] [--json PATH|-] ",
+                    "[--deny-warnings] [--list-rules] [FILES...]"
+                )
+                .into());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag '{other}'"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in ninja_lint::ALL_RULES {
+            println!("{}  {:<28} {}", rule.id(), rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| ninja_lint::find_workspace_root(&cwd))
+    }) {
+        Some(root) => root,
+        None => {
+            eprintln!("ninja-lint: no workspace root found; pass --root DIR");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = if args.files.is_empty() {
+        ninja_lint::analyze_workspace(&root)
+    } else {
+        ninja_lint::analyze_files(&args.files, &root)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ninja-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render_text());
+    if let Some(dest) = &args.json {
+        let json = report.to_json();
+        if dest == "-" {
+            println!("{json}");
+        } else if let Err(e) = std::fs::write(dest, json) {
+            eprintln!("ninja-lint: cannot write {dest}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if args.deny_warnings && !report.clean {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

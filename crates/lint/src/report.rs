@@ -1,0 +1,183 @@
+//! Machine-readable findings report, mirroring the harness report
+//! conventions (`SuiteReport`): stable kind tags, per-item records, and
+//! a `to_json` that downstream tooling can consume without parsing
+//! human-oriented text.
+
+use crate::rules::{Finding, RuleId, ALL_RULES};
+use serde::Serialize;
+
+/// One finding as serialized into the report.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct FindingRecord {
+    /// Stable rule ID (`NL001`...).
+    pub rule: String,
+    /// Kebab-case rule name.
+    pub name: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the violation.
+    pub line: u64,
+    /// Human-readable specifics.
+    pub message: String,
+}
+
+/// Static description of one rule, included so a report is
+/// self-describing.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct RuleRecord {
+    /// Stable rule ID.
+    pub id: String,
+    /// Kebab-case rule name.
+    pub name: String,
+    /// One-line description.
+    pub description: String,
+}
+
+/// A full lint run over a set of files.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct LintReport {
+    /// Root the relative paths are anchored at.
+    pub root: String,
+    /// Number of files scanned.
+    pub files_scanned: u64,
+    /// Every rule the engine knows, whether or not it fired.
+    pub rules: Vec<RuleRecord>,
+    /// All findings, in (file, line) order.
+    pub findings: Vec<FindingRecord>,
+    /// True when no rule fired.
+    pub clean: bool,
+}
+
+impl LintReport {
+    /// Builds a report from raw findings.
+    pub fn new(root: String, files_scanned: usize, findings: Vec<Finding>) -> Self {
+        let mut findings = findings;
+        findings
+            .sort_by(|a, b| (&a.file, a.line, a.rule.id()).cmp(&(&b.file, b.line, b.rule.id())));
+        let records: Vec<FindingRecord> = findings
+            .iter()
+            .map(|f| FindingRecord {
+                rule: f.rule.id().to_string(),
+                name: f.rule.name().to_string(),
+                file: f.file.clone(),
+                line: f.line as u64,
+                message: f.message.clone(),
+            })
+            .collect();
+        Self {
+            root,
+            files_scanned: files_scanned as u64,
+            rules: ALL_RULES
+                .into_iter()
+                .map(|r| RuleRecord {
+                    id: r.id().to_string(),
+                    name: r.name().to_string(),
+                    description: r.description().to_string(),
+                })
+                .collect(),
+            clean: records.is_empty(),
+            findings: records,
+        }
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("lint reports are serializable")
+    }
+
+    /// Findings for one rule.
+    pub fn by_rule(&self, rule: RuleId) -> impl Iterator<Item = &FindingRecord> {
+        self.findings.iter().filter(move |f| f.rule == rule.id())
+    }
+
+    /// Renders the human-readable summary printed by the binary: one
+    /// `file:line: [ID name] message` line per finding plus a tally.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{} {}] {}\n",
+                f.file, f.line, f.rule, f.name, f.message
+            ));
+        }
+        if self.clean {
+            out.push_str(&format!(
+                "ninja-lint: clean ({} file(s) scanned, {} rule(s))\n",
+                self.files_scanned,
+                self.rules.len()
+            ));
+        } else {
+            out.push_str(&format!(
+                "ninja-lint: {} finding(s) across {} file(s)\n",
+                self.findings.len(),
+                self.files_scanned
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: RuleId, file: &str, line: u32) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message: "msg".to_string(),
+        }
+    }
+
+    #[test]
+    fn report_is_sorted_and_self_describing() {
+        let r = LintReport::new(
+            "/repo".into(),
+            3,
+            vec![
+                finding(RuleId::MissingSafetyComment, "b.rs", 9),
+                finding(RuleId::ThreadsInSerialRung, "a.rs", 4),
+            ],
+        );
+        assert!(!r.clean);
+        assert_eq!(r.findings[0].file, "a.rs");
+        assert_eq!(r.findings[0].rule, "NL001");
+        assert_eq!(r.rules.len(), 7);
+        assert_eq!(r.by_rule(RuleId::MissingSafetyComment).count(), 1);
+    }
+
+    #[test]
+    fn json_has_stable_fields() {
+        let r = LintReport::new(
+            "/repo".into(),
+            1,
+            vec![finding(RuleId::EffortLocDrift, "k.rs", 12)],
+        );
+        let json = r.to_json();
+        for needle in [
+            "\"rule\": \"NL004\"",
+            "\"name\": \"effort-loc-drift\"",
+            "\"file\": \"k.rs\"",
+            "\"line\": 12",
+            "\"clean\": false",
+            "\"files_scanned\": 1",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+    }
+
+    #[test]
+    fn text_rendering_names_every_finding() {
+        let r = LintReport::new(
+            "/repo".into(),
+            2,
+            vec![finding(RuleId::NinjaWithoutSimd, "k.rs", 1)],
+        );
+        let text = r.render_text();
+        assert!(text.contains("k.rs:1: [NL003 ninja-without-simd] msg"));
+        assert!(text.contains("1 finding(s)"));
+        let clean = LintReport::new("/repo".into(), 2, Vec::new());
+        assert!(clean.render_text().contains("clean"));
+    }
+}

@@ -1,0 +1,606 @@
+//! The rule engine: per-rung purity rules, effort drift, the workspace
+//! SAFETY audit, and marker hygiene.
+//!
+//! Every rule has a stable ID. IDs are load-bearing: `allow(NLnnn, ...)`
+//! markers, CI output and the JSON findings report all key on them, so
+//! they must never be renumbered.
+//!
+//! | ID    | name                        | scope        |
+//! |-------|-----------------------------|--------------|
+//! | NL001 | threads-in-serial-rung      | kernel files |
+//! | NL002 | simd-in-scalar-rung         | kernel files |
+//! | NL003 | ninja-without-simd          | kernel files |
+//! | NL004 | effort-loc-drift            | kernel files |
+//! | NL005 | missing-safety-comment      | every file   |
+//! | NL006 | incomplete-variant-coverage | kernel files |
+//! | NL007 | malformed-marker            | every file   |
+
+use crate::markers::Rung;
+use crate::source::SourceFile;
+use crate::spans::FnSpan;
+use std::collections::HashSet;
+
+/// Identifiers whose presence in a serial-rung body means the variant is
+/// not actually serial (the `ninja-parallel` public surface).
+pub const THREAD_IDENTS: [&str; 8] = [
+    "ThreadPool",
+    "ninja_parallel",
+    "parallel_for",
+    "parallel_for_each",
+    "parallel_reduce",
+    "par_chunks_mut",
+    "par_zip_chunks_mut",
+    "Scope",
+];
+
+/// Identifiers whose presence in a traditional-rung body means the
+/// variant smuggles in Ninja machinery (explicit vectors, masks, or
+/// `unsafe`).
+pub const EXPLICIT_SIMD_IDENTS: [&str; 9] = [
+    "ninja_simd",
+    "F32x4",
+    "F32x8",
+    "F64x2",
+    "F64x4",
+    "I32x4",
+    "Mask32x4",
+    "Mask64x2",
+    "AlignedVec",
+];
+
+/// Vector/mask identifiers that count as *evidence of* explicit SIMD for
+/// the Ninja-tier requirement (a strict subset of
+/// [`EXPLICIT_SIMD_IDENTS`]: owning an [`AlignedVec`] is not by itself
+/// vector code).
+pub const SIMD_EVIDENCE_IDENTS: [&str; 7] = [
+    "F32x4", "F32x8", "F64x2", "F64x4", "I32x4", "Mask32x4", "Mask64x2",
+];
+
+/// Declared-vs-measured effort tolerance: a declared `effort_loc` of `d`
+/// and a measured diff of `m` lines agree when each is at most
+/// `SLOPE * other + OFFSET`. The bound is deliberately loose — `effort_loc`
+/// is a hand-estimated metric — and exists to catch order-of-magnitude
+/// drift, not off-by-a-few.
+pub const EFFORT_SLOPE: u32 = 4;
+/// Additive slack of the effort tolerance (see [`EFFORT_SLOPE`]).
+pub const EFFORT_OFFSET: u32 = 24;
+
+/// How many lines above an `unsafe` token the SAFETY audit searches,
+/// skipping blanks, attributes and grouped `unsafe impl` lines.
+const SAFETY_WINDOW: usize = 10;
+
+/// All rules, in ID order.
+pub const ALL_RULES: [RuleId; 7] = [
+    RuleId::ThreadsInSerialRung,
+    RuleId::SimdInScalarRung,
+    RuleId::NinjaWithoutSimd,
+    RuleId::EffortLocDrift,
+    RuleId::MissingSafetyComment,
+    RuleId::IncompleteVariantCoverage,
+    RuleId::MalformedMarker,
+];
+
+/// Stable identifier of one lint rule.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RuleId {
+    /// NL001: a Naive/Simd-rung body references the thread runtime.
+    ThreadsInSerialRung,
+    /// NL002: a Naive/Parallel-rung body references explicit SIMD or
+    /// `unsafe`.
+    SimdInScalarRung,
+    /// NL003: a kernel's Ninja tier never touches an explicit vector type.
+    NinjaWithoutSimd,
+    /// NL004: declared `effort_loc` disagrees with the measured diff size.
+    EffortLocDrift,
+    /// NL005: an `unsafe` site without an adjacent `// SAFETY:` comment.
+    MissingSafetyComment,
+    /// NL006: a kernel file is missing variant attribution for some rung.
+    IncompleteVariantCoverage,
+    /// NL007: a `ninja-lint` marker that does not parse or attach.
+    MalformedMarker,
+}
+
+impl RuleId {
+    /// Stable machine-readable ID (`NL001`...).
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::ThreadsInSerialRung => "NL001",
+            RuleId::SimdInScalarRung => "NL002",
+            RuleId::NinjaWithoutSimd => "NL003",
+            RuleId::EffortLocDrift => "NL004",
+            RuleId::MissingSafetyComment => "NL005",
+            RuleId::IncompleteVariantCoverage => "NL006",
+            RuleId::MalformedMarker => "NL007",
+        }
+    }
+
+    /// Short kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::ThreadsInSerialRung => "threads-in-serial-rung",
+            RuleId::SimdInScalarRung => "simd-in-scalar-rung",
+            RuleId::NinjaWithoutSimd => "ninja-without-simd",
+            RuleId::EffortLocDrift => "effort-loc-drift",
+            RuleId::MissingSafetyComment => "missing-safety-comment",
+            RuleId::IncompleteVariantCoverage => "incomplete-variant-coverage",
+            RuleId::MalformedMarker => "malformed-marker",
+        }
+    }
+
+    /// One-line description for `--list-rules` and the JSON report.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::ThreadsInSerialRung => {
+                "naive/simd variant bodies must not reference the thread runtime \
+                 (ThreadPool, parallel_for, par_chunks_mut, ...)"
+            }
+            RuleId::SimdInScalarRung => {
+                "naive/parallel variant bodies must not reference explicit SIMD \
+                 types (F32x4, masks, AlignedVec, ...) or use `unsafe`"
+            }
+            RuleId::NinjaWithoutSimd => {
+                "a kernel's ninja tier must reference at least one explicit \
+                 vector type, or carry an allow() with a reason"
+            }
+            RuleId::EffortLocDrift => {
+                "declared effort_loc must be within tolerance of the measured \
+                 source-line diff of the variant's attributed spans vs naive"
+            }
+            RuleId::MissingSafetyComment => {
+                "every `unsafe` block/impl/fn needs an adjacent `// SAFETY:` \
+                 comment (or a `# Safety` doc section)"
+            }
+            RuleId::IncompleteVariantCoverage => {
+                "a kernel file must attribute an entry span to every rung of \
+                 the variant ladder (or be marked skip-file with a reason)"
+            }
+            RuleId::MalformedMarker => {
+                "ninja-lint markers must parse and attach to a fn; typos must \
+                 not silently disable enforcement"
+            }
+        }
+    }
+
+    /// Parses `NLnnn` back into a rule.
+    pub fn from_id(s: &str) -> Option<RuleId> {
+        ALL_RULES.into_iter().find(|r| r.id() == s)
+    }
+}
+
+/// One finding: a rule violation at a file:line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Human-readable description with the specifics.
+    pub message: String,
+}
+
+/// Runs every applicable rule on one analyzed file.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    check_markers(file, &mut findings);
+    check_safety(file, &mut findings);
+    if file.is_kernel_file() && file.segmented.skip_file.is_none() {
+        check_purity(file, &mut findings);
+        check_ninja_simd(file, &mut findings);
+        check_effort(file, &mut findings);
+        check_coverage(file, &mut findings);
+    }
+    findings.sort_by_key(|f| (f.line, f.rule.id()));
+    findings
+}
+
+/// NL007: marker parse errors and orphaned markers.
+fn check_markers(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for e in file
+        .marker_errors
+        .iter()
+        .chain(file.segmented.orphans.iter())
+    {
+        findings.push(Finding {
+            rule: RuleId::MalformedMarker,
+            file: file.rel_path.clone(),
+            line: e.line,
+            message: e.message.clone(),
+        });
+    }
+}
+
+/// NL001 + NL002: rung purity over attributed spans.
+///
+/// A span's constraint set is the *intersection* of its rungs' bans: a
+/// helper attributed to `effort(simd, algorithmic, ninja)` may use
+/// threads (algorithmic/ninja legitimize them), while one attributed to
+/// `effort(naive, parallel)` may not use explicit SIMD.
+fn check_purity(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for span in file.segmented.spans.iter().filter(|s| s.is_attributed()) {
+        if span.rungs().all(Rung::bans_threads) && span.allowed("NL001").is_none() {
+            if let Some((line, id)) = span.first_reference(&THREAD_IDENTS) {
+                findings.push(Finding {
+                    rule: RuleId::ThreadsInSerialRung,
+                    file: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "fn `{}` ({}) references thread runtime `{}` — this rung \
+                         must be serial",
+                        span.name,
+                        rung_list(span),
+                        id
+                    ),
+                });
+            }
+        }
+        if span.rungs().all(Rung::bans_explicit_simd) && span.allowed("NL002").is_none() {
+            let hit = span
+                .first_reference(&EXPLICIT_SIMD_IDENTS)
+                .or_else(|| span.first_reference(&["unsafe"]));
+            if let Some((line, id)) = hit {
+                findings.push(Finding {
+                    rule: RuleId::SimdInScalarRung,
+                    file: file.rel_path.clone(),
+                    line,
+                    message: format!(
+                        "fn `{}` ({}) references `{}` — this rung must stay \
+                         within safe, scalar, compiler-visible code",
+                        span.name,
+                        rung_list(span),
+                        id
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// NL003: the Ninja tier must show explicit SIMD somewhere in its
+/// attributed spans (entry or effort).
+fn check_ninja_simd(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let ninja_spans: Vec<&FnSpan> = file
+        .segmented
+        .spans
+        .iter()
+        .filter(|s| s.rungs().any(|r| r == Rung::Ninja))
+        .collect();
+    if ninja_spans.is_empty() {
+        return; // NL006 reports the missing rung.
+    }
+    if let Some(reason) = ninja_spans.iter().find_map(|s| s.allowed("NL003")) {
+        let _ = reason; // explicit waiver with a recorded reason
+        return;
+    }
+    let has_simd = ninja_spans
+        .iter()
+        .any(|s| s.first_reference(&SIMD_EVIDENCE_IDENTS).is_some());
+    if !has_simd {
+        let entry = ninja_spans[0];
+        findings.push(Finding {
+            rule: RuleId::NinjaWithoutSimd,
+            file: file.rel_path.clone(),
+            line: entry.sig_line,
+            message: format!(
+                "no span attributed to the ninja rung (starting at fn `{}`) \
+                 references an explicit vector type ({})",
+                entry.name,
+                SIMD_EVIDENCE_IDENTS.join("/")
+            ),
+        });
+    }
+}
+
+/// NL004: declared `effort_loc` vs the measured line diff against naive.
+///
+/// The measured effort of rung `R` is the number of distinct normalized
+/// source lines in `R`-attributed spans that do not appear in any
+/// naive-attributed span — a mechanical stand-in for the paper's
+/// "lines added/changed relative to the naive version".
+fn check_effort(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let naive_lines = attributed_lines(file, Rung::Naive);
+    for (rung, declared, decl_line) in &file.effort_decls {
+        if *rung == Rung::Naive {
+            continue; // zero by definition; nothing to diff against
+        }
+        let span_allows = file
+            .segmented
+            .spans
+            .iter()
+            .filter(|s| s.rungs().any(|r| r == *rung))
+            .any(|s| s.allowed("NL004").is_some());
+        if span_allows {
+            continue;
+        }
+        let lines = attributed_lines(file, *rung);
+        if lines.is_empty() {
+            continue; // NL006 reports the missing attribution.
+        }
+        let measured = lines.difference(&naive_lines).count() as u32;
+        let declared = *declared;
+        let within = |a: u32, b: u32| a <= b.saturating_mul(EFFORT_SLOPE) + EFFORT_OFFSET;
+        if !within(declared, measured) || !within(measured, declared) {
+            findings.push(Finding {
+                rule: RuleId::EffortLocDrift,
+                file: file.rel_path.clone(),
+                line: *decl_line,
+                message: format!(
+                    "{rung} declares effort_loc = {declared} but the lint \
+                     measures a {measured}-line diff vs naive (tolerance: each \
+                     within {EFFORT_SLOPE}x + {EFFORT_OFFSET} of the other)"
+                ),
+            });
+        }
+    }
+}
+
+/// Distinct normalized body lines over every span attributed to `rung`.
+fn attributed_lines(file: &SourceFile, rung: Rung) -> HashSet<String> {
+    let mut set = HashSet::new();
+    for span in &file.segmented.spans {
+        if !span.rungs().any(|r| r == rung) {
+            continue;
+        }
+        let lo = span.body_start as usize;
+        let hi = (span.end_line as usize).min(file.lines.len());
+        for raw in &file.lines[lo.saturating_sub(1)..hi] {
+            let t = raw.trim();
+            if t.is_empty() || t.starts_with("//") {
+                continue;
+            }
+            set.insert(t.to_string());
+        }
+    }
+    set
+}
+
+/// NL006: every rung needs an entry span (or the file a skip-file marker).
+fn check_coverage(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for rung in Rung::ALL {
+        let covered = file
+            .segmented
+            .spans
+            .iter()
+            .any(|s| s.entry_rungs.contains(&rung));
+        if !covered {
+            findings.push(Finding {
+                rule: RuleId::IncompleteVariantCoverage,
+                file: file.rel_path.clone(),
+                line: 1,
+                message: format!(
+                    "kernel file has no `// ninja-lint: variant({rung})` entry \
+                     span; the {rung} rung is unauditable"
+                ),
+            });
+        }
+    }
+}
+
+/// NL005: the `unsafe` audit.
+///
+/// For every source line containing an `unsafe` token (outside comments
+/// and strings), an adjacent justification is required: `SAFETY:` in a
+/// comment on the same line or in the contiguous comment/attribute block
+/// above it, or a `# Safety` doc section for `unsafe fn` items. Grouped
+/// `unsafe impl` lines may share one comment.
+fn check_safety(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    let mut unsafe_lines: Vec<u32> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        // `unsafe fn(...)` with no name between `fn` and `(` is a
+        // function-pointer *type*, not an unsafe operation.
+        let is_fn_ptr_type = toks.get(i + 1).is_some_and(|t| t.is_ident("fn"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('));
+        if !is_fn_ptr_type {
+            unsafe_lines.push(t.line);
+        }
+    }
+    unsafe_lines.dedup();
+
+    for line in unsafe_lines {
+        if !has_adjacent_safety(file, line) {
+            findings.push(Finding {
+                rule: RuleId::MissingSafetyComment,
+                file: file.rel_path.clone(),
+                line,
+                message: "`unsafe` without an adjacent `// SAFETY:` comment \
+                          (or `# Safety` doc section)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Whether the `unsafe` on `line` has a justification nearby.
+fn has_adjacent_safety(file: &SourceFile, line: u32) -> bool {
+    let has_safety_text = |l: u32| {
+        file.comment_on(l)
+            .is_some_and(|t| t.contains("SAFETY:") || t.contains("# Safety"))
+    };
+    if has_safety_text(line) {
+        return true;
+    }
+    let mut cur = line;
+    for _ in 0..SAFETY_WINDOW {
+        if cur <= 1 {
+            return false;
+        }
+        cur -= 1;
+        if has_safety_text(cur) {
+            return true;
+        }
+        let raw = file.line(cur).map(str::trim).unwrap_or("");
+        let is_comment = file.comment_on(cur).is_some() || raw.starts_with("//");
+        let is_attr = raw.starts_with("#[") || raw.starts_with("#!");
+        let is_grouped_unsafe = raw.starts_with("unsafe impl");
+        if raw.is_empty() || is_comment || is_attr || is_grouped_unsafe {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Formats a span's attributed rungs for messages, e.g. `naive` or
+/// `effort: simd+algorithmic`.
+fn rung_list(span: &FnSpan) -> String {
+    let names: Vec<&str> = span.rungs().map(Rung::name).collect();
+    let joined = names.join("+");
+    if span.entry_rungs.is_empty() {
+        format!("effort: {joined}")
+    } else {
+        joined
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn analyze(src: &str) -> Vec<Finding> {
+        let file = SourceFile::from_source("test.rs".into(), src.to_string());
+        check_file(&file)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule.id()).collect()
+    }
+
+    /// A minimal clean kernel file exercising every rung.
+    const CLEAN: &str = include_str!("../tests/fixtures/clean.rs");
+
+    #[test]
+    fn clean_kernel_has_no_findings() {
+        let findings = analyze(CLEAN);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn rule_ids_are_stable_and_self_describing() {
+        let ids: Vec<_> = ALL_RULES.iter().map(|r| r.id()).collect();
+        assert_eq!(
+            ids,
+            ["NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007"]
+        );
+        for r in ALL_RULES {
+            assert_eq!(RuleId::from_id(r.id()), Some(r));
+            assert!(!r.name().is_empty() && !r.description().is_empty());
+        }
+        assert_eq!(RuleId::from_id("NL999"), None);
+    }
+
+    #[test]
+    fn threads_in_naive_fires() {
+        let findings = analyze(
+            "// ninja-lint: variant(naive)\nfn run_naive(pool: &ThreadPool) {\n    pool.parallel_for(0..4, 1, |_| {});\n}\n",
+        );
+        assert!(rules_of(&findings).contains(&"NL001"), "{findings:#?}");
+    }
+
+    #[test]
+    fn shared_helper_with_high_rung_may_use_threads() {
+        let findings = analyze(
+            "// ninja-lint: effort(simd, algorithmic, ninja)\nfn step(pool: Option<&ThreadPool>) {\n    if let Some(p) = pool { p.parallel_for(0..1, 1, |_| {}); }\n}\n",
+        );
+        assert!(!rules_of(&findings).contains(&"NL001"), "{findings:#?}");
+    }
+
+    #[test]
+    fn unsafe_in_parallel_rung_fires_nl002() {
+        let findings = analyze(
+            "// ninja-lint: variant(parallel)\nfn run_parallel(&self) {\n    // SAFETY: not actually sound, which is the point.\n    unsafe { shortcut() };\n}\n",
+        );
+        assert!(rules_of(&findings).contains(&"NL002"), "{findings:#?}");
+        assert!(!rules_of(&findings).contains(&"NL005"));
+    }
+
+    #[test]
+    fn allow_waives_a_rule_with_reason() {
+        let findings = analyze(
+            "// ninja-lint: variant(naive)\n// ninja-lint: allow(NL001, \"measures pool overhead itself\")\nfn run_naive(pool: &ThreadPool) {\n    pool.parallel_for(0..1, 1, |_| {});\n}\n",
+        );
+        assert!(!rules_of(&findings).contains(&"NL001"), "{findings:#?}");
+    }
+
+    #[test]
+    fn missing_safety_comment_fires_and_adjacent_passes() {
+        let bad = analyze("fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n");
+        assert_eq!(rules_of(&bad), ["NL005"]);
+        assert_eq!(bad[0].line, 2);
+
+        let good = analyze(
+            "fn f(p: *const u32) -> u32 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n",
+        );
+        assert!(good.is_empty(), "{good:#?}");
+    }
+
+    #[test]
+    fn safety_comment_reaches_through_attributes_and_grouped_impls() {
+        let good = analyze(
+            "struct P(*mut u8);\n// SAFETY: P is only read behind a lock.\nunsafe impl Send for P {}\nunsafe impl Sync for P {}\n",
+        );
+        assert!(good.is_empty(), "{good:#?}");
+
+        let cfg = analyze(
+            "fn f() {\n    // SAFETY: sse2 is x86_64 baseline.\n    #[cfg(target_arch = \"x86_64\")]\n    unsafe { intrinsics() };\n}\n",
+        );
+        assert!(cfg.is_empty(), "{cfg:#?}");
+    }
+
+    #[test]
+    fn safety_doc_section_counts_for_unsafe_fn() {
+        let good = analyze(
+            "/// Dereferences p.\n///\n/// # Safety\n/// p must be valid.\nunsafe fn f(p: *const u32) -> u32 {\n    // SAFETY: per this fn's contract.\n    unsafe { *p }\n}\n",
+        );
+        assert!(good.is_empty(), "{good:#?}");
+    }
+
+    #[test]
+    fn unsafe_fn_pointer_type_is_not_an_unsafe_site() {
+        let findings = analyze("struct J {\n    exec: unsafe fn(*const ()),\n}\n");
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn unsafe_in_string_or_comment_is_ignored() {
+        let findings = analyze("fn f() {\n    let s = \"unsafe\"; // unsafe in prose\n}\n");
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn effort_drift_fires_on_order_of_magnitude_gap() {
+        // A one-line parallel body declaring 500 lines of effort.
+        let src = CLEAN.replace("effort_loc: 4,", "effort_loc: 500,");
+        let findings = analyze(&src);
+        assert_eq!(rules_of(&findings), ["NL004"], "{findings:#?}");
+        assert!(findings[0].message.contains("500"));
+    }
+
+    #[test]
+    fn coverage_fires_per_missing_rung() {
+        let findings = analyze(
+            "// ninja-lint: variant(naive)\nfn run_naive() {}\nfn spec() { let effort_loc = 0; }\nfn info() -> u32 { VariantInfo { variant: Variant::Naive, effort_loc: 0 }.effort_loc }\n",
+        );
+        let nl006 = findings.iter().filter(|f| f.rule.id() == "NL006").count();
+        assert_eq!(nl006, 4, "{findings:#?}");
+    }
+
+    #[test]
+    fn skip_file_disables_ladder_rules_but_not_safety() {
+        let findings = analyze(
+            "// ninja-lint: skip-file(\"fault injection kernel\")\nfn info() -> u32 { VariantInfo { variant: Variant::Naive, effort_loc: 0 }.effort_loc }\nfn f(p: *const u32) -> u32 { unsafe { *p } }\n",
+        );
+        assert_eq!(rules_of(&findings), ["NL005"], "{findings:#?}");
+    }
+
+    #[test]
+    fn malformed_marker_fires() {
+        let findings = analyze("// ninja-lint: variant(bogus)\nfn f() {}\n");
+        assert_eq!(rules_of(&findings), ["NL007"]);
+    }
+}

@@ -41,6 +41,10 @@ struct JobRef {
 unsafe impl Send for JobRef {}
 
 impl JobRef {
+    /// # Safety
+    ///
+    /// `data` must still point at the live job it was created from; the
+    /// frame-blocking protocol in the struct docs guarantees this.
     #[inline]
     unsafe fn execute(self) {
         (self.exec)(self.data)
@@ -54,6 +58,9 @@ struct SharedJob<'a> {
     panic: &'a Mutex<Option<PanicPayload>>,
 }
 
+/// # Safety
+///
+/// `ptr` must come from a `JobRef` built over a live `SharedJob`.
 unsafe fn exec_shared(ptr: *const ()) {
     // SAFETY: ptr was created from a live SharedJob per the JobRef protocol.
     let job = unsafe { &*(ptr as *const SharedJob<'_>) };
@@ -107,6 +114,7 @@ impl<F: FnOnce() -> R, R> OnceJob<F, R> {
         // SAFETY: we won the CAS, so we are the only thread touching the cells.
         let func = unsafe { (*self.func.get()).take().expect("once job claimed twice") };
         match catch_unwind(AssertUnwindSafe(func)) {
+            // SAFETY: still the sole owner of the cells until the DONE store.
             Ok(r) => unsafe { *self.result.get() = Some(r) },
             // SAFETY: same exclusive access as `result` above; readers wait
             // for the DONE store (Release/Acquire pair) before looking.
@@ -156,6 +164,11 @@ struct SharedOnce<F, R> {
 }
 
 /// Drops one reference to a `SharedOnce`, freeing it when it was the last.
+///
+/// # Safety
+///
+/// `ptr` must be a `SharedOnce<F, R>` allocation on which the caller holds
+/// one outstanding reference, surrendered by this call.
 unsafe fn release_shared_once<F: FnOnce() -> R + Send, R: Send>(ptr: *const ()) {
     let shared = ptr as *mut SharedOnce<F, R>;
     // SAFETY: caller holds one of the outstanding references.
@@ -165,6 +178,10 @@ unsafe fn release_shared_once<F: FnOnce() -> R + Send, R: Send>(ptr: *const ()) 
     }
 }
 
+/// # Safety
+///
+/// `ptr` must be a live `SharedOnce<F, R>` for which the queue entry holds
+/// the reference this call releases.
 unsafe fn exec_once<F: FnOnce() -> R + Send, R: Send>(ptr: *const ()) {
     {
         // SAFETY: the queue entry owns a reference (released below).

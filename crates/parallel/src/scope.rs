@@ -87,6 +87,10 @@ struct ScopeJob {
     scope: *const Scope<'static>,
 }
 
+/// # Safety
+///
+/// `ptr` must be a `ScopeJob` from `Box::into_raw`, executed exactly once,
+/// whose scope is kept alive by `wait_zero` until the job completes.
 unsafe fn exec_scope_job(ptr: *const ()) {
     // SAFETY: created by Box::into_raw in `spawn`, executed exactly once.
     let mut job = unsafe { Box::from_raw(ptr as *mut ScopeJob) };

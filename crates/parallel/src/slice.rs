@@ -11,6 +11,8 @@ use crate::ThreadPool;
 /// Safety rests on the chunk arithmetic below handing each thread a
 /// disjoint region.
 struct SendPtr<T>(*mut T);
+// SAFETY: the pointer is only dereferenced through disjoint [lo, hi) chunk
+// windows computed below, so concurrent access never aliases.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
@@ -103,6 +105,7 @@ pub fn par_zip_chunks_mut<T, U, F>(
             let hi = (lo + chunk_len).min(len);
             // SAFETY: disjoint ranges per i; both slices outlive the call.
             let ca = unsafe { std::slice::from_raw_parts_mut(pa.get().add(lo), hi - lo) };
+            // SAFETY: same disjointness argument, on the second slice.
             let cb = unsafe { std::slice::from_raw_parts_mut(pb.get().add(lo), hi - lo) };
             body(i, ca, cb);
         }

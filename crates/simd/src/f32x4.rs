@@ -36,6 +36,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn new(x0: f32, x1: f32, x2: f32, x3: f32) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_set_ps(x3, x2, x1, x0))
         }
@@ -49,6 +50,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn splat(v: f32) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_set1_ps(v))
         }
@@ -62,6 +64,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn zero() -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_setzero_ps())
         }
@@ -83,6 +86,7 @@ impl F32x4 {
             "F32x4::from_slice needs at least 4 elements"
         );
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the slice/array length is checked above, so the unaligned load/store stays in bounds; SSE2 is baseline on x86_64.
         unsafe {
             Self(_mm_loadu_ps(slice.as_ptr()))
         }
@@ -102,6 +106,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn to_array(self) -> [f32; 4] {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the unaligned store writes exactly LANES elements into a local array of that size; SSE2 is baseline on x86_64.
         unsafe {
             let mut out = [0.0f32; 4];
             _mm_storeu_ps(out.as_mut_ptr(), self.0);
@@ -125,6 +130,7 @@ impl F32x4 {
             "F32x4::write_to_slice needs at least 4 elements"
         );
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the slice/array length is checked above, so the unaligned load/store stays in bounds; SSE2 is baseline on x86_64.
         unsafe {
             _mm_storeu_ps(slice.as_mut_ptr(), self.0);
         }
@@ -157,6 +163,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn min(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_min_ps(self.0, rhs.0))
         }
@@ -170,6 +177,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn max(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_max_ps(self.0, rhs.0))
         }
@@ -183,6 +191,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn abs(self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             let sign_mask = _mm_castsi128_ps(_mm_set1_epi32(0x7fff_ffff));
             Self(_mm_and_ps(self.0, sign_mask))
@@ -197,6 +206,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn sqrt(self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_sqrt_ps(self.0))
         }
@@ -213,6 +223,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn rsqrt_approx(self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_rsqrt_ps(self.0))
         }
@@ -239,6 +250,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn recip_approx(self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_rcp_ps(self.0))
         }
@@ -264,6 +276,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn floor(self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             let t = _mm_cvtepi32_ps(_mm_cvttps_epi32(self.0)); // trunc toward zero
             let gt = _mm_cmpgt_ps(t, self.0); // lanes where trunc overshot (negative non-integers)
@@ -280,6 +293,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn to_i32_trunc(self) -> I32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             I32x4(_mm_cvttps_epi32(self.0))
         }
@@ -294,6 +308,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn reduce_sum(self) -> f32 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             let v = self.0;
             let shuf = _mm_shuffle_ps::<0b10_11_00_01>(v, v); // [1,0,3,2]
@@ -339,6 +354,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn simd_eq(self, rhs: Self) -> Mask32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Mask32x4(_mm_cmpeq_ps(self.0, rhs.0))
         }
@@ -352,6 +368,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn simd_lt(self, rhs: Self) -> Mask32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Mask32x4(_mm_cmplt_ps(self.0, rhs.0))
         }
@@ -365,6 +382,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn simd_le(self, rhs: Self) -> Mask32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Mask32x4(_mm_cmple_ps(self.0, rhs.0))
         }
@@ -378,6 +396,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn simd_gt(self, rhs: Self) -> Mask32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Mask32x4(_mm_cmpgt_ps(self.0, rhs.0))
         }
@@ -391,6 +410,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn simd_ge(self, rhs: Self) -> Mask32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Mask32x4(_mm_cmpge_ps(self.0, rhs.0))
         }
@@ -407,6 +427,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn from_bits(bits: I32x4) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_castsi128_ps(bits.0))
         }
@@ -426,6 +447,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn to_bits(self) -> I32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             I32x4(_mm_castps_si128(self.0))
         }
@@ -467,6 +489,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn interleave_lo(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_unpacklo_ps(self.0, rhs.0))
         }
@@ -483,6 +506,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn interleave_hi(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_unpackhi_ps(self.0, rhs.0))
         }
@@ -498,6 +522,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn rotate_lanes_left(self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_shuffle_ps::<0b00_11_10_01>(self.0, self.0))
         }
@@ -515,6 +540,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn swap_halves(self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_shuffle_ps::<0b01_00_11_10>(self.0, self.0))
         }
@@ -529,6 +555,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn swap_pairs(self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_shuffle_ps::<0b10_11_00_01>(self.0, self.0))
         }
@@ -579,6 +606,7 @@ impl F32x4 {
     #[inline(always)]
     pub fn reverse_lanes(self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_shuffle_ps::<0b00_01_10_11>(self.0, self.0))
         }
@@ -621,6 +649,7 @@ macro_rules! impl_binop {
             #[inline(always)]
             fn $method(self, rhs: Self) -> Self {
                 #[cfg(target_arch = "x86_64")]
+                // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
                 unsafe {
                     Self($intrinsic(self.0, rhs.0))
                 }

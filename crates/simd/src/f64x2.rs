@@ -35,6 +35,7 @@ impl F64x2 {
     #[inline(always)]
     pub fn new(x0: f64, x1: f64) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_set_pd(x1, x0))
         }
@@ -48,6 +49,7 @@ impl F64x2 {
     #[inline(always)]
     pub fn splat(v: f64) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_set1_pd(v))
         }
@@ -75,6 +77,7 @@ impl F64x2 {
             "F64x2::from_slice needs at least 2 elements"
         );
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the slice/array length is checked above, so the unaligned load/store stays in bounds; SSE2 is baseline on x86_64.
         unsafe {
             Self(_mm_loadu_pd(slice.as_ptr()))
         }
@@ -94,6 +97,7 @@ impl F64x2 {
     #[inline(always)]
     pub fn to_array(self) -> [f64; 2] {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the unaligned store writes exactly LANES elements into a local array of that size; SSE2 is baseline on x86_64.
         unsafe {
             let mut out = [0.0f64; 2];
             _mm_storeu_pd(out.as_mut_ptr(), self.0);
@@ -139,6 +143,7 @@ impl F64x2 {
     #[inline(always)]
     pub fn min(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_min_pd(self.0, rhs.0))
         }
@@ -156,6 +161,7 @@ impl F64x2 {
     #[inline(always)]
     pub fn max(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_max_pd(self.0, rhs.0))
         }
@@ -173,6 +179,7 @@ impl F64x2 {
     #[inline(always)]
     pub fn sqrt(self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_sqrt_pd(self.0))
         }
@@ -186,6 +193,7 @@ impl F64x2 {
     #[inline(always)]
     pub fn abs(self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             let sign_mask = _mm_castsi128_pd(_mm_set1_epi64x(0x7fff_ffff_ffff_ffff));
             Self(_mm_and_pd(self.0, sign_mask))
@@ -207,6 +215,7 @@ impl F64x2 {
     #[inline(always)]
     pub fn simd_lt(self, rhs: Self) -> Mask64x2 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Mask64x2(_mm_cmplt_pd(self.0, rhs.0))
         }
@@ -231,6 +240,7 @@ macro_rules! impl_binop_d {
             #[inline(always)]
             fn $method(self, rhs: Self) -> Self {
                 #[cfg(target_arch = "x86_64")]
+                // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
                 unsafe {
                     Self($intrinsic(self.0, rhs.0))
                 }

@@ -37,6 +37,7 @@ impl I32x4 {
     #[inline(always)]
     pub fn new(x0: i32, x1: i32, x2: i32, x3: i32) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_set_epi32(x3, x2, x1, x0))
         }
@@ -50,6 +51,7 @@ impl I32x4 {
     #[inline(always)]
     pub fn splat(v: i32) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_set1_epi32(v))
         }
@@ -89,6 +91,7 @@ impl I32x4 {
     #[inline(always)]
     pub fn to_array(self) -> [i32; 4] {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: the unaligned store writes exactly LANES elements into a local array of that size; SSE2 is baseline on x86_64.
         unsafe {
             let mut out = [0i32; 4];
             _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, self.0);
@@ -128,6 +131,7 @@ impl I32x4 {
     #[inline(always)]
     pub fn to_f32(self) -> F32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             F32x4(_mm_cvtepi32_ps(self.0))
         }
@@ -142,6 +146,7 @@ impl I32x4 {
     #[inline(always)]
     pub fn simd_eq(self, rhs: Self) -> Mask32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Mask32x4(_mm_castsi128_ps(_mm_cmpeq_epi32(self.0, rhs.0)))
         }
@@ -155,6 +160,7 @@ impl I32x4 {
     #[inline(always)]
     pub fn simd_gt(self, rhs: Self) -> Mask32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Mask32x4(_mm_castsi128_ps(_mm_cmpgt_epi32(self.0, rhs.0)))
         }
@@ -227,6 +233,7 @@ impl Add for I32x4 {
     #[inline(always)]
     fn add(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_add_epi32(self.0, rhs.0))
         }
@@ -248,6 +255,7 @@ impl Sub for I32x4 {
     #[inline(always)]
     fn sub(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_sub_epi32(self.0, rhs.0))
         }
@@ -273,6 +281,7 @@ impl Mul for I32x4 {
     #[inline(always)]
     fn mul(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             let even = _mm_mul_epu32(self.0, rhs.0); // lanes 0,2 (64-bit)
             let odd = _mm_mul_epu32(_mm_srli_si128::<4>(self.0), _mm_srli_si128::<4>(rhs.0));
@@ -312,6 +321,7 @@ impl BitAnd for I32x4 {
     #[inline(always)]
     fn bitand(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_and_si128(self.0, rhs.0))
         }
@@ -328,6 +338,7 @@ impl BitOr for I32x4 {
     #[inline(always)]
     fn bitor(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_or_si128(self.0, rhs.0))
         }
@@ -344,6 +355,7 @@ impl BitXor for I32x4 {
     #[inline(always)]
     fn bitxor(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_xor_si128(self.0, rhs.0))
         }
@@ -360,6 +372,7 @@ impl Shl<i32> for I32x4 {
     #[inline(always)]
     fn shl(self, shift: i32) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_sll_epi32(self.0, _mm_cvtsi32_si128(shift)))
         }
@@ -382,6 +395,7 @@ impl Shr<i32> for I32x4 {
     #[inline(always)]
     fn shr(self, shift: i32) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_sra_epi32(self.0, _mm_cvtsi32_si128(shift)))
         }

@@ -40,6 +40,7 @@ impl Mask32x4 {
     #[inline(always)]
     pub fn none() -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_setzero_ps())
         }
@@ -53,6 +54,7 @@ impl Mask32x4 {
     #[inline(always)]
     pub fn all_true() -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_castsi128_ps(_mm_set1_epi32(-1)))
         }
@@ -67,6 +69,7 @@ impl Mask32x4 {
     pub fn from_bools(b0: bool, b1: bool, b2: bool, b3: bool) -> Self {
         let l = |b: bool| if b { -1i32 } else { 0 };
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_castsi128_ps(_mm_set_epi32(l(b3), l(b2), l(b1), l(b0))))
         }
@@ -80,6 +83,7 @@ impl Mask32x4 {
     #[inline(always)]
     pub fn bitmask(self) -> u8 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             _mm_movemask_ps(self.0) as u8
         }
@@ -128,6 +132,7 @@ impl Mask32x4 {
     #[inline(always)]
     pub fn select(self, on_true: F32x4, on_false: F32x4) -> F32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             // (mask & on_true) | (!mask & on_false)
             F32x4(_mm_or_ps(
@@ -151,6 +156,7 @@ impl Mask32x4 {
     #[inline(always)]
     pub fn select_i32(self, on_true: I32x4, on_false: I32x4) -> I32x4 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             let m = _mm_castps_si128(self.0);
             I32x4(_mm_or_si128(
@@ -176,6 +182,7 @@ impl BitAnd for Mask32x4 {
     #[inline(always)]
     fn bitand(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_and_ps(self.0, rhs.0))
         }
@@ -195,6 +202,7 @@ impl BitOr for Mask32x4 {
     #[inline(always)]
     fn bitor(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_or_ps(self.0, rhs.0))
         }
@@ -214,6 +222,7 @@ impl BitXor for Mask32x4 {
     #[inline(always)]
     fn bitxor(self, rhs: Self) -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_xor_ps(self.0, rhs.0))
         }
@@ -285,6 +294,7 @@ impl Mask64x2 {
     #[inline(always)]
     pub fn none() -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_setzero_pd())
         }
@@ -298,6 +308,7 @@ impl Mask64x2 {
     #[inline(always)]
     pub fn all_true() -> Self {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             Self(_mm_castsi128_pd(_mm_set1_epi32(-1)))
         }
@@ -311,6 +322,7 @@ impl Mask64x2 {
     #[inline(always)]
     pub fn bitmask(self) -> u8 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             _mm_movemask_pd(self.0) as u8
         }
@@ -342,6 +354,7 @@ impl Mask64x2 {
     #[inline(always)]
     pub fn select(self, on_true: F64x2, on_false: F64x2) -> F64x2 {
         #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
         unsafe {
             F64x2(_mm_or_pd(
                 _mm_and_pd(self.0, on_true.0),
