@@ -4,6 +4,14 @@
 //! Failed variants (panic, hang, NaN checksum, validation mismatch) never
 //! abort the run: the partial report is still written and rendered, and
 //! the process exits with status 1 so CI notices.
+//!
+//! With `--record` the run is also appended to the persistent perf store
+//! (default `perfdb/`) and the aggregated `BENCH_history.json` trajectory
+//! is regenerated; with `--baseline REF` the fresh measurements are
+//! compared against a stored baseline and a confirmed regression makes
+//! the exit status 1. A baseline of `latest` resolves *before* the new
+//! run is appended, so `--record --baseline latest` compares against the
+//! previous run, not itself.
 
 fn main() {
     let cli = ninja_bench::cli_from_env();
@@ -69,12 +77,93 @@ fn main() {
         println!("no kernel produced a complete variant ladder; gap averages unavailable");
     }
 
+    let mut exit_code = 0;
     if suite.has_failures() {
         eprintln!(
             "{} variant(s) failed; partial report written:\n{}",
             suite.failures().len(),
             suite.failure_summary()
         );
-        std::process::exit(1);
+        exit_code = 1;
+    }
+
+    if cli.record || cli.baseline.is_some() {
+        let store = ninja_perfdb::Store::open(&cli.store);
+        let mut meta = ninja_perfdb::RecordMeta::detect(&suite.simd_backend);
+        if cli.record {
+            // Calibration costs ~1 s; only pay for it when the fingerprint
+            // actually lands in the store.
+            let machine = ninja_model::calibrate::calibrated_host(cli.threads);
+            meta.machine.calibrated_freq_ghz = Some(machine.freq_ghz);
+            meta.machine.calibrated_simd_f32_lanes = Some(machine.simd_f32_lanes);
+            meta.machine.calibrated_core_bandwidth_gbs = Some(machine.core_bandwidth_gbs);
+        }
+        let record = suite.to_run_record(&meta);
+
+        // Resolve the baseline before appending so `latest` means "the
+        // previous recorded run", never the one we are about to write.
+        let baseline = match &cli.baseline {
+            Some(reference) => match ninja_perfdb::resolve_reference(&store, reference, 1) {
+                Ok(baseline) => Some(baseline),
+                Err(msg) => {
+                    eprintln!("reproduce: {msg}");
+                    std::process::exit(2);
+                }
+            },
+            None => None,
+        };
+
+        if cli.record {
+            if let Err(msg) = store.append(&record) {
+                eprintln!("reproduce: {msg}");
+                std::process::exit(2);
+            }
+            if !record.excluded.is_empty() {
+                eprintln!(
+                    "perf store: excluded fault-injection kernel(s): {}",
+                    record.excluded.join(", ")
+                );
+            }
+            eprintln!(
+                "recorded run {} to {}",
+                record.id,
+                store.runs_path().display()
+            );
+            match ninja_perfdb::write_history(
+                &store,
+                std::path::Path::new(ninja_perfdb::HISTORY_FILE),
+            ) {
+                Ok(history) => eprintln!(
+                    "wrote {} ({} run(s), {} kernel(s))",
+                    ninja_perfdb::HISTORY_FILE,
+                    history.runs,
+                    history.kernels.len()
+                ),
+                Err(msg) => {
+                    eprintln!("reproduce: {msg}");
+                    std::process::exit(2);
+                }
+            }
+        }
+
+        if let Some(baseline) = baseline {
+            let mut cfg = ninja_perfdb::CompareConfig::gate();
+            if let Some(floor) = cli.noise_floor {
+                cfg.noise_floor = floor;
+            }
+            let report = ninja_perfdb::compare_records(&baseline, &record, &cfg);
+            print!("{}", report.render_text());
+            if report.has_regressions() {
+                eprintln!(
+                    "reproduce: confirmed perf regression(s) vs baseline {}",
+                    baseline.id
+                );
+                exit_code = 1;
+            }
+        }
+    }
+
+    if exit_code != 0 {
+        std::process::exit(exit_code);
     }
 }

@@ -15,6 +15,14 @@
 //!                           harness itself; forces a nonzero exit code)
 //! --lint                    run the ninja-lint taxonomy audit as a
 //!                           preflight and refuse to measure on findings
+//! --record                  append this run to the persistent perf store
+//!                           and regenerate BENCH_history.json
+//! --baseline REF            compare against a baseline (a store ref like
+//!                           `latest`/`latest~N`/an id, or a file path) and
+//!                           exit nonzero on a confirmed regression
+//! --store DIR               perf-store directory (default: perfdb)
+//! --noise-floor F           relative floor for the regression gate
+//!                           (default: the CI-host gate preset, 0.25)
 //! ```
 //!
 //! Run `cargo run --release -p ninja-bench --bin reproduce` to regenerate
@@ -27,7 +35,7 @@ use ninja_kernels::chaos::FailureMode;
 use ninja_kernels::ProblemSize;
 
 /// Parsed command-line options shared by the reproduction binaries.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Cli {
     /// Problem-size preset.
     pub size: ProblemSize,
@@ -44,6 +52,18 @@ pub struct Cli {
     /// Run the `ninja-lint` taxonomy audit before measuring; findings
     /// abort the run so mislabeled variants cannot produce numbers.
     pub lint: bool,
+    /// Append the run to the persistent perf store and regenerate the
+    /// `BENCH_history.json` trajectory artifact.
+    pub record: bool,
+    /// Baseline to compare against (`latest`, `latest~N`, a record id, or
+    /// a file path); a confirmed regression makes the exit nonzero.
+    pub baseline: Option<String>,
+    /// Perf-store directory (shared by `--record`/`--baseline` and the
+    /// `perfdb` binary).
+    pub store: String,
+    /// Relative noise floor for the `--baseline` regression gate;
+    /// `None` uses the shared-CI-host gate preset.
+    pub noise_floor: Option<f64>,
 }
 
 impl Cli {
@@ -63,6 +83,10 @@ impl Default for Cli {
             fail_fast: false,
             chaos: None,
             lint: false,
+            record: false,
+            baseline: None,
+            store: ninja_perfdb::DEFAULT_DIR.to_owned(),
+            noise_floor: None,
         }
     }
 }
@@ -113,6 +137,18 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
             "--fail-fast" => cli.fail_fast = true,
             "--keep-going" => cli.fail_fast = false,
             "--lint" => cli.lint = true,
+            "--record" => cli.record = true,
+            "--baseline" => cli.baseline = Some(value("--baseline")?),
+            "--store" => cli.store = value("--store")?,
+            "--noise-floor" => {
+                let floor: f64 = value("--noise-floor")?
+                    .parse()
+                    .map_err(|e| format!("--noise-floor: {e}"))?;
+                if !(floor >= 0.0 && floor.is_finite()) {
+                    return Err("--noise-floor must be a finite non-negative number".into());
+                }
+                cli.noise_floor = Some(floor);
+            }
             "--chaos" => {
                 let v = value("--chaos")?;
                 cli.chaos =
@@ -124,7 +160,9 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
                 return Err(concat!(
                     "usage: [--size test|quick|paper] [--threads N] [--reps N]\n",
                     "       [--timeout SECONDS] [--fail-fast|--keep-going]\n",
-                    "       [--chaos panic|hang|nan|wrong] [--lint]"
+                    "       [--chaos panic|hang|nan|wrong] [--lint]\n",
+                    "       [--record] [--baseline REF|PATH] [--store DIR]\n",
+                    "       [--noise-floor F]"
                 )
                 .into())
             }
@@ -197,6 +235,13 @@ mod tests {
             "--chaos",
             "hang",
             "--lint",
+            "--record",
+            "--baseline",
+            "latest~2",
+            "--store",
+            "/tmp/perfstore",
+            "--noise-floor",
+            "0.1",
         ])
         .unwrap();
         assert_eq!(cli.size, ProblemSize::Paper);
@@ -207,6 +252,26 @@ mod tests {
         assert!(cli.fail_fast);
         assert_eq!(cli.chaos, Some(FailureMode::Hang));
         assert!(cli.lint);
+        assert!(cli.record);
+        assert_eq!(cli.baseline.as_deref(), Some("latest~2"));
+        assert_eq!(cli.store, "/tmp/perfstore");
+        assert_eq!(cli.noise_floor, Some(0.1));
+    }
+
+    #[test]
+    fn perf_store_flags_default_off() {
+        let cli = parse(&[]).unwrap();
+        assert!(!cli.record);
+        assert_eq!(cli.baseline, None);
+        assert_eq!(cli.store, ninja_perfdb::DEFAULT_DIR);
+        assert_eq!(cli.noise_floor, None);
+    }
+
+    #[test]
+    fn noise_floor_rejects_garbage() {
+        assert!(parse(&["--noise-floor", "-0.5"]).is_err());
+        assert!(parse(&["--noise-floor", "NaN"]).is_err());
+        assert!(parse(&["--noise-floor", "tight"]).is_err());
     }
 
     #[test]

@@ -21,6 +21,35 @@ pub struct Measurement {
 
 impl Measurement {
     /// Relative spread `(max − min) / median` — a quick noise indicator.
+    ///
+    /// **Contract:** the value is *relative* (dimensionless, in units of
+    /// the median), not absolute seconds: `0.10` means the repetitions
+    /// span 10% of the median. Because it is scale-free it can be
+    /// compared across kernels of wildly different runtimes, and it is
+    /// what the `ninja-perfdb` regression comparator consumes directly as
+    /// its default per-cell noise floor (a cell must shift by more than
+    /// its own measured spread before a verdict leaves "noise").
+    ///
+    /// A zero median (degenerate, e.g. an unmeasured stub) reports zero
+    /// spread rather than dividing by zero.
+    ///
+    /// ```
+    /// use ninja_core::Measurement;
+    /// let m = Measurement {
+    ///     median_s: 2.0,
+    ///     mean_s: 2.05,
+    ///     stddev_s: 0.1,
+    ///     min_s: 1.9,
+    ///     max_s: 2.3,
+    ///     runs: 5,
+    /// };
+    /// // (2.3 − 1.9) / 2.0 = 0.2: relative, not seconds.
+    /// assert!((m.spread() - 0.2).abs() < 1e-12);
+    /// // Scaling the measurement leaves the spread unchanged.
+    /// let scaled = Measurement { median_s: 4.0, mean_s: 4.1, stddev_s: 0.2,
+    ///                            min_s: 3.8, max_s: 4.6, runs: 5 };
+    /// assert!((scaled.spread() - m.spread()).abs() < 1e-12);
+    /// ```
     pub fn spread(&self) -> f64 {
         if self.median_s == 0.0 {
             0.0

@@ -203,6 +203,14 @@ impl KernelReport {
         Some(self.time_of(Variant::Naive)? / self.time_of(v)?)
     }
 
+    /// Whether this kernel is excluded from suite-level aggregates and
+    /// recorded perf history: the test-only `chaos-*` fault-injection
+    /// family measures harness behavior, not performance, so its timings
+    /// must never contribute to gap/residual averages or the run store.
+    pub fn excluded_from_aggregates(&self) -> bool {
+        ninja_perfdb::kernel_is_excluded(&self.kernel)
+    }
+
     /// The variants of this kernel that did not measure cleanly.
     pub fn failures(&self) -> impl Iterator<Item = &VariantResult> {
         self.variants.iter().filter(|v| !v.is_ok())
@@ -225,30 +233,40 @@ pub struct SuiteReport {
 }
 
 impl SuiteReport {
-    /// Geometric-mean measured Ninja gap across kernels that measured
-    /// both endpoints successfully.
+    /// The kernels that participate in suite-level aggregates: everything
+    /// except the test-only `chaos-*` fault-injection family (see
+    /// [`KernelReport::excluded_from_aggregates`]).
+    pub fn aggregate_kernels(&self) -> impl Iterator<Item = &KernelReport> {
+        self.kernels
+            .iter()
+            .filter(|k| !k.excluded_from_aggregates())
+    }
+
+    /// Geometric-mean measured Ninja gap across non-excluded kernels that
+    /// measured both endpoints successfully. Injected `chaos-*` kernels
+    /// never contribute, so a `--chaos` run reports the same average as a
+    /// clean one.
     ///
     /// # Panics
     ///
     /// Panics if no kernel has a measurable gap.
     pub fn average_gap(&self) -> f64 {
         let gaps: Vec<f64> = self
-            .kernels
-            .iter()
+            .aggregate_kernels()
             .filter_map(KernelReport::measured_gap)
             .collect();
         ninja_model::geomean(&gaps)
     }
 
-    /// Geometric-mean measured residual (`Algorithmic / Ninja`).
+    /// Geometric-mean measured residual (`Algorithmic / Ninja`) across
+    /// non-excluded kernels.
     ///
     /// # Panics
     ///
     /// Panics if no kernel has a measurable residual.
     pub fn average_residual(&self) -> f64 {
         let rs: Vec<f64> = self
-            .kernels
-            .iter()
+            .aggregate_kernels()
             .filter_map(KernelReport::measured_residual)
             .collect();
         ninja_model::geomean(&rs)
@@ -325,47 +343,66 @@ impl SuiteReport {
         serde_json::from_str(json)
     }
 
-    /// Renders a side-by-side comparison against `baseline`: the ratio
-    /// `baseline_time / self_time` per (kernel, variant) — values above 1
-    /// mean this report is faster. Kernels/variants missing or failed in
-    /// either report are skipped.
+    /// Converts the report into a `ninja-perfdb` run record for the
+    /// persistent store. `chaos-*` kernels are excluded (and listed in
+    /// the record's `excluded` field); failed cells of real kernels keep
+    /// their outcome tag with no timing.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: suite reports always serialize, and the store's
+    /// suite-report ingestion accepts exactly that serialization.
+    pub fn to_run_record(&self, meta: &ninja_perfdb::RecordMeta) -> ninja_perfdb::RunRecord {
+        ninja_perfdb::RunRecord::from_suite_json(&self.to_json(), meta)
+            .expect("a serialized SuiteReport is a valid suite report")
+    }
+
+    /// Statistical comparison against `baseline`, delegating to the
+    /// `ninja-perfdb` comparator: per (kernel, variant) cell a verdict of
+    /// `regressed` / `improved` / `noise` backed by a deterministic
+    /// bootstrap confidence interval, with the noise floor defaulting to
+    /// each cell's measured [`Measurement::spread`]. Kernels/variants
+    /// missing or failed in either report are skipped (counted in the
+    /// report's `skipped` list).
+    pub fn compare_statistical(
+        &self,
+        baseline: &SuiteReport,
+        cfg: &ninja_perfdb::CompareConfig,
+    ) -> ninja_perfdb::ComparisonReport {
+        let base = baseline.to_run_record(&ninja_perfdb::RecordMeta::synthetic(
+            "baseline",
+            &baseline.simd_backend,
+        ));
+        let cand = self.to_run_record(&ninja_perfdb::RecordMeta::synthetic(
+            "self",
+            &self.simd_backend,
+        ));
+        ninja_perfdb::compare_records(&base, &cand, cfg)
+    }
+
+    /// Renders a side-by-side comparison against `baseline` with one
+    /// statistical verdict per (kernel, variant) — `regressed`,
+    /// `improved`, or `noise` — instead of the naive time ratio this
+    /// method used to print (a bare ratio cannot distinguish a real
+    /// regression from scheduler noise). The speedup column reads
+    /// `baseline_time / self_time`: values above 1 mean this report is
+    /// faster. Kernels/variants missing or failed in either report are
+    /// skipped.
     ///
     /// Useful for regression tracking across commits or comparing two
-    /// machines' suite runs.
+    /// machines' suite runs; for history-backed gating use the `perfdb`
+    /// binary or `reproduce --baseline`.
     pub fn compare(&self, baseline: &SuiteReport) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "comparison: {} ({} thr) vs baseline {} ({} thr)\n",
             self.size, self.threads, baseline.size, baseline.threads
         ));
-        out.push_str(&format!(
-            "{:<16} {:<12} {:>10} {:>10} {:>8}\n",
-            "kernel", "variant", "self s", "base s", "speedup"
-        ));
-        for k in &self.kernels {
-            let Some(bk) = baseline.kernel(&k.kernel) else {
-                continue;
-            };
-            for v in &k.variants {
-                let Some(self_s) = v.median_s() else { continue };
-                let Some(base_s) = bk
-                    .variants
-                    .iter()
-                    .find(|b| b.variant == v.variant)
-                    .and_then(VariantResult::median_s)
-                else {
-                    continue;
-                };
-                out.push_str(&format!(
-                    "{:<16} {:<12} {:>10.4} {:>10.4} {:>7.2}X\n",
-                    k.kernel,
-                    v.variant,
-                    self_s,
-                    base_s,
-                    base_s / self_s
-                ));
-            }
-        }
+        out.push_str(
+            &self
+                .compare_statistical(baseline, &ninja_perfdb::CompareConfig::default())
+                .render_text(),
+        );
         out
     }
 
@@ -546,16 +583,30 @@ mod tests {
     }
 
     #[test]
-    fn compare_reports_speedups() {
+    fn compare_reports_speedups_with_verdicts() {
         let a = dummy_report();
         let mut b = dummy_report();
         for v in &mut b.kernels[0].variants {
             if let Some(t) = &mut v.timing {
                 t.median_s *= 2.0;
+                t.min_s *= 2.0;
+                t.max_s *= 2.0;
             }
         }
+        // Baseline is uniformly 2x slower: every cell improved.
         let cmp = a.compare(&b);
         assert!(cmp.contains("2.00X"), "{cmp}");
+        assert!(cmp.contains("improved"), "{cmp}");
+        assert!(!cmp.contains("regressed,"), "{cmp}");
+        let verdicts = a.compare_statistical(&b, &ninja_perfdb::CompareConfig::default());
+        assert!(verdicts
+            .cells
+            .iter()
+            .all(|c| c.verdict == ninja_perfdb::Verdict::Improved));
+        assert!(!verdicts.has_regressions());
+        // The reverse direction is a confirmed regression.
+        let reverse = b.compare_statistical(&a, &ninja_perfdb::CompareConfig::default());
+        assert!(reverse.has_regressions());
         // Missing kernels are skipped silently.
         let empty = SuiteReport {
             kernels: Vec::new(),
@@ -570,6 +621,65 @@ mod tests {
         let cmp3 = a.compare(&c);
         assert!(!cmp3.contains("naive"));
         assert!(cmp3.contains("parallel"));
+    }
+
+    #[test]
+    fn self_comparison_is_all_noise() {
+        let a = dummy_report();
+        let r = a.compare_statistical(&a, &ninja_perfdb::CompareConfig::default());
+        assert_eq!(r.cells.len(), 5);
+        assert!(r
+            .cells
+            .iter()
+            .all(|c| c.verdict == ninja_perfdb::Verdict::Noise));
+        assert_eq!(r.overall(), ninja_perfdb::Verdict::Noise);
+        assert!(a.compare(&a).contains("noise"));
+    }
+
+    fn with_chaos_kernel(mut r: SuiteReport) -> SuiteReport {
+        let mut chaos = r.kernels[0].clone();
+        chaos.kernel = "chaos-panic".into();
+        // Absurd timings that would wreck the averages if counted.
+        for v in &mut chaos.variants {
+            if let Some(t) = &mut v.timing {
+                t.median_s *= 1000.0;
+            }
+        }
+        // Make the chaos ladder flat so its gap would be 1.0.
+        let naive = chaos.variants[0].timing;
+        for v in &mut chaos.variants {
+            v.timing = naive;
+        }
+        r.kernels.push(chaos);
+        r
+    }
+
+    #[test]
+    fn chaos_kernels_are_excluded_from_aggregates() {
+        let clean = dummy_report();
+        let with_chaos = with_chaos_kernel(dummy_report());
+        assert!(with_chaos.kernels[1].excluded_from_aggregates());
+        assert!(!with_chaos.kernels[0].excluded_from_aggregates());
+        // The chaos ladder (gap 1.0) would drag the geomean to sqrt(8);
+        // exclusion keeps both aggregates identical to the clean run.
+        assert!((with_chaos.average_gap() - clean.average_gap()).abs() < 1e-12);
+        assert!((with_chaos.average_residual() - clean.average_residual()).abs() < 1e-12);
+        assert_eq!(with_chaos.aggregate_kernels().count(), 1);
+    }
+
+    #[test]
+    fn run_records_exclude_chaos_kernels() {
+        let r = with_chaos_kernel(dummy_report());
+        let meta = ninja_perfdb::RecordMeta::synthetic("test-run", &r.simd_backend);
+        let rec = r.to_run_record(&meta);
+        assert_eq!(rec.id, "test-run");
+        assert_eq!(rec.excluded, ["chaos-panic"]);
+        assert_eq!(rec.kernels(), ["k"]);
+        assert_eq!(rec.cells.len(), 5);
+        assert_eq!(rec.size, r.size);
+        assert_eq!(rec.seed, r.seed);
+        assert_eq!(rec.machine.simd_backend, r.simd_backend);
+        assert!((rec.measured_gap("k").unwrap() - 8.0).abs() < 1e-12);
     }
 
     #[test]

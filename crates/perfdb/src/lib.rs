@@ -1,0 +1,66 @@
+//! `ninja-perfdb` — the persistent perf-run store behind the suite.
+//!
+//! The measurement harness produces one suite report per run and used to
+//! throw it away; this crate keeps them. Runs append to a JSONL store
+//! (one schema-versioned
+//! [`RunRecord`] per line) carrying a machine fingerprint, git commit,
+//! timestamp, and every (kernel, variant) timing summary. On top of the
+//! store sit:
+//!
+//! - a **statistical comparator** ([`compare_records`]) that decides
+//!   *regressed / improved / noise* per cell using min-of-k medians and a
+//!   deterministic bootstrap confidence interval, with a noise floor
+//!   defaulting to the harness's measured `spread()`;
+//! - **trend reporting** ([`trend`]) that turns the store into the
+//!   per-kernel gap/residual trajectory exported as `BENCH_history.json`;
+//! - the **`perfdb` binary** (`record` / `compare` / `trend` / `history`
+//!   / `gc`) and the `reproduce --record` / `--baseline` integration in
+//!   `ninja-bench`.
+//!
+//! Like `ninja-lint`, this crate is a leaf: std plus the in-tree
+//! `serde`/`serde_json` stand-ins only, so every other layer (including
+//! `ninja-core`) can depend on it without cycles. Suite reports are
+//! ingested from their JSON form rather than from `ninja-core` types for
+//! the same reason.
+//!
+//! Test-only `chaos-*` kernels are excluded at ingestion
+//! ([`schema::kernel_is_excluded`]) so fault-injection runs can never
+//! pollute the perf history.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod compare;
+pub mod schema;
+pub mod store;
+pub mod trend;
+
+pub use compare::{
+    compare_records, min_of_k_baseline, CellComparison, CompareConfig, ComparisonReport, Verdict,
+};
+pub use schema::{
+    kernel_is_excluded, CellRecord, MachineFingerprint, RecordMeta, RunRecord, Sample,
+    SCHEMA_VERSION,
+};
+pub use store::{record_from_path, resolve_reference, Store, DEFAULT_DIR};
+pub use trend::{History, KernelHistory, TrendPoint};
+
+/// Default file name of the exported trajectory artifact.
+pub const HISTORY_FILE: &str = "BENCH_history.json";
+
+/// Writes the aggregated trajectory artifact for a store.
+///
+/// # Errors
+///
+/// Returns a message when the store cannot be read or the artifact
+/// cannot be written.
+pub fn write_history(store: &Store, out_path: &std::path::Path) -> Result<History, String> {
+    let (records, skipped) = store.load_lossy()?;
+    if skipped > 0 {
+        eprintln!("perfdb: warning: skipped {skipped} malformed record line(s)");
+    }
+    let history = History::from_records(&records);
+    std::fs::write(out_path, history.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", out_path.display()))?;
+    Ok(history)
+}

@@ -1,0 +1,597 @@
+//! The schema-versioned run record: one JSONL line per suite run.
+//!
+//! A [`RunRecord`] is a point-in-time snapshot of a measurement run —
+//! machine fingerprint, git commit, timestamp, and the per-(kernel,
+//! variant) timing summaries — stored append-only so the perf history of
+//! the repository survives across commits and machines. Records are
+//! ingested from the `suite_report.json` the harness already writes (the
+//! store never re-runs kernels), and test-only `chaos-*` kernels are
+//! excluded at ingestion time so fault-injection runs can never pollute
+//! the history.
+
+use serde::{Deserialize, Serialize};
+
+/// Version stamped into every record; bump on breaking schema changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Kernel-name prefix of the fault-injection kernels that must never be
+/// recorded (`chaos-panic`, `chaos-hang`, ...).
+pub const EXCLUDED_KERNEL_PREFIX: &str = "chaos";
+
+/// Whether a kernel is excluded from recorded runs and trend aggregates.
+///
+/// The `chaos` family exists to test the harness's failure handling; its
+/// timings are meaningless, so the store refuses to ingest them.
+pub fn kernel_is_excluded(name: &str) -> bool {
+    name == EXCLUDED_KERNEL_PREFIX
+        || name
+            .strip_prefix(EXCLUDED_KERNEL_PREFIX)
+            .is_some_and(|rest| rest.starts_with('-'))
+}
+
+/// Timing summary of one measured cell — a mirror of the harness's
+/// `Measurement` (median-of-N wall-clock repetitions).
+///
+/// All time fields are in seconds.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Median wall-clock seconds across repetitions.
+    pub median_s: f64,
+    /// Arithmetic mean across repetitions.
+    pub mean_s: f64,
+    /// Sample standard deviation across repetitions.
+    pub stddev_s: f64,
+    /// Fastest repetition.
+    pub min_s: f64,
+    /// Slowest repetition.
+    pub max_s: f64,
+    /// Number of timed repetitions.
+    pub runs: u32,
+}
+
+impl Sample {
+    /// Relative spread `(max − min) / median`: dimensionless, in units of
+    /// the median — the same contract as `Measurement::spread()` in
+    /// `ninja-core`, and the default per-cell noise floor of the
+    /// comparator.
+    pub fn spread(&self) -> f64 {
+        if self.median_s == 0.0 {
+            0.0
+        } else {
+            (self.max_s - self.min_s) / self.median_s
+        }
+    }
+
+    /// Whether the summary is internally consistent (finite, ordered,
+    /// positive median). The comparator skips cells that fail this.
+    pub fn is_sane(&self) -> bool {
+        self.median_s.is_finite()
+            && self.min_s.is_finite()
+            && self.max_s.is_finite()
+            && self.median_s > 0.0
+            && self.min_s <= self.median_s
+            && self.median_s <= self.max_s
+            && self.runs > 0
+    }
+
+    /// The sample scaled by `factor` (used by tests and fixtures to build
+    /// synthetic slowdowns with the same relative spread).
+    pub fn scaled(&self, factor: f64) -> Sample {
+        Sample {
+            median_s: self.median_s * factor,
+            mean_s: self.mean_s * factor,
+            stddev_s: self.stddev_s * factor,
+            min_s: self.min_s * factor,
+            max_s: self.max_s * factor,
+            runs: self.runs,
+        }
+    }
+}
+
+/// One recorded (kernel, variant) cell.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// Kernel name (as in the suite registry).
+    pub kernel: String,
+    /// Variant rung (`naive`..`ninja`).
+    pub variant: String,
+    /// Outcome tag (`ok|validation_failed|panicked|timed_out|non_finite`).
+    pub outcome: String,
+    /// Timing summary; `None` when the variant failed before measuring.
+    pub sample: Option<Sample>,
+}
+
+impl CellRecord {
+    /// Whether this cell holds a trustworthy, comparable measurement.
+    pub fn is_ok(&self) -> bool {
+        self.outcome == "ok" && self.sample.as_ref().is_some_and(Sample::is_sane)
+    }
+}
+
+/// Where a run was measured: enough to tell apples from oranges when
+/// comparing records, without pretending two hosts are interchangeable.
+///
+/// The `calibrated_*` fields reuse the calibratable subset of
+/// `ninja_model::machines::Machine` (frequency from the measured scalar
+/// rate, effective SIMD lanes, streaming bandwidth); they are optional
+/// because calibration costs ~1 s and quick CI runs skip it.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineFingerprint {
+    /// Host name (from `/proc/sys/kernel/hostname` or `$HOSTNAME`).
+    pub hostname: String,
+    /// Logical cores visible to the process.
+    pub logical_cores: u32,
+    /// Active SIMD backend (from `ninja_simd::backend_name` via the
+    /// suite report).
+    pub simd_backend: String,
+    /// Calibrated core frequency proxy in GHz (scalar GFLOP/s ÷ 2),
+    /// `None` when calibration was skipped.
+    pub calibrated_freq_ghz: Option<f64>,
+    /// Calibrated effective SIMD width in `f32` lanes.
+    pub calibrated_simd_f32_lanes: Option<u32>,
+    /// Calibrated single-core streaming bandwidth, GB/s.
+    pub calibrated_core_bandwidth_gbs: Option<f64>,
+}
+
+impl MachineFingerprint {
+    /// Detects hostname and core count from the environment; calibrated
+    /// fields start empty (fill them from `ninja_model::calibrate` when
+    /// the ~1 s cost is acceptable).
+    pub fn detect(simd_backend: &str) -> Self {
+        Self {
+            hostname: detect_hostname(),
+            logical_cores: std::thread::available_parallelism()
+                .map(|n| n.get() as u32)
+                .unwrap_or(1),
+            simd_backend: simd_backend.to_owned(),
+            calibrated_freq_ghz: None,
+            calibrated_simd_f32_lanes: None,
+            calibrated_core_bandwidth_gbs: None,
+        }
+    }
+
+    /// A fixed fingerprint for in-memory conversions and tests: no I/O,
+    /// fully deterministic.
+    pub fn synthetic(simd_backend: &str) -> Self {
+        Self {
+            hostname: "in-memory".to_owned(),
+            logical_cores: 1,
+            simd_backend: simd_backend.to_owned(),
+            calibrated_freq_ghz: None,
+            calibrated_simd_f32_lanes: None,
+            calibrated_core_bandwidth_gbs: None,
+        }
+    }
+}
+
+fn detect_hostname() -> String {
+    if let Ok(s) = std::fs::read_to_string("/proc/sys/kernel/hostname") {
+        let s = s.trim();
+        if !s.is_empty() {
+            return s.to_owned();
+        }
+    }
+    std::env::var("HOSTNAME").unwrap_or_else(|_| "unknown-host".to_owned())
+}
+
+/// Metadata attached to a record at ingestion time (everything the suite
+/// report itself does not know).
+#[derive(Clone, Debug)]
+pub struct RecordMeta {
+    /// Record id; `None` derives a content-based id.
+    pub id: Option<String>,
+    /// Unix timestamp (seconds) of the run.
+    pub timestamp_unix_s: u64,
+    /// Git commit the run measured (short hash, or `unknown`).
+    pub git_commit: String,
+    /// Where the run was measured.
+    pub machine: MachineFingerprint,
+}
+
+impl RecordMeta {
+    /// Detects timestamp, commit, and machine from the environment.
+    pub fn detect(simd_backend: &str) -> Self {
+        Self {
+            id: None,
+            timestamp_unix_s: now_unix(),
+            git_commit: detect_git_commit(),
+            machine: MachineFingerprint::detect(simd_backend),
+        }
+    }
+
+    /// A deterministic meta for in-memory conversions: fixed id, zero
+    /// timestamp, no environment probes.
+    pub fn synthetic(id: &str, simd_backend: &str) -> Self {
+        Self {
+            id: Some(id.to_owned()),
+            timestamp_unix_s: 0,
+            git_commit: "unknown".to_owned(),
+            machine: MachineFingerprint::synthetic(simd_backend),
+        }
+    }
+}
+
+/// Current Unix time in seconds (0 if the clock is before the epoch).
+pub fn now_unix() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+/// Short hash of `HEAD`, or `"unknown"` outside a git checkout.
+pub fn detect_git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// One suite run, as stored (one JSONL line per record).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Schema version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Unique record id (content-derived unless supplied).
+    pub id: String,
+    /// Unix timestamp (seconds) of the run.
+    pub timestamp_unix_s: u64,
+    /// Git commit measured.
+    pub git_commit: String,
+    /// Where the run was measured.
+    pub machine: MachineFingerprint,
+    /// Problem-size preset of the run.
+    pub size: String,
+    /// Input-generation seed.
+    pub seed: u64,
+    /// Pool threads used by parallel variants.
+    pub threads: usize,
+    /// Kernels present in the suite report but excluded from the record
+    /// (currently: the `chaos-*` fault-injection family).
+    pub excluded: Vec<String>,
+    /// Recorded cells, suite order.
+    pub cells: Vec<CellRecord>,
+}
+
+// ---- suite_report.json wire mirror -------------------------------------
+//
+// The store ingests the JSON the harness already writes instead of
+// depending on `ninja-core` (this crate stays a std + serde-stand-in
+// leaf, like `ninja-lint`). The mirror structs name only the fields the
+// record needs; extra fields in the JSON are ignored by the value-model
+// deserializer.
+
+#[derive(Deserialize)]
+struct OutcomeWire {
+    kind: String,
+}
+
+#[derive(Deserialize)]
+struct VariantWire {
+    variant: String,
+    timing: Option<Sample>,
+    outcome: OutcomeWire,
+}
+
+#[derive(Deserialize)]
+struct KernelWire {
+    kernel: String,
+    variants: Vec<VariantWire>,
+}
+
+#[derive(Deserialize)]
+struct SuiteWire {
+    size: String,
+    seed: u64,
+    threads: usize,
+    simd_backend: String,
+    kernels: Vec<KernelWire>,
+}
+
+impl RunRecord {
+    /// Builds a record from a serialized `SuiteReport` (the
+    /// `suite_report.json` the `reproduce` binary writes).
+    ///
+    /// `chaos-*` kernels are dropped and listed in
+    /// [`excluded`](RunRecord::excluded); failed cells of real kernels
+    /// are kept with their outcome tag and no sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the JSON does not parse as a suite report.
+    pub fn from_suite_json(json: &str, meta: &RecordMeta) -> Result<Self, String> {
+        let suite: SuiteWire =
+            serde_json::from_str(json).map_err(|e| format!("not a suite report: {e}"))?;
+        let mut excluded = Vec::new();
+        let mut cells = Vec::new();
+        for k in &suite.kernels {
+            if kernel_is_excluded(&k.kernel) {
+                excluded.push(k.kernel.clone());
+                continue;
+            }
+            for v in &k.variants {
+                cells.push(CellRecord {
+                    kernel: k.kernel.clone(),
+                    variant: v.variant.clone(),
+                    outcome: v.outcome.kind.clone(),
+                    sample: if v.outcome.kind == "ok" {
+                        v.timing
+                    } else {
+                        None
+                    },
+                });
+            }
+        }
+        let mut record = RunRecord {
+            schema_version: SCHEMA_VERSION,
+            id: String::new(),
+            timestamp_unix_s: meta.timestamp_unix_s,
+            git_commit: meta.git_commit.clone(),
+            machine: meta.machine.clone(),
+            size: suite.size,
+            seed: suite.seed,
+            threads: suite.threads,
+            excluded,
+            cells,
+        };
+        // The suite report carries the authoritative backend name.
+        record.machine.simd_backend = suite.simd_backend;
+        record.id = match &meta.id {
+            Some(id) => id.clone(),
+            None => record.derive_id(),
+        };
+        Ok(record)
+    }
+
+    /// Content-derived id: `run-<fnv64 of the identifying fields>`.
+    pub fn derive_id(&self) -> String {
+        let mut h = fnv1a64(b"ninja-perfdb");
+        for part in [
+            self.git_commit.as_str(),
+            self.machine.hostname.as_str(),
+            self.size.as_str(),
+        ] {
+            h = fnv1a64_continue(h, part.as_bytes());
+        }
+        h = fnv1a64_continue(h, &self.timestamp_unix_s.to_le_bytes());
+        h = fnv1a64_continue(h, &self.seed.to_le_bytes());
+        h = fnv1a64_continue(h, &(self.cells.len() as u64).to_le_bytes());
+        format!("run-{h:016x}")
+    }
+
+    /// Looks up one cell.
+    pub fn cell(&self, kernel: &str, variant: &str) -> Option<&CellRecord> {
+        self.cells
+            .iter()
+            .find(|c| c.kernel == kernel && c.variant == variant)
+    }
+
+    /// Kernel names present in the record, in first-seen order.
+    pub fn kernels(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = Vec::new();
+        for c in &self.cells {
+            if !names.contains(&c.kernel.as_str()) {
+                names.push(&c.kernel);
+            }
+        }
+        names
+    }
+
+    /// Median seconds of one cell, when it measured cleanly.
+    pub fn median_s(&self, kernel: &str, variant: &str) -> Option<f64> {
+        let c = self.cell(kernel, variant)?;
+        if c.is_ok() {
+            c.sample.map(|s| s.median_s)
+        } else {
+            None
+        }
+    }
+
+    /// Measured Ninja gap of one kernel: `time(naive) / time(ninja)`.
+    pub fn measured_gap(&self, kernel: &str) -> Option<f64> {
+        Some(self.median_s(kernel, "naive")? / self.median_s(kernel, "ninja")?)
+    }
+
+    /// Measured residual of one kernel: `time(algorithmic) / time(ninja)`.
+    pub fn measured_residual(&self, kernel: &str) -> Option<f64> {
+        Some(self.median_s(kernel, "algorithmic")? / self.median_s(kernel, "ninja")?)
+    }
+
+    /// Serializes the record as one compact JSON line.
+    pub fn to_jsonl_line(&self) -> String {
+        serde_json::to_string(self).expect("run records are serializable")
+    }
+
+    /// Parses one JSONL line, checking the schema version.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed JSON or a foreign schema version.
+    pub fn from_jsonl_line(line: &str) -> Result<Self, String> {
+        let rec: RunRecord = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        if rec.schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "record {} has schema v{}, this build reads v{}",
+                rec.id, rec.schema_version, SCHEMA_VERSION
+            ));
+        }
+        Ok(rec)
+    }
+}
+
+/// FNV-1a over one buffer.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_continue(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Continues an FNV-1a hash over more bytes.
+pub(crate) fn fnv1a64_continue(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample(median: f64, rel_spread: f64) -> Sample {
+        Sample {
+            median_s: median,
+            mean_s: median,
+            stddev_s: median * rel_spread / 4.0,
+            min_s: median * (1.0 - rel_spread / 2.0),
+            max_s: median * (1.0 + rel_spread / 2.0),
+            runs: 5,
+        }
+    }
+
+    fn suite_json() -> String {
+        // Hand-built fragment of a suite_report.json: one real kernel, one
+        // chaos kernel, one failed cell.
+        r#"{
+          "size": "test", "seed": 42, "threads": 2, "simd_backend": "sse-intrinsics",
+          "kernels": [
+            {"kernel": "nbody", "bound": "compute", "variants": [
+              {"variant": "naive", "timing": {"median_s": 8.0, "mean_s": 8.0, "stddev_s": 0.1,
+               "min_s": 7.9, "max_s": 8.2, "runs": 3}, "checksum": 1.0, "gflops": 1.0,
+               "gbs": 1.0, "validated": true, "outcome": {"kind": "ok"}},
+              {"variant": "ninja", "timing": null, "checksum": 0.0, "gflops": 0.0,
+               "gbs": 0.0, "validated": true, "outcome": {"kind": "panicked", "message": "boom"}}
+            ]},
+            {"kernel": "chaos-panic", "bound": "compute", "variants": [
+              {"variant": "naive", "timing": {"median_s": 1.0, "mean_s": 1.0, "stddev_s": 0.0,
+               "min_s": 1.0, "max_s": 1.0, "runs": 1}, "checksum": 1.0, "gflops": 1.0,
+               "gbs": 1.0, "validated": true, "outcome": {"kind": "ok"}}
+            ]}
+          ]
+        }"#
+        .to_owned()
+    }
+
+    #[test]
+    fn ingestion_excludes_chaos_and_keeps_failures() {
+        let meta = RecordMeta::synthetic("r1", "scalar");
+        let rec = RunRecord::from_suite_json(&suite_json(), &meta).unwrap();
+        assert_eq!(rec.id, "r1");
+        assert_eq!(rec.excluded, ["chaos-panic"]);
+        assert_eq!(rec.kernels(), ["nbody"]);
+        assert_eq!(rec.cells.len(), 2);
+        assert!(rec.cell("nbody", "naive").unwrap().is_ok());
+        let failed = rec.cell("nbody", "ninja").unwrap();
+        assert_eq!(failed.outcome, "panicked");
+        assert!(failed.sample.is_none());
+        assert!(!failed.is_ok());
+        // The report's backend wins over the meta placeholder.
+        assert_eq!(rec.machine.simd_backend, "sse-intrinsics");
+    }
+
+    #[test]
+    fn chaos_name_matching_is_exact_prefix() {
+        assert!(kernel_is_excluded("chaos"));
+        assert!(kernel_is_excluded("chaos-panic"));
+        assert!(kernel_is_excluded("chaos-hang"));
+        assert!(!kernel_is_excluded("chaotic_flow"));
+        assert!(!kernel_is_excluded("nbody"));
+    }
+
+    #[test]
+    fn jsonl_roundtrip_and_schema_check() {
+        let meta = RecordMeta::synthetic("r2", "scalar");
+        let rec = RunRecord::from_suite_json(&suite_json(), &meta).unwrap();
+        let back = RunRecord::from_jsonl_line(&rec.to_jsonl_line()).unwrap();
+        assert_eq!(rec, back);
+
+        let mut foreign = rec.clone();
+        foreign.schema_version = SCHEMA_VERSION + 1;
+        let err = RunRecord::from_jsonl_line(&foreign.to_jsonl_line()).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+    }
+
+    #[test]
+    fn derived_ids_are_stable_and_content_sensitive() {
+        let meta = RecordMeta {
+            id: None,
+            ..RecordMeta::synthetic("unused", "scalar")
+        };
+        let a = RunRecord::from_suite_json(&suite_json(), &meta).unwrap();
+        let b = RunRecord::from_suite_json(&suite_json(), &meta).unwrap();
+        assert_eq!(a.id, b.id, "same content, same id");
+        assert!(a.id.starts_with("run-"));
+        let other_meta = RecordMeta {
+            id: None,
+            timestamp_unix_s: 12345,
+            ..meta
+        };
+        let c = RunRecord::from_suite_json(&suite_json(), &other_meta).unwrap();
+        assert_ne!(a.id, c.id, "different timestamp, different id");
+    }
+
+    #[test]
+    fn gap_and_residual_from_cells() {
+        let rec = RunRecord {
+            schema_version: SCHEMA_VERSION,
+            id: "r".into(),
+            timestamp_unix_s: 0,
+            git_commit: "unknown".into(),
+            machine: MachineFingerprint::synthetic("scalar"),
+            size: "test".into(),
+            seed: 1,
+            threads: 1,
+            excluded: Vec::new(),
+            cells: vec![
+                CellRecord {
+                    kernel: "k".into(),
+                    variant: "naive".into(),
+                    outcome: "ok".into(),
+                    sample: Some(sample(8.0, 0.05)),
+                },
+                CellRecord {
+                    kernel: "k".into(),
+                    variant: "algorithmic".into(),
+                    outcome: "ok".into(),
+                    sample: Some(sample(1.3, 0.05)),
+                },
+                CellRecord {
+                    kernel: "k".into(),
+                    variant: "ninja".into(),
+                    outcome: "ok".into(),
+                    sample: Some(sample(1.0, 0.05)),
+                },
+            ],
+        };
+        assert!((rec.measured_gap("k").unwrap() - 8.0).abs() < 1e-12);
+        assert!((rec.measured_residual("k").unwrap() - 1.3).abs() < 1e-12);
+        assert_eq!(rec.measured_gap("missing"), None);
+    }
+
+    #[test]
+    fn sample_sanity_and_spread() {
+        let s = sample(2.0, 0.2);
+        assert!(s.is_sane());
+        assert!((s.spread() - 0.2).abs() < 1e-12);
+        let zero = Sample {
+            median_s: 0.0,
+            mean_s: 0.0,
+            stddev_s: 0.0,
+            min_s: 0.0,
+            max_s: 0.0,
+            runs: 1,
+        };
+        assert_eq!(zero.spread(), 0.0);
+        assert!(!zero.is_sane());
+        let doubled = s.scaled(2.0);
+        assert!((doubled.median_s - 4.0).abs() < 1e-12);
+        assert!(
+            (doubled.spread() - 0.2).abs() < 1e-12,
+            "spread is scale-free"
+        );
+    }
+}

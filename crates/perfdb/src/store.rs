@@ -1,0 +1,416 @@
+//! The append-only JSONL store: `<dir>/runs.jsonl`, one record per line.
+//!
+//! Append-only is deliberate: a perf history is an audit trail, and the
+//! cheapest way to never corrupt history is to never rewrite it (the one
+//! exception, [`Store::gc`], rewrites atomically via a temp file).
+//! Records append as single lines, so a crashed writer can at worst leave
+//! one truncated trailing line — which [`Store::load_lossy`] skips while
+//! counting it.
+
+use crate::compare::min_of_k_baseline;
+use crate::schema::{RecordMeta, RunRecord};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Default store directory, relative to the invocation directory.
+pub const DEFAULT_DIR: &str = "perfdb";
+
+/// File name of the run log inside the store directory.
+pub const RUNS_FILE: &str = "runs.jsonl";
+
+/// `(line number, parse error)` for one unparseable store line.
+type MalformedLine = (usize, String);
+
+/// Handle to one store directory.
+#[derive(Clone, Debug)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Opens (without creating) the store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into() }
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the JSONL run log.
+    pub fn runs_path(&self) -> PathBuf {
+        self.dir.join(RUNS_FILE)
+    }
+
+    /// Appends one record (creating the directory and log on first use).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure.
+    pub fn append(&self, record: &RunRecord) -> Result<(), String> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("cannot create {}: {e}", self.dir.display()))?;
+        let path = self.runs_path();
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        writeln!(file, "{}", record.to_jsonl_line())
+            .map_err(|e| format!("cannot append to {}: {e}", path.display()))
+    }
+
+    /// Loads every record, oldest first. A missing log is an empty store.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line (use
+    /// [`load_lossy`](Store::load_lossy) to skip instead).
+    pub fn load(&self) -> Result<Vec<RunRecord>, String> {
+        let (records, bad) = self.load_inner()?;
+        if let Some((line_no, err)) = bad.first() {
+            return Err(format!(
+                "{}:{line_no}: malformed record: {err}",
+                self.runs_path().display()
+            ));
+        }
+        Ok(records)
+    }
+
+    /// Loads every parseable record, returning the number of malformed
+    /// lines skipped (0 for a healthy store).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure only.
+    pub fn load_lossy(&self) -> Result<(Vec<RunRecord>, usize), String> {
+        let (records, bad) = self.load_inner()?;
+        Ok((records, bad.len()))
+    }
+
+    fn load_inner(&self) -> Result<(Vec<RunRecord>, Vec<MalformedLine>), String> {
+        let path = self.runs_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        let mut records = Vec::new();
+        let mut bad = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match RunRecord::from_jsonl_line(line) {
+                Ok(r) => records.push(r),
+                Err(e) => bad.push((i + 1, e)),
+            }
+        }
+        Ok((records, bad))
+    }
+
+    /// The most recent record, if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`load`](Store::load) errors.
+    pub fn latest(&self) -> Result<Option<RunRecord>, String> {
+        Ok(self.load()?.pop())
+    }
+
+    /// Resolves a baseline reference against the store:
+    ///
+    /// - `latest` — the most recent record;
+    /// - `latest~N` — the Nth record before the most recent;
+    /// - anything else — a record id, or an unambiguous id prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an empty store, an out-of-range `latest~N`,
+    /// an unknown id, or an ambiguous prefix.
+    pub fn resolve(&self, reference: &str) -> Result<RunRecord, String> {
+        let records = self.load()?;
+        if records.is_empty() {
+            return Err(format!(
+                "store {} is empty; run `reproduce --record` (or `perfdb record`) first",
+                self.dir.display()
+            ));
+        }
+        if let Some(back) = parse_latest_ref(reference) {
+            let idx = records.len().checked_sub(1 + back).ok_or_else(|| {
+                format!(
+                    "`{reference}`: store only holds {} record(s)",
+                    records.len()
+                )
+            })?;
+            return Ok(records[idx].clone());
+        }
+        let matches: Vec<&RunRecord> = records
+            .iter()
+            .filter(|r| r.id == reference || r.id.starts_with(reference))
+            .collect();
+        match matches.len() {
+            0 => Err(format!("no record matches `{reference}`")),
+            1 => Ok(matches[0].clone()),
+            n => Err(format!("`{reference}` is ambiguous ({n} records match)")),
+        }
+    }
+
+    /// Builds the min-of-k-medians baseline over the `k` most recent
+    /// records ending at (and including) the record `reference` resolves
+    /// to. With `k == 1` this is just the resolved record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`resolve`](Store::resolve) errors.
+    pub fn baseline(&self, reference: &str, k: usize) -> Result<RunRecord, String> {
+        let anchor = self.resolve(reference)?;
+        if k <= 1 {
+            return Ok(anchor);
+        }
+        let records = self.load()?;
+        let end = records
+            .iter()
+            .position(|r| r.id == anchor.id)
+            .expect("resolved record comes from the store");
+        let start = (end + 1).saturating_sub(k);
+        Ok(min_of_k_baseline(&records[start..=end]).expect("window holds the anchor"))
+    }
+
+    /// Drops all but the most recent `keep` records, rewriting the log
+    /// atomically. Returns how many records were removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure or a malformed store.
+    pub fn gc(&self, keep: usize) -> Result<usize, String> {
+        let records = self.load()?;
+        if records.len() <= keep {
+            return Ok(0);
+        }
+        let removed = records.len() - keep;
+        let kept = &records[removed..];
+        let mut text = String::new();
+        for r in kept {
+            text.push_str(&r.to_jsonl_line());
+            text.push('\n');
+        }
+        let path = self.runs_path();
+        let tmp = self.dir.join(format!("{RUNS_FILE}.tmp"));
+        std::fs::write(&tmp, text).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| format!("cannot replace {}: {e}", path.display()))?;
+        Ok(removed)
+    }
+}
+
+/// Parses `latest` / `latest~N` into the number of records to step back.
+fn parse_latest_ref(reference: &str) -> Option<usize> {
+    if reference == "latest" {
+        return Some(0);
+    }
+    reference
+        .strip_prefix("latest~")
+        .and_then(|n| n.parse().ok())
+}
+
+/// Resolves a baseline/candidate reference the way every CLI entry point
+/// (`perfdb`, `reproduce --baseline`) does: a filesystem path wins (store
+/// JSONL or raw suite report via [`record_from_path`]), otherwise the
+/// reference is resolved against the store (`latest`, `latest~N`, id
+/// prefix) with min-of-k-medians applied when `window > 1`.
+///
+/// # Errors
+///
+/// Propagates the underlying path/store resolution errors.
+pub fn resolve_reference(
+    store: &Store,
+    reference: &str,
+    window: usize,
+) -> Result<RunRecord, String> {
+    let path = Path::new(reference);
+    if path.is_file() {
+        record_from_path(path)
+    } else {
+        store.baseline(reference, window)
+    }
+}
+
+/// Loads a baseline record from a filesystem path: either a store-format
+/// JSONL file (its most recent record wins) or a single `suite_report.json`
+/// (ingested with a synthetic, path-derived id).
+///
+/// # Errors
+///
+/// Returns a message when the file reads or parses in neither format.
+pub fn record_from_path(path: &Path) -> Result<RunRecord, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    // Store format first: every non-empty line a record.
+    let mut last = None;
+    let mut jsonl_err = None;
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        match RunRecord::from_jsonl_line(line) {
+            Ok(r) => last = Some(r),
+            Err(e) => {
+                jsonl_err = Some(e);
+                last = None;
+                break;
+            }
+        }
+    }
+    if let Some(r) = last {
+        return Ok(r);
+    }
+    // Fall back to a raw suite report.
+    let meta = RecordMeta::synthetic(&format!("file:{}", path.display()), "unknown");
+    RunRecord::from_suite_json(&text, &meta).map_err(|suite_err| {
+        format!(
+            "{} is neither a perfdb JSONL store ({}) nor a suite report ({suite_err})",
+            path.display(),
+            jsonl_err.unwrap_or_else(|| "empty file".to_owned()),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{CellRecord, MachineFingerprint, Sample, SCHEMA_VERSION};
+
+    fn record(id: &str, ts: u64, median: f64) -> RunRecord {
+        RunRecord {
+            schema_version: SCHEMA_VERSION,
+            id: id.into(),
+            timestamp_unix_s: ts,
+            git_commit: "unknown".into(),
+            machine: MachineFingerprint::synthetic("scalar"),
+            size: "test".into(),
+            seed: 1,
+            threads: 1,
+            excluded: Vec::new(),
+            cells: vec![CellRecord {
+                kernel: "k".into(),
+                variant: "ninja".into(),
+                outcome: "ok".into(),
+                sample: Some(Sample {
+                    median_s: median,
+                    mean_s: median,
+                    stddev_s: 0.0,
+                    min_s: median * 0.98,
+                    max_s: median * 1.02,
+                    runs: 3,
+                }),
+            }],
+        }
+    }
+
+    fn temp_store(name: &str) -> Store {
+        let dir =
+            std::env::temp_dir().join(format!("perfdb-store-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Store::open(dir)
+    }
+
+    #[test]
+    fn empty_store_loads_empty_and_resolve_explains() {
+        let s = temp_store("empty");
+        assert_eq!(s.load().unwrap(), Vec::new());
+        assert!(s.latest().unwrap().is_none());
+        let err = s.resolve("latest").unwrap_err();
+        assert!(err.contains("empty"), "{err}");
+    }
+
+    #[test]
+    fn append_load_resolve_roundtrip() {
+        let s = temp_store("roundtrip");
+        for (i, m) in [1.0, 1.1, 0.9].iter().enumerate() {
+            s.append(&record(&format!("run-{i}"), i as u64, *m))
+                .unwrap();
+        }
+        let all = s.load().unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(s.latest().unwrap().unwrap().id, "run-2");
+        assert_eq!(s.resolve("latest").unwrap().id, "run-2");
+        assert_eq!(s.resolve("latest~1").unwrap().id, "run-1");
+        assert_eq!(s.resolve("latest~2").unwrap().id, "run-0");
+        assert!(s.resolve("latest~3").unwrap_err().contains("3 record(s)"));
+        assert_eq!(s.resolve("run-1").unwrap().id, "run-1");
+        assert!(s.resolve("run-").unwrap_err().contains("ambiguous"));
+        assert!(s.resolve("nope").unwrap_err().contains("no record"));
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn lossy_load_skips_corrupt_lines_strict_load_names_them() {
+        let s = temp_store("corrupt");
+        s.append(&record("run-a", 0, 1.0)).unwrap();
+        // Simulate a crashed writer: truncated trailing line.
+        let mut text = std::fs::read_to_string(s.runs_path()).unwrap();
+        text.push_str("{\"schema_version\":1,\"id\":\"run-tr");
+        std::fs::write(s.runs_path(), text).unwrap();
+
+        let (records, skipped) = s.load_lossy().unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(skipped, 1);
+        let err = s.load().unwrap_err();
+        assert!(err.contains(":2:"), "{err}");
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn gc_keeps_the_most_recent_records() {
+        let s = temp_store("gc");
+        for i in 0..5 {
+            s.append(&record(&format!("run-{i}"), i, 1.0)).unwrap();
+        }
+        assert_eq!(s.gc(2).unwrap(), 3);
+        let left = s.load().unwrap();
+        assert_eq!(
+            left.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            ["run-3", "run-4"]
+        );
+        assert_eq!(s.gc(10).unwrap(), 0);
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn windowed_baseline_takes_min_of_medians() {
+        let s = temp_store("window");
+        s.append(&record("run-0", 0, 0.9)).unwrap();
+        s.append(&record("run-1", 1, 1.2)).unwrap();
+        s.append(&record("run-2", 2, 1.0)).unwrap();
+        let b = s.baseline("latest", 3).unwrap();
+        assert!(b.id.starts_with("min-of-3"));
+        assert!((b.median_s("k", "ninja").unwrap() - 0.9).abs() < 1e-12);
+        // k=1 degenerates to plain resolve.
+        assert_eq!(s.baseline("latest", 1).unwrap().id, "run-2");
+        // Window larger than the store clamps.
+        assert!(s.baseline("latest~2", 5).unwrap().id.starts_with("run-0"));
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn record_from_path_reads_both_formats() {
+        let s = temp_store("paths");
+        s.append(&record("run-x", 0, 1.0)).unwrap();
+        s.append(&record("run-y", 1, 2.0)).unwrap();
+        let r = record_from_path(&s.runs_path()).unwrap();
+        assert_eq!(r.id, "run-y", "most recent record of a JSONL file wins");
+
+        let suite = s.dir().join("suite.json");
+        std::fs::write(
+            &suite,
+            r#"{"size":"test","seed":1,"threads":1,"simd_backend":"scalar","kernels":[]}"#,
+        )
+        .unwrap();
+        let r = record_from_path(&suite).unwrap();
+        assert!(r.id.starts_with("file:"), "{}", r.id);
+
+        let garbage = s.dir().join("garbage.txt");
+        std::fs::write(&garbage, "not json at all").unwrap();
+        assert!(record_from_path(&garbage).is_err());
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+}

@@ -1,0 +1,233 @@
+//! Trend reporting: the per-kernel gap/residual trajectory over recorded
+//! runs, and the aggregated `BENCH_history.json` artifact.
+//!
+//! The paper's headline claim is longitudinal — the Ninja gap *grows*
+//! across processor generations unless the code keeps up — so the repo
+//! needs its own longitudinal axis: every recorded run contributes one
+//! point of measured gap (`naive/ninja`) and residual
+//! (`algorithmic/ninja`) per kernel, and the history report strings those
+//! points into a trajectory that future perf PRs are judged against.
+
+use crate::schema::RunRecord;
+use serde::{Deserialize, Serialize};
+
+/// One run's contribution to a kernel's trajectory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrendPoint {
+    /// Record id the point comes from.
+    pub run_id: String,
+    /// Unix timestamp (seconds) of the run.
+    pub timestamp_unix_s: u64,
+    /// Git commit measured.
+    pub git_commit: String,
+    /// Median seconds of the `ninja` variant (`None` when it failed).
+    pub ninja_median_s: Option<f64>,
+    /// Measured Ninja gap `naive/ninja` (`None` when either failed).
+    pub gap: Option<f64>,
+    /// Measured residual `algorithmic/ninja`.
+    pub residual: Option<f64>,
+}
+
+/// One kernel's trajectory, oldest run first.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelHistory {
+    /// Kernel name.
+    pub kernel: String,
+    /// Points in store order.
+    pub points: Vec<TrendPoint>,
+}
+
+/// The aggregated trajectory artifact (`BENCH_history.json`).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct History {
+    /// Schema version (shared with run records).
+    pub schema_version: u32,
+    /// Number of records the history was built from.
+    pub runs: usize,
+    /// Per-kernel trajectories, first-seen order.
+    pub kernels: Vec<KernelHistory>,
+}
+
+impl History {
+    /// Builds the history from records, oldest first (store order).
+    pub fn from_records(records: &[RunRecord]) -> Self {
+        let mut kernels: Vec<KernelHistory> = Vec::new();
+        for rec in records {
+            for name in rec.kernels() {
+                if !kernels.iter().any(|k| k.kernel == name) {
+                    kernels.push(KernelHistory {
+                        kernel: name.to_owned(),
+                        points: Vec::new(),
+                    });
+                }
+            }
+        }
+        for k in kernels.iter_mut() {
+            for rec in records {
+                if rec.kernels().contains(&k.kernel.as_str()) {
+                    k.points.push(trend_point(rec, &k.kernel));
+                }
+            }
+        }
+        History {
+            schema_version: crate::schema::SCHEMA_VERSION,
+            runs: records.len(),
+            kernels,
+        }
+    }
+
+    /// One kernel's trajectory, if recorded.
+    pub fn kernel(&self, name: &str) -> Option<&KernelHistory> {
+        self.kernels.iter().find(|k| k.kernel == name)
+    }
+
+    /// Serializes the artifact as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("histories are serializable")
+    }
+}
+
+/// Extracts one kernel's point from one record.
+fn trend_point(rec: &RunRecord, kernel: &str) -> TrendPoint {
+    TrendPoint {
+        run_id: rec.id.clone(),
+        timestamp_unix_s: rec.timestamp_unix_s,
+        git_commit: rec.git_commit.clone(),
+        ninja_median_s: rec.median_s(kernel, "ninja"),
+        gap: rec.measured_gap(kernel),
+        residual: rec.measured_residual(kernel),
+    }
+}
+
+/// One kernel's trajectory straight from records (the `perfdb trend`
+/// subcommand). Records that never measured the kernel are skipped.
+pub fn kernel_trend(records: &[RunRecord], kernel: &str) -> Vec<TrendPoint> {
+    records
+        .iter()
+        .filter(|r| r.kernels().contains(&kernel))
+        .map(|r| trend_point(r, kernel))
+        .collect()
+}
+
+/// Renders a kernel trajectory as an aligned text table.
+pub fn render_trend(kernel: &str, points: &[TrendPoint]) -> String {
+    let mut out = format!(
+        "trend for {kernel} ({} run(s))\n{:<22} {:<13} {:>12} {:>8} {:>9}\n",
+        points.len(),
+        "run",
+        "commit",
+        "ninja s",
+        "gap",
+        "residual"
+    );
+    for p in points {
+        let fmt_opt = |v: Option<f64>, precision: usize| match v {
+            Some(x) => format!("{x:.precision$}"),
+            None => "-".to_owned(),
+        };
+        let ninja = match p.ninja_median_s {
+            Some(x) => format!("{x:.4e}"),
+            None => "-".to_owned(),
+        };
+        out.push_str(&format!(
+            "{:<22} {:<13} {:>12} {:>8} {:>9}\n",
+            p.run_id,
+            p.git_commit,
+            ninja,
+            fmt_opt(p.gap, 2),
+            fmt_opt(p.residual, 2)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{CellRecord, MachineFingerprint, Sample, SCHEMA_VERSION};
+
+    fn sample(median: f64) -> Option<Sample> {
+        Some(Sample {
+            median_s: median,
+            mean_s: median,
+            stddev_s: 0.0,
+            min_s: median,
+            max_s: median,
+            runs: 3,
+        })
+    }
+
+    fn record(id: &str, ts: u64, naive: f64, algo: f64, ninja: f64) -> RunRecord {
+        let cell = |variant: &str, s: Option<Sample>| CellRecord {
+            kernel: "nbody".into(),
+            variant: variant.into(),
+            outcome: if s.is_some() { "ok" } else { "panicked" }.into(),
+            sample: s,
+        };
+        RunRecord {
+            schema_version: SCHEMA_VERSION,
+            id: id.into(),
+            timestamp_unix_s: ts,
+            git_commit: format!("c-{id}"),
+            machine: MachineFingerprint::synthetic("scalar"),
+            size: "test".into(),
+            seed: 1,
+            threads: 1,
+            excluded: Vec::new(),
+            cells: vec![
+                cell("naive", sample(naive)),
+                cell("algorithmic", sample(algo)),
+                cell("ninja", sample(ninja)),
+            ],
+        }
+    }
+
+    #[test]
+    fn history_tracks_gap_over_runs() {
+        let records = vec![
+            record("r0", 10, 8.0, 1.3, 1.0),
+            record("r1", 20, 8.0, 1.3, 0.8),
+        ];
+        let h = History::from_records(&records);
+        assert_eq!(h.runs, 2);
+        let k = h.kernel("nbody").unwrap();
+        assert_eq!(k.points.len(), 2);
+        assert!((k.points[0].gap.unwrap() - 8.0).abs() < 1e-12);
+        assert!((k.points[1].gap.unwrap() - 10.0).abs() < 1e-12, "gap grew");
+        assert!((k.points[1].residual.unwrap() - 1.625).abs() < 1e-12);
+        assert_eq!(k.points[1].git_commit, "c-r1");
+        assert!(h.kernel("missing").is_none());
+    }
+
+    #[test]
+    fn failed_ninja_yields_gapless_point() {
+        let mut rec = record("r0", 10, 8.0, 1.3, 1.0);
+        rec.cells[2].outcome = "timed_out".into();
+        rec.cells[2].sample = None;
+        let points = kernel_trend(&[rec], "nbody");
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].gap, None);
+        assert_eq!(points[0].ninja_median_s, None);
+        let text = render_trend("nbody", &points);
+        assert!(text.contains('-'), "{text}");
+    }
+
+    #[test]
+    fn history_json_roundtrips() {
+        let h = History::from_records(&[record("r0", 10, 8.0, 1.3, 1.0)]);
+        let back: History = serde_json::from_str(&h.to_json()).unwrap();
+        assert_eq!(h, back);
+    }
+
+    #[test]
+    fn trend_skips_records_without_the_kernel() {
+        let mut other = record("r1", 20, 1.0, 1.0, 1.0);
+        for c in other.cells.iter_mut() {
+            c.kernel = "conv1d".into();
+        }
+        let records = vec![record("r0", 10, 8.0, 1.3, 1.0), other];
+        assert_eq!(kernel_trend(&records, "nbody").len(), 1);
+        assert_eq!(kernel_trend(&records, "conv1d").len(), 1);
+        assert!(kernel_trend(&records, "lbm").is_empty());
+    }
+}

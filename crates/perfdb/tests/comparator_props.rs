@@ -1,0 +1,162 @@
+//! Properties of the statistical comparator, over randomized but
+//! internally consistent run records:
+//!
+//! 1. comparing a record against itself is always all-noise (no false
+//!    regressions, no false improvements);
+//! 2. a uniform 2x slowdown with bounded measurement spread is always a
+//!    confirmed regression on every cell;
+//! 3. verdicts are deterministic — repeated invocations produce an
+//!    identical report, byte for byte.
+
+use ninja_perfdb::{
+    compare_records, CellRecord, CompareConfig, RecordMeta, RunRecord, Sample, Verdict,
+    SCHEMA_VERSION,
+};
+use proptest::prelude::*;
+
+/// Builds an internally consistent sample from a median and a relative
+/// spread (the same dimensionless contract as `Sample::spread()`).
+fn sample(median_s: f64, rel_spread: f64, runs: u32) -> Sample {
+    let half = median_s * rel_spread / 2.0;
+    Sample {
+        median_s,
+        mean_s: median_s,
+        stddev_s: half / 2.0,
+        min_s: median_s - half,
+        max_s: median_s + half,
+        runs,
+    }
+}
+
+/// A record with one kernel ladder per entry of `cells`.
+fn record(id: &str, cells: &[(String, String, Sample)]) -> RunRecord {
+    let meta = RecordMeta::synthetic(id, "scalar");
+    RunRecord {
+        schema_version: SCHEMA_VERSION,
+        id: id.to_owned(),
+        timestamp_unix_s: meta.timestamp_unix_s,
+        git_commit: meta.git_commit,
+        machine: meta.machine,
+        size: "quick".to_owned(),
+        seed: 42,
+        threads: 4,
+        excluded: Vec::new(),
+        cells: cells
+            .iter()
+            .map(|(kernel, variant, s)| CellRecord {
+                kernel: kernel.clone(),
+                variant: variant.clone(),
+                outcome: "ok".to_owned(),
+                sample: Some(*s),
+            })
+            .collect(),
+    }
+}
+
+const VARIANTS: [&str; 3] = ["naive", "optimized", "ninja"];
+
+/// Random cell set: `n` kernels, three variants each, medians spanning
+/// microseconds to seconds, spreads up to 30 % relative.
+fn random_cells(
+    n: usize,
+    medians: &[f64],
+    spreads: &[f64],
+    runs: u32,
+) -> Vec<(String, String, Sample)> {
+    let mut cells = Vec::new();
+    for k in 0..n {
+        for (v, variant) in VARIANTS.iter().enumerate() {
+            let i = (k * VARIANTS.len() + v) % medians.len();
+            cells.push((
+                format!("kernel-{k}"),
+                (*variant).to_owned(),
+                sample(medians[i], spreads[i % spreads.len()], runs),
+            ));
+        }
+    }
+    cells
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Self-comparison never reports a regression or improvement, for any
+    /// sane record: every cell must come back `Noise`.
+    #[test]
+    fn self_compare_is_always_noise(
+        n in 1usize..5,
+        medians in prop::collection::vec(1e-6f64..2.0, 3..16),
+        spreads in prop::collection::vec(0.0f64..0.3, 3..8),
+        runs in 1u32..12,
+    ) {
+        let cells = random_cells(n, &medians, &spreads, runs);
+        let rec = record("run-self", &cells);
+        let report = compare_records(&rec, &rec, &CompareConfig::default());
+        prop_assert_eq!(report.cells.len(), cells.len());
+        prop_assert!(!report.has_regressions());
+        for cell in &report.cells {
+            prop_assert_eq!(cell.verdict, Verdict::Noise);
+        }
+        prop_assert_eq!(report.overall(), Verdict::Noise);
+    }
+
+    /// A uniform 2x slowdown on every cell is always confirmed as a
+    /// regression on every cell (spreads bounded well below 2x keep the
+    /// noise floor from swallowing the signal).
+    #[test]
+    fn doubled_medians_always_regress(
+        n in 1usize..4,
+        medians in prop::collection::vec(1e-6f64..2.0, 3..12),
+        spreads in prop::collection::vec(0.0f64..0.3, 3..8),
+        runs in 1u32..12,
+    ) {
+        let cells = random_cells(n, &medians, &spreads, runs);
+        let slowed: Vec<_> = cells
+            .iter()
+            .map(|(k, v, s)| (k.clone(), v.clone(), s.scaled(2.0)))
+            .collect();
+        let baseline = record("run-base", &cells);
+        let candidate = record("run-slow", &slowed);
+        let report = compare_records(&baseline, &candidate, &CompareConfig::default());
+        prop_assert!(report.has_regressions());
+        for cell in &report.cells {
+            prop_assert_eq!(cell.verdict, Verdict::Regressed);
+        }
+        prop_assert_eq!(report.overall(), Verdict::Regressed);
+        // And the mirror image is a uniform improvement, never a regression.
+        let mirrored = compare_records(&candidate, &baseline, &CompareConfig::default());
+        prop_assert!(!mirrored.has_regressions());
+        for cell in &mirrored.cells {
+            prop_assert_eq!(cell.verdict, Verdict::Improved);
+        }
+    }
+
+    /// The comparator is fully deterministic: the same pair of records
+    /// yields a byte-identical report every time (the bootstrap PRNG is
+    /// seeded from record and cell identity, never wall-clock).
+    #[test]
+    fn verdicts_are_deterministic(
+        n in 1usize..4,
+        medians in prop::collection::vec(1e-6f64..2.0, 3..12),
+        spreads in prop::collection::vec(0.0f64..0.3, 3..8),
+        factor in 0.5f64..2.0,
+        runs in 1u32..12,
+    ) {
+        let cells = random_cells(n, &medians, &spreads, runs);
+        let scaled: Vec<_> = cells
+            .iter()
+            .map(|(k, v, s)| (k.clone(), v.clone(), s.scaled(factor)))
+            .collect();
+        let baseline = record("run-a", &cells);
+        let candidate = record("run-b", &scaled);
+        let cfg = CompareConfig::default();
+        let first = compare_records(&baseline, &candidate, &cfg);
+        let second = compare_records(&baseline, &candidate, &cfg);
+        prop_assert_eq!(first.to_json(), second.to_json());
+        for (a, b) in first.cells.iter().zip(&second.cells) {
+            prop_assert_eq!(a.verdict, b.verdict);
+            prop_assert!((a.ci_lo - b.ci_lo).abs() < 1e-15);
+            prop_assert!((a.ci_hi - b.ci_hi).abs() < 1e-15);
+        }
+    }
+}
