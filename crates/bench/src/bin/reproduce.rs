@@ -15,6 +15,12 @@
 
 fn main() {
     let cli = ninja_bench::cli_from_env();
+    if cli.trace.is_some() {
+        ninja_probe::set_tracing(true);
+    }
+    if cli.probe_metrics {
+        ninja_probe::set_metrics(true);
+    }
     if cli.lint {
         match ninja_bench::lint_preflight() {
             Ok(files) => eprintln!("lint preflight: clean ({files} file(s) scanned)"),
@@ -54,6 +60,11 @@ fn main() {
         Some(budget) => harness.timeout(budget),
         None => harness.no_timeout(),
     };
+    if cli.probe_metrics {
+        // ~1 s of microbenchmarks, opted into: absolute percent-of-roofline
+        // numbers are only worth quoting against a calibrated machine.
+        harness = harness.attribution_machine(ninja_model::calibrate::calibrated_host(cli.threads));
+    }
     let extra = match cli.chaos {
         Some(mode) => vec![ninja_kernels::chaos::spec(mode)],
         None => Vec::new(),
@@ -78,6 +89,55 @@ fn main() {
     }
 
     let mut exit_code = 0;
+
+    if cli.probe_metrics {
+        println!("\nper-cell attribution (calibrated roofline):");
+        for k in &suite.kernels {
+            for v in &k.variants {
+                if let Some(a) = &v.attribution {
+                    println!("  {}/{}: {}", k.kernel, v.variant, a.summary());
+                }
+            }
+        }
+    }
+
+    if let Some(path) = &cli.trace {
+        let events = ninja_probe::take_events();
+        let json = ninja_probe::chrome_trace_json(&events);
+        std::fs::write(path, &json).expect("write trace JSON");
+        // Lenient self-check (a timed-out variant's abandoned thread may
+        // leave unclosed spans, so no strict B/E matching here): the JSON
+        // must parse, and every variant that actually executed must have
+        // opened a span. Factory-panicked variants never execute, so they
+        // are not expected to appear.
+        let parsed: serde::Value = serde_json::from_str(&json).expect("trace JSON must parse");
+        let total = match &parsed {
+            serde::Value::Array(entries) => entries.len(),
+            _ => panic!("trace JSON must be a top-level array"),
+        };
+        let variant_spans = events
+            .iter()
+            .filter(|e| e.ph == ninja_probe::Phase::Begin && e.name.starts_with("variant:"))
+            .count();
+        let executed = suite
+            .kernels
+            .iter()
+            .flat_map(|k| &k.variants)
+            .filter(|v| !matches!(v.outcome, ninja_core::VariantOutcome::Panicked { .. }))
+            .count();
+        if variant_spans < executed {
+            eprintln!(
+                "reproduce: trace is missing variant spans ({variant_spans} spans for \
+                 {executed} executed variants)"
+            );
+            exit_code = 1;
+        }
+        eprintln!(
+            "wrote {path}: {total} trace events, {variant_spans} variant span(s) — load it in \
+             Perfetto (https://ui.perfetto.dev) or chrome://tracing"
+        );
+    }
+
     if suite.has_failures() {
         eprintln!(
             "{} variant(s) failed; partial report written:\n{}",

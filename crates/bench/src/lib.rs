@@ -23,6 +23,12 @@
 //! --store DIR               perf-store directory (default: perfdb)
 //! --noise-floor F           relative floor for the regression gate
 //!                           (default: the CI-host gate preset, 0.25)
+//! --trace PATH              record harness/pool spans and write a Chrome
+//!                           trace_event JSON (load in Perfetto / about:tracing)
+//! --probe-metrics           collect thread-pool utilization + raw per-rep
+//!                           samples and attribute cells against the
+//!                           calibrated host machine
+//! --quick                   shorthand for --size quick
 //! ```
 //!
 //! Run `cargo run --release -p ninja-bench --bin reproduce` to regenerate
@@ -64,6 +70,12 @@ pub struct Cli {
     /// Relative noise floor for the `--baseline` regression gate;
     /// `None` uses the shared-CI-host gate preset.
     pub noise_floor: Option<f64>,
+    /// Output path for a Chrome `trace_event` JSON of the run's spans
+    /// (`None` leaves tracing off).
+    pub trace: Option<String>,
+    /// Collect thread-pool utilization metrics and raw per-repetition
+    /// samples, and attribute cells against the calibrated host.
+    pub probe_metrics: bool,
 }
 
 impl Cli {
@@ -87,6 +99,8 @@ impl Default for Cli {
             baseline: None,
             store: ninja_perfdb::DEFAULT_DIR.to_owned(),
             noise_floor: None,
+            trace: None,
+            probe_metrics: false,
         }
     }
 }
@@ -134,8 +148,11 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
                     .parse()
                     .map_err(|e| format!("--timeout: {e}"))?;
             }
+            "--quick" => cli.size = ProblemSize::Quick,
             "--fail-fast" => cli.fail_fast = true,
             "--keep-going" => cli.fail_fast = false,
+            "--trace" => cli.trace = Some(value("--trace")?),
+            "--probe-metrics" => cli.probe_metrics = true,
             "--lint" => cli.lint = true,
             "--record" => cli.record = true,
             "--baseline" => cli.baseline = Some(value("--baseline")?),
@@ -162,7 +179,8 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
                     "       [--timeout SECONDS] [--fail-fast|--keep-going]\n",
                     "       [--chaos panic|hang|nan|wrong] [--lint]\n",
                     "       [--record] [--baseline REF|PATH] [--store DIR]\n",
-                    "       [--noise-floor F]"
+                    "       [--noise-floor F] [--trace PATH] [--probe-metrics]\n",
+                    "       [--quick]"
                 )
                 .into())
             }
@@ -265,6 +283,18 @@ mod tests {
         assert_eq!(cli.baseline, None);
         assert_eq!(cli.store, ninja_perfdb::DEFAULT_DIR);
         assert_eq!(cli.noise_floor, None);
+    }
+
+    #[test]
+    fn probe_flags_default_off_and_parse() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.trace, None);
+        assert!(!cli.probe_metrics);
+        let cli = parse(&["--quick", "--trace", "out.json", "--probe-metrics"]).unwrap();
+        assert_eq!(cli.size, ProblemSize::Quick);
+        assert_eq!(cli.trace.as_deref(), Some("out.json"));
+        assert!(cli.probe_metrics);
+        assert!(parse(&["--trace"]).is_err(), "--trace needs a path");
     }
 
     #[test]

@@ -16,10 +16,11 @@
 //! the suite moves on. After a panic or timeout the kernel instance is
 //! considered tainted and is rebuilt from its spec before the next variant.
 
-use crate::measure::measure;
+use crate::measure::measure_with_samples;
 use crate::report::{KernelReport, SuiteReport, VariantOutcome, VariantResult};
 use crate::Measurement;
 use ninja_kernels::{registry, Instance, KernelSpec, ProblemSize, Variant};
+use ninja_model::{nominal_host, Attribution, Machine};
 use ninja_parallel::ThreadPool;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -54,12 +55,14 @@ fn exec_variant(
     runs: u32,
 ) -> Attempt {
     if validate {
+        let _validate_span = ninja_probe::span("validate");
         if let Err(e) = instance.validate(v, pool) {
             return Attempt::Invalid { reason: e.detail };
         }
     }
     let mut checksum = 0.0;
-    let timing = measure(warmup, runs, || {
+    let keep_samples = ninja_probe::metrics_enabled();
+    let timing = measure_with_samples(warmup, runs, keep_samples, || {
         checksum = instance.run(v, pool);
     });
     Attempt::Measured { timing, checksum }
@@ -88,6 +91,11 @@ pub struct Harness {
     validate: bool,
     timeout: Option<Duration>,
     fail_fast: bool,
+    /// Roofline denominator for per-cell attribution. `None` means "use a
+    /// [`nominal_host`] sized to the current thread count" — resolved
+    /// lazily so `threads()` never clobbers an explicitly supplied
+    /// (e.g. calibrated) machine.
+    attribution_machine: Option<Machine>,
 }
 
 impl Harness {
@@ -106,6 +114,7 @@ impl Harness {
             validate: true,
             timeout: None,
             fail_fast: false,
+            attribution_machine: None,
         }
     }
 
@@ -173,6 +182,24 @@ impl Harness {
         self
     }
 
+    /// Sets the machine description used as the roofline denominator when
+    /// attributing measured cells (achieved GFLOP/s, percent-of-roofline,
+    /// bound classification). Defaults to an uncalibrated
+    /// [`nominal_host`] sized to the thread count; pass
+    /// [`ninja_model::calibrated_host`] output for absolute numbers worth
+    /// quoting.
+    pub fn attribution_machine(mut self, machine: Machine) -> Self {
+        self.attribution_machine = Some(machine);
+        self
+    }
+
+    /// The machine cells are attributed against (explicit or nominal).
+    fn machine(&self) -> Machine {
+        self.attribution_machine
+            .clone()
+            .unwrap_or_else(|| nominal_host(self.threads))
+    }
+
     /// Number of threads parallel variants will use.
     pub fn num_threads(&self) -> usize {
         self.threads
@@ -199,7 +226,17 @@ impl Harness {
         mut instance: Box<dyn Instance>,
         work: ninja_kernels::Work,
     ) -> (Option<Box<dyn Instance>>, VariantResult) {
+        let _variant_span = if ninja_probe::tracing_enabled() {
+            Some(ninja_probe::span(&format!("variant:{}/{}", spec.name, v)))
+        } else {
+            None
+        };
         let pool = self.pool_handle();
+        // A second handle for metrics snapshots: `pool` is moved into the
+        // watchdog thread when a budget is set, but the Arc it clones from
+        // stays ours to inspect after the attempt returns.
+        let metrics_pool = Arc::clone(&pool);
+        let pool_before = ninja_probe::metrics_enabled().then(|| metrics_pool.metrics());
         let (validate, warmup, runs) = (self.validate, self.warmup, self.runs);
 
         let (instance, attempt) = match self.timeout {
@@ -260,15 +297,28 @@ impl Harness {
             Ok(Attempt::Measured { checksum, .. }) if !checksum.is_finite() => {
                 VariantResult::failed(v, validate, VariantOutcome::NonFinite)
             }
-            Ok(Attempt::Measured { timing, checksum }) => VariantResult {
-                variant: v.name().to_owned(),
-                timing: Some(timing),
-                checksum,
-                gflops: work.flops / timing.median_s / 1e9,
-                gbs: work.bytes / timing.median_s / 1e9,
-                validated: validate,
-                outcome: VariantOutcome::Ok,
-            },
+            Ok(Attempt::Measured { timing, checksum }) => {
+                let median = timing.median_s;
+                let mut attribution =
+                    Attribution::new(work.flops, work.bytes, median, &self.machine());
+                if let Some(before) = pool_before {
+                    let window = metrics_pool.metrics().delta(&before);
+                    if window.total_busy_ns() > 0 {
+                        attribution =
+                            attribution.with_pool(window.imbalance_ratio(), window.idle_fraction());
+                    }
+                }
+                VariantResult {
+                    variant: v.name().to_owned(),
+                    timing: Some(timing),
+                    checksum,
+                    gflops: work.flops / median / 1e9,
+                    gbs: work.bytes / median / 1e9,
+                    validated: validate,
+                    outcome: VariantOutcome::Ok,
+                    attribution: Some(attribution),
+                }
+            }
         };
         (instance, result)
     }
@@ -286,6 +336,11 @@ impl Harness {
     /// (including panics, validation failures, timeouts, and non-finite
     /// checksums) is recorded in the report.
     pub fn run_kernel(&self, spec: &KernelSpec) -> KernelReport {
+        let _kernel_span = if ninja_probe::tracing_enabled() {
+            Some(ninja_probe::span(&format!("kernel:{}", spec.name)))
+        } else {
+            None
+        };
         let mut variants = Vec::with_capacity(Variant::ALL.len());
         let mut instance = match self.make_instance(spec) {
             Ok(i) => Some(i),
@@ -348,6 +403,7 @@ impl Harness {
     /// first kernel that records a failure; otherwise every spec runs and
     /// failures are recorded per variant.
     pub fn run_specs(&self, specs: &[KernelSpec]) -> SuiteReport {
+        let _suite_span = ninja_probe::span("suite");
         let mut report = SuiteReport::new_empty(self.size, self.seed, self.threads);
         for spec in specs {
             let kernel_report = self.run_kernel(spec);
@@ -536,6 +592,54 @@ mod tests {
         assert_eq!(r.kernels.len(), 1);
         assert_eq!(r.kernels[0].variants.len(), 1);
         assert!(!r.kernels[0].variants[0].is_ok());
+    }
+
+    #[test]
+    fn measured_cells_carry_attribution() {
+        let h = test_harness();
+        let r = h.run_kernel(&registry()[0]);
+        for v in &r.variants {
+            let a = v.attribution.as_ref().expect("measured cell attributed");
+            assert!(a.achieved_gflops > 0.0, "{}: {a:?}", v.variant);
+            assert!(a.roofline_pct > 0.0, "{}: {a:?}", v.variant);
+            assert!(!a.bound.is_empty());
+            // Probe metrics are off, so no pool window was recorded.
+            assert!(!a.has_pool_data(), "{}: {a:?}", v.variant);
+        }
+    }
+
+    #[test]
+    fn metrics_flag_adds_pool_attribution_and_raw_samples() {
+        ninja_probe::set_metrics(true);
+        let h = test_harness();
+        let r = h.run_kernel(&registry()[0]);
+        ninja_probe::set_metrics(false);
+        let par = r
+            .variants
+            .iter()
+            .find(|x| x.variant == Variant::Parallel.name())
+            .expect("parallel variant present");
+        let a = par.attribution.as_ref().expect("attributed");
+        assert!(a.has_pool_data(), "pool window should be recorded: {a:?}");
+        assert!(a.pool_idle_pct >= 0.0 && a.pool_idle_pct <= 100.0);
+        let t = par.timing.as_ref().expect("measured");
+        assert_eq!(
+            t.samples.len(),
+            t.runs as usize,
+            "metrics flag opts into raw per-rep samples"
+        );
+    }
+
+    #[test]
+    fn explicit_attribution_machine_survives_thread_changes() {
+        let h = Harness::new()
+            .attribution_machine(ninja_model::machines::westmere())
+            .threads(2);
+        assert_eq!(h.machine().name, "Core i7 X980 (Westmere)");
+        // Without an explicit machine the nominal host tracks threads.
+        let h = Harness::new().threads(3);
+        assert_eq!(h.machine().cores, 3);
+        assert_eq!(h.machine().year, 0, "nominal host is marked synthetic");
     }
 
     #[test]

@@ -32,5 +32,5 @@ pub mod render;
 mod report;
 
 pub use harness::Harness;
-pub use measure::{measure, Measurement};
+pub use measure::{measure, measure_with_samples, Measurement};
 pub use report::{KernelReport, SuiteReport, VariantOutcome, VariantResult};

@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 /// The timing of one measured workload.
-#[derive(Copy, Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Measurement {
     /// Median wall-clock seconds across repetitions.
     pub median_s: f64,
@@ -17,6 +17,11 @@ pub struct Measurement {
     pub max_s: f64,
     /// Number of timed repetitions.
     pub runs: u32,
+    /// Raw per-repetition seconds in execution order — opt-in (see
+    /// [`measure_with_samples`]); empty when not collected. Kept out of
+    /// the JSON wire format when empty so reports and perfdb fixtures
+    /// written before this field existed parse unchanged.
+    pub samples: Vec<f64>,
 }
 
 impl Measurement {
@@ -42,12 +47,14 @@ impl Measurement {
     ///     min_s: 1.9,
     ///     max_s: 2.3,
     ///     runs: 5,
+    ///     samples: Vec::new(),
     /// };
     /// // (2.3 − 1.9) / 2.0 = 0.2: relative, not seconds.
     /// assert!((m.spread() - 0.2).abs() < 1e-12);
     /// // Scaling the measurement leaves the spread unchanged.
     /// let scaled = Measurement { median_s: 4.0, mean_s: 4.1, stddev_s: 0.2,
-    ///                            min_s: 3.8, max_s: 4.6, runs: 5 };
+    ///                            min_s: 3.8, max_s: 4.6, runs: 5,
+    ///                            samples: Vec::new() };
     /// assert!((scaled.spread() - m.spread()).abs() < 1e-12);
     /// ```
     pub fn spread(&self) -> f64 {
@@ -59,23 +66,99 @@ impl Measurement {
     }
 }
 
+// Hand-written (not derived) so the wire format stays exactly what it was
+// before `samples` existed: the field is omitted when empty on write and
+// defaulted to empty when absent on read. The derive stand-in would
+// instead hard-error on pre-existing JSON without the field.
+impl serde::Serialize for Measurement {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            ("median_s".to_owned(), self.median_s.to_value()),
+            ("mean_s".to_owned(), self.mean_s.to_value()),
+            ("stddev_s".to_owned(), self.stddev_s.to_value()),
+            ("min_s".to_owned(), self.min_s.to_value()),
+            ("max_s".to_owned(), self.max_s.to_value()),
+            ("runs".to_owned(), self.runs.to_value()),
+        ];
+        if !self.samples.is_empty() {
+            pairs.push(("samples".to_owned(), self.samples.to_value()));
+        }
+        serde::Value::Object(pairs)
+    }
+}
+
+impl serde::Deserialize for Measurement {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            median_s: f64::from_value(v.field("median_s")?)?,
+            mean_s: f64::from_value(v.field("mean_s")?)?,
+            stddev_s: f64::from_value(v.field("stddev_s")?)?,
+            min_s: f64::from_value(v.field("min_s")?)?,
+            max_s: f64::from_value(v.field("max_s")?)?,
+            runs: u32::from_value(v.field("runs")?)?,
+            samples: match v.field("samples") {
+                Ok(val) => Vec::<f64>::from_value(val)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
+}
+
 /// Times `body` with `warmup` untimed runs followed by `runs` timed runs,
 /// reporting the median (robust to one-off scheduling noise).
+///
+/// When span tracing is on ([`ninja_probe::set_tracing`]) the warmup
+/// block and every timed repetition record their own span, so a trace
+/// shows each rep individually rather than one opaque measurement block.
 ///
 /// # Panics
 ///
 /// Panics if `runs == 0`.
-pub fn measure<F: FnMut()>(warmup: u32, runs: u32, mut body: F) -> Measurement {
+pub fn measure<F: FnMut()>(warmup: u32, runs: u32, body: F) -> Measurement {
+    measure_with_samples(warmup, runs, false, body)
+}
+
+/// [`measure`], optionally keeping the raw per-repetition samples on the
+/// returned [`Measurement`] (`keep_samples`). Collection is opt-in
+/// because samples grow reports linearly in `runs` and most consumers
+/// only want the summary statistics.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn measure_with_samples<F: FnMut()>(
+    warmup: u32,
+    runs: u32,
+    keep_samples: bool,
+    mut body: F,
+) -> Measurement {
     assert!(runs > 0, "measure needs at least one timed run");
-    for _ in 0..warmup {
-        body();
+    {
+        let _warmup_span = if warmup > 0 && ninja_probe::tracing_enabled() {
+            Some(ninja_probe::span("warmup"))
+        } else {
+            None
+        };
+        for _ in 0..warmup {
+            body();
+        }
     }
     let mut times = Vec::with_capacity(runs as usize);
-    for _ in 0..runs {
+    for rep in 0..runs {
+        let _rep_span = if ninja_probe::tracing_enabled() {
+            Some(ninja_probe::span(&format!("rep:{rep}")))
+        } else {
+            None
+        };
         let start = Instant::now();
         body();
         times.push(start.elapsed().as_secs_f64());
     }
+    let samples = if keep_samples {
+        times.clone()
+    } else {
+        Vec::new()
+    };
     times.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN durations"));
     let mean = times.iter().sum::<f64>() / times.len() as f64;
     let var = if times.len() > 1 {
@@ -90,6 +173,7 @@ pub fn measure<F: FnMut()>(warmup: u32, runs: u32, mut body: F) -> Measurement {
         min_s: times[0],
         max_s: times[times.len() - 1],
         runs,
+        samples,
     }
 }
 
@@ -104,6 +188,7 @@ mod tests {
         assert_eq!(calls, 7);
         assert_eq!(m.runs, 5);
         assert!(m.min_s <= m.median_s && m.median_s <= m.max_s);
+        assert!(m.samples.is_empty(), "samples are opt-in");
     }
 
     #[test]
@@ -128,5 +213,41 @@ mod tests {
     #[should_panic(expected = "at least one")]
     fn zero_runs_rejected() {
         let _ = measure(0, 0, || {});
+    }
+
+    #[test]
+    fn opt_in_samples_match_summary_stats() {
+        let m = measure_with_samples(0, 5, true, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        assert_eq!(m.samples.len(), 5);
+        let min = m.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = m.samples.iter().cloned().fold(0.0f64, f64::max);
+        assert_eq!(min, m.min_s);
+        assert_eq!(max, m.max_s);
+        // Samples are in execution order, not sorted.
+        let mean = m.samples.iter().sum::<f64>() / 5.0;
+        assert!((mean - m.mean_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wire_format_omits_empty_samples_and_tolerates_absence() {
+        let without = measure(0, 2, || {});
+        let json = serde_json::to_string(&without).unwrap();
+        assert!(
+            !json.contains("samples"),
+            "empty samples must stay off the wire: {json}"
+        );
+        // Pre-`samples` JSON (exactly what older reports contain) parses.
+        let legacy = r#"{"median_s":1.0,"mean_s":1.0,"stddev_s":0.0,
+                         "min_s":0.9,"max_s":1.1,"runs":3}"#;
+        let m: Measurement = serde_json::from_str(legacy).unwrap();
+        assert_eq!(m.runs, 3);
+        assert!(m.samples.is_empty());
+        // And collected samples round-trip.
+        let with = measure_with_samples(0, 3, true, || {});
+        let back: Measurement =
+            serde_json::from_str(&serde_json::to_string(&with).unwrap()).unwrap();
+        assert_eq!(with, back);
     }
 }

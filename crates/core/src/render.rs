@@ -68,6 +68,8 @@ pub fn log_bar(value: f64, max: f64, width: usize) -> String {
 ///
 /// Failed variants keep their row: timing columns show `-` and the last
 /// column names the failure, so a partial run is obvious at a glance.
+/// Measured cells with roofline attribution additionally show their
+/// percent-of-roofline and bound classification.
 pub fn suite_table(report: &SuiteReport) -> String {
     let mut rows = Vec::new();
     for k in &report.kernels {
@@ -85,12 +87,18 @@ pub fn suite_table(report: &SuiteReport) -> String {
                 ),
                 None => ("-".into(), "-".into(), "-".into(), "-".into()),
             };
+            let (roof, bound) = match &v.attribution {
+                Some(a) => (format!("{:.1}%", a.roofline_pct), a.bound.clone()),
+                None => ("-".into(), "-".into()),
+            };
             rows.push(vec![
                 k.kernel.clone(),
                 v.variant.clone(),
                 median,
                 gflops,
                 gbs,
+                roof,
+                bound,
                 vs_naive,
                 if v.is_ok() {
                     String::new()
@@ -102,7 +110,8 @@ pub fn suite_table(report: &SuiteReport) -> String {
     }
     table(
         &[
-            "kernel", "variant", "median s", "GFLOP/s", "GB/s", "vs naive", "failure",
+            "kernel", "variant", "median s", "GFLOP/s", "GB/s", "%roof", "bound", "vs naive",
+            "failure",
         ],
         &rows,
     )

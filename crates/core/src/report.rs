@@ -115,7 +115,7 @@ impl Deserialize for VariantOutcome {
 }
 
 /// One measured (kernel, variant) cell.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct VariantResult {
     /// Variant label (see [`Variant::name`]).
     pub variant: String,
@@ -133,6 +133,31 @@ pub struct VariantResult {
     pub validated: bool,
     /// How the measurement ended.
     pub outcome: VariantOutcome,
+    /// Roofline placement of the measurement (achieved throughputs,
+    /// percent-of-roofline, bound classification, pool utilization);
+    /// `None` for failed cells.
+    pub attribution: Option<ninja_model::Attribution>,
+}
+
+// Deserialize is written by hand (Serialize stays derived) so reports
+// written before `attribution` existed still parse: the derive stand-in
+// errors on any missing field, and older JSON has no `attribution` key.
+impl Deserialize for VariantResult {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            variant: String::from_value(v.field("variant")?)?,
+            timing: Option::from_value(v.field("timing")?)?,
+            checksum: f64::from_value(v.field("checksum")?)?,
+            gflops: f64::from_value(v.field("gflops")?)?,
+            gbs: f64::from_value(v.field("gbs")?)?,
+            validated: bool::from_value(v.field("validated")?)?,
+            outcome: VariantOutcome::from_value(v.field("outcome")?)?,
+            attribution: match v.field("attribution") {
+                Ok(val) => Option::from_value(val)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl VariantResult {
@@ -161,6 +186,7 @@ impl VariantResult {
             gbs: 0.0,
             validated,
             outcome,
+            attribution: None,
         }
     }
 }
@@ -309,23 +335,33 @@ impl SuiteReport {
     ///
     /// Failed variants keep their row — empty timing columns, zeroed
     /// rates — with the outcome tag in the last column, so downstream
-    /// tooling sees exactly which cells are missing and why.
+    /// tooling sees exactly which cells are missing and why. The
+    /// `roofline_pct`/`bound` columns carry the roofline attribution
+    /// (empty for cells without one).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("kernel,variant,median_s,min_s,gflops,gbs,validated,outcome\n");
+        let mut out = String::from(
+            "kernel,variant,median_s,min_s,gflops,gbs,roofline_pct,bound,validated,outcome\n",
+        );
         for k in &self.kernels {
             for v in &k.variants {
                 let (median, min) = match &v.timing {
                     Some(t) => (format!("{:.6e}", t.median_s), format!("{:.6e}", t.min_s)),
                     None => (String::new(), String::new()),
                 };
+                let (roof, bound) = match &v.attribution {
+                    Some(a) => (format!("{:.1}", a.roofline_pct), a.bound.clone()),
+                    None => (String::new(), String::new()),
+                };
                 out.push_str(&format!(
-                    "{},{},{},{},{:.3},{:.3},{},{}\n",
+                    "{},{},{},{},{:.3},{:.3},{},{},{},{}\n",
                     k.kernel,
                     v.variant,
                     median,
                     min,
                     v.gflops,
                     v.gbs,
+                    roof,
+                    bound,
                     v.validated,
                     v.outcome.kind()
                 ));
@@ -430,6 +466,7 @@ mod tests {
             min_s: s,
             max_s: s,
             runs: 1,
+            samples: Vec::new(),
         };
         let vr = |name: &str, s: f64| VariantResult {
             variant: name.into(),
@@ -439,6 +476,7 @@ mod tests {
             gbs: 1.0,
             validated: true,
             outcome: VariantOutcome::Ok,
+            attribution: None,
         };
         SuiteReport {
             size: "test".into(),
@@ -646,9 +684,9 @@ mod tests {
             }
         }
         // Make the chaos ladder flat so its gap would be 1.0.
-        let naive = chaos.variants[0].timing;
+        let naive = chaos.variants[0].timing.clone();
         for v in &mut chaos.variants {
-            v.timing = naive;
+            v.timing = naive.clone();
         }
         r.kernels.push(chaos);
         r

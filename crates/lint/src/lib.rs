@@ -46,7 +46,12 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose sources the workspace-wide lint scans. The kernel-ladder
 /// rules self-select per file; the SAFETY audit applies to all of them.
-pub const AUDITED_CRATES: [&str; 3] = ["crates/kernels", "crates/parallel", "crates/simd"];
+pub const AUDITED_CRATES: [&str; 4] = [
+    "crates/kernels",
+    "crates/parallel",
+    "crates/probe",
+    "crates/simd",
+];
 
 /// An I/O or configuration error from a lint run.
 #[derive(Debug)]

@@ -1,0 +1,229 @@
+//! Roofline attribution of measured cells.
+//!
+//! The paper's methodology is diagnostic: a measured time means little
+//! until it is placed on the machine's roofline — how many of the
+//! available GFLOP/s did the variant achieve, how much of the achievable
+//! bandwidth, and which of the two actually limits it. This module joins
+//! one measurement (seconds) with a kernel's work counts (flops, bytes)
+//! and a [`Machine`] description to produce that placement, plus
+//! (optionally) the thread-pool utilization observed while the cell was
+//! measured.
+//!
+//! Formulas (documented in DESIGN.md "Observability"):
+//!
+//! * `achieved_gflops = flops / seconds / 1e9`
+//! * `achieved_gbs    = bytes / seconds / 1e9`
+//! * `roofline_pct    = 100 * max(achieved_gflops / peak_gflops,
+//!   achieved_gbs / bandwidth_gbs)` — distance to the nearest roof
+//! * `bound`: arithmetic intensity `flops/bytes` vs. the machine balance
+//!   point `peak_gflops / bandwidth_gbs` picks `compute` or `bandwidth`;
+//!   a cell below [`UTILIZATION_FLOOR_PCT`] of its roof is limited by
+//!   neither roof and is classified `poorly-utilized` instead.
+
+use crate::Machine;
+use serde::{Deserialize, Serialize};
+
+/// `bound` value for cells limited by arithmetic throughput.
+pub const BOUND_COMPUTE: &str = "compute";
+/// `bound` value for cells limited by memory bandwidth.
+pub const BOUND_BANDWIDTH: &str = "bandwidth";
+/// `bound` value for cells far from both roofs (scalar code, scheduling
+/// loss, stalls): the roofline does not explain their time.
+pub const BOUND_POORLY_UTILIZED: &str = "poorly-utilized";
+
+/// Below this percent-of-roofline a cell is classified
+/// [`BOUND_POORLY_UTILIZED`] regardless of its arithmetic intensity.
+pub const UTILIZATION_FLOOR_PCT: f64 = 10.0;
+
+/// Where one measured cell sits on the machine's roofline, plus the pool
+/// utilization observed while it was measured (zeros when pool metrics
+/// were not collected).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Attribution {
+    /// Useful arithmetic throughput achieved, GFLOP/s.
+    pub achieved_gflops: f64,
+    /// Streaming throughput achieved, GB/s.
+    pub achieved_gbs: f64,
+    /// Percent of the nearest roof achieved (100 = at the roofline).
+    pub roofline_pct: f64,
+    /// `compute` / `bandwidth` / `poorly-utilized`.
+    pub bound: String,
+    /// Pool load-imbalance ratio during the measurement (max lane busy /
+    /// mean active lane busy; 1.0 = balanced, 0.0 = not collected).
+    pub pool_imbalance: f64,
+    /// Percent of pool thread-time idle during the measurement
+    /// (0.0 also when pool metrics were not collected).
+    pub pool_idle_pct: f64,
+}
+
+impl Attribution {
+    /// Places `seconds` of measured time for `flops`/`bytes` of work on
+    /// `machine`'s roofline. Pool fields start at zero; fill them with
+    /// [`Attribution::with_pool`].
+    pub fn new(flops: f64, bytes: f64, seconds: f64, machine: &Machine) -> Self {
+        if !(seconds.is_finite() && seconds > 0.0) {
+            return Self {
+                achieved_gflops: 0.0,
+                achieved_gbs: 0.0,
+                roofline_pct: 0.0,
+                bound: BOUND_POORLY_UTILIZED.to_owned(),
+                pool_imbalance: 0.0,
+                pool_idle_pct: 0.0,
+            };
+        }
+        let achieved_gflops = flops / seconds / 1e9;
+        let achieved_gbs = bytes / seconds / 1e9;
+        let compute_util = safe_div(achieved_gflops, machine.peak_gflops());
+        let bw_util = safe_div(achieved_gbs, machine.bandwidth_gbs);
+        let roofline_pct = 100.0 * compute_util.max(bw_util);
+        let bound = if roofline_pct < UTILIZATION_FLOOR_PCT {
+            BOUND_POORLY_UTILIZED
+        } else {
+            // Which roof the kernel's intensity runs into: intensity above
+            // the machine's balance point means the compute roof is lower.
+            let intensity = if bytes > 0.0 {
+                flops / bytes
+            } else {
+                f64::INFINITY
+            };
+            let balance = safe_div(machine.peak_gflops(), machine.bandwidth_gbs);
+            if intensity >= balance {
+                BOUND_COMPUTE
+            } else {
+                BOUND_BANDWIDTH
+            }
+        };
+        Self {
+            achieved_gflops,
+            achieved_gbs,
+            roofline_pct,
+            bound: bound.to_owned(),
+            pool_imbalance: 0.0,
+            pool_idle_pct: 0.0,
+        }
+    }
+
+    /// Attaches the pool utilization observed during the measurement.
+    #[must_use]
+    pub fn with_pool(mut self, imbalance_ratio: f64, idle_fraction: f64) -> Self {
+        self.pool_imbalance = imbalance_ratio;
+        self.pool_idle_pct = 100.0 * idle_fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Whether pool utilization was collected for this cell.
+    pub fn has_pool_data(&self) -> bool {
+        self.pool_imbalance > 0.0
+    }
+
+    /// One-line human rendering, e.g.
+    /// `"12.3 GFLOP/s, 4.5 GB/s, 31% of roofline (bandwidth-bound)"`.
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "{:.1} GFLOP/s, {:.1} GB/s, {:.0}% of roofline ({})",
+            self.achieved_gflops,
+            self.achieved_gbs,
+            self.roofline_pct,
+            match self.bound.as_str() {
+                BOUND_COMPUTE => "compute-bound",
+                BOUND_BANDWIDTH => "bandwidth-bound",
+                _ => BOUND_POORLY_UTILIZED,
+            }
+        );
+        if self.has_pool_data() {
+            s.push_str(&format!(
+                "; pool imbalance {:.2}, idle {:.0}%",
+                self.pool_imbalance, self.pool_idle_pct
+            ));
+        }
+        s
+    }
+}
+
+fn safe_div(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machines;
+
+    #[test]
+    fn compute_bound_kernel_near_its_roof() {
+        let m = machines::westmere(); // peak 158.4 GFLOP/s, 30 GB/s
+                                      // High intensity (20 flops/byte), achieving half the compute roof.
+        let flops = 1e9 * 79.2;
+        let bytes = flops / 20.0;
+        let a = Attribution::new(flops, bytes, 1.0, &m);
+        assert!((a.achieved_gflops - 79.2).abs() < 1e-9);
+        assert!((a.roofline_pct - 50.0).abs() < 1e-9);
+        assert_eq!(a.bound, BOUND_COMPUTE);
+    }
+
+    #[test]
+    fn bandwidth_bound_kernel_is_classified_by_intensity() {
+        let m = machines::westmere();
+        // Streaming kernel: 0.25 flops/byte, 24 GB/s of the 30 GB/s roof.
+        let bytes = 24e9;
+        let flops = bytes * 0.25;
+        let a = Attribution::new(flops, bytes, 1.0, &m);
+        assert!((a.achieved_gbs - 24.0).abs() < 1e-9);
+        assert!((a.roofline_pct - 80.0).abs() < 1e-9);
+        assert_eq!(a.bound, BOUND_BANDWIDTH);
+    }
+
+    #[test]
+    fn far_from_both_roofs_is_poorly_utilized() {
+        let m = machines::westmere();
+        // Scalar-ish: 1 GFLOP/s and 1 GB/s on a 158/30 machine.
+        let a = Attribution::new(1e9, 1e9, 1.0, &m);
+        assert!(a.roofline_pct < UTILIZATION_FLOOR_PCT);
+        assert_eq!(a.bound, BOUND_POORLY_UTILIZED);
+    }
+
+    #[test]
+    fn degenerate_time_yields_zeroed_attribution() {
+        let m = machines::westmere();
+        for s in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let a = Attribution::new(1e9, 1e9, s, &m);
+            assert_eq!(a.achieved_gflops, 0.0);
+            assert_eq!(a.bound, BOUND_POORLY_UTILIZED);
+        }
+    }
+
+    #[test]
+    fn zero_byte_work_counts_as_compute() {
+        let m = machines::westmere();
+        let a = Attribution::new(1e9 * 80.0, 0.0, 1.0, &m);
+        assert_eq!(a.bound, BOUND_COMPUTE);
+        assert_eq!(a.achieved_gbs, 0.0);
+    }
+
+    #[test]
+    fn pool_fields_attach_and_render() {
+        let m = machines::westmere();
+        let a = Attribution::new(24e9 * 0.25, 24e9, 1.0, &m).with_pool(2.4, 0.41);
+        assert!(a.has_pool_data());
+        assert!((a.pool_idle_pct - 41.0).abs() < 1e-9);
+        let s = a.summary();
+        assert!(s.contains("bandwidth-bound"), "{s}");
+        assert!(s.contains("imbalance 2.40"), "{s}");
+        let bare = Attribution::new(24e9 * 0.25, 24e9, 1.0, &m);
+        assert!(!bare.has_pool_data());
+        assert!(!bare.summary().contains("imbalance"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = machines::westmere();
+        let a = Attribution::new(5e9, 2e10, 0.5, &m).with_pool(1.2, 0.08);
+        let json = serde_json::to_string(&a).unwrap();
+        let back: Attribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -30,12 +30,16 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod attribution;
 pub mod calibrate;
 pub mod machines;
 mod roofline;
 
+pub use attribution::{
+    Attribution, BOUND_BANDWIDTH, BOUND_COMPUTE, BOUND_POORLY_UTILIZED, UTILIZATION_FLOOR_PCT,
+};
 pub use calibrate::{calibrated_host, measure_host, HostCalibration};
-pub use machines::Machine;
+pub use machines::{nominal_host, Machine};
 pub use roofline::{
     gap_breakdown, gather_ablation, hardware_evolution, predicted_gap, predicted_residual,
     time_per_elem, GapBreakdown, HardwareStep, COMPILER_VECTOR_EFFICIENCY, NINJA_TUNING,

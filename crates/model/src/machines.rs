@@ -122,6 +122,34 @@ pub fn mic() -> Machine {
     }
 }
 
+/// A rough, uncalibrated description of the current host for use as an
+/// attribution denominator when nobody paid for calibration.
+///
+/// [`crate::calibrate::calibrated_host`] measures the host (~1 s of
+/// microbenchmarks), which is too expensive to run on every harness
+/// construction. This placeholder assumes a ~3 GHz core with the suite's
+/// 4-wide `f32` SIMD, FMA-class issue, and ~12 GB/s of per-core
+/// bandwidth that scales sublinearly (`sqrt`) with threads — good enough
+/// to rank cells against each other and classify their bound, not good
+/// enough to quote absolute percent-of-peak. `year` 0 marks it as
+/// synthetic. `reproduce --probe-metrics` upgrades to the calibrated
+/// machine.
+pub fn nominal_host(threads: usize) -> Machine {
+    let threads = threads.max(1);
+    let core_bandwidth_gbs = 12.0;
+    Machine {
+        name: format!("nominal host x{threads}"),
+        year: 0,
+        cores: threads as u32,
+        freq_ghz: 3.0,
+        simd_f32_lanes: 4,
+        flops_per_cycle_per_lane: 2.0,
+        bandwidth_gbs: core_bandwidth_gbs * (threads as f64).sqrt(),
+        core_bandwidth_gbs,
+        has_gather: false,
+    }
+}
+
 /// The three CPU generations of the gap-growth figure, oldest first.
 pub fn cpu_generations() -> Vec<Machine> {
     vec![conroe(), nehalem(), westmere()]
@@ -189,6 +217,18 @@ mod tests {
             compute_growth > bw_growth * 1.5,
             "{compute_growth} vs {bw_growth}"
         );
+    }
+
+    #[test]
+    fn nominal_host_scales_with_threads() {
+        let one = nominal_host(1);
+        let four = nominal_host(4);
+        assert_eq!(one.cores, 1);
+        assert_eq!(four.cores, 4);
+        assert!((four.peak_gflops() - 4.0 * one.peak_gflops()).abs() < 1e-9);
+        assert!((four.bandwidth_gbs - 2.0 * one.bandwidth_gbs).abs() < 1e-9);
+        // Degenerate input clamps instead of producing a zero-core machine.
+        assert_eq!(nominal_host(0).cores, 1);
     }
 
     #[test]

@@ -4,13 +4,13 @@ use crate::latch::CountLatch;
 use crossbeam::deque::{Injector, Steal};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A captured panic payload in transit between a worker and the caller
 /// that will re-raise it.
@@ -192,11 +192,61 @@ unsafe fn exec_once<F: FnOnce() -> R + Send, R: Send>(ptr: *const ()) {
     unsafe { release_shared_once::<F, R>(ptr) };
 }
 
+/// Per-participant instrumentation counters, cache-line padded so relaxed
+/// increments from different lanes never contend on the same line.
+#[derive(Default)]
+#[repr(align(64))]
+struct Lane {
+    /// Injector jobs popped and executed (workers only).
+    tasks: AtomicU64,
+    /// `parallel_for` chunks claimed and run by this lane.
+    chunks: AtomicU64,
+    /// Nanoseconds spent inside pool work by this lane.
+    busy_ns: AtomicU64,
+}
+
+/// All instrumentation state for one pool. Counters are only written while
+/// `ninja_probe::metrics_enabled()` is on; the disabled path performs a
+/// single relaxed boolean load per region (see the overhead test in
+/// `tests/metrics.rs`).
+struct Counters {
+    /// Lane 0 is the calling thread; lanes `1..` are the pool's workers.
+    lanes: Vec<Lane>,
+    regions: AtomicU64,
+    joins: AtomicU64,
+    steals: AtomicU64,
+    epoch: Instant,
+}
+
+impl Counters {
+    fn new(num_threads: usize) -> Self {
+        Self {
+            lanes: (0..num_threads).map(|_| Lane::default()).collect(),
+            regions: AtomicU64::new(0),
+            joins: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            epoch: Instant::now(),
+        }
+    }
+}
+
+thread_local! {
+    /// This thread's lane index in the pool it belongs to. Worker threads
+    /// set their index at startup; every other thread (in particular the
+    /// caller driving `parallel_for`) reports on lane 0.
+    static LANE: Cell<usize> = const { Cell::new(0) };
+}
+
+fn current_lane(num_lanes: usize) -> usize {
+    LANE.with(|l| l.get()).min(num_lanes.saturating_sub(1))
+}
+
 struct Shared {
     injector: Injector<JobRef>,
     sleep_lock: Mutex<()>,
     sleep_cv: Condvar,
     shutdown: AtomicBool,
+    counters: Counters,
 }
 
 impl Shared {
@@ -223,9 +273,15 @@ impl Shared {
     }
 }
 
-fn worker_loop(shared: Arc<Shared>) {
+fn worker_loop(shared: Arc<Shared>, lane: usize) {
+    LANE.with(|l| l.set(lane));
     loop {
         if let Some(job) = shared.try_pop() {
+            if ninja_probe::metrics_enabled() {
+                shared.counters.lanes[lane]
+                    .tasks
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             // SAFETY: per the JobRef protocol the job outlives its queue entry.
             unsafe { job.execute() };
             continue;
@@ -290,13 +346,14 @@ impl ThreadPool {
             sleep_lock: Mutex::new(()),
             sleep_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            counters: Counters::new(num_threads),
         });
         let workers = (1..num_threads)
             .map(|i| {
                 let s = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("ninja-worker-{i}"))
-                    .spawn(move || worker_loop(s))
+                    .spawn(move || worker_loop(s, i))
                     .expect("failed to spawn pool worker")
             })
             .collect();
@@ -340,25 +397,62 @@ impl ThreadPool {
         if n == 0 {
             return;
         }
+        // One relaxed load per region; everything below only pays for
+        // instrumentation when the probe flags are on.
+        let metrics_on = ninja_probe::metrics_enabled();
+        if metrics_on {
+            self.shared.counters.regions.fetch_add(1, Ordering::Relaxed);
+        }
         let grain = grain.max(1);
         let n_chunks = n.div_ceil(grain);
         let threads = self.num_threads.min(n_chunks);
         if threads <= 1 {
-            body(range);
+            let _region = ninja_probe::span("parallel_for");
+            if metrics_on {
+                let t0 = Instant::now();
+                body(range);
+                let lane = &self.shared.counters.lanes[current_lane(self.num_threads)];
+                lane.chunks.fetch_add(1, Ordering::Relaxed);
+                lane.busy_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            } else {
+                body(range);
+            }
             return;
         }
 
         let next_chunk = AtomicUsize::new(0);
         let start = range.start;
         let end = range.end;
-        let harness = move || loop {
-            let i = next_chunk.fetch_add(1, Ordering::Relaxed);
-            if i >= n_chunks {
-                break;
+        let counters = &self.shared.counters;
+        let harness = move || {
+            // Each participant (caller and any worker that picks up the
+            // shared job) traces its own lane and accounts its own busy
+            // time, so imbalance between lanes is visible.
+            let _region = ninja_probe::span("parallel_for");
+            let t0 = metrics_on.then(Instant::now);
+            let mut my_chunks = 0u64;
+            loop {
+                let i = next_chunk.fetch_add(1, Ordering::Relaxed);
+                if i >= n_chunks {
+                    break;
+                }
+                my_chunks += 1;
+                let lo = start + i * grain;
+                let hi = (lo + grain).min(end);
+                body(lo..hi);
             }
-            let lo = start + i * grain;
-            let hi = (lo + grain).min(end);
-            body(lo..hi);
+            if let Some(t0) = t0 {
+                // A participant that arrived after the chunks ran out did
+                // no work; recording its sliver of loop overhead as busy
+                // time would pollute the imbalance statistics.
+                if my_chunks > 0 {
+                    let lane = &counters.lanes[current_lane(counters.lanes.len())];
+                    lane.chunks.fetch_add(my_chunks, Ordering::Relaxed);
+                    lane.busy_ns
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                }
+            }
         };
 
         let helpers = threads - 1;
@@ -437,11 +531,40 @@ impl ThreadPool {
     /// Lets waiting threads contribute instead of spinning.
     pub(crate) fn help_one(&self) -> bool {
         if let Some(job) = self.shared.try_pop() {
+            if ninja_probe::metrics_enabled() {
+                self.shared.counters.steals.fetch_add(1, Ordering::Relaxed);
+            }
             // SAFETY: queued jobs are kept alive by their waiters.
             unsafe { job.execute() };
             true
         } else {
             false
+        }
+    }
+
+    /// A point-in-time snapshot of the pool's instrumentation counters.
+    ///
+    /// Counters only advance while [`ninja_probe::set_metrics`] is on, and
+    /// accumulate from pool creation; diff two snapshots with
+    /// [`ninja_probe::PoolMetrics::delta`] to isolate one region of
+    /// interest (the harness brackets each measured variant this way).
+    pub fn metrics(&self) -> ninja_probe::PoolMetrics {
+        let c = &self.shared.counters;
+        ninja_probe::PoolMetrics {
+            threads: self.num_threads,
+            at_ns: c.epoch.elapsed().as_nanos() as u64,
+            regions: c.regions.load(Ordering::Relaxed),
+            joins: c.joins.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+            workers: c
+                .lanes
+                .iter()
+                .map(|l| ninja_probe::WorkerStats {
+                    tasks: l.tasks.load(Ordering::Relaxed),
+                    chunks: l.chunks.load(Ordering::Relaxed),
+                    busy_ns: l.busy_ns.load(Ordering::Relaxed),
+                })
+                .collect(),
         }
     }
 
@@ -485,6 +608,10 @@ impl ThreadPool {
         RA: Send,
         RB: Send,
     {
+        let metrics_on = ninja_probe::metrics_enabled();
+        if metrics_on {
+            self.shared.counters.joins.fetch_add(1, Ordering::Relaxed);
+        }
         if self.num_threads <= 1 {
             return (a(), b());
         }
@@ -502,6 +629,9 @@ impl ThreadPool {
         let job = unsafe { &(*shared).job };
         // Claim b back if nobody started it; otherwise wait for the thief.
         if !job.try_run() {
+            if metrics_on {
+                self.shared.counters.steals.fetch_add(1, Ordering::Relaxed);
+            }
             let mut spins = 0u32;
             while !job.is_done() {
                 spins += 1;

@@ -20,7 +20,7 @@
 //! them), so the bootstrap PRNG is seeded deterministically from the two
 //! record ids and the cell name — never from the wall clock.
 
-use crate::schema::{fnv1a64, fnv1a64_continue, RunRecord, Sample};
+use crate::schema::{fnv1a64, fnv1a64_continue, CellAttribution, RunRecord, Sample};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Deterministic 64-bit PRNG (SplitMix64): tiny, seedable, and good
@@ -183,6 +183,10 @@ pub struct CellComparison {
     pub noise_floor: f64,
     /// The decision.
     pub verdict: Verdict,
+    /// *Why* the cell shifted, when both records carry roofline/pool
+    /// attribution and it changed meaningfully (e.g. "pool idle fraction
+    /// rose 8%→41%"). `None` for noise verdicts and unattributed records.
+    pub explain: Option<String>,
 }
 
 /// A full record-vs-record comparison.
@@ -244,14 +248,18 @@ impl ComparisonReport {
         );
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<16} {:<12} {:>11.4e} {:>11.4e} {:>7.2}X {:>6.1}%  {}\n",
+                "{:<16} {:<12} {:>11.4e} {:>11.4e} {:>7.2}X {:>6.1}%  {}{}\n",
                 c.kernel,
                 c.variant,
                 c.baseline_median_s,
                 c.candidate_median_s,
                 c.baseline_median_s / c.candidate_median_s,
                 c.noise_floor * 100.0,
-                c.verdict
+                c.verdict,
+                match &c.explain {
+                    Some(why) => format!(" — {why}"),
+                    None => String::new(),
+                }
             ));
         }
         let (mut reg, mut imp, mut noise) = (0usize, 0usize, 0usize);
@@ -268,6 +276,56 @@ impl ComparisonReport {
             self.skipped.len()
         ));
         out
+    }
+}
+
+/// Builds the human-readable "why did this cell shift" hint from the two
+/// sides' attribution, when both carry it. Each clause fires only on a
+/// meaningful change (bound flip, ≥5-point roofline or idle shift, ≥0.25
+/// imbalance-ratio shift) so noise in the attribution itself stays quiet.
+fn explain_shift(base: Option<&CellAttribution>, cand: Option<&CellAttribution>) -> Option<String> {
+    let (b, c) = (base?, cand?);
+    let mut clauses = Vec::new();
+    if b.bound != c.bound {
+        clauses.push(format!("bound flipped {}→{}", b.bound, c.bound));
+    }
+    let roof_shift = c.roofline_pct - b.roofline_pct;
+    if roof_shift.abs() >= 5.0 {
+        clauses.push(format!(
+            "roofline utilization {} {:.0}%→{:.0}%",
+            if roof_shift < 0.0 { "fell" } else { "rose" },
+            b.roofline_pct,
+            c.roofline_pct
+        ));
+    }
+    if b.has_pool_data() && c.has_pool_data() {
+        let idle_shift = c.pool_idle_pct - b.pool_idle_pct;
+        if idle_shift.abs() >= 5.0 {
+            clauses.push(format!(
+                "pool idle fraction {} {:.0}%→{:.0}%",
+                if idle_shift < 0.0 { "fell" } else { "rose" },
+                b.pool_idle_pct,
+                c.pool_idle_pct
+            ));
+        }
+        let imbalance_shift = c.pool_imbalance - b.pool_imbalance;
+        if imbalance_shift.abs() >= 0.25 {
+            clauses.push(format!(
+                "pool imbalance {} {:.2}→{:.2}",
+                if imbalance_shift < 0.0 {
+                    "fell"
+                } else {
+                    "rose"
+                },
+                b.pool_imbalance,
+                c.pool_imbalance
+            ));
+        }
+    }
+    if clauses.is_empty() {
+        None
+    } else {
+        Some(clauses.join("; "))
     }
 }
 
@@ -399,6 +457,13 @@ pub fn compare_records(
         let base = b.sample.expect("ok cells have samples");
         let seed = cell_seed(&baseline.id, &candidate.id, &c.kernel, &c.variant);
         let stats = compare_samples(&base, &cand, seed, cfg);
+        // An attribution shift on a noise cell is itself noise — only
+        // explain cells the comparator actually flagged.
+        let explain = if stats.verdict == Verdict::Noise {
+            None
+        } else {
+            explain_shift(b.attribution.as_ref(), c.attribution.as_ref())
+        };
         cells.push(CellComparison {
             kernel: c.kernel.clone(),
             variant: c.variant.clone(),
@@ -409,6 +474,7 @@ pub fn compare_records(
             ci_hi: stats.ci_hi,
             noise_floor: stats.floor,
             verdict: stats.verdict,
+            explain,
         });
     }
     ComparisonReport {
@@ -441,6 +507,8 @@ pub fn min_of_k_baseline(window: &[RunRecord]) -> Option<RunRecord> {
                     let o = other.sample.expect("ok cells have samples");
                     if o.median_s < cell.sample.expect("ok cells have samples").median_s {
                         cell.sample = Some(o);
+                        // Attribution travels with the sample it describes.
+                        cell.attribution = other.attribution.clone();
                     }
                 }
             }
@@ -485,6 +553,7 @@ mod tests {
                     variant: v.into(),
                     outcome: if s.is_some() { "ok" } else { "panicked" }.into(),
                     sample: s,
+                    attribution: None,
                 })
                 .collect(),
         }
@@ -636,6 +705,85 @@ mod tests {
         assert!(text.contains("0.50X"), "{text}");
         let back: ComparisonReport = serde_json::from_str(&r.to_json()).unwrap();
         assert_eq!(r, back);
+    }
+
+    fn attribution(
+        bound: &str,
+        roofline_pct: f64,
+        idle_pct: f64,
+        imbalance: f64,
+    ) -> CellAttribution {
+        CellAttribution {
+            achieved_gflops: 1.0,
+            achieved_gbs: 1.0,
+            roofline_pct,
+            bound: bound.into(),
+            pool_imbalance: imbalance,
+            pool_idle_pct: idle_pct,
+        }
+    }
+
+    #[test]
+    fn regressions_explain_why_when_attribution_shifted() {
+        let mut base = record("base", vec![("k", "parallel", Some(sample(1.0, 0.05)))]);
+        base.cells[0].attribution = Some(attribution("compute", 40.0, 8.0, 1.1));
+        let mut slow = record("slow", vec![("k", "parallel", Some(sample(2.1, 0.05)))]);
+        slow.cells[0].attribution = Some(attribution("poorly-utilized", 19.0, 41.0, 2.4));
+
+        let r = compare_records(&base, &slow, &CompareConfig::default());
+        assert_eq!(r.cells[0].verdict, Verdict::Regressed);
+        let why = r.cells[0].explain.as_deref().expect("explained");
+        assert!(
+            why.contains("bound flipped compute→poorly-utilized"),
+            "{why}"
+        );
+        assert!(why.contains("roofline utilization fell 40%→19%"), "{why}");
+        assert!(why.contains("pool idle fraction rose 8%→41%"), "{why}");
+        assert!(why.contains("pool imbalance rose 1.10→2.40"), "{why}");
+        let text = r.render_text();
+        assert!(text.contains("regressed — "), "{text}");
+        assert!(text.contains("idle fraction rose"), "{text}");
+    }
+
+    #[test]
+    fn noise_and_unattributed_cells_stay_unexplained() {
+        // A regression without attribution on both sides: no hint.
+        let base = record("base", vec![("k", "ninja", Some(sample(1.0, 0.05)))]);
+        let slow = record("slow", vec![("k", "ninja", Some(sample(2.0, 0.05)))]);
+        let r = compare_records(&base, &slow, &CompareConfig::default());
+        assert_eq!(r.cells[0].verdict, Verdict::Regressed);
+        assert!(r.cells[0].explain.is_none());
+
+        // A noise cell with a (noisy) attribution shift: still no hint.
+        let mut a = record("a", vec![("k", "ninja", Some(sample(1.0, 0.3)))]);
+        a.cells[0].attribution = Some(attribution("compute", 40.0, 5.0, 1.0));
+        let mut b = record("b", vec![("k", "ninja", Some(sample(1.05, 0.3)))]);
+        b.cells[0].attribution = Some(attribution("bandwidth", 30.0, 15.0, 1.5));
+        let r = compare_records(&a, &b, &CompareConfig::default());
+        assert_eq!(r.cells[0].verdict, Verdict::Noise);
+        assert!(r.cells[0].explain.is_none());
+
+        // Sub-threshold shifts on a real regression: clauses stay quiet.
+        let mut base = record("base", vec![("k", "ninja", Some(sample(1.0, 0.05)))]);
+        base.cells[0].attribution = Some(attribution("compute", 40.0, 8.0, 1.1));
+        let mut slow = record("slow", vec![("k", "ninja", Some(sample(2.0, 0.05)))]);
+        slow.cells[0].attribution = Some(attribution("compute", 41.0, 9.0, 1.2));
+        let r = compare_records(&base, &slow, &CompareConfig::default());
+        assert_eq!(r.cells[0].verdict, Verdict::Regressed);
+        assert!(r.cells[0].explain.is_none(), "{:?}", r.cells[0].explain);
+    }
+
+    #[test]
+    fn min_of_k_carries_attribution_with_the_chosen_sample() {
+        let mut r1 = record("r1", vec![("k", "ninja", Some(sample(1.0, 0.05)))]);
+        r1.cells[0].attribution = Some(attribution("compute", 50.0, 5.0, 1.05));
+        let mut r2 = record("r2", vec![("k", "ninja", Some(sample(1.5, 0.05)))]);
+        r2.cells[0].attribution = Some(attribution("poorly-utilized", 9.0, 60.0, 3.0));
+        let merged = min_of_k_baseline(&[r1, r2]).unwrap();
+        // r1's faster sample won, so r1's attribution must describe it.
+        let attr = merged.cells[0].attribution.as_ref().unwrap();
+        assert_eq!(attr.bound, "compute");
+        assert!((attr.roofline_pct - 50.0).abs() < 1e-12);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! excluded at ingestion time so fault-injection runs can never pollute
 //! the history.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Version stamped into every record; bump on breaking schema changes.
 pub const SCHEMA_VERSION: u32 = 1;
@@ -88,8 +88,37 @@ impl Sample {
     }
 }
 
-/// One recorded (kernel, variant) cell.
+/// Roofline attribution of one measured cell — a mirror of
+/// `ninja_model::Attribution` (this crate stays a std + serde-stand-in
+/// leaf, so it names the fields rather than importing the type).
+///
+/// `pool_imbalance`/`pool_idle_pct` are zero when the run had probe
+/// metrics off (no pool window was recorded).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellAttribution {
+    /// Achieved arithmetic throughput, GFLOP/s.
+    pub achieved_gflops: f64,
+    /// Achieved memory traffic, GB/s.
+    pub achieved_gbs: f64,
+    /// Percent of the machine roofline the cell reached (0-100).
+    pub roofline_pct: f64,
+    /// Bound classification: `compute`, `bandwidth`, or `poorly-utilized`.
+    pub bound: String,
+    /// Thread-pool imbalance ratio over the cell's window (1.0 = even).
+    pub pool_imbalance: f64,
+    /// Percent of the pool's thread-time spent idle over the window.
+    pub pool_idle_pct: f64,
+}
+
+impl CellAttribution {
+    /// Whether a thread-pool utilization window was recorded for the cell.
+    pub fn has_pool_data(&self) -> bool {
+        self.pool_imbalance > 0.0
+    }
+}
+
+/// One recorded (kernel, variant) cell.
+#[derive(Clone, Debug, PartialEq)]
 pub struct CellRecord {
     /// Kernel name (as in the suite registry).
     pub kernel: String,
@@ -99,6 +128,43 @@ pub struct CellRecord {
     pub outcome: String,
     /// Timing summary; `None` when the variant failed before measuring.
     pub sample: Option<Sample>,
+    /// Roofline attribution; `None` for failed cells and for records
+    /// written before the field existed.
+    pub attribution: Option<CellAttribution>,
+}
+
+// Hand-written (not derived) so records written before `attribution`
+// existed — including the checked-in CLI fixtures — keep their exact
+// bytes: the field is omitted when `None` on write and defaulted on
+// read. `sample` stays `null` for failed cells, as it always was.
+impl Serialize for CellRecord {
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("kernel".to_owned(), self.kernel.to_value()),
+            ("variant".to_owned(), self.variant.to_value()),
+            ("outcome".to_owned(), self.outcome.to_value()),
+            ("sample".to_owned(), self.sample.to_value()),
+        ];
+        if let Some(a) = &self.attribution {
+            pairs.push(("attribution".to_owned(), a.to_value()));
+        }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for CellRecord {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            kernel: String::from_value(v.field("kernel")?)?,
+            variant: String::from_value(v.field("variant")?)?,
+            outcome: String::from_value(v.field("outcome")?)?,
+            sample: Option::from_value(v.field("sample")?)?,
+            attribution: match v.field("attribution") {
+                Ok(val) => Option::from_value(val)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 impl CellRecord {
@@ -271,11 +337,27 @@ struct OutcomeWire {
     kind: String,
 }
 
-#[derive(Deserialize)]
 struct VariantWire {
     variant: String,
     timing: Option<Sample>,
     outcome: OutcomeWire,
+    attribution: Option<CellAttribution>,
+}
+
+// Hand-written so suite reports written before `attribution` existed
+// still ingest (the derive stand-in errors on any missing field).
+impl Deserialize for VariantWire {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            variant: String::from_value(v.field("variant")?)?,
+            timing: Option::from_value(v.field("timing")?)?,
+            outcome: OutcomeWire::from_value(v.field("outcome")?)?,
+            attribution: match v.field("attribution") {
+                Ok(val) => Option::from_value(val)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 #[derive(Deserialize)]
@@ -315,15 +397,13 @@ impl RunRecord {
                 continue;
             }
             for v in &k.variants {
+                let ok = v.outcome.kind == "ok";
                 cells.push(CellRecord {
                     kernel: k.kernel.clone(),
                     variant: v.variant.clone(),
                     outcome: v.outcome.kind.clone(),
-                    sample: if v.outcome.kind == "ok" {
-                        v.timing
-                    } else {
-                        None
-                    },
+                    sample: if ok { v.timing } else { None },
+                    attribution: if ok { v.attribution.clone() } else { None },
                 });
             }
         }
@@ -462,7 +542,10 @@ mod tests {
             {"kernel": "nbody", "bound": "compute", "variants": [
               {"variant": "naive", "timing": {"median_s": 8.0, "mean_s": 8.0, "stddev_s": 0.1,
                "min_s": 7.9, "max_s": 8.2, "runs": 3}, "checksum": 1.0, "gflops": 1.0,
-               "gbs": 1.0, "validated": true, "outcome": {"kind": "ok"}},
+               "gbs": 1.0, "validated": true, "outcome": {"kind": "ok"},
+               "attribution": {"achieved_gflops": 1.0, "achieved_gbs": 1.0,
+                "roofline_pct": 4.2, "bound": "compute",
+                "pool_imbalance": 1.1, "pool_idle_pct": 12.0}},
               {"variant": "ninja", "timing": null, "checksum": 0.0, "gflops": 0.0,
                "gbs": 0.0, "validated": true, "outcome": {"kind": "panicked", "message": "boom"}}
             ]},
@@ -484,10 +567,16 @@ mod tests {
         assert_eq!(rec.excluded, ["chaos-panic"]);
         assert_eq!(rec.kernels(), ["nbody"]);
         assert_eq!(rec.cells.len(), 2);
-        assert!(rec.cell("nbody", "naive").unwrap().is_ok());
+        let naive = rec.cell("nbody", "naive").unwrap();
+        assert!(naive.is_ok());
+        let attr = naive.attribution.as_ref().expect("attribution ingested");
+        assert_eq!(attr.bound, "compute");
+        assert!((attr.roofline_pct - 4.2).abs() < 1e-12);
+        assert!(attr.has_pool_data());
         let failed = rec.cell("nbody", "ninja").unwrap();
         assert_eq!(failed.outcome, "panicked");
         assert!(failed.sample.is_none());
+        assert!(failed.attribution.is_none());
         assert!(!failed.is_ok());
         // The report's backend wins over the meta placeholder.
         assert_eq!(rec.machine.simd_backend, "sse-intrinsics");
@@ -552,24 +641,62 @@ mod tests {
                     variant: "naive".into(),
                     outcome: "ok".into(),
                     sample: Some(sample(8.0, 0.05)),
+                    attribution: None,
                 },
                 CellRecord {
                     kernel: "k".into(),
                     variant: "algorithmic".into(),
                     outcome: "ok".into(),
                     sample: Some(sample(1.3, 0.05)),
+                    attribution: None,
                 },
                 CellRecord {
                     kernel: "k".into(),
                     variant: "ninja".into(),
                     outcome: "ok".into(),
                     sample: Some(sample(1.0, 0.05)),
+                    attribution: None,
                 },
             ],
         };
         assert!((rec.measured_gap("k").unwrap() - 8.0).abs() < 1e-12);
         assert!((rec.measured_residual("k").unwrap() - 1.3).abs() < 1e-12);
         assert_eq!(rec.measured_gap("missing"), None);
+    }
+
+    #[test]
+    fn attribution_is_omitted_when_absent_and_tolerated_on_read() {
+        let bare = CellRecord {
+            kernel: "k".into(),
+            variant: "naive".into(),
+            outcome: "ok".into(),
+            sample: Some(sample(1.0, 0.05)),
+            attribution: None,
+        };
+        let json = serde_json::to_string(&bare).unwrap();
+        assert!(
+            !json.contains("attribution"),
+            "absent attribution must stay off the wire: {json}"
+        );
+        // A pre-`attribution` cell (exactly what old stores contain).
+        let legacy = r#"{"kernel":"k","variant":"naive","outcome":"ok","sample":null}"#;
+        let cell: CellRecord = serde_json::from_str(legacy).unwrap();
+        assert!(cell.attribution.is_none());
+        // And a populated one round-trips.
+        let attributed = CellRecord {
+            attribution: Some(CellAttribution {
+                achieved_gflops: 3.5,
+                achieved_gbs: 12.0,
+                roofline_pct: 40.0,
+                bound: "bandwidth".into(),
+                pool_imbalance: 1.3,
+                pool_idle_pct: 22.0,
+            }),
+            ..bare
+        };
+        let back: CellRecord =
+            serde_json::from_str(&serde_json::to_string(&attributed).unwrap()).unwrap();
+        assert_eq!(attributed, back);
     }
 
     #[test]

@@ -302,6 +302,7 @@ mod tests {
                     max_s: median * 1.02,
                     runs: 3,
                 }),
+                attribution: None,
             }],
         }
     }

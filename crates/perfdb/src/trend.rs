@@ -163,6 +163,7 @@ mod tests {
             variant: variant.into(),
             outcome: if s.is_some() { "ok" } else { "panicked" }.into(),
             sample: s,
+            attribution: None,
         };
         RunRecord {
             schema_version: SCHEMA_VERSION,

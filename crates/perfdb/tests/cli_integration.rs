@@ -57,6 +57,7 @@ fn fixture_record(
                 variant: (*variant).to_owned(),
                 outcome: "ok".to_owned(),
                 sample: Some(s),
+                attribution: None,
             });
         }
     }

@@ -48,6 +48,7 @@ fn record(id: &str, cells: &[(String, String, Sample)]) -> RunRecord {
                 variant: variant.clone(),
                 outcome: "ok".to_owned(),
                 sample: Some(*s),
+                attribution: None,
             })
             .collect(),
     }

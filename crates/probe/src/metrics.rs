@@ -1,0 +1,179 @@
+//! Snapshot vocabulary for thread-pool utilization metrics.
+//!
+//! `ninja-parallel` maintains relaxed-atomic per-worker counters and
+//! renders them into these plain structs on demand. Snapshots are
+//! cumulative since pool creation; callers that want the cost of one
+//! region (the harness measures one variant at a time) take a snapshot
+//! before and after and call [`PoolMetrics::delta`].
+
+/// Cumulative counters for one pool participant. Lane 0 is the thread
+/// that calls into the pool (the harness thread); lanes `1..=N` are the
+/// pool's worker threads.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Injector jobs popped and executed by this worker.
+    pub tasks: u64,
+    /// `parallel_for` chunks this participant claimed and ran.
+    pub chunks: u64,
+    /// Nanoseconds this participant spent inside pool work
+    /// (`parallel_for` chunk loops, executed jobs).
+    pub busy_ns: u64,
+}
+
+/// A point-in-time aggregation of the pool's instrumentation counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolMetrics {
+    /// Participant count: caller lane + worker threads.
+    pub threads: usize,
+    /// Monotonic nanoseconds since the pool's counters were created. In a
+    /// [`delta`](Self::delta) this becomes the window's wall-clock length.
+    pub at_ns: u64,
+    /// `parallel_for` / `parallel_reduce` regions entered.
+    pub regions: u64,
+    /// `join` calls executed.
+    pub joins: u64,
+    /// Jobs claimed opportunistically by a thread that was waiting on
+    /// something else (work stolen while blocked in `join`).
+    pub steals: u64,
+    /// Per-participant counters, indexed by lane.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolMetrics {
+    /// Counter-wise `self - earlier`, for isolating one measured region
+    /// out of cumulative snapshots. Saturates rather than panicking if
+    /// the snapshots are swapped or from different pools.
+    pub fn delta(&self, earlier: &PoolMetrics) -> PoolMetrics {
+        let workers = self
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                let e = earlier.workers.get(i).cloned().unwrap_or_default();
+                WorkerStats {
+                    tasks: w.tasks.saturating_sub(e.tasks),
+                    chunks: w.chunks.saturating_sub(e.chunks),
+                    busy_ns: w.busy_ns.saturating_sub(e.busy_ns),
+                }
+            })
+            .collect();
+        PoolMetrics {
+            threads: self.threads,
+            at_ns: self.at_ns.saturating_sub(earlier.at_ns),
+            regions: self.regions.saturating_sub(earlier.regions),
+            joins: self.joins.saturating_sub(earlier.joins),
+            steals: self.steals.saturating_sub(earlier.steals),
+            workers,
+        }
+    }
+
+    pub fn total_busy_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.busy_ns).sum()
+    }
+
+    pub fn total_chunks(&self) -> u64 {
+        self.workers.iter().map(|w| w.chunks).sum()
+    }
+
+    pub fn total_tasks(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks).sum()
+    }
+
+    /// Load-imbalance ratio: max participant busy time over the mean busy
+    /// time of participants that did any work. `1.0` is perfectly
+    /// balanced; large values mean one straggler held the region open.
+    /// Returns `1.0` when fewer than two participants were active.
+    pub fn imbalance_ratio(&self) -> f64 {
+        let active: Vec<u64> = self
+            .workers
+            .iter()
+            .map(|w| w.busy_ns)
+            .filter(|&b| b > 0)
+            .collect();
+        if active.len() < 2 {
+            return 1.0;
+        }
+        let max = *active.iter().max().expect("non-empty") as f64;
+        let mean = active.iter().sum::<u64>() as f64 / active.len() as f64;
+        if mean <= 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Fraction of the window's aggregate thread-time spent *not* doing
+    /// pool work: `1 - total_busy / (threads * wall)`. Meaningful on a
+    /// [`delta`](Self::delta) whose `at_ns` is the window length; clamped
+    /// to `[0, 1]`. Returns `0.0` for an empty window.
+    pub fn idle_fraction(&self) -> f64 {
+        let capacity = self.threads as f64 * self.at_ns as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.total_busy_ns() as f64 / capacity).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(busy: &[u64], wall: u64) -> PoolMetrics {
+        PoolMetrics {
+            threads: busy.len(),
+            at_ns: wall,
+            workers: busy
+                .iter()
+                .map(|&b| WorkerStats {
+                    busy_ns: b,
+                    ..Default::default()
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn balanced_workers_have_unit_imbalance() {
+        let m = metrics(&[100, 100, 100, 100], 100);
+        assert!((m.imbalance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn straggler_dominates_imbalance() {
+        // One worker 100x busier: max=10000, mean=(10000+300)/4=2575.
+        let m = metrics(&[10_000, 100, 100, 100], 10_000);
+        assert!(m.imbalance_ratio() > 3.0, "{}", m.imbalance_ratio());
+    }
+
+    #[test]
+    fn inactive_workers_do_not_dilute_imbalance() {
+        let m = metrics(&[500, 500, 0, 0], 500);
+        assert!((m.imbalance_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_fraction_counts_unused_capacity() {
+        // 4 threads over 100ns = 400ns capacity, 100ns busy => 75% idle.
+        let m = metrics(&[100, 0, 0, 0], 100);
+        assert!((m.idle_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(metrics(&[], 0).idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_counterwise() {
+        let mut before = metrics(&[10, 20], 100);
+        before.regions = 1;
+        let mut after = metrics(&[15, 45], 300);
+        after.regions = 4;
+        let d = after.delta(&before);
+        assert_eq!(d.at_ns, 200);
+        assert_eq!(d.regions, 3);
+        assert_eq!(d.workers[0].busy_ns, 5);
+        assert_eq!(d.workers[1].busy_ns, 25);
+        // Swapped operands saturate instead of panicking.
+        let swapped = before.delta(&after);
+        assert_eq!(swapped.at_ns, 0);
+    }
+}

@@ -1,0 +1,309 @@
+//! Span/event tracer with Chrome `trace_event` JSON export.
+//!
+//! The model is deliberately small: `B`/`E` begin/end pairs (emitted by the
+//! RAII [`Span`] guard) and `i` instant events, each stamped with a
+//! microsecond timestamp from a process-global monotonic epoch and a small
+//! integer thread lane id. Thread names are captured on first use of a lane
+//! and exported as `M` (metadata) events so Perfetto labels worker rows
+//! `ninja-worker-0`, `ninja-worker-1`, ... instead of bare numbers.
+//!
+//! Events from all threads funnel into one mutex-protected sink. That is
+//! fine here: tracing is off by default, and when it is on the spans being
+//! recorded (suite/kernel/variant/rep lifecycle, per-participant
+//! `parallel_for` regions) are orders of magnitude longer than a lock.
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Chrome `trace_event` phase of a recorded event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// `"B"` — duration begin.
+    Begin,
+    /// `"E"` — duration end.
+    End,
+    /// `"i"` — instant event.
+    Instant,
+}
+
+impl Phase {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+            Phase::Instant => "i",
+        }
+    }
+}
+
+/// One recorded tracer event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    pub name: String,
+    pub ph: Phase,
+    /// Microseconds since the process-global trace epoch (monotonic).
+    pub ts_us: f64,
+    /// Small per-thread lane id (dense, assigned on first use).
+    pub tid: u32,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> f64 {
+    epoch().elapsed().as_nanos() as f64 / 1000.0
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+static THREAD_NAMES: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
+
+/// Lock a global mutex, recovering the data if a panicking holder
+/// poisoned it (the harness intentionally survives panics).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static TID: Cell<Option<u32>> = const { Cell::new(None) };
+}
+
+/// The calling thread's trace lane id, assigned densely on first use.
+/// Also registers the OS thread name for `M` metadata export.
+pub fn thread_id() -> u32 {
+    TID.with(|c| {
+        if let Some(t) = c.get() {
+            return t;
+        }
+        let t = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        c.set(Some(t));
+        let name = std::thread::current()
+            .name()
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("thread-{t}"));
+        lock_recover(&THREAD_NAMES).push((t, name));
+        t
+    })
+}
+
+fn push(ev: TraceEvent) {
+    lock_recover(&SINK).push(ev);
+}
+
+/// RAII span guard: emits a `B` event on creation (when tracing is
+/// enabled) and the matching `E` event on drop, on the same thread lane.
+#[must_use = "a span measures the scope it is alive for; bind it to a variable"]
+pub struct Span {
+    name: Option<String>,
+}
+
+/// Open a span named `name` on the current thread. No-op (and
+/// allocation-free) while tracing is disabled.
+#[inline]
+pub fn span(name: &str) -> Span {
+    if !crate::tracing_enabled() {
+        return Span { name: None };
+    }
+    push(TraceEvent {
+        name: name.to_owned(),
+        ph: Phase::Begin,
+        ts_us: now_us(),
+        tid: thread_id(),
+    });
+    Span {
+        name: Some(name.to_owned()),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(name) = self.name.take() {
+            push(TraceEvent {
+                name,
+                ph: Phase::End,
+                ts_us: now_us(),
+                tid: thread_id(),
+            });
+        }
+    }
+}
+
+/// Record an instant (`i`) event. No-op while tracing is disabled.
+#[inline]
+pub fn instant(name: &str) {
+    if !crate::tracing_enabled() {
+        return;
+    }
+    push(TraceEvent {
+        name: name.to_owned(),
+        ph: Phase::Instant,
+        ts_us: now_us(),
+        tid: thread_id(),
+    });
+}
+
+/// Drain and return every event recorded so far, oldest first.
+pub fn take_events() -> Vec<TraceEvent> {
+    std::mem::take(&mut *lock_recover(&SINK))
+}
+
+/// Discard all recorded events without returning them.
+pub fn clear_events() {
+    lock_recover(&SINK).clear();
+}
+
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render events as a Chrome `trace_event` JSON array (the "JSON Array
+/// Format": a bare `[...]` of event objects), loadable in Perfetto and
+/// `chrome://tracing`. Thread-name `M` metadata events for every lane
+/// seen so far are prepended so worker rows are labelled.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let names = lock_recover(&THREAD_NAMES).clone();
+    let mut out = String::with_capacity(64 + events.len() * 80);
+    out.push_str("[\n");
+    let mut first = true;
+    for (tid, name) in &names {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+        let _ = write!(out, "{tid}");
+        out.push_str(",\"args\":{\"name\":\"");
+        escape_json(name, &mut out);
+        out.push_str("\"}}");
+    }
+    for ev in events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str("{\"name\":\"");
+        escape_json(&ev.name, &mut out);
+        let _ = write!(
+            out,
+            "\",\"cat\":\"ninja\",\"ph\":\"{}\",\"ts\":{:.3},\"pid\":1,\"tid\":{}",
+            ev.ph.as_str(),
+            ev.ts_us,
+            ev.tid
+        );
+        if ev.ph == Phase::Instant {
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Structural validation used by tests and the smoke pipeline: every `B`
+/// must have a matching same-name `E` on the same lane (proper nesting),
+/// and timestamps must be monotone non-decreasing per lane.
+pub fn validate_events(events: &[TraceEvent]) -> Result<(), String> {
+    use std::collections::HashMap;
+    let mut stacks: HashMap<u32, Vec<&str>> = HashMap::new();
+    let mut last_ts: HashMap<u32, f64> = HashMap::new();
+    for (i, ev) in events.iter().enumerate() {
+        if let Some(prev) = last_ts.get(&ev.tid) {
+            if ev.ts_us < *prev {
+                return Err(format!(
+                    "event {i} ({}): ts {} < previous ts {} on tid {}",
+                    ev.name, ev.ts_us, prev, ev.tid
+                ));
+            }
+        }
+        last_ts.insert(ev.tid, ev.ts_us);
+        match ev.ph {
+            Phase::Begin => stacks.entry(ev.tid).or_default().push(&ev.name),
+            Phase::End => match stacks.entry(ev.tid).or_default().pop() {
+                Some(open) if open == ev.name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: E \"{}\" closes open span \"{open}\" on tid {}",
+                        ev.name, ev.tid
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "event {i}: E \"{}\" with no open span on tid {}",
+                        ev.name, ev.tid
+                    ));
+                }
+            },
+            Phase::Instant => {}
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("unclosed span \"{open}\" on tid {tid}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let _guard = crate::TEST_LOCK.lock().unwrap();
+        crate::set_tracing(false);
+        clear_events();
+        {
+            let _s = span("ghost");
+            instant("ghost-instant");
+        }
+        assert!(take_events().is_empty());
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd\u{1}", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn validator_rejects_unmatched_begin() {
+        let evs = vec![TraceEvent {
+            name: "open".into(),
+            ph: Phase::Begin,
+            ts_us: 1.0,
+            tid: 0,
+        }];
+        assert!(validate_events(&evs).unwrap_err().contains("unclosed"));
+    }
+
+    #[test]
+    fn validator_rejects_time_travel() {
+        let mk = |ph, ts| TraceEvent {
+            name: "x".into(),
+            ph,
+            ts_us: ts,
+            tid: 0,
+        };
+        let evs = vec![mk(Phase::Begin, 5.0), mk(Phase::End, 4.0)];
+        assert!(validate_events(&evs).unwrap_err().contains("previous ts"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Round-trip test for the Chrome trace export: spans recorded across
+//! several threads must export as parseable `trace_event` JSON in which
+//! every `"B"` event has a matching `"E"` and timestamps are monotone
+//! non-decreasing per `tid`.
+//!
+//! The whole scenario lives in one `#[test]` because the tracer sink is
+//! process-global; a single test per process keeps it deterministic.
+
+use ninja_probe::{chrome_trace_json, take_events, validate_events, Phase};
+use serde::Value;
+
+fn num(v: &Value) -> f64 {
+    match v {
+        Value::Num(n) => n.raw.parse().unwrap(),
+        other => panic!("expected number, got {other:?}"),
+    }
+}
+
+fn text(v: &Value) -> &str {
+    match v {
+        Value::Str(s) => s,
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+#[test]
+fn spans_roundtrip_through_chrome_json() {
+    ninja_probe::set_tracing(true);
+    ninja_probe::clear_events();
+
+    {
+        let _suite = ninja_probe::span("suite");
+        for kernel in ["alpha", "beta"] {
+            let _k = ninja_probe::span(&format!("kernel:{kernel}"));
+            let handles: Vec<_> = (0..3)
+                .map(|w| {
+                    std::thread::Builder::new()
+                        .name(format!("rt-worker-{w}"))
+                        .spawn(move || {
+                            for rep in 0..4 {
+                                let _r = ninja_probe::span(&format!("rep:{rep}"));
+                                ninja_probe::instant("tick");
+                                std::hint::black_box(rep);
+                            }
+                        })
+                        .unwrap()
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        }
+    }
+    ninja_probe::set_tracing(false);
+
+    let events = take_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.name == "suite" && e.ph == Phase::Begin),
+        "suite span missing"
+    );
+    // Structural invariants on the in-memory events.
+    validate_events(&events).expect("B/E matching and per-tid monotonicity");
+
+    // And again on what actually lands in the file: parse the JSON back
+    // and re-check B/E pairing and monotonicity from the parsed form.
+    let json = chrome_trace_json(&events);
+    let parsed: Value = serde_json::from_str(&json).expect("export must be valid JSON");
+    let Value::Array(items) = parsed else {
+        panic!("trace_event export must be a JSON array");
+    };
+    assert!(!items.is_empty());
+
+    let mut stacks: std::collections::HashMap<i64, Vec<String>> = Default::default();
+    let mut last_ts: std::collections::HashMap<i64, f64> = Default::default();
+    let mut thread_names = 0usize;
+    for item in &items {
+        let ph = text(item.field("ph").unwrap()).to_owned();
+        let tid = num(item.field("tid").unwrap()) as i64;
+        if ph == "M" {
+            assert_eq!(text(item.field("name").unwrap()), "thread_name");
+            thread_names += 1;
+            continue;
+        }
+        let name = text(item.field("name").unwrap()).to_owned();
+        let ts = num(item.field("ts").unwrap());
+        let prev = last_ts.entry(tid).or_insert(f64::NEG_INFINITY);
+        assert!(
+            ts >= *prev,
+            "tid {tid}: ts {ts} went backwards (prev {prev})"
+        );
+        *prev = ts;
+        match ph.as_str() {
+            "B" => stacks.entry(tid).or_default().push(name),
+            "E" => {
+                let open = stacks
+                    .entry(tid)
+                    .or_default()
+                    .pop()
+                    .unwrap_or_else(|| panic!("E \"{name}\" with no open B on tid {tid}"));
+                assert_eq!(open, name, "mismatched span nesting on tid {tid}");
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    for (tid, stack) in stacks {
+        assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+    }
+    // Main thread + 6 spawned workers all got named lanes.
+    assert!(thread_names >= 7, "only {thread_names} thread_name events");
+}

@@ -22,7 +22,9 @@
 //! * [`model`] — the roofline machine model for cross-architecture
 //!   projection,
 //! * [`harness`] — measurement, validation, gap analysis, and the
-//!   per-figure experiment entry points.
+//!   per-figure experiment entry points,
+//! * [`probe`] — span tracing, pool utilization metrics, and the trace
+//!   export behind `reproduce --trace` / `--probe-metrics`.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +45,7 @@ pub use ninja_core as harness;
 pub use ninja_kernels as kernels;
 pub use ninja_model as model;
 pub use ninja_parallel as parallel;
+pub use ninja_probe as probe;
 pub use ninja_simd as simd;
 
 /// Convenience re-exports of the most used types.

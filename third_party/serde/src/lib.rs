@@ -247,6 +247,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Value` round-trips through itself, mirroring upstream
+// `serde_json::Value`'s own `Serialize`/`Deserialize` impls. This lets
+// callers parse arbitrary JSON (`from_str::<Value>`) and inspect it.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
