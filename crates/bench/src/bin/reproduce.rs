@@ -12,9 +12,85 @@
 //! the exit status 1. A baseline of `latest` resolves *before* the new
 //! run is appended, so `--record --baseline latest` compares against the
 //! previous run, not itself.
+//!
+//! With `--scale` the binary runs a thread/size scaling sweep instead of
+//! the single-point suite: every kernel×variant is measured across the
+//! thread grid (`--threads-max`) and size list (`--sizes`), speedup
+//! curves and per-rung efficiency tables are rendered, Amdahl/USL fits
+//! are printed per curve, and the grid is written to `sweep_report.json`
+//! / `sweep_report.csv`. `--record` appends the sweep to the perf store's
+//! sweep log so `perfdb trend` can show serial-fraction drift.
+
+/// The `--scale` path: sweep, render, export, optionally record.
+fn run_scale(cli: &ninja_bench::Cli) {
+    let config = cli.sweep_config();
+    eprintln!(
+        "running scaling sweep: sizes={} threads={:?} reps={} timeout={}{}",
+        config
+            .sizes
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(","),
+        config.threads,
+        config.reps,
+        match config.timeout {
+            Some(budget) => format!("{}s", budget.as_secs()),
+            None => "off".into(),
+        },
+        match &config.kernels {
+            Some(kernels) => format!(" kernels={}", kernels.join(",")),
+            None => String::new(),
+        }
+    );
+
+    let report = config.run();
+    print!("{}", report.render());
+    std::fs::write("sweep_report.json", report.to_json()).expect("write sweep_report.json");
+    std::fs::write("sweep_report.csv", report.to_csv()).expect("write sweep_report.csv");
+    eprintln!("wrote sweep_report.json and sweep_report.csv");
+
+    let mut exit_code = 0;
+    let failures: Vec<_> = report.failures().collect();
+    if !failures.is_empty() {
+        eprintln!("{} sweep cell(s) failed:", failures.len());
+        for cell in failures {
+            eprintln!(
+                "  {}/{} size={} threads={}: {}",
+                cell.kernel, cell.variant, cell.size, cell.threads, cell.outcome
+            );
+        }
+        exit_code = 1;
+    }
+
+    if cli.record {
+        let store = ninja_perfdb::Store::open(&cli.store);
+        let meta = ninja_perfdb::RecordMeta::detect(&report.simd_backend);
+        let record = ninja_perfdb::SweepRecord::from_sweep_json(&report.to_json(), &meta)
+            .expect("sweep report round-trips into the store schema");
+        if let Err(msg) = store.append_sweep(&record) {
+            eprintln!("reproduce: {msg}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "recorded sweep {} ({} fit(s)) to {}",
+            record.id,
+            record.fits.len(),
+            store.sweeps_path().display()
+        );
+    }
+
+    if exit_code != 0 {
+        std::process::exit(exit_code);
+    }
+}
 
 fn main() {
     let cli = ninja_bench::cli_from_env();
+    if cli.scale {
+        run_scale(&cli);
+        return;
+    }
     if cli.trace.is_some() {
         ninja_probe::set_tracing(true);
     }

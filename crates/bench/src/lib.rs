@@ -28,6 +28,14 @@
 //! --probe-metrics           collect thread-pool utilization + raw per-rep
 //!                           samples and attribute cells against the
 //!                           calibrated host machine
+//! --scale                   run a thread/size scaling sweep instead of the
+//!                           single-point suite: speedup curves per rung,
+//!                           Amdahl/USL fits, sweep_report.json/.csv
+//! --threads-max N           largest thread count in the --scale grid
+//!                           (default: hardware threads)
+//! --sizes a,b,c             comma-separated problem sizes for the --scale
+//!                           grid (default: the --size preset)
+//! --kernels a,b,c           restrict the --scale sweep to these kernels
 //! --quick                   shorthand for --size quick
 //! ```
 //!
@@ -76,12 +84,42 @@ pub struct Cli {
     /// Collect thread-pool utilization metrics and raw per-repetition
     /// samples, and attribute cells against the calibrated host.
     pub probe_metrics: bool,
+    /// Run a thread/size scaling sweep (speedup curves + Amdahl/USL fits)
+    /// instead of the single-point suite.
+    pub scale: bool,
+    /// Largest thread count in the `--scale` grid; `None` uses the
+    /// hardware thread count.
+    pub threads_max: Option<usize>,
+    /// Problem sizes for the `--scale` grid; `None` sweeps only the
+    /// `--size` preset.
+    pub sizes: Option<Vec<ProblemSize>>,
+    /// Kernel names the `--scale` sweep is restricted to; `None` sweeps
+    /// the whole registry.
+    pub kernels: Option<Vec<String>>,
 }
 
 impl Cli {
     /// The watchdog budget as a `Duration`, or `None` when disabled.
     pub fn timeout(&self) -> Option<std::time::Duration> {
         (self.timeout_s > 0).then(|| std::time::Duration::from_secs(self.timeout_s))
+    }
+
+    /// Builds the `--scale` sweep grid from the parsed flags:
+    /// `--sizes` (defaulting to the single `--size` preset) crossed with
+    /// `thread_grid(--threads-max)`, carrying over reps/timeout and the
+    /// optional `--kernels` filter.
+    pub fn sweep_config(&self) -> ninja_core::SweepConfig {
+        ninja_core::SweepConfig {
+            sizes: self.sizes.clone().unwrap_or_else(|| vec![self.size]),
+            threads: ninja_core::thread_grid(
+                self.threads_max
+                    .unwrap_or_else(ninja_parallel::hardware_threads),
+            ),
+            reps: self.reps,
+            timeout: self.timeout(),
+            kernels: self.kernels.clone(),
+            ..Default::default()
+        }
     }
 }
 
@@ -101,6 +139,10 @@ impl Default for Cli {
             noise_floor: None,
             trace: None,
             probe_metrics: false,
+            scale: false,
+            threads_max: None,
+            sizes: None,
+            kernels: None,
         }
     }
 }
@@ -149,6 +191,41 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
                     .map_err(|e| format!("--timeout: {e}"))?;
             }
             "--quick" => cli.size = ProblemSize::Quick,
+            "--scale" => cli.scale = true,
+            "--threads-max" => {
+                let max: usize = value("--threads-max")?
+                    .parse()
+                    .map_err(|e| format!("--threads-max: {e}"))?;
+                if max == 0 {
+                    return Err("--threads-max must be positive".into());
+                }
+                cli.threads_max = Some(max);
+            }
+            "--sizes" => {
+                let list = value("--sizes")?;
+                let mut sizes = Vec::new();
+                for name in list.split(',').filter(|s| !s.is_empty()) {
+                    sizes.push(ProblemSize::from_name(name).ok_or_else(|| {
+                        format!("unknown size '{name}' in --sizes (test|quick|paper)")
+                    })?);
+                }
+                if sizes.is_empty() {
+                    return Err("--sizes needs at least one size".into());
+                }
+                cli.sizes = Some(sizes);
+            }
+            "--kernels" => {
+                let list = value("--kernels")?;
+                let kernels: Vec<String> = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if kernels.is_empty() {
+                    return Err("--kernels needs at least one kernel name".into());
+                }
+                cli.kernels = Some(kernels);
+            }
             "--fail-fast" => cli.fail_fast = true,
             "--keep-going" => cli.fail_fast = false,
             "--trace" => cli.trace = Some(value("--trace")?),
@@ -180,7 +257,8 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
                     "       [--chaos panic|hang|nan|wrong] [--lint]\n",
                     "       [--record] [--baseline REF|PATH] [--store DIR]\n",
                     "       [--noise-floor F] [--trace PATH] [--probe-metrics]\n",
-                    "       [--quick]"
+                    "       [--scale] [--threads-max N] [--sizes a,b,c]\n",
+                    "       [--kernels a,b,c] [--quick]"
                 )
                 .into())
             }
@@ -295,6 +373,68 @@ mod tests {
         assert_eq!(cli.trace.as_deref(), Some("out.json"));
         assert!(cli.probe_metrics);
         assert!(parse(&["--trace"]).is_err(), "--trace needs a path");
+    }
+
+    #[test]
+    fn scale_flags_default_off_and_parse() {
+        let cli = parse(&[]).unwrap();
+        assert!(!cli.scale);
+        assert_eq!(cli.threads_max, None);
+        assert_eq!(cli.sizes, None);
+        assert_eq!(cli.kernels, None);
+        let cli = parse(&[
+            "--scale",
+            "--threads-max",
+            "4",
+            "--sizes",
+            "test,quick",
+            "--kernels",
+            "blackscholes,nbody",
+        ])
+        .unwrap();
+        assert!(cli.scale);
+        assert_eq!(cli.threads_max, Some(4));
+        assert_eq!(cli.sizes, Some(vec![ProblemSize::Test, ProblemSize::Quick]));
+        assert_eq!(
+            cli.kernels.as_deref(),
+            Some(&["blackscholes".to_owned(), "nbody".to_owned()][..])
+        );
+    }
+
+    #[test]
+    fn sweep_config_reflects_the_flags() {
+        let cli = parse(&[
+            "--scale",
+            "--threads-max",
+            "4",
+            "--sizes",
+            "test",
+            "--reps",
+            "2",
+            "--timeout",
+            "0",
+        ])
+        .unwrap();
+        let config = cli.sweep_config();
+        assert_eq!(config.sizes, vec![ProblemSize::Test]);
+        assert_eq!(config.threads, vec![1, 2, 3, 4]);
+        assert_eq!(config.reps, 2);
+        assert_eq!(config.timeout, None);
+        assert_eq!(config.kernels, None);
+        // Without --sizes the sweep uses the --size preset.
+        let config = parse(&["--scale", "--size", "paper"])
+            .unwrap()
+            .sweep_config();
+        assert_eq!(config.sizes, vec![ProblemSize::Paper]);
+    }
+
+    #[test]
+    fn scale_flags_reject_garbage() {
+        assert!(parse(&["--threads-max", "0"]).is_err());
+        assert!(parse(&["--sizes", "huge"]).is_err());
+        assert!(parse(&["--sizes", ","]).is_err());
+        assert!(parse(&["--kernels", ","]).is_err());
+        assert!(parse(&["--sizes"]).is_err());
     }
 
     #[test]

@@ -30,7 +30,9 @@ mod harness;
 mod measure;
 pub mod render;
 mod report;
+pub mod sweep;
 
 pub use harness::Harness;
 pub use measure::{measure, measure_with_samples, Measurement};
 pub use report::{KernelReport, SuiteReport, VariantOutcome, VariantResult};
+pub use sweep::{thread_grid, SweepCell, SweepConfig, SweepFit, SweepReport};

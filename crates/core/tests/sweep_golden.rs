@@ -1,0 +1,182 @@
+//! Golden-file test for the `SweepReport` JSON schema.
+//!
+//! The fixture at `tests/fixtures/sweep_report.json` is the serialized
+//! form of a fully deterministic synthetic sweep (no live measurement,
+//! so no timing jitter). The test regenerates the report in memory and
+//! asserts the on-disk bytes match exactly — any schema drift (renamed
+//! field, changed nesting, different float formatting) fails here
+//! before it can break `perfdb record --sweep` or external consumers.
+//!
+//! Regenerate after an *intentional* schema change with:
+//!
+//! ```text
+//! REGEN_FIXTURES=1 cargo test -p ninja-core --test sweep_golden
+//! ```
+
+use ninja_core::{Measurement, SweepCell, SweepFit, SweepReport, VariantOutcome};
+use ninja_model::scaling::{detect_knee, fit_scaling, DEFAULT_KNEE_THRESHOLD};
+use std::path::PathBuf;
+
+const KERNELS: [(&str, &str); 2] = [("blackscholes", "compute"), ("lbm", "memory")];
+const VARIANTS: [&str; 5] = ["naive", "parallel", "simd", "algorithmic", "ninja"];
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("sweep_report.json")
+}
+
+/// Deterministic timing summary around `median` (same 5% spread shape
+/// as the perfdb fixture generator).
+fn sample(median: f64) -> Measurement {
+    Measurement {
+        median_s: median,
+        mean_s: median * 1.01,
+        stddev_s: median * 0.02,
+        min_s: median * 0.97,
+        max_s: median * 1.05,
+        runs: 3,
+        samples: Vec::new(),
+    }
+}
+
+/// Synthetic 1-thread median for cell (ki, vi): rungs get faster down
+/// the ladder, the second kernel is faster than the first.
+fn base_median(ki: usize, vi: usize) -> f64 {
+    0.100 / (1.0 + ki as f64) / (1.0 + vi as f64)
+}
+
+/// Synthetic parallel efficiency: serial rungs (naive/simd/algorithmic)
+/// do not scale; parallel/ninja scale Amdahl-style, with the
+/// memory-bound kernel dragging a larger serial fraction.
+fn scaled_median(ki: usize, vi: usize, threads: usize) -> f64 {
+    let scales = matches!(VARIANTS[vi], "parallel" | "ninja");
+    if !scales || threads == 1 {
+        return base_median(ki, vi);
+    }
+    let sigma = if KERNELS[ki].1 == "memory" {
+        0.30
+    } else {
+        0.05
+    };
+    let n = threads as f64;
+    let speedup = n / (1.0 + sigma * (n - 1.0));
+    base_median(ki, vi) / speedup
+}
+
+/// Builds the golden report: a full grid with one injected failure
+/// (lbm/ninja at 4 threads times out) so the schema's failure shape is
+/// pinned too.
+fn golden_report() -> SweepReport {
+    let mut cells = Vec::new();
+    for (ki, &(kernel, _)) in KERNELS.iter().enumerate() {
+        for (vi, &variant) in VARIANTS.iter().enumerate() {
+            for &threads in &THREADS {
+                let failed = kernel == "lbm" && variant == "ninja" && threads == 4;
+                cells.push(SweepCell {
+                    kernel: kernel.to_owned(),
+                    variant: variant.to_owned(),
+                    size: "test".to_owned(),
+                    threads,
+                    timing: (!failed).then(|| sample(scaled_median(ki, vi, threads))),
+                    outcome: if failed {
+                        VariantOutcome::TimedOut { budget_s: 10.0 }
+                    } else {
+                        VariantOutcome::Ok
+                    },
+                });
+            }
+        }
+    }
+    let mut report = SweepReport {
+        seed: 42,
+        reps: 3,
+        simd_backend: "scalar".to_owned(),
+        sizes: vec!["test".to_owned()],
+        threads: THREADS.to_vec(),
+        knee_threshold: DEFAULT_KNEE_THRESHOLD,
+        cells,
+        fits: Vec::new(),
+    };
+    for &(kernel, bound) in &KERNELS {
+        for &variant in &VARIANTS {
+            let points = report.speedup_points(kernel, variant, "test");
+            let Some(fit) = fit_scaling(&points) else {
+                continue;
+            };
+            report.fits.push(SweepFit {
+                kernel: kernel.to_owned(),
+                variant: variant.to_owned(),
+                size: "test".to_owned(),
+                bound: bound.to_owned(),
+                serial_fraction: fit.serial_fraction,
+                contention: fit.contention,
+                coherency: fit.coherency,
+                r_squared: fit.r_squared,
+                knee_threads: detect_knee(&points, DEFAULT_KNEE_THRESHOLD),
+            });
+        }
+    }
+    report
+}
+
+#[test]
+fn golden_fixture_matches_generator() {
+    let generated = golden_report().to_json();
+    let path = fixture_path();
+    if std::env::var_os("REGEN_FIXTURES").is_some() {
+        std::fs::write(&path, &generated).expect("write fixture");
+    }
+    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing fixture {} ({e}); run with REGEN_FIXTURES=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        on_disk, generated,
+        "sweep_report.json schema drifted; regenerate with REGEN_FIXTURES=1 \
+         if the change is intentional"
+    );
+}
+
+#[test]
+fn golden_fixture_roundtrips() {
+    let on_disk = std::fs::read_to_string(fixture_path()).expect("fixture present");
+    let report = SweepReport::from_json(&on_disk).expect("fixture parses");
+    assert_eq!(
+        report.cells.len(),
+        KERNELS.len() * VARIANTS.len() * THREADS.len()
+    );
+    assert_eq!(report.threads, THREADS.to_vec());
+    // Re-serializing the parsed report reproduces the exact bytes.
+    assert_eq!(report.to_json(), on_disk);
+}
+
+#[test]
+fn golden_fixture_has_expected_shape() {
+    let report = golden_report();
+    // Serial rungs are flat (σ clamps to 1); scaled rungs fit their
+    // generator σ exactly (noise-free curves).
+    let par = report.fit("blackscholes", "parallel", "test").expect("fit");
+    assert!((par.serial_fraction - 0.05).abs() < 1e-9, "{par:?}");
+    assert!((par.r_squared - 1.0).abs() < 1e-9, "{par:?}");
+    let mem = report.fit("lbm", "parallel", "test").expect("fit");
+    assert!((mem.serial_fraction - 0.30).abs() < 1e-9, "{mem:?}");
+    // The failed lbm/ninja cell drops its 4-thread point but the curve
+    // (1, 2 threads) still fits.
+    let lbm_ninja = report.fit("lbm", "ninja", "test").expect("fit");
+    assert!(
+        (lbm_ninja.serial_fraction - 0.30).abs() < 1e-9,
+        "{lbm_ninja:?}"
+    );
+    assert_eq!(report.speedup_points("lbm", "ninja", "test").len(), 2);
+    assert_eq!(report.failures().count(), 1);
+    // The memory-bound kernel knees no later than the compute-bound one
+    // on this grid — the cross-check the renderer reports.
+    let knee_mem = mem.knee_threads.unwrap_or(usize::MAX);
+    let knee_cpu = par.knee_threads.unwrap_or(usize::MAX);
+    assert!(knee_mem <= knee_cpu, "mem={knee_mem} cpu={knee_cpu}");
+}

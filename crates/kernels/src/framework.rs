@@ -33,6 +33,11 @@ impl ProblemSize {
             ProblemSize::Paper => "paper",
         }
     }
+
+    /// Parses a label produced by [`ProblemSize::name`].
+    pub fn from_name(name: &str) -> Option<ProblemSize> {
+        ProblemSize::ALL.into_iter().find(|s| s.name() == name)
+    }
 }
 
 impl fmt::Display for ProblemSize {
@@ -360,6 +365,10 @@ mod tests {
         assert_eq!(ProblemSize::Test.name(), "test");
         assert_eq!(ProblemSize::default(), ProblemSize::Quick);
         assert_eq!(format!("{}", ProblemSize::Paper), "paper");
+        for s in ProblemSize::ALL {
+            assert_eq!(ProblemSize::from_name(s.name()), Some(s));
+        }
+        assert_eq!(ProblemSize::from_name("huge"), None);
     }
 
     #[test]

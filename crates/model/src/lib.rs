@@ -34,6 +34,7 @@ pub mod attribution;
 pub mod calibrate;
 pub mod machines;
 mod roofline;
+pub mod scaling;
 
 pub use attribution::{
     Attribution, BOUND_BANDWIDTH, BOUND_COMPUTE, BOUND_POORLY_UTILIZED, UTILIZATION_FLOOR_PCT,
@@ -43,6 +44,10 @@ pub use machines::{nominal_host, Machine};
 pub use roofline::{
     gap_breakdown, gather_ablation, hardware_evolution, predicted_gap, predicted_residual,
     time_per_elem, GapBreakdown, HardwareStep, COMPILER_VECTOR_EFFICIENCY, NINJA_TUNING,
+};
+pub use scaling::{
+    amdahl_speedup, detect_knee, fit_amdahl, fit_scaling, fit_usl, usl_speedup, ScalingFit,
+    DEFAULT_KNEE_THRESHOLD,
 };
 
 /// Geometric mean of a slice of positive ratios (the paper reports average

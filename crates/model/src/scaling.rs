@@ -1,0 +1,412 @@
+//! Amdahl / Universal Scalability Law fits over measured speedup curves.
+//!
+//! The paper's warning is that the Ninja gap *grows with cores*: a rung
+//! that looks acceptable at one thread count may stop scaling at the
+//! next processor generation. This module turns a measured speedup
+//! curve — `(threads, speedup)` points produced by the sweep engine in
+//! `ninja-core` — into the two classic scalability models:
+//!
+//! * **Amdahl**: `S(n) = n / (1 + σ·(n − 1))` where `σ` is the serial
+//!   fraction of the work.
+//! * **Universal Scalability Law** (Gunther): `S(n) = n / (1 + σ·(n − 1)
+//!   + κ·n·(n − 1))` where `σ` models contention (queueing on a shared
+//!   resource) and `κ` models coherency (pairwise crosstalk, e.g. cache
+//!   line ping-pong). Amdahl is the `κ = 0` special case.
+//!
+//! Both are fitted by **closed-form least squares** on the linearised
+//! form `y = n/S(n) − 1 = σ·(n − 1) + κ·n·(n − 1)` (no intercept, 2×2
+//! normal equations). No iterative solver and no randomness: the same
+//! curve always produces bit-identical parameters, which the
+//! synthetic-recovery tests in `crates/model/tests/scaling_fit.rs` rely
+//! on.
+//!
+//! The module also detects the **scaling knee**: the smallest measured
+//! thread count at which the marginal speedup per added thread drops
+//! below a threshold ([`DEFAULT_KNEE_THRESHOLD`]). The knee is a purely
+//! empirical companion to the model fits — bandwidth-bound cells are
+//! expected to knee earlier than compute-bound ones, which the sweep
+//! report cross-checks against the roofline `bound` classification.
+
+use serde::{Deserialize, Serialize};
+
+/// Default marginal-speedup threshold for [`detect_knee`]: the knee is
+/// the first measured thread count where adding one more thread buys
+/// less than half a thread's worth of speedup.
+pub const DEFAULT_KNEE_THRESHOLD: f64 = 0.5;
+
+/// Determinant below this (relative to the matrix scale) is treated as
+/// singular and the fit falls back to the Amdahl-only model.
+const SINGULAR_EPS: f64 = 1e-12;
+
+/// Ideal Amdahl speedup at `threads` for a given serial fraction.
+///
+/// `S(n) = n / (1 + serial_fraction·(n − 1))`. `threads` is a float so
+/// the curve can be evaluated between measured points.
+pub fn amdahl_speedup(threads: f64, serial_fraction: f64) -> f64 {
+    threads / (1.0 + serial_fraction * (threads - 1.0))
+}
+
+/// Universal Scalability Law speedup at `threads`.
+///
+/// `S(n) = n / (1 + contention·(n − 1) + coherency·n·(n − 1))`.
+/// With `coherency = 0` this reduces to [`amdahl_speedup`].
+pub fn usl_speedup(threads: f64, contention: f64, coherency: f64) -> f64 {
+    threads / (1.0 + contention * (threads - 1.0) + coherency * threads * (threads - 1.0))
+}
+
+/// Least-squares fit of one measured speedup curve to both scaling
+/// models, produced by [`fit_scaling`].
+///
+/// `serial_fraction` is the Amdahl-only fit (coherency forced to zero);
+/// `contention`/`coherency` are the joint USL fit; `r_squared` scores
+/// the USL fit in speedup space (1.0 = the model reproduces every
+/// measured point exactly; can go negative when the model is worse than
+/// a horizontal line).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ScalingFit {
+    /// Amdahl serial fraction `σ` (κ pinned to 0), clamped to `[0, 1]`.
+    pub serial_fraction: f64,
+    /// USL contention parameter `σ`, clamped to `[0, 1]`.
+    pub contention: f64,
+    /// USL coherency parameter `κ`, clamped to `≥ 0`.
+    pub coherency: f64,
+    /// Coefficient of determination of the USL fit in speedup space.
+    pub r_squared: f64,
+}
+
+impl ScalingFit {
+    /// USL-predicted speedup at `threads` using the fitted parameters.
+    pub fn predicted_speedup(&self, threads: f64) -> f64 {
+        usl_speedup(threads, self.contention, self.coherency)
+    }
+
+    /// Per-point residuals `measured − predicted` in speedup space, in
+    /// the order the points were given.
+    pub fn residuals(&self, points: &[(usize, f64)]) -> Vec<f64> {
+        points
+            .iter()
+            .map(|&(n, s)| s - self.predicted_speedup(n as f64))
+            .collect()
+    }
+
+    /// The thread count where the fitted USL curve peaks,
+    /// `n* = sqrt((1 − σ)/κ)`, or `None` when `κ = 0` (monotone curve,
+    /// no retrograde region).
+    pub fn peak_threads(&self) -> Option<f64> {
+        if self.coherency > 0.0 && self.contention < 1.0 {
+            Some(((1.0 - self.contention) / self.coherency).sqrt())
+        } else {
+            None
+        }
+    }
+}
+
+/// Fits both models to `points = (threads, measured speedup)`.
+///
+/// Returns `None` when the curve is degenerate: fewer than two distinct
+/// thread counts with finite positive speedup, or no point above one
+/// thread. Points at `threads = 1` are accepted (they anchor nothing in
+/// the linearised regression but do count toward `r_squared`).
+pub fn fit_scaling(points: &[(usize, f64)]) -> Option<ScalingFit> {
+    let valid = valid_points(points);
+    if !is_fittable(&valid) {
+        return None;
+    }
+    let serial_fraction = amdahl_sigma(&valid).clamp(0.0, 1.0);
+    let (contention, coherency) = usl_params(&valid, serial_fraction);
+    let r_squared = r_squared(&valid, |n| usl_speedup(n, contention, coherency));
+    Some(ScalingFit {
+        serial_fraction,
+        contention,
+        coherency,
+        r_squared,
+    })
+}
+
+/// Amdahl-only least squares: returns the serial fraction `σ`, or
+/// `None` for degenerate input (see [`fit_scaling`]).
+pub fn fit_amdahl(points: &[(usize, f64)]) -> Option<f64> {
+    let valid = valid_points(points);
+    if !is_fittable(&valid) {
+        return None;
+    }
+    Some(amdahl_sigma(&valid).clamp(0.0, 1.0))
+}
+
+/// Joint USL least squares: returns `(contention, coherency)`, or
+/// `None` for degenerate input (see [`fit_scaling`]).
+pub fn fit_usl(points: &[(usize, f64)]) -> Option<(f64, f64)> {
+    let valid = valid_points(points);
+    if !is_fittable(&valid) {
+        return None;
+    }
+    let sigma_amdahl = amdahl_sigma(&valid).clamp(0.0, 1.0);
+    Some(usl_params(&valid, sigma_amdahl))
+}
+
+/// Finds the scaling knee: the smallest measured thread count at which
+/// the marginal speedup per added thread (slope between consecutive
+/// measured points, ascending in `threads`) drops below `threshold`.
+///
+/// Returns `None` when the curve never flattens within the measured
+/// range, or when fewer than two distinct thread counts were measured.
+pub fn detect_knee(points: &[(usize, f64)], threshold: f64) -> Option<usize> {
+    let mut sorted = valid_points(points);
+    sorted.sort_by_key(|p| p.0);
+    sorted.dedup_by_key(|p| p.0);
+    for pair in sorted.windows(2) {
+        let (n0, s0) = pair[0];
+        let (n1, s1) = pair[1];
+        let marginal = (s1 - s0) / (n1 - n0) as f64;
+        if marginal < threshold {
+            return Some(n1);
+        }
+    }
+    None
+}
+
+/// Keeps points with finite, strictly positive speedup.
+fn valid_points(points: &[(usize, f64)]) -> Vec<(usize, f64)> {
+    points
+        .iter()
+        .copied()
+        .filter(|&(n, s)| n >= 1 && s.is_finite() && s > 0.0)
+        .collect()
+}
+
+/// A curve is fittable with at least two distinct thread counts, one of
+/// which is above a single thread.
+fn is_fittable(valid: &[(usize, f64)]) -> bool {
+    let mut threads: Vec<usize> = valid.iter().map(|p| p.0).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    threads.len() >= 2 && threads.last().is_some_and(|&n| n > 1)
+}
+
+/// Linearised coordinates for one point: `(x1, x2, y)` with
+/// `x1 = n − 1`, `x2 = n·(n − 1)`, `y = n/S − 1`.
+fn linearise(n: usize, s: f64) -> (f64, f64, f64) {
+    let nf = n as f64;
+    (nf - 1.0, nf * (nf - 1.0), nf / s - 1.0)
+}
+
+/// Amdahl σ by least squares on the linearised form (single regressor,
+/// no intercept): `σ = Σ x1·y / Σ x1²`.
+fn amdahl_sigma(valid: &[(usize, f64)]) -> f64 {
+    let (mut sxx, mut sxy) = (0.0, 0.0);
+    for &(n, s) in valid {
+        let (x1, _, y) = linearise(n, s);
+        sxx += x1 * x1;
+        sxy += x1 * y;
+    }
+    if sxx > 0.0 {
+        sxy / sxx
+    } else {
+        0.0
+    }
+}
+
+/// Joint USL (σ, κ) via 2×2 normal equations on the linearised form.
+/// Falls back to the Amdahl-only solution (κ = 0) when the system is
+/// singular (e.g. only one distinct thread count above 1) or when the
+/// unconstrained κ comes out negative.
+fn usl_params(valid: &[(usize, f64)], sigma_amdahl: f64) -> (f64, f64) {
+    let (mut a11, mut a12, mut a22, mut b1, mut b2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    for &(n, s) in valid {
+        let (x1, x2, y) = linearise(n, s);
+        a11 += x1 * x1;
+        a12 += x1 * x2;
+        a22 += x2 * x2;
+        b1 += x1 * y;
+        b2 += x2 * y;
+    }
+    let det = a11 * a22 - a12 * a12;
+    let scale = (a11 * a22).max(a12 * a12);
+    if det.abs() <= SINGULAR_EPS * scale.max(1.0) {
+        return (sigma_amdahl, 0.0);
+    }
+    let sigma = (b1 * a22 - b2 * a12) / det;
+    let kappa = (a11 * b2 - a12 * b1) / det;
+    if kappa < 0.0 {
+        // Negative coherency is unphysical under USL; refit with κ = 0.
+        (sigma_amdahl, 0.0)
+    } else {
+        (sigma.clamp(0.0, 1.0), kappa)
+    }
+}
+
+/// Coefficient of determination of `predict` over the points, computed
+/// in speedup space. A flat measured curve (zero variance) scores 1.0
+/// when reproduced exactly and 0.0 otherwise.
+fn r_squared(valid: &[(usize, f64)], predict: impl Fn(f64) -> f64) -> f64 {
+    let mean = valid.iter().map(|p| p.1).sum::<f64>() / valid.len() as f64;
+    let (mut ss_res, mut ss_tot) = (0.0, 0.0);
+    for &(n, s) in valid {
+        let e = s - predict(n as f64);
+        ss_res += e * e;
+        let d = s - mean;
+        ss_tot += d * d;
+    }
+    if ss_tot <= 1e-12 {
+        if ss_res <= 1e-9 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amdahl_curve(sigma: f64, max_n: usize) -> Vec<(usize, f64)> {
+        (1..=max_n)
+            .map(|n| (n, amdahl_speedup(n as f64, sigma)))
+            .collect()
+    }
+
+    fn usl_curve(sigma: f64, kappa: f64, max_n: usize) -> Vec<(usize, f64)> {
+        (1..=max_n)
+            .map(|n| (n, usl_speedup(n as f64, sigma, kappa)))
+            .collect()
+    }
+
+    #[test]
+    fn amdahl_fit_recovers_exact_curve() {
+        let sigma = 0.07;
+        let fit = fit_scaling(&amdahl_curve(sigma, 16)).unwrap();
+        assert!((fit.serial_fraction - sigma).abs() < 1e-12, "{fit:?}");
+        assert!((fit.contention - sigma).abs() < 1e-9, "{fit:?}");
+        assert!(fit.coherency.abs() < 1e-12, "{fit:?}");
+        assert!(fit.r_squared > 0.999_999, "{fit:?}");
+    }
+
+    #[test]
+    fn usl_fit_recovers_exact_curve() {
+        let (sigma, kappa) = (0.05, 0.002);
+        let fit = fit_scaling(&usl_curve(sigma, kappa, 32)).unwrap();
+        assert!((fit.contention - sigma).abs() < 1e-9, "{fit:?}");
+        assert!((fit.coherency - kappa).abs() < 1e-9, "{fit:?}");
+        assert!(fit.r_squared > 0.999_999, "{fit:?}");
+    }
+
+    #[test]
+    fn two_point_curve_fits_exactly() {
+        // The CI smoke grid: threads {1, 2}. Amdahl has one free
+        // parameter, one informative point — exact fit, r² = 1.
+        let fit = fit_scaling(&[(1, 1.0), (2, 1.8)]).unwrap();
+        assert!((fit.predicted_speedup(2.0) - 1.8).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12, "{fit:?}");
+        assert_eq!(fit.coherency, 0.0);
+    }
+
+    #[test]
+    fn perfect_linear_scaling_has_zero_serial_fraction() {
+        let points: Vec<(usize, f64)> = (1..=8).map(|n| (n, n as f64)).collect();
+        let fit = fit_scaling(&points).unwrap();
+        assert_eq!(fit.serial_fraction, 0.0);
+        assert_eq!(fit.contention, 0.0);
+        assert_eq!(fit.coherency, 0.0);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_scaling_at_all_clamps_sigma_to_one() {
+        // Speedup pinned at 1.0 for every thread count: y = n − 1,
+        // unconstrained σ fits > 1? No: y/x1 = 1 exactly, σ = 1.
+        let points: Vec<(usize, f64)> = (1..=8).map(|n| (n, 1.0)).collect();
+        let fit = fit_scaling(&points).unwrap();
+        assert!((fit.serial_fraction - 1.0).abs() < 1e-12, "{fit:?}");
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(fit_scaling(&[]).is_none());
+        assert!(fit_scaling(&[(1, 1.0)]).is_none());
+        assert!(fit_scaling(&[(4, 3.0)]).is_none(), "single thread count");
+        assert!(fit_scaling(&[(4, 3.0), (4, 3.1)]).is_none());
+        assert!(fit_scaling(&[(1, 1.0), (2, f64::NAN)]).is_none());
+        assert!(fit_scaling(&[(1, 1.0), (2, 0.0)]).is_none());
+        assert!(fit_amdahl(&[(1, 1.0)]).is_none());
+        assert!(fit_usl(&[(1, 1.0)]).is_none());
+    }
+
+    #[test]
+    fn negative_kappa_falls_back_to_amdahl() {
+        // A curve whose overhead *shrinks* at high thread counts (e.g.
+        // cache-capacity effects) drives the unconstrained κ negative;
+        // the fit must refuse it and pin κ = 0.
+        let points = [(1, 1.0), (2, 1.5), (4, 3.2), (8, 7.5)];
+        let fit = fit_scaling(&points).unwrap();
+        assert_eq!(fit.coherency, 0.0, "{fit:?}");
+        assert_eq!(fit.contention, fit.serial_fraction, "{fit:?}");
+        assert!(fit.serial_fraction > 0.0, "{fit:?}");
+    }
+
+    #[test]
+    fn super_linear_curve_clamps_sigma_to_zero() {
+        // Genuinely super-linear speedups linearise to negative y; the
+        // clamped parameters stay physical (σ ≥ 0, κ ≥ 0).
+        let points = [(1, 1.0), (2, 2.2), (4, 4.8), (8, 10.0)];
+        let fit = fit_scaling(&points).unwrap();
+        assert!(fit.serial_fraction >= 0.0, "{fit:?}");
+        assert!(fit.contention >= 0.0, "{fit:?}");
+        assert!(fit.coherency >= 0.0, "{fit:?}");
+    }
+
+    #[test]
+    fn knee_detected_on_flattening_curve() {
+        // Strong scaling to 4 threads, then nearly flat.
+        let points = [(1, 1.0), (2, 1.9), (4, 3.6), (8, 3.9)];
+        assert_eq!(detect_knee(&points, DEFAULT_KNEE_THRESHOLD), Some(8));
+        // Linear curve: no knee in the measured range.
+        let linear: Vec<(usize, f64)> = (1..=8).map(|n| (n, n as f64)).collect();
+        assert_eq!(detect_knee(&linear, DEFAULT_KNEE_THRESHOLD), None);
+        // Degenerate curves: no knee.
+        assert_eq!(detect_knee(&[(2, 1.5)], 0.5), None);
+        assert_eq!(detect_knee(&[], 0.5), None);
+    }
+
+    #[test]
+    fn knee_is_order_independent() {
+        let a = [(8, 3.9), (1, 1.0), (4, 3.6), (2, 1.9)];
+        let b = [(1, 1.0), (2, 1.9), (4, 3.6), (8, 3.9)];
+        assert_eq!(detect_knee(&a, 0.5), detect_knee(&b, 0.5));
+    }
+
+    #[test]
+    fn peak_threads_matches_usl_formula() {
+        let fit = ScalingFit {
+            serial_fraction: 0.05,
+            contention: 0.05,
+            coherency: 0.002,
+            r_squared: 1.0,
+        };
+        let peak = fit.peak_threads().unwrap();
+        assert!((peak - (0.95f64 / 0.002).sqrt()).abs() < 1e-12);
+        let amdahl_only = ScalingFit {
+            coherency: 0.0,
+            ..fit
+        };
+        assert!(amdahl_only.peak_threads().is_none());
+    }
+
+    #[test]
+    fn residuals_are_measured_minus_predicted() {
+        let fit = fit_scaling(&amdahl_curve(0.1, 8)).unwrap();
+        let res = fit.residuals(&amdahl_curve(0.1, 8));
+        assert_eq!(res.len(), 8);
+        assert!(res.iter().all(|r| r.abs() < 1e-9), "{res:?}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let fit = fit_scaling(&usl_curve(0.08, 0.001, 16)).unwrap();
+        let json = serde_json::to_string(&fit).unwrap();
+        let back: ScalingFit = serde_json::from_str(&json).unwrap();
+        assert_eq!(fit, back);
+    }
+}

@@ -1,0 +1,141 @@
+//! Synthetic-recovery tests for the Amdahl/USL fitters: generate
+//! speedup curves from *known* (serial_fraction, contention, coherency)
+//! with deterministic multiplicative noise, then assert the fit
+//! recovers the parameters within tolerance and is bit-for-bit
+//! reproducible across runs.
+
+use ninja_model::scaling::{
+    amdahl_speedup, detect_knee, fit_scaling, usl_speedup, DEFAULT_KNEE_THRESHOLD,
+};
+
+/// SplitMix64: tiny deterministic PRNG so the "noise" in these tests is
+/// a pure function of the seed (no global state, no platform variance).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// USL curve for threads 1..=max_n with multiplicative noise of
+/// relative amplitude `noise` (0.0 = exact curve), seeded by `seed`.
+fn noisy_usl_curve(
+    sigma: f64,
+    kappa: f64,
+    max_n: usize,
+    noise: f64,
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    let mut rng = SplitMix64(seed);
+    (1..=max_n)
+        .map(|n| {
+            let ideal = usl_speedup(n as f64, sigma, kappa);
+            let jitter = 1.0 + noise * (rng.unit_f64() - 0.5) * 2.0;
+            (n, ideal * jitter)
+        })
+        .collect()
+}
+
+#[test]
+fn amdahl_recovery_under_noise() {
+    // Pure Amdahl curves (κ = 0) across a range of serial fractions,
+    // 2% multiplicative noise: σ must come back within ±0.03.
+    for (case, &true_sigma) in [0.02, 0.05, 0.10, 0.25].iter().enumerate() {
+        let points = noisy_usl_curve(true_sigma, 0.0, 16, 0.02, 42 + case as u64);
+        let fit = fit_scaling(&points).expect("fittable curve");
+        assert!(
+            (fit.serial_fraction - true_sigma).abs() < 0.03,
+            "σ={true_sigma}: recovered {fit:?}"
+        );
+        assert!(fit.r_squared > 0.95, "σ={true_sigma}: {fit:?}");
+    }
+}
+
+#[test]
+fn usl_recovery_under_noise() {
+    // Full USL curves with visible coherency; 1% noise. The linearised
+    // least-squares estimator is unbiased enough at this noise level to
+    // land near the truth.
+    for (case, &(true_sigma, true_kappa)) in [(0.05, 0.001), (0.10, 0.005), (0.02, 0.010)]
+        .iter()
+        .enumerate()
+    {
+        let points = noisy_usl_curve(true_sigma, true_kappa, 32, 0.01, 7 + case as u64);
+        let fit = fit_scaling(&points).expect("fittable curve");
+        assert!(
+            (fit.contention - true_sigma).abs() < 0.05,
+            "σ={true_sigma} κ={true_kappa}: {fit:?}"
+        );
+        assert!(
+            (fit.coherency - true_kappa).abs() < 0.005,
+            "σ={true_sigma} κ={true_kappa}: {fit:?}"
+        );
+        assert!(
+            fit.r_squared > 0.9,
+            "σ={true_sigma} κ={true_kappa}: {fit:?}"
+        );
+    }
+}
+
+#[test]
+fn exact_curves_recover_exactly() {
+    let points = noisy_usl_curve(0.07, 0.002, 24, 0.0, 0);
+    let fit = fit_scaling(&points).expect("fittable curve");
+    assert!((fit.contention - 0.07).abs() < 1e-9, "{fit:?}");
+    assert!((fit.coherency - 0.002).abs() < 1e-9, "{fit:?}");
+    assert!(fit.r_squared > 0.999_999, "{fit:?}");
+}
+
+#[test]
+fn fit_is_bit_reproducible_across_runs() {
+    // The fitter is closed-form over f64 sums in a fixed order: the same
+    // points must produce bit-identical parameters every time. Run the
+    // whole pipeline (generation + fit) twice and compare raw bits.
+    let run = || {
+        let points = noisy_usl_curve(0.08, 0.003, 32, 0.02, 0xDEAD_BEEF);
+        fit_scaling(&points).expect("fittable curve")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.serial_fraction.to_bits(), b.serial_fraction.to_bits());
+    assert_eq!(a.contention.to_bits(), b.contention.to_bits());
+    assert_eq!(a.coherency.to_bits(), b.coherency.to_bits());
+    assert_eq!(a.r_squared.to_bits(), b.r_squared.to_bits());
+}
+
+#[test]
+fn knee_tracks_coherency() {
+    // Higher κ must knee at or before a lower κ curve measured on the
+    // same grid — this is the property the sweep report's bound
+    // cross-check relies on (bandwidth-bound ≈ higher effective κ).
+    let grid_max = 64;
+    let gentle: Vec<(usize, f64)> = (1..=grid_max)
+        .map(|n| (n, usl_speedup(n as f64, 0.02, 0.0002)))
+        .collect();
+    let harsh: Vec<(usize, f64)> = (1..=grid_max)
+        .map(|n| (n, usl_speedup(n as f64, 0.02, 0.01)))
+        .collect();
+    let knee_gentle = detect_knee(&gentle, DEFAULT_KNEE_THRESHOLD).unwrap_or(usize::MAX);
+    let knee_harsh = detect_knee(&harsh, DEFAULT_KNEE_THRESHOLD).unwrap_or(usize::MAX);
+    assert!(
+        knee_harsh < knee_gentle,
+        "harsh κ should knee earlier: harsh={knee_harsh} gentle={knee_gentle}"
+    );
+}
+
+#[test]
+fn amdahl_curve_shape_sanity() {
+    // S(1) = 1 for both models; Amdahl saturates at 1/σ.
+    assert!((amdahl_speedup(1.0, 0.3) - 1.0).abs() < 1e-12);
+    assert!((usl_speedup(1.0, 0.3, 0.01) - 1.0).abs() < 1e-12);
+    assert!(amdahl_speedup(1e9, 0.1) < 10.0 + 1e-6);
+}

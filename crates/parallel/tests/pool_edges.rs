@@ -1,0 +1,110 @@
+//! Edge-of-the-envelope scheduling tests for `ThreadPool::parallel_for`
+//! and `parallel_reduce`: degenerate grains, ranges smaller than one
+//! chunk, more threads than chunks, and single-thread pools. These are
+//! the corners the scaling sweep (`reproduce --scale`) actually hits
+//! when it shrinks sizes and widens the thread grid.
+
+use ninja_parallel::ThreadPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `parallel_for` over `0..n` and returns per-index visit counts.
+fn visit_counts(pool: &ThreadPool, n: usize, grain: usize) -> Vec<usize> {
+    let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+    pool.parallel_for(0..n, grain, |r| {
+        for i in r {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    counts.into_iter().map(|c| c.into_inner()).collect()
+}
+
+#[test]
+fn n_smaller_than_grain_runs_as_one_chunk() {
+    let pool = ThreadPool::with_threads(4);
+    let chunks = Mutex::new(Vec::new());
+    pool.parallel_for(0..3, 100, |r| chunks.lock().unwrap().push(r));
+    let chunks = chunks.into_inner().unwrap();
+    assert_eq!(chunks, vec![0..3], "one undersized chunk, never padded");
+}
+
+#[test]
+fn more_threads_than_chunks_still_covers_every_index_once() {
+    // 8 participants, 3 chunks: the surplus threads must find no work
+    // and the range must still be covered exactly once.
+    let pool = ThreadPool::with_threads(8);
+    assert!(visit_counts(&pool, 3, 1).iter().all(|&c| c == 1));
+}
+
+#[test]
+fn grain_zero_is_clamped_to_one_everywhere() {
+    let pool = ThreadPool::with_threads(3);
+    assert!(visit_counts(&pool, 17, 0).iter().all(|&c| c == 1));
+    let total = pool.parallel_reduce(0..17, 0, 0usize, |r| r.sum(), |a, b| a + b);
+    assert_eq!(total, (0..17).sum());
+}
+
+#[test]
+fn single_thread_pool_reduces_inline() {
+    let pool = ThreadPool::with_threads(1);
+    let total = pool.parallel_reduce(
+        0..1_000,
+        8,
+        0u64,
+        |r| r.map(|i| i as u64).sum(),
+        |a, b| a + b,
+    );
+    assert_eq!(total, (0..1_000u64).sum());
+}
+
+#[test]
+fn reduce_with_more_threads_than_chunks() {
+    let pool = ThreadPool::with_threads(8);
+    let total = pool.parallel_reduce(0..2, 1, 0usize, |r| r.sum(), |a, b| a + b);
+    assert_eq!(total, 1);
+}
+
+#[test]
+fn reduce_single_element_range_applies_identity_once() {
+    // identity ⊕ map(0..1): a non-neutral "identity" must be folded in
+    // exactly once, not once per participating thread.
+    let pool = ThreadPool::with_threads(4);
+    let total = pool.parallel_reduce(0..1, 5, 100usize, |r| r.sum(), |a, b| a + b);
+    assert_eq!(total, 100);
+}
+
+#[test]
+fn huge_grain_does_not_overflow_chunk_arithmetic() {
+    let pool = ThreadPool::with_threads(2);
+    assert!(visit_counts(&pool, 5, usize::MAX).iter().all(|&c| c == 1));
+}
+
+#[test]
+fn empty_range_with_nonzero_start_is_a_noop() {
+    let pool = ThreadPool::with_threads(2);
+    pool.parallel_for(10..10, 3, |_| panic!("must not run"));
+    let v = pool.parallel_reduce(10..10, 3, 7i32, |_| panic!("no chunks"), |a, b| a + b);
+    assert_eq!(v, 7);
+}
+
+#[test]
+fn for_each_with_grain_larger_than_slice() {
+    let pool = ThreadPool::with_threads(4);
+    let items = [10u32, 11, 12];
+    let hits: Vec<AtomicUsize> = items.iter().map(|_| AtomicUsize::new(0)).collect();
+    pool.parallel_for_each(&items, 1_000, |i, &v| {
+        assert_eq!(v as usize, i + 10);
+        hits[i].fetch_add(1, Ordering::Relaxed);
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}
+
+#[test]
+fn exact_chunk_division_has_no_ragged_tail() {
+    let pool = ThreadPool::with_threads(4);
+    let chunks = Mutex::new(Vec::new());
+    pool.parallel_for(0..12, 4, |r| chunks.lock().unwrap().push(r));
+    let mut chunks = chunks.into_inner().unwrap();
+    chunks.sort_by_key(|r| r.start);
+    assert_eq!(chunks, vec![0..4, 4..8, 8..12]);
+}

@@ -13,6 +13,9 @@
 //!   defaulting to the harness's measured `spread()`;
 //! - **trend reporting** ([`trend`]) that turns the store into the
 //!   per-kernel gap/residual trajectory exported as `BENCH_history.json`;
+//! - **sweep records** ([`sweep`]): scaling-sweep grids with their
+//!   Amdahl/USL fits, appended to `sweeps.jsonl` so `perfdb trend` can
+//!   show each rung's serial-fraction drift across commits;
 //! - the **`perfdb` binary** (`record` / `compare` / `trend` / `history`
 //!   / `gc`) and the `reproduce --record` / `--baseline` integration in
 //!   `ninja-bench`.
@@ -33,6 +36,7 @@
 pub mod compare;
 pub mod schema;
 pub mod store;
+pub mod sweep;
 pub mod trend;
 
 pub use compare::{
@@ -43,7 +47,8 @@ pub use schema::{
     SCHEMA_VERSION,
 };
 pub use store::{record_from_path, resolve_reference, Store, DEFAULT_DIR};
-pub use trend::{History, KernelHistory, TrendPoint};
+pub use sweep::{SweepCellRecord, SweepFitRecord, SweepRecord};
+pub use trend::{History, KernelHistory, SweepTrendPoint, TrendPoint};
 
 /// Default file name of the exported trajectory artifact.
 pub const HISTORY_FILE: &str = "BENCH_history.json";

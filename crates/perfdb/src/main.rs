@@ -1,7 +1,8 @@
 //! The `perfdb` binary: CLI over the persistent run store.
 //!
 //! ```text
-//! perfdb record  [--store DIR] [--from PATH] [--commit SHA] [--id ID] [--timestamp SECS]
+//! perfdb record  [--store DIR] [--from PATH] [--sweep PATH] [--commit SHA] [--id ID]
+//!                [--timestamp SECS]
 //! perfdb compare BASELINE [--store DIR] [--candidate REF|PATH] [--window K]
 //!                [--noise-floor F] [--iters N] [--json PATH|-]
 //! perfdb trend   KERNEL [--store DIR] [--json]
@@ -11,29 +12,37 @@
 //!
 //! `BASELINE` and `--candidate` accept `latest`, `latest~N`, a record id
 //! (or unambiguous prefix), or a filesystem path (a store JSONL or a raw
-//! `suite_report.json`). Exit status: 0 when the comparison verdict is
-//! `noise`/`improved` (and for every other successful subcommand), 1 on a
-//! confirmed regression, 2 on usage or I/O errors.
+//! `suite_report.json`). `record --sweep PATH` ingests a
+//! `sweep_report.json` (written by `reproduce --scale`) into the sweep
+//! log instead of the run log; `trend` then appends the kernel's
+//! serial-fraction drift across recorded sweeps (its `--json` output is
+//! a `{"runs": [...], "sweeps": [...]}` object). Exit status: 0 when the
+//! comparison verdict is `noise`/`improved` (and for every other
+//! successful subcommand), 1 on a confirmed regression, 2 on usage or
+//! I/O errors.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 use ninja_perfdb::{
-    compare_records, resolve_reference, CompareConfig, RecordMeta, RunRecord, Store, DEFAULT_DIR,
-    HISTORY_FILE,
+    compare_records, resolve_reference, CompareConfig, RecordMeta, RunRecord, Store, SweepRecord,
+    DEFAULT_DIR, HISTORY_FILE,
 };
 use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = concat!(
     "usage: perfdb <record|compare|trend|history|gc> [options]\n",
-    "  record  [--store DIR] [--from PATH] [--commit SHA] [--id ID] [--timestamp SECS]\n",
+    "  record  [--store DIR] [--from PATH] [--sweep PATH] [--commit SHA] [--id ID]\n",
+    "          [--timestamp SECS]\n",
     "  compare BASELINE [--store DIR] [--candidate REF|PATH] [--window K]\n",
     "          [--noise-floor F] [--iters N] [--json PATH|-]\n",
     "  trend   KERNEL [--store DIR] [--json]\n",
     "  history [--store DIR] [--out PATH]\n",
     "  gc      [--store DIR] [--keep N]\n",
-    "refs: latest | latest~N | record id (prefix ok) | file path"
+    "refs: latest | latest~N | record id (prefix ok) | file path\n",
+    "record --sweep ingests a sweep_report.json (from `reproduce --scale`)\n",
+    "into the sweep log; trend then shows serial-fraction drift"
 );
 
 /// Everything the subcommands need from the argument list.
@@ -41,6 +50,7 @@ struct Args {
     store: Store,
     positional: Vec<String>,
     from: String,
+    sweep: Option<String>,
     commit: Option<String>,
     id: Option<String>,
     timestamp: Option<u64>,
@@ -58,6 +68,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         store: Store::open(DEFAULT_DIR),
         positional: Vec::new(),
         from: "suite_report.json".into(),
+        sweep: None,
         commit: None,
         id: None,
         timestamp: None,
@@ -74,6 +85,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         match flag.as_str() {
             "--store" => args.store = Store::open(value("--store")?),
             "--from" => args.from = value("--from")?,
+            "--sweep" => args.sweep = Some(value("--sweep")?),
             "--commit" => args.commit = Some(value("--commit")?),
             "--id" => args.id = Some(value("--id")?),
             "--timestamp" => {
@@ -121,9 +133,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
     Ok(args)
 }
 
-fn cmd_record(args: &Args) -> Result<(), String> {
-    let json = std::fs::read_to_string(&args.from)
-        .map_err(|e| format!("cannot read {}: {e}", args.from))?;
+fn record_meta(args: &Args) -> RecordMeta {
     let mut meta = RecordMeta::detect("unknown");
     meta.id = args.id.clone();
     if let Some(commit) = &args.commit {
@@ -132,6 +142,39 @@ fn cmd_record(args: &Args) -> Result<(), String> {
     if let Some(ts) = args.timestamp {
         meta.timestamp_unix_s = ts;
     }
+    meta
+}
+
+/// `record --sweep PATH`: ingest a sweep report into the sweep log.
+fn cmd_record_sweep(args: &Args, path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let record = SweepRecord::from_sweep_json(&json, &record_meta(args))?;
+    args.store.append_sweep(&record)?;
+    if !record.excluded.is_empty() {
+        eprintln!(
+            "perfdb: excluded {} fault-injection kernel(s): {}",
+            record.excluded.len(),
+            record.excluded.join(", ")
+        );
+    }
+    println!(
+        "recorded sweep {} ({} cell(s), {} fit(s), commit {}) to {}",
+        record.id,
+        record.cells.len(),
+        record.fits.len(),
+        record.git_commit,
+        args.store.sweeps_path().display()
+    );
+    Ok(())
+}
+
+fn cmd_record(args: &Args) -> Result<(), String> {
+    if let Some(path) = &args.sweep {
+        return cmd_record_sweep(args, path);
+    }
+    let json = std::fs::read_to_string(&args.from)
+        .map_err(|e| format!("cannot read {}: {e}", args.from))?;
+    let meta = record_meta(args);
     let record = RunRecord::from_suite_json(&json, &meta)?;
     args.store.append(&record)?;
     if !record.excluded.is_empty() {
@@ -190,20 +233,46 @@ fn cmd_trend(args: &Args) -> Result<(), String> {
     if skipped > 0 {
         eprintln!("perfdb: warning: skipped {skipped} malformed record line(s)");
     }
+    let (sweeps, sweeps_skipped) = args.store.load_sweeps_lossy()?;
+    if sweeps_skipped > 0 {
+        eprintln!("perfdb: warning: skipped {sweeps_skipped} malformed sweep line(s)");
+    }
     let points = ninja_perfdb::trend::kernel_trend(&records, kernel);
-    if points.is_empty() {
+    let sweep_points = ninja_perfdb::trend::sweep_trend(&sweeps, kernel);
+    if points.is_empty() && sweep_points.is_empty() {
         return Err(format!(
-            "no recorded run measures kernel `{kernel}` (store {})",
+            "no recorded run or sweep measures kernel `{kernel}` (store {})",
             args.store.dir().display()
         ));
     }
     if args.json.is_some() {
+        use serde::Serialize;
+        #[derive(Serialize)]
+        struct TrendJson {
+            runs: Vec<ninja_perfdb::TrendPoint>,
+            sweeps: Vec<ninja_perfdb::SweepTrendPoint>,
+        }
+        let both = TrendJson {
+            runs: points,
+            sweeps: sweep_points,
+        };
         println!(
             "{}",
-            serde_json::to_string_pretty(&points).expect("trend points serialize")
+            serde_json::to_string_pretty(&both).expect("trend points serialize")
         );
-    } else {
+        return Ok(());
+    }
+    if !points.is_empty() {
         print!("{}", ninja_perfdb::trend::render_trend(kernel, &points));
+    }
+    if !sweep_points.is_empty() {
+        if !points.is_empty() {
+            println!();
+        }
+        print!(
+            "{}",
+            ninja_perfdb::trend::render_sweep_trend(kernel, &sweep_points)
+        );
     }
     Ok(())
 }

@@ -9,6 +9,7 @@
 
 use crate::compare::min_of_k_baseline;
 use crate::schema::{RecordMeta, RunRecord};
+use crate::sweep::SweepRecord;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -17,6 +18,9 @@ pub const DEFAULT_DIR: &str = "perfdb";
 
 /// File name of the run log inside the store directory.
 pub const RUNS_FILE: &str = "runs.jsonl";
+
+/// File name of the scaling-sweep log inside the store directory.
+pub const SWEEPS_FILE: &str = "sweeps.jsonl";
 
 /// `(line number, parse error)` for one unparseable store line.
 type MalformedLine = (usize, String);
@@ -117,6 +121,59 @@ impl Store {
     /// Propagates [`load`](Store::load) errors.
     pub fn latest(&self) -> Result<Option<RunRecord>, String> {
         Ok(self.load()?.pop())
+    }
+
+    /// Path of the JSONL sweep log.
+    pub fn sweeps_path(&self) -> PathBuf {
+        self.dir.join(SWEEPS_FILE)
+    }
+
+    /// Appends one sweep record (creating the directory and log on
+    /// first use). Sweeps live in their own log — they are grids, not
+    /// single-point runs, so the run comparator never sees them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure.
+    pub fn append_sweep(&self, record: &SweepRecord) -> Result<(), String> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("cannot create {}: {e}", self.dir.display()))?;
+        let path = self.sweeps_path();
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        writeln!(file, "{}", record.to_jsonl_line())
+            .map_err(|e| format!("cannot append to {}: {e}", path.display()))
+    }
+
+    /// Loads every parseable sweep record, oldest first, returning the
+    /// number of malformed lines skipped (0 for a healthy store; a
+    /// missing log is an empty store).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure only.
+    pub fn load_sweeps_lossy(&self) -> Result<(Vec<SweepRecord>, usize), String> {
+        let path = self.sweeps_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        let mut records = Vec::new();
+        let mut skipped = 0;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match SweepRecord::from_jsonl_line(line) {
+                Ok(r) => records.push(r),
+                Err(_) => skipped += 1,
+            }
+        }
+        Ok((records, skipped))
     }
 
     /// Resolves a baseline reference against the store:
@@ -389,6 +446,49 @@ mod tests {
         assert_eq!(s.baseline("latest", 1).unwrap().id, "run-2");
         // Window larger than the store clamps.
         assert!(s.baseline("latest~2", 5).unwrap().id.starts_with("run-0"));
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn sweep_log_appends_and_loads_independently() {
+        let s = temp_store("sweeps");
+        let sweep = SweepRecord {
+            schema_version: SCHEMA_VERSION,
+            id: "sweep-0".into(),
+            timestamp_unix_s: 0,
+            git_commit: "unknown".into(),
+            machine: MachineFingerprint::synthetic("scalar"),
+            seed: 1,
+            reps: 1,
+            sizes: vec!["test".into()],
+            threads: vec![1, 2],
+            knee_threshold: 0.5,
+            excluded: Vec::new(),
+            cells: Vec::new(),
+            fits: Vec::new(),
+        };
+        s.append_sweep(&sweep).unwrap();
+        let mut second = sweep.clone();
+        second.id = "sweep-1".into();
+        s.append_sweep(&second).unwrap();
+
+        let (sweeps, skipped) = s.load_sweeps_lossy().unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(
+            sweeps.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            ["sweep-0", "sweep-1"]
+        );
+        // Sweeps do not leak into the run log (and vice versa).
+        assert_eq!(s.load().unwrap(), Vec::new());
+        s.append(&record("run-0", 0, 1.0)).unwrap();
+        assert_eq!(s.load_sweeps_lossy().unwrap().0.len(), 2);
+
+        // A truncated trailing sweep line is skipped, not fatal.
+        let mut text = std::fs::read_to_string(s.sweeps_path()).unwrap();
+        text.push_str("{\"schema_version\":1,\"id\":\"sweep-tr");
+        std::fs::write(s.sweeps_path(), text).unwrap();
+        let (sweeps, skipped) = s.load_sweeps_lossy().unwrap();
+        assert_eq!((sweeps.len(), skipped), (2, 1));
         let _ = std::fs::remove_dir_all(s.dir());
     }
 

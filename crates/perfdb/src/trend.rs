@@ -9,6 +9,7 @@
 //! points into a trajectory that future perf PRs are judged against.
 
 use crate::schema::RunRecord;
+use crate::sweep::SweepRecord;
 use serde::{Deserialize, Serialize};
 
 /// One run's contribution to a kernel's trajectory.
@@ -141,10 +142,96 @@ pub fn render_trend(kernel: &str, points: &[TrendPoint]) -> String {
     out
 }
 
+/// One sweep's contribution to a kernel's scaling trajectory: the
+/// fitted parameters of one rung's curve at one size.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SweepTrendPoint {
+    /// Sweep record id the point comes from.
+    pub run_id: String,
+    /// Unix timestamp (seconds) of the sweep.
+    pub timestamp_unix_s: u64,
+    /// Git commit measured.
+    pub git_commit: String,
+    /// Variant rung name.
+    pub variant: String,
+    /// Problem-size preset name.
+    pub size: String,
+    /// Amdahl serial fraction of the curve.
+    pub serial_fraction: f64,
+    /// USL contention σ.
+    pub contention: f64,
+    /// USL coherency κ.
+    pub coherency: f64,
+    /// Fit quality (r² in speedup space).
+    pub r_squared: f64,
+    /// Detected scaling knee, `None` when the curve never flattened.
+    pub knee_threads: Option<usize>,
+}
+
+/// One kernel's serial-fraction trajectory straight from sweep records
+/// (the sweep section of `perfdb trend`): every fitted rung×size curve
+/// of every sweep that measured the kernel, in store order.
+pub fn sweep_trend(records: &[SweepRecord], kernel: &str) -> Vec<SweepTrendPoint> {
+    let mut points = Vec::new();
+    for rec in records {
+        for f in rec.fits.iter().filter(|f| f.kernel == kernel) {
+            points.push(SweepTrendPoint {
+                run_id: rec.id.clone(),
+                timestamp_unix_s: rec.timestamp_unix_s,
+                git_commit: rec.git_commit.clone(),
+                variant: f.variant.clone(),
+                size: f.size.clone(),
+                serial_fraction: f.serial_fraction,
+                contention: f.contention,
+                coherency: f.coherency,
+                r_squared: f.r_squared,
+                knee_threads: f.knee_threads,
+            });
+        }
+    }
+    points
+}
+
+/// Renders a kernel's serial-fraction drift as an aligned text table.
+pub fn render_sweep_trend(kernel: &str, points: &[SweepTrendPoint]) -> String {
+    let mut out = format!(
+        "serial-fraction drift for {kernel} ({} fitted curve(s))\n\
+         {:<24} {:<13} {:<12} {:<6} {:>7} {:>7} {:>8} {:>7} {:>5}\n",
+        points.len(),
+        "sweep",
+        "commit",
+        "rung",
+        "size",
+        "serial",
+        "sigma",
+        "kappa",
+        "r2",
+        "knee"
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<24} {:<13} {:<12} {:<6} {:>7.3} {:>7.3} {:>8.4} {:>7.3} {:>5}\n",
+            p.run_id,
+            p.git_commit,
+            p.variant,
+            p.size,
+            p.serial_fraction,
+            p.contention,
+            p.coherency,
+            p.r_squared,
+            p.knee_threads
+                .map(|k| k.to_string())
+                .unwrap_or_else(|| "-".to_owned())
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schema::{CellRecord, MachineFingerprint, Sample, SCHEMA_VERSION};
+    use crate::sweep::SweepFitRecord;
 
     fn sample(median: f64) -> Option<Sample> {
         Some(Sample {
@@ -218,6 +305,49 @@ mod tests {
         let h = History::from_records(&[record("r0", 10, 8.0, 1.3, 1.0)]);
         let back: History = serde_json::from_str(&h.to_json()).unwrap();
         assert_eq!(h, back);
+    }
+
+    fn sweep_record(id: &str, ts: u64, serial: f64) -> SweepRecord {
+        SweepRecord {
+            schema_version: SCHEMA_VERSION,
+            id: id.into(),
+            timestamp_unix_s: ts,
+            git_commit: format!("c-{id}"),
+            machine: MachineFingerprint::synthetic("scalar"),
+            seed: 1,
+            reps: 1,
+            sizes: vec!["test".into()],
+            threads: vec![1, 2],
+            knee_threshold: 0.5,
+            excluded: Vec::new(),
+            cells: Vec::new(),
+            fits: vec![SweepFitRecord {
+                kernel: "nbody".into(),
+                variant: "parallel".into(),
+                size: "test".into(),
+                bound: "compute".into(),
+                serial_fraction: serial,
+                contention: serial,
+                coherency: 0.0,
+                r_squared: 1.0,
+                knee_threads: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn sweep_trend_tracks_serial_fraction_across_records() {
+        let records = vec![sweep_record("s0", 10, 0.05), sweep_record("s1", 20, 0.12)];
+        let points = sweep_trend(&records, "nbody");
+        assert_eq!(points.len(), 2);
+        assert!((points[0].serial_fraction - 0.05).abs() < 1e-12);
+        assert!((points[1].serial_fraction - 0.12).abs() < 1e-12, "drifted");
+        assert_eq!(points[1].git_commit, "c-s1");
+        assert!(sweep_trend(&records, "lbm").is_empty());
+        let text = render_sweep_trend("nbody", &points);
+        assert!(text.contains("serial-fraction drift"), "{text}");
+        assert!(text.contains("0.120"), "{text}");
+        assert!(text.contains('-'), "no-knee renders as dash: {text}");
     }
 
     #[test]

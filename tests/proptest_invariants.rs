@@ -20,6 +20,32 @@ proptest! {
             }
         }
     }
+
+    // Differential rung-vs-rung check: every optimized rung of the ladder
+    // must agree with the naive reference (within each kernel's documented
+    // validation tolerance) for arbitrary seeds. Inputs are randomized via
+    // the seed (every kernel derives its whole input from it); the size
+    // stays at the `Test` preset because the larger presets take seconds
+    // per variant, which proptest would multiply by cases x kernels x
+    // rungs. The registry never contains the `chaos-*` fault-injection
+    // kernels, so this property only exercises real kernels.
+    #[test]
+    fn every_rung_matches_naive_for_any_seed(seed in 0u64..1_000_000) {
+        let pool = ThreadPool::with_threads(2);
+        for spec in registry() {
+            prop_assert!(
+                !spec.name.starts_with("chaos"),
+                "fault-injection kernel {} leaked into the registry", spec.name
+            );
+            let mut instance = (spec.make)(ProblemSize::Test, seed);
+            for v in [Variant::Parallel, Variant::Simd, Variant::Algorithmic, Variant::Ninja] {
+                prop_assert!(
+                    instance.validate(v, &pool).is_ok(),
+                    "{} {} diverged from naive at seed {}", spec.name, v, seed
+                );
+            }
+        }
+    }
 }
 
 proptest! {
