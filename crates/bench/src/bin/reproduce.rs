@@ -20,6 +20,20 @@
 //! are printed per curve, and the grid is written to `sweep_report.json`
 //! / `sweep_report.csv`. `--record` appends the sweep to the perf store's
 //! sweep log so `perfdb trend` can show serial-fraction drift.
+//!
+//! With `--serve` the binary drives the `ninja-serve` batched serving
+//! layer open-loop at each `--serve-rates` offered rate, optionally
+//! under the seeded chaos schedule (`--chaos-seed`/`--chaos-rate`),
+//! renders the SLO curve (p50/p99, shed/expired/degraded counts), and
+//! writes `serve_report.json`. `--record` appends the curve to the perf
+//! store's serve log. An `Ok` response that fails client-side
+//! re-verification or a ticket that outlives its resolution contract
+//! makes the exit status 1.
+//!
+//! `--chaos-seed`/`--chaos-rate` also extend plain `--chaos` runs: they
+//! install the deterministic probabilistic fault schedule (shared
+//! bit-for-bit with `ninja-serve`) and append the scheduled chaos
+//! kernel to the suite.
 
 /// The `--scale` path: sweep, render, export, optionally record.
 fn run_scale(cli: &ninja_bench::Cli) {
@@ -85,8 +99,159 @@ fn run_scale(cli: &ninja_bench::Cli) {
     }
 }
 
+/// Runs the `--serve-rates` SLO sweep against one engine and assembles
+/// the exportable report. Generic so each kernel's request generator
+/// keeps its natural types.
+fn serve_curve<K, F>(
+    cli: &ninja_bench::Cli,
+    engine: &ninja_serve::Engine<K>,
+    mut make_req: F,
+) -> ninja_serve::ServeReport
+where
+    K: ninja_serve::BatchKernel,
+    F: FnMut(usize) -> (K::Req, K::Resp),
+{
+    let points = cli
+        .serve_rates
+        .iter()
+        .map(|&rps| {
+            let n = ((rps * cli.serve_duration_ms as f64 / 1000.0).round() as usize).max(1);
+            eprintln!("  offered {rps} req/s: {n} request(s)...");
+            ninja_serve::run_open_loop(engine, &mut make_req, rps, n)
+        })
+        .collect();
+    let chaos = cli.chaos_schedule();
+    ninja_serve::ServeReport {
+        kernel: engine.kernel().name().to_owned(),
+        threads: cli.threads,
+        chaos_seed: chaos.as_ref().map(|s| s.seed()),
+        chaos_rate: chaos.as_ref().map(|s| s.rate()),
+        deadline_us: engine.config().deadline.as_micros() as u64,
+        points,
+    }
+}
+
+/// The `--serve` path: drive the serving layer open-loop at each offered
+/// rate, render the SLO curve, export it, optionally record.
+fn run_serve(cli: &ninja_bench::Cli) {
+    use ninja_serve::{BlackScholesServe, Engine, LiborServe, ServeConfig, TreeSearchServe};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::Arc;
+
+    let kernel_name = cli
+        .kernels
+        .as_ref()
+        .and_then(|k| k.first().cloned())
+        .unwrap_or_else(|| "blackscholes".to_owned());
+    let chaos = cli.chaos_schedule();
+    eprintln!(
+        "running serve SLO sweep: kernel={} threads={} rates={:?} duration={}ms chaos={}",
+        kernel_name,
+        cli.threads,
+        cli.serve_rates,
+        cli.serve_duration_ms,
+        match &chaos {
+            Some(s) => format!("seed={} rate={}", s.seed(), s.rate()),
+            None => "off".into(),
+        }
+    );
+
+    let pool = Arc::new(ninja_parallel::ThreadPool::with_threads(cli.threads));
+    let report = match kernel_name.as_str() {
+        "blackscholes" => {
+            use ninja_kernels::black_scholes::{price_contract, OptionContract};
+            let engine = Engine::new(BlackScholesServe::new(pool), ServeConfig::default(), chaos);
+            let mut rng = SmallRng::seed_from_u64(7);
+            serve_curve(cli, &engine, |_| {
+                let c = OptionContract {
+                    spot: rng.gen_range(5.0..120.0),
+                    strike: rng.gen_range(10.0..100.0),
+                    years: rng.gen_range(0.1..5.0),
+                    rate: rng.gen_range(0.01..0.08),
+                    vol: rng.gen_range(0.05..0.6),
+                };
+                (c, price_contract(&c))
+            })
+        }
+        "treesearch" => {
+            let engine = Engine::new(
+                TreeSearchServe::new(cli.size, 3, pool),
+                ServeConfig::default(),
+                chaos,
+            );
+            let tree = engine.kernel().tree();
+            let hi = tree.num_keys() as f32 * 1.3;
+            let mut rng = SmallRng::seed_from_u64(9);
+            serve_curve(cli, &engine, |_| {
+                let q = rng.gen_range(-1.0..hi);
+                (q, tree.lower_bound_bst(q))
+            })
+        }
+        "libor" => {
+            use ninja_kernels::libor::{default_init_rates, default_vols, price_path_f64, NMAT};
+            let engine = Engine::new(LiborServe::new(pool), ServeConfig::default(), chaos);
+            let rates = default_init_rates();
+            let vols = default_vols();
+            let mut rng = SmallRng::seed_from_u64(10);
+            serve_curve(cli, &engine, |_| {
+                let z: [f32; NMAT] = std::array::from_fn(|_| rng.gen_range(-3.0..3.0));
+                (z, price_path_f64(&rates, &vols, &z))
+            })
+        }
+        other => {
+            eprintln!(
+                "reproduce: unknown serve kernel '{other}' \
+                 (expected blackscholes, treesearch, or libor)"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    print!("{}", report.render());
+    let json = serde_json::to_string_pretty(&report).expect("serve report serializes");
+    std::fs::write("serve_report.json", &json).expect("write serve_report.json");
+    eprintln!("wrote serve_report.json");
+
+    let mut exit_code = 0;
+    let incorrect: u64 = report.points.iter().map(|p| p.incorrect).sum();
+    let unresolved: u64 = report.points.iter().map(|p| p.unresolved).sum();
+    if incorrect > 0 || unresolved > 0 {
+        eprintln!(
+            "reproduce: serving contract violated: {incorrect} incorrect response(s), \
+             {unresolved} unresolved ticket(s)"
+        );
+        exit_code = 1;
+    }
+
+    if cli.record {
+        let store = ninja_perfdb::Store::open(&cli.store);
+        let meta = ninja_perfdb::RecordMeta::detect(ninja_simd::backend_name());
+        let record = ninja_perfdb::ServeRecord::from_serve_json(&json, &meta)
+            .expect("serve report round-trips into the store schema");
+        if let Err(msg) = store.append_serve(&record) {
+            eprintln!("reproduce: {msg}");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "recorded serve {} ({} point(s)) to {}",
+            record.id,
+            record.points.len(),
+            store.serves_path().display()
+        );
+    }
+
+    if exit_code != 0 {
+        std::process::exit(exit_code);
+    }
+}
+
 fn main() {
     let cli = ninja_bench::cli_from_env();
+    if cli.serve {
+        run_serve(&cli);
+        return;
+    }
     if cli.scale {
         run_scale(&cli);
         return;
@@ -141,10 +306,21 @@ fn main() {
         // numbers are only worth quoting against a calibrated machine.
         harness = harness.attribution_machine(ninja_model::calibrate::calibrated_host(cli.threads));
     }
-    let extra = match cli.chaos {
-        Some(mode) => vec![ninja_kernels::chaos::spec(mode)],
-        None => Vec::new(),
-    };
+    let mut extra = Vec::new();
+    if let Some(mode) = cli.chaos {
+        extra.push(ninja_kernels::chaos::spec(mode));
+    }
+    if let Some(sched) = cli.chaos_schedule() {
+        // The same deterministic schedule ninja-serve replays: install it
+        // process-wide and measure the scheduled chaos kernel alongside.
+        eprintln!(
+            "chaos schedule installed: seed={} rate={}",
+            sched.seed(),
+            sched.rate()
+        );
+        ninja_kernels::chaos::set_schedule(Some(sched));
+        extra.push(ninja_kernels::chaos::spec_scheduled());
+    }
 
     let (suite, rendered) = ninja_core::experiments::full_report_with(&harness, extra);
     println!("{rendered}");

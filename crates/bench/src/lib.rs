@@ -13,6 +13,12 @@
 //! --chaos panic|hang|nan|wrong
 //!                           inject one fault-injection kernel (testing the
 //!                           harness itself; forces a nonzero exit code)
+//! --chaos-seed N            seed of the deterministic probabilistic fault
+//!                           schedule; opts the chaos kernel into scheduled
+//!                           mode (shared bit-for-bit with ninja-serve)
+//! --chaos-rate F            per-attempt fault probability of the schedule,
+//!                           in [0, 1] (default 0.1 when only the seed is
+//!                           given; the seed defaults to 2012)
 //! --lint                    run the ninja-lint taxonomy audit as a
 //!                           preflight and refuse to measure on findings
 //! --record                  append this run to the persistent perf store
@@ -36,6 +42,16 @@
 //! --sizes a,b,c             comma-separated problem sizes for the --scale
 //!                           grid (default: the --size preset)
 //! --kernels a,b,c           restrict the --scale sweep to these kernels
+//! --serve                   run the ninja-serve SLO load sweep instead of
+//!                           the suite: open-loop load at each offered rate,
+//!                           p50/p99 + shed/expired/degraded per point,
+//!                           serve_report.json (`--kernels` picks the served
+//!                           kernel; `--chaos-seed`/`--chaos-rate` inject
+//!                           faults at the serving layer)
+//! --serve-rates a,b,c       offered request rates (req/s) for the --serve
+//!                           sweep (default: 500,2000,8000)
+//! --serve-duration-ms N     wall-clock length of each --serve rate point
+//!                           (default: 1000)
 //! --quick                   shorthand for --size quick
 //! ```
 //!
@@ -94,8 +110,20 @@ pub struct Cli {
     /// `--size` preset.
     pub sizes: Option<Vec<ProblemSize>>,
     /// Kernel names the `--scale` sweep is restricted to; `None` sweeps
-    /// the whole registry.
+    /// the whole registry. For `--serve` the first name picks the served
+    /// kernel.
     pub kernels: Option<Vec<String>>,
+    /// Run the `ninja-serve` SLO load sweep instead of the suite.
+    pub serve: bool,
+    /// Offered request rates (requests/second) of the `--serve` sweep.
+    pub serve_rates: Vec<f64>,
+    /// Wall-clock length of each `--serve` rate point, milliseconds.
+    pub serve_duration_ms: u64,
+    /// Seed of the deterministic probabilistic fault schedule; either
+    /// `--chaos-seed` or `--chaos-rate` opts scheduled chaos in.
+    pub chaos_seed: Option<u64>,
+    /// Per-attempt fault probability of the schedule, in `[0, 1]`.
+    pub chaos_rate: Option<f64>,
 }
 
 impl Cli {
@@ -121,6 +149,19 @@ impl Cli {
             ..Default::default()
         }
     }
+
+    /// The seeded chaos schedule implied by `--chaos-seed`/`--chaos-rate`.
+    /// Either flag opts in; the one left out takes its default (seed
+    /// 2012, rate 0.1). The same `(seed, rate)` pair produces the same
+    /// fault sequence here and inside `ninja-serve`, bit for bit.
+    pub fn chaos_schedule(&self) -> Option<ninja_kernels::chaos::ChaosSchedule> {
+        (self.chaos_seed.is_some() || self.chaos_rate.is_some()).then(|| {
+            ninja_kernels::chaos::ChaosSchedule::new(
+                self.chaos_seed.unwrap_or(2012),
+                self.chaos_rate.unwrap_or(0.1),
+            )
+        })
+    }
 }
 
 impl Default for Cli {
@@ -143,6 +184,11 @@ impl Default for Cli {
             threads_max: None,
             sizes: None,
             kernels: None,
+            serve: false,
+            serve_rates: vec![500.0, 2_000.0, 8_000.0],
+            serve_duration_ms: 1_000,
+            chaos_seed: None,
+            chaos_rate: None,
         }
     }
 }
@@ -250,20 +296,69 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
                         format!("unknown chaos mode '{v}' (panic|hang|nan|wrong)")
                     })?);
             }
+            "--chaos-seed" => {
+                cli.chaos_seed = Some(
+                    value("--chaos-seed")?
+                        .parse()
+                        .map_err(|e| format!("--chaos-seed: {e}"))?,
+                );
+            }
+            "--chaos-rate" => {
+                let rate: f64 = value("--chaos-rate")?
+                    .parse()
+                    .map_err(|e| format!("--chaos-rate: {e}"))?;
+                if !(rate.is_finite() && (0.0..=1.0).contains(&rate)) {
+                    return Err("--chaos-rate must be in [0, 1]".into());
+                }
+                cli.chaos_rate = Some(rate);
+            }
+            "--serve" => cli.serve = true,
+            "--serve-rates" => {
+                let list = value("--serve-rates")?;
+                let mut rates = Vec::new();
+                for part in list.split(',').filter(|s| !s.is_empty()) {
+                    let rate: f64 = part
+                        .parse()
+                        .map_err(|e| format!("--serve-rates '{part}': {e}"))?;
+                    if !(rate.is_finite() && rate > 0.0) {
+                        return Err(format!(
+                            "--serve-rates '{part}': rates must be positive and finite"
+                        ));
+                    }
+                    rates.push(rate);
+                }
+                if rates.is_empty() {
+                    return Err("--serve-rates needs at least one rate".into());
+                }
+                cli.serve_rates = rates;
+            }
+            "--serve-duration-ms" => {
+                cli.serve_duration_ms = value("--serve-duration-ms")?
+                    .parse()
+                    .map_err(|e| format!("--serve-duration-ms: {e}"))?;
+                if cli.serve_duration_ms == 0 {
+                    return Err("--serve-duration-ms must be positive".into());
+                }
+            }
             "--help" | "-h" => {
                 return Err(concat!(
                     "usage: [--size test|quick|paper] [--threads N] [--reps N]\n",
                     "       [--timeout SECONDS] [--fail-fast|--keep-going]\n",
-                    "       [--chaos panic|hang|nan|wrong] [--lint]\n",
+                    "       [--chaos panic|hang|nan|wrong] [--chaos-seed N]\n",
+                    "       [--chaos-rate F] [--lint]\n",
                     "       [--record] [--baseline REF|PATH] [--store DIR]\n",
                     "       [--noise-floor F] [--trace PATH] [--probe-metrics]\n",
                     "       [--scale] [--threads-max N] [--sizes a,b,c]\n",
-                    "       [--kernels a,b,c] [--quick]"
+                    "       [--kernels a,b,c] [--serve] [--serve-rates a,b,c]\n",
+                    "       [--serve-duration-ms N] [--quick]"
                 )
                 .into())
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
+    }
+    if cli.serve && cli.scale {
+        return Err("--serve and --scale are mutually exclusive".into());
     }
     Ok(cli)
 }
@@ -435,6 +530,57 @@ mod tests {
         assert!(parse(&["--sizes", ","]).is_err());
         assert!(parse(&["--kernels", ","]).is_err());
         assert!(parse(&["--sizes"]).is_err());
+    }
+
+    #[test]
+    fn serve_flags_default_off_and_parse() {
+        let cli = parse(&[]).unwrap();
+        assert!(!cli.serve);
+        assert_eq!(cli.serve_rates, vec![500.0, 2_000.0, 8_000.0]);
+        assert_eq!(cli.serve_duration_ms, 1_000);
+        let cli = parse(&[
+            "--serve",
+            "--serve-rates",
+            "100,1500.5",
+            "--serve-duration-ms",
+            "250",
+            "--kernels",
+            "libor",
+        ])
+        .unwrap();
+        assert!(cli.serve);
+        assert_eq!(cli.serve_rates, vec![100.0, 1500.5]);
+        assert_eq!(cli.serve_duration_ms, 250);
+        assert_eq!(cli.kernels.as_deref(), Some(&["libor".to_owned()][..]));
+    }
+
+    #[test]
+    fn serve_flags_reject_garbage() {
+        assert!(parse(&["--serve-rates", "0"]).is_err());
+        assert!(parse(&["--serve-rates", "-5"]).is_err());
+        assert!(parse(&["--serve-rates", "fast"]).is_err());
+        assert!(parse(&["--serve-rates", ","]).is_err());
+        assert!(parse(&["--serve-duration-ms", "0"]).is_err());
+        assert!(parse(&["--serve", "--scale"]).is_err());
+    }
+
+    #[test]
+    fn chaos_schedule_flags_parse_and_default_each_other() {
+        assert_eq!(parse(&[]).unwrap().chaos_schedule(), None);
+        let sched = parse(&["--chaos-seed", "7", "--chaos-rate", "0.25"])
+            .unwrap()
+            .chaos_schedule()
+            .unwrap();
+        assert_eq!(sched.seed(), 7);
+        assert!((sched.rate() - 0.25).abs() < 1e-12);
+        // Either flag alone opts in, the other takes its default.
+        let sched = parse(&["--chaos-rate", "1.0"]).unwrap().chaos_schedule();
+        assert_eq!(sched.unwrap().seed(), 2012);
+        let sched = parse(&["--chaos-seed", "9"]).unwrap().chaos_schedule();
+        assert!((sched.unwrap().rate() - 0.1).abs() < 1e-12);
+        assert!(parse(&["--chaos-rate", "1.5"]).is_err());
+        assert!(parse(&["--chaos-rate", "-0.1"]).is_err());
+        assert!(parse(&["--chaos-seed", "soon"]).is_err());
     }
 
     #[test]

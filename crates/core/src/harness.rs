@@ -275,7 +275,14 @@ impl Harness {
                     Err(_) => {
                         // The variant is stuck; abandon its thread (it holds
                         // an Arc to the old pool, keeping it alive) and give
-                        // later variants a fresh pool.
+                        // later variants a fresh pool. The abandoned thread
+                        // may hold an open trace span that will never close;
+                        // tag it so span validation knows the unpaired B
+                        // event is abandonment, not a tracer bug.
+                        ninja_probe::mark_thread_abandoned(&format!(
+                            "watchdog-{}-{}",
+                            spec.name, v
+                        ));
                         drop(handle);
                         self.rebuild_pool();
                         let outcome = VariantOutcome::TimedOut {

@@ -279,6 +279,100 @@ impl BlackScholes {
 
 use crate::scalar_math::{cnd_poly, exp_poly, ln_poly};
 
+// --- Serving surface -----------------------------------------------------
+//
+// Free pricing entry points for `ninja-serve`: the service coalesces
+// request batches itself, so these price caller-provided contracts/SoA
+// slices rather than the instance's generated book. Each function is the
+// math of one degradation-ladder rung (scalar f64 libm, f32 polynomial,
+// explicit 4-wide SIMD).
+
+/// Prices one contract with the naive `f64` libm math — the serving
+/// layer's scalar floor. Returns `(call, put)`.
+pub fn price_contract(c: &OptionContract) -> (f32, f32) {
+    BlackScholes::price_scalar_f64(c)
+}
+
+/// Prices a SoA batch with the branch-free `f32` polynomial math (the
+/// SIMD rung). All input slices share a length `n`; `out` receives the
+/// interleaved `(call, put)` pairs and must hold `2 * n` floats.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub fn price_batch_poly(
+    spot: &[f32],
+    strike: &[f32],
+    years: &[f32],
+    rate: &[f32],
+    vol: &[f32],
+    out: &mut [f32],
+) {
+    let n = spot.len();
+    assert!(
+        strike.len() == n && years.len() == n && rate.len() == n && vol.len() == n,
+        "SoA batch slices must share a length"
+    );
+    assert_eq!(out.len(), 2 * n, "out must hold (call, put) per option");
+    for j in 0..n {
+        let sqrt_t = years[j].sqrt();
+        let vt = vol[j] * sqrt_t;
+        let d1 = (ln_poly(spot[j] / strike[j]) + (rate[j] + 0.5 * vol[j] * vol[j]) * years[j]) / vt;
+        let d2 = d1 - vt;
+        let disc = exp_poly(-(rate[j] * years[j]));
+        let nd1 = cnd_poly(d1);
+        let nd2 = cnd_poly(d2);
+        let kd = strike[j] * disc;
+        out[2 * j] = spot[j] * nd1 - kd * nd2;
+        out[2 * j + 1] = kd * (1.0 - nd2) - spot[j] * (1.0 - nd1);
+    }
+}
+
+/// Prices a SoA batch with explicit 4-wide SIMD and the vector
+/// `exp`/`ln`/CDF (the ninja rung). Slice layout as
+/// [`price_batch_poly`]; the shared length must be a multiple of 4.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree or are not a multiple of 4.
+pub fn price_batch_simd(
+    spot: &[f32],
+    strike: &[f32],
+    years: &[f32],
+    rate: &[f32],
+    vol: &[f32],
+    out: &mut [f32],
+) {
+    let n = spot.len();
+    assert!(
+        strike.len() == n && years.len() == n && rate.len() == n && vol.len() == n,
+        "SoA batch slices must share a length"
+    );
+    assert_eq!(n % 4, 0, "SIMD batch length must be a multiple of 4");
+    assert_eq!(out.len(), 2 * n, "out must hold (call, put) per option");
+    let half = F32x4::splat(0.5);
+    let one = F32x4::splat(1.0);
+    for j in (0..n).step_by(4) {
+        let s = F32x4::from_slice(&spot[j..]);
+        let k = F32x4::from_slice(&strike[j..]);
+        let t = F32x4::from_slice(&years[j..]);
+        let r = F32x4::from_slice(&rate[j..]);
+        let v = F32x4::from_slice(&vol[j..]);
+        let sqrt_t = t.sqrt();
+        let vt = v * sqrt_t;
+        let d1 = (ln_v4(s / k) + (r + half * v * v) * t) / vt;
+        let d2 = d1 - vt;
+        let disc = exp_v4(-(r * t));
+        let nd1 = norm_cdf_v4(d1);
+        let nd2 = norm_cdf_v4(d2);
+        let call = s * nd1 - k * disc * nd2;
+        let put = k * disc * (one - nd2) - s * (one - nd1);
+        call.interleave_lo(put).write_to_slice(&mut out[2 * j..]);
+        call.interleave_hi(put)
+            .write_to_slice(&mut out[2 * j + 4..]);
+    }
+}
+
 fn run(k: &BlackScholes, variant: Variant, pool: &ThreadPool) -> Vec<f32> {
     match variant {
         Variant::Naive => k.run_naive(),
@@ -428,6 +522,41 @@ mod tests {
             let put = out[2 * i + 1];
             assert!(call >= -1e-3 && call <= c.spot + 1e-3, "call bounds at {i}");
             assert!(put >= -1e-3 && put <= c.strike + 1e-3, "put bounds at {i}");
+        }
+    }
+
+    #[test]
+    fn serving_surface_matches_instance_variants() {
+        let k = BlackScholes::generate(ProblemSize::Test, 7);
+        let reference = k.run_naive();
+        let n = k.len();
+        let cs = k.contracts();
+        // Scalar floor is exactly the naive math.
+        for (i, c) in cs.iter().enumerate().take(200) {
+            let (call, put) = price_contract(c);
+            assert_eq!(call, reference[2 * i]);
+            assert_eq!(put, reference[2 * i + 1]);
+        }
+        // SoA batches built from the AoS book (padded for the SIMD rung).
+        let padded = n.div_ceil(4) * 4;
+        let mut soa: [Vec<f32>; 5] = std::array::from_fn(|_| vec![1.0f32; padded]);
+        for (i, c) in cs.iter().enumerate() {
+            soa[0][i] = c.spot;
+            soa[1][i] = c.strike;
+            soa[2][i] = c.years;
+            soa[3][i] = c.rate;
+            soa[4][i] = c.vol;
+        }
+        let mut poly = vec![0.0f32; 2 * padded];
+        let mut simd = vec![0.0f32; 2 * padded];
+        price_batch_poly(&soa[0], &soa[1], &soa[2], &soa[3], &soa[4], &mut poly);
+        price_batch_simd(&soa[0], &soa[1], &soa[2], &soa[3], &soa[4], &mut simd);
+        for i in 0..2 * n {
+            let b = reference[i];
+            for (label, out) in [("poly", &poly), ("simd", &simd)] {
+                let err = (out[i] - b).abs() / b.abs().max(1.0);
+                assert!(err < 5e-3, "{label}[{i}]: {} vs {b}", out[i]);
+            }
         }
     }
 

@@ -69,14 +69,101 @@ pub fn victim_of_seed(seed: u64) -> Variant {
     Variant::ALL[(seed % Variant::ALL.len() as u64) as usize]
 }
 
+/// SplitMix64 step: the statistically solid minimal PRNG used anywhere
+/// the workspace needs cheap deterministic hashing of a counter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded probabilistic fault schedule, shared by `reproduce --chaos`
+/// (via [`spec_scheduled`]) and the `ninja-serve` fault injector.
+///
+/// The schedule is a pure function of `(seed, rate, index)`: slot `index`
+/// either faults with one of the four [`FailureMode`]s or passes clean,
+/// and the same seed and rate reproduce the same decision sequence
+/// bit-for-bit on every host. Consumers assign their own meaning to the
+/// slot index (ladder rung for the chaos kernel, batch-attempt counter
+/// for the serving layer).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ChaosSchedule {
+    seed: u64,
+    rate: f64,
+}
+
+impl ChaosSchedule {
+    /// Builds a schedule; `rate` is clamped to `[0, 1]` (NaN becomes 0).
+    pub fn new(seed: u64, rate: f64) -> Self {
+        let rate = if rate.is_nan() {
+            0.0
+        } else {
+            rate.clamp(0.0, 1.0)
+        };
+        Self { seed, rate }
+    }
+
+    /// The seed the schedule was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The per-slot fault probability.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The fault injected at schedule slot `index`, if any. Pure and
+    /// order-independent: callers may query slots in any order.
+    pub fn fault_at(&self, index: u64) -> Option<FailureMode> {
+        let x = splitmix64(self.seed ^ splitmix64(index));
+        // 53 high bits -> uniform in [0, 1).
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.rate {
+            return None;
+        }
+        let pick = splitmix64(x) % FailureMode::ALL.len() as u64;
+        Some(FailureMode::ALL[pick as usize])
+    }
+
+    /// One schedule decision per ladder rung, in [`Variant::ALL`] order —
+    /// the fault map the scheduled chaos kernel runs under.
+    pub fn variant_faults(&self) -> [Option<FailureMode>; 5] {
+        std::array::from_fn(|i| self.fault_at(i as u64))
+    }
+}
+
+/// Process-global schedule consumed by [`spec_scheduled`] instances.
+/// Global because [`KernelSpec::make`] is a plain function pointer and
+/// cannot capture the schedule; `reproduce` sets it once before running.
+static SCHEDULE: std::sync::Mutex<Option<ChaosSchedule>> = std::sync::Mutex::new(None);
+
+/// Installs (or clears) the schedule that future [`spec_scheduled`]
+/// instances fault under.
+pub fn set_schedule(schedule: Option<ChaosSchedule>) {
+    *SCHEDULE.lock().unwrap_or_else(|e| e.into_inner()) = schedule;
+}
+
+fn current_schedule() -> Option<ChaosSchedule> {
+    *SCHEDULE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 struct ChaosInstance {
-    mode: FailureMode,
-    victim: Variant,
+    /// Per-rung fault map, [`Variant::ALL`] order.
+    faults: [Option<FailureMode>; 5],
     data: Vec<f32>,
 }
 
+fn variant_index(v: Variant) -> usize {
+    Variant::ALL
+        .iter()
+        .position(|&x| x == v)
+        .expect("every variant is in Variant::ALL")
+}
+
 impl ChaosInstance {
-    fn new(mode: FailureMode, size: ProblemSize, seed: u64) -> Self {
+    fn chaos_data(size: ProblemSize) -> Vec<f32> {
         let n = match size {
             ProblemSize::Test => 1 << 10,
             ProblemSize::Quick => 1 << 14,
@@ -85,12 +172,29 @@ impl ChaosInstance {
         // Deterministic, seed-independent inputs: the seed is reserved for
         // victim selection, and re-created instances (after a timeout or
         // panic) must regenerate identical data.
-        let data = (0..n).map(|i| ((i % 97) as f32) * 0.25 + 1.0).collect();
+        (0..n).map(|i| ((i % 97) as f32) * 0.25 + 1.0).collect()
+    }
+
+    fn new(mode: FailureMode, size: ProblemSize, seed: u64) -> Self {
+        let mut faults = [None; 5];
+        faults[variant_index(victim_of_seed(seed))] = Some(mode);
         Self {
-            mode,
-            victim: victim_of_seed(seed),
-            data,
+            faults,
+            data: Self::chaos_data(size),
         }
+    }
+
+    fn new_scheduled(size: ProblemSize) -> Self {
+        Self {
+            faults: current_schedule()
+                .map(|s| s.variant_faults())
+                .unwrap_or([None; 5]),
+            data: Self::chaos_data(size),
+        }
+    }
+
+    fn fault_for(&self, v: Variant) -> Option<FailureMode> {
+        self.faults[variant_index(v)]
     }
 
     /// The honest computation every non-victim variant performs.
@@ -100,7 +204,7 @@ impl ChaosInstance {
 
     fn output(&self, variant: Variant) -> Vec<f32> {
         let mut out = self.honest_output();
-        if variant == self.victim && self.mode == FailureMode::WrongOutput {
+        if self.fault_for(variant) == Some(FailureMode::WrongOutput) {
             // Subtle corruption: one element, ~3% relative error — small
             // enough to keep the checksum plausible, large enough that a
             // per-element validator must flag it.
@@ -113,8 +217,8 @@ impl ChaosInstance {
 
 impl Instance for ChaosInstance {
     fn run(&mut self, variant: Variant, _pool: &ThreadPool) -> f64 {
-        if variant == self.victim {
-            match self.mode {
+        if let Some(mode) = self.fault_for(variant) {
+            match mode {
                 FailureMode::Panic => {
                     panic!("chaos: injected panic in variant {variant}")
                 }
@@ -129,8 +233,8 @@ impl Instance for ChaosInstance {
     }
 
     fn validate(&mut self, variant: Variant, _pool: &ThreadPool) -> Result<(), ValidationError> {
-        if variant == self.victim {
-            match self.mode {
+        if let Some(mode) = self.fault_for(variant) {
+            match mode {
                 FailureMode::Panic => {
                     panic!("chaos: injected panic in variant {variant}")
                 }
@@ -253,6 +357,35 @@ pub fn all_specs() -> Vec<KernelSpec> {
     FailureMode::ALL.into_iter().map(spec).collect()
 }
 
+fn make_scheduled(size: ProblemSize, _seed: u64) -> Box<dyn Instance> {
+    Box::new(ChaosInstance::new_scheduled(size))
+}
+
+/// The spec for the schedule-driven chaos kernel: each ladder rung faults
+/// (or not) per the process-global [`ChaosSchedule`] installed with
+/// [`set_schedule`]. Named `chaos-sched` so the `chaos` prefix keeps it
+/// out of perfdb, like the single-victim specs.
+pub fn spec_scheduled() -> KernelSpec {
+    KernelSpec {
+        name: "chaos-sched",
+        description: "fault injection: seeded probabilistic per-rung schedule",
+        bound: "compute",
+        variants: variants(),
+        character: Characterization {
+            flops_per_elem: 2.0,
+            bytes_per_elem: 8.0,
+            naive_simd_frac: 0.0,
+            restructure_simd_frac: 0.0,
+            simd_friendly_frac: 0.0,
+            parallel_frac: 0.5,
+            gather_per_elem: 0.0,
+            algorithmic_factor: 1.0,
+            simd_efficiency: 1.0,
+        },
+        make: make_scheduled,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -341,5 +474,84 @@ mod tests {
         for s in &specs {
             assert!(s.name.starts_with("chaos-"));
         }
+        assert!(spec_scheduled().name.starts_with("chaos-"));
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_order_independent() {
+        let s = ChaosSchedule::new(42, 0.3);
+        let forward: Vec<_> = (0..256).map(|i| s.fault_at(i)).collect();
+        let backward: Vec<_> = (0..256).rev().map(|i| s.fault_at(i)).collect();
+        let rev: Vec<_> = backward.into_iter().rev().collect();
+        assert_eq!(forward, rev);
+        // Same seed+rate rebuilt from scratch reproduces bit-for-bit.
+        let s2 = ChaosSchedule::new(42, 0.3);
+        assert_eq!(
+            forward,
+            (0..256).map(|i| s2.fault_at(i)).collect::<Vec<_>>()
+        );
+        // A different seed gives a different sequence.
+        let s3 = ChaosSchedule::new(43, 0.3);
+        assert_ne!(
+            forward,
+            (0..256).map(|i| s3.fault_at(i)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn schedule_rate_extremes() {
+        let never = ChaosSchedule::new(7, 0.0);
+        let always = ChaosSchedule::new(7, 1.0);
+        for i in 0..128 {
+            assert_eq!(never.fault_at(i), None);
+            assert!(always.fault_at(i).is_some());
+        }
+        // Clamping: out-of-range and NaN rates are safe.
+        assert_eq!(ChaosSchedule::new(7, -0.5).rate(), 0.0);
+        assert_eq!(ChaosSchedule::new(7, 2.0).rate(), 1.0);
+        assert_eq!(ChaosSchedule::new(7, f64::NAN).rate(), 0.0);
+    }
+
+    #[test]
+    fn schedule_rate_roughly_matches_empirical_frequency() {
+        let s = ChaosSchedule::new(1234, 0.25);
+        let n = 4096;
+        let hits = (0..n).filter(|&i| s.fault_at(i).is_some()).count();
+        let freq = hits as f64 / n as f64;
+        assert!(
+            (freq - 0.25).abs() < 0.05,
+            "empirical fault rate {freq} too far from 0.25"
+        );
+        // All four modes should appear at this rate and sample count.
+        for mode in FailureMode::ALL {
+            assert!(
+                (0..n).any(|i| s.fault_at(i) == Some(mode)),
+                "mode {mode} never drawn"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_spec_faults_per_installed_schedule() {
+        let pool = ThreadPool::with_threads(1);
+        // With no schedule installed every rung does honest work.
+        set_schedule(None);
+        let mut inst = (spec_scheduled().make)(ProblemSize::Test, 0);
+        for v in Variant::ALL {
+            inst.validate(v, &pool).unwrap();
+            assert!(inst.run(v, &pool).is_finite());
+        }
+        // Find a seed whose rate-1.0 schedule puts WrongOutput on naive
+        // (rate 1.0 faults every rung; scan seeds for the mode we want).
+        let seed = (0..1000u64)
+            .find(|&s| {
+                ChaosSchedule::new(s, 1.0).variant_faults()[0] == Some(FailureMode::WrongOutput)
+            })
+            .expect("some seed maps rung 0 to WrongOutput");
+        set_schedule(Some(ChaosSchedule::new(seed, 1.0)));
+        let mut inst = (spec_scheduled().make)(ProblemSize::Test, 0);
+        set_schedule(None); // instance captured the map at construction
+        let err = inst.validate(Variant::Naive, &pool).unwrap_err();
+        assert!(err.detail.contains("injected corruption"), "{}", err.detail);
     }
 }

@@ -262,6 +262,111 @@ impl Libor {
     }
 }
 
+// --- Serving surface -----------------------------------------------------
+//
+// Free path-pricing entry points for `ninja-serve`: a request carries one
+// path's `NMAT` Gaussian draws and is priced against a server-resident
+// curve. Each function is the math of one degradation-ladder rung.
+
+/// The deterministic initial forward curve generated instances use.
+pub fn default_init_rates() -> [f32; N_RATES] {
+    std::array::from_fn(|i| 0.04 + 0.005 * (i % 5) as f32)
+}
+
+/// The deterministic caplet volatility ladder generated instances use.
+pub fn default_vols() -> [f32; NMAT] {
+    std::array::from_fn(|i| 0.15 + 0.01 * (i % 4) as f32)
+}
+
+/// Prices one path from its normal draws in `f64` with libm `exp` — the
+/// serving layer's scalar floor.
+pub fn price_path_f64(init_rates: &[f32; N_RATES], vols: &[f32; NMAT], z: &[f32; NMAT]) -> f32 {
+    let delta = DELTA as f64;
+    let mut l = [0.0f64; N_RATES];
+    for (li, &r0) in l.iter_mut().zip(init_rates.iter()) {
+        *li = r0 as f64;
+    }
+    for (n, &zn) in z.iter().enumerate() {
+        let sqez = delta.sqrt() * zn as f64;
+        let mut v = 0.0f64;
+        for i in n + 1..N_RATES {
+            let lam = vols[(i - n - 1).min(NMAT - 1)] as f64;
+            let con1 = delta * lam;
+            v += con1 * l[i] / (1.0 + delta * l[i]);
+            let vrat = (con1 * v + lam * (sqez - 0.5 * con1)).exp();
+            l[i] *= vrat;
+        }
+    }
+    let mut b = 1.0f64;
+    let mut acc = 0.0f64;
+    for li in l.iter().skip(NMAT) {
+        b /= 1.0 + delta * li;
+        acc += b * delta * (li - STRIKE as f64).max(0.0);
+    }
+    (acc * 100.0) as f32
+}
+
+/// Prices one path in `f32` with the inlined polynomial `exp` — the
+/// restructured (SIMD) rung's arithmetic.
+pub fn price_path_poly(init_rates: &[f32; N_RATES], vols: &[f32; NMAT], z: &[f32; NMAT]) -> f32 {
+    let mut l = *init_rates;
+    let sqrt_delta = DELTA.sqrt();
+    for (n, &zn) in z.iter().enumerate() {
+        let sqez = sqrt_delta * zn;
+        let mut v = 0.0f32;
+        for i in n + 1..N_RATES {
+            let lam = vols[(i - n - 1).min(NMAT - 1)];
+            let con1 = DELTA * lam;
+            v += con1 * l[i] / (1.0 + DELTA * l[i]);
+            let vrat = exp_poly(con1 * v + lam * (sqez - 0.5 * con1));
+            l[i] *= vrat;
+        }
+    }
+    let mut b = 1.0f32;
+    let mut acc = 0.0f32;
+    for li in l.iter().skip(NMAT) {
+        b /= 1.0 + DELTA * li;
+        acc += b * DELTA * (li - STRIKE).max(0.0);
+    }
+    acc * 100.0
+}
+
+/// Prices four paths in lock-step with explicit SIMD and the vector
+/// `exp` — the ninja rung. `zs` is lane-major: draw `n` of lane `k` at
+/// `zs[4 * n + k]`.
+pub fn price_paths4(
+    init_rates: &[f32; N_RATES],
+    vols: &[f32; NMAT],
+    zs: &[f32; 4 * NMAT],
+) -> [f32; 4] {
+    let mut l: [F32x4; N_RATES] = std::array::from_fn(|i| F32x4::splat(init_rates[i]));
+    let sqrt_delta = F32x4::splat(DELTA.sqrt());
+    let delta = F32x4::splat(DELTA);
+    let one = F32x4::splat(1.0);
+    let half = F32x4::splat(0.5);
+    for n in 0..NMAT {
+        let sqez = sqrt_delta * F32x4::from_slice(&zs[4 * n..]);
+        let mut v = F32x4::zero();
+        for i in n + 1..N_RATES {
+            let lam = F32x4::splat(vols[(i - n - 1).min(NMAT - 1)]);
+            let con1 = delta * lam;
+            v += con1 * l[i] / (one + delta * l[i]);
+            let vrat = exp_v4(con1 * v + lam * (sqez - half * con1));
+            l[i] *= vrat;
+        }
+    }
+    let mut b = one;
+    let mut acc = F32x4::zero();
+    let strike = F32x4::splat(STRIKE);
+    for li in l.iter().skip(NMAT) {
+        b /= one + delta * *li;
+        acc += b * delta * (*li - strike).max(F32x4::zero());
+    }
+    let mut out = [0.0f32; 4];
+    (acc * F32x4::splat(100.0)).write_to_slice(&mut out);
+    out
+}
+
 fn run(k: &Libor, variant: Variant, pool: &ThreadPool) -> Vec<f32> {
     match variant {
         Variant::Naive => k.run_naive(),
@@ -416,6 +521,40 @@ mod tests {
         let mut inst = (spec.make)(ProblemSize::Test, 6);
         for v in Variant::ALL {
             inst.validate(v, &pool).unwrap();
+        }
+    }
+
+    #[test]
+    fn serving_surface_matches_instance_paths() {
+        let k = Libor::generate(ProblemSize::Test, 8);
+        // The generated instance uses exactly the default curve.
+        assert_eq!(k.init_rates, default_init_rates());
+        assert_eq!(k.vols, default_vols());
+        let rates = default_init_rates();
+        let vols = default_vols();
+        let reference = k.run_naive();
+        for p in (0..k.paths()).step_by(7) {
+            let z: [f32; NMAT] = k.z[p * NMAT..(p + 1) * NMAT].try_into().unwrap();
+            // Scalar floor is bit-identical to the naive instance math.
+            assert_eq!(price_path_f64(&rates, &vols, &z), reference[p]);
+            let poly = price_path_poly(&rates, &vols, &z);
+            let err = (poly - reference[p]).abs() / reference[p].abs().max(1.0);
+            assert!(err < 1e-2, "poly path {p}: {poly} vs {}", reference[p]);
+        }
+        // 4-lane SIMD pricing against the same draws, lane-major.
+        for p0 in (0..k.paths() - 4).step_by(52) {
+            let mut zs = [0.0f32; 4 * NMAT];
+            for lane in 0..4 {
+                for n in 0..NMAT {
+                    zs[4 * n + lane] = k.z[(p0 + lane) * NMAT + n];
+                }
+            }
+            let got = price_paths4(&rates, &vols, &zs);
+            for lane in 0..4 {
+                let b = reference[p0 + lane];
+                let err = (got[lane] - b).abs() / b.abs().max(1.0);
+                assert!(err < 1e-2, "simd path {}: {} vs {b}", p0 + lane, got[lane]);
+            }
         }
     }
 

@@ -239,6 +239,28 @@ impl TreeSearch {
         out
     }
 
+    // --- Serving surface -------------------------------------------------
+    //
+    // Per-query entry points for `ninja-serve`, which batches arbitrary
+    // client queries against a server-resident tree. Each delegates to
+    // the math of one degradation-ladder rung.
+
+    /// Serving-layer scalar floor: pointer-chasing BST lower bound.
+    pub fn lower_bound_bst(&self, q: f32) -> u32 {
+        self.search_bst(q)
+    }
+
+    /// Serving-layer restructured rung: linearized (Eytzinger) lower
+    /// bound.
+    pub fn lower_bound_linearized(&self, q: f32) -> u32 {
+        self.search_eytzinger(q)
+    }
+
+    /// Serving-layer ninja rung: four lower bounds per SIMD descent.
+    pub fn lower_bound4(&self, qs: [f32; 4]) -> [u32; 4] {
+        self.search4(qs)
+    }
+
     /// Ninja tier: SIMD-blocked search — four queries per descent step with
     /// gathered key loads — plus query parallelism.
     // ninja-lint: variant(ninja)
@@ -442,6 +464,20 @@ mod tests {
         let pool = ThreadPool::with_threads(1);
         for rank in k.run_ninja(&pool) {
             assert!(rank as usize <= k.num_keys());
+        }
+    }
+
+    #[test]
+    fn serving_surface_delegates_match_partition_point() {
+        let k = TreeSearch::generate(ProblemSize::Test, 12);
+        for w in k.queries.chunks_exact(4).take(50) {
+            let v4 = k.lower_bound4([w[0], w[1], w[2], w[3]]);
+            for (i, &q) in w.iter().enumerate() {
+                let want = lower_bound(&k.keys, q);
+                assert_eq!(k.lower_bound_bst(q), want);
+                assert_eq!(k.lower_bound_linearized(q), want);
+                assert_eq!(v4[i], want);
+            }
         }
     }
 

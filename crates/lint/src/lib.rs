@@ -46,10 +46,11 @@ use std::path::{Path, PathBuf};
 
 /// Crates whose sources the workspace-wide lint scans. The kernel-ladder
 /// rules self-select per file; the SAFETY audit applies to all of them.
-pub const AUDITED_CRATES: [&str; 4] = [
+pub const AUDITED_CRATES: [&str; 5] = [
     "crates/kernels",
     "crates/parallel",
     "crates/probe",
+    "crates/serve",
     "crates/simd",
 ];
 

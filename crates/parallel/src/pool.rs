@@ -884,6 +884,90 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_joins_reraise_panics_to_their_own_callers() {
+        // Several OS threads share one pool; panicking joins must re-raise
+        // in the caller that submitted them, never a bystander, and clean
+        // joins interleaved on the same pool must keep returning correct
+        // values.
+        let pool = Arc::new(ThreadPool::with_threads(4));
+        let mut handles = Vec::new();
+        for t in 0..6usize {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..40usize {
+                    if (t + round) % 2 == 0 {
+                        let (a, b) = pool.join(|| t * 1000 + round, || round * 7);
+                        assert_eq!(a, t * 1000 + round);
+                        assert_eq!(b, round * 7);
+                    } else {
+                        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            pool.join(std::thread::yield_now, || -> usize {
+                                panic!("caller {t} round {round}")
+                            })
+                        }))
+                        .unwrap_err();
+                        assert_eq!(
+                            payload_message(err.as_ref()),
+                            format!("caller {t} round {round}")
+                        );
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn pool_usable_immediately_after_panicked_parallel_for_under_load() {
+        // A panicked parallel_for must leave the pool ready for the very
+        // next region with no settling delay, even while another thread
+        // keeps clean work flowing through the same workers.
+        let pool = Arc::new(ThreadPool::with_threads(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let bg = {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rounds = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let sum = pool.parallel_reduce(
+                        0..256,
+                        16,
+                        0usize,
+                        |r| r.sum::<usize>(),
+                        |a, b| a + b,
+                    );
+                    assert_eq!(sum, (0..256).sum());
+                    rounds += 1;
+                }
+                rounds
+            })
+        };
+        for round in 0..25 {
+            let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.parallel_for(0..64, 1, |r| {
+                    if r.start == 31 {
+                        panic!("round {round}");
+                    }
+                });
+            }))
+            .unwrap_err();
+            assert_eq!(payload_message(err.as_ref()), format!("round {round}"));
+            // Immediately reuse the pool — no sleep, no settling.
+            let n = AtomicUsize::new(0);
+            pool.parallel_for(0..64, 3, |r| {
+                n.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            assert_eq!(n.load(Ordering::Relaxed), 64);
+        }
+        stop.store(true, Ordering::Relaxed);
+        let bg_rounds = bg.join().unwrap();
+        assert!(bg_rounds > 0, "background load never ran");
+    }
+
+    #[test]
     fn global_pool_is_singleton() {
         let a = ThreadPool::global() as *const _;
         let b = ThreadPool::global() as *const _;

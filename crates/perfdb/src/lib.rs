@@ -16,6 +16,10 @@
 //! - **sweep records** ([`sweep`]): scaling-sweep grids with their
 //!   Amdahl/USL fits, appended to `sweeps.jsonl` so `perfdb trend` can
 //!   show each rung's serial-fraction drift across commits;
+//! - **serve records** ([`serve`]): serving-layer SLO curves from
+//!   `ninja-serve` (offered load, p50/p99, shed/expired/degraded
+//!   counts), appended to `serves.jsonl` so `perfdb trend` can show
+//!   tail-latency drift across commits;
 //! - the **`perfdb` binary** (`record` / `compare` / `trend` / `history`
 //!   / `gc`) and the `reproduce --record` / `--baseline` integration in
 //!   `ninja-bench`.
@@ -35,6 +39,7 @@
 
 pub mod compare;
 pub mod schema;
+pub mod serve;
 pub mod store;
 pub mod sweep;
 pub mod trend;
@@ -46,9 +51,10 @@ pub use schema::{
     kernel_is_excluded, CellRecord, MachineFingerprint, RecordMeta, RunRecord, Sample,
     SCHEMA_VERSION,
 };
+pub use serve::{ServePointRecord, ServeRecord};
 pub use store::{record_from_path, resolve_reference, Store, DEFAULT_DIR};
 pub use sweep::{SweepCellRecord, SweepFitRecord, SweepRecord};
-pub use trend::{History, KernelHistory, SweepTrendPoint, TrendPoint};
+pub use trend::{History, KernelHistory, ServeTrendPoint, SweepTrendPoint, TrendPoint};
 
 /// Default file name of the exported trajectory artifact.
 pub const HISTORY_FILE: &str = "BENCH_history.json";

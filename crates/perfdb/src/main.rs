@@ -1,8 +1,8 @@
 //! The `perfdb` binary: CLI over the persistent run store.
 //!
 //! ```text
-//! perfdb record  [--store DIR] [--from PATH] [--sweep PATH] [--commit SHA] [--id ID]
-//!                [--timestamp SECS]
+//! perfdb record  [--store DIR] [--from PATH] [--sweep PATH] [--serve PATH]
+//!                [--commit SHA] [--id ID] [--timestamp SECS]
 //! perfdb compare BASELINE [--store DIR] [--candidate REF|PATH] [--window K]
 //!                [--noise-floor F] [--iters N] [--json PATH|-]
 //! perfdb trend   KERNEL [--store DIR] [--json]
@@ -14,9 +14,12 @@
 //! (or unambiguous prefix), or a filesystem path (a store JSONL or a raw
 //! `suite_report.json`). `record --sweep PATH` ingests a
 //! `sweep_report.json` (written by `reproduce --scale`) into the sweep
-//! log instead of the run log; `trend` then appends the kernel's
-//! serial-fraction drift across recorded sweeps (its `--json` output is
-//! a `{"runs": [...], "sweeps": [...]}` object). Exit status: 0 when the
+//! log instead of the run log, and `record --serve PATH` ingests a
+//! `serve_report.json` (written by `reproduce --serve`) into the serve
+//! log; `trend` then appends the kernel's serial-fraction drift across
+//! recorded sweeps and its serving-SLO drift across recorded serve runs
+//! (its `--json` output is a `{"runs": [...], "sweeps": [...],
+//! "serves": [...]}` object). Exit status: 0 when the
 //! comparison verdict is `noise`/`improved` (and for every other
 //! successful subcommand), 1 on a confirmed regression, 2 on usage or
 //! I/O errors.
@@ -25,16 +28,16 @@
 #![warn(rust_2018_idioms)]
 
 use ninja_perfdb::{
-    compare_records, resolve_reference, CompareConfig, RecordMeta, RunRecord, Store, SweepRecord,
-    DEFAULT_DIR, HISTORY_FILE,
+    compare_records, resolve_reference, CompareConfig, RecordMeta, RunRecord, ServeRecord, Store,
+    SweepRecord, DEFAULT_DIR, HISTORY_FILE,
 };
 use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = concat!(
     "usage: perfdb <record|compare|trend|history|gc> [options]\n",
-    "  record  [--store DIR] [--from PATH] [--sweep PATH] [--commit SHA] [--id ID]\n",
-    "          [--timestamp SECS]\n",
+    "  record  [--store DIR] [--from PATH] [--sweep PATH] [--serve PATH]\n",
+    "          [--commit SHA] [--id ID] [--timestamp SECS]\n",
     "  compare BASELINE [--store DIR] [--candidate REF|PATH] [--window K]\n",
     "          [--noise-floor F] [--iters N] [--json PATH|-]\n",
     "  trend   KERNEL [--store DIR] [--json]\n",
@@ -42,7 +45,9 @@ const USAGE: &str = concat!(
     "  gc      [--store DIR] [--keep N]\n",
     "refs: latest | latest~N | record id (prefix ok) | file path\n",
     "record --sweep ingests a sweep_report.json (from `reproduce --scale`)\n",
-    "into the sweep log; trend then shows serial-fraction drift"
+    "into the sweep log; record --serve ingests a serve_report.json (from\n",
+    "`reproduce --serve`) into the serve log; trend then shows\n",
+    "serial-fraction and serving-SLO drift"
 );
 
 /// Everything the subcommands need from the argument list.
@@ -51,6 +56,7 @@ struct Args {
     positional: Vec<String>,
     from: String,
     sweep: Option<String>,
+    serve: Option<String>,
     commit: Option<String>,
     id: Option<String>,
     timestamp: Option<u64>,
@@ -69,6 +75,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         positional: Vec::new(),
         from: "suite_report.json".into(),
         sweep: None,
+        serve: None,
         commit: None,
         id: None,
         timestamp: None,
@@ -86,6 +93,7 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             "--store" => args.store = Store::open(value("--store")?),
             "--from" => args.from = value("--from")?,
             "--sweep" => args.sweep = Some(value("--sweep")?),
+            "--serve" => args.serve = Some(value("--serve")?),
             "--commit" => args.commit = Some(value("--commit")?),
             "--id" => args.id = Some(value("--id")?),
             "--timestamp" => {
@@ -168,9 +176,31 @@ fn cmd_record_sweep(args: &Args, path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// `record --serve PATH`: ingest a serve report into the serve log.
+fn cmd_record_serve(args: &Args, path: &str) -> Result<(), String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let record = ServeRecord::from_serve_json(&json, &record_meta(args))?;
+    args.store.append_serve(&record)?;
+    println!(
+        "recorded serve {} (kernel {}, {} point(s), commit {}) to {}",
+        record.id,
+        record.kernel,
+        record.points.len(),
+        record.git_commit,
+        args.store.serves_path().display()
+    );
+    Ok(())
+}
+
 fn cmd_record(args: &Args) -> Result<(), String> {
+    if args.sweep.is_some() && args.serve.is_some() {
+        return Err("--sweep and --serve are mutually exclusive".into());
+    }
     if let Some(path) = &args.sweep {
         return cmd_record_sweep(args, path);
+    }
+    if let Some(path) = &args.serve {
+        return cmd_record_serve(args, path);
     }
     let json = std::fs::read_to_string(&args.from)
         .map_err(|e| format!("cannot read {}: {e}", args.from))?;
@@ -237,11 +267,16 @@ fn cmd_trend(args: &Args) -> Result<(), String> {
     if sweeps_skipped > 0 {
         eprintln!("perfdb: warning: skipped {sweeps_skipped} malformed sweep line(s)");
     }
+    let (serves, serves_skipped) = args.store.load_serves_lossy()?;
+    if serves_skipped > 0 {
+        eprintln!("perfdb: warning: skipped {serves_skipped} malformed serve line(s)");
+    }
     let points = ninja_perfdb::trend::kernel_trend(&records, kernel);
     let sweep_points = ninja_perfdb::trend::sweep_trend(&sweeps, kernel);
-    if points.is_empty() && sweep_points.is_empty() {
+    let serve_points = ninja_perfdb::trend::serve_trend(&serves, kernel);
+    if points.is_empty() && sweep_points.is_empty() && serve_points.is_empty() {
         return Err(format!(
-            "no recorded run or sweep measures kernel `{kernel}` (store {})",
+            "no recorded run, sweep, or serve measures kernel `{kernel}` (store {})",
             args.store.dir().display()
         ));
     }
@@ -251,27 +286,41 @@ fn cmd_trend(args: &Args) -> Result<(), String> {
         struct TrendJson {
             runs: Vec<ninja_perfdb::TrendPoint>,
             sweeps: Vec<ninja_perfdb::SweepTrendPoint>,
+            serves: Vec<ninja_perfdb::ServeTrendPoint>,
         }
-        let both = TrendJson {
+        let all = TrendJson {
             runs: points,
             sweeps: sweep_points,
+            serves: serve_points,
         };
         println!(
             "{}",
-            serde_json::to_string_pretty(&both).expect("trend points serialize")
+            serde_json::to_string_pretty(&all).expect("trend points serialize")
         );
         return Ok(());
     }
+    let mut sections = 0;
     if !points.is_empty() {
         print!("{}", ninja_perfdb::trend::render_trend(kernel, &points));
+        sections += 1;
     }
     if !sweep_points.is_empty() {
-        if !points.is_empty() {
+        if sections > 0 {
             println!();
         }
         print!(
             "{}",
             ninja_perfdb::trend::render_sweep_trend(kernel, &sweep_points)
+        );
+        sections += 1;
+    }
+    if !serve_points.is_empty() {
+        if sections > 0 {
+            println!();
+        }
+        print!(
+            "{}",
+            ninja_perfdb::trend::render_serve_trend(kernel, &serve_points)
         );
     }
     Ok(())

@@ -9,6 +9,7 @@
 
 use crate::compare::min_of_k_baseline;
 use crate::schema::{RecordMeta, RunRecord};
+use crate::serve::ServeRecord;
 use crate::sweep::SweepRecord;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -21,6 +22,9 @@ pub const RUNS_FILE: &str = "runs.jsonl";
 
 /// File name of the scaling-sweep log inside the store directory.
 pub const SWEEPS_FILE: &str = "sweeps.jsonl";
+
+/// File name of the serving-layer SLO log inside the store directory.
+pub const SERVES_FILE: &str = "serves.jsonl";
 
 /// `(line number, parse error)` for one unparseable store line.
 type MalformedLine = (usize, String);
@@ -169,6 +173,60 @@ impl Store {
                 continue;
             }
             match SweepRecord::from_jsonl_line(line) {
+                Ok(r) => records.push(r),
+                Err(_) => skipped += 1,
+            }
+        }
+        Ok((records, skipped))
+    }
+
+    /// Path of the JSONL serve log.
+    pub fn serves_path(&self) -> PathBuf {
+        self.dir.join(SERVES_FILE)
+    }
+
+    /// Appends one serve record (creating the directory and log on
+    /// first use). Serve runs live in their own log — they are SLO
+    /// curves, not single-point runs, so the run comparator never sees
+    /// them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure.
+    pub fn append_serve(&self, record: &ServeRecord) -> Result<(), String> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| format!("cannot create {}: {e}", self.dir.display()))?;
+        let path = self.serves_path();
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+        writeln!(file, "{}", record.to_jsonl_line())
+            .map_err(|e| format!("cannot append to {}: {e}", path.display()))
+    }
+
+    /// Loads every parseable serve record, oldest first, returning the
+    /// number of malformed lines skipped (0 for a healthy store; a
+    /// missing log is an empty store).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure only.
+    pub fn load_serves_lossy(&self) -> Result<(Vec<ServeRecord>, usize), String> {
+        let path = self.serves_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(format!("cannot read {}: {e}", path.display())),
+        };
+        let mut records = Vec::new();
+        let mut skipped = 0;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match ServeRecord::from_jsonl_line(line) {
                 Ok(r) => records.push(r),
                 Err(_) => skipped += 1,
             }
@@ -489,6 +547,46 @@ mod tests {
         std::fs::write(s.sweeps_path(), text).unwrap();
         let (sweeps, skipped) = s.load_sweeps_lossy().unwrap();
         assert_eq!((sweeps.len(), skipped), (2, 1));
+        let _ = std::fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn serve_log_appends_and_loads_independently() {
+        let s = temp_store("serves");
+        let serve = ServeRecord {
+            schema_version: SCHEMA_VERSION,
+            id: "serve-0".into(),
+            timestamp_unix_s: 0,
+            git_commit: "unknown".into(),
+            machine: MachineFingerprint::synthetic("scalar"),
+            kernel: "blackscholes".into(),
+            threads: 4,
+            chaos_seed: None,
+            chaos_rate: None,
+            deadline_us: 50_000,
+            points: Vec::new(),
+        };
+        s.append_serve(&serve).unwrap();
+        let mut second = serve.clone();
+        second.id = "serve-1".into();
+        s.append_serve(&second).unwrap();
+
+        let (serves, skipped) = s.load_serves_lossy().unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(
+            serves.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            ["serve-0", "serve-1"]
+        );
+        // Serve runs leak into neither the run log nor the sweep log.
+        assert_eq!(s.load().unwrap(), Vec::new());
+        assert_eq!(s.load_sweeps_lossy().unwrap().0.len(), 0);
+
+        // A truncated trailing serve line is skipped, not fatal.
+        let mut text = std::fs::read_to_string(s.serves_path()).unwrap();
+        text.push_str("{\"schema_version\":1,\"id\":\"serve-tr");
+        std::fs::write(s.serves_path(), text).unwrap();
+        let (serves, skipped) = s.load_serves_lossy().unwrap();
+        assert_eq!((serves.len(), skipped), (2, 1));
         let _ = std::fs::remove_dir_all(s.dir());
     }
 

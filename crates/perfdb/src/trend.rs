@@ -9,6 +9,7 @@
 //! points into a trajectory that future perf PRs are judged against.
 
 use crate::schema::RunRecord;
+use crate::serve::ServeRecord;
 use crate::sweep::SweepRecord;
 use serde::{Deserialize, Serialize};
 
@@ -227,10 +228,110 @@ pub fn render_sweep_trend(kernel: &str, points: &[SweepTrendPoint]) -> String {
     out
 }
 
+/// One serve run's contribution to a kernel's SLO trajectory: the tail
+/// latency and outcome mix measured at one offered rate.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServeTrendPoint {
+    /// Serve record id the point comes from.
+    pub run_id: String,
+    /// Unix timestamp (seconds) of the run.
+    pub timestamp_unix_s: u64,
+    /// Git commit measured.
+    pub git_commit: String,
+    /// Offered arrival rate, requests per second.
+    pub offered_rps: f64,
+    /// Requests resolved `Ok` (validated).
+    pub ok: u64,
+    /// Requests shed at admission.
+    pub rejected: u64,
+    /// Requests that ran out of deadline.
+    pub expired: u64,
+    /// `Ok` responses served below the ninja rung.
+    pub degraded: u64,
+    /// Median end-to-end `Ok` latency in microseconds, when measured.
+    pub p50_us: Option<f64>,
+    /// 99th-percentile end-to-end `Ok` latency in microseconds.
+    pub p99_us: Option<f64>,
+    /// Breaker trips over the run.
+    pub trips: u64,
+    /// Chaos per-attempt fault rate, when injection was active.
+    pub chaos_rate: Option<f64>,
+}
+
+/// One kernel's SLO trajectory straight from serve records (the serve
+/// section of `perfdb trend`): every measured offered-rate point of
+/// every serve run of the kernel, in store order.
+pub fn serve_trend(records: &[ServeRecord], kernel: &str) -> Vec<ServeTrendPoint> {
+    let mut points = Vec::new();
+    for rec in records.iter().filter(|r| r.kernel == kernel) {
+        for p in &rec.points {
+            points.push(ServeTrendPoint {
+                run_id: rec.id.clone(),
+                timestamp_unix_s: rec.timestamp_unix_s,
+                git_commit: rec.git_commit.clone(),
+                offered_rps: p.offered_rps,
+                ok: p.ok,
+                rejected: p.rejected,
+                expired: p.expired,
+                degraded: p.degraded,
+                p50_us: p.p50_us,
+                p99_us: p.p99_us,
+                trips: p.trips,
+                chaos_rate: rec.chaos_rate,
+            });
+        }
+    }
+    points
+}
+
+/// Renders a kernel's serving-SLO drift as an aligned text table.
+pub fn render_serve_trend(kernel: &str, points: &[ServeTrendPoint]) -> String {
+    let mut out = format!(
+        "serving SLO drift for {kernel} ({} measured point(s))\n\
+         {:<24} {:<13} {:>10} {:>7} {:>6} {:>7} {:>6} {:>10} {:>10} {:>5} {:>6}\n",
+        points.len(),
+        "serve",
+        "commit",
+        "offered/s",
+        "ok",
+        "shed",
+        "expired",
+        "degr",
+        "p50(us)",
+        "p99(us)",
+        "trips",
+        "chaos"
+    );
+    for p in points {
+        let fmt_us = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.0}"),
+            None => "-".to_owned(),
+        };
+        out.push_str(&format!(
+            "{:<24} {:<13} {:>10.0} {:>7} {:>6} {:>7} {:>6} {:>10} {:>10} {:>5} {:>6}\n",
+            p.run_id,
+            p.git_commit,
+            p.offered_rps,
+            p.ok,
+            p.rejected,
+            p.expired,
+            p.degraded,
+            fmt_us(p.p50_us),
+            fmt_us(p.p99_us),
+            p.trips,
+            p.chaos_rate
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "off".to_owned())
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::schema::{CellRecord, MachineFingerprint, Sample, SCHEMA_VERSION};
+    use crate::serve::ServePointRecord;
     use crate::sweep::SweepFitRecord;
 
     fn sample(median: f64) -> Option<Sample> {
@@ -348,6 +449,52 @@ mod tests {
         assert!(text.contains("serial-fraction drift"), "{text}");
         assert!(text.contains("0.120"), "{text}");
         assert!(text.contains('-'), "no-knee renders as dash: {text}");
+    }
+
+    fn serve_record(id: &str, ts: u64, p99: f64) -> ServeRecord {
+        ServeRecord {
+            schema_version: SCHEMA_VERSION,
+            id: id.into(),
+            timestamp_unix_s: ts,
+            git_commit: format!("c-{id}"),
+            machine: MachineFingerprint::synthetic("scalar"),
+            kernel: "blackscholes".into(),
+            threads: 4,
+            chaos_seed: Some(2012),
+            chaos_rate: Some(0.15),
+            deadline_us: 50_000,
+            points: vec![ServePointRecord {
+                offered_rps: 1000.0,
+                sent: 500,
+                ok: 480,
+                rejected: 12,
+                expired: 8,
+                incorrect: 0,
+                degraded: 40,
+                p50_us: Some(800.0),
+                p99_us: Some(p99),
+                trips: 3,
+                recoveries: 3,
+            }],
+        }
+    }
+
+    #[test]
+    fn serve_trend_tracks_tail_latency_across_records() {
+        let records = vec![
+            serve_record("v0", 10, 9_500.0),
+            serve_record("v1", 20, 14_000.0),
+        ];
+        let points = serve_trend(&records, "blackscholes");
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].p99_us, Some(9_500.0));
+        assert_eq!(points[1].p99_us, Some(14_000.0), "tail drifted");
+        assert_eq!(points[1].git_commit, "c-v1");
+        assert!(serve_trend(&records, "libor").is_empty());
+        let text = render_serve_trend("blackscholes", &points);
+        assert!(text.contains("serving SLO drift"), "{text}");
+        assert!(text.contains("14000"), "{text}");
+        assert!(text.contains("0.15"), "{text}");
     }
 
     #[test]

@@ -29,8 +29,8 @@ mod trace;
 
 pub use metrics::{PoolMetrics, WorkerStats};
 pub use trace::{
-    chrome_trace_json, clear_events, instant, span, take_events, thread_id, validate_events, Phase,
-    Span, TraceEvent,
+    chrome_trace_json, clear_abandoned_threads, clear_events, instant, mark_thread_abandoned, span,
+    take_events, thread_id, validate_events, Phase, Span, TraceEvent,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};

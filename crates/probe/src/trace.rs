@@ -62,6 +62,10 @@ fn now_us() -> f64 {
 static NEXT_TID: AtomicU32 = AtomicU32::new(0);
 static SINK: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
 static THREAD_NAMES: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
+/// Names of threads a supervisor abandoned mid-flight (watchdog timeouts,
+/// serve executor replacement). Spans on these lanes may legitimately
+/// never close.
+static ABANDONED_NAMES: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
 /// Lock a global mutex, recovering the data if a panicking holder
 /// poisoned it (the harness intentionally survives panics).
@@ -216,14 +220,48 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     out
 }
 
+/// Mark the thread named `name` as abandoned by its supervisor: a
+/// watchdog gave up waiting on it (or a serve executor was replaced), so
+/// any span it had open when abandoned will never see its `E` event.
+/// [`validate_events`] skips lanes registered here instead of reporting
+/// their unclosed spans as B/E-pairing bugs.
+pub fn mark_thread_abandoned(name: &str) {
+    lock_recover(&ABANDONED_NAMES).push(name.to_owned());
+}
+
+/// Clear the abandoned-thread registry (test isolation).
+pub fn clear_abandoned_threads() {
+    lock_recover(&ABANDONED_NAMES).clear();
+}
+
+/// The trace lane ids whose registered thread name has been marked
+/// abandoned via [`mark_thread_abandoned`].
+fn abandoned_tids() -> Vec<u32> {
+    let abandoned = lock_recover(&ABANDONED_NAMES);
+    if abandoned.is_empty() {
+        return Vec::new();
+    }
+    lock_recover(&THREAD_NAMES)
+        .iter()
+        .filter(|(_, name)| abandoned.iter().any(|a| a == name))
+        .map(|&(tid, _)| tid)
+        .collect()
+}
+
 /// Structural validation used by tests and the smoke pipeline: every `B`
 /// must have a matching same-name `E` on the same lane (proper nesting),
-/// and timestamps must be monotone non-decreasing per lane.
+/// and timestamps must be monotone non-decreasing per lane. Lanes whose
+/// thread was [marked abandoned](mark_thread_abandoned) are exempt: a
+/// watchdog-abandoned thread legitimately leaves its last span open.
 pub fn validate_events(events: &[TraceEvent]) -> Result<(), String> {
     use std::collections::HashMap;
+    let abandoned = abandoned_tids();
     let mut stacks: HashMap<u32, Vec<&str>> = HashMap::new();
     let mut last_ts: HashMap<u32, f64> = HashMap::new();
     for (i, ev) in events.iter().enumerate() {
+        if abandoned.contains(&ev.tid) {
+            continue;
+        }
         if let Some(prev) = last_ts.get(&ev.tid) {
             if ev.ts_us < *prev {
                 return Err(format!(
@@ -293,6 +331,37 @@ mod tests {
             tid: 0,
         }];
         assert!(validate_events(&evs).unwrap_err().contains("unclosed"));
+    }
+
+    #[test]
+    fn abandoned_lane_is_exempt_from_pairing() {
+        let _guard = crate::TEST_LOCK.lock().unwrap();
+        crate::set_tracing(true);
+        clear_events();
+        clear_abandoned_threads();
+        // A named thread opens a span it never closes — exactly what a
+        // watchdog-abandoned variant thread does.
+        std::thread::Builder::new()
+            .name("watchdog-test-victim".into())
+            .spawn(|| {
+                let s = span("stuck-work");
+                std::mem::forget(s);
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        let events = take_events();
+        crate::set_tracing(false);
+        // Without the abandonment tag this is a pairing bug...
+        assert!(validate_events(&events).unwrap_err().contains("unclosed"));
+        // ...with it, the lane is exempt.
+        mark_thread_abandoned("watchdog-test-victim");
+        validate_events(&events).unwrap();
+        clear_abandoned_threads();
+        // Other lanes are still validated strictly.
+        mark_thread_abandoned("some-other-thread");
+        assert!(validate_events(&events).is_err());
+        clear_abandoned_threads();
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Per-rung circuit breaker.
+//!
+//! Classic three-state breaker driven by the batcher thread (no interior
+//! locking needed — one owner): **Closed** counts consecutive failures
+//! and trips at a threshold; **Open** rejects the rung until a cooldown
+//! elapses; **HalfOpen** admits a single probe attempt whose outcome
+//! either closes the breaker (recovery) or re-opens it.
+
+use std::time::{Duration, Instant};
+
+#[derive(Copy, Clone, Debug, PartialEq)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// A circuit breaker guarding one degradation-ladder rung.
+#[derive(Clone, Debug)]
+pub struct Breaker {
+    state: State,
+    threshold: u32,
+    cooldown: Duration,
+    trips: u64,
+    recoveries: u64,
+}
+
+impl Breaker {
+    /// A closed breaker that trips after `threshold` consecutive
+    /// failures and stays open for `cooldown` before probing recovery.
+    /// A threshold of 0 behaves as 1.
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        Self {
+            state: State::Closed {
+                consecutive_failures: 0,
+            },
+            threshold: threshold.max(1),
+            cooldown,
+            trips: 0,
+            recoveries: 0,
+        }
+    }
+
+    /// May the guarded rung attempt a batch right now? An open breaker
+    /// whose cooldown has elapsed transitions to half-open and admits
+    /// the call as its recovery probe.
+    pub fn allows(&mut self, now: Instant) -> bool {
+        match self.state {
+            State::Closed { .. } | State::HalfOpen => true,
+            State::Open { until } => {
+                if now >= until {
+                    self.state = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful attempt. Returns `true` when this success
+    /// recovered a half-open breaker back to closed.
+    pub fn record_success(&mut self) -> bool {
+        let recovered = self.state == State::HalfOpen;
+        if recovered {
+            self.recoveries += 1;
+        }
+        self.state = State::Closed {
+            consecutive_failures: 0,
+        };
+        recovered
+    }
+
+    /// Record a failed attempt at `now`. Returns `true` when this
+    /// failure tripped the breaker open.
+    pub fn record_failure(&mut self, now: Instant) -> bool {
+        match self.state {
+            State::Closed {
+                consecutive_failures,
+            } => {
+                let fails = consecutive_failures + 1;
+                if fails >= self.threshold {
+                    self.trip(now)
+                } else {
+                    self.state = State::Closed {
+                        consecutive_failures: fails,
+                    };
+                    false
+                }
+            }
+            // A failed recovery probe re-opens for another cooldown.
+            State::HalfOpen => self.trip(now),
+            State::Open { .. } => false,
+        }
+    }
+
+    fn trip(&mut self, now: Instant) -> bool {
+        self.state = State::Open {
+            until: now + self.cooldown,
+        };
+        self.trips += 1;
+        true
+    }
+
+    /// Number of closed→open (or half-open→open) transitions so far.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Number of half-open→closed recoveries so far.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Is the breaker currently passing traffic (closed or half-open)?
+    pub fn is_closed(&self) -> bool {
+        matches!(self.state, State::Closed { .. } | State::HalfOpen)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let now = Instant::now();
+        let mut b = Breaker::new(3, Duration::from_millis(10));
+        assert!(!b.record_failure(now));
+        assert!(!b.record_failure(now));
+        assert!(b.record_failure(now));
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allows(now));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let now = Instant::now();
+        let mut b = Breaker::new(2, Duration::from_millis(10));
+        assert!(!b.record_failure(now));
+        b.record_success();
+        assert!(!b.record_failure(now));
+        assert!(b.is_closed());
+    }
+
+    #[test]
+    fn half_open_probe_recovers_or_reopens() {
+        let now = Instant::now();
+        let mut b = Breaker::new(1, Duration::from_millis(5));
+        assert!(b.record_failure(now));
+        assert!(!b.allows(now));
+        // Cooldown elapsed: half-open admits one probe.
+        let later = now + Duration::from_millis(6);
+        assert!(b.allows(later));
+        // Failed probe re-opens immediately (threshold irrelevant).
+        assert!(b.record_failure(later));
+        assert_eq!(b.trips(), 2);
+        assert!(!b.allows(later));
+        // Next probe succeeds: recovered.
+        let later2 = later + Duration::from_millis(6);
+        assert!(b.allows(later2));
+        assert!(b.record_success());
+        assert_eq!(b.recoveries(), 1);
+        assert!(b.is_closed());
+    }
+
+    #[test]
+    fn zero_threshold_acts_as_one() {
+        let now = Instant::now();
+        let mut b = Breaker::new(0, Duration::from_millis(1));
+        assert!(b.record_failure(now));
+    }
+}

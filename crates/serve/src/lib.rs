@@ -1,0 +1,118 @@
+//! ninja-serve: a fault-tolerant batched serving layer over the gap
+//! kernels.
+//!
+//! The ROADMAP's north star is requests-per-second-per-core, not bare
+//! kernel GFLOP/s; this crate turns the measured kernels into a
+//! long-running in-process service and wraps them in the robustness
+//! envelope that determines *delivered* performance:
+//!
+//! * **Front door**: [`Engine::submit`] accepts one AoS request and
+//!   returns a [`Ticket`] that resolves to exactly one [`Response`].
+//!   Admission is bounded — a full queue sheds load with an immediate
+//!   [`Response::Rejected`] instead of queueing into certain deadline
+//!   death.
+//! * **Batching**: a dedicated batcher thread coalesces queued requests
+//!   into batches and executes them through a [`BatchKernel`], which lays
+//!   the batch out SoA and runs the rung-appropriate kernel math on the
+//!   shared [`ninja_parallel::ThreadPool`].
+//! * **Deadlines**: each request carries an end-to-end deadline covering
+//!   queue wait plus execution; a request that cannot be served in time
+//!   resolves as [`Response::Expired`] — never silently dropped.
+//! * **Isolation + retry**: every batch attempt runs on a supervised
+//!   executor thread under `catch_unwind`; panics, hangs (detected by
+//!   attempt timeout, the stuck executor is abandoned and replaced), and
+//!   validation failures are retried with capped exponential backoff
+//!   while the deadline budget lasts.
+//! * **Validation**: every attempt's output is checked against a trusted
+//!   scalar (`f64`) reference computed once per batch, so a faulting
+//!   rung can *never* deliver a wrong answer — it is caught, counted,
+//!   and retried or degraded.
+//! * **Graceful degradation**: per-rung circuit breakers
+//!   ([`breaker::Breaker`]) trip after repeated failures and route
+//!   batches down the [`Rung`] ladder (ninja → SIMD → scalar); after a
+//!   cooldown the breaker half-opens and probes recovery back up the
+//!   ladder. The scalar floor has no breaker — it is the rung of last
+//!   resort.
+//! * **Chaos**: a deterministic seeded
+//!   [`ninja_kernels::chaos::ChaosSchedule`] (shared with `reproduce
+//!   --chaos`) injects the panic/hang/nan/wrong fault taxonomy at the
+//!   service layer, making every robustness path testable bit-for-bit
+//!   reproducibly.
+//! * **Measurement**: the open-loop [`loadgen`] drives an engine at a
+//!   fixed offered rate and reports p50/p99 latency, shed/expired/
+//!   degraded counts, and breaker activity as SLO curve points that flow
+//!   into perfdb.
+
+#![deny(missing_docs)]
+
+pub mod breaker;
+pub mod engine;
+pub mod kernels;
+pub mod loadgen;
+
+pub use breaker::Breaker;
+pub use engine::{BatchKernel, Engine, EngineStats, Response, ServeConfig, Ticket};
+pub use kernels::{BlackScholesServe, LiborServe, TreeSearchServe};
+pub use loadgen::{run_open_loop, ServeReport, SloPoint};
+
+/// One rung of the serving degradation ladder, best first.
+///
+/// The serving ladder is coarser than the five-tier measurement ladder:
+/// it keeps the three rungs that differ in *failure surface* — the
+/// hand-tuned SIMD path, the restructured compiler-friendly path, and
+/// the trusted scalar floor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Rung {
+    /// Hand-vectorized kernel math (the measurement ladder's ninja tier).
+    Ninja,
+    /// Restructured `f32` math a compiler can vectorize (the SIMD /
+    /// algorithmic tiers).
+    Simd,
+    /// Scalar `f64` reference math. The unconditional floor: no breaker
+    /// ever removes it.
+    Scalar,
+}
+
+impl Rung {
+    /// The ladder in degradation order (try first → floor).
+    pub const LADDER: [Rung; 3] = [Rung::Ninja, Rung::Simd, Rung::Scalar];
+
+    /// Position in [`Rung::LADDER`].
+    pub fn index(self) -> usize {
+        match self {
+            Rung::Ninja => 0,
+            Rung::Simd => 1,
+            Rung::Scalar => 2,
+        }
+    }
+
+    /// Lower-case display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rung::Ninja => "ninja",
+            Rung::Simd => "simd",
+            Rung::Scalar => "scalar",
+        }
+    }
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_ordered_best_to_floor() {
+        assert_eq!(Rung::LADDER[0], Rung::Ninja);
+        assert_eq!(Rung::LADDER[2], Rung::Scalar);
+        for (i, r) in Rung::LADDER.into_iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Rung::Ninja.to_string(), "ninja");
+    }
+}

@@ -1,0 +1,224 @@
+//! Open-loop load generator and SLO reporting.
+//!
+//! Open-loop means arrivals follow a fixed schedule regardless of how
+//! the service is coping — the honest way to measure a latency/load
+//! curve, since closed-loop clients self-throttle and hide queueing
+//! collapse. The generator submits requests at a constant offered rate,
+//! then drains every ticket and classifies the resolutions; `Ok`
+//! responses are re-verified client-side against an expected value so
+//! an unvalidated wrong answer can never hide in the counts.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+
+use crate::engine::{BatchKernel, Engine, Response};
+use crate::Rung;
+
+/// One measured point of an SLO curve: a fixed offered load and the
+/// delivered latency/outcome distribution.
+#[derive(Clone, Debug, Serialize)]
+pub struct SloPoint {
+    /// Offered arrival rate, requests per second.
+    pub offered_rps: f64,
+    /// Requests submitted.
+    pub sent: u64,
+    /// Requests resolved `Ok` (validated).
+    pub ok: u64,
+    /// Requests shed at admission.
+    pub rejected: u64,
+    /// Requests that ran out of deadline.
+    pub expired: u64,
+    /// Tickets that failed to resolve within deadline + grace + one
+    /// backoff (a serving-contract violation; must stay 0).
+    pub unresolved: u64,
+    /// `Ok` responses whose value disagreed with the client-side
+    /// expectation (must stay 0 — validation guarantees it).
+    pub incorrect: u64,
+    /// `Ok` responses served below the ninja rung.
+    pub degraded: u64,
+    /// Median end-to-end latency of `Ok` responses, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile end-to-end latency of `Ok` responses.
+    pub p99_us: f64,
+    /// Breaker trips observed engine-wide by the end of the point.
+    pub trips: u64,
+    /// Breaker recoveries observed engine-wide by the end of the point.
+    pub recoveries: u64,
+}
+
+/// An SLO curve for one served kernel, ready for JSON export and perfdb
+/// ingestion.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServeReport {
+    /// Served kernel name.
+    pub kernel: String,
+    /// Worker threads in the shared pool.
+    pub threads: usize,
+    /// Chaos schedule seed, when injection was active.
+    pub chaos_seed: Option<u64>,
+    /// Chaos per-attempt fault rate, when injection was active.
+    pub chaos_rate: Option<f64>,
+    /// Request deadline in microseconds.
+    pub deadline_us: u64,
+    /// One point per offered rate.
+    pub points: Vec<SloPoint>,
+}
+
+impl ServeReport {
+    /// Render the curve as an aligned human-readable table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "serve SLO curve: kernel={} threads={} deadline={}us chaos={}",
+            self.kernel,
+            self.threads,
+            self.deadline_us,
+            match (self.chaos_seed, self.chaos_rate) {
+                (Some(s), Some(r)) => format!("seed={s} rate={r}"),
+                _ => "off".to_owned(),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "{:>10} {:>7} {:>7} {:>7} {:>7} {:>9} {:>10} {:>10} {:>6}",
+            "offered/s",
+            "ok",
+            "shed",
+            "expired",
+            "degr",
+            "incorrect",
+            "p50(us)",
+            "p99(us)",
+            "trips"
+        );
+        for p in &self.points {
+            let _ = writeln!(
+                out,
+                "{:>10.0} {:>7} {:>7} {:>7} {:>7} {:>9} {:>10.0} {:>10.0} {:>6}",
+                p.offered_rps,
+                p.ok,
+                p.rejected,
+                p.expired,
+                p.degraded,
+                p.incorrect,
+                p.p50_us,
+                p.p99_us,
+                p.trips
+            );
+        }
+        out
+    }
+}
+
+fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1] as f64
+}
+
+/// Drive `engine` open-loop at `offered_rps` for `n_requests` requests,
+/// then drain and classify every ticket. `make_req` produces the i-th
+/// request along with its expected response for client-side
+/// re-verification of `Ok` resolutions.
+pub fn run_open_loop<K, F>(
+    engine: &Engine<K>,
+    mut make_req: F,
+    offered_rps: f64,
+    n_requests: usize,
+) -> SloPoint
+where
+    K: BatchKernel,
+    F: FnMut(usize) -> (K::Req, K::Resp),
+{
+    assert!(offered_rps > 0.0, "offered rate must be positive");
+    let interval = Duration::from_secs_f64(1.0 / offered_rps);
+    let cfg = engine_config_snapshot(engine);
+    // The resolution contract: deadline + attempt grace + one backoff,
+    // plus scheduling slack for the wait itself.
+    let resolve_budget =
+        cfg.deadline + cfg.attempt_grace + cfg.backoff_cap + Duration::from_millis(250);
+
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(n_requests);
+    for i in 0..n_requests {
+        // Open-loop pacing: send at the scheduled instant even if the
+        // service is behind (that is the point).
+        let due = start + interval.saturating_mul(i as u32);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        let (req, expected) = make_req(i);
+        tickets.push((engine.submit(req), expected));
+    }
+
+    let mut point = SloPoint {
+        offered_rps,
+        sent: n_requests as u64,
+        ok: 0,
+        rejected: 0,
+        expired: 0,
+        unresolved: 0,
+        incorrect: 0,
+        degraded: 0,
+        p50_us: f64::NAN,
+        p99_us: f64::NAN,
+        trips: 0,
+        recoveries: 0,
+    };
+    let mut latencies_us: Vec<u64> = Vec::new();
+    for (ticket, expected) in &tickets {
+        match ticket.wait(resolve_budget) {
+            Some(Response::Ok {
+                value,
+                rung,
+                total_us,
+                ..
+            }) => {
+                point.ok += 1;
+                if !engine.kernel().matches(&value, expected) {
+                    point.incorrect += 1;
+                }
+                if rung != Rung::Ninja {
+                    point.degraded += 1;
+                }
+                latencies_us.push(total_us);
+            }
+            Some(Response::Rejected) => point.rejected += 1,
+            Some(Response::Expired) => point.expired += 1,
+            None => point.unresolved += 1,
+        }
+    }
+    latencies_us.sort_unstable();
+    point.p50_us = percentile(&latencies_us, 0.50);
+    point.p99_us = percentile(&latencies_us, 0.99);
+    let stats = engine.stats();
+    point.trips = stats.trips;
+    point.recoveries = stats.recoveries;
+    point
+}
+
+/// The engine's config, via a small accessor so the loadgen can size
+/// its resolution budget from the engine it measures.
+fn engine_config_snapshot<K: BatchKernel>(engine: &Engine<K>) -> crate::engine::ServeConfig {
+    engine.config()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_picks_nearest_rank() {
+        let v = [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.99), 100.0);
+        assert_eq!(percentile(&v, 0.01), 10.0);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+}

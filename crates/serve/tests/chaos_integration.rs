@@ -1,0 +1,237 @@
+//! The serving-layer acceptance test: under a seeded chaos schedule
+//! injecting the full panic/hang/nan/wrong taxonomy at a ≥5% per-attempt
+//! rate, a 10k-request run must (a) deliver zero incorrect responses,
+//! (b) resolve every ticket as Ok/Rejected/Expired within its deadline
+//! plus one backoff budget, (c) demonstrably degrade the batch path
+//! ninja → SIMD → scalar via the circuit breakers, and (d) recover back
+//! to the ninja rung once faults stop.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ninja_kernels::black_scholes::{price_contract, OptionContract};
+use ninja_kernels::chaos::ChaosSchedule;
+use ninja_kernels::libor::{default_init_rates, default_vols, price_path_f64, NMAT};
+use ninja_kernels::ProblemSize;
+use ninja_parallel::ThreadPool;
+use ninja_serve::{
+    BlackScholesServe, Engine, LiborServe, Response, Rung, ServeConfig, TreeSearchServe,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const CHAOS_RATE: f64 = 0.15;
+const WAVE: usize = 256;
+
+fn chaos_config() -> ServeConfig {
+    ServeConfig {
+        queue_capacity: 2048,
+        max_batch: 64,
+        deadline: Duration::from_millis(200),
+        backoff_base: Duration::from_micros(500),
+        backoff_cap: Duration::from_millis(8),
+        breaker_threshold: 1,
+        breaker_cooldown: Duration::from_millis(50),
+        attempt_grace: Duration::from_millis(50),
+        // An injected hang must outlast deadline + grace so the attempt
+        // timeout (executor abandonment) path actually fires, while
+        // staying bounded so abandoned threads exit.
+        hang_sleep: Duration::from_millis(400),
+    }
+}
+
+/// The hard resolution contract: deadline, plus the attempt grace, plus
+/// one backoff, plus scheduling slack for the observer itself.
+fn resolve_budget(cfg: &ServeConfig) -> Duration {
+    cfg.deadline + cfg.attempt_grace + cfg.backoff_cap + Duration::from_millis(500)
+}
+
+struct Tally {
+    ok: u64,
+    rejected: u64,
+    expired: u64,
+    unresolved: u64,
+    incorrect: u64,
+    ok_rungs: [u64; 3],
+}
+
+/// Drive `n` requests through `engine` in waves, verifying every Ok
+/// against the client-side expectation.
+fn drive<K, F>(engine: &Engine<K>, mut make_req: F, n: usize) -> Tally
+where
+    K: ninja_serve::BatchKernel,
+    F: FnMut(usize) -> (K::Req, K::Resp),
+{
+    let budget = resolve_budget(&engine.config());
+    let mut tally = Tally {
+        ok: 0,
+        rejected: 0,
+        expired: 0,
+        unresolved: 0,
+        incorrect: 0,
+        ok_rungs: [0; 3],
+    };
+    let mut sent = 0usize;
+    while sent < n {
+        let wave = WAVE.min(n - sent);
+        let tickets: Vec<_> = (0..wave)
+            .map(|i| {
+                let (req, expected) = make_req(sent + i);
+                (engine.submit(req), expected)
+            })
+            .collect();
+        sent += wave;
+        for (ticket, expected) in &tickets {
+            match ticket.wait(budget) {
+                Some(Response::Ok { value, rung, .. }) => {
+                    tally.ok += 1;
+                    tally.ok_rungs[rung.index()] += 1;
+                    if !engine.kernel().matches(&value, expected) {
+                        tally.incorrect += 1;
+                    }
+                }
+                Some(Response::Rejected) => tally.rejected += 1,
+                Some(Response::Expired) => tally.expired += 1,
+                None => tally.unresolved += 1,
+            }
+        }
+    }
+    tally
+}
+
+#[test]
+fn blackscholes_10k_under_chaos_never_lies_and_degrades_gracefully() {
+    let pool = Arc::new(ThreadPool::with_threads(4));
+    let cfg = chaos_config();
+    let engine = Engine::new(
+        BlackScholesServe::new(pool),
+        cfg,
+        Some(ChaosSchedule::new(2012, CHAOS_RATE)),
+    );
+    let mut rng = SmallRng::seed_from_u64(7);
+    let tally = drive(
+        &engine,
+        |_| {
+            let c = OptionContract {
+                spot: rng.gen_range(5.0..120.0),
+                strike: rng.gen_range(10.0..100.0),
+                years: rng.gen_range(0.1..5.0),
+                rate: rng.gen_range(0.01..0.08),
+                vol: rng.gen_range(0.05..0.6),
+            };
+            (c, price_contract(&c))
+        },
+        10_000,
+    );
+
+    // (a) Zero incorrect responses: every injected wrong/NaN output was
+    // caught by validation before delivery.
+    assert_eq!(tally.incorrect, 0, "an unvalidated wrong response escaped");
+    // (b) Every ticket resolved within the contract.
+    assert_eq!(tally.unresolved, 0, "a ticket outlived deadline + backoff");
+    assert_eq!(
+        tally.ok + tally.rejected + tally.expired,
+        10_000,
+        "request accounting does not add up"
+    );
+    // The service still mostly works at this fault rate.
+    assert!(tally.ok > 5_000, "only {} of 10k served Ok", tally.ok);
+
+    // (c) Demonstrable ninja → SIMD → scalar degradation: the breakers
+    // tripped and every rung of the ladder served validated traffic.
+    let stats = engine.stats();
+    assert!(stats.trips > 0, "no breaker ever tripped");
+    assert!(
+        tally.ok_rungs[Rung::Ninja.index()] > 0,
+        "no Ok served at ninja rung"
+    );
+    assert!(
+        tally.ok_rungs[Rung::Simd.index()] > 0,
+        "breaker never degraded to the SIMD rung"
+    );
+    assert!(
+        tally.ok_rungs[Rung::Scalar.index()] > 0,
+        "breaker never degraded to the scalar floor"
+    );
+    // The chaos mix actually exercised every failure path.
+    assert!(stats.panics > 0, "no panic fault observed");
+    assert!(stats.timeouts > 0, "no hang/abandonment observed");
+    assert!(stats.validation_failures > 0, "no wrong/nan fault caught");
+
+    // (d) Recovery: stop injecting, let the cooldown elapse, and the
+    // ladder climbs back to ninja.
+    engine.set_chaos(None);
+    std::thread::sleep(cfg.breaker_cooldown + Duration::from_millis(20));
+    let mut rng = SmallRng::seed_from_u64(8);
+    let post = drive(
+        &engine,
+        |_| {
+            let c = OptionContract {
+                spot: rng.gen_range(5.0..120.0),
+                strike: rng.gen_range(10.0..100.0),
+                years: rng.gen_range(0.1..5.0),
+                rate: rng.gen_range(0.01..0.08),
+                vol: rng.gen_range(0.05..0.6),
+            };
+            (c, price_contract(&c))
+        },
+        WAVE,
+    );
+    assert_eq!(post.ok, WAVE as u64, "post-chaos requests failed");
+    assert_eq!(post.incorrect, 0);
+    assert!(
+        post.ok_rungs[Rung::Ninja.index()] > 0,
+        "service never climbed back to the ninja rung"
+    );
+    assert!(
+        engine.stats().recoveries > 0,
+        "no breaker half-open recovery recorded"
+    );
+}
+
+#[test]
+fn treesearch_under_chaos_never_lies() {
+    let pool = Arc::new(ThreadPool::with_threads(2));
+    let engine = Engine::new(
+        TreeSearchServe::new(ProblemSize::Test, 3, pool),
+        chaos_config(),
+        Some(ChaosSchedule::new(77, CHAOS_RATE)),
+    );
+    let hi = engine.kernel().tree().num_keys() as f32 * 1.3;
+    let mut rng = SmallRng::seed_from_u64(9);
+    let tally = drive(
+        &engine,
+        |_| {
+            let q = rng.gen_range(-1.0..hi);
+            (q, engine.kernel().tree().lower_bound_bst(q))
+        },
+        1_024,
+    );
+    assert_eq!(tally.incorrect, 0);
+    assert_eq!(tally.unresolved, 0);
+    assert!(tally.ok > 512, "only {} of 1024 served Ok", tally.ok);
+}
+
+#[test]
+fn libor_under_chaos_never_lies() {
+    let pool = Arc::new(ThreadPool::with_threads(2));
+    let engine = Engine::new(
+        LiborServe::new(pool),
+        chaos_config(),
+        Some(ChaosSchedule::new(41, CHAOS_RATE)),
+    );
+    let rates = default_init_rates();
+    let vols = default_vols();
+    let mut rng = SmallRng::seed_from_u64(10);
+    let tally = drive(
+        &engine,
+        |_| {
+            let z: [f32; NMAT] = std::array::from_fn(|_| rng.gen_range(-3.0..3.0));
+            (z, price_path_f64(&rates, &vols, &z))
+        },
+        1_024,
+    );
+    assert_eq!(tally.incorrect, 0);
+    assert_eq!(tally.unresolved, 0);
+    assert!(tally.ok > 512, "only {} of 1024 served Ok", tally.ok);
+}
