@@ -272,6 +272,23 @@ fn main() {
             }
         }
     }
+    let mut vec_profiles = Vec::new();
+    if cli.asm {
+        match ninja_bench::asm_preflight() {
+            Ok(profiles) => {
+                eprintln!(
+                    "asm preflight: clean ({} rung profile(s) classified)",
+                    profiles.len()
+                );
+                vec_profiles = profiles;
+            }
+            Err(findings) => {
+                eprintln!("asm preflight failed; refusing to measure unvectorized rungs:");
+                eprintln!("{findings}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!(
         "running full reproduction: size={} threads={} reps={} timeout={} mode={}{}",
         cli.size,
@@ -322,7 +339,8 @@ fn main() {
         extra.push(ninja_kernels::chaos::spec_scheduled());
     }
 
-    let (suite, rendered) = ninja_core::experiments::full_report_with(&harness, extra);
+    let (mut suite, rendered) = ninja_core::experiments::full_report_with(&harness, extra);
+    suite.vec_profiles = vec_profiles;
     println!("{rendered}");
     std::fs::write("suite_report.json", suite.to_json()).expect("write suite_report.json");
     std::fs::write("suite_report.csv", suite.to_csv()).expect("write suite_report.csv");

@@ -21,6 +21,11 @@
 //!                           given; the seed defaults to 2012)
 //! --lint                    run the ninja-lint taxonomy audit as a
 //!                           preflight and refuse to measure on findings
+//! --asm                     compile the kernels to assembly and run the
+//!                           ninja-asm vectorization oracle as a preflight;
+//!                           refuses to measure when a Simd/Ninja rung has
+//!                           no vector evidence, and embeds the per-rung
+//!                           VecProfile table into suite_report.json
 //! --record                  append this run to the persistent perf store
 //!                           and regenerate BENCH_history.json
 //! --baseline REF            compare against a baseline (a store ref like
@@ -82,6 +87,10 @@ pub struct Cli {
     /// Run the `ninja-lint` taxonomy audit before measuring; findings
     /// abort the run so mislabeled variants cannot produce numbers.
     pub lint: bool,
+    /// Compile the kernels to assembly and run the vectorization oracle
+    /// before measuring; a Simd/Ninja rung with no vector evidence aborts
+    /// the run, and the per-rung profiles ride along in the suite report.
+    pub asm: bool,
     /// Append the run to the persistent perf store and regenerate the
     /// `BENCH_history.json` trajectory artifact.
     pub record: bool,
@@ -174,6 +183,7 @@ impl Default for Cli {
             fail_fast: false,
             chaos: None,
             lint: false,
+            asm: false,
             record: false,
             baseline: None,
             store: ninja_perfdb::DEFAULT_DIR.to_owned(),
@@ -277,6 +287,7 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
             "--trace" => cli.trace = Some(value("--trace")?),
             "--probe-metrics" => cli.probe_metrics = true,
             "--lint" => cli.lint = true,
+            "--asm" => cli.asm = true,
             "--record" => cli.record = true,
             "--baseline" => cli.baseline = Some(value("--baseline")?),
             "--store" => cli.store = value("--store")?,
@@ -345,7 +356,7 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
                     "usage: [--size test|quick|paper] [--threads N] [--reps N]\n",
                     "       [--timeout SECONDS] [--fail-fast|--keep-going]\n",
                     "       [--chaos panic|hang|nan|wrong] [--chaos-seed N]\n",
-                    "       [--chaos-rate F] [--lint]\n",
+                    "       [--chaos-rate F] [--lint] [--asm]\n",
                     "       [--record] [--baseline REF|PATH] [--store DIR]\n",
                     "       [--noise-floor F] [--trace PATH] [--probe-metrics]\n",
                     "       [--scale] [--threads-max N] [--sizes a,b,c]\n",
@@ -382,6 +393,57 @@ pub fn lint_preflight() -> Result<u64, String> {
     } else {
         Err(report.render_text())
     }
+}
+
+/// Runs the ninja-asm vectorization oracle as a measurement preflight.
+///
+/// Compiles `crates/kernels` to assembly (toolchain-default target-cpu),
+/// classifies every rung's emitted instructions, and returns the per-rung
+/// profiles converted to the suite-report record form so callers can embed
+/// them into `suite_report.json` / the perf store.
+///
+/// # Errors
+///
+/// Returns the rendered findings when a Simd/Ninja rung has no vector
+/// evidence (NL008) or a `Relaxed` ordering lacks justification (NL010),
+/// or the underlying compiler/I/O message when `cargo rustc` fails.
+pub fn asm_preflight() -> Result<Vec<ninja_core::VecProfileRecord>, String> {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root");
+    let audit = ninja_lint::asm_audit(root, &ninja_lint::AsmOptions::default())
+        .map_err(|e| e.to_string())?;
+    if !audit.report.clean {
+        return Err(audit.report.render_text());
+    }
+    // The oracle names kernels by source-file stem (`black_scholes`);
+    // measured cells use the registry name (`blackscholes`). Map the stem
+    // onto the registry name so `perfdb compare`/`trend` lookups line up.
+    let registry: Vec<&'static str> = ninja_kernels::registry()
+        .into_iter()
+        .map(|spec| spec.name)
+        .collect();
+    Ok(audit
+        .profiles
+        .into_iter()
+        .map(|p| ninja_core::VecProfileRecord {
+            kernel: registry
+                .iter()
+                .find(|name| p.kernel.replace('_', "") == **name)
+                .map_or(p.kernel, |name| (*name).to_owned()),
+            rung: p.rung,
+            width_bits: p.width_bits,
+            vector_fp_ops: p.vector_fp_ops,
+            scalar_fp_ops: p.scalar_fp_ops,
+            vector_int_ops: p.vector_int_ops,
+            matched_symbols: p.matched_symbols,
+            fma: p.fma,
+            gather: p.gather,
+            scatter: p.scatter,
+            classification: p.classification,
+        })
+        .collect())
 }
 
 /// Parses `std::env::args()` and exits with a message on error.
@@ -596,6 +658,19 @@ mod tests {
         let files = lint_preflight().expect("the merged tree must lint clean");
         assert!(files > 20);
     }
+
+    #[test]
+    fn asm_flag_defaults_off_and_parses() {
+        assert!(!parse(&[]).unwrap().asm);
+        let cli = parse(&["--asm", "--lint"]).unwrap();
+        assert!(cli.asm);
+        assert!(cli.lint);
+    }
+
+    // The real-tree `asm_preflight()` drives `cargo rustc --emit asm` on
+    // the kernels crate; the end-to-end run lives in the lint crate's
+    // `real_tree_asm_audit_is_clean` (ignored) test and the CI asm-audit
+    // job rather than in this unit suite.
 
     #[test]
     fn failure_flags_default_to_keep_going_with_watchdog() {

@@ -34,5 +34,5 @@ pub mod sweep;
 
 pub use harness::Harness;
 pub use measure::{measure, measure_with_samples, Measurement};
-pub use report::{KernelReport, SuiteReport, VariantOutcome, VariantResult};
+pub use report::{KernelReport, SuiteReport, VariantOutcome, VariantResult, VecProfileRecord};
 pub use sweep::{thread_grid, SweepCell, SweepConfig, SweepFit, SweepReport};

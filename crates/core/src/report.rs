@@ -243,8 +243,38 @@ impl KernelReport {
     }
 }
 
-/// A full suite run.
+/// Assembly-level vectorization evidence for one (kernel, rung) cell, as
+/// recorded by the `ninja-lint --asm` oracle. A plain-data mirror of the
+/// lint crate's `VecProfile` so `ninja-core` does not depend on the
+/// linter; `ninja-bench` converts between the two.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VecProfileRecord {
+    /// Kernel module name (file stem under `crates/kernels/src`).
+    pub kernel: String,
+    /// Rung name (`naive`/`parallel`/`simd`/`algorithmic`/`ninja`).
+    pub rung: String,
+    /// Widest vector register observed (bits); 0 for scalar code.
+    pub width_bits: u32,
+    /// Whether fused multiply-add instructions appeared.
+    pub fma: bool,
+    /// Whether vector gather loads appeared.
+    pub gather: bool,
+    /// Whether vector scatter stores appeared.
+    pub scatter: bool,
+    /// Packed floating-point arithmetic instruction count.
+    pub vector_fp_ops: u32,
+    /// Scalar floating-point arithmetic instruction count.
+    pub scalar_fp_ops: u32,
+    /// Integer vector arithmetic/shuffle instruction count.
+    pub vector_int_ops: u32,
+    /// Listing symbols attributed to this rung's entry points.
+    pub matched_symbols: u32,
+    /// Summary tag: `no-evidence`, `scalar`, `vec64` … `vec512`.
+    pub classification: String,
+}
+
+/// A full suite run.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct SuiteReport {
     /// Problem-size preset used.
     pub size: String,
@@ -256,6 +286,28 @@ pub struct SuiteReport {
     pub simd_backend: String,
     /// Per-kernel reports in suite order.
     pub kernels: Vec<KernelReport>,
+    /// Vectorization evidence per (kernel, rung) from the asm oracle;
+    /// empty when the run did not collect it.
+    pub vec_profiles: Vec<VecProfileRecord>,
+}
+
+// Deserialize is written by hand (Serialize stays derived) so reports
+// written before `vec_profiles` existed still parse — the same tolerance
+// pattern as `VariantResult::attribution` above.
+impl Deserialize for SuiteReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            size: String::from_value(v.field("size")?)?,
+            seed: u64::from_value(v.field("seed")?)?,
+            threads: usize::from_value(v.field("threads")?)?,
+            simd_backend: String::from_value(v.field("simd_backend")?)?,
+            kernels: Vec::from_value(v.field("kernels")?)?,
+            vec_profiles: match v.field("vec_profiles") {
+                Ok(val) => Vec::from_value(val)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 impl SuiteReport {
@@ -450,6 +502,7 @@ impl SuiteReport {
             threads,
             simd_backend: ninja_simd::backend_name().to_owned(),
             kernels: Vec::new(),
+            vec_profiles: Vec::new(),
         }
     }
 }
@@ -494,6 +547,7 @@ mod tests {
                     vr("ninja", 1.0),
                 ],
             }],
+            vec_profiles: Vec::new(),
         }
     }
 
@@ -718,6 +772,33 @@ mod tests {
         assert_eq!(rec.seed, r.seed);
         assert_eq!(rec.machine.simd_backend, r.simd_backend);
         assert!((rec.measured_gap("k").unwrap() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec_profiles_roundtrip_and_tolerate_old_reports() {
+        let mut r = dummy_report();
+        r.vec_profiles.push(VecProfileRecord {
+            kernel: "k".into(),
+            rung: "ninja".into(),
+            width_bits: 256,
+            fma: true,
+            gather: false,
+            scatter: false,
+            vector_fp_ops: 40,
+            scalar_fp_ops: 2,
+            vector_int_ops: 3,
+            matched_symbols: 1,
+            classification: "vec256".into(),
+        });
+        let back = SuiteReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(r, back);
+        // A report serialized before the field existed still parses: rename
+        // the key so the lookup misses (extra keys are ignored).
+        let legacy = dummy_report()
+            .to_json()
+            .replace("vec_profiles", "not_a_known_field");
+        let old = SuiteReport::from_json(&legacy).unwrap();
+        assert!(old.vec_profiles.is_empty());
     }
 
     #[test]

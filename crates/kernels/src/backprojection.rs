@@ -162,6 +162,7 @@ impl BackProjection {
     /// Compiler tier: angle-major with incremental detector coordinates —
     /// the gathered interpolation still blocks auto-vectorization.
     // ninja-lint: variant(simd)
+    // ninja-lint: allow(NL008, "gathered interpolation defeats the auto-vectorizer; scalar codegen here is the measured result")
     pub fn run_simd(&self) -> Vec<f32> {
         let d = self.image_dim;
         let mut img = vec![0.0f32; d * d];

@@ -207,9 +207,17 @@ impl BlackScholes {
         let t = &self.years[lo..lo + n];
         let r = &self.rate[lo..lo + n];
         let v = &self.vol[lo..lo + n];
-        let mut d1 = [0.0f32; POLY_BLOCK];
-        let mut d2 = [0.0f32; POLY_BLOCK];
-        let mut disc = [0.0f32; POLY_BLOCK];
+        let mut d1_buf = [0.0f32; POLY_BLOCK];
+        let mut d2_buf = [0.0f32; POLY_BLOCK];
+        let mut disc_buf = [0.0f32; POLY_BLOCK];
+        // Slice the stage buffers to the block length up front: with raw
+        // `buf[j]` stores the `j < POLY_BLOCK` bounds check sits inside the
+        // loop and LLVM refuses to vectorize the staged passes (the NL008
+        // asm audit caught exactly that — scalar `mulss` code on the rung
+        // whose whole point is auto-vectorization).
+        let d1 = &mut d1_buf[..n];
+        let d2 = &mut d2_buf[..n];
+        let disc = &mut disc_buf[..n];
         for j in 0..n {
             let sqrt_t = t[j].sqrt();
             let vt = v[j] * sqrt_t;
@@ -218,12 +226,15 @@ impl BlackScholes {
             d2[j] = d - vt;
             disc[j] = exp_poly(-(r[j] * t[j]));
         }
-        let mut nd1 = [0.0f32; POLY_BLOCK];
-        let mut nd2 = [0.0f32; POLY_BLOCK];
+        let mut nd1_buf = [0.0f32; POLY_BLOCK];
+        let mut nd2_buf = [0.0f32; POLY_BLOCK];
+        let nd1 = &mut nd1_buf[..n];
+        let nd2 = &mut nd2_buf[..n];
         for j in 0..n {
             nd1[j] = cnd_poly(d1[j]);
             nd2[j] = cnd_poly(d2[j]);
         }
+        let out = &mut out[..2 * n];
         for j in 0..n {
             let kd = k[j] * disc[j];
             out[2 * j] = s[j] * nd1[j] - kd * nd2[j];

@@ -124,11 +124,18 @@ impl Conv1d {
     fn soa_range(&self, lo: usize, hi: usize, out_re: &mut [f32], out_im: &mut [f32]) {
         out_re.fill(0.0);
         out_im.fill(0.0);
+        let n = out_re.len();
+        let out_im = &mut out_im[..n];
         for (k, t) in self.taps.iter().enumerate() {
             let (tr, ti) = (t.re, t.im);
-            let sr = &self.sig_re[lo + k..hi + k];
-            let si = &self.sig_im[lo + k..hi + k];
-            for j in 0..out_re.len() {
+            // Slice every stream to the common length up front: one bounds
+            // check per tap instead of one per sample, so the inner loop is
+            // panic-free and the auto-vectorizer can turn it into packed
+            // FMAs (with per-sample checks LLVM emits scalar code — caught
+            // by the NL008 asm audit).
+            let sr = &self.sig_re[lo + k..hi + k][..n];
+            let si = &self.sig_im[lo + k..hi + k][..n];
+            for j in 0..n {
                 out_re[j] += tr * sr[j] - ti * si[j];
                 out_im[j] += tr * si[j] + ti * sr[j];
             }

@@ -101,6 +101,7 @@ impl MergeSort {
     /// Compiler-friendly tier: serial recursion with an insertion-sort base
     /// case and a tighter merge loop — still not vectorizable.
     // ninja-lint: variant(simd)
+    // ninja-lint: allow(NL008, "data-dependent merge order cannot auto-vectorize; the ninja rung's bitonic network is the vector answer")
     pub fn run_simd(&self) -> Vec<f32> {
         let mut buf = self.data.clone();
         let mut tmp = vec![0.0f32; buf.len()];

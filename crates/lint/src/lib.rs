@@ -16,11 +16,18 @@
 //!   vector types.
 //! * **Effort honesty** (NL004): declared `effort_loc` must be within a
 //!   loose tolerance of the measured source-line diff against naive.
-//! * **`unsafe` audit** (NL005): every unsafe site across the
-//!   `ninja-parallel`, `ninja-simd` and `ninja-kernels` crates needs an
-//!   adjacent `// SAFETY:` justification.
+//! * **`unsafe` audit** (NL005): every unsafe site across the workspace
+//!   crates needs an adjacent `// SAFETY:` justification.
 //! * **Coverage & hygiene** (NL006/NL007): every rung must be annotated,
 //!   and marker typos fail loudly.
+//! * **Assembly evidence** (NL008/NL009, `--asm` mode): the [`asm`] and
+//!   [`vecprofile`] modules parse `rustc --emit asm` output, attribute
+//!   symbols back to rungs, and check that simd/ninja rungs actually
+//!   compiled to vector code (and report when the compiler bridged the
+//!   gap on a naive rung by itself).
+//! * **Ordering audit** (NL010): every `Ordering::Relaxed` site and
+//!   `static mut` declaration needs an adjacent `// ORDERING:`
+//!   justification, the concurrency sibling of NL005.
 //!
 //! The crate is std-only (a lightweight hand-rolled lexer, no `syn`),
 //! consistent with the offline `third_party/` build, and ships both as a
@@ -31,24 +38,36 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod asm;
 pub mod lexer;
 pub mod markers;
 pub mod report;
 pub mod rules;
 pub mod source;
 pub mod spans;
+pub mod vecprofile;
 
+pub use asm::{demangle, detect_arch, parse_listing, Arch, AsmFunction, AsmListing, InsnCounts};
 pub use report::{FindingRecord, LintReport, RuleRecord};
-pub use rules::{Finding, RuleId, ALL_RULES};
+pub use rules::{Finding, RuleId, Severity, ALL_RULES};
 pub use source::SourceFile;
+pub use vecprofile::{
+    asm_audit, check_asm, profile_rungs, render_profiles, AsmAudit, AsmOptions, VecProfile,
+};
 
 use std::path::{Path, PathBuf};
 
-/// Crates whose sources the workspace-wide lint scans. The kernel-ladder
-/// rules self-select per file; the SAFETY audit applies to all of them.
-pub const AUDITED_CRATES: [&str; 5] = [
+/// Crates whose sources the workspace-wide lint scans — every workspace
+/// crate. The kernel-ladder rules self-select per file; the SAFETY
+/// (NL005) and ORDERING (NL010) audits apply to all of them.
+pub const AUDITED_CRATES: [&str; 10] = [
+    "crates/bench",
+    "crates/core",
     "crates/kernels",
+    "crates/lint",
+    "crates/model",
     "crates/parallel",
+    "crates/perfdb",
     "crates/probe",
     "crates/serve",
     "crates/simd",
@@ -102,17 +121,28 @@ pub fn workspace_sources(root: &Path) -> Result<Vec<PathBuf>, LintError> {
     let mut out = Vec::new();
     for krate in AUDITED_CRATES {
         let dir = root.join(krate).join("src");
-        let entries = std::fs::read_dir(&dir)
-            .map_err(|e| LintError(format!("cannot read {}: {e}", dir.display())))?;
-        let mut files: Vec<PathBuf> = entries
-            .filter_map(Result::ok)
-            .map(|e| e.path())
-            .filter(|p| p.extension().is_some_and(|e| e == "rs"))
-            .collect();
+        let mut files = Vec::new();
+        collect_rs_files(&dir, &mut files)?;
         files.sort();
         out.extend(files);
     }
     Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir` (binaries live in
+/// `src/bin/`, so a flat scan would miss them).
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| LintError(format!("cannot read {}: {e}", dir.display())))?;
+    for entry in entries.filter_map(Result::ok) {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
 }
 
 /// Lints the whole workspace rooted at `root`.

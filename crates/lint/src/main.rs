@@ -2,14 +2,22 @@
 //!
 //! ```text
 //! ninja-lint [--root DIR] [--json PATH] [--deny-warnings] [--list-rules] [FILES...]
+//! ninja-lint --asm [--target-cpu LEVEL] [--asm-file PATH]... [--deny-warnings]
 //! ```
 //!
 //! With no `FILES`, lints the audited crates of the workspace found at
 //! `--root` (default: walk up from the current directory). Findings are
 //! printed one per line as `file:line: [ID name] message`; `--json`
 //! additionally writes the machine-readable report (`-` for stdout).
-//! With `--deny-warnings` any finding makes the exit status 1; I/O and
-//! usage errors exit 2.
+//! With `--deny-warnings` any warning-severity finding makes the exit
+//! status 1; I/O and usage errors exit 2.
+//!
+//! `--asm` switches to the vectorization oracle: it compiles
+//! `crates/kernels` with `--emit asm` (optionally at a specific
+//! `-C target-cpu` level), attributes the emitted symbols back to rungs,
+//! prints one grep-friendly `vecprofile kernel/rung: ...` line per cell,
+//! and runs the NL008/NL009 evidence rules. `--asm-file` audits
+//! pre-emitted `.s` listings instead of driving cargo.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -23,6 +31,9 @@ struct Args {
     json: Option<String>,
     deny_warnings: bool,
     list_rules: bool,
+    asm: bool,
+    target_cpu: Option<String>,
+    asm_files: Vec<PathBuf>,
     files: Vec<PathBuf>,
 }
 
@@ -32,6 +43,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
         json: None,
         deny_warnings: false,
         list_rules: false,
+        asm: false,
+        target_cpu: None,
+        asm_files: Vec::new(),
         files: Vec::new(),
     };
     while let Some(flag) = argv.next() {
@@ -46,10 +60,24 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             "--deny-warnings" => args.deny_warnings = true,
             "--list-rules" => args.list_rules = true,
+            "--asm" => args.asm = true,
+            "--target-cpu" => {
+                args.target_cpu = Some(
+                    argv.next()
+                        .ok_or("--target-cpu needs a level (e.g. x86-64-v3)")?,
+                );
+            }
+            "--asm-file" => {
+                args.asm_files.push(PathBuf::from(
+                    argv.next().ok_or("--asm-file needs a .s path")?,
+                ));
+            }
             "--help" | "-h" => {
                 return Err(concat!(
                     "usage: ninja-lint [--root DIR] [--json PATH|-] ",
-                    "[--deny-warnings] [--list-rules] [FILES...]"
+                    "[--deny-warnings] [--list-rules] [FILES...]\n",
+                    "       ninja-lint --asm [--target-cpu LEVEL] ",
+                    "[--asm-file PATH]... [--deny-warnings]"
                 )
                 .into());
             }
@@ -58,6 +86,9 @@ fn parse_args(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
             }
             file => args.files.push(PathBuf::from(file)),
         }
+    }
+    if !args.asm && (args.target_cpu.is_some() || !args.asm_files.is_empty()) {
+        return Err("--target-cpu/--asm-file require --asm".into());
     }
     Ok(args)
 }
@@ -90,16 +121,36 @@ fn main() -> ExitCode {
         }
     };
 
-    let result = if args.files.is_empty() {
-        ninja_lint::analyze_workspace(&root)
+    let report = if args.asm {
+        let opts = ninja_lint::AsmOptions {
+            target_cpu: args.target_cpu.clone(),
+            asm_files: args.asm_files.clone(),
+        };
+        match ninja_lint::asm_audit(&root, &opts) {
+            Ok(audit) => {
+                print!(
+                    "{}",
+                    ninja_lint::vecprofile::render_profiles(&audit.profiles)
+                );
+                audit.report.with_profiles(audit.profiles)
+            }
+            Err(e) => {
+                eprintln!("ninja-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
     } else {
-        ninja_lint::analyze_files(&args.files, &root)
-    };
-    let report = match result {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("ninja-lint: {e}");
-            return ExitCode::from(2);
+        let result = if args.files.is_empty() {
+            ninja_lint::analyze_workspace(&root)
+        } else {
+            ninja_lint::analyze_files(&args.files, &root)
+        };
+        match result {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("ninja-lint: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
 

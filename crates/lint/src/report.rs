@@ -3,7 +3,8 @@
 //! a `to_json` that downstream tooling can consume without parsing
 //! human-oriented text.
 
-use crate::rules::{Finding, RuleId, ALL_RULES};
+use crate::rules::{Finding, RuleId, Severity, ALL_RULES};
+use crate::vecprofile::VecProfile;
 use serde::Serialize;
 
 /// One finding as serialized into the report.
@@ -13,6 +14,8 @@ pub struct FindingRecord {
     pub rule: String,
     /// Kebab-case rule name.
     pub name: String,
+    /// `warning` or `info` (info findings never fail `--deny-warnings`).
+    pub severity: String,
     /// Workspace-relative file path.
     pub file: String,
     /// 1-based line of the violation.
@@ -44,7 +47,11 @@ pub struct LintReport {
     pub rules: Vec<RuleRecord>,
     /// All findings, in (file, line) order.
     pub findings: Vec<FindingRecord>,
-    /// True when no rule fired.
+    /// Per-rung vectorization profiles (`--asm` mode only; empty in a
+    /// plain source lint).
+    pub vec_profiles: Vec<VecProfile>,
+    /// True when no *warning*-severity rule fired (info findings do not
+    /// dirty a report).
     pub clean: bool,
 }
 
@@ -59,6 +66,7 @@ impl LintReport {
             .map(|f| FindingRecord {
                 rule: f.rule.id().to_string(),
                 name: f.rule.name().to_string(),
+                severity: f.rule.severity().as_str().to_string(),
                 file: f.file.clone(),
                 line: f.line as u64,
                 message: f.message.clone(),
@@ -75,9 +83,18 @@ impl LintReport {
                     description: r.description().to_string(),
                 })
                 .collect(),
-            clean: records.is_empty(),
+            clean: !findings
+                .iter()
+                .any(|f| f.rule.severity() == Severity::Warning),
             findings: records,
+            vec_profiles: Vec::new(),
         }
+    }
+
+    /// Attaches `--asm` vectorization profiles to the report.
+    pub fn with_profiles(mut self, profiles: Vec<VecProfile>) -> Self {
+        self.vec_profiles = profiles;
+        self
     }
 
     /// Serializes the report as pretty JSON.
@@ -92,26 +109,40 @@ impl LintReport {
 
     /// Renders the human-readable summary printed by the binary: one
     /// `file:line: [ID name] message` line per finding plus a tally.
+    /// Info findings are prefixed so they read as observations.
     pub fn render_text(&self) -> String {
         let mut out = String::new();
+        let mut infos = 0u64;
         for f in &self.findings {
+            let prefix = if f.severity == "info" {
+                infos += 1;
+                "info: "
+            } else {
+                ""
+            };
             out.push_str(&format!(
-                "{}:{}: [{} {}] {}\n",
-                f.file, f.line, f.rule, f.name, f.message
+                "{}:{}: {}[{} {}] {}\n",
+                f.file, f.line, prefix, f.rule, f.name, f.message
             ));
         }
+        let warnings = self.findings.len() as u64 - infos;
         if self.clean {
             out.push_str(&format!(
                 "ninja-lint: clean ({} file(s) scanned, {} rule(s))\n",
                 self.files_scanned,
                 self.rules.len()
             ));
+            if infos > 0 {
+                out.push_str(&format!("ninja-lint: {infos} info note(s)\n"));
+            }
         } else {
             out.push_str(&format!(
                 "ninja-lint: {} finding(s) across {} file(s)\n",
-                self.findings.len(),
-                self.files_scanned
+                warnings, self.files_scanned
             ));
+            if infos > 0 {
+                out.push_str(&format!("ninja-lint: plus {infos} info note(s)\n"));
+            }
         }
         out
     }
@@ -143,7 +174,8 @@ mod tests {
         assert!(!r.clean);
         assert_eq!(r.findings[0].file, "a.rs");
         assert_eq!(r.findings[0].rule, "NL001");
-        assert_eq!(r.rules.len(), 7);
+        assert_eq!(r.findings[0].severity, "warning");
+        assert_eq!(r.rules.len(), 10);
         assert_eq!(r.by_rule(RuleId::MissingSafetyComment).count(), 1);
     }
 
@@ -158,6 +190,7 @@ mod tests {
         for needle in [
             "\"rule\": \"NL004\"",
             "\"name\": \"effort-loc-drift\"",
+            "\"severity\": \"warning\"",
             "\"file\": \"k.rs\"",
             "\"line\": 12",
             "\"clean\": false",
@@ -179,5 +212,20 @@ mod tests {
         assert!(text.contains("1 finding(s)"));
         let clean = LintReport::new("/repo".into(), 2, Vec::new());
         assert!(clean.render_text().contains("clean"));
+    }
+
+    #[test]
+    fn info_findings_do_not_dirty_a_report() {
+        let r = LintReport::new(
+            "/repo".into(),
+            1,
+            vec![finding(RuleId::ScalarRungAutovectorized, "k.rs", 3)],
+        );
+        assert!(r.clean, "info-only reports stay clean: {r:#?}");
+        assert_eq!(r.findings[0].severity, "info");
+        let text = r.render_text();
+        assert!(text.contains("info: [NL009"), "{text}");
+        assert!(text.contains("clean"), "{text}");
+        assert!(text.contains("1 info note(s)"), "{text}");
     }
 }

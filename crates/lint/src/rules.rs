@@ -14,6 +14,13 @@
 //! | NL005 | missing-safety-comment      | every file   |
 //! | NL006 | incomplete-variant-coverage | kernel files |
 //! | NL007 | malformed-marker            | every file   |
+//! | NL008 | ninja-rung-not-vectorized   | `--asm` mode |
+//! | NL009 | scalar-rung-autovectorized  | `--asm` mode |
+//! | NL010 | unjustified-relaxed-ordering| every file   |
+//!
+//! NL008/NL009 live in [`crate::vecprofile`] because they judge compiler
+//! output, not source tokens; they share this module's `RuleId` space so
+//! `allow(...)` markers and `--deny-warnings` treat them uniformly.
 
 use crate::markers::Rung;
 use crate::source::SourceFile;
@@ -69,8 +76,13 @@ pub const EFFORT_OFFSET: u32 = 24;
 /// skipping blanks, attributes and grouped `unsafe impl` lines.
 const SAFETY_WINDOW: usize = 10;
 
+/// How many lines above a relaxed-ordering site the ORDERING audit
+/// searches, mirroring [`SAFETY_WINDOW`]; grouped `Ordering::Relaxed`
+/// sites may share one justification.
+const ORDERING_WINDOW: usize = 10;
+
 /// All rules, in ID order.
-pub const ALL_RULES: [RuleId; 7] = [
+pub const ALL_RULES: [RuleId; 10] = [
     RuleId::ThreadsInSerialRung,
     RuleId::SimdInScalarRung,
     RuleId::NinjaWithoutSimd,
@@ -78,7 +90,32 @@ pub const ALL_RULES: [RuleId; 7] = [
     RuleId::MissingSafetyComment,
     RuleId::IncompleteVariantCoverage,
     RuleId::MalformedMarker,
+    RuleId::NinjaRungNotVectorized,
+    RuleId::ScalarRungAutovectorized,
+    RuleId::UnjustifiedRelaxedOrdering,
 ];
+
+/// Severity of a finding. `Warning` findings gate `--deny-warnings` and
+/// flip a report to not-clean; `Info` findings are advisory observations
+/// (today only NL009, which reports the *good* news that the compiler
+/// auto-vectorized a naive rung).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// Advisory: reported, never fails the build.
+    Info,
+    /// Violation: fails `--deny-warnings` and marks the report unclean.
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase name (`info`/`warning`) for reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+        }
+    }
+}
 
 /// Stable identifier of one lint rule.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -98,6 +135,14 @@ pub enum RuleId {
     IncompleteVariantCoverage,
     /// NL007: a `ninja-lint` marker that does not parse or attach.
     MalformedMarker,
+    /// NL008: a Simd/Ninja rung whose compiled code emits no vector
+    /// arithmetic (asm evidence; see [`crate::vecprofile`]).
+    NinjaRungNotVectorized,
+    /// NL009 (info): a Naive rung the compiler auto-vectorized.
+    ScalarRungAutovectorized,
+    /// NL010: `Ordering::Relaxed` or a `static mut` declaration without
+    /// an adjacent `// ORDERING:` justification.
+    UnjustifiedRelaxedOrdering,
 }
 
 impl RuleId {
@@ -111,6 +156,17 @@ impl RuleId {
             RuleId::MissingSafetyComment => "NL005",
             RuleId::IncompleteVariantCoverage => "NL006",
             RuleId::MalformedMarker => "NL007",
+            RuleId::NinjaRungNotVectorized => "NL008",
+            RuleId::ScalarRungAutovectorized => "NL009",
+            RuleId::UnjustifiedRelaxedOrdering => "NL010",
+        }
+    }
+
+    /// Severity class of findings from this rule.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::ScalarRungAutovectorized => Severity::Info,
+            _ => Severity::Warning,
         }
     }
 
@@ -124,6 +180,9 @@ impl RuleId {
             RuleId::MissingSafetyComment => "missing-safety-comment",
             RuleId::IncompleteVariantCoverage => "incomplete-variant-coverage",
             RuleId::MalformedMarker => "malformed-marker",
+            RuleId::NinjaRungNotVectorized => "ninja-rung-not-vectorized",
+            RuleId::ScalarRungAutovectorized => "scalar-rung-autovectorized",
+            RuleId::UnjustifiedRelaxedOrdering => "unjustified-relaxed-ordering",
         }
     }
 
@@ -158,6 +217,19 @@ impl RuleId {
                 "ninja-lint markers must parse and attach to a fn; typos must \
                  not silently disable enforcement"
             }
+            RuleId::NinjaRungNotVectorized => {
+                "a simd/ninja rung's compiled code must emit vector arithmetic \
+                 (FP or integer); checked against --emit asm evidence in --asm \
+                 mode"
+            }
+            RuleId::ScalarRungAutovectorized => {
+                "info: the compiler auto-vectorized a naive rung — the paper's \
+                 thesis observed directly; reported in --asm mode"
+            }
+            RuleId::UnjustifiedRelaxedOrdering => {
+                "every `Ordering::Relaxed` site and `static mut` declaration \
+                 needs an adjacent `// ORDERING:` justification"
+            }
         }
     }
 
@@ -185,6 +257,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     let mut findings = Vec::new();
     check_markers(file, &mut findings);
     check_safety(file, &mut findings);
+    check_ordering(file, &mut findings);
     if file.is_kernel_file() && file.segmented.skip_file.is_none() {
         check_purity(file, &mut findings);
         check_ninja_simd(file, &mut findings);
@@ -445,6 +518,95 @@ fn has_adjacent_safety(file: &SourceFile, line: u32) -> bool {
     false
 }
 
+/// NL010: the relaxed-ordering audit, NL005's concurrency sibling.
+///
+/// `Ordering::Relaxed` is correct more often than it is *justified*; the
+/// rule demands the justification travel with the site. Every
+/// `Ordering::Relaxed` token sequence and every `static mut NAME:`
+/// declaration needs `ORDERING:` in a comment on the same line or in the
+/// contiguous comment/attribute block above. Neighbouring relaxed sites
+/// may share one justification (the upward scan skips lines that are
+/// themselves relaxed sites), and a span-level
+/// `allow(NL010, "reason")` marker waives the fn.
+fn check_ordering(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    // (line, what) per site.
+    let mut sites: Vec<(u32, &'static str)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_ident("Ordering")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("Relaxed"))
+        {
+            sites.push((t.line, "`Ordering::Relaxed`"));
+        }
+        // A `static mut NAME:` *declaration*. Requiring the name + colon
+        // keeps `&'static mut T` types (whose lifetime quote the lexer
+        // drops) from matching.
+        if t.is_ident("static")
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("mut"))
+            && toks.get(i + 2).is_some_and(|t| t.ident().is_some())
+            && toks.get(i + 3).is_some_and(|t| t.is_punct(':'))
+        {
+            sites.push((t.line, "`static mut`"));
+        }
+    }
+    sites.dedup_by_key(|(line, _)| *line);
+    let site_lines: HashSet<u32> = sites.iter().map(|(l, _)| *l).collect();
+
+    for (line, what) in sites {
+        if has_adjacent_ordering(file, line, &site_lines) {
+            continue;
+        }
+        let waived = file
+            .segmented
+            .spans
+            .iter()
+            .any(|s| s.sig_line <= line && line <= s.end_line && s.allowed("NL010").is_some());
+        if waived {
+            continue;
+        }
+        findings.push(Finding {
+            rule: RuleId::UnjustifiedRelaxedOrdering,
+            file: file.rel_path.clone(),
+            line,
+            message: format!("{what} without an adjacent `// ORDERING:` justification"),
+        });
+    }
+}
+
+/// Whether the relaxed site on `line` has an `ORDERING:` justification
+/// nearby (same-line comment or the contiguous block above, skipping
+/// blanks, comments, attributes, sibling relaxed sites, and statement
+/// continuations — rustfmt splits `x.field\n.fetch_add(.., Relaxed)`
+/// chains, so a line with no `;`/`{`/`}` terminator is treated as part
+/// of the site's own statement, not intervening code).
+fn has_adjacent_ordering(file: &SourceFile, line: u32, site_lines: &HashSet<u32>) -> bool {
+    let has_ordering_text = |l: u32| file.comment_on(l).is_some_and(|t| t.contains("ORDERING:"));
+    if has_ordering_text(line) {
+        return true;
+    }
+    let mut cur = line;
+    for _ in 0..ORDERING_WINDOW {
+        if cur <= 1 {
+            return false;
+        }
+        cur -= 1;
+        if has_ordering_text(cur) {
+            return true;
+        }
+        let raw = file.line(cur).map(str::trim).unwrap_or("");
+        let is_comment = file.comment_on(cur).is_some() || raw.starts_with("//");
+        let is_attr = raw.starts_with("#[") || raw.starts_with("#!");
+        let is_continuation = !raw.ends_with(';') && !raw.ends_with('{') && !raw.ends_with('}');
+        if raw.is_empty() || is_comment || is_attr || is_continuation || site_lines.contains(&cur) {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
 /// Formats a span's attributed rungs for messages, e.g. `naive` or
 /// `effort: simd+algorithmic`.
 fn rung_list(span: &FnSpan) -> String {
@@ -485,13 +647,22 @@ mod tests {
         let ids: Vec<_> = ALL_RULES.iter().map(|r| r.id()).collect();
         assert_eq!(
             ids,
-            ["NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007"]
+            [
+                "NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007", "NL008", "NL009",
+                "NL010"
+            ]
         );
         for r in ALL_RULES {
             assert_eq!(RuleId::from_id(r.id()), Some(r));
             assert!(!r.name().is_empty() && !r.description().is_empty());
         }
         assert_eq!(RuleId::from_id("NL999"), None);
+        // Exactly one info-severity rule: the auto-vectorization observer.
+        let infos: Vec<_> = ALL_RULES
+            .iter()
+            .filter(|r| r.severity() == Severity::Info)
+            .collect();
+        assert_eq!(infos, [&RuleId::ScalarRungAutovectorized]);
     }
 
     #[test]
@@ -602,5 +773,81 @@ mod tests {
     fn malformed_marker_fires() {
         let findings = analyze("// ninja-lint: variant(bogus)\nfn f() {}\n");
         assert_eq!(rules_of(&findings), ["NL007"]);
+    }
+
+    #[test]
+    fn relaxed_ordering_fires_and_justified_passes() {
+        let bad = analyze("fn f(c: &AtomicU64) -> u64 {\n    c.load(Ordering::Relaxed)\n}\n");
+        assert_eq!(rules_of(&bad), ["NL010"], "{bad:#?}");
+        assert_eq!(bad[0].line, 2);
+
+        let good = analyze(
+            "fn f(c: &AtomicU64) -> u64 {\n    // ORDERING: monotonic counter; readers tolerate staleness.\n    c.load(Ordering::Relaxed)\n}\n",
+        );
+        assert!(good.is_empty(), "{good:#?}");
+    }
+
+    #[test]
+    fn grouped_relaxed_sites_share_one_justification() {
+        let good = analyze(
+            "fn f(a: &AtomicU64, b: &AtomicU64) -> u64 {\n    // ORDERING: both counters are independent statistics.\n    a.load(Ordering::Relaxed)\n        + b.load(Ordering::Relaxed)\n}\n",
+        );
+        assert!(good.is_empty(), "{good:#?}");
+    }
+
+    #[test]
+    fn justification_reaches_through_a_rustfmt_split_chain() {
+        // rustfmt breaks long chains so the `Relaxed` token lands lines
+        // below the comment, with only continuation lines between.
+        let good = analyze(
+            "fn f(s: &Shared) {\n    // ORDERING: monotonic stats counter.\n    s.counters.lanes[0]\n        .tasks\n        .fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        assert!(good.is_empty(), "{good:#?}");
+
+        // A completed statement (terminated line) still blocks the walk.
+        let bad = analyze(
+            "fn f(s: &Shared) {\n    // ORDERING: stats counter.\n    let x = other();\n    s.tasks.fetch_add(1, Ordering::Relaxed);\n}\n",
+        );
+        assert_eq!(rules_of(&bad), ["NL010"], "{bad:#?}");
+    }
+
+    #[test]
+    fn static_mut_declaration_needs_ordering_but_lifetime_does_not() {
+        let bad = analyze("static mut COUNTER: u64 = 0;\n");
+        assert_eq!(rules_of(&bad), ["NL010"], "{bad:#?}");
+
+        // `&'static mut` is a type, not a declaration; the lexer drops
+        // the lifetime quote so this must not match.
+        let ty = analyze("fn f(x: &'static mut u64) -> u64 { *x }\n");
+        assert!(ty.is_empty(), "{ty:#?}");
+
+        let good = analyze(
+            "// ORDERING: written once before any thread spawns.\n// SAFETY: see above.\nstatic mut SEED: u64 = 0;\n",
+        );
+        assert!(good.is_empty(), "{good:#?}");
+    }
+
+    #[test]
+    fn other_orderings_are_exempt_from_nl010() {
+        let findings = analyze(
+            "fn f(c: &AtomicU64) -> u64 {\n    c.fetch_add(1, Ordering::AcqRel);\n    c.load(Ordering::Acquire) + c.load(Ordering::SeqCst)\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn allow_nl010_waives_a_span() {
+        let findings = analyze(
+            "// ninja-lint: allow(NL010, \"benchmark deliberately races\")\nfn f(c: &AtomicU64) -> u64 {\n    c.load(Ordering::Relaxed)\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn relaxed_in_comment_or_string_is_exempt() {
+        let findings = analyze(
+            "fn f() {\n    // Ordering::Relaxed would be wrong here.\n    let s = \"Ordering::Relaxed\";\n}\n",
+        );
+        assert!(findings.is_empty(), "{findings:#?}");
     }
 }

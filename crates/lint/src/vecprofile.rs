@@ -1,0 +1,530 @@
+//! Maps assembly evidence (see [`crate::asm`]) back to kernel rungs and
+//! turns it into per-rung vectorization profiles plus the NL008/NL009
+//! findings.
+//!
+//! Attribution works symbol-first: a listing function is a *root* for a
+//! rung when its demangled path names both the kernel module (the source
+//! file stem) and a function that carries a `variant(...)`/`effort(...)`
+//! marker for that rung. Trait-impl symbols demangle to compound
+//! segments like `<ninja_kernels::conv1d::Conv1d as ...>` followed by a
+//! plain `run_naive` segment, and same-function closures keep the
+//! function name as a segment, so both match without special cases.
+//! Because rung entry points often delegate all floating-point work to
+//! closures spawned through the parallel runtime, evidence is collected
+//! *transitively*: a breadth-first walk over the mangled symbols
+//! referenced by each root's body pulls in the helpers that survived
+//! inlining.
+//!
+//! The one false-negative mode worth knowing: a function inlined away
+//! completely leaves no symbol, so a rung may legitimately report
+//! `matched_symbols == 0`. NL008 therefore *skips* such rungs instead of
+//! guessing (DESIGN.md "Vectorization evidence" discusses this).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use serde::Serialize;
+
+use crate::asm::{AsmListing, InsnCounts};
+use crate::markers::Rung;
+use crate::rules::{Finding, RuleId};
+use crate::source::SourceFile;
+use crate::LintError;
+
+/// Minimum packed-FP count before NL009 reports a naive rung as
+/// auto-vectorized; the odd stray packed move-adjacent op in prologue
+/// code should not count as "the compiler bridged the gap".
+const NL009_MIN_VECTOR_FP_OPS: u32 = 4;
+
+/// Vectorization evidence for one (kernel, rung) cell, extracted from
+/// compiler output.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct VecProfile {
+    /// Kernel name (source file stem, e.g. `black_scholes`).
+    pub kernel: String,
+    /// Rung name (`naive`/`parallel`/`simd`/`algorithmic`/`ninja`).
+    pub rung: String,
+    /// Widest vector register on classified arithmetic, in bits; zero
+    /// means scalar-only evidence.
+    pub width_bits: u32,
+    /// Whether fused multiply-add instructions were emitted.
+    pub fma: bool,
+    /// Whether gather loads were emitted.
+    pub gather: bool,
+    /// Whether scatter stores were emitted.
+    pub scatter: bool,
+    /// Packed floating-point arithmetic count.
+    pub vector_fp_ops: u32,
+    /// Scalar floating-point arithmetic count.
+    pub scalar_fp_ops: u32,
+    /// Integer vector arithmetic count.
+    pub vector_int_ops: u32,
+    /// Number of listing symbols that matched this rung directly
+    /// (before the transitive walk). Zero = everything inlined away.
+    pub matched_symbols: u32,
+    /// Human classification: `no-evidence`, `scalar`, `vec64`,
+    /// `vec128`, `vec256` or `vec512`.
+    pub classification: String,
+}
+
+impl VecProfile {
+    fn from_counts(kernel: &str, rung: Rung, counts: InsnCounts, matched: u32) -> Self {
+        let classification = if matched == 0 {
+            "no-evidence"
+        } else if !counts.any_vector_ops() {
+            "scalar"
+        } else {
+            match counts.max_vector_bits {
+                512 => "vec512",
+                256 => "vec256",
+                128 => "vec128",
+                64 => "vec64",
+                _ => "scalar",
+            }
+        };
+        VecProfile {
+            kernel: kernel.to_string(),
+            rung: rung.name().to_string(),
+            width_bits: counts.max_vector_bits,
+            fma: counts.fma,
+            gather: counts.gather,
+            scatter: counts.scatter,
+            vector_fp_ops: counts.vector_fp_ops,
+            scalar_fp_ops: counts.scalar_fp_ops,
+            vector_int_ops: counts.vector_int_ops,
+            matched_symbols: matched,
+            classification: classification.to_string(),
+        }
+    }
+}
+
+/// The result of an `--asm` audit: the lint report (NL008/NL009
+/// findings) plus every per-rung profile that produced evidence.
+#[derive(Clone, Debug)]
+pub struct AsmAudit {
+    /// Findings wrapped in the standard report (drives `--deny-warnings`
+    /// and `--json` exactly like the source-token rules).
+    pub report: crate::LintReport,
+    /// Per-(kernel, rung) vectorization profiles, sorted.
+    pub profiles: Vec<VecProfile>,
+}
+
+/// Options for [`asm_audit`].
+#[derive(Clone, Debug, Default)]
+pub struct AsmOptions {
+    /// `-C target-cpu=<level>` to compile with (e.g. `x86-64-v3`);
+    /// `None` uses the toolchain default.
+    pub target_cpu: Option<String>,
+    /// Pre-emitted `.s` listings to audit instead of driving cargo —
+    /// used by tests and by CI stages that already built.
+    pub asm_files: Vec<PathBuf>,
+}
+
+fn kernel_name(rel_path: &str) -> String {
+    Path::new(rel_path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| rel_path.to_string())
+}
+
+/// Whether a demangled path places the symbol inside `module` — either a
+/// plain segment equal to the module name or a compound (trait-impl)
+/// segment containing `module::`.
+fn path_names_module(path: &[String], module: &str) -> bool {
+    let scoped = format!("{module}::");
+    path.iter()
+        .any(|seg| seg == module || seg.contains(&scoped))
+}
+
+/// Per-rung function names that carry markers in one source file.
+fn rung_fn_names(file: &SourceFile) -> BTreeMap<Rung, Vec<&str>> {
+    let mut map: BTreeMap<Rung, Vec<&str>> = BTreeMap::new();
+    for span in &file.segmented.spans {
+        for rung in span.rungs() {
+            map.entry(rung).or_default().push(span.name.as_str());
+        }
+    }
+    map
+}
+
+/// Computes the vectorization profile of every marked rung in `files`
+/// against the functions of `listings`. Files without markers and rungs
+/// with no surviving symbols still produce a profile (classification
+/// `no-evidence`) so the report shows what could not be proven.
+pub fn profile_rungs(files: &[SourceFile], listings: &[AsmListing]) -> Vec<VecProfile> {
+    // Index every listing function by mangled symbol for the BFS.
+    let mut by_symbol: HashMap<&str, (usize, usize)> = HashMap::new();
+    for (li, listing) in listings.iter().enumerate() {
+        for (fi, f) in listing.functions.iter().enumerate() {
+            by_symbol.insert(f.symbol.as_str(), (li, fi));
+        }
+    }
+
+    let mut profiles = Vec::new();
+    for file in files {
+        if !file.is_kernel_file() || file.segmented.skip_file.is_some() {
+            continue;
+        }
+        let module = kernel_name(&file.rel_path);
+        for (rung, fn_names) in rung_fn_names(file) {
+            let mut counts = InsnCounts::default();
+            let mut matched = 0u32;
+            let mut visited: BTreeSet<&str> = BTreeSet::new();
+            let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+            for listing in listings {
+                for f in &listing.functions {
+                    let is_root = path_names_module(&f.path, &module)
+                        && f.path.iter().any(|seg| fn_names.iter().any(|n| seg == n));
+                    if is_root && visited.insert(f.symbol.as_str()) {
+                        matched += 1;
+                        queue.push_back(by_symbol[f.symbol.as_str()]);
+                    }
+                }
+            }
+            while let Some((li, fi)) = queue.pop_front() {
+                let f = &listings[li].functions[fi];
+                counts.merge(&f.counts);
+                for callee in &f.callees {
+                    if let Some(&loc) = by_symbol.get(callee.as_str()) {
+                        if visited.insert(listings[loc.0].functions[loc.1].symbol.as_str()) {
+                            queue.push_back(loc);
+                        }
+                    }
+                }
+            }
+            profiles.push(VecProfile::from_counts(&module, rung, counts, matched));
+        }
+    }
+    profiles.sort_by(|a, b| (&a.kernel, &a.rung).cmp(&(&b.kernel, &b.rung)));
+    profiles
+}
+
+/// Runs the asm-evidence rules over `files` + `listings`: NL008
+/// (simd/ninja rung with zero vector arithmetic) and NL009 (naive rung
+/// the compiler auto-vectorized; info severity). Returns the profiles
+/// alongside the findings so callers render both.
+pub fn check_asm(files: &[SourceFile], listings: &[AsmListing]) -> (Vec<VecProfile>, Vec<Finding>) {
+    let profiles = profile_rungs(files, listings);
+    let by_cell: HashMap<(&str, &str), &VecProfile> = profiles
+        .iter()
+        .map(|p| ((p.kernel.as_str(), p.rung.as_str()), p))
+        .collect();
+
+    let mut findings = Vec::new();
+    for file in files {
+        if !file.is_kernel_file() || file.segmented.skip_file.is_some() {
+            continue;
+        }
+        let module = kernel_name(&file.rel_path);
+        for span in &file.segmented.spans {
+            for rung in &span.entry_rungs {
+                let Some(profile) = by_cell.get(&(module.as_str(), rung.name())) else {
+                    continue;
+                };
+                match rung {
+                    Rung::Simd | Rung::Ninja => {
+                        // A rung whose symbols were all inlined away is a
+                        // documented false-negative mode, not a finding.
+                        if profile.matched_symbols == 0
+                            || profile.vector_fp_ops > 0
+                            || profile.vector_int_ops > 0
+                        {
+                            continue;
+                        }
+                        if span.allowed("NL008").is_some() {
+                            continue;
+                        }
+                        // A ninja rung already waived for having no SIMD
+                        // in source (NL003) cannot be expected to emit it.
+                        if *rung == Rung::Ninja && span.allowed("NL003").is_some() {
+                            continue;
+                        }
+                        findings.push(Finding {
+                            rule: RuleId::NinjaRungNotVectorized,
+                            file: file.rel_path.clone(),
+                            line: span.sig_line,
+                            message: format!(
+                                "{} rung of `{}` emits no vector arithmetic: {} scalar FP op(s) \
+                                 across {} matched symbol(s) — the compiled code does not back \
+                                 the rung's claim",
+                                rung.name(),
+                                module,
+                                profile.scalar_fp_ops,
+                                profile.matched_symbols
+                            ),
+                        });
+                    }
+                    Rung::Naive => {
+                        if profile.matched_symbols == 0
+                            || profile.vector_fp_ops < NL009_MIN_VECTOR_FP_OPS
+                            || span.allowed("NL009").is_some()
+                        {
+                            continue;
+                        }
+                        findings.push(Finding {
+                            rule: RuleId::ScalarRungAutovectorized,
+                            file: file.rel_path.clone(),
+                            line: span.sig_line,
+                            message: format!(
+                                "naive rung of `{}` was auto-vectorized by the compiler \
+                                 ({} packed FP op(s), width {}-bit{}) — the paper's thesis, \
+                                 caught in the act",
+                                module,
+                                profile.vector_fp_ops,
+                                profile.width_bits,
+                                if profile.fma { ", fma" } else { "" }
+                            ),
+                        });
+                    }
+                    Rung::Parallel | Rung::Algorithmic => {}
+                }
+            }
+        }
+    }
+    findings.sort_by_key(|f| (f.file.clone(), f.line, f.rule.id()));
+    (profiles, findings)
+}
+
+/// Renders profiles as stable, grep-friendly lines (one per cell):
+/// `vecprofile <kernel>/<rung>: <classification> fma=<y|n> ...`.
+pub fn render_profiles(profiles: &[VecProfile]) -> String {
+    let mut out = String::new();
+    for p in profiles {
+        out.push_str(&format!(
+            "vecprofile {}/{}: {} width={} fma={} gather={} scatter={} vfp={} sfp={} vint={} symbols={}\n",
+            p.kernel,
+            p.rung,
+            p.classification,
+            p.width_bits,
+            yn(p.fma),
+            yn(p.gather),
+            yn(p.scatter),
+            p.vector_fp_ops,
+            p.scalar_fp_ops,
+            p.vector_int_ops,
+            p.matched_symbols
+        ));
+    }
+    out
+}
+
+fn yn(b: bool) -> &'static str {
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
+}
+
+/// Drives the full `--asm` audit: obtain listings (from
+/// `opts.asm_files`, or by compiling `crates/kernels` with
+/// `--emit asm`), lint the kernel sources against them, and wrap the
+/// result in a [`crate::LintReport`] with profiles attached.
+pub fn asm_audit(root: &Path, opts: &AsmOptions) -> Result<AsmAudit, LintError> {
+    let listings = if opts.asm_files.is_empty() {
+        vec![emit_kernel_asm(root, opts.target_cpu.as_deref())?]
+    } else {
+        let mut v = Vec::new();
+        for path in &opts.asm_files {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| LintError(format!("cannot read asm file {}: {e}", path.display())))?;
+            v.push(crate::asm::parse_listing(&text));
+        }
+        v
+    };
+
+    let src_dir = root.join("crates").join("kernels").join("src");
+    let mut paths = Vec::new();
+    crate::collect_rs_files(&src_dir, &mut paths)?;
+    paths.sort();
+    let mut files = Vec::new();
+    for path in &paths {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| LintError(format!("cannot read {}: {e}", path.display())))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .into_owned();
+        files.push(SourceFile::from_source(rel, src));
+    }
+
+    let (profiles, findings) = check_asm(&files, &listings);
+    let report = crate::LintReport::new(root.to_string_lossy().into_owned(), files.len(), findings);
+    Ok(AsmAudit { report, profiles })
+}
+
+/// Compiles `crates/kernels` to assembly at the requested
+/// `-C target-cpu` level and parses the newest emitted listing.
+///
+/// The workspace release profile sets `lto = "thin"`, which makes cargo
+/// pass `-C linker-plugin-lto` to rlib builds; `--emit asm` would then
+/// capture pre-link-LTO IR where the loop vectorizer has not run yet.
+/// Appending `-C linker-plugin-lto=no` (last flag wins) restores the
+/// normal per-crate codegen pipeline so the listing shows what actually
+/// ships in non-LTO terms.
+fn emit_kernel_asm(root: &Path, target_cpu: Option<&str>) -> Result<AsmListing, LintError> {
+    let tag = target_cpu.unwrap_or("default");
+    let target_dir = root.join("target").join("asm-audit").join(tag);
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root)
+        .env("CARGO_TARGET_DIR", &target_dir)
+        .args([
+            "rustc",
+            "--release",
+            "-p",
+            "ninja-kernels",
+            "--lib",
+            "--",
+            "--emit=asm",
+            "-Clinker-plugin-lto=no",
+        ]);
+    if let Some(level) = target_cpu {
+        cmd.arg(format!("-Ctarget-cpu={level}"));
+    }
+    let out = cmd
+        .output()
+        .map_err(|e| LintError(format!("failed to spawn cargo rustc: {e}")))?;
+    if !out.status.success() {
+        return Err(LintError(format!(
+            "cargo rustc --emit=asm failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        )));
+    }
+    let deps = target_dir.join("release").join("deps");
+    let mut newest: Option<(std::time::SystemTime, PathBuf)> = None;
+    let entries = std::fs::read_dir(&deps)
+        .map_err(|e| LintError(format!("cannot read {}: {e}", deps.display())))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("ninja_kernels") && name.ends_with(".s") {
+            let mtime = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::UNIX_EPOCH);
+            if newest.as_ref().is_none_or(|(t, _)| mtime > *t) {
+                newest = Some((mtime, path));
+            }
+        }
+    }
+    let (_, path) = newest
+        .ok_or_else(|| LintError(format!("no ninja_kernels-*.s under {}", deps.display())))?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| LintError(format!("cannot read {}: {e}", path.display())))?;
+    Ok(crate::asm::parse_listing(&text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::parse_listing;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(rel.to_string(), src.to_string())
+    }
+
+    const DEMO_SRC: &str = "\
+// ninja-lint: variant(naive)
+pub fn run_naive(x: &mut [f32]) { helper(x) }
+
+// ninja-lint: variant(simd)
+pub fn run_simd(x: &mut [f32]) { helper(x) }
+";
+
+    #[test]
+    fn profiles_attribute_evidence_transitively_and_per_rung() {
+        // run_naive is scalar; run_simd calls a surviving helper that
+        // carries the packed ops.
+        let asm = "\
+_ZN4demo9run_naive17h0000000000000000E:
+\tmulss\t%xmm1, %xmm0
+\tretq
+_ZN4demo8run_simd17h1111111111111111E:
+\tcallq\t_ZN4demo6helper17h2222222222222222E
+\tretq
+_ZN4demo6helper17h2222222222222222E:
+\tvmulps\t%ymm1, %ymm2, %ymm0
+\tvfmadd231ps\t%ymm1, %ymm2, %ymm0
+\tretq
+";
+        let files = [file("demo.rs", DEMO_SRC)];
+        let listings = [parse_listing(asm)];
+        let profiles = profile_rungs(&files, &listings);
+        assert_eq!(profiles.len(), 2);
+        let naive = profiles.iter().find(|p| p.rung == "naive").unwrap();
+        assert_eq!(naive.classification, "scalar");
+        assert_eq!(naive.scalar_fp_ops, 1);
+        assert_eq!(naive.matched_symbols, 1);
+        let simd = profiles.iter().find(|p| p.rung == "simd").unwrap();
+        assert_eq!(simd.classification, "vec256");
+        assert_eq!(simd.vector_fp_ops, 2);
+        assert!(simd.fma);
+        // helper was pulled in by the walk, not matched directly.
+        assert_eq!(simd.matched_symbols, 1);
+    }
+
+    #[test]
+    fn inlined_away_rungs_report_no_evidence_and_stay_silent() {
+        let asm = "_ZN5other4func17h0000000000000000E:\n\tretq\n";
+        let files = [file("demo.rs", DEMO_SRC)];
+        let listings = [parse_listing(asm)];
+        let (profiles, findings) = check_asm(&files, &listings);
+        assert!(profiles.iter().all(|p| p.classification == "no-evidence"));
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn trait_impl_symbols_and_closures_match_the_module() {
+        let asm = "\
+_ZN48_$LT$demo..Demo$u20$as$u20$framework..Kernel$GT$8run_simd17h0000000000000000E:
+\tvaddps\t%zmm1, %zmm2, %zmm0
+\tretq
+";
+        let src = "// ninja-lint: variant(simd)\npub fn run_simd(x: &mut [f32]) {}\n";
+        let files = [file("demo.rs", src)];
+        let listings = [parse_listing(asm)];
+        let profiles = profile_rungs(&files, &listings);
+        assert_eq!(profiles.len(), 1);
+        assert_eq!(profiles[0].classification, "vec512");
+        assert_eq!(profiles[0].width_bits, 512);
+    }
+
+    #[test]
+    fn render_is_stable_and_grep_friendly() {
+        let p = VecProfile::from_counts(
+            "demo",
+            Rung::Ninja,
+            InsnCounts {
+                vector_fp_ops: 7,
+                max_vector_bits: 256,
+                fma: true,
+                ..InsnCounts::default()
+            },
+            2,
+        );
+        let text = render_profiles(&[p]);
+        assert!(
+            text.contains("vecprofile demo/ninja: vec256 width=256 fma=yes"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn integer_simd_counts_as_vectorization_for_nl008() {
+        // tree_search/merge_sort-style rungs vectorize with integer ops
+        // only; NL008 must not fire on them.
+        let asm = "\
+_ZN4demo8run_simd17h0000000000000000E:
+\tvpaddd\t%xmm1, %xmm2, %xmm0
+\tvpcmpgtd\t%xmm1, %xmm2, %xmm0
+\tretq
+";
+        let src = "// ninja-lint: variant(simd)\npub fn run_simd(x: &mut [i32]) {}\n";
+        let files = [file("demo.rs", src)];
+        let (profiles, findings) = check_asm(&files, &[parse_listing(asm)]);
+        assert_eq!(profiles[0].classification, "vec128");
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

@@ -1,0 +1,15 @@
+	.text
+	.globl	_ZN20asm_naive_vectorized9run_naive17h0123456789abcdefE
+	.p2align	4, 0x90
+_ZN20asm_naive_vectorized9run_naive17h0123456789abcdefE:
+	.cfi_startproc
+	vmovups	(%rdi), %ymm0
+	vaddps	%ymm1, %ymm0, %ymm0
+	vmulps	%ymm2, %ymm0, %ymm0
+	vfmadd231ps	%ymm3, %ymm2, %ymm0
+	vmaxps	%ymm4, %ymm0, %ymm0
+	vgatherdps	%ymm5, (%rdi,%ymm6,4), %ymm7
+	vmovups	%ymm0, (%rdi)
+	vzeroupper
+	retq
+	.cfi_endproc

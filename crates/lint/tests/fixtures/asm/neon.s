@@ -1,0 +1,15 @@
+	.text
+	.globl	_ZN8neonkern8run_simd17h0123456789abcdefE
+	.p2align	2
+_ZN8neonkern8run_simd17h0123456789abcdefE:
+	.cfi_startproc
+	ldr	q0, [x0]
+	fadd	v0.4s, v0.4s, v1.4s
+	fmul	v0.4s, v0.4s, v2.4s
+	fmla	v0.4s, v1.4s, v3.4s
+	fmax	v0.4s, v0.4s, v4.4s
+	add	v5.4s, v5.4s, v6.4s
+	fadd	s0, s0, s1
+	str	q0, [x0]
+	ret
+	.cfi_endproc

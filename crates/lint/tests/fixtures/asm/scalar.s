@@ -1,0 +1,13 @@
+	.text
+	.globl	_ZN16asm_ninja_scalar9run_ninja17h0123456789abcdefE
+	.p2align	4, 0x90
+_ZN16asm_ninja_scalar9run_ninja17h0123456789abcdefE:
+	.cfi_startproc
+	movss	(%rdi), %xmm0
+	addss	%xmm1, %xmm0
+	mulss	%xmm2, %xmm0
+	subsd	%xmm3, %xmm0
+	divss	%xmm2, %xmm0
+	movss	%xmm0, (%rdi)
+	retq
+	.cfi_endproc

@@ -1,0 +1,15 @@
+	.text
+	.globl	_ZN7ssekern8run_simd17h0123456789abcdefE
+	.p2align	4, 0x90
+_ZN7ssekern8run_simd17h0123456789abcdefE:
+	.cfi_startproc
+	movaps	(%rdi), %xmm0
+	addps	%xmm1, %xmm0
+	mulps	%xmm2, %xmm0
+	minps	%xmm3, %xmm0
+	sqrtps	%xmm0, %xmm0
+	cmpltps	%xmm4, %xmm0
+	paddd	%xmm5, %xmm6
+	movaps	%xmm0, (%rdi)
+	retq
+	.cfi_endproc

@@ -1,0 +1,11 @@
+//! Fixture: a naive rung the compiler auto-vectorized — NL009 (info)
+//! must fire exactly once when `check_asm` pairs this file with
+//! `asm/avx2.s`.
+
+/// Naive rung; the paired AVX2 listing shows packed FP arithmetic.
+// ninja-lint: variant(naive)
+pub fn run_naive(x: &mut [f32]) {
+    for v in x.iter_mut() {
+        *v += 1.0;
+    }
+}

@@ -1,0 +1,18 @@
+//! Fixture: one `Ordering::Relaxed` site with no adjacent `// ORDERING:`
+//! justification — NL010 must fire exactly once. The justified and
+//! non-relaxed sites below must stay silent.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump_unjustified(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn bump_justified(counter: &AtomicU64) -> u64 {
+    // ORDERING: monotonic stats counter; no control flow depends on it.
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn read_synchronized(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Acquire)
+}

@@ -78,6 +78,11 @@ fn missing_safety_fires_nl005_once() {
 }
 
 #[test]
+fn relaxed_unjustified_fires_nl010_once() {
+    assert_fires_exactly_once("relaxed_unjustified.rs", RuleId::UnjustifiedRelaxedOrdering);
+}
+
+#[test]
 fn the_real_tree_is_clean() {
     let report = analyze_workspace(&repo_root()).expect("workspace lints");
     assert!(
@@ -109,6 +114,7 @@ fn binary_exits_nonzero_on_each_violation_fixture() {
         "ninja_without_simd.rs",
         "effort_drift.rs",
         "missing_safety.rs",
+        "relaxed_unjustified.rs",
     ] {
         let (code, stdout, _) = run_binary(&[
             "--root",
@@ -175,7 +181,7 @@ fn binary_lists_rules() {
     let (code, stdout, _) = run_binary(&["--list-rules"]);
     assert_eq!(code, 0);
     for id in [
-        "NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007",
+        "NL001", "NL002", "NL003", "NL004", "NL005", "NL006", "NL007", "NL008", "NL009", "NL010",
     ] {
         assert!(stdout.contains(id), "{stdout}");
     }

@@ -278,6 +278,8 @@ fn worker_loop(shared: Arc<Shared>, lane: usize) {
     loop {
         if let Some(job) = shared.try_pop() {
             if ninja_probe::metrics_enabled() {
+                // ORDERING: monotonic stats counter; snapshots tolerate skew
+                // and no control flow depends on it.
                 shared.counters.lanes[lane]
                     .tasks
                     .fetch_add(1, Ordering::Relaxed);
@@ -401,6 +403,7 @@ impl ThreadPool {
         // instrumentation when the probe flags are on.
         let metrics_on = ninja_probe::metrics_enabled();
         if metrics_on {
+            // ORDERING: monotonic stats counter; read only in snapshots.
             self.shared.counters.regions.fetch_add(1, Ordering::Relaxed);
         }
         let grain = grain.max(1);
@@ -412,6 +415,8 @@ impl ThreadPool {
                 let t0 = Instant::now();
                 body(range);
                 let lane = &self.shared.counters.lanes[current_lane(self.num_threads)];
+                // ORDERING: per-lane stats counters; snapshot reads tolerate
+                // skew between lanes.
                 lane.chunks.fetch_add(1, Ordering::Relaxed);
                 lane.busy_ns
                     .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -433,6 +438,9 @@ impl ThreadPool {
             let t0 = metrics_on.then(Instant::now);
             let mut my_chunks = 0u64;
             loop {
+                // ORDERING: the chunk claim is an isolated counter — each
+                // index is claimed exactly once by atomicity alone, and the
+                // region's completion latch orders the loop body's writes.
                 let i = next_chunk.fetch_add(1, Ordering::Relaxed);
                 if i >= n_chunks {
                     break;
@@ -448,6 +456,8 @@ impl ThreadPool {
                 // time would pollute the imbalance statistics.
                 if my_chunks > 0 {
                     let lane = &counters.lanes[current_lane(counters.lanes.len())];
+                    // ORDERING: per-lane stats counters; snapshot reads
+                    // tolerate skew between lanes.
                     lane.chunks.fetch_add(my_chunks, Ordering::Relaxed);
                     lane.busy_ns
                         .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -532,6 +542,7 @@ impl ThreadPool {
     pub(crate) fn help_one(&self) -> bool {
         if let Some(job) = self.shared.try_pop() {
             if ninja_probe::metrics_enabled() {
+                // ORDERING: monotonic stats counter; read only in snapshots.
                 self.shared.counters.steals.fetch_add(1, Ordering::Relaxed);
             }
             // SAFETY: queued jobs are kept alive by their waiters.
@@ -553,6 +564,8 @@ impl ThreadPool {
         ninja_probe::PoolMetrics {
             threads: self.num_threads,
             at_ns: c.epoch.elapsed().as_nanos() as u64,
+            // ORDERING: a racy snapshot by design — callers diff snapshots
+            // taken around a quiescent point (after a region's join).
             regions: c.regions.load(Ordering::Relaxed),
             joins: c.joins.load(Ordering::Relaxed),
             steals: c.steals.load(Ordering::Relaxed),
@@ -560,6 +573,7 @@ impl ThreadPool {
                 .lanes
                 .iter()
                 .map(|l| ninja_probe::WorkerStats {
+                    // ORDERING: same racy-snapshot contract as above.
                     tasks: l.tasks.load(Ordering::Relaxed),
                     chunks: l.chunks.load(Ordering::Relaxed),
                     busy_ns: l.busy_ns.load(Ordering::Relaxed),
@@ -610,6 +624,7 @@ impl ThreadPool {
     {
         let metrics_on = ninja_probe::metrics_enabled();
         if metrics_on {
+            // ORDERING: monotonic stats counter; read only in snapshots.
             self.shared.counters.joins.fetch_add(1, Ordering::Relaxed);
         }
         if self.num_threads <= 1 {
@@ -630,6 +645,7 @@ impl ThreadPool {
         // Claim b back if nobody started it; otherwise wait for the thief.
         if !job.try_run() {
             if metrics_on {
+                // ORDERING: monotonic stats counter; read only in snapshots.
                 self.shared.counters.steals.fetch_add(1, Ordering::Relaxed);
             }
             let mut spins = 0u32;
@@ -697,9 +713,11 @@ mod tests {
         let counts: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
         pool.parallel_for(0..1000, 13, |r| {
             for i in r {
+                // ORDERING: parallel_for's join orders these test counters.
                 counts[i].fetch_add(1, Ordering::Relaxed);
             }
         });
+        // ORDERING: read after the region's join; no concurrent writers left.
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
     }
 
@@ -715,8 +733,10 @@ mod tests {
         let n = AtomicUsize::new(0);
         pool.parallel_for(0..10, 0, |r| {
             assert_eq!(r.len(), 1);
+            // ORDERING: parallel_for's join orders this test counter.
             n.fetch_add(1, Ordering::Relaxed);
         });
+        // ORDERING: read after the region's join; no concurrent writers left.
         assert_eq!(n.load(Ordering::Relaxed), 10);
     }
 
@@ -747,8 +767,10 @@ mod tests {
         let hits: Vec<AtomicUsize> = (0..items.len()).map(|_| AtomicUsize::new(0)).collect();
         pool.parallel_for_each(&items, 17, |i, &v| {
             assert_eq!(v as usize, i);
+            // ORDERING: parallel_for's join orders this test counter.
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
+        // ORDERING: read after the region's join; no concurrent writers left.
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
@@ -780,8 +802,10 @@ mod tests {
         // Force the workers to drain any stale queued refs.
         let n = AtomicUsize::new(0);
         pool.parallel_for(0..256, 1, |_| {
+            // ORDERING: parallel_for's join orders this test counter.
             n.fetch_add(1, Ordering::Relaxed);
         });
+        // ORDERING: read after the region's join; no concurrent writers left.
         assert_eq!(n.load(Ordering::Relaxed), 256);
     }
 
@@ -812,8 +836,10 @@ mod tests {
         // Pool must still be usable afterwards.
         let n = AtomicUsize::new(0);
         pool.parallel_for(0..4, 1, |_| {
+            // ORDERING: parallel_for's join orders this test counter.
             n.fetch_add(1, Ordering::Relaxed);
         });
+        // ORDERING: read after the region's join; no concurrent writers left.
         assert_eq!(n.load(Ordering::Relaxed), 4);
     }
 
@@ -877,8 +903,10 @@ mod tests {
             }));
             let n = AtomicUsize::new(0);
             pool.parallel_for(0..100, 7, |r| {
+                // ORDERING: parallel_for's join orders this test counter.
                 n.fetch_add(r.len(), Ordering::Relaxed);
             });
+            // ORDERING: read after the region's join.
             assert_eq!(n.load(Ordering::Relaxed), 100);
         }
     }
@@ -931,6 +959,8 @@ mod tests {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut rounds = 0u64;
+                // ORDERING: advisory stop flag; the thread join below is the
+                // real synchronization point.
                 while !stop.load(Ordering::Relaxed) {
                     let sum = pool.parallel_reduce(
                         0..256,
@@ -958,10 +988,13 @@ mod tests {
             // Immediately reuse the pool — no sleep, no settling.
             let n = AtomicUsize::new(0);
             pool.parallel_for(0..64, 3, |r| {
+                // ORDERING: parallel_for's join orders this test counter.
                 n.fetch_add(r.len(), Ordering::Relaxed);
             });
+            // ORDERING: read after the region's join.
             assert_eq!(n.load(Ordering::Relaxed), 64);
         }
+        // ORDERING: advisory stop flag; the join below synchronizes.
         stop.store(true, Ordering::Relaxed);
         let bg_rounds = bg.join().unwrap();
         assert!(bg_rounds > 0, "background load never ran");

@@ -69,9 +69,17 @@ impl<'scope> Scope<'scope> {
     {
         self.latch.add_task();
         let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(task);
-        // SAFETY: `ThreadPool::scope` does not return until the latch hits
-        // zero, so the task (and everything it borrows, which outlives
-        // 'scope) stays valid for as long as the queue may hold it.
+        // This lifetime erasure (audited, kept deliberately) is the one
+        // place `'scope` leaves the type system: the pool's job queue is
+        // type-erased (`*const ()` + fn pointer), so the closure's borrow
+        // lifetime cannot be carried through it — an `UnsafeCell` would not
+        // help, and a transmute-free variant merely moves the same erasure
+        // into the `Box::into_raw(..) as *const ()` cast below.
+        // SAFETY: `ThreadPool::scope` does not return (even on unwind — see
+        // `DrainGuard`) until the latch hits zero, so the task and all it
+        // borrows (which outlives 'scope) stay valid for as long as the
+        // queue may hold the job. The `scope` pointer cast in `ScopeJob`
+        // below rides the same argument.
         let boxed: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(boxed) };
         let job = Box::new(ScopeJob {
             task: Some(boxed),
@@ -182,10 +190,12 @@ mod tests {
         pool.scope(|s| {
             for chunk in data.chunks(7) {
                 s.spawn(|| {
+                    // ORDERING: the scope's drain barrier orders this.
                     sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::Relaxed);
                 });
             }
         });
+        // ORDERING: read after the scope drained; no writers left.
         assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum());
     }
 
@@ -196,10 +206,12 @@ mod tests {
         pool.scope(|s| {
             for _ in 0..25 {
                 s.spawn(|| {
+                    // ORDERING: the scope's drain barrier orders this.
                     hits.fetch_add(1, Ordering::Relaxed);
                 });
             }
         });
+        // ORDERING: read after the scope drained; no writers left.
         assert_eq!(hits.load(Ordering::Relaxed), 25);
     }
 
@@ -228,12 +240,14 @@ mod tests {
                         if i == 3 {
                             panic!("boom");
                         }
+                        // ORDERING: the scope's drain barrier orders this.
                         completed.fetch_add(1, Ordering::Relaxed);
                     });
                 }
             });
         }));
         assert!(result.is_err());
+        // ORDERING: read after the scope drained; no writers left.
         assert_eq!(
             completed.load(Ordering::Relaxed),
             9,
@@ -247,15 +261,18 @@ mod tests {
         let n = AtomicUsize::new(0);
         pool.scope(|outer| {
             outer.spawn(|| {
+                // ORDERING: the scope's drain barrier orders this.
                 n.fetch_add(1, Ordering::Relaxed);
             });
             // A fresh inner scope on the same pool.
             pool.scope(|inner| {
                 inner.spawn(|| {
+                    // ORDERING: the scope's drain barrier orders this.
                     n.fetch_add(10, Ordering::Relaxed);
                 });
             });
         });
+        // ORDERING: read after both scopes drained; no writers left.
         assert_eq!(n.load(Ordering::Relaxed), 11);
     }
 }

@@ -20,7 +20,9 @@
 //! them), so the bootstrap PRNG is seeded deterministically from the two
 //! record ids and the cell name — never from the wall clock.
 
-use crate::schema::{fnv1a64, fnv1a64_continue, CellAttribution, RunRecord, Sample};
+use crate::schema::{
+    fnv1a64, fnv1a64_continue, CellAttribution, RunRecord, Sample, VecProfileRecord,
+};
 use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Deterministic 64-bit PRNG (SplitMix64): tiny, seedable, and good
@@ -329,6 +331,41 @@ fn explain_shift(base: Option<&CellAttribution>, cand: Option<&CellAttribution>)
     }
 }
 
+/// Builds the codegen side of the "why did this cell shift" hint from
+/// the two runs' vectorization profiles, when both recorded evidence for
+/// this cell. Fires on a vector-width change or FMA appearing or
+/// disappearing — the codegen shifts that move kernel timings on their
+/// own, e.g. after a source change that defeats the auto-vectorizer.
+fn explain_vec_shift(
+    base: Option<&VecProfileRecord>,
+    cand: Option<&VecProfileRecord>,
+) -> Option<String> {
+    let (b, c) = (base?, cand?);
+    // A side with no matched symbols saw no evidence (inlined away);
+    // silence beats a spurious "width changed N→0".
+    if b.matched_symbols == 0 || c.matched_symbols == 0 {
+        return None;
+    }
+    let mut clauses = Vec::new();
+    if b.width_bits != c.width_bits {
+        clauses.push(format!(
+            "vector width changed {}→{}",
+            b.width_bits, c.width_bits
+        ));
+    }
+    if b.fma != c.fma {
+        clauses.push(format!(
+            "fma {}",
+            if c.fma { "appeared" } else { "disappeared" }
+        ));
+    }
+    if clauses.is_empty() {
+        None
+    } else {
+        Some(clauses.join("; "))
+    }
+}
+
 /// Reconstructs a plausible repetition sample set from a summary: `runs`
 /// points spanning `[min, max]` with the median preserved at the center.
 /// The harness stores summaries, not raw repetitions, so the bootstrap
@@ -458,11 +495,24 @@ pub fn compare_records(
         let seed = cell_seed(&baseline.id, &candidate.id, &c.kernel, &c.variant);
         let stats = compare_samples(&base, &cand, seed, cfg);
         // An attribution shift on a noise cell is itself noise — only
-        // explain cells the comparator actually flagged.
+        // explain cells the comparator actually flagged. Roofline and
+        // codegen clauses are joined into one hint.
         let explain = if stats.verdict == Verdict::Noise {
             None
         } else {
-            explain_shift(b.attribution.as_ref(), c.attribution.as_ref())
+            let clauses: Vec<String> =
+                explain_shift(b.attribution.as_ref(), c.attribution.as_ref())
+                    .into_iter()
+                    .chain(explain_vec_shift(
+                        baseline.vec_profile(&c.kernel, &c.variant),
+                        candidate.vec_profile(&c.kernel, &c.variant),
+                    ))
+                    .collect();
+            if clauses.is_empty() {
+                None
+            } else {
+                Some(clauses.join("; "))
+            }
         };
         cells.push(CellComparison {
             kernel: c.kernel.clone(),
@@ -556,6 +606,7 @@ mod tests {
                     attribution: None,
                 })
                 .collect(),
+            vec_profiles: Vec::new(),
         }
     }
 
@@ -743,6 +794,62 @@ mod tests {
         let text = r.render_text();
         assert!(text.contains("regressed — "), "{text}");
         assert!(text.contains("idle fraction rose"), "{text}");
+    }
+
+    fn profile(kernel: &str, rung: &str, width: u32, fma: bool) -> VecProfileRecord {
+        VecProfileRecord {
+            kernel: kernel.into(),
+            rung: rung.into(),
+            width_bits: width,
+            fma,
+            gather: false,
+            scatter: false,
+            vector_fp_ops: if width > 0 { 40 } else { 0 },
+            scalar_fp_ops: 4,
+            vector_int_ops: 0,
+            matched_symbols: 1,
+            classification: match width {
+                0 => "scalar".into(),
+                w => format!("vec{w}"),
+            },
+        }
+    }
+
+    #[test]
+    fn regressions_explain_vector_width_and_fma_changes() {
+        let mut base = record("base", vec![("k", "ninja", Some(sample(1.0, 0.05)))]);
+        base.vec_profiles.push(profile("k", "ninja", 256, true));
+        let mut slow = record("slow", vec![("k", "ninja", Some(sample(2.1, 0.05)))]);
+        slow.vec_profiles.push(profile("k", "ninja", 128, false));
+
+        let r = compare_records(&base, &slow, &CompareConfig::default());
+        assert_eq!(r.cells[0].verdict, Verdict::Regressed);
+        let why = r.cells[0].explain.as_deref().expect("explained");
+        assert!(why.contains("vector width changed 256→128"), "{why}");
+        assert!(why.contains("fma disappeared"), "{why}");
+
+        // No profile on one side, or no matched symbols: stay quiet.
+        let r = compare_records(
+            &base,
+            &{
+                let mut s = record("slow2", vec![("k", "ninja", Some(sample(2.1, 0.05)))]);
+                s.vec_profiles.push({
+                    let mut p = profile("k", "ninja", 0, false);
+                    p.matched_symbols = 0;
+                    p
+                });
+                s
+            },
+            &CompareConfig::default(),
+        );
+        assert_eq!(r.cells[0].verdict, Verdict::Regressed);
+        assert!(r.cells[0].explain.is_none(), "{:?}", r.cells[0].explain);
+
+        // An identical profile adds no clause.
+        let mut same = record("same", vec![("k", "ninja", Some(sample(2.1, 0.05)))]);
+        same.vec_profiles.push(profile("k", "ninja", 256, true));
+        let r = compare_records(&base, &same, &CompareConfig::default());
+        assert!(r.cells[0].explain.is_none());
     }
 
     #[test]

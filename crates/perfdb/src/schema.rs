@@ -174,6 +174,38 @@ impl CellRecord {
     }
 }
 
+/// Assembly-level vectorization evidence for one (kernel, rung) cell — a
+/// mirror of the suite report's `vec_profiles` entries (this crate stays
+/// a std + serde-stand-in leaf, so it names the fields rather than
+/// importing `ninja-core`). Recorded by `ninja-lint --asm` and carried
+/// through `reproduce --record` so `perfdb compare` can attribute a
+/// timing shift to a codegen change ("vector width changed 256 → 128").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct VecProfileRecord {
+    /// Kernel module name.
+    pub kernel: String,
+    /// Rung name (`naive`/`parallel`/`simd`/`algorithmic`/`ninja`).
+    pub rung: String,
+    /// Widest vector register observed (bits); 0 for scalar code.
+    pub width_bits: u32,
+    /// Whether fused multiply-add instructions appeared.
+    pub fma: bool,
+    /// Whether vector gather loads appeared.
+    pub gather: bool,
+    /// Whether vector scatter stores appeared.
+    pub scatter: bool,
+    /// Packed floating-point arithmetic instruction count.
+    pub vector_fp_ops: u32,
+    /// Scalar floating-point arithmetic instruction count.
+    pub scalar_fp_ops: u32,
+    /// Integer vector arithmetic/shuffle instruction count.
+    pub vector_int_ops: u32,
+    /// Listing symbols attributed to this rung's entry points.
+    pub matched_symbols: u32,
+    /// Summary tag: `no-evidence`, `scalar`, `vec64` … `vec512`.
+    pub classification: String,
+}
+
 /// Where a run was measured: enough to tell apples from oranges when
 /// comparing records, without pretending two hosts are interchangeable.
 ///
@@ -299,7 +331,7 @@ pub fn detect_git_commit() -> String {
 }
 
 /// One suite run, as stored (one JSONL line per record).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunRecord {
     /// Schema version ([`SCHEMA_VERSION`] at write time).
     pub schema_version: u32,
@@ -322,6 +354,59 @@ pub struct RunRecord {
     pub excluded: Vec<String>,
     /// Recorded cells, suite order.
     pub cells: Vec<CellRecord>,
+    /// Vectorization evidence per (kernel, rung); empty for runs recorded
+    /// without the asm oracle (and for every record written before the
+    /// field existed).
+    pub vec_profiles: Vec<VecProfileRecord>,
+}
+
+// Hand-written (not derived) so records written before `vec_profiles`
+// existed — including the checked-in CLI fixtures — keep their exact
+// bytes: the field is omitted when empty on write and defaulted on read.
+// Same pattern as `CellRecord::attribution` above.
+impl Serialize for RunRecord {
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            ("schema_version".to_owned(), self.schema_version.to_value()),
+            ("id".to_owned(), self.id.to_value()),
+            (
+                "timestamp_unix_s".to_owned(),
+                self.timestamp_unix_s.to_value(),
+            ),
+            ("git_commit".to_owned(), self.git_commit.to_value()),
+            ("machine".to_owned(), self.machine.to_value()),
+            ("size".to_owned(), self.size.to_value()),
+            ("seed".to_owned(), self.seed.to_value()),
+            ("threads".to_owned(), self.threads.to_value()),
+            ("excluded".to_owned(), self.excluded.to_value()),
+            ("cells".to_owned(), self.cells.to_value()),
+        ];
+        if !self.vec_profiles.is_empty() {
+            pairs.push(("vec_profiles".to_owned(), self.vec_profiles.to_value()));
+        }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for RunRecord {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            schema_version: u32::from_value(v.field("schema_version")?)?,
+            id: String::from_value(v.field("id")?)?,
+            timestamp_unix_s: u64::from_value(v.field("timestamp_unix_s")?)?,
+            git_commit: String::from_value(v.field("git_commit")?)?,
+            machine: MachineFingerprint::from_value(v.field("machine")?)?,
+            size: String::from_value(v.field("size")?)?,
+            seed: u64::from_value(v.field("seed")?)?,
+            threads: usize::from_value(v.field("threads")?)?,
+            excluded: Vec::from_value(v.field("excluded")?)?,
+            cells: Vec::from_value(v.field("cells")?)?,
+            vec_profiles: match v.field("vec_profiles") {
+                Ok(val) => Vec::from_value(val)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 // ---- suite_report.json wire mirror -------------------------------------
@@ -366,13 +451,31 @@ struct KernelWire {
     variants: Vec<VariantWire>,
 }
 
-#[derive(Deserialize)]
 struct SuiteWire {
     size: String,
     seed: u64,
     threads: usize,
     simd_backend: String,
     kernels: Vec<KernelWire>,
+    vec_profiles: Vec<VecProfileRecord>,
+}
+
+// Hand-written so suite reports written before `vec_profiles` existed
+// still ingest.
+impl Deserialize for SuiteWire {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            size: String::from_value(v.field("size")?)?,
+            seed: u64::from_value(v.field("seed")?)?,
+            threads: usize::from_value(v.field("threads")?)?,
+            simd_backend: String::from_value(v.field("simd_backend")?)?,
+            kernels: Vec::from_value(v.field("kernels")?)?,
+            vec_profiles: match v.field("vec_profiles") {
+                Ok(val) => Vec::from_value(val)?,
+                Err(_) => Vec::new(),
+            },
+        })
+    }
 }
 
 impl RunRecord {
@@ -407,6 +510,11 @@ impl RunRecord {
                 });
             }
         }
+        let vec_profiles = suite
+            .vec_profiles
+            .into_iter()
+            .filter(|p| !kernel_is_excluded(&p.kernel))
+            .collect();
         let mut record = RunRecord {
             schema_version: SCHEMA_VERSION,
             id: String::new(),
@@ -418,6 +526,7 @@ impl RunRecord {
             threads: suite.threads,
             excluded,
             cells,
+            vec_profiles,
         };
         // The suite report carries the authoritative backend name.
         record.machine.simd_backend = suite.simd_backend;
@@ -449,6 +558,14 @@ impl RunRecord {
         self.cells
             .iter()
             .find(|c| c.kernel == kernel && c.variant == variant)
+    }
+
+    /// Looks up the vectorization evidence recorded for one (kernel,
+    /// rung) cell, when the run carried the asm oracle's profiles.
+    pub fn vec_profile(&self, kernel: &str, variant: &str) -> Option<&VecProfileRecord> {
+        self.vec_profiles
+            .iter()
+            .find(|p| p.kernel == kernel && p.rung == variant)
     }
 
     /// Kernel names present in the record, in first-seen order.
@@ -658,6 +775,7 @@ mod tests {
                     attribution: None,
                 },
             ],
+            vec_profiles: Vec::new(),
         };
         assert!((rec.measured_gap("k").unwrap() - 8.0).abs() < 1e-12);
         assert!((rec.measured_residual("k").unwrap() - 1.3).abs() < 1e-12);
@@ -697,6 +815,72 @@ mod tests {
         let back: CellRecord =
             serde_json::from_str(&serde_json::to_string(&attributed).unwrap()).unwrap();
         assert_eq!(attributed, back);
+    }
+
+    pub(crate) fn profile(kernel: &str, rung: &str, width: u32, fma: bool) -> VecProfileRecord {
+        VecProfileRecord {
+            kernel: kernel.into(),
+            rung: rung.into(),
+            width_bits: width,
+            fma,
+            gather: false,
+            scatter: false,
+            vector_fp_ops: if width > 0 { 40 } else { 0 },
+            scalar_fp_ops: 4,
+            vector_int_ops: 0,
+            matched_symbols: 1,
+            classification: match width {
+                0 => "scalar".into(),
+                w => format!("vec{w}"),
+            },
+        }
+    }
+
+    #[test]
+    fn vec_profiles_are_omitted_when_empty_and_tolerated_on_read() {
+        let meta = RecordMeta::synthetic("r4", "scalar");
+        let bare = RunRecord::from_suite_json(&suite_json(), &meta).unwrap();
+        let line = bare.to_jsonl_line();
+        assert!(
+            !line.contains("vec_profiles"),
+            "empty profiles must stay off the wire: {line}"
+        );
+        // A pre-`vec_profiles` record (exactly what old stores contain)
+        // parses with the field defaulted.
+        let back = RunRecord::from_jsonl_line(&line).unwrap();
+        assert!(back.vec_profiles.is_empty());
+        assert_eq!(bare, back);
+        // A populated record round-trips and the lookup helper finds it.
+        let mut with = bare.clone();
+        with.vec_profiles.push(profile("nbody", "ninja", 256, true));
+        let back = RunRecord::from_jsonl_line(&with.to_jsonl_line()).unwrap();
+        assert_eq!(with, back);
+        let p = back.vec_profile("nbody", "ninja").expect("profile found");
+        assert_eq!(p.width_bits, 256);
+        assert!(back.vec_profile("nbody", "naive").is_none());
+    }
+
+    #[test]
+    fn suite_ingestion_carries_profiles_and_drops_chaos() {
+        // Splice a vec_profiles array (one real kernel, one chaos) into
+        // the suite JSON the harness writes.
+        let json = suite_json().replacen(
+            "\"kernels\":",
+            r#""vec_profiles": [
+              {"kernel": "nbody", "rung": "ninja", "width_bits": 128, "fma": false,
+               "gather": false, "scatter": false, "vector_fp_ops": 12, "scalar_fp_ops": 0,
+               "vector_int_ops": 0, "matched_symbols": 1, "classification": "vec128"},
+              {"kernel": "chaos-panic", "rung": "naive", "width_bits": 0, "fma": false,
+               "gather": false, "scatter": false, "vector_fp_ops": 0, "scalar_fp_ops": 4,
+               "vector_int_ops": 0, "matched_symbols": 1, "classification": "scalar"}
+            ],
+            "kernels":"#,
+            1,
+        );
+        let meta = RecordMeta::synthetic("r5", "scalar");
+        let rec = RunRecord::from_suite_json(&json, &meta).unwrap();
+        assert_eq!(rec.vec_profiles.len(), 1, "chaos profiles are dropped");
+        assert_eq!(rec.vec_profile("nbody", "ninja").unwrap().width_bits, 128);
     }
 
     #[test]

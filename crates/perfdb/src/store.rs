@@ -419,6 +419,7 @@ mod tests {
                 }),
                 attribution: None,
             }],
+            vec_profiles: Vec::new(),
         }
     }
 

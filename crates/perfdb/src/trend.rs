@@ -14,7 +14,7 @@ use crate::sweep::SweepRecord;
 use serde::{Deserialize, Serialize};
 
 /// One run's contribution to a kernel's trajectory.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct TrendPoint {
     /// Record id the point comes from.
     pub run_id: String,
@@ -28,6 +28,30 @@ pub struct TrendPoint {
     pub gap: Option<f64>,
     /// Measured residual `algorithmic/ninja`.
     pub residual: Option<f64>,
+    /// Vector width (bits) of the ninja rung's recorded codegen evidence;
+    /// `None` when the run carried no asm profile for this kernel. Lets a
+    /// trajectory show *when* a rung's vectorization changed, not just
+    /// when its timing did.
+    pub ninja_vec_width_bits: Option<u32>,
+}
+
+// Deserialize is written by hand (Serialize stays derived) so history
+// artifacts written before `ninja_vec_width_bits` existed still parse.
+impl serde::Deserialize for TrendPoint {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            run_id: String::from_value(v.field("run_id")?)?,
+            timestamp_unix_s: u64::from_value(v.field("timestamp_unix_s")?)?,
+            git_commit: String::from_value(v.field("git_commit")?)?,
+            ninja_median_s: Option::from_value(v.field("ninja_median_s")?)?,
+            gap: Option::from_value(v.field("gap")?)?,
+            residual: Option::from_value(v.field("residual")?)?,
+            ninja_vec_width_bits: match v.field("ninja_vec_width_bits") {
+                Ok(val) => Option::from_value(val)?,
+                Err(_) => None,
+            },
+        })
+    }
 }
 
 /// One kernel's trajectory, oldest run first.
@@ -98,6 +122,7 @@ fn trend_point(rec: &RunRecord, kernel: &str) -> TrendPoint {
         ninja_median_s: rec.median_s(kernel, "ninja"),
         gap: rec.measured_gap(kernel),
         residual: rec.measured_residual(kernel),
+        ninja_vec_width_bits: rec.vec_profile(kernel, "ninja").map(|p| p.width_bits),
     }
 }
 
@@ -368,6 +393,7 @@ mod tests {
                 cell("algorithmic", sample(algo)),
                 cell("ninja", sample(ninja)),
             ],
+            vec_profiles: Vec::new(),
         }
     }
 

@@ -72,6 +72,7 @@ fn fixture_record(
         threads: 2,
         excluded: vec!["chaos-panic".to_owned()],
         cells,
+        vec_profiles: Vec::new(),
     }
 }
 

@@ -51,6 +51,7 @@ fn record(id: &str, cells: &[(String, String, Sample)]) -> RunRecord {
                 attribution: None,
             })
             .collect(),
+        vec_profiles: Vec::new(),
     }
 }
 

@@ -41,22 +41,28 @@ static METRICS: AtomicBool = AtomicBool::new(false);
 /// Is the span tracer recording? Relaxed load; safe to call on hot paths.
 #[inline]
 pub fn tracing_enabled() -> bool {
+    // ORDERING: advisory on/off flag; a stale read merely records or skips
+    // one extra event, and callers toggle it only at measurement boundaries.
     TRACING.load(Ordering::Relaxed)
 }
 
 /// Switch the span tracer on or off at runtime.
 pub fn set_tracing(on: bool) {
+    // ORDERING: advisory flag, see `tracing_enabled`.
     TRACING.store(on, Ordering::Relaxed);
 }
 
 /// Are pool metrics counters active? Relaxed load; safe on hot paths.
 #[inline]
 pub fn metrics_enabled() -> bool {
+    // ORDERING: advisory on/off flag; a stale read merely counts or skips
+    // one extra sample, and callers toggle it only at measurement boundaries.
     METRICS.load(Ordering::Relaxed)
 }
 
 /// Switch pool metrics collection on or off at runtime.
 pub fn set_metrics(on: bool) {
+    // ORDERING: advisory flag, see `metrics_enabled`.
     METRICS.store(on, Ordering::Relaxed);
 }
 

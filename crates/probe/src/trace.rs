@@ -84,6 +84,8 @@ pub fn thread_id() -> u32 {
         if let Some(t) = c.get() {
             return t;
         }
+        // ORDERING: unique-id allocator; atomicity alone guarantees dense,
+        // distinct ids and nothing sequences on it.
         let t = NEXT_TID.fetch_add(1, Ordering::Relaxed);
         c.set(Some(t));
         let name = std::thread::current()

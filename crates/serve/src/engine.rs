@@ -539,8 +539,10 @@ fn process_batch<K: BatchKernel>(
         }
 
         let rung = choose_rung(breakers, now);
-        let fault = lock_recover(&shared.chaos)
-            .and_then(|s| s.fault_at(shared.attempt_slot.fetch_add(1, Ordering::Relaxed)));
+        // ORDERING: fault-schedule slot allocator; atomicity gives each
+        // attempt a distinct slot and no other state hangs off it.
+        let slot = shared.attempt_slot.fetch_add(1, Ordering::Relaxed);
+        let fault = lock_recover(&shared.chaos).and_then(|s| s.fault_at(slot));
         let last_deadline = members
             .iter()
             .map(|m| m.env.deadline)
