@@ -157,7 +157,12 @@ fn run_serve(cli: &ninja_bench::Cli) {
         }
     );
 
-    let pool = Arc::new(ninja_parallel::ThreadPool::with_threads(cli.threads));
+    let pool = Arc::new(
+        ninja_parallel::ThreadPool::builder()
+            .num_threads(cli.threads)
+            .affinity(cli.affinity)
+            .build(),
+    );
     let report = match kernel_name.as_str() {
         "blackscholes" => {
             use ninja_kernels::black_scholes::{price_contract, OptionContract};
@@ -290,9 +295,10 @@ fn main() {
         }
     }
     eprintln!(
-        "running full reproduction: size={} threads={} reps={} timeout={} mode={}{}",
+        "running full reproduction: size={} threads={}{} reps={} timeout={} mode={}{}",
         cli.size,
         cli.threads,
+        if cli.affinity { " affinity=on" } else { "" },
         cli.reps,
         match cli.timeout() {
             Some(budget) => format!("{}s", budget.as_secs()),
@@ -312,6 +318,7 @@ fn main() {
     let mut harness = ninja_core::Harness::new()
         .size(cli.size)
         .threads(cli.threads)
+        .affinity(cli.affinity)
         .repetitions(cli.reps)
         .fail_fast(cli.fail_fast);
     harness = match cli.timeout() {
@@ -369,6 +376,18 @@ fn main() {
                 }
             }
         }
+        // Cumulative scheduler traffic over the whole run, one greppable
+        // line (CI asserts the stealing path actually exercised).
+        let pm = harness.pool_metrics();
+        let sum = |f: fn(&ninja_probe::WorkerStats) -> u64| pm.workers.iter().map(f).sum::<u64>();
+        println!(
+            "pool counters: steals={} local_pops={} injector_pops={} steal_ratio={:.3} parked_ms={}",
+            sum(|w| w.steals),
+            sum(|w| w.local_pops),
+            sum(|w| w.injector_pops),
+            pm.steal_ratio(),
+            sum(|w| w.parked_ns) / 1_000_000,
+        );
     }
 
     if let Some(path) = &cli.trace {

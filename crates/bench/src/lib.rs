@@ -5,6 +5,9 @@
 //! ```text
 //! --size test|quick|paper   problem-size preset (default: quick)
 //! --threads N               measurement pool threads (default: hardware)
+//! --affinity                round-robin-pin pool workers to cores (best
+//!                           effort; no-op where `sched_setaffinity` is
+//!                           unavailable or denied)
 //! --reps N                  timed repetitions per variant (default: 3)
 //! --timeout SECONDS         per-variant wall-clock budget; 0 disables
 //!                           (default: 120)
@@ -76,6 +79,8 @@ pub struct Cli {
     pub size: ProblemSize,
     /// Pool threads for parallel variants.
     pub threads: usize,
+    /// Round-robin-pin pool workers to cores (best effort).
+    pub affinity: bool,
     /// Timed repetitions per variant.
     pub reps: u32,
     /// Per-variant wall-clock budget in seconds; `0` disables the watchdog.
@@ -178,6 +183,7 @@ impl Default for Cli {
         Self {
             size: ProblemSize::Quick,
             threads: ninja_parallel::hardware_threads(),
+            affinity: false,
             reps: 3,
             timeout_s: 120,
             fail_fast: false,
@@ -247,6 +253,7 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
                     .map_err(|e| format!("--timeout: {e}"))?;
             }
             "--quick" => cli.size = ProblemSize::Quick,
+            "--affinity" => cli.affinity = true,
             "--scale" => cli.scale = true,
             "--threads-max" => {
                 let max: usize = value("--threads-max")?
@@ -353,8 +360,8 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
             }
             "--help" | "-h" => {
                 return Err(concat!(
-                    "usage: [--size test|quick|paper] [--threads N] [--reps N]\n",
-                    "       [--timeout SECONDS] [--fail-fast|--keep-going]\n",
+                    "usage: [--size test|quick|paper] [--threads N] [--affinity]\n",
+                    "       [--reps N] [--timeout SECONDS] [--fail-fast|--keep-going]\n",
                     "       [--chaos panic|hang|nan|wrong] [--chaos-seed N]\n",
                     "       [--chaos-rate F] [--lint] [--asm]\n",
                     "       [--record] [--baseline REF|PATH] [--store DIR]\n",
@@ -518,6 +525,14 @@ mod tests {
         assert_eq!(cli.baseline, None);
         assert_eq!(cli.store, ninja_perfdb::DEFAULT_DIR);
         assert_eq!(cli.noise_floor, None);
+    }
+
+    #[test]
+    fn affinity_defaults_off_and_parses() {
+        assert!(!parse(&[]).unwrap().affinity);
+        let cli = parse(&["--affinity", "--threads", "2"]).unwrap();
+        assert!(cli.affinity);
+        assert_eq!(cli.threads, 2);
     }
 
     #[test]

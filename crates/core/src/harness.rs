@@ -88,6 +88,7 @@ pub struct Harness {
     /// (which joins workers) never runs while a thread is stuck in it.
     pool: Mutex<Arc<ThreadPool>>,
     threads: usize,
+    affinity: bool,
     validate: bool,
     timeout: Option<Duration>,
     fail_fast: bool,
@@ -111,6 +112,7 @@ impl Harness {
             runs: 3,
             pool: Mutex::new(Arc::new(ThreadPool::new())),
             threads,
+            affinity: false,
             validate: true,
             timeout: None,
             fail_fast: false,
@@ -143,8 +145,16 @@ impl Harness {
 
     /// Sets the number of pool threads used by parallel variants.
     pub fn threads(mut self, n: usize) -> Self {
-        self.pool = Mutex::new(Arc::new(ThreadPool::with_threads(n)));
         self.threads = n;
+        self.pool = Mutex::new(self.make_pool());
+        self
+    }
+
+    /// Round-robin-pins pool workers to cores (off by default). Best
+    /// effort — see [`ThreadPoolBuilder::affinity`](ninja_parallel::ThreadPoolBuilder::affinity).
+    pub fn affinity(mut self, enabled: bool) -> Self {
+        self.affinity = enabled;
+        self.pool = Mutex::new(self.make_pool());
         self
     }
 
@@ -211,10 +221,27 @@ impl Harness {
         Arc::clone(&self.pool.lock())
     }
 
+    /// Builds a pool from the harness's current scheduling knobs.
+    fn make_pool(&self) -> Arc<ThreadPool> {
+        Arc::new(
+            ThreadPool::builder()
+                .num_threads(self.threads)
+                .affinity(self.affinity)
+                .build(),
+        )
+    }
+
+    /// Cumulative scheduler counters from the current pool (all zeros
+    /// unless [`ninja_probe::set_metrics`] was on while work ran; the
+    /// handle resets after a timeout rebuilds the pool).
+    pub fn pool_metrics(&self) -> ninja_probe::PoolMetrics {
+        self.pool_handle().metrics()
+    }
+
     /// Replaces the pool after a timeout abandoned a thread that may still
     /// be using (or blocking) the old one.
     fn rebuild_pool(&self) {
-        *self.pool.lock() = Arc::new(ThreadPool::with_threads(self.threads));
+        *self.pool.lock() = self.make_pool();
     }
 
     /// Runs one variant inside the isolation boundary, returning the
@@ -311,8 +338,11 @@ impl Harness {
                 if let Some(before) = pool_before {
                     let window = metrics_pool.metrics().delta(&before);
                     if window.total_busy_ns() > 0 {
-                        attribution =
-                            attribution.with_pool(window.imbalance_ratio(), window.idle_fraction());
+                        attribution = attribution.with_pool(
+                            window.imbalance_ratio(),
+                            window.idle_fraction(),
+                            window.steal_ratio(),
+                        );
                     }
                 }
                 VariantResult {
@@ -635,6 +665,18 @@ mod tests {
             t.runs as usize,
             "metrics flag opts into raw per-rep samples"
         );
+    }
+
+    #[test]
+    fn affinity_harness_measures_and_exposes_pool_metrics() {
+        let h = test_harness().affinity(true);
+        let r = h.run_kernel(&registry()[3]); // blackscholes
+        assert!(r.variants.iter().all(|v| v.is_ok()));
+        // Metrics flag is off here, so counters are zero — but the
+        // snapshot's shape tracks the configured pool.
+        let m = h.pool_metrics();
+        assert_eq!(m.threads, h.num_threads());
+        assert_eq!(m.workers.len(), h.num_threads());
     }
 
     #[test]

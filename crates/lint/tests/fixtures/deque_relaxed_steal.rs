@@ -1,0 +1,33 @@
+//! Fixture: a Chase–Lev-style steal path whose racy `bottom` read uses
+//! `Ordering::Relaxed` with no adjacent `// ORDERING:` justification —
+//! NL010 must fire exactly once. The justified sites below (the shape the
+//! vendored deque actually ships) must stay silent.
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+pub struct Deque {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+}
+
+impl Deque {
+    pub fn steal_len_unjustified(&self) -> isize {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Relaxed);
+        b - t
+    }
+
+    pub fn steal_len_justified(&self) -> isize {
+        let t = self.top.load(Ordering::Acquire);
+        // ORDERING: racy size estimate only; a stale `bottom` makes the
+        // thief retry, never hand out a slot twice.
+        let b = self.bottom.load(Ordering::Relaxed);
+        b - t
+    }
+
+    pub fn claim(&self, t: isize) -> bool {
+        self.top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed) // ORDERING: failure path only observes, never publishes.
+            .is_ok()
+    }
+}

@@ -83,6 +83,11 @@ fn relaxed_unjustified_fires_nl010_once() {
 }
 
 #[test]
+fn deque_relaxed_steal_fires_nl010_once() {
+    assert_fires_exactly_once("deque_relaxed_steal.rs", RuleId::UnjustifiedRelaxedOrdering);
+}
+
+#[test]
 fn the_real_tree_is_clean() {
     let report = analyze_workspace(&repo_root()).expect("workspace lints");
     assert!(
@@ -115,6 +120,7 @@ fn binary_exits_nonzero_on_each_violation_fixture() {
         "effort_drift.rs",
         "missing_safety.rs",
         "relaxed_unjustified.rs",
+        "deque_relaxed_steal.rs",
     ] {
         let (code, stdout, _) = run_binary(&[
             "--root",

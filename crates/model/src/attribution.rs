@@ -54,6 +54,10 @@ pub struct Attribution {
     /// Percent of pool thread-time idle during the measurement
     /// (0.0 also when pool metrics were not collected).
     pub pool_idle_pct: f64,
+    /// Fraction of executed pool jobs that arrived by work stealing
+    /// during the measurement (0.0 when not collected, or when the region
+    /// scheduled purely through `parallel_for` chunk claiming).
+    pub pool_steal_ratio: f64,
 }
 
 impl Attribution {
@@ -69,6 +73,7 @@ impl Attribution {
                 bound: BOUND_POORLY_UTILIZED.to_owned(),
                 pool_imbalance: 0.0,
                 pool_idle_pct: 0.0,
+                pool_steal_ratio: 0.0,
             };
         }
         let achieved_gflops = flops / seconds / 1e9;
@@ -100,14 +105,19 @@ impl Attribution {
             bound: bound.to_owned(),
             pool_imbalance: 0.0,
             pool_idle_pct: 0.0,
+            pool_steal_ratio: 0.0,
         }
     }
 
     /// Attaches the pool utilization observed during the measurement.
+    /// `steal_ratio` is the stolen share of executed jobs
+    /// ([`PoolMetrics::steal_ratio`] in `ninja-probe`); pass `0.0` when the
+    /// region scheduled without deque traffic.
     #[must_use]
-    pub fn with_pool(mut self, imbalance_ratio: f64, idle_fraction: f64) -> Self {
+    pub fn with_pool(mut self, imbalance_ratio: f64, idle_fraction: f64, steal_ratio: f64) -> Self {
         self.pool_imbalance = imbalance_ratio;
         self.pool_idle_pct = 100.0 * idle_fraction.clamp(0.0, 1.0);
+        self.pool_steal_ratio = steal_ratio.clamp(0.0, 1.0);
         self
     }
 
@@ -135,6 +145,9 @@ impl Attribution {
                 "; pool imbalance {:.2}, idle {:.0}%",
                 self.pool_imbalance, self.pool_idle_pct
             ));
+            if self.pool_steal_ratio > 0.0 {
+                s.push_str(&format!(", steal {:.0}%", 100.0 * self.pool_steal_ratio));
+            }
         }
         s
     }
@@ -207,12 +220,17 @@ mod tests {
     #[test]
     fn pool_fields_attach_and_render() {
         let m = machines::westmere();
-        let a = Attribution::new(24e9 * 0.25, 24e9, 1.0, &m).with_pool(2.4, 0.41);
+        let a = Attribution::new(24e9 * 0.25, 24e9, 1.0, &m).with_pool(2.4, 0.41, 0.35);
         assert!(a.has_pool_data());
         assert!((a.pool_idle_pct - 41.0).abs() < 1e-9);
+        assert!((a.pool_steal_ratio - 0.35).abs() < 1e-9);
         let s = a.summary();
         assert!(s.contains("bandwidth-bound"), "{s}");
         assert!(s.contains("imbalance 2.40"), "{s}");
+        assert!(s.contains("steal 35%"), "{s}");
+        // Zero steal ratio (pure chunk scheduling) stays out of the render.
+        let chunked = Attribution::new(24e9 * 0.25, 24e9, 1.0, &m).with_pool(2.4, 0.41, 0.0);
+        assert!(!chunked.summary().contains("steal"));
         let bare = Attribution::new(24e9 * 0.25, 24e9, 1.0, &m);
         assert!(!bare.has_pool_data());
         assert!(!bare.summary().contains("imbalance"));
@@ -221,7 +239,7 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let m = machines::westmere();
-        let a = Attribution::new(5e9, 2e10, 0.5, &m).with_pool(1.2, 0.08);
+        let a = Attribution::new(5e9, 2e10, 0.5, &m).with_pool(1.2, 0.08, 0.22);
         let json = serde_json::to_string(&a).unwrap();
         let back: Attribution = serde_json::from_str(&json).unwrap();
         assert_eq!(a, back);

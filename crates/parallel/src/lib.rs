@@ -4,8 +4,13 @@
 //! `parallel for` pragmas; its Ninja tier hand-partitions work across
 //! threads. This crate provides the equivalent substrate in Rust:
 //!
-//! * [`ThreadPool`] — a persistent pool of worker threads fed from a shared
-//!   crossbeam injector queue,
+//! * [`ThreadPool`] — a persistent pool of worker threads scheduled by a
+//!   work-stealing runtime: each worker owns a lock-free Chase–Lev deque
+//!   (LIFO pop, randomized FIFO theft by idle peers), with a shared
+//!   injector demoted to overflow/external submission,
+//! * [`ThreadPoolBuilder`] — scheduling knobs: thread count, round-robin
+//!   core affinity, and a legacy shared-FIFO mode (`steal(false)`) kept
+//!   for A/B measurements against the old single-queue behavior,
 //! * [`ThreadPool::parallel_for`] — OpenMP-style loop parallelism with
 //!   dynamic chunk scheduling,
 //! * [`ThreadPool::parallel_reduce`] — parallel map-reduce over an index
@@ -22,8 +27,9 @@
 //!
 //! The pool is instrumented with `ninja-probe`: when
 //! [`ninja_probe::set_metrics`] is on, relaxed-atomic per-lane counters
-//! record tasks, chunks, and busy nanoseconds, snapshotted via
-//! [`ThreadPool::metrics`]; when tracing is on, each `parallel_for`
+//! record tasks, chunks, busy nanoseconds, and the scheduler's own
+//! traffic (local pops, injector pops, steals, parked time), snapshotted
+//! via [`ThreadPool::metrics`]; when tracing is on, each `parallel_for`
 //! participant records a span on its own lane. With both flags off (the
 //! default) the cost is one relaxed boolean load per region.
 //!
@@ -45,7 +51,7 @@ mod pool;
 mod scope;
 mod slice;
 
-pub use pool::ThreadPool;
+pub use pool::{ThreadPool, ThreadPoolBuilder};
 pub use scope::Scope;
 pub use slice::{par_chunks_mut, par_zip_chunks_mut};
 

@@ -1,13 +1,20 @@
 //! The thread pool and its scheduling primitives.
+//!
+//! Scheduling architecture (the "runtime scheduler" of DESIGN.md): each
+//! worker owns a lock-free Chase–Lev deque and pops it LIFO (depth-first,
+//! cache-warm); idle workers steal FIFO from randomized victims; the
+//! mutex-backed injector is demoted to overflow/external submission. A
+//! bounded spin→yield→park backoff keeps idle workers cheap, and a
+//! Dekker-style sleeper handshake makes the park/notify race lossless.
 
 use crate::latch::CountLatch;
-use crossbeam::deque::{Injector, Steal};
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::cell::{Cell, UnsafeCell};
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -34,6 +41,12 @@ fn store_first_panic(slot: &Mutex<Option<PanicPayload>>, payload: PanicPayload) 
 struct JobRef {
     data: *const (),
     exec: unsafe fn(*const ()),
+    /// Whether the executor should account this job's runtime to the
+    /// executing lane's `busy_ns`. Heap jobs (join/scope tasks) are timed
+    /// at the execution boundary; `parallel_for` helper jobs are not —
+    /// their harness accounts its own busy time per participant, and
+    /// timing them again here would double-count every worker.
+    timed: bool,
 }
 
 // SAFETY: the pointed-to job types are Sync (shared-call jobs) or carry
@@ -197,12 +210,21 @@ unsafe fn exec_once<F: FnOnce() -> R + Send, R: Send>(ptr: *const ()) {
 #[derive(Default)]
 #[repr(align(64))]
 struct Lane {
-    /// Injector jobs popped and executed (workers only).
+    /// Jobs executed by this lane, from any source (own deque, injector,
+    /// or theft).
     tasks: AtomicU64,
     /// `parallel_for` chunks claimed and run by this lane.
     chunks: AtomicU64,
     /// Nanoseconds spent inside pool work by this lane.
     busy_ns: AtomicU64,
+    /// Jobs popped from this lane's own deque (LIFO fast path).
+    local_pops: AtomicU64,
+    /// Jobs taken from the shared overflow injector.
+    injector_pops: AtomicU64,
+    /// Jobs stolen from another worker's deque.
+    steals: AtomicU64,
+    /// Nanoseconds this lane spent parked on the idle condvar.
+    parked_ns: AtomicU64,
 }
 
 /// All instrumentation state for one pool. Counters are only written while
@@ -214,7 +236,6 @@ struct Counters {
     lanes: Vec<Lane>,
     regions: AtomicU64,
     joins: AtomicU64,
-    steals: AtomicU64,
     epoch: Instant,
 }
 
@@ -224,10 +245,31 @@ impl Counters {
             lanes: (0..num_threads).map(|_| Lane::default()).collect(),
             regions: AtomicU64::new(0),
             joins: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
             epoch: Instant::now(),
         }
     }
+}
+
+/// Where `find_work` got a job from, for per-lane accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum WorkSource {
+    /// Popped from the executing worker's own deque.
+    Local,
+    /// Taken from the shared overflow injector.
+    Injector,
+    /// Stolen from another worker's deque.
+    Stolen,
+}
+
+/// The calling worker's identity, registered in TLS by `worker_loop` so
+/// `Shared::push` can route jobs to the worker's own deque.
+#[derive(Clone, Copy)]
+struct WorkerCtx {
+    /// The pool this worker belongs to (identity-compared, never deref'd
+    /// through — methods are called on the pool's own `&Shared`).
+    shared: *const Shared,
+    /// The worker's own deque, owned by its `worker_loop` stack frame.
+    deque: *const Worker<JobRef>,
 }
 
 thread_local! {
@@ -235,14 +277,70 @@ thread_local! {
     /// set their index at startup; every other thread (in particular the
     /// caller driving `parallel_for`) reports on lane 0.
     static LANE: Cell<usize> = const { Cell::new(0) };
+
+    /// Set for pool worker threads only: the worker's pool + own deque,
+    /// consulted by `Shared::push` for local routing.
+    static WORKER_CTX: Cell<Option<WorkerCtx>> = const { Cell::new(None) };
 }
 
 fn current_lane(num_lanes: usize) -> usize {
     LANE.with(|l| l.get()).min(num_lanes.saturating_sub(1))
 }
 
+/// Consecutive empty scans a worker burns in `spin_loop` before yielding.
+const SPIN_ROUNDS: u32 = 32;
+/// Consecutive `yield_now` rounds after spinning, before parking.
+const YIELD_ROUNDS: u32 = 4;
+/// `Steal::Retry` attempts per queue per scan before moving on.
+const RETRY_BUDGET: u32 = 4;
+
+/// Drives one steal source to a verdict: `Success` yields the value,
+/// `Empty` yields `None`, and `Retry` (a lost CAS race) is retried with a
+/// `spin_loop` pause up to `budget` times before giving up for this scan.
+///
+/// This is the pool's entire retry/backoff policy in one testable place —
+/// the Chase–Lev deque really does return [`Steal::Retry`] under
+/// contention, unlike the old mutex stand-in that made this path dead
+/// code.
+fn retry_loop<T>(mut attempt: impl FnMut() -> Steal<T>, budget: u32) -> Option<T> {
+    let mut retries = 0u32;
+    loop {
+        match attempt() {
+            Steal::Success(value) => return Some(value),
+            Steal::Empty => return None,
+            Steal::Retry => {
+                retries += 1;
+                if retries > budget {
+                    return None;
+                }
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// One step of xorshift64*; `state` must be nonzero.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
 struct Shared {
+    /// Overflow/external submission queue; the slow path.
     injector: Injector<JobRef>,
+    /// Thief handles onto the workers' deques, indexed by `lane - 1`.
+    /// Empty when stealing is disabled (legacy shared-FIFO mode).
+    stealers: Vec<Stealer<JobRef>>,
+    /// Whether jobs pushed by workers go to their own deques (and idle
+    /// workers raid each other). Off = the seed's injector-only behavior.
+    steal_enabled: bool,
+    /// Number of workers currently inside `park` — the pusher side of the
+    /// Dekker handshake reads this to decide whether to notify.
+    sleepers: AtomicUsize,
     sleep_lock: Mutex<()>,
     sleep_cv: Condvar,
     shutdown: AtomicBool,
@@ -250,10 +348,70 @@ struct Shared {
 }
 
 impl Shared {
+    /// Queues `job`: onto the calling worker's own deque when the caller
+    /// is one of this pool's workers (and stealing is on), else onto the
+    /// shared injector.
     fn push(&self, job: JobRef) {
+        if let Err(job) = self.try_push_local(job) {
+            self.injector.push(job);
+        }
+        self.notify_sleepers();
+    }
+
+    /// Queues `job` on the shared injector unconditionally. Used for
+    /// `parallel_for` helper jobs: every idle participant must be able to
+    /// discover the region, and a nested region's helpers stranded on one
+    /// blocked worker's deque could deadlock the region's latch wait.
+    fn push_external(&self, job: JobRef) {
         self.injector.push(job);
-        let _guard = self.sleep_lock.lock();
-        self.sleep_cv.notify_one();
+        self.notify_sleepers();
+    }
+
+    /// Routes `job` to the calling worker's own deque, or hands it back.
+    fn try_push_local(&self, job: JobRef) -> Result<(), JobRef> {
+        if !self.steal_enabled {
+            return Err(job);
+        }
+        WORKER_CTX.with(|c| match c.get() {
+            Some(ctx) if std::ptr::eq(ctx.shared, self) => {
+                // SAFETY: the deque pointer was registered by this very
+                // thread's `worker_loop` frame, which is alive beneath us
+                // (we are running on that thread), and only the owner
+                // thread ever calls `push`/`pop` on it.
+                unsafe { (*ctx.deque).push(job) };
+                Ok(())
+            }
+            _ => Err(job),
+        })
+    }
+
+    /// Pops from the calling worker's own deque, if the caller is one of
+    /// this pool's workers. Lets `help_one` drain self-spawned work.
+    fn pop_local(&self) -> Option<JobRef> {
+        if !self.steal_enabled {
+            return None;
+        }
+        WORKER_CTX.with(|c| match c.get() {
+            Some(ctx) if std::ptr::eq(ctx.shared, self) => {
+                // SAFETY: as in `try_push_local` — owner thread, live frame.
+                unsafe { (*ctx.deque).pop() }
+            }
+            _ => None,
+        })
+    }
+
+    /// The pusher side of the park handshake. The caller has already made
+    /// work visible (deque bottom store / injector push); the SeqCst fence
+    /// orders that publication before the `sleepers` read, pairing with
+    /// `park`'s increment-then-recheck. Either we observe the sleeper and
+    /// notify under the lock, or the sleeper's recheck observes our work —
+    /// a push can never slip between a worker's last scan and its wait.
+    fn notify_sleepers(&self) {
+        fence(Ordering::SeqCst);
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = self.sleep_lock.lock();
+            self.sleep_cv.notify_all();
+        }
     }
 
     fn notify_all(&self) {
@@ -261,44 +419,275 @@ impl Shared {
         self.sleep_cv.notify_all();
     }
 
-    /// Pops one job, or returns None when the queue looks empty.
-    fn try_pop(&self) -> Option<JobRef> {
-        loop {
-            match self.injector.steal() {
-                Steal::Success(job) => return Some(job),
-                Steal::Empty => return None,
-                Steal::Retry => continue,
+    /// Whether any queue in the pool has visible work.
+    fn any_work_visible(&self) -> bool {
+        !self.injector.is_empty() || self.stealers.iter().any(|s| !s.is_empty())
+    }
+
+    /// Executes `job`, accounting it to `lane` with its `source` and (for
+    /// timed jobs) its runtime. The metrics-off path is one relaxed load.
+    fn execute_counted(&self, lane: usize, job: JobRef, source: WorkSource) {
+        if ninja_probe::metrics_enabled() {
+            let l = &self.counters.lanes[lane];
+            // ORDERING: monotonic stats counters; snapshots tolerate skew
+            // and no control flow depends on them.
+            l.tasks.fetch_add(1, Ordering::Relaxed);
+            match source {
+                // ORDERING: monotonic stats counters, same contract as
+                // the `tasks` increment above.
+                WorkSource::Local => l.local_pops.fetch_add(1, Ordering::Relaxed),
+                WorkSource::Injector => l.injector_pops.fetch_add(1, Ordering::Relaxed),
+                WorkSource::Stolen => l.steals.fetch_add(1, Ordering::Relaxed),
+            };
+            if job.timed {
+                let t0 = Instant::now();
+                // SAFETY: per the JobRef protocol the job outlives its
+                // queue entry.
+                unsafe { job.execute() };
+                // ORDERING: per-lane stats counter, as above.
+                l.busy_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                return;
             }
         }
+        // SAFETY: per the JobRef protocol the job outlives its queue entry.
+        unsafe { job.execute() };
+    }
+
+    /// Scans for one job: own deque (LIFO), then the injector, then a
+    /// randomized sweep over the other workers' deques.
+    fn find_work(
+        &self,
+        deque: &Worker<JobRef>,
+        lane: usize,
+        rng: &mut u64,
+    ) -> Option<(JobRef, WorkSource)> {
+        if let Some(job) = deque.pop() {
+            return Some((job, WorkSource::Local));
+        }
+        if let Some(job) = retry_loop(|| self.injector.steal(), RETRY_BUDGET) {
+            return Some((job, WorkSource::Injector));
+        }
+        let n = self.stealers.len();
+        if n == 0 {
+            return None;
+        }
+        let me = lane.checked_sub(1);
+        let start = (xorshift(rng) as usize) % n;
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == me {
+                continue;
+            }
+            if let Some(job) = retry_loop(|| self.stealers[victim].steal(), RETRY_BUDGET) {
+                return Some((job, WorkSource::Stolen));
+            }
+        }
+        None
+    }
+
+    /// Blocks on the idle condvar until notified (or a 2ms backstop).
+    ///
+    /// The missed-wakeup fix: the sleeper announces itself in `sleepers`
+    /// *under the condvar lock*, then re-checks every work source (all
+    /// deques and the injector) and the shutdown flag before waiting. A
+    /// push between the worker's last failed scan and this wait either
+    /// sees `sleepers > 0` (and its notify cannot be lost — the sleeper
+    /// holds the lock from announce to wait) or happened early enough for
+    /// the re-check to see the work. The worker's own deque cannot hold
+    /// work here: only the owner pushes to it, and it drained it in
+    /// `find_work`.
+    fn park(&self, lane: usize) {
+        let mut guard = self.sleep_lock.lock();
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if !self.any_work_visible() && !self.shutdown.load(Ordering::Acquire) {
+            let t0 = ninja_probe::metrics_enabled().then(Instant::now);
+            // Timed wait as a backstop against anything the handshake
+            // still misses (e.g. a thief re-exposing work it cannot run).
+            self.sleep_cv.wait_for(&mut guard, Duration::from_millis(2));
+            if let Some(t0) = t0 {
+                // ORDERING: monotonic stats counter; snapshot-read only.
+                self.counters.lanes[lane]
+                    .parked_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-fn worker_loop(shared: Arc<Shared>, lane: usize) {
+fn worker_loop(shared: Arc<Shared>, deque: Worker<JobRef>, lane: usize, pin_core: Option<usize>) {
+    if let Some(core) = pin_core {
+        pin_to_core(core);
+    }
     LANE.with(|l| l.set(lane));
+    WORKER_CTX.with(|c| {
+        c.set(Some(WorkerCtx {
+            shared: Arc::as_ptr(&shared),
+            deque: &deque,
+        }))
+    });
+    // Per-worker xorshift64* seed: lane-derived, deliberately not
+    // time-derived so victim sequences are reproducible run to run.
+    let mut rng: u64 =
+        0x9E37_79B9_7F4A_7C15 ^ ((lane as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407));
+    let mut idle_rounds = 0u32;
     loop {
-        if let Some(job) = shared.try_pop() {
-            if ninja_probe::metrics_enabled() {
-                // ORDERING: monotonic stats counter; snapshots tolerate skew
-                // and no control flow depends on it.
-                shared.counters.lanes[lane]
-                    .tasks
-                    .fetch_add(1, Ordering::Relaxed);
-            }
-            // SAFETY: per the JobRef protocol the job outlives its queue entry.
-            unsafe { job.execute() };
+        if let Some((job, source)) = shared.find_work(&deque, lane, &mut rng) {
+            idle_rounds = 0;
+            shared.execute_counted(lane, job, source);
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let mut guard = shared.sleep_lock.lock();
-        if !shared.injector.is_empty() || shared.shutdown.load(Ordering::Acquire) {
-            continue;
+        // Bounded backoff: spin (cheap, latency-optimal), then yield the
+        // timeslice, then park on the condvar until new work is pushed.
+        idle_rounds = idle_rounds.saturating_add(1);
+        if idle_rounds <= SPIN_ROUNDS {
+            std::hint::spin_loop();
+        } else if idle_rounds <= SPIN_ROUNDS + YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            shared.park(lane);
+            // Stay in the post-spin regime: a spurious 2ms wakeup with no
+            // work should park again promptly, not burn a spin phase.
+            idle_rounds = SPIN_ROUNDS + YIELD_ROUNDS;
         }
-        // Timed wait as a backstop against any missed wakeup.
-        shared
-            .sleep_cv
-            .wait_for(&mut guard, Duration::from_millis(2));
+    }
+}
+
+/// Best-effort pin of the calling thread to `core` via a raw
+/// `sched_setaffinity` syscall (the offline build has no libc binding).
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn pin_to_core(core: usize) {
+    const SYS_SCHED_SETAFFINITY: u64 = 203;
+    // 1024-bit CPU mask, the kernel's canonical cpu_set_t width.
+    let mut mask = [0u64; 16];
+    mask[(core / 64) % 16] = 1u64 << (core % 64);
+    let ret: i64;
+    // SAFETY: sched_setaffinity(pid=0 = self, len, mask) only reads
+    // `mask.len() * 8` bytes from `mask` and writes no userspace memory;
+    // rcx/r11 are clobbered per the syscall ABI. A failure return is
+    // ignored on purpose — affinity is a hint, the thread runs unpinned.
+    unsafe {
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") SYS_SCHED_SETAFFINITY => ret,
+            in("rdi") 0u64,
+            in("rsi") (mask.len() * 8) as u64,
+            in("rdx") mask.as_ptr(),
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+    }
+    let _ = ret;
+}
+
+/// Affinity pinning is a Linux/x86-64 fast path; a no-op elsewhere.
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn pin_to_core(_core: usize) {}
+
+/// Configures and builds a [`ThreadPool`].
+///
+/// ```
+/// use ninja_parallel::ThreadPoolBuilder;
+///
+/// let pool = ThreadPoolBuilder::new().num_threads(2).build();
+/// assert_eq!(pool.num_threads(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+    affinity: bool,
+    steal: bool,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with defaults: hardware-sized, no affinity, stealing on.
+    pub fn new() -> Self {
+        Self {
+            num_threads: None,
+            affinity: false,
+            steal: true,
+        }
+    }
+
+    /// Total participating threads (caller + workers). Default: one per
+    /// hardware thread.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Round-robin-pin each worker to a core (`lane % hardware_threads`)
+    /// via `sched_setaffinity`. Best effort: unsupported platforms and
+    /// denied syscalls silently leave workers unpinned. The calling
+    /// thread (lane 0) is never pinned. Default: off.
+    pub fn affinity(mut self, on: bool) -> Self {
+        self.affinity = on;
+        self
+    }
+
+    /// Enable per-worker deques with work stealing. Off reproduces the
+    /// legacy shared-injector FIFO behavior (every queue operation funnels
+    /// through one mutex) — kept for A/B measurements. Default: on.
+    pub fn steal(mut self, on: bool) -> Self {
+        self.steal = on;
+        self
+    }
+
+    /// Builds the pool, spawning `num_threads - 1` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads(0)` was requested.
+    pub fn build(self) -> ThreadPool {
+        let num_threads = self.num_threads.unwrap_or_else(crate::hardware_threads);
+        assert!(num_threads > 0, "a ThreadPool needs at least one thread");
+        let deques: Vec<Worker<JobRef>> = (1..num_threads).map(|_| Worker::new()).collect();
+        let stealers = if self.steal {
+            deques.iter().map(Worker::stealer).collect()
+        } else {
+            Vec::new()
+        };
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            steal_enabled: self.steal,
+            sleepers: AtomicUsize::new(0),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::new(num_threads),
+        });
+        let hw = crate::hardware_threads().max(1);
+        let workers = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, deque)| {
+                let lane = i + 1;
+                let s = Arc::clone(&shared);
+                let pin = self.affinity.then_some(lane % hw);
+                std::thread::Builder::new()
+                    .name(format!("ninja-worker-{lane}"))
+                    .spawn(move || worker_loop(s, deque, lane, pin))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            workers,
+            num_threads,
+        }
+    }
+}
+
+impl Default for ThreadPoolBuilder {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -307,6 +696,8 @@ fn worker_loop(shared: Arc<Shared>, lane: usize) {
 /// The pool is the reproduction's stand-in for the paper's OpenMP runtime:
 /// kernels hand it index ranges and it distributes dynamically-sized chunks
 /// over the workers (plus the calling thread, which always participates).
+/// Task-shaped work (`join`, `scope`) schedules through per-worker
+/// work-stealing deques — see the module docs.
 ///
 /// Dropping the pool joins all workers.
 ///
@@ -330,7 +721,7 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Creates a pool with one thread per available hardware thread.
     pub fn new() -> Self {
-        Self::with_threads(crate::hardware_threads())
+        ThreadPoolBuilder::new().build()
     }
 
     /// Creates a pool with exactly `num_threads` participating threads
@@ -342,28 +733,12 @@ impl ThreadPool {
     ///
     /// Panics if `num_threads == 0`.
     pub fn with_threads(num_threads: usize) -> Self {
-        assert!(num_threads > 0, "a ThreadPool needs at least one thread");
-        let shared = Arc::new(Shared {
-            injector: Injector::new(),
-            sleep_lock: Mutex::new(()),
-            sleep_cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            counters: Counters::new(num_threads),
-        });
-        let workers = (1..num_threads)
-            .map(|i| {
-                let s = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("ninja-worker-{i}"))
-                    .spawn(move || worker_loop(s, i))
-                    .expect("failed to spawn pool worker")
-            })
-            .collect();
-        Self {
-            shared,
-            workers,
-            num_threads,
-        }
+        ThreadPoolBuilder::new().num_threads(num_threads).build()
+    }
+
+    /// A builder for pools with non-default scheduling options.
+    pub fn builder() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::new()
     }
 
     /// A process-wide pool sized to the hardware, created on first use.
@@ -474,9 +849,13 @@ impl ThreadPool {
             panic: &panic_slot,
         };
         for _ in 0..helpers {
-            self.shared.push(JobRef {
+            // Helper jobs bypass local-deque routing (`push_external`):
+            // every idle worker must be able to discover the region, and
+            // the harness accounts its own busy time (`timed: false`).
+            self.shared.push_external(JobRef {
                 data: &job as *const SharedJob<'_> as *const (),
                 exec: exec_shared,
+                timed: false,
             });
         }
 
@@ -532,25 +911,36 @@ impl ThreadPool {
         }
     }
 
-    /// Queues a type-erased heap job (used by [`crate::Scope`]).
+    /// Queues a type-erased heap job (used by [`crate::Scope`]). Routed to
+    /// the calling worker's own deque when possible.
     pub(crate) fn push_heap_job(&self, data: *const (), exec: unsafe fn(*const ())) {
-        self.shared.push(JobRef { data, exec });
+        self.shared.push(JobRef {
+            data,
+            exec,
+            timed: true,
+        });
     }
 
     /// Pops and executes one queued job if any; returns whether it did.
-    /// Lets waiting threads contribute instead of spinning.
+    /// Lets waiting threads contribute instead of spinning: own deque
+    /// first (if the caller is a worker), then the injector, then theft.
     pub(crate) fn help_one(&self) -> bool {
-        if let Some(job) = self.shared.try_pop() {
-            if ninja_probe::metrics_enabled() {
-                // ORDERING: monotonic stats counter; read only in snapshots.
-                self.shared.counters.steals.fetch_add(1, Ordering::Relaxed);
-            }
-            // SAFETY: queued jobs are kept alive by their waiters.
-            unsafe { job.execute() };
-            true
-        } else {
-            false
+        let lane = current_lane(self.num_threads);
+        if let Some(job) = self.shared.pop_local() {
+            self.shared.execute_counted(lane, job, WorkSource::Local);
+            return true;
         }
+        if let Some(job) = retry_loop(|| self.shared.injector.steal(), RETRY_BUDGET) {
+            self.shared.execute_counted(lane, job, WorkSource::Injector);
+            return true;
+        }
+        for stealer in &self.shared.stealers {
+            if let Some(job) = retry_loop(|| stealer.steal(), RETRY_BUDGET) {
+                self.shared.execute_counted(lane, job, WorkSource::Stolen);
+                return true;
+            }
+        }
+        false
     }
 
     /// A point-in-time snapshot of the pool's instrumentation counters.
@@ -561,24 +951,30 @@ impl ThreadPool {
     /// interest (the harness brackets each measured variant this way).
     pub fn metrics(&self) -> ninja_probe::PoolMetrics {
         let c = &self.shared.counters;
+        let workers: Vec<ninja_probe::WorkerStats> = c
+            .lanes
+            .iter()
+            .map(|l| ninja_probe::WorkerStats {
+                // ORDERING: a racy snapshot by design — callers diff
+                // snapshots taken around a quiescent point (after a
+                // region's join).
+                tasks: l.tasks.load(Ordering::Relaxed),
+                chunks: l.chunks.load(Ordering::Relaxed),
+                busy_ns: l.busy_ns.load(Ordering::Relaxed),
+                local_pops: l.local_pops.load(Ordering::Relaxed),
+                injector_pops: l.injector_pops.load(Ordering::Relaxed),
+                steals: l.steals.load(Ordering::Relaxed),
+                parked_ns: l.parked_ns.load(Ordering::Relaxed),
+            })
+            .collect();
         ninja_probe::PoolMetrics {
             threads: self.num_threads,
             at_ns: c.epoch.elapsed().as_nanos() as u64,
-            // ORDERING: a racy snapshot by design — callers diff snapshots
-            // taken around a quiescent point (after a region's join).
+            // ORDERING: same racy-snapshot contract as above.
             regions: c.regions.load(Ordering::Relaxed),
             joins: c.joins.load(Ordering::Relaxed),
-            steals: c.steals.load(Ordering::Relaxed),
-            workers: c
-                .lanes
-                .iter()
-                .map(|l| ninja_probe::WorkerStats {
-                    // ORDERING: same racy-snapshot contract as above.
-                    tasks: l.tasks.load(Ordering::Relaxed),
-                    chunks: l.chunks.load(Ordering::Relaxed),
-                    busy_ns: l.busy_ns.load(Ordering::Relaxed),
-                })
-                .collect(),
+            steals: workers.iter().map(|w| w.steals).sum(),
+            workers,
         }
     }
 
@@ -601,16 +997,17 @@ impl ThreadPool {
 
     /// Runs two closures, potentially in parallel, returning both results.
     ///
-    /// The second closure is offered to the pool; the caller runs the first
-    /// and then claims the second back if no worker has started it (the
+    /// The second closure is offered to the pool (the calling worker's own
+    /// deque when possible — a thief takes it FIFO); the caller runs the
+    /// first and then claims the second back if nobody started it (the
     /// common case on an idle pool), or waits for the thief to finish.
     ///
     /// The waiter deliberately does **not** execute unrelated queued jobs:
     /// executing an arbitrary job while blocked nests that job's entire
-    /// subtree on the current stack, and with a FIFO queue the nesting
-    /// depth is bounded only by the number of outstanding jobs — deeply
-    /// recursive `join` trees (e.g. parallel merge sort) overflow the
-    /// stack. Claim-back already guarantees progress without helping.
+    /// subtree on the current stack, and the nesting depth would be
+    /// bounded only by the number of outstanding jobs — deeply recursive
+    /// `join` trees (e.g. parallel merge sort) overflow the stack.
+    /// Claim-back already guarantees progress without helping.
     ///
     /// # Panics
     ///
@@ -622,8 +1019,7 @@ impl ThreadPool {
         RA: Send,
         RB: Send,
     {
-        let metrics_on = ninja_probe::metrics_enabled();
-        if metrics_on {
+        if ninja_probe::metrics_enabled() {
             // ORDERING: monotonic stats counter; read only in snapshots.
             self.shared.counters.joins.fetch_add(1, Ordering::Relaxed);
         }
@@ -638,16 +1034,13 @@ impl ThreadPool {
         self.shared.push(JobRef {
             data: shared as *const (),
             exec: exec_once::<B, RB>,
+            timed: true,
         });
         let ra = a();
         // SAFETY: we hold one reference until release below.
         let job = unsafe { &(*shared).job };
         // Claim b back if nobody started it; otherwise wait for the thief.
         if !job.try_run() {
-            if metrics_on {
-                // ORDERING: monotonic stats counter; read only in snapshots.
-                self.shared.counters.steals.fetch_add(1, Ordering::Relaxed);
-            }
             let mut spins = 0u32;
             while !job.is_done() {
                 spins += 1;
@@ -685,6 +1078,7 @@ impl std::fmt::Debug for ThreadPool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadPool")
             .field("num_threads", &self.num_threads)
+            .field("steal", &self.shared.steal_enabled)
             .finish()
     }
 }
@@ -1032,5 +1426,153 @@ mod tests {
     fn debug_format_mentions_threads() {
         let pool = ThreadPool::with_threads(2);
         assert!(format!("{pool:?}").contains("num_threads"));
+    }
+
+    // --- work-stealing runtime tests ---
+
+    #[test]
+    fn retry_loop_returns_success_immediately() {
+        let calls = Cell::new(0u32);
+        let got = retry_loop(
+            || {
+                calls.set(calls.get() + 1);
+                Steal::Success(7)
+            },
+            4,
+        );
+        assert_eq!(got, Some(7));
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn retry_loop_retries_through_lost_races_then_succeeds() {
+        // The direct unit test of the pool's retry/backoff path: a source
+        // that loses the CAS race a few times must be re-attempted, not
+        // treated as empty.
+        let calls = Cell::new(0u32);
+        let got = retry_loop(
+            || {
+                calls.set(calls.get() + 1);
+                if calls.get() <= 3 {
+                    Steal::Retry
+                } else {
+                    Steal::Success(99)
+                }
+            },
+            4,
+        );
+        assert_eq!(got, Some(99));
+        assert_eq!(calls.get(), 4, "three retries then the winning attempt");
+    }
+
+    #[test]
+    fn retry_loop_gives_up_after_budget_and_on_empty() {
+        let calls = Cell::new(0u32);
+        let got: Option<()> = retry_loop(
+            || {
+                calls.set(calls.get() + 1);
+                Steal::Retry
+            },
+            4,
+        );
+        assert_eq!(got, None, "a persistently-contended source is skipped");
+        assert_eq!(calls.get(), 5, "initial attempt + budget retries");
+
+        let got: Option<()> = retry_loop(|| Steal::Empty, 4);
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn builder_defaults_and_flags() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build();
+        assert_eq!(pool.num_threads(), 2);
+        assert!(pool.shared.steal_enabled, "stealing defaults on");
+        assert_eq!(pool.shared.stealers.len(), 1);
+
+        let legacy = ThreadPoolBuilder::new().num_threads(3).steal(false).build();
+        assert!(!legacy.shared.steal_enabled);
+        assert!(
+            legacy.shared.stealers.is_empty(),
+            "legacy mode has no thief handles"
+        );
+        assert!(format!("{legacy:?}").contains("steal"));
+    }
+
+    #[test]
+    fn steal_disabled_pool_still_computes_correctly() {
+        // The A/B baseline (seed FIFO behavior) must stay fully correct:
+        // parallel_for, nested joins, and scopes all through the injector.
+        let pool = ThreadPoolBuilder::new().num_threads(4).steal(false).build();
+        let total = pool.parallel_reduce(
+            0..4096,
+            32,
+            0u64,
+            |r| r.map(|i| i as u64).sum(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, (0..4096u64).sum());
+
+        fn fib(pool: &ThreadPool, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+            a + b
+        }
+        assert_eq!(fib(&pool, 12), 144);
+    }
+
+    #[test]
+    fn affinity_pool_computes_correctly() {
+        // Pinning is best-effort; whatever the platform does with the
+        // syscall, the pool must behave identically.
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(2)
+            .affinity(true)
+            .build();
+        let total = pool.parallel_reduce(
+            0..1024,
+            16,
+            0u64,
+            |r| r.map(|i| i as u64).sum(),
+            |a, b| a + b,
+        );
+        assert_eq!(total, (0..1024u64).sum());
+    }
+
+    #[test]
+    fn workers_park_and_wake_across_idle_gaps() {
+        // Liveness hammer for the park/notify handshake: force the workers
+        // through many park cycles (3ms idle gaps > the 2ms backstop) with
+        // a small region after each; a lost wakeup would show up as the
+        // region stalling until the backstop fires — or forever, were the
+        // backstop removed. The assertion is completion, not timing.
+        let pool = ThreadPool::with_threads(4);
+        for round in 0..40 {
+            std::thread::sleep(Duration::from_millis(3));
+            let n = AtomicUsize::new(0);
+            pool.parallel_for(0..64, 4, |r| {
+                // ORDERING: parallel_for's join orders this test counter.
+                n.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            // ORDERING: read after the region's join.
+            assert_eq!(n.load(Ordering::Relaxed), 64, "round {round}");
+        }
+    }
+
+    #[test]
+    fn deep_join_tree_is_correct_under_stealing() {
+        // A deeper recursion than fib(16): exercises local push, LIFO pop,
+        // claim-back, and cross-worker theft all at once.
+        fn sum_range(pool: &ThreadPool, lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 32 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = pool.join(|| sum_range(pool, lo, mid), || sum_range(pool, mid, hi));
+            a + b
+        }
+        let pool = ThreadPool::with_threads(4);
+        assert_eq!(sum_range(&pool, 0, 100_000), (0..100_000u64).sum());
     }
 }

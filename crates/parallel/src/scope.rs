@@ -88,6 +88,30 @@ impl<'scope> Scope<'scope> {
         self.pool
             .push_heap_job(Box::into_raw(job) as *const (), exec_scope_job);
     }
+
+    /// Like [`spawn`](Self::spawn), but hands the task a reference to its
+    /// scope so it can spawn further tasks — the shape of recursive or
+    /// discovered-on-the-fly work (tree walks, frontier expansions).
+    ///
+    /// Under the work-stealing scheduler, tasks a pool worker spawns land
+    /// on that worker's own deque (idle peers steal them), so nested
+    /// spawning is also how a task graph grown from inside the pool gets
+    /// the locality-preserving LIFO/steal-FIFO discipline rather than
+    /// funnelling every task through the shared injector.
+    pub fn spawn_nested<F>(&self, task: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let scope_ptr = self as *const Scope<'scope> as usize;
+        self.spawn(move || {
+            // SAFETY: `ThreadPool::scope` holds the `Scope` frame open
+            // until the latch drains (even on unwind), so the pointer is
+            // valid for this task's whole run; every field reachable
+            // through it is Sync.
+            let scope = unsafe { &*(scope_ptr as *const Scope<'scope>) };
+            task(scope);
+        });
+    }
 }
 
 struct ScopeJob {
@@ -253,6 +277,32 @@ mod tests {
             9,
             "other tasks still ran"
         );
+    }
+
+    #[test]
+    fn nested_spawns_grow_the_task_graph_from_inside_tasks() {
+        let pool = ThreadPool::with_threads(3);
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            let hits = &hits;
+            // A three-level tree discovered on the fly: 1 root task spawns
+            // 4 children, each child spawns 4 leaves.
+            s.spawn_nested(move |s| {
+                for _ in 0..4 {
+                    s.spawn_nested(move |s| {
+                        for _ in 0..4 {
+                            s.spawn(move || {
+                                // ORDERING: the scope's drain barrier
+                                // orders this.
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+        });
+        // ORDERING: read after the scope drained; no writers left.
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
     }
 
     #[test]

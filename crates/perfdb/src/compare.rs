@@ -284,7 +284,8 @@ impl ComparisonReport {
 /// Builds the human-readable "why did this cell shift" hint from the two
 /// sides' attribution, when both carry it. Each clause fires only on a
 /// meaningful change (bound flip, ≥5-point roofline or idle shift, ≥0.25
-/// imbalance-ratio shift) so noise in the attribution itself stays quiet.
+/// imbalance-ratio shift, ≥0.1 steal-ratio shift) so noise in the
+/// attribution itself stays quiet.
 fn explain_shift(base: Option<&CellAttribution>, cand: Option<&CellAttribution>) -> Option<String> {
     let (b, c) = (base?, cand?);
     let mut clauses = Vec::new();
@@ -321,6 +322,15 @@ fn explain_shift(base: Option<&CellAttribution>, cand: Option<&CellAttribution>)
                 },
                 b.pool_imbalance,
                 c.pool_imbalance
+            ));
+        }
+        let steal_shift = c.pool_steal_ratio - b.pool_steal_ratio;
+        if steal_shift.abs() >= 0.1 {
+            clauses.push(format!(
+                "steal ratio {} {:.2}→{:.2}",
+                if steal_shift < 0.0 { "fell" } else { "rose" },
+                b.pool_steal_ratio,
+                c.pool_steal_ratio
             ));
         }
     }
@@ -771,6 +781,7 @@ mod tests {
             bound: bound.into(),
             pool_imbalance: imbalance,
             pool_idle_pct: idle_pct,
+            pool_steal_ratio: 0.0,
         }
     }
 
@@ -794,6 +805,45 @@ mod tests {
         let text = r.render_text();
         assert!(text.contains("regressed — "), "{text}");
         assert!(text.contains("idle fraction rose"), "{text}");
+    }
+
+    #[test]
+    fn regressions_explain_steal_ratio_shifts() {
+        let mut base = record("base", vec![("k", "parallel", Some(sample(1.0, 0.05)))]);
+        let mut a = attribution("compute", 40.0, 8.0, 1.1);
+        a.pool_steal_ratio = 0.05;
+        base.cells[0].attribution = Some(a);
+        let mut slow = record("slow", vec![("k", "parallel", Some(sample(2.1, 0.05)))]);
+        let mut a = attribution("compute", 38.0, 9.0, 1.15);
+        a.pool_steal_ratio = 0.40;
+        slow.cells[0].attribution = Some(a);
+
+        let r = compare_records(&base, &slow, &CompareConfig::default());
+        assert_eq!(r.cells[0].verdict, Verdict::Regressed);
+        let why = r.cells[0].explain.as_deref().expect("explained");
+        assert!(why.contains("steal ratio rose 0.05→0.40"), "{why}");
+
+        // Sub-threshold steal drift stays quiet.
+        let mut calm = record("calm", vec![("k", "parallel", Some(sample(2.1, 0.05)))]);
+        let mut a = attribution("compute", 40.0, 8.0, 1.1);
+        a.pool_steal_ratio = 0.09;
+        calm.cells[0].attribution = Some(a);
+        let mut base2 = base.clone();
+        base2.cells[0]
+            .attribution
+            .as_mut()
+            .unwrap()
+            .pool_steal_ratio = 0.0;
+        // has_pool_data needs imbalance > 0 on both sides, which holds.
+        let r = compare_records(&base2, &calm, &CompareConfig::default());
+        assert!(
+            r.cells[0]
+                .explain
+                .as_deref()
+                .is_none_or(|w| !w.contains("steal")),
+            "{:?}",
+            r.cells[0].explain
+        );
     }
 
     fn profile(kernel: &str, rung: &str, width: u32, fma: bool) -> VecProfileRecord {

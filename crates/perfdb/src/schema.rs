@@ -94,7 +94,7 @@ impl Sample {
 ///
 /// `pool_imbalance`/`pool_idle_pct` are zero when the run had probe
 /// metrics off (no pool window was recorded).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CellAttribution {
     /// Achieved arithmetic throughput, GFLOP/s.
     pub achieved_gflops: f64,
@@ -108,6 +108,53 @@ pub struct CellAttribution {
     pub pool_imbalance: f64,
     /// Percent of the pool's thread-time spent idle over the window.
     pub pool_idle_pct: f64,
+    /// Stolen share of the pool jobs executed over the window (0.0 when
+    /// not collected, or when the region scheduled purely through
+    /// `parallel_for` chunk claiming).
+    pub pool_steal_ratio: f64,
+}
+
+// Hand-written (not derived) so records written before `pool_steal_ratio`
+// existed — including the checked-in CLI fixtures — keep their exact
+// bytes: the field is omitted when zero on write and defaulted on read.
+impl Serialize for CellAttribution {
+    fn to_value(&self) -> Value {
+        let mut pairs = vec![
+            (
+                "achieved_gflops".to_owned(),
+                self.achieved_gflops.to_value(),
+            ),
+            ("achieved_gbs".to_owned(), self.achieved_gbs.to_value()),
+            ("roofline_pct".to_owned(), self.roofline_pct.to_value()),
+            ("bound".to_owned(), self.bound.to_value()),
+            ("pool_imbalance".to_owned(), self.pool_imbalance.to_value()),
+            ("pool_idle_pct".to_owned(), self.pool_idle_pct.to_value()),
+        ];
+        if self.pool_steal_ratio != 0.0 {
+            pairs.push((
+                "pool_steal_ratio".to_owned(),
+                self.pool_steal_ratio.to_value(),
+            ));
+        }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for CellAttribution {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(Self {
+            achieved_gflops: f64::from_value(v.field("achieved_gflops")?)?,
+            achieved_gbs: f64::from_value(v.field("achieved_gbs")?)?,
+            roofline_pct: f64::from_value(v.field("roofline_pct")?)?,
+            bound: String::from_value(v.field("bound")?)?,
+            pool_imbalance: f64::from_value(v.field("pool_imbalance")?)?,
+            pool_idle_pct: f64::from_value(v.field("pool_idle_pct")?)?,
+            pool_steal_ratio: match v.field("pool_steal_ratio") {
+                Ok(val) => f64::from_value(val)?,
+                Err(_) => 0.0,
+            },
+        })
+    }
 }
 
 impl CellAttribution {
@@ -809,12 +856,40 @@ mod tests {
                 bound: "bandwidth".into(),
                 pool_imbalance: 1.3,
                 pool_idle_pct: 22.0,
+                pool_steal_ratio: 0.25,
             }),
             ..bare
         };
         let back: CellRecord =
             serde_json::from_str(&serde_json::to_string(&attributed).unwrap()).unwrap();
         assert_eq!(attributed, back);
+    }
+
+    #[test]
+    fn steal_ratio_is_omitted_when_zero_and_defaulted_on_read() {
+        let mut attr = CellAttribution {
+            achieved_gflops: 3.5,
+            achieved_gbs: 12.0,
+            roofline_pct: 40.0,
+            bound: "bandwidth".into(),
+            pool_imbalance: 1.3,
+            pool_idle_pct: 22.0,
+            pool_steal_ratio: 0.0,
+        };
+        let json = serde_json::to_string(&attr).unwrap();
+        assert!(
+            !json.contains("pool_steal_ratio"),
+            "zero steal ratio must stay off the wire: {json}"
+        );
+        // A pre-`pool_steal_ratio` record (exactly what old stores contain)
+        // reads back with the field defaulted.
+        let back: CellAttribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, attr);
+        // And a nonzero ratio round-trips.
+        attr.pool_steal_ratio = 0.4;
+        let back: CellAttribution =
+            serde_json::from_str(&serde_json::to_string(&attr).unwrap()).unwrap();
+        assert_eq!(back, attr);
     }
 
     pub(crate) fn profile(kernel: &str, rung: &str, width: u32, fma: bool) -> VecProfileRecord {

@@ -11,13 +11,22 @@
 /// pool's worker threads.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct WorkerStats {
-    /// Injector jobs popped and executed by this worker.
+    /// Jobs this lane executed, from any source (own deque, injector, or
+    /// theft).
     pub tasks: u64,
     /// `parallel_for` chunks this participant claimed and ran.
     pub chunks: u64,
     /// Nanoseconds this participant spent inside pool work
     /// (`parallel_for` chunk loops, executed jobs).
     pub busy_ns: u64,
+    /// Jobs popped from this lane's own deque (the LIFO fast path).
+    pub local_pops: u64,
+    /// Jobs taken from the shared overflow injector.
+    pub injector_pops: u64,
+    /// Jobs stolen from another worker's deque.
+    pub steals: u64,
+    /// Nanoseconds this lane spent parked on the pool's idle condvar.
+    pub parked_ns: u64,
 }
 
 /// A point-in-time aggregation of the pool's instrumentation counters.
@@ -32,8 +41,9 @@ pub struct PoolMetrics {
     pub regions: u64,
     /// `join` calls executed.
     pub joins: u64,
-    /// Jobs claimed opportunistically by a thread that was waiting on
-    /// something else (work stolen while blocked in `join`).
+    /// Jobs taken from another worker's deque (sum of the per-lane
+    /// [`WorkerStats::steals`] — cross-worker deque thefts only, not
+    /// injector pops or join claim-backs).
     pub steals: u64,
     /// Per-participant counters, indexed by lane.
     pub workers: Vec<WorkerStats>,
@@ -54,6 +64,10 @@ impl PoolMetrics {
                     tasks: w.tasks.saturating_sub(e.tasks),
                     chunks: w.chunks.saturating_sub(e.chunks),
                     busy_ns: w.busy_ns.saturating_sub(e.busy_ns),
+                    local_pops: w.local_pops.saturating_sub(e.local_pops),
+                    injector_pops: w.injector_pops.saturating_sub(e.injector_pops),
+                    steals: w.steals.saturating_sub(e.steals),
+                    parked_ns: w.parked_ns.saturating_sub(e.parked_ns),
                 }
             })
             .collect();
@@ -113,6 +127,32 @@ impl PoolMetrics {
         }
         (1.0 - self.total_busy_ns() as f64 / capacity).clamp(0.0, 1.0)
     }
+
+    /// Of the jobs lanes executed, the fraction that arrived by stealing
+    /// from another worker's deque. `0.0` when no jobs ran — either the
+    /// window was pure `parallel_for` chunking (which schedules through an
+    /// atomic counter, not the deques) or the pool was idle.
+    pub fn steal_ratio(&self) -> f64 {
+        let tasks = self.total_tasks();
+        if tasks == 0 {
+            return 0.0;
+        }
+        self.workers.iter().map(|w| w.steals).sum::<u64>() as f64 / tasks as f64
+    }
+
+    /// Fraction of the window's aggregate thread-time spent parked on the
+    /// idle condvar. Like [`idle_fraction`](Self::idle_fraction) this is
+    /// meaningful on a [`delta`](Self::delta); clamped to `[0, 1]`.
+    /// Parked time is a subset of idle time — the difference is spent
+    /// spinning, yielding, and scanning for victims.
+    pub fn parked_fraction(&self) -> f64 {
+        let capacity = self.threads as f64 * self.at_ns as f64;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        let parked: u64 = self.workers.iter().map(|w| w.parked_ns).sum();
+        (parked as f64 / capacity).clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -165,15 +205,43 @@ mod tests {
     fn delta_subtracts_counterwise() {
         let mut before = metrics(&[10, 20], 100);
         before.regions = 1;
+        before.workers[0].steals = 2;
+        before.workers[0].parked_ns = 40;
         let mut after = metrics(&[15, 45], 300);
         after.regions = 4;
+        after.workers[0].steals = 7;
+        after.workers[0].parked_ns = 100;
         let d = after.delta(&before);
         assert_eq!(d.at_ns, 200);
         assert_eq!(d.regions, 3);
         assert_eq!(d.workers[0].busy_ns, 5);
         assert_eq!(d.workers[1].busy_ns, 25);
+        assert_eq!(d.workers[0].steals, 5);
+        assert_eq!(d.workers[0].parked_ns, 60);
         // Swapped operands saturate instead of panicking.
         let swapped = before.delta(&after);
         assert_eq!(swapped.at_ns, 0);
+    }
+
+    #[test]
+    fn steal_ratio_is_stolen_share_of_executed_jobs() {
+        let mut m = metrics(&[100, 100, 100], 100);
+        assert_eq!(m.steal_ratio(), 0.0, "no jobs executed yet");
+        m.workers[0].tasks = 6;
+        m.workers[1].tasks = 2;
+        m.workers[1].steals = 2;
+        m.workers[2].tasks = 2;
+        // 2 of 10 executed jobs were thefts.
+        assert!((m.steal_ratio() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parked_fraction_is_parked_share_of_capacity() {
+        // 4 threads over 100ns = 400ns capacity; 100ns parked => 25%.
+        let mut m = metrics(&[0, 0, 0, 0], 100);
+        m.workers[1].parked_ns = 60;
+        m.workers[2].parked_ns = 40;
+        assert!((m.parked_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(metrics(&[], 0).parked_fraction(), 0.0);
     }
 }
