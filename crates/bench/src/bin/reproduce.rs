@@ -30,6 +30,14 @@
 //! re-verification or a ticket that outlives its resolution contract
 //! makes the exit status 1.
 //!
+//! With `--counters` the run opens hardware performance counters
+//! (`perf_event_open`) around every measured repetition and pool job and
+//! prints a greppable per-cell table — measured IPC, LLC miss rate, and
+//! estimated DRAM GB/s next to the modeled roofline bound, with an
+//! explicit agree/disagree verdict — plus per-worker local-vs-steal
+//! counter windows. Where the PMU is unavailable (paranoid level, VM,
+//! missing PMU) the run prints the reason and measures normally.
+//!
 //! `--chaos-seed`/`--chaos-rate` also extend plain `--chaos` runs: they
 //! install the deterministic probabilistic fault schedule (shared
 //! bit-for-bit with `ninja-serve`) and append the scheduled chaos
@@ -267,6 +275,18 @@ fn main() {
     if cli.probe_metrics {
         ninja_probe::set_metrics(true);
     }
+    if cli.counters {
+        ninja_probe::set_counters(true);
+        // One up-front greppable status line: CI asserts the fallback
+        // path prints a reason instead of failing the run.
+        match ninja_probe::counters::availability() {
+            status if status.is_available() => eprintln!("counters: available"),
+            status => eprintln!(
+                "counters: unavailable ({})",
+                status.reason().unwrap_or("unknown")
+            ),
+        }
+    }
     if cli.lint {
         match ninja_bench::lint_preflight() {
             Ok(files) => eprintln!("lint preflight: clean ({files} file(s) scanned)"),
@@ -388,6 +408,67 @@ fn main() {
             pm.steal_ratio(),
             sum(|w| w.parked_ns) / 1_000_000,
         );
+    }
+
+    if cli.counters {
+        let fmt = |v: Option<f64>, precision: usize| match v {
+            Some(x) => format!("{x:.precision$}"),
+            None => "-".to_owned(),
+        };
+        // Greppable per-cell table: `counters <kernel>/<variant> ipc=…`.
+        // Cells stay silent when the PMU produced nothing for them.
+        println!("\nper-cell hardware counters (measured vs modeled roofline):");
+        let mut counted = 0usize;
+        for k in &suite.kernels {
+            for v in &k.variants {
+                let Some(a) = &v.attribution else { continue };
+                if !a.has_counter_data() {
+                    continue;
+                }
+                counted += 1;
+                println!(
+                    "  counters {}/{} ipc={} llc_miss={} dram_gbs={} measured={} model={} agree={}",
+                    k.kernel,
+                    v.variant,
+                    fmt(a.measured_ipc, 2),
+                    fmt(a.measured_llc_miss_rate, 3),
+                    fmt(a.measured_dram_gbs, 1),
+                    a.measured_bound.as_deref().unwrap_or("-"),
+                    a.bound,
+                    match a.agreement {
+                        Some(true) => "yes",
+                        Some(false) => "NO",
+                        None => "-",
+                    }
+                );
+            }
+        }
+        if counted == 0 {
+            println!("  (no cell produced counter samples)");
+        }
+        // Per-worker counter windows split by job source: a steal-path
+        // IPC below the local-pop IPC is cold-cache migration cost made
+        // visible. Only event ratios are meaningful here (the windows
+        // carry no wall time), so no bandwidth column.
+        let pm = harness.pool_metrics();
+        let mut windows = 0usize;
+        for (i, w) in pm.workers.iter().enumerate() {
+            for (source, win) in [("local", &w.local_window), ("steal", &w.steal_window)] {
+                if !win.any_counted() {
+                    continue;
+                }
+                windows += 1;
+                println!(
+                    "  worker {i} {source} ipc={} llc_miss={} instructions={}",
+                    fmt(win.ipc(), 2),
+                    fmt(win.llc_miss_rate(), 3),
+                    win.instructions,
+                );
+            }
+        }
+        if windows == 0 {
+            println!("  (no worker counter windows; pool jobs ran uncounted)");
+        }
     }
 
     if let Some(path) = &cli.trace {

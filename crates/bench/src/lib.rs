@@ -42,6 +42,13 @@
 //! --probe-metrics           collect thread-pool utilization + raw per-rep
 //!                           samples and attribute cells against the
 //!                           calibrated host machine
+//! --counters                open hardware performance counters
+//!                           (perf_event_open) around every measured rep
+//!                           and pool job: per-cell IPC / LLC miss rate /
+//!                           estimated DRAM GB/s cross-checked against the
+//!                           modeled roofline bound, plus per-worker
+//!                           local-vs-steal cache windows; degrades to a
+//!                           printed reason where the PMU is unavailable
 //! --scale                   run a thread/size scaling sweep instead of the
 //!                           single-point suite: speedup curves per rung,
 //!                           Amdahl/USL fits, sweep_report.json/.csv
@@ -114,6 +121,11 @@ pub struct Cli {
     /// Collect thread-pool utilization metrics and raw per-repetition
     /// samples, and attribute cells against the calibrated host.
     pub probe_metrics: bool,
+    /// Open hardware performance counters around every measured rep and
+    /// pool job; measured IPC / LLC miss rate / DRAM GB/s cross-check the
+    /// modeled roofline bound. Degrades to an explained no-op where
+    /// `perf_event_open` is unavailable.
+    pub counters: bool,
     /// Run a thread/size scaling sweep (speedup curves + Amdahl/USL fits)
     /// instead of the single-point suite.
     pub scale: bool,
@@ -196,6 +208,7 @@ impl Default for Cli {
             noise_floor: None,
             trace: None,
             probe_metrics: false,
+            counters: false,
             scale: false,
             threads_max: None,
             sizes: None,
@@ -293,6 +306,7 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
             "--keep-going" => cli.fail_fast = false,
             "--trace" => cli.trace = Some(value("--trace")?),
             "--probe-metrics" => cli.probe_metrics = true,
+            "--counters" => cli.counters = true,
             "--lint" => cli.lint = true,
             "--asm" => cli.asm = true,
             "--record" => cli.record = true,
@@ -366,6 +380,7 @@ pub fn parse_args<I: Iterator<Item = String>>(mut args: I) -> Result<Cli, String
                     "       [--chaos-rate F] [--lint] [--asm]\n",
                     "       [--record] [--baseline REF|PATH] [--store DIR]\n",
                     "       [--noise-floor F] [--trace PATH] [--probe-metrics]\n",
+                    "       [--counters]\n",
                     "       [--scale] [--threads-max N] [--sizes a,b,c]\n",
                     "       [--kernels a,b,c] [--serve] [--serve-rates a,b,c]\n",
                     "       [--serve-duration-ms N] [--quick]"
@@ -545,6 +560,14 @@ mod tests {
         assert_eq!(cli.trace.as_deref(), Some("out.json"));
         assert!(cli.probe_metrics);
         assert!(parse(&["--trace"]).is_err(), "--trace needs a path");
+    }
+
+    #[test]
+    fn counters_flag_defaults_off_and_parses() {
+        assert!(!parse(&[]).unwrap().counters);
+        let cli = parse(&["--counters", "--probe-metrics"]).unwrap();
+        assert!(cli.counters);
+        assert!(cli.probe_metrics);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::Measurement;
 use ninja_kernels::{registry, Instance, KernelSpec, ProblemSize, Variant};
 use ninja_model::{nominal_host, Attribution, Machine};
 use ninja_parallel::ThreadPool;
+use ninja_probe::counters::{CounterSample, ThreadCounters};
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
@@ -39,13 +40,24 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// What one isolated validate+measure attempt produced.
 enum Attempt {
-    Measured { timing: Measurement, checksum: f64 },
-    Invalid { reason: String },
+    Measured {
+        timing: Measurement,
+        checksum: f64,
+        /// Hardware-counter totals over the timed reps (warmup windows
+        /// dropped), `None` when counters were off or unavailable.
+        counters: Option<CounterSample>,
+    },
+    Invalid {
+        reason: String,
+    },
 }
 
 /// Runs validation (when enabled) and measurement for one variant. This is
 /// the code that executes inside the isolation boundary — inline under
-/// `catch_unwind`, or on a watchdog thread when a budget is set.
+/// `catch_unwind`, or on a watchdog thread when a budget is set. Counter
+/// windows open on *this* thread, which is the thread that calls
+/// `instance.run` (the caller thread, or the watchdog thread when a
+/// budget is set) — pool workers carry their own per-thread groups.
 fn exec_variant(
     instance: &mut dyn Instance,
     v: Variant,
@@ -62,10 +74,41 @@ fn exec_variant(
     }
     let mut checksum = 0.0;
     let keep_samples = ninja_probe::metrics_enabled();
-    let timing = measure_with_samples(warmup, runs, keep_samples, || {
-        checksum = instance.run(v, pool);
+    let mut counters = ninja_probe::counters_enabled().then(ThreadCounters::open);
+    // One delta per `measure` body call, in call order: `warmup` untimed
+    // windows first, then `runs` timed ones. Sliced apart after the fact
+    // so the totals cover exactly the reps the median covers.
+    let mut windows: Vec<Option<CounterSample>> = Vec::new();
+    let timing = measure_with_samples(warmup, runs, keep_samples, || match counters.as_mut() {
+        Some(c) => {
+            let (sum, delta) = c.window(|| instance.run(v, pool));
+            checksum = sum;
+            if let Some(d) = &delta {
+                if ninja_probe::tracing_enabled() {
+                    if let Some(ipc) = d.ipc() {
+                        ninja_probe::counter("cell ipc", &[("ipc", ipc)]);
+                    }
+                }
+            }
+            windows.push(delta);
+        }
+        None => checksum = instance.run(v, pool),
     });
-    Attempt::Measured { timing, checksum }
+    let counters = counters.and_then(|c| {
+        if !c.status().is_available() {
+            return None;
+        }
+        let mut total = CounterSample::default();
+        for delta in windows.iter().skip(warmup as usize).flatten() {
+            total.add(delta);
+        }
+        total.any_counted().then_some(total)
+    });
+    Attempt::Measured {
+        timing,
+        checksum,
+        counters,
+    }
 }
 
 /// Configures and runs Ninja-gap measurements.
@@ -331,10 +374,14 @@ impl Harness {
             Ok(Attempt::Measured { checksum, .. }) if !checksum.is_finite() => {
                 VariantResult::failed(v, validate, VariantOutcome::NonFinite)
             }
-            Ok(Attempt::Measured { timing, checksum }) => {
+            Ok(Attempt::Measured {
+                timing,
+                checksum,
+                counters,
+            }) => {
                 let median = timing.median_s;
-                let mut attribution =
-                    Attribution::new(work.flops, work.bytes, median, &self.machine());
+                let machine = self.machine();
+                let mut attribution = Attribution::new(work.flops, work.bytes, median, &machine);
                 if let Some(before) = pool_before {
                     let window = metrics_pool.metrics().delta(&before);
                     if window.total_busy_ns() > 0 {
@@ -344,6 +391,14 @@ impl Harness {
                             window.steal_ratio(),
                         );
                     }
+                }
+                if let Some(sample) = &counters {
+                    attribution = attribution.with_counters(
+                        &machine,
+                        sample.ipc(),
+                        sample.llc_miss_rate(),
+                        sample.dram_gbs(),
+                    );
                 }
                 VariantResult {
                     variant: v.name().to_owned(),
@@ -665,6 +720,53 @@ mod tests {
             t.runs as usize,
             "metrics flag opts into raw per-rep samples"
         );
+    }
+
+    /// Serializes the tests that toggle the global counters flag or the
+    /// force-unavailable env var (the test harness runs tests in threads).
+    static COUNTER_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn counters_flag_attaches_measured_attribution_or_degrades_cleanly() {
+        let _guard = COUNTER_TEST_LOCK.lock();
+        ninja_probe::set_counters(true);
+        let h = test_harness();
+        let r = h.run_kernel(&registry()[3]); // blackscholes
+        ninja_probe::set_counters(false);
+        // Counter trouble must never fail a measurement.
+        assert!(r.variants.iter().all(|v| v.is_ok()));
+        let available = ninja_probe::counters::availability().is_available();
+        for v in &r.variants {
+            let a = v.attribution.as_ref().expect("attributed");
+            if available {
+                assert!(a.has_counter_data(), "{}: {a:?}", v.variant);
+                assert!(a.measured_ipc.expect("ipc measured") > 0.0);
+                assert!(a.measured_bound.is_some());
+                assert!(a.agreement.is_some());
+            } else {
+                // Degradation contract: unchanged analytical attribution,
+                // no fabricated measured fields.
+                assert!(!a.has_counter_data(), "{}: {a:?}", v.variant);
+                assert!(a.roofline_pct > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_unavailable_counters_never_fail_measurement() {
+        let _guard = COUNTER_TEST_LOCK.lock();
+        std::env::set_var(ninja_probe::counters::FORCE_UNAVAILABLE_ENV, "1");
+        ninja_probe::set_counters(true);
+        let h = test_harness();
+        let r = h.run_kernel(&registry()[0]);
+        ninja_probe::set_counters(false);
+        std::env::remove_var(ninja_probe::counters::FORCE_UNAVAILABLE_ENV);
+        assert!(r.variants.iter().all(|v| v.is_ok()));
+        for v in &r.variants {
+            let a = v.attribution.as_ref().expect("attributed");
+            assert!(!a.has_counter_data(), "{}: {a:?}", v.variant);
+            assert_eq!(a.agreement, None);
+        }
     }
 
     #[test]

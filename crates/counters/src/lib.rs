@@ -1,0 +1,902 @@
+//! `ninja-counters`: hardware performance-counter windows over
+//! `perf_event_open`, with graceful degradation everywhere perf is not
+//! available.
+//!
+//! The analytical roofline (`ninja-model`) classifies every measured cell
+//! as compute- or bandwidth-bound from *modeled* machine peaks; a
+//! mis-calibrated model silently mislabels every cell. This crate grounds
+//! that classification in measured hardware behavior: it opens a
+//! per-thread counter *group* — cycles, instructions, LLC
+//! references/misses, branch misses, stalled-cycles-backend — around a
+//! measurement window and derives IPC, LLC miss rate, and an estimated
+//! DRAM bandwidth from miss traffic.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never a failure.** Containers, `perf_event_paranoid`, missing
+//!    PMUs, and non-Linux/non-x86_64 hosts are all normal; every one of
+//!    them degrades to [`CounterStatus::Unavailable`] with a
+//!    human-readable reason, and a window over an unavailable group
+//!    simply yields no sample. The measurement itself is untouched.
+//! 2. **std-only.** No libc: the syscall layer is a small audited
+//!    `asm!` shim (the same idiom as `pin_to_core` in `ninja-parallel`),
+//!    compiled only on `linux` + `x86_64` with a stub elsewhere.
+//! 3. **Honest numbers.** Counter groups can be multiplexed off-core by
+//!    the kernel; reads carry `time_enabled`/`time_running` and
+//!    [`CounterSample::scaled`] extrapolates (with saturation) before
+//!    any ratio is derived. Degenerate denominators yield `None`, never
+//!    `NaN`/`inf`.
+//!
+//! Forcing the fallback: setting `NINJA_COUNTERS_FORCE_UNAVAILABLE` in
+//! the environment makes every open fail with a deterministic reason —
+//! CI uses this to exercise the restricted path on permissive runners.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Bytes moved per LLC miss: one cache line. The DRAM-bandwidth estimate
+/// is `llc_misses × 64 B / elapsed`; a lower bound (write-allocate
+/// traffic and prefetches the LLC-miss event does not count are missed),
+/// which is the right direction for a "was the memory roof really the
+/// limit?" cross-check.
+pub const CACHE_LINE_BYTES: u64 = 64;
+
+/// The environment variable that forces [`CounterStatus::Unavailable`]
+/// regardless of host capability (CI fallback-path testing).
+pub const FORCE_UNAVAILABLE_ENV: &str = "NINJA_COUNTERS_FORCE_UNAVAILABLE";
+
+/// The hardware events a group measures, in slot order.
+///
+/// Slot order is a wire-visible contract: [`CounterSample`] fields map
+/// onto these slots one-to-one.
+pub const EVENT_NAMES: [&str; 6] = [
+    "cycles",
+    "instructions",
+    "llc_refs",
+    "llc_misses",
+    "branch_misses",
+    "stalled_backend",
+];
+
+/// Whether hardware counters could be opened, and if not, why.
+///
+/// `Unavailable` is an expected state (containers, hardened kernels,
+/// non-Linux), not an error: callers keep their analytical attribution
+/// and surface the reason verbatim.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CounterStatus {
+    /// A counter group is open and produces samples.
+    Available,
+    /// No counters; the payload says why (errno, paranoid level, ...).
+    Unavailable(String),
+}
+
+impl CounterStatus {
+    /// `true` when counters are live.
+    pub fn is_available(&self) -> bool {
+        matches!(self, CounterStatus::Available)
+    }
+
+    /// The unavailability reason, when there is one.
+    pub fn reason(&self) -> Option<&str> {
+        match self {
+            CounterStatus::Available => None,
+            CounterStatus::Unavailable(reason) => Some(reason),
+        }
+    }
+}
+
+impl std::fmt::Display for CounterStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CounterStatus::Available => f.write_str("available"),
+            CounterStatus::Unavailable(reason) => write!(f, "unavailable ({reason})"),
+        }
+    }
+}
+
+/// One window's worth of raw counter values plus the kernel's
+/// enabled/running times (for multiplex scaling).
+///
+/// All counts are saturating accumulators: [`CounterSample::add`] and
+/// [`CounterSample::scaled`] clamp at `u64::MAX` instead of wrapping, so
+/// a pathological window can pin at the ceiling but never travel back
+/// in time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Core clock cycles (`PERF_COUNT_HW_CPU_CYCLES`).
+    pub cycles: u64,
+    /// Retired instructions (`PERF_COUNT_HW_INSTRUCTIONS`).
+    pub instructions: u64,
+    /// Last-level-cache references (`PERF_COUNT_HW_CACHE_REFERENCES`).
+    pub llc_refs: u64,
+    /// Last-level-cache misses (`PERF_COUNT_HW_CACHE_MISSES`).
+    pub llc_misses: u64,
+    /// Mispredicted branches (`PERF_COUNT_HW_BRANCH_MISSES`).
+    pub branch_misses: u64,
+    /// Backend stall cycles (`PERF_COUNT_HW_STALLED_CYCLES_BACKEND`);
+    /// zero on PMUs that do not expose the event.
+    pub stalled_backend: u64,
+    /// Nanoseconds the group was scheduled-or-pending on the thread.
+    pub time_enabled_ns: u64,
+    /// Nanoseconds the group actually counted (≤ enabled under
+    /// multiplexing).
+    pub time_running_ns: u64,
+}
+
+/// `a + b` clamped at the ceiling instead of wrapping.
+fn sat_add(a: u64, b: u64) -> u64 {
+    a.saturating_add(b)
+}
+
+/// `count × enabled ⁄ running` in 128-bit, clamped to `u64::MAX`.
+fn scale_count(count: u64, enabled: u64, running: u64) -> u64 {
+    if running == 0 {
+        return 0;
+    }
+    let scaled = (count as u128) * (enabled as u128) / (running as u128);
+    u64::try_from(scaled).unwrap_or(u64::MAX)
+}
+
+impl CounterSample {
+    /// Extrapolates the counts to the full enabled window.
+    ///
+    /// The kernel time-multiplexes groups when a PMU is oversubscribed,
+    /// so a group may have counted for only part of the window; the
+    /// standard correction is `count × time_enabled ⁄ time_running`.
+    /// Guards: `time_running == 0` (the group never ran) zeroes every
+    /// count so no derived ratio can fabricate throughput from nothing;
+    /// `time_running > time_enabled` (clock skew in old kernels) is
+    /// treated as fully-running, i.e. the scale never shrinks a count;
+    /// products saturate at `u64::MAX` instead of wrapping.
+    pub fn scaled(&self) -> CounterSample {
+        let enabled = self.time_enabled_ns;
+        let running = self.time_running_ns;
+        if running >= enabled && running > 0 {
+            // Fully counted (or skewed): the raw values are the truth.
+            return *self;
+        }
+        let scale = |count| scale_count(count, enabled, running);
+        CounterSample {
+            cycles: scale(self.cycles),
+            instructions: scale(self.instructions),
+            llc_refs: scale(self.llc_refs),
+            llc_misses: scale(self.llc_misses),
+            branch_misses: scale(self.branch_misses),
+            stalled_backend: scale(self.stalled_backend),
+            time_enabled_ns: enabled,
+            time_running_ns: running,
+        }
+    }
+
+    /// Instructions per cycle, `None` when no cycles were counted.
+    pub fn ipc(&self) -> Option<f64> {
+        (self.cycles > 0).then(|| self.instructions as f64 / self.cycles as f64)
+    }
+
+    /// LLC miss rate in `[0, 1]`, `None` without references.
+    ///
+    /// Clamped at 1.0: under heavy multiplexing misses and references
+    /// come from different time slices and the raw ratio can exceed
+    /// one, which would be nonsense downstream.
+    pub fn llc_miss_rate(&self) -> Option<f64> {
+        (self.llc_refs > 0).then(|| (self.llc_misses as f64 / self.llc_refs as f64).min(1.0))
+    }
+
+    /// Branch misses per thousand instructions, `None` without
+    /// instructions.
+    pub fn branch_mpki(&self) -> Option<f64> {
+        (self.instructions > 0)
+            .then(|| self.branch_misses as f64 * 1000.0 / self.instructions as f64)
+    }
+
+    /// Fraction of cycles stalled in the backend, in `[0, 1]`;
+    /// `None` when either event is absent.
+    pub fn backend_stall_frac(&self) -> Option<f64> {
+        (self.cycles > 0 && self.stalled_backend > 0)
+            .then(|| (self.stalled_backend as f64 / self.cycles as f64).min(1.0))
+    }
+
+    /// Estimated DRAM traffic over an explicit wall-clock window,
+    /// GB/s (`llc_misses × 64 B ⁄ seconds`). `None` for degenerate
+    /// windows (zero/negative/non-finite seconds).
+    pub fn dram_gbs_over(&self, seconds: f64) -> Option<f64> {
+        (seconds.is_finite() && seconds > 0.0)
+            .then(|| self.llc_misses as f64 * CACHE_LINE_BYTES as f64 / seconds / 1e9)
+    }
+
+    /// Estimated DRAM traffic over the group's own enabled time.
+    pub fn dram_gbs(&self) -> Option<f64> {
+        self.dram_gbs_over(self.time_enabled_ns as f64 / 1e9)
+    }
+
+    /// Accumulates another window into this one (saturating).
+    pub fn add(&mut self, other: &CounterSample) {
+        self.cycles = sat_add(self.cycles, other.cycles);
+        self.instructions = sat_add(self.instructions, other.instructions);
+        self.llc_refs = sat_add(self.llc_refs, other.llc_refs);
+        self.llc_misses = sat_add(self.llc_misses, other.llc_misses);
+        self.branch_misses = sat_add(self.branch_misses, other.branch_misses);
+        self.stalled_backend = sat_add(self.stalled_backend, other.stalled_backend);
+        self.time_enabled_ns = sat_add(self.time_enabled_ns, other.time_enabled_ns);
+        self.time_running_ns = sat_add(self.time_running_ns, other.time_running_ns);
+    }
+
+    /// Counter-wise `self - earlier`, saturating at zero — the same
+    /// counter-window contract as `PoolMetrics::delta`: the fields are
+    /// monotonic within one accumulation stream, and a mismatched bracket
+    /// (stream reset, swapped operands) degrades to an empty window, never
+    /// a wrapped near-`u64::MAX` garbage delta.
+    #[must_use]
+    pub fn saturating_sub(&self, earlier: &CounterSample) -> CounterSample {
+        CounterSample {
+            cycles: self.cycles.saturating_sub(earlier.cycles),
+            instructions: self.instructions.saturating_sub(earlier.instructions),
+            llc_refs: self.llc_refs.saturating_sub(earlier.llc_refs),
+            llc_misses: self.llc_misses.saturating_sub(earlier.llc_misses),
+            branch_misses: self.branch_misses.saturating_sub(earlier.branch_misses),
+            stalled_backend: self.stalled_backend.saturating_sub(earlier.stalled_backend),
+            time_enabled_ns: self.time_enabled_ns.saturating_sub(earlier.time_enabled_ns),
+            time_running_ns: self.time_running_ns.saturating_sub(earlier.time_running_ns),
+        }
+    }
+
+    /// `true` when the window counted anything at all.
+    pub fn any_counted(&self) -> bool {
+        self.cycles > 0 || self.instructions > 0 || self.time_running_ns > 0
+    }
+
+    /// One greppable summary line (`ipc=… llc_miss_rate=… dram_gbs=…`).
+    pub fn summary(&self) -> String {
+        let fmt = |v: Option<f64>, precision: usize| match v {
+            Some(x) => format!("{x:.precision$}"),
+            None => "-".to_owned(),
+        };
+        format!(
+            "ipc={} llc_miss_rate={} dram_gbs={} branch_mpki={} cycles={}",
+            fmt(self.ipc(), 2),
+            fmt(self.llc_miss_rate().map(|r| r * 100.0), 1),
+            fmt(self.dram_gbs(), 2),
+            fmt(self.branch_mpki(), 2),
+            self.cycles,
+        )
+    }
+}
+
+/// The per-thread counter group: open once, window many times.
+///
+/// Construction never fails — an inaccessible PMU yields a handle whose
+/// [`ThreadCounters::status`] is `Unavailable` and whose windows return
+/// `None`, so call sites need no platform conditionals.
+pub struct ThreadCounters {
+    inner: Result<imp::Group, String>,
+}
+
+impl ThreadCounters {
+    /// Opens a counter group bound to the *calling* thread.
+    ///
+    /// The group must be windowed from the same thread it was opened on
+    /// (the events are attached to this thread's PMU context).
+    pub fn open() -> Self {
+        if std::env::var_os(FORCE_UNAVAILABLE_ENV).is_some() {
+            return ThreadCounters {
+                inner: Err(format!("forced unavailable via {FORCE_UNAVAILABLE_ENV}")),
+            };
+        }
+        ThreadCounters {
+            inner: imp::Group::open(),
+        }
+    }
+
+    /// Whether this handle produces samples.
+    pub fn status(&self) -> CounterStatus {
+        match &self.inner {
+            Ok(_) => CounterStatus::Available,
+            Err(reason) => CounterStatus::Unavailable(reason.clone()),
+        }
+    }
+
+    /// Runs `body` with the group counting and returns its multiplexing-
+    /// corrected sample; `None` when counters are unavailable or the
+    /// read failed mid-run (the body's result is returned regardless).
+    pub fn window<T>(&mut self, body: impl FnOnce() -> T) -> (T, Option<CounterSample>) {
+        let Ok(group) = &mut self.inner else {
+            return (body(), None);
+        };
+        if group.reset_and_enable().is_err() {
+            return (body(), None);
+        }
+        let out = body();
+        let sample = group.disable_and_read().ok().map(|s| s.scaled());
+        (out, sample)
+    }
+}
+
+impl std::fmt::Debug for ThreadCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCounters")
+            .field("status", &self.status())
+            .finish()
+    }
+}
+
+/// Probes whether this process can open hardware counters right now,
+/// without keeping anything open. One open/close round-trip; call it
+/// once per run for reporting, not per measurement.
+pub fn availability() -> CounterStatus {
+    ThreadCounters::open().status()
+}
+
+/// The host's `/proc/sys/kernel/perf_event_paranoid` level, when
+/// readable. Level ≤ 2 permits self-profiling with kernel samples
+/// excluded (which is all this crate asks for); 3+ (a common hardening
+/// patch) forbids unprivileged `perf_event_open` entirely.
+pub fn paranoid_level() -> Option<i64> {
+    std::fs::read_to_string("/proc/sys/kernel/perf_event_paranoid")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod imp {
+    //! The audited unsafe layer: raw `syscall` via inline asm (the same
+    //! idiom as `pin_to_core` in `ninja-parallel` — no libc), a
+    //! hand-laid-out `perf_event_attr`, and fd lifecycle.
+
+    use super::CounterSample;
+
+    const SYS_READ: u64 = 0;
+    const SYS_CLOSE: u64 = 3;
+    const SYS_IOCTL: u64 = 16;
+    const SYS_PERF_EVENT_OPEN: u64 = 298;
+
+    const PERF_TYPE_HARDWARE: u32 = 0;
+    /// `PERF_COUNT_HW_*` config values, in [`super::EVENT_NAMES`] slot
+    /// order: cycles, instructions, cache refs, cache misses, branch
+    /// misses, stalled-cycles-backend.
+    const EVENT_CONFIGS: [u64; 6] = [0, 1, 2, 3, 5, 8];
+
+    const PERF_FORMAT_TOTAL_TIME_ENABLED: u64 = 1 << 0;
+    const PERF_FORMAT_TOTAL_TIME_RUNNING: u64 = 1 << 1;
+    const PERF_FORMAT_GROUP: u64 = 1 << 3;
+
+    /// `perf_event_attr` flag bits (first bitfield word): `disabled`,
+    /// `exclude_kernel`, `exclude_hv`. Kernel and hypervisor cycles are
+    /// excluded so paranoid level 2 (the common unhardened default)
+    /// still admits the open.
+    const ATTR_DISABLED: u64 = 1 << 0;
+    const ATTR_EXCLUDE_KERNEL: u64 = 1 << 5;
+    const ATTR_EXCLUDE_HV: u64 = 1 << 6;
+
+    const PERF_FLAG_FD_CLOEXEC: u64 = 1 << 3;
+
+    const PERF_EVENT_IOC_ENABLE: u64 = 0x2400;
+    const PERF_EVENT_IOC_DISABLE: u64 = 0x2401;
+    const PERF_EVENT_IOC_RESET: u64 = 0x2403;
+    const PERF_IOC_FLAG_GROUP: u64 = 1;
+
+    /// `perf_event_attr`, laid out by hand to `PERF_ATTR_SIZE_VER5`
+    /// (112 bytes). Trailing fields are zero, which every kernel since
+    /// the corresponding version accepts.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PerfEventAttr {
+        type_: u32,
+        size: u32,
+        config: u64,
+        sample_period: u64,
+        sample_type: u64,
+        read_format: u64,
+        flags: u64,
+        wakeup_events: u32,
+        bp_type: u32,
+        bp_addr: u64,
+        bp_len: u64,
+        branch_sample_type: u64,
+        sample_regs_user: u64,
+        sample_stack_user: u32,
+        clockid: i32,
+        sample_regs_intr: u64,
+        aux_watermark: u32,
+        sample_max_stack: u16,
+        reserved_2: u16,
+    }
+
+    const ATTR_SIZE: u32 = std::mem::size_of::<PerfEventAttr>() as u32;
+    // The kernel rejects an attr whose size field disagrees with a known
+    // revision; 112 is PERF_ATTR_SIZE_VER5.
+    const _: () = assert!(ATTR_SIZE == 112);
+
+    impl PerfEventAttr {
+        fn hardware(config: u64, leader: bool) -> Self {
+            let mut flags = ATTR_EXCLUDE_KERNEL | ATTR_EXCLUDE_HV;
+            if leader {
+                // The leader starts disabled and the whole group is
+                // flipped on atomically via ioctl(ENABLE, GROUP), so no
+                // slot counts setup code.
+                flags |= ATTR_DISABLED;
+            }
+            PerfEventAttr {
+                type_: PERF_TYPE_HARDWARE,
+                size: ATTR_SIZE,
+                config,
+                sample_period: 0,
+                sample_type: 0,
+                read_format: PERF_FORMAT_TOTAL_TIME_ENABLED
+                    | PERF_FORMAT_TOTAL_TIME_RUNNING
+                    | PERF_FORMAT_GROUP,
+                flags,
+                wakeup_events: 0,
+                bp_type: 0,
+                bp_addr: 0,
+                bp_len: 0,
+                branch_sample_type: 0,
+                sample_regs_user: 0,
+                sample_stack_user: 0,
+                clockid: 0,
+                sample_regs_intr: 0,
+                aux_watermark: 0,
+                sample_max_stack: 0,
+                reserved_2: 0,
+            }
+        }
+    }
+
+    /// Raw 5-argument syscall. Returns the kernel's value: ≥ 0 on
+    /// success, `-errno` on failure.
+    ///
+    /// # Safety
+    ///
+    /// The caller must uphold the invoked syscall's own contract
+    /// (pointer arguments valid for the kernel's reads/writes, fds
+    /// owned by this process).
+    unsafe fn syscall5(nr: u64, a1: u64, a2: u64, a3: u64, a4: u64, a5: u64) -> i64 {
+        let ret: i64;
+        // SAFETY: x86_64 Linux syscall ABI — args in rdi/rsi/rdx/r10/r8,
+        // number in rax, result in rax; the kernel clobbers rcx/r11 and
+        // nothing else, and `nostack` holds because no red-zone or stack
+        // memory is touched. Argument validity is the caller's contract.
+        unsafe {
+            std::arch::asm!(
+                "syscall",
+                inlateout("rax") nr as i64 => ret,
+                in("rdi") a1,
+                in("rsi") a2,
+                in("rdx") a3,
+                in("r10") a4,
+                in("r8") a5,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// One `perf_event_open(2)` for the calling thread (`pid=0`,
+    /// `cpu=-1`: this thread on any CPU). Returns the fd or `-errno`.
+    fn perf_event_open(attr: &PerfEventAttr, group_fd: i64) -> i64 {
+        // SAFETY: `attr` is a live, properly-sized `perf_event_attr`
+        // borrowed for the duration of the call (the kernel only reads
+        // it); `group_fd` is either -1 or a perf fd this struct owns.
+        unsafe {
+            syscall5(
+                SYS_PERF_EVENT_OPEN,
+                attr as *const PerfEventAttr as u64,
+                0,
+                (-1i64) as u64,
+                group_fd as u64,
+                PERF_FLAG_FD_CLOEXEC,
+            )
+        }
+    }
+
+    /// `ioctl(fd, op, arg)`; returns `-errno` on failure.
+    fn perf_ioctl(fd: i32, op: u64, arg: u64) -> i64 {
+        // SAFETY: `fd` is a perf fd owned by this `Group`; the perf
+        // ENABLE/DISABLE/RESET ioctls take an integer argument, not a
+        // pointer, so there is no memory contract beyond the fd itself.
+        unsafe { syscall5(SYS_IOCTL, fd as u64, op, arg, 0, 0) }
+    }
+
+    /// Human-readable tag for the errnos perf actually returns.
+    fn errno_name(errno: i64) -> &'static str {
+        match errno {
+            1 => "EPERM",
+            2 => "ENOENT",
+            13 => "EACCES",
+            16 => "EBUSY",
+            19 => "ENODEV",
+            22 => "EINVAL",
+            24 => "EMFILE",
+            95 => "EOPNOTSUPP",
+            _ => "errno",
+        }
+    }
+
+    /// An open per-thread counter group. `fds[0]` is the leader
+    /// (cycles); `slots[i]` maps group read position `i` back to the
+    /// [`super::EVENT_NAMES`] slot it counts, because optional events
+    /// (stalled-backend on many PMUs) may fail to open and are then
+    /// simply absent from the group.
+    pub(super) struct Group {
+        fds: Vec<i32>,
+        slots: Vec<usize>,
+    }
+
+    impl Group {
+        /// Opens the group or explains why the host cannot.
+        pub(super) fn open() -> Result<Group, String> {
+            let leader_attr = PerfEventAttr::hardware(EVENT_CONFIGS[0], true);
+            let leader = perf_event_open(&leader_attr, -1);
+            if leader < 0 {
+                let errno = -leader;
+                let paranoid = match super::paranoid_level() {
+                    Some(level) => format!(", perf_event_paranoid={level}"),
+                    None => String::new(),
+                };
+                return Err(format!(
+                    "perf_event_open failed ({}{paranoid})",
+                    errno_name(errno)
+                ));
+            }
+            let mut group = Group {
+                fds: vec![leader as i32],
+                slots: vec![0],
+            };
+            for (slot, &config) in EVENT_CONFIGS.iter().enumerate().skip(1) {
+                let attr = PerfEventAttr::hardware(config, false);
+                let fd = perf_event_open(&attr, leader);
+                if fd >= 0 {
+                    group.fds.push(fd as i32);
+                    group.slots.push(slot);
+                }
+                // A sibling that fails (unsupported event, PMU slot
+                // pressure) is dropped: its count reads as zero and the
+                // ratios that need it derive to None.
+            }
+            if group.slots.len() < 2 {
+                // Cycles alone cannot derive anything; treat a
+                // one-event group as unavailable.
+                return Err("perf_event_open admitted only the cycle counter".into());
+            }
+            Ok(group)
+        }
+
+        /// Zeroes and starts the whole group atomically.
+        pub(super) fn reset_and_enable(&mut self) -> Result<(), ()> {
+            let fd = self.fds[0];
+            if perf_ioctl(fd, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP) < 0 {
+                return Err(());
+            }
+            if perf_ioctl(fd, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP) < 0 {
+                return Err(());
+            }
+            Ok(())
+        }
+
+        /// Stops the group and reads every slot in one syscall.
+        pub(super) fn disable_and_read(&mut self) -> Result<CounterSample, ()> {
+            let fd = self.fds[0];
+            if perf_ioctl(fd, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP) < 0 {
+                return Err(());
+            }
+            // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running,
+            // then one u64 per member in open order.
+            let mut buf = [0u64; 3 + EVENT_CONFIGS.len()];
+            let want = std::mem::size_of_val(&buf);
+            // SAFETY: `buf` is a live, properly aligned u64 array of
+            // `want` bytes, exclusively borrowed for the duration of the
+            // read; the kernel writes at most `want` bytes into it.
+            let n = unsafe {
+                syscall5(
+                    SYS_READ,
+                    fd as u64,
+                    buf.as_mut_ptr() as u64,
+                    want as u64,
+                    0,
+                    0,
+                )
+            };
+            if n < (3 * 8) as i64 {
+                return Err(());
+            }
+            let nr = buf[0] as usize;
+            if nr != self.slots.len() || (3 + nr) * 8 > n as usize {
+                return Err(());
+            }
+            let mut sample = CounterSample {
+                time_enabled_ns: buf[1],
+                time_running_ns: buf[2],
+                ..CounterSample::default()
+            };
+            for (pos, &slot) in self.slots.iter().enumerate() {
+                let value = buf[3 + pos];
+                match slot {
+                    0 => sample.cycles = value,
+                    1 => sample.instructions = value,
+                    2 => sample.llc_refs = value,
+                    3 => sample.llc_misses = value,
+                    4 => sample.branch_misses = value,
+                    _ => sample.stalled_backend = value,
+                }
+            }
+            Ok(sample)
+        }
+    }
+
+    impl Drop for Group {
+        fn drop(&mut self) {
+            // Close siblings before the leader: the kernel allows any
+            // order, but this mirrors the open order for auditability.
+            for &fd in self.fds.iter().rev() {
+                // SAFETY: each fd was returned by perf_event_open and is
+                // owned exclusively by this Group; nothing reads it after
+                // this loop.
+                unsafe {
+                    syscall5(SYS_CLOSE, fd as u64, 0, 0, 0, 0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+mod imp {
+    //! Stub for hosts without the raw-syscall backend: every open
+    //! degrades to `Unavailable` and nothing else compiles in.
+
+    use super::CounterSample;
+
+    pub(super) struct Group {
+        never: std::convert::Infallible,
+    }
+
+    impl Group {
+        pub(super) fn open() -> Result<Group, String> {
+            Err("hardware counters need linux/x86_64 (perf_event_open backend)".into())
+        }
+
+        pub(super) fn reset_and_enable(&mut self) -> Result<(), ()> {
+            match self.never {}
+        }
+
+        pub(super) fn disable_and_read(&mut self) -> Result<CounterSample, ()> {
+            match self.never {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Serializes the tests that set/unset the force env var against
+    /// the ones that open real groups.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn sample(
+        cycles: u64,
+        instructions: u64,
+        refs: u64,
+        misses: u64,
+        enabled: u64,
+        running: u64,
+    ) -> CounterSample {
+        CounterSample {
+            cycles,
+            instructions,
+            llc_refs: refs,
+            llc_misses: misses,
+            branch_misses: 0,
+            stalled_backend: 0,
+            time_enabled_ns: enabled,
+            time_running_ns: running,
+        }
+    }
+
+    #[test]
+    fn derived_metrics_compute_the_obvious_ratios() {
+        let s = sample(1_000, 2_100, 100, 4, 1_000, 1_000);
+        assert!((s.ipc().unwrap() - 2.1).abs() < 1e-12);
+        assert!((s.llc_miss_rate().unwrap() - 0.04).abs() < 1e-12);
+        // 4 misses × 64 B over 1 µs = 0.256 GB/s.
+        assert!((s.dram_gbs().unwrap() - 0.256).abs() < 1e-12);
+        let over = s.dram_gbs_over(2e-6).unwrap();
+        assert!((over - 0.128).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_derive_to_none_not_nan() {
+        let s = sample(0, 500, 0, 7, 0, 0);
+        assert_eq!(s.ipc(), None);
+        assert_eq!(s.llc_miss_rate(), None);
+        assert_eq!(s.dram_gbs(), None);
+        assert_eq!(s.dram_gbs_over(0.0), None);
+        assert_eq!(s.dram_gbs_over(-1.0), None);
+        assert_eq!(s.dram_gbs_over(f64::NAN), None);
+        assert_eq!(s.backend_stall_frac(), None);
+        let no_insns = sample(10, 0, 0, 0, 0, 0);
+        assert_eq!(no_insns.branch_mpki(), None);
+    }
+
+    #[test]
+    fn miss_rate_clamps_to_one_under_multiplexing_skew() {
+        let s = sample(10, 10, 4, 9, 100, 100);
+        assert_eq!(s.llc_miss_rate(), Some(1.0));
+    }
+
+    #[test]
+    fn multiplex_scaling_extrapolates_to_the_enabled_window() {
+        // Counted for half the window: every count doubles.
+        let s = sample(1_000, 2_000, 100, 10, 2_000, 1_000).scaled();
+        assert_eq!(s.cycles, 2_000);
+        assert_eq!(s.instructions, 4_000);
+        assert_eq!(s.llc_refs, 200);
+        assert_eq!(s.llc_misses, 20);
+        // IPC is ratio-invariant under scaling.
+        assert!((s.ipc().unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_never_ran_zeroes_counts() {
+        let s = sample(123, 456, 7, 8, 5_000, 0).scaled();
+        assert_eq!(s.cycles, 0);
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.ipc(), None);
+        assert_eq!(s.llc_miss_rate(), None);
+    }
+
+    #[test]
+    fn scaling_skewed_clock_never_shrinks_counts() {
+        // time_running > time_enabled (old-kernel skew): raw values win.
+        let s = sample(1_000, 2_000, 10, 1, 500, 1_000);
+        assert_eq!(s.scaled(), s);
+    }
+
+    #[test]
+    fn scaling_saturates_instead_of_wrapping() {
+        let s = sample(u64::MAX - 1, u64::MAX - 1, 0, 0, u64::MAX, 1).scaled();
+        assert_eq!(s.cycles, u64::MAX);
+        assert_eq!(s.instructions, u64::MAX);
+    }
+
+    #[test]
+    fn accumulation_saturates_and_sums() {
+        let mut acc = sample(10, 20, 3, 1, 100, 100);
+        acc.add(&sample(5, 10, 2, 1, 50, 50));
+        assert_eq!(acc, sample(15, 30, 5, 2, 150, 150));
+        acc.add(&sample(u64::MAX, 0, 0, 0, 0, 0));
+        assert_eq!(acc.cycles, u64::MAX);
+    }
+
+    #[test]
+    fn window_subtraction_saturates_instead_of_wrapping() {
+        let later = sample(100, 250, 30, 6, 1_000, 900);
+        let earlier = sample(40, 100, 10, 2, 400, 350);
+        let d = later.saturating_sub(&earlier);
+        assert_eq!(d, sample(60, 150, 20, 4, 600, 550));
+        // A reset stream (later < earlier) yields an empty window, never a
+        // wrapped delta.
+        let swapped = earlier.saturating_sub(&later);
+        assert_eq!(swapped, CounterSample::default());
+        assert!(!swapped.any_counted());
+    }
+
+    #[test]
+    fn summary_is_greppable_and_dashes_when_empty() {
+        let s = sample(1_000, 2_100, 100, 4, 1_000, 1_000);
+        let line = s.summary();
+        assert!(line.contains("ipc=2.10"), "{line}");
+        assert!(line.contains("llc_miss_rate=4.0"), "{line}");
+        let empty = CounterSample::default().summary();
+        assert!(empty.contains("ipc=-"), "{empty}");
+    }
+
+    #[test]
+    fn status_renders_reason_and_availability() {
+        assert!(CounterStatus::Available.is_available());
+        assert_eq!(CounterStatus::Available.reason(), None);
+        let s = CounterStatus::Unavailable("nope".into());
+        assert!(!s.is_available());
+        assert_eq!(s.reason(), Some("nope"));
+        assert_eq!(s.to_string(), "unavailable (nope)");
+    }
+
+    #[test]
+    fn open_yields_samples_or_an_explicit_reason() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let mut counters = ThreadCounters::open();
+        let status = counters.status();
+        let (out, sample) = counters.window(|| {
+            // Enough work that a live counter must see cycles.
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            acc
+        });
+        assert_ne!(out, 1); // the body really ran
+        match status {
+            CounterStatus::Available => {
+                let s = sample.expect("available counters must produce a window sample");
+                assert!(s.any_counted(), "{s:?}");
+                assert!(s.ipc().is_some(), "{s:?}");
+            }
+            CounterStatus::Unavailable(reason) => {
+                assert!(!reason.is_empty());
+                assert_eq!(sample, None);
+            }
+        }
+    }
+
+    #[test]
+    fn force_env_degrades_with_a_deterministic_reason() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        // ENV_LOCK serializes every test that reads or writes this
+        // variable, so no concurrent getenv can race the mutation.
+        std::env::set_var(FORCE_UNAVAILABLE_ENV, "1");
+        let mut counters = ThreadCounters::open();
+        let status = counters.status();
+        std::env::remove_var(FORCE_UNAVAILABLE_ENV);
+        assert_eq!(
+            status.reason(),
+            Some(format!("forced unavailable via {FORCE_UNAVAILABLE_ENV}").as_str())
+        );
+        let (out, sample) = counters.window(|| 42);
+        assert_eq!(out, 42);
+        assert_eq!(sample, None);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Scaling and derivation never produce NaN/inf/negative values
+        /// and IPC/miss-rate stay within their documented ranges.
+        #[test]
+        fn derivations_stay_finite_and_in_range(
+            cycles in 0u64..u64::MAX,
+            instructions in 0u64..u64::MAX,
+            refs in 0u64..u64::MAX,
+            misses in 0u64..u64::MAX,
+            enabled in 0u64..u64::MAX,
+            running in 0u64..u64::MAX,
+        ) {
+            let s = sample(cycles, instructions, refs, misses, enabled, running).scaled();
+            if let Some(ipc) = s.ipc() {
+                prop_assert!(ipc.is_finite() && ipc >= 0.0);
+            }
+            if let Some(rate) = s.llc_miss_rate() {
+                prop_assert!((0.0..=1.0).contains(&rate));
+            }
+            if let Some(gbs) = s.dram_gbs() {
+                prop_assert!(gbs.is_finite() && gbs >= 0.0);
+            }
+            // Scaling only ever extrapolates upward (or zeroes a
+            // never-ran window) — it cannot shrink a count.
+            let raw = sample(cycles, instructions, refs, misses, enabled, running);
+            if s.time_running_ns > 0 {
+                prop_assert!(s.cycles >= raw.cycles || s.cycles == u64::MAX);
+            }
+        }
+
+        /// Accumulation is monotone in every field.
+        #[test]
+        fn accumulation_is_monotone(
+            a in 0u64..1u64 << 62,
+            b in 0u64..1u64 << 62,
+            c in 0u64..1u64 << 62,
+        ) {
+            let mut acc = sample(a, b, c, a, b, c);
+            let before = acc;
+            acc.add(&sample(c, a, b, c, a, b));
+            prop_assert!(acc.cycles >= before.cycles);
+            prop_assert!(acc.instructions >= before.instructions);
+            prop_assert!(acc.llc_refs >= before.llc_refs);
+            prop_assert!(acc.time_enabled_ns >= before.time_enabled_ns);
+        }
+    }
+}

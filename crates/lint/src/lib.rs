@@ -62,9 +62,10 @@ use std::path::{Path, PathBuf};
 /// is exactly what the audits exist for. The kernel-ladder rules
 /// self-select per file; the SAFETY (NL005) and ORDERING (NL010) audits
 /// apply to all of them.
-pub const AUDITED_CRATES: [&str; 11] = [
+pub const AUDITED_CRATES: [&str; 12] = [
     "crates/bench",
     "crates/core",
+    "crates/counters",
     "crates/kernels",
     "crates/lint",
     "crates/model",

@@ -21,7 +21,6 @@
 //!   neither roof and is classified `poorly-utilized` instead.
 
 use crate::Machine;
-use serde::{Deserialize, Serialize};
 
 /// `bound` value for cells limited by arithmetic throughput.
 pub const BOUND_COMPUTE: &str = "compute";
@@ -37,8 +36,10 @@ pub const UTILIZATION_FLOOR_PCT: f64 = 10.0;
 
 /// Where one measured cell sits on the machine's roofline, plus the pool
 /// utilization observed while it was measured (zeros when pool metrics
-/// were not collected).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+/// were not collected), plus — when hardware counters were available —
+/// the *measured* bound classification and whether it agrees with the
+/// modeled one.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Attribution {
     /// Useful arithmetic throughput achieved, GFLOP/s.
     pub achieved_gflops: f64,
@@ -58,6 +59,22 @@ pub struct Attribution {
     /// during the measurement (0.0 when not collected, or when the region
     /// scheduled purely through `parallel_for` chunk claiming).
     pub pool_steal_ratio: f64,
+    /// Measured instructions-per-cycle over the timed reps (`None` when
+    /// hardware counters were unavailable).
+    pub measured_ipc: Option<f64>,
+    /// Measured LLC miss rate over the timed reps, in `[0, 1]`.
+    pub measured_llc_miss_rate: Option<f64>,
+    /// DRAM bandwidth estimated from LLC miss traffic (misses × 64 B ÷
+    /// enabled time), GB/s. A lower bound on true traffic.
+    pub measured_dram_gbs: Option<f64>,
+    /// Bound classification derived from *measured* counters (same
+    /// vocabulary as [`Attribution::bound`]): which roof the hardware
+    /// says the cell ran into.
+    pub measured_bound: Option<String>,
+    /// Whether the measured and modeled bound classifications agree —
+    /// the cross-check that catches a mis-calibrated roofline. `None`
+    /// until counters were attached.
+    pub agreement: Option<bool>,
 }
 
 impl Attribution {
@@ -74,6 +91,11 @@ impl Attribution {
                 pool_imbalance: 0.0,
                 pool_idle_pct: 0.0,
                 pool_steal_ratio: 0.0,
+                measured_ipc: None,
+                measured_llc_miss_rate: None,
+                measured_dram_gbs: None,
+                measured_bound: None,
+                agreement: None,
             };
         }
         let achieved_gflops = flops / seconds / 1e9;
@@ -106,6 +128,11 @@ impl Attribution {
             pool_imbalance: 0.0,
             pool_idle_pct: 0.0,
             pool_steal_ratio: 0.0,
+            measured_ipc: None,
+            measured_llc_miss_rate: None,
+            measured_dram_gbs: None,
+            measured_bound: None,
+            agreement: None,
         }
     }
 
@@ -124,6 +151,55 @@ impl Attribution {
     /// Whether pool utilization was collected for this cell.
     pub fn has_pool_data(&self) -> bool {
         self.pool_imbalance > 0.0
+    }
+
+    /// Attaches hardware-counter-derived metrics and classifies the
+    /// *measured* bound against `machine`'s roofs.
+    ///
+    /// The measured classification mirrors the modeled one but replaces
+    /// the analytical byte count with DRAM traffic estimated from LLC
+    /// misses: whichever roof utilization is higher —
+    /// `measured_dram_gbs / bandwidth_gbs` or
+    /// `achieved_gflops / peak_gflops` — names the binding roof, and a
+    /// cell under [`UTILIZATION_FLOOR_PCT`] on both is
+    /// [`BOUND_POORLY_UTILIZED`]. `agreement` is set iff the measured
+    /// bound could be computed (requires `dram_gbs`); IPC and miss rate
+    /// attach independently so partially-admitted counter groups still
+    /// report what they saw.
+    #[must_use]
+    pub fn with_counters(
+        mut self,
+        machine: &Machine,
+        ipc: Option<f64>,
+        llc_miss_rate: Option<f64>,
+        dram_gbs: Option<f64>,
+    ) -> Self {
+        self.measured_ipc = ipc.filter(|v| v.is_finite());
+        self.measured_llc_miss_rate = llc_miss_rate
+            .filter(|v| v.is_finite())
+            .map(|v| v.clamp(0.0, 1.0));
+        self.measured_dram_gbs = dram_gbs.filter(|v| v.is_finite() && *v >= 0.0);
+        if let Some(gbs) = self.measured_dram_gbs {
+            let measured_bw_util = safe_div(gbs, machine.bandwidth_gbs);
+            let compute_util = safe_div(self.achieved_gflops, machine.peak_gflops());
+            let measured = if 100.0 * measured_bw_util.max(compute_util) < UTILIZATION_FLOOR_PCT {
+                BOUND_POORLY_UTILIZED
+            } else if measured_bw_util >= compute_util {
+                BOUND_BANDWIDTH
+            } else {
+                BOUND_COMPUTE
+            };
+            self.agreement = Some(measured == self.bound);
+            self.measured_bound = Some(measured.to_owned());
+        }
+        self
+    }
+
+    /// Whether any hardware-counter metric was attached to this cell.
+    pub fn has_counter_data(&self) -> bool {
+        self.measured_ipc.is_some()
+            || self.measured_llc_miss_rate.is_some()
+            || self.measured_dram_gbs.is_some()
     }
 
     /// One-line human rendering, e.g.
@@ -149,7 +225,97 @@ impl Attribution {
                 s.push_str(&format!(", steal {:.0}%", 100.0 * self.pool_steal_ratio));
             }
         }
+        if self.has_counter_data() {
+            s.push_str("; measured");
+            if let Some(ipc) = self.measured_ipc {
+                s.push_str(&format!(" ipc {ipc:.2}"));
+            }
+            if let Some(miss) = self.measured_llc_miss_rate {
+                s.push_str(&format!(" llc-miss {:.0}%", 100.0 * miss));
+            }
+            if let Some(gbs) = self.measured_dram_gbs {
+                s.push_str(&format!(" dram {gbs:.1} GB/s"));
+            }
+            match (&self.measured_bound, self.agreement) {
+                (Some(bound), Some(true)) => {
+                    s.push_str(&format!(" -> {bound} (model agrees)"));
+                }
+                (Some(bound), _) => {
+                    s.push_str(&format!(" -> {bound} (model says {})", self.bound));
+                }
+                (None, _) => {}
+            }
+        }
         s
+    }
+}
+
+// Hand-written (rather than derived) serde: the measured-counter fields
+// are omitted entirely when absent so records written before — or on
+// hosts without — hardware counters stay byte-identical, and absent
+// fields read back as `None` (the derive stand-in would hard-error on a
+// missing field).
+impl serde::Serialize for Attribution {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            (
+                "achieved_gflops".to_owned(),
+                self.achieved_gflops.to_value(),
+            ),
+            ("achieved_gbs".to_owned(), self.achieved_gbs.to_value()),
+            ("roofline_pct".to_owned(), self.roofline_pct.to_value()),
+            ("bound".to_owned(), self.bound.to_value()),
+            ("pool_imbalance".to_owned(), self.pool_imbalance.to_value()),
+            ("pool_idle_pct".to_owned(), self.pool_idle_pct.to_value()),
+            (
+                "pool_steal_ratio".to_owned(),
+                self.pool_steal_ratio.to_value(),
+            ),
+        ];
+        if let Some(v) = self.measured_ipc {
+            pairs.push(("measured_ipc".to_owned(), v.to_value()));
+        }
+        if let Some(v) = self.measured_llc_miss_rate {
+            pairs.push(("measured_llc_miss_rate".to_owned(), v.to_value()));
+        }
+        if let Some(v) = self.measured_dram_gbs {
+            pairs.push(("measured_dram_gbs".to_owned(), v.to_value()));
+        }
+        if let Some(v) = &self.measured_bound {
+            pairs.push(("measured_bound".to_owned(), v.to_value()));
+        }
+        if let Some(v) = self.agreement {
+            pairs.push(("agreement".to_owned(), v.to_value()));
+        }
+        serde::Value::Object(pairs)
+    }
+}
+
+impl serde::Deserialize for Attribution {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        fn opt<T: serde::Deserialize>(
+            v: &serde::Value,
+            name: &str,
+        ) -> Result<Option<T>, serde::DeError> {
+            match v.field(name) {
+                Ok(val) => Ok(Some(T::from_value(val)?)),
+                Err(_) => Ok(None),
+            }
+        }
+        Ok(Self {
+            achieved_gflops: f64::from_value(v.field("achieved_gflops")?)?,
+            achieved_gbs: f64::from_value(v.field("achieved_gbs")?)?,
+            roofline_pct: f64::from_value(v.field("roofline_pct")?)?,
+            bound: String::from_value(v.field("bound")?)?,
+            pool_imbalance: f64::from_value(v.field("pool_imbalance")?)?,
+            pool_idle_pct: f64::from_value(v.field("pool_idle_pct")?)?,
+            pool_steal_ratio: f64::from_value(v.field("pool_steal_ratio")?)?,
+            measured_ipc: opt(v, "measured_ipc")?,
+            measured_llc_miss_rate: opt(v, "measured_llc_miss_rate")?,
+            measured_dram_gbs: opt(v, "measured_dram_gbs")?,
+            measured_bound: opt(v, "measured_bound")?,
+            agreement: opt(v, "agreement")?,
+        })
     }
 }
 
@@ -243,5 +409,109 @@ mod tests {
         let json = serde_json::to_string(&a).unwrap();
         let back: Attribution = serde_json::from_str(&json).unwrap();
         assert_eq!(a, back);
+    }
+
+    #[test]
+    fn measured_bandwidth_bound_agrees_with_model() {
+        let m = machines::westmere(); // peak 158.4 GFLOP/s, 30 GB/s
+        let bytes = 24e9;
+        let flops = bytes * 0.25; // modeled: bandwidth-bound
+        let a = Attribution::new(flops, bytes, 1.0, &m).with_counters(
+            &m,
+            Some(0.9),
+            Some(0.35),
+            Some(22.0), // hardware saw 22 of 30 GB/s: bandwidth roof
+        );
+        assert_eq!(a.measured_bound.as_deref(), Some(BOUND_BANDWIDTH));
+        assert_eq!(a.agreement, Some(true));
+        let s = a.summary();
+        assert!(s.contains("ipc 0.90"), "{s}");
+        assert!(s.contains("llc-miss 35%"), "{s}");
+        assert!(s.contains("dram 22.0 GB/s"), "{s}");
+        assert!(s.contains("model agrees"), "{s}");
+    }
+
+    #[test]
+    fn measured_disagreement_is_flagged_not_hidden() {
+        let m = machines::westmere();
+        // Modeled compute-bound (high intensity, half the compute roof)...
+        let flops = 1e9 * 79.2;
+        let bytes = flops / 20.0;
+        // ...but the hardware saw heavy DRAM traffic: 28 of 30 GB/s beats
+        // the 50% compute utilization, so the measured bound is bandwidth.
+        let a =
+            Attribution::new(flops, bytes, 1.0, &m).with_counters(&m, Some(1.1), None, Some(28.0));
+        assert_eq!(a.bound, BOUND_COMPUTE);
+        assert_eq!(a.measured_bound.as_deref(), Some(BOUND_BANDWIDTH));
+        assert_eq!(a.agreement, Some(false));
+        let s = a.summary();
+        assert!(s.contains("-> bandwidth (model says compute)"), "{s}");
+    }
+
+    #[test]
+    fn measured_far_from_both_roofs_is_poorly_utilized() {
+        let m = machines::westmere();
+        let a =
+            Attribution::new(1e9, 1e9, 1.0, &m).with_counters(&m, Some(0.3), Some(0.6), Some(1.0));
+        assert_eq!(a.measured_bound.as_deref(), Some(BOUND_POORLY_UTILIZED));
+        assert_eq!(a.agreement, Some(true));
+    }
+
+    #[test]
+    fn partial_counters_attach_without_a_measured_bound() {
+        // A counter group that admitted cycles+instructions but lost the
+        // LLC events still reports IPC; no traffic estimate means no
+        // measured bound and no agreement verdict.
+        let m = machines::westmere();
+        let a =
+            Attribution::new(24e9 * 0.25, 24e9, 1.0, &m).with_counters(&m, Some(1.7), None, None);
+        assert!(a.has_counter_data());
+        assert_eq!(a.measured_bound, None);
+        assert_eq!(a.agreement, None);
+        let s = a.summary();
+        assert!(s.contains("measured ipc 1.70"), "{s}");
+        assert!(!s.contains("->"), "{s}");
+        // Non-finite or negative derived values are dropped, not stored.
+        let junk = Attribution::new(1e9, 1e9, 1.0, &m).with_counters(
+            &m,
+            Some(f64::NAN),
+            Some(1.4),
+            Some(-3.0),
+        );
+        assert_eq!(junk.measured_ipc, None);
+        assert_eq!(junk.measured_llc_miss_rate, Some(1.0), "clamped to [0,1]");
+        assert_eq!(junk.measured_dram_gbs, None);
+    }
+
+    #[test]
+    fn counter_fields_roundtrip_and_stay_off_the_wire_when_absent() {
+        let m = machines::westmere();
+        let plain = Attribution::new(5e9, 2e10, 0.5, &m);
+        let plain_json = serde_json::to_string(&plain).unwrap();
+        assert!(!plain_json.contains("measured_"), "{plain_json}");
+        assert!(!plain_json.contains("agreement"), "{plain_json}");
+
+        let counted = plain
+            .clone()
+            .with_counters(&m, Some(1.4), Some(0.12), Some(25.0));
+        let json = serde_json::to_string(&counted).unwrap();
+        let back: Attribution = serde_json::from_str(&json).unwrap();
+        assert_eq!(counted, back);
+        assert!(json.contains("\"agreement\""), "{json}");
+    }
+
+    #[test]
+    fn legacy_json_without_counter_fields_still_parses() {
+        // Byte-for-byte the shape every record written before the counter
+        // layer carried: all seven roofline/pool fields, nothing more.
+        let legacy = r#"{"achieved_gflops":10.0,"achieved_gbs":20.0,
+            "roofline_pct":66.7,"bound":"bandwidth","pool_imbalance":1.3,
+            "pool_idle_pct":12.0,"pool_steal_ratio":0.05}"#;
+        let a: Attribution = serde_json::from_str(legacy).unwrap();
+        assert_eq!(a.bound, "bandwidth");
+        assert_eq!(a.measured_ipc, None);
+        assert_eq!(a.measured_bound, None);
+        assert_eq!(a.agreement, None);
+        assert!(!a.has_counter_data());
     }
 }

@@ -225,6 +225,49 @@ struct Lane {
     steals: AtomicU64,
     /// Nanoseconds this lane spent parked on the idle condvar.
     parked_ns: AtomicU64,
+    /// Hardware-counter totals over jobs by work source: `[0]` = popped
+    /// from this lane's own deque, `[1]` = stolen from another worker.
+    /// Written only while `ninja_probe::counters_enabled()` and a counter
+    /// group is open on the executing thread; injector-sourced jobs are
+    /// counted by neither bucket (they carry no locality story).
+    windows: [LaneWindow; 2],
+}
+
+/// Relaxed-atomic accumulator for one work source's counter deltas.
+#[derive(Default)]
+struct LaneWindow {
+    cycles: AtomicU64,
+    instructions: AtomicU64,
+    llc_refs: AtomicU64,
+    llc_misses: AtomicU64,
+}
+
+impl LaneWindow {
+    /// Folds one job's counter delta in. Saturation is not needed here:
+    /// the deltas are small per-job windows and a snapshot reader only
+    /// ever diffs monotonic totals.
+    fn accumulate(&self, d: &ninja_probe::counters::CounterSample) {
+        // ORDERING: monotonic stats counters, same racy-snapshot contract
+        // as the rest of the lane's instrumentation.
+        self.cycles.fetch_add(d.cycles, Ordering::Relaxed);
+        self.instructions
+            .fetch_add(d.instructions, Ordering::Relaxed);
+        self.llc_refs.fetch_add(d.llc_refs, Ordering::Relaxed);
+        self.llc_misses.fetch_add(d.llc_misses, Ordering::Relaxed);
+    }
+
+    /// Renders the totals as a snapshot sample (event counts only; the
+    /// time fields stay zero by design — see `WorkerStats::local_window`).
+    fn snapshot(&self) -> ninja_probe::counters::CounterSample {
+        ninja_probe::counters::CounterSample {
+            // ORDERING: racy snapshot by design, as in `ThreadPool::metrics`.
+            cycles: self.cycles.load(Ordering::Relaxed),
+            instructions: self.instructions.load(Ordering::Relaxed),
+            llc_refs: self.llc_refs.load(Ordering::Relaxed),
+            llc_misses: self.llc_misses.load(Ordering::Relaxed),
+            ..Default::default()
+        }
+    }
 }
 
 /// All instrumentation state for one pool. Counters are only written while
@@ -277,6 +320,16 @@ thread_local! {
     /// set their index at startup; every other thread (in particular the
     /// caller driving `parallel_for`) reports on lane 0.
     static LANE: Cell<usize> = const { Cell::new(0) };
+
+    /// This thread's `perf_event_open` counter group, opened lazily on the
+    /// first counted job and reused for the thread's lifetime (fds close
+    /// when the thread exits). The `RefCell` doubles as the re-entrancy
+    /// guard: a job that nests pool work (`join` claim-back) finds the
+    /// cell already borrowed by the enclosing window and executes
+    /// unwindowed, so nested work is counted exactly once — by the
+    /// outermost window.
+    static THREAD_COUNTERS: std::cell::RefCell<Option<ninja_probe::counters::ThreadCounters>> =
+        const { std::cell::RefCell::new(None) };
 
     /// Set for pool worker threads only: the worker's pool + own deque,
     /// consulted by `Shared::push` for local routing.
@@ -425,10 +478,12 @@ impl Shared {
     }
 
     /// Executes `job`, accounting it to `lane` with its `source` and (for
-    /// timed jobs) its runtime. The metrics-off path is one relaxed load.
+    /// timed jobs) its runtime, plus — when hardware-counter windows are
+    /// requested — the job's counter delta in the lane's per-source
+    /// bucket. The all-flags-off path is two relaxed loads.
     fn execute_counted(&self, lane: usize, job: JobRef, source: WorkSource) {
-        if ninja_probe::metrics_enabled() {
-            let l = &self.counters.lanes[lane];
+        let l = &self.counters.lanes[lane];
+        let t0 = if ninja_probe::metrics_enabled() {
             // ORDERING: monotonic stats counters; snapshots tolerate skew
             // and no control flow depends on them.
             l.tasks.fetch_add(1, Ordering::Relaxed);
@@ -439,19 +494,54 @@ impl Shared {
                 WorkSource::Injector => l.injector_pops.fetch_add(1, Ordering::Relaxed),
                 WorkSource::Stolen => l.steals.fetch_add(1, Ordering::Relaxed),
             };
-            if job.timed {
-                let t0 = Instant::now();
+            job.timed.then(Instant::now)
+        } else {
+            None
+        };
+        if ninja_probe::counters_enabled() {
+            Self::execute_windowed(l, job, source);
+        } else {
+            // SAFETY: per the JobRef protocol the job outlives its queue
+            // entry.
+            unsafe { job.execute() };
+        }
+        if let Some(t0) = t0 {
+            // ORDERING: per-lane stats counter, as above. With counter
+            // windows on, busy time includes the window's ioctls — the
+            // per-job cost of asking the PMU.
+            l.busy_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Executes `job` inside this thread's counter window, folding the
+    /// delta into `lane`'s bucket for `source`.
+    fn execute_windowed(lane: &Lane, job: JobRef, source: WorkSource) {
+        THREAD_COUNTERS.with(|tc| match tc.try_borrow_mut() {
+            Ok(mut slot) => {
+                let counters = slot.get_or_insert_with(ninja_probe::counters::ThreadCounters::open);
                 // SAFETY: per the JobRef protocol the job outlives its
                 // queue entry.
-                unsafe { job.execute() };
-                // ORDERING: per-lane stats counter, as above.
-                l.busy_ns
-                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                return;
+                let ((), delta) = counters.window(|| unsafe { job.execute() });
+                if let Some(d) = delta {
+                    match source {
+                        WorkSource::Local => lane.windows[0].accumulate(&d),
+                        WorkSource::Stolen => lane.windows[1].accumulate(&d),
+                        WorkSource::Injector => {}
+                    }
+                    if ninja_probe::tracing_enabled() {
+                        if let Some(ipc) = d.ipc() {
+                            ninja_probe::counter("worker ipc", &[("ipc", ipc)]);
+                        }
+                    }
+                }
             }
-        }
-        // SAFETY: per the JobRef protocol the job outlives its queue entry.
-        unsafe { job.execute() };
+            // The cell is borrowed by an enclosing window on this thread
+            // (a job that nested pool work): execute plain, the outer
+            // window already counts this work.
+            // SAFETY: as above — the job outlives its queue entry.
+            Err(_) => unsafe { job.execute() },
+        });
     }
 
     /// Scans for one job: own deque (LIFO), then the injector, then a
@@ -830,12 +920,16 @@ impl ThreadPool {
                 // no work; recording its sliver of loop overhead as busy
                 // time would pollute the imbalance statistics.
                 if my_chunks > 0 {
+                    let elapsed_ns = t0.elapsed().as_nanos() as u64;
                     let lane = &counters.lanes[current_lane(counters.lanes.len())];
                     // ORDERING: per-lane stats counters; snapshot reads
                     // tolerate skew between lanes.
                     lane.chunks.fetch_add(my_chunks, Ordering::Relaxed);
-                    lane.busy_ns
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    lane.busy_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+                    // Per-participant busy counter track ("ph":"C"), one
+                    // point per region — Perfetto charts lane imbalance
+                    // over time from these.
+                    ninja_probe::counter("worker busy_ms", &[("busy_ms", elapsed_ns as f64 / 1e6)]);
                 }
             }
         };
@@ -965,6 +1059,8 @@ impl ThreadPool {
                 injector_pops: l.injector_pops.load(Ordering::Relaxed),
                 steals: l.steals.load(Ordering::Relaxed),
                 parked_ns: l.parked_ns.load(Ordering::Relaxed),
+                local_window: l.windows[0].snapshot(),
+                steal_window: l.windows[1].snapshot(),
             })
             .collect();
         ninja_probe::PoolMetrics {
@@ -1557,6 +1653,46 @@ mod tests {
             });
             // ORDERING: read after the region's join.
             assert_eq!(n.load(Ordering::Relaxed), 64, "round {round}");
+        }
+    }
+
+    #[test]
+    fn counter_windows_attach_per_source_and_never_break_scheduling() {
+        // Counter windows ride along on the deque execution path; whether
+        // the host grants a PMU or not, scheduling must be untouched and
+        // the per-source buckets must stay internally consistent.
+        ninja_probe::set_counters(true);
+        let pool = ThreadPool::with_threads(4);
+        fn sum_range(pool: &ThreadPool, lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 64 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = pool.join(|| sum_range(pool, lo, mid), || sum_range(pool, mid, hi));
+            a + b
+        }
+        assert_eq!(sum_range(&pool, 0, 50_000), (0..50_000u64).sum());
+        let m = pool.metrics();
+        ninja_probe::set_counters(false);
+        let available = ninja_probe::counters::availability().is_available();
+        for w in &m.workers {
+            if !available {
+                // Degradation contract: no fabricated counts.
+                assert!(!w.local_window.any_counted(), "{w:?}");
+                assert!(!w.steal_window.any_counted(), "{w:?}");
+            }
+            // Whatever was counted, derived ratios stay in range.
+            if let Some(rate) = w.steal_window.llc_miss_rate() {
+                assert!((0.0..=1.0).contains(&rate));
+            }
+        }
+        if available {
+            let counted: u64 = m
+                .workers
+                .iter()
+                .map(|w| w.local_window.cycles + w.steal_window.cycles)
+                .sum();
+            assert!(counted > 0, "a PMU-capable host should have counted jobs");
         }
     }
 

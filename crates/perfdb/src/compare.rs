@@ -21,7 +21,7 @@
 //! record ids and the cell name — never from the wall clock.
 
 use crate::schema::{
-    fnv1a64, fnv1a64_continue, CellAttribution, RunRecord, Sample, VecProfileRecord,
+    fnv1a64, fnv1a64_continue, CellAttribution, CellCounters, RunRecord, Sample, VecProfileRecord,
 };
 use serde::{DeError, Deserialize, Serialize, Value};
 
@@ -341,6 +341,57 @@ fn explain_shift(base: Option<&CellAttribution>, cand: Option<&CellAttribution>)
     }
 }
 
+/// Builds the hardware-counter side of the "why did this cell shift"
+/// hint, when both records measured this cell with counters on. The
+/// modeled clauses above say *where the cell sits* on the roofline; the
+/// counter clauses say *what the core was doing* — an IPC collapse with
+/// a flat instruction mix is stalls, a rising LLC miss rate is a working
+/// set falling out of cache. Thresholds (≥0.15 IPC, ≥3-point miss rate,
+/// ≥25 % relative DRAM traffic) keep multiplexing jitter quiet.
+fn explain_counter_shift(
+    base: Option<&CellCounters>,
+    cand: Option<&CellCounters>,
+) -> Option<String> {
+    let (b, c) = (base?, cand?);
+    let mut clauses = Vec::new();
+    if let (Some(bi), Some(ci)) = (b.ipc, c.ipc) {
+        if (ci - bi).abs() >= 0.15 {
+            clauses.push(format!(
+                "IPC {} {bi:.2}→{ci:.2}",
+                if ci < bi { "fell" } else { "rose" }
+            ));
+        }
+    }
+    if let (Some(bm), Some(cm)) = (b.llc_miss_rate, c.llc_miss_rate) {
+        if (cm - bm).abs() >= 0.03 {
+            clauses.push(format!(
+                "LLC miss rate {} {:.0}%→{:.0}%",
+                if cm < bm { "fell" } else { "rose" },
+                bm * 100.0,
+                cm * 100.0
+            ));
+        }
+    }
+    if let (Some(bd), Some(cd)) = (b.dram_gbs, c.dram_gbs) {
+        if bd > 0.0 && ((cd - bd) / bd).abs() >= 0.25 {
+            clauses.push(format!(
+                "DRAM traffic {} {bd:.1}→{cd:.1} GB/s",
+                if cd < bd { "fell" } else { "rose" }
+            ));
+        }
+    }
+    if let (Some(bb), Some(cb)) = (&b.measured_bound, &c.measured_bound) {
+        if bb != cb {
+            clauses.push(format!("measured bound flipped {bb}→{cb}"));
+        }
+    }
+    if clauses.is_empty() {
+        None
+    } else {
+        Some(clauses.join("; "))
+    }
+}
+
 /// Builds the codegen side of the "why did this cell shift" hint from
 /// the two runs' vectorization profiles, when both recorded evidence for
 /// this cell. Fires on a vector-width change or FMA appearing or
@@ -513,6 +564,10 @@ pub fn compare_records(
             let clauses: Vec<String> =
                 explain_shift(b.attribution.as_ref(), c.attribution.as_ref())
                     .into_iter()
+                    .chain(explain_counter_shift(
+                        b.counters.as_ref(),
+                        c.counters.as_ref(),
+                    ))
                     .chain(explain_vec_shift(
                         baseline.vec_profile(&c.kernel, &c.variant),
                         candidate.vec_profile(&c.kernel, &c.variant),
@@ -567,8 +622,10 @@ pub fn min_of_k_baseline(window: &[RunRecord]) -> Option<RunRecord> {
                     let o = other.sample.expect("ok cells have samples");
                     if o.median_s < cell.sample.expect("ok cells have samples").median_s {
                         cell.sample = Some(o);
-                        // Attribution travels with the sample it describes.
+                        // Attribution and counters travel with the sample
+                        // they describe.
                         cell.attribution = other.attribution.clone();
+                        cell.counters = other.counters.clone();
                     }
                 }
             }
@@ -614,6 +671,7 @@ mod tests {
                     outcome: if s.is_some() { "ok" } else { "panicked" }.into(),
                     sample: s,
                     attribution: None,
+                    counters: None,
                 })
                 .collect(),
             vec_profiles: Vec::new(),
@@ -844,6 +902,83 @@ mod tests {
             "{:?}",
             r.cells[0].explain
         );
+    }
+
+    fn counters(ipc: f64, miss_rate: f64, dram: f64, bound: &str) -> CellCounters {
+        CellCounters {
+            ipc: Some(ipc),
+            llc_miss_rate: Some(miss_rate),
+            dram_gbs: Some(dram),
+            measured_bound: Some(bound.into()),
+            agreement: Some(true),
+        }
+    }
+
+    #[test]
+    fn regressions_explain_counter_shifts() {
+        let mut base = record("base", vec![("k", "ninja", Some(sample(1.0, 0.05)))]);
+        base.cells[0].counters = Some(counters(2.1, 0.04, 8.0, "compute"));
+        let mut slow = record("slow", vec![("k", "ninja", Some(sample(2.1, 0.05)))]);
+        slow.cells[0].counters = Some(counters(1.4, 0.12, 24.0, "bandwidth"));
+
+        let r = compare_records(&base, &slow, &CompareConfig::default());
+        assert_eq!(r.cells[0].verdict, Verdict::Regressed);
+        let why = r.cells[0].explain.as_deref().expect("explained");
+        assert!(why.contains("IPC fell 2.10→1.40"), "{why}");
+        assert!(why.contains("LLC miss rate rose 4%→12%"), "{why}");
+        assert!(why.contains("DRAM traffic rose 8.0→24.0 GB/s"), "{why}");
+        assert!(
+            why.contains("measured bound flipped compute→bandwidth"),
+            "{why}"
+        );
+
+        // Sub-threshold counter jitter on a real regression stays quiet.
+        let mut calm = record("calm", vec![("k", "ninja", Some(sample(2.1, 0.05)))]);
+        calm.cells[0].counters = Some(counters(2.05, 0.05, 8.5, "compute"));
+        let r = compare_records(&base, &calm, &CompareConfig::default());
+        assert_eq!(r.cells[0].verdict, Verdict::Regressed);
+        assert!(r.cells[0].explain.is_none(), "{:?}", r.cells[0].explain);
+
+        // One counterless side (e.g. the baseline predates counters, or
+        // ran without PMU access): no counter clause, no panic.
+        let r = compare_records(
+            &record("bare", vec![("k", "ninja", Some(sample(1.0, 0.05)))]),
+            &slow,
+            &CompareConfig::default(),
+        );
+        assert_eq!(r.cells[0].verdict, Verdict::Regressed);
+        assert!(r.cells[0].explain.is_none());
+    }
+
+    #[test]
+    fn counter_clauses_chain_after_modeled_attribution() {
+        let mut base = record("base", vec![("k", "ninja", Some(sample(1.0, 0.05)))]);
+        base.cells[0].attribution = Some(attribution("compute", 40.0, 0.0, 0.0));
+        base.cells[0].counters = Some(counters(2.1, 0.04, 8.0, "compute"));
+        let mut slow = record("slow", vec![("k", "ninja", Some(sample(2.1, 0.05)))]);
+        slow.cells[0].attribution = Some(attribution("bandwidth", 20.0, 0.0, 0.0));
+        slow.cells[0].counters = Some(counters(1.4, 0.12, 24.0, "bandwidth"));
+
+        let r = compare_records(&base, &slow, &CompareConfig::default());
+        let why = r.cells[0].explain.as_deref().expect("explained");
+        let modeled = why.find("bound flipped compute→bandwidth").unwrap();
+        let measured = why.find("IPC fell").unwrap();
+        assert!(modeled < measured, "modeled clause leads: {why}");
+        let text = r.render_text();
+        assert!(text.contains("IPC fell"), "{text}");
+    }
+
+    #[test]
+    fn min_of_k_carries_counters_with_the_chosen_sample() {
+        let mut r1 = record("r1", vec![("k", "ninja", Some(sample(1.0, 0.05)))]);
+        r1.cells[0].counters = Some(counters(2.2, 0.03, 7.0, "compute"));
+        let mut r2 = record("r2", vec![("k", "ninja", Some(sample(1.5, 0.05)))]);
+        r2.cells[0].counters = Some(counters(1.1, 0.30, 25.0, "bandwidth"));
+        let merged = min_of_k_baseline(&[r1, r2]).unwrap();
+        // r1's faster sample won, so r1's counters must describe it.
+        let c = merged.cells[0].counters.as_ref().unwrap();
+        assert_eq!(c.ipc, Some(2.2));
+        assert_eq!(c.measured_bound.as_deref(), Some("compute"));
     }
 
     fn profile(kernel: &str, rung: &str, width: u32, fma: bool) -> VecProfileRecord {

@@ -164,6 +164,101 @@ impl CellAttribution {
     }
 }
 
+/// Hardware-counter metrics measured for one cell — a mirror of the
+/// measured subset of `ninja_model::Attribution`, recorded only for runs
+/// where `perf_event_open` was available. Every field is optional: a
+/// partially-admitted counter group reports what it saw.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellCounters {
+    /// Measured instructions per cycle over the timed reps.
+    pub ipc: Option<f64>,
+    /// Measured LLC miss rate in `[0, 1]`.
+    pub llc_miss_rate: Option<f64>,
+    /// DRAM traffic estimated from LLC miss traffic, GB/s.
+    pub dram_gbs: Option<f64>,
+    /// Bound classification the hardware measured (`compute` /
+    /// `bandwidth` / `poorly-utilized`).
+    pub measured_bound: Option<String>,
+    /// Whether the measured bound agreed with the modeled one.
+    pub agreement: Option<bool>,
+}
+
+// Hand-written (not derived): each field is omitted when `None` on write
+// and defaulted on read, so the struct itself follows the same tolerant
+// wire contract as the `counters` key that carries it.
+impl Serialize for CellCounters {
+    fn to_value(&self) -> Value {
+        let mut pairs = Vec::new();
+        if let Some(v) = self.ipc {
+            pairs.push(("ipc".to_owned(), v.to_value()));
+        }
+        if let Some(v) = self.llc_miss_rate {
+            pairs.push(("llc_miss_rate".to_owned(), v.to_value()));
+        }
+        if let Some(v) = self.dram_gbs {
+            pairs.push(("dram_gbs".to_owned(), v.to_value()));
+        }
+        if let Some(v) = &self.measured_bound {
+            pairs.push(("measured_bound".to_owned(), v.to_value()));
+        }
+        if let Some(v) = self.agreement {
+            pairs.push(("agreement".to_owned(), v.to_value()));
+        }
+        Value::Object(pairs)
+    }
+}
+
+impl Deserialize for CellCounters {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        fn opt<T: Deserialize>(v: &Value, name: &str) -> Result<Option<T>, DeError> {
+            match v.field(name) {
+                Ok(val) => Ok(Some(T::from_value(val)?)),
+                Err(_) => Ok(None),
+            }
+        }
+        Ok(Self {
+            ipc: opt(v, "ipc")?,
+            llc_miss_rate: opt(v, "llc_miss_rate")?,
+            dram_gbs: opt(v, "dram_gbs")?,
+            measured_bound: opt(v, "measured_bound")?,
+            agreement: opt(v, "agreement")?,
+        })
+    }
+}
+
+impl CellCounters {
+    /// Extracts the measured-counter subset from a serialized
+    /// `Attribution` value (the suite report inlines the measured fields
+    /// in the attribution object). `None` when the run carried no
+    /// counter data for the cell.
+    fn from_attribution_value(v: &Value) -> Option<Self> {
+        let f64_field = |name: &str| v.field(name).ok().and_then(|x| f64::from_value(x).ok());
+        let counters = Self {
+            ipc: f64_field("measured_ipc"),
+            llc_miss_rate: f64_field("measured_llc_miss_rate"),
+            dram_gbs: f64_field("measured_dram_gbs"),
+            measured_bound: v
+                .field("measured_bound")
+                .ok()
+                .and_then(|x| String::from_value(x).ok()),
+            agreement: v
+                .field("agreement")
+                .ok()
+                .and_then(|x| bool::from_value(x).ok()),
+        };
+        counters.any_present().then_some(counters)
+    }
+
+    /// Whether any measured field is populated.
+    pub fn any_present(&self) -> bool {
+        self.ipc.is_some()
+            || self.llc_miss_rate.is_some()
+            || self.dram_gbs.is_some()
+            || self.measured_bound.is_some()
+            || self.agreement.is_some()
+    }
+}
+
 /// One recorded (kernel, variant) cell.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CellRecord {
@@ -178,12 +273,17 @@ pub struct CellRecord {
     /// Roofline attribution; `None` for failed cells and for records
     /// written before the field existed.
     pub attribution: Option<CellAttribution>,
+    /// Hardware-counter metrics; `None` for failed cells, for runs
+    /// measured without (or denied) `perf_event_open`, and for records
+    /// written before the field existed.
+    pub counters: Option<CellCounters>,
 }
 
-// Hand-written (not derived) so records written before `attribution`
-// existed — including the checked-in CLI fixtures — keep their exact
-// bytes: the field is omitted when `None` on write and defaulted on
-// read. `sample` stays `null` for failed cells, as it always was.
+// Hand-written (not derived) so records written before `attribution` or
+// `counters` existed — including the checked-in CLI fixtures — keep
+// their exact bytes: both fields are omitted when `None` on write and
+// defaulted on read. `sample` stays `null` for failed cells, as it
+// always was.
 impl Serialize for CellRecord {
     fn to_value(&self) -> Value {
         let mut pairs = vec![
@@ -194,6 +294,9 @@ impl Serialize for CellRecord {
         ];
         if let Some(a) = &self.attribution {
             pairs.push(("attribution".to_owned(), a.to_value()));
+        }
+        if let Some(c) = &self.counters {
+            pairs.push(("counters".to_owned(), c.to_value()));
         }
         Value::Object(pairs)
     }
@@ -207,6 +310,10 @@ impl Deserialize for CellRecord {
             outcome: String::from_value(v.field("outcome")?)?,
             sample: Option::from_value(v.field("sample")?)?,
             attribution: match v.field("attribution") {
+                Ok(val) => Option::from_value(val)?,
+                Err(_) => None,
+            },
+            counters: match v.field("counters") {
                 Ok(val) => Option::from_value(val)?,
                 Err(_) => None,
             },
@@ -474,20 +581,28 @@ struct VariantWire {
     timing: Option<Sample>,
     outcome: OutcomeWire,
     attribution: Option<CellAttribution>,
+    /// The measured-counter subset, split out of the same attribution
+    /// object (the suite report inlines `measured_*` fields there).
+    counters: Option<CellCounters>,
 }
 
 // Hand-written so suite reports written before `attribution` existed
 // still ingest (the derive stand-in errors on any missing field).
 impl Deserialize for VariantWire {
     fn from_value(v: &Value) -> Result<Self, DeError> {
+        let (attribution, counters) = match v.field("attribution") {
+            Ok(val) => (
+                Option::from_value(val)?,
+                CellCounters::from_attribution_value(val),
+            ),
+            Err(_) => (None, None),
+        };
         Ok(Self {
             variant: String::from_value(v.field("variant")?)?,
             timing: Option::from_value(v.field("timing")?)?,
             outcome: OutcomeWire::from_value(v.field("outcome")?)?,
-            attribution: match v.field("attribution") {
-                Ok(val) => Option::from_value(val)?,
-                Err(_) => None,
-            },
+            attribution,
+            counters,
         })
     }
 }
@@ -554,6 +669,7 @@ impl RunRecord {
                     outcome: v.outcome.kind.clone(),
                     sample: if ok { v.timing } else { None },
                     attribution: if ok { v.attribution.clone() } else { None },
+                    counters: if ok { v.counters.clone() } else { None },
                 });
             }
         }
@@ -806,6 +922,7 @@ mod tests {
                     outcome: "ok".into(),
                     sample: Some(sample(8.0, 0.05)),
                     attribution: None,
+                    counters: None,
                 },
                 CellRecord {
                     kernel: "k".into(),
@@ -813,6 +930,7 @@ mod tests {
                     outcome: "ok".into(),
                     sample: Some(sample(1.3, 0.05)),
                     attribution: None,
+                    counters: None,
                 },
                 CellRecord {
                     kernel: "k".into(),
@@ -820,6 +938,7 @@ mod tests {
                     outcome: "ok".into(),
                     sample: Some(sample(1.0, 0.05)),
                     attribution: None,
+                    counters: None,
                 },
             ],
             vec_profiles: Vec::new(),
@@ -837,6 +956,7 @@ mod tests {
             outcome: "ok".into(),
             sample: Some(sample(1.0, 0.05)),
             attribution: None,
+            counters: None,
         };
         let json = serde_json::to_string(&bare).unwrap();
         assert!(
@@ -863,6 +983,83 @@ mod tests {
         let back: CellRecord =
             serde_json::from_str(&serde_json::to_string(&attributed).unwrap()).unwrap();
         assert_eq!(attributed, back);
+    }
+
+    #[test]
+    fn counters_are_omitted_when_absent_and_roundtrip_when_present() {
+        let bare = CellRecord {
+            kernel: "k".into(),
+            variant: "ninja".into(),
+            outcome: "ok".into(),
+            sample: Some(sample(1.0, 0.05)),
+            attribution: None,
+            counters: None,
+        };
+        let json = serde_json::to_string(&bare).unwrap();
+        assert!(
+            !json.contains("counters"),
+            "absent counters must stay off the wire: {json}"
+        );
+        // A pre-`counters` cell (exactly what old stores contain) parses
+        // with the field defaulted.
+        let legacy = r#"{"kernel":"k","variant":"ninja","outcome":"ok","sample":null}"#;
+        let cell: CellRecord = serde_json::from_str(legacy).unwrap();
+        assert!(cell.counters.is_none());
+        // A populated cell round-trips, including partial counter groups.
+        let counted = CellRecord {
+            counters: Some(CellCounters {
+                ipc: Some(1.42),
+                llc_miss_rate: Some(0.12),
+                dram_gbs: Some(21.5),
+                measured_bound: Some("bandwidth".into()),
+                agreement: Some(true),
+            }),
+            ..bare.clone()
+        };
+        let line = serde_json::to_string(&counted).unwrap();
+        let back: CellRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(counted, back);
+        let partial = CellRecord {
+            counters: Some(CellCounters {
+                ipc: Some(0.8),
+                llc_miss_rate: None,
+                dram_gbs: None,
+                measured_bound: None,
+                agreement: None,
+            }),
+            ..bare
+        };
+        let line = serde_json::to_string(&partial).unwrap();
+        assert!(!line.contains("llc_miss_rate"), "{line}");
+        let back: CellRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(partial, back);
+    }
+
+    #[test]
+    fn suite_ingestion_splits_measured_fields_into_cell_counters() {
+        // A suite report whose attribution carries the measured-counter
+        // fields: the record keeps the modeled attribution and splits the
+        // measured subset into `counters`.
+        let json = suite_json().replacen(
+            r#""pool_imbalance": 1.1, "pool_idle_pct": 12.0"#,
+            r#""pool_imbalance": 1.1, "pool_idle_pct": 12.0,
+               "measured_ipc": 1.7, "measured_llc_miss_rate": 0.08,
+               "measured_dram_gbs": 24.5, "measured_bound": "bandwidth",
+               "agreement": false"#,
+            1,
+        );
+        let meta = RecordMeta::synthetic("r6", "scalar");
+        let rec = RunRecord::from_suite_json(&json, &meta).unwrap();
+        let naive = rec.cell("nbody", "naive").unwrap();
+        let c = naive.counters.as_ref().expect("counters ingested");
+        assert_eq!(c.ipc, Some(1.7));
+        assert_eq!(c.measured_bound.as_deref(), Some("bandwidth"));
+        assert_eq!(c.agreement, Some(false));
+        // The counter-free cell in the same report stays counter-free,
+        // and the whole record round-trips through JSONL.
+        assert!(rec.cell("nbody", "ninja").unwrap().counters.is_none());
+        let back = RunRecord::from_jsonl_line(&rec.to_jsonl_line()).unwrap();
+        assert_eq!(rec, back);
     }
 
     #[test]

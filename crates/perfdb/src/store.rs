@@ -418,6 +418,7 @@ mod tests {
                     runs: 3,
                 }),
                 attribution: None,
+                counters: None,
             }],
             vec_profiles: Vec::new(),
         }

@@ -33,10 +33,17 @@ pub struct TrendPoint {
     /// trajectory show *when* a rung's vectorization changed, not just
     /// when its timing did.
     pub ninja_vec_width_bits: Option<u32>,
+    /// Measured instructions-per-cycle of the ninja rung, from the run's
+    /// hardware counters; `None` when the run carried none (counters off,
+    /// PMU unavailable, or a pre-counter record). IPC drift localizes a
+    /// regression the timing column can only date: a slower run at flat
+    /// IPC grew work, a slower run at fallen IPC grew stalls.
+    pub ninja_ipc: Option<f64>,
 }
 
 // Deserialize is written by hand (Serialize stays derived) so history
-// artifacts written before `ninja_vec_width_bits` existed still parse.
+// artifacts written before `ninja_vec_width_bits` / `ninja_ipc` existed
+// still parse.
 impl serde::Deserialize for TrendPoint {
     fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
         Ok(Self {
@@ -47,6 +54,10 @@ impl serde::Deserialize for TrendPoint {
             gap: Option::from_value(v.field("gap")?)?,
             residual: Option::from_value(v.field("residual")?)?,
             ninja_vec_width_bits: match v.field("ninja_vec_width_bits") {
+                Ok(val) => Option::from_value(val)?,
+                Err(_) => None,
+            },
+            ninja_ipc: match v.field("ninja_ipc") {
                 Ok(val) => Option::from_value(val)?,
                 Err(_) => None,
             },
@@ -123,6 +134,10 @@ fn trend_point(rec: &RunRecord, kernel: &str) -> TrendPoint {
         gap: rec.measured_gap(kernel),
         residual: rec.measured_residual(kernel),
         ninja_vec_width_bits: rec.vec_profile(kernel, "ninja").map(|p| p.width_bits),
+        ninja_ipc: rec
+            .cell(kernel, "ninja")
+            .and_then(|c| c.counters.as_ref())
+            .and_then(|c| c.ipc),
     }
 }
 
@@ -139,13 +154,14 @@ pub fn kernel_trend(records: &[RunRecord], kernel: &str) -> Vec<TrendPoint> {
 /// Renders a kernel trajectory as an aligned text table.
 pub fn render_trend(kernel: &str, points: &[TrendPoint]) -> String {
     let mut out = format!(
-        "trend for {kernel} ({} run(s))\n{:<22} {:<13} {:>12} {:>8} {:>9}\n",
+        "trend for {kernel} ({} run(s))\n{:<22} {:<13} {:>12} {:>8} {:>9} {:>6}\n",
         points.len(),
         "run",
         "commit",
         "ninja s",
         "gap",
-        "residual"
+        "residual",
+        "ipc"
     );
     for p in points {
         let fmt_opt = |v: Option<f64>, precision: usize| match v {
@@ -157,12 +173,13 @@ pub fn render_trend(kernel: &str, points: &[TrendPoint]) -> String {
             None => "-".to_owned(),
         };
         out.push_str(&format!(
-            "{:<22} {:<13} {:>12} {:>8} {:>9}\n",
+            "{:<22} {:<13} {:>12} {:>8} {:>9} {:>6}\n",
             p.run_id,
             p.git_commit,
             ninja,
             fmt_opt(p.gap, 2),
-            fmt_opt(p.residual, 2)
+            fmt_opt(p.residual, 2),
+            fmt_opt(p.ninja_ipc, 2)
         ));
     }
     out
@@ -377,6 +394,7 @@ mod tests {
             outcome: if s.is_some() { "ok" } else { "panicked" }.into(),
             sample: s,
             attribution: None,
+            counters: None,
         };
         RunRecord {
             schema_version: SCHEMA_VERSION,
@@ -425,6 +443,31 @@ mod tests {
         assert_eq!(points[0].ninja_median_s, None);
         let text = render_trend("nbody", &points);
         assert!(text.contains('-'), "{text}");
+    }
+
+    #[test]
+    fn trend_charts_ipc_drift_and_tolerates_counterless_records() {
+        let mut newer = record("r1", 20, 8.0, 1.3, 0.9);
+        newer.cells[2].counters = Some(crate::schema::CellCounters {
+            ipc: Some(2.31),
+            llc_miss_rate: Some(0.04),
+            dram_gbs: None,
+            measured_bound: Some("compute".into()),
+            agreement: Some(true),
+        });
+        let records = vec![record("r0", 10, 8.0, 1.3, 1.0), newer];
+        let points = kernel_trend(&records, "nbody");
+        assert_eq!(points[0].ninja_ipc, None, "pre-counter record stays bare");
+        assert_eq!(points[1].ninja_ipc, Some(2.31));
+        let text = render_trend("nbody", &points);
+        assert!(text.contains("ipc"), "{text}");
+        assert!(text.contains("2.31"), "{text}");
+        // A history point written before `ninja_ipc` existed still parses.
+        let legacy = r#"{"run_id":"r0","timestamp_unix_s":10,"git_commit":"c",
+            "ninja_median_s":1.0,"gap":8.0,"residual":1.3}"#;
+        let p: TrendPoint = serde_json::from_str(legacy).unwrap();
+        assert_eq!(p.ninja_ipc, None);
+        assert_eq!(p.ninja_vec_width_bits, None);
     }
 
     #[test]

@@ -58,6 +58,7 @@ fn fixture_record(
                 outcome: "ok".to_owned(),
                 sample: Some(s),
                 attribution: None,
+                counters: None,
             });
         }
     }

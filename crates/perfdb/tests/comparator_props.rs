@@ -49,6 +49,7 @@ fn record(id: &str, cells: &[(String, String, Sample)]) -> RunRecord {
                 outcome: "ok".to_owned(),
                 sample: Some(*s),
                 attribution: None,
+                counters: None,
             })
             .collect(),
         vec_profiles: Vec::new(),

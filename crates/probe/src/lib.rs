@@ -15,6 +15,11 @@
 //!   counters into. The types live here (not in `ninja-parallel`) so that
 //!   `ninja-core` can attach them to measured cells without depending on
 //!   pool internals.
+//! * **Hardware counters** ([`counters`], re-exported from
+//!   `ninja-counters`, behind [`counters_enabled`]): per-thread
+//!   `perf_event_open` groups windowed around measured reps and pool
+//!   tasks, degrading to `CounterStatus::Unavailable(reason)` wherever
+//!   perf is not permitted.
 //!
 //! ## Overhead contract
 //!
@@ -27,16 +32,22 @@
 mod metrics;
 mod trace;
 
+/// Hardware performance-counter windows (`ninja-counters`), re-exported
+/// so the rest of the stack reaches them as `ninja_probe::counters::*`
+/// without a separate dependency edge.
+pub use ninja_counters as counters;
+
 pub use metrics::{PoolMetrics, WorkerStats};
 pub use trace::{
-    chrome_trace_json, clear_abandoned_threads, clear_events, instant, mark_thread_abandoned, span,
-    take_events, thread_id, validate_events, Phase, Span, TraceEvent,
+    chrome_trace_json, clear_abandoned_threads, clear_events, counter, instant,
+    mark_thread_abandoned, span, take_events, thread_id, validate_events, Phase, Span, TraceEvent,
 };
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
 static TRACING: AtomicBool = AtomicBool::new(false);
 static METRICS: AtomicBool = AtomicBool::new(false);
+static COUNTERS: AtomicBool = AtomicBool::new(false);
 
 /// Is the span tracer recording? Relaxed load; safe to call on hot paths.
 #[inline]
@@ -66,6 +77,22 @@ pub fn set_metrics(on: bool) {
     METRICS.store(on, Ordering::Relaxed);
 }
 
+/// Are hardware-counter windows requested? Relaxed load; safe on hot
+/// paths. The flag expresses *intent* — whether the host can actually
+/// open counters is a per-thread [`counters::CounterStatus`].
+#[inline]
+pub fn counters_enabled() -> bool {
+    // ORDERING: advisory on/off flag; a stale read merely opens or skips
+    // one counter window, and callers toggle it only at startup.
+    COUNTERS.load(Ordering::Relaxed)
+}
+
+/// Switch hardware-counter windows on or off at runtime.
+pub fn set_counters(on: bool) {
+    // ORDERING: advisory flag, see `counters_enabled`.
+    COUNTERS.store(on, Ordering::Relaxed);
+}
+
 /// Unit tests in this binary share the process-global flags and sink;
 /// the ones that touch them serialize on this lock.
 #[cfg(test)]
@@ -80,9 +107,13 @@ mod tests {
         let _guard = TEST_LOCK.lock().unwrap();
         set_tracing(true);
         set_metrics(true);
+        set_counters(true);
         assert!(tracing_enabled());
         assert!(metrics_enabled());
+        assert!(counters_enabled());
         set_tracing(false);
         set_metrics(false);
+        set_counters(false);
+        assert!(!counters_enabled());
     }
 }

@@ -6,6 +6,8 @@
 //! region (the harness measures one variant at a time) take a snapshot
 //! before and after and call [`PoolMetrics::delta`].
 
+use ninja_counters::CounterSample;
+
 /// Cumulative counters for one pool participant. Lane 0 is the thread
 /// that calls into the pool (the harness thread); lanes `1..=N` are the
 /// pool's worker threads.
@@ -27,6 +29,16 @@ pub struct WorkerStats {
     pub steals: u64,
     /// Nanoseconds this lane spent parked on the pool's idle condvar.
     pub parked_ns: u64,
+    /// Hardware-counter totals over jobs this lane popped from its own
+    /// deque (the LIFO cache-warm path). Only the event counts are
+    /// populated — the time fields stay zero, so per-source rates come
+    /// from ratios (IPC, miss rate), not bandwidth. All-zero when
+    /// hardware counters were off or unavailable.
+    pub local_window: CounterSample,
+    /// Hardware-counter totals over jobs this lane stole from another
+    /// worker's deque (the cache-cold path). Same population rules as
+    /// [`WorkerStats::local_window`].
+    pub steal_window: CounterSample,
 }
 
 /// A point-in-time aggregation of the pool's instrumentation counters.
@@ -50,9 +62,22 @@ pub struct PoolMetrics {
 }
 
 impl PoolMetrics {
-    /// Counter-wise `self - earlier`, for isolating one measured region
-    /// out of cumulative snapshots. Saturates rather than panicking if
-    /// the snapshots are swapped or from different pools.
+    /// Counter-wise `self - earlier`, for isolating one measured window
+    /// out of cumulative snapshots.
+    ///
+    /// **Counter-window semantics.** Every field is a *monotonic*
+    /// counter over one pool's lifetime: within a single pool, a later
+    /// snapshot is field-wise ≥ an earlier one, so the subtraction is
+    /// exact for any correctly-ordered bracket — including the hardware-
+    /// counter windows that bracket per-worker steal-path/local-pop
+    /// attribution around a measured variant. The counters only "reset"
+    /// by belonging to a *different* pool (a rebuilt `ThreadPool` starts
+    /// from zero); for that case, and for swapped operands, each field
+    /// saturates to zero (`saturating_sub`, never a wrapping subtraction
+    /// that would smuggle a near-`u64::MAX` garbage delta downstream).
+    /// A window delta therefore can never report a negative (wrapped)
+    /// value: the worst failure mode of a mismatched bracket is an
+    /// empty window.
     pub fn delta(&self, earlier: &PoolMetrics) -> PoolMetrics {
         let workers = self
             .workers
@@ -68,6 +93,8 @@ impl PoolMetrics {
                     injector_pops: w.injector_pops.saturating_sub(e.injector_pops),
                     steals: w.steals.saturating_sub(e.steals),
                     parked_ns: w.parked_ns.saturating_sub(e.parked_ns),
+                    local_window: w.local_window.saturating_sub(&e.local_window),
+                    steal_window: w.steal_window.saturating_sub(&e.steal_window),
                 }
             })
             .collect();
@@ -221,6 +248,70 @@ mod tests {
         // Swapped operands saturate instead of panicking.
         let swapped = before.delta(&after);
         assert_eq!(swapped.at_ns, 0);
+    }
+
+    #[test]
+    fn delta_across_a_pool_reset_saturates_to_empty_not_wraps() {
+        // A rebuilt pool restarts its monotonic counters from zero, so
+        // "after" can be field-wise below "before". The window contract:
+        // every such field saturates to an empty window — no wrapped
+        // near-u64::MAX delta may ever reach the per-worker counter
+        // attribution.
+        let mut before = metrics(&[1_000, 2_000], 5_000);
+        before.workers[0].tasks = 50;
+        before.workers[0].steals = 9;
+        before.steals = 9;
+        let mut after = metrics(&[10, 0], 100); // fresh pool, tiny window
+        after.workers[0].tasks = 1;
+        let d = after.delta(&before);
+        assert_eq!(d.workers[0].busy_ns, 0);
+        assert_eq!(d.workers[0].tasks, 0);
+        assert_eq!(d.workers[0].steals, 0);
+        assert_eq!(d.steals, 0);
+        assert_eq!(d.at_ns, 0);
+        // The derived window statistics stay in range on the empty window.
+        assert_eq!(d.steal_ratio(), 0.0);
+        assert_eq!(d.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn delta_windows_per_source_counters_with_the_same_saturation() {
+        let mut before = metrics(&[100, 100], 100);
+        before.workers[1].steal_window = CounterSample {
+            cycles: 1_000,
+            instructions: 800,
+            ..Default::default()
+        };
+        let mut after = metrics(&[200, 300], 300);
+        after.workers[1].steal_window = CounterSample {
+            cycles: 5_000,
+            instructions: 3_200,
+            ..Default::default()
+        };
+        after.workers[1].local_window = CounterSample {
+            cycles: 2_000,
+            instructions: 4_000,
+            ..Default::default()
+        };
+        let d = after.delta(&before);
+        assert_eq!(d.workers[1].steal_window.cycles, 4_000);
+        assert_eq!(d.workers[1].steal_window.instructions, 2_400);
+        assert_eq!(d.workers[1].local_window.instructions, 4_000);
+        // Pool-reset bracket: the counter windows saturate empty too.
+        let swapped = before.delta(&after);
+        assert!(!swapped.workers[1].steal_window.any_counted());
+    }
+
+    #[test]
+    fn delta_tolerates_worker_count_mismatch() {
+        // Snapshots from pools with different lane counts (another
+        // reset symptom): missing earlier lanes are treated as zero.
+        let before = metrics(&[100], 50);
+        let after = metrics(&[300, 40], 80);
+        let d = after.delta(&before);
+        assert_eq!(d.workers.len(), 2);
+        assert_eq!(d.workers[0].busy_ns, 200);
+        assert_eq!(d.workers[1].busy_ns, 40);
     }
 
     #[test]

@@ -27,6 +27,9 @@ pub enum Phase {
     End,
     /// `"i"` — instant event.
     Instant,
+    /// `"C"` — counter sample (Perfetto renders each `args` series as a
+    /// value track, so a trace can show *why* a span is slow).
+    Counter,
 }
 
 impl Phase {
@@ -35,6 +38,7 @@ impl Phase {
             Phase::Begin => "B",
             Phase::End => "E",
             Phase::Instant => "i",
+            Phase::Counter => "C",
         }
     }
 }
@@ -48,6 +52,10 @@ pub struct TraceEvent {
     pub ts_us: f64,
     /// Small per-thread lane id (dense, assigned on first use).
     pub tid: u32,
+    /// Named value series, exported as the Chrome `args` object. Only
+    /// [`Phase::Counter`] events carry any; empty elsewhere (and kept
+    /// off the JSON when empty).
+    pub args: Vec<(String, f64)>,
 }
 
 fn epoch() -> Instant {
@@ -120,6 +128,7 @@ pub fn span(name: &str) -> Span {
         ph: Phase::Begin,
         ts_us: now_us(),
         tid: thread_id(),
+        args: Vec::new(),
     });
     Span {
         name: Some(name.to_owned()),
@@ -134,6 +143,7 @@ impl Drop for Span {
                 ph: Phase::End,
                 ts_us: now_us(),
                 tid: thread_id(),
+                args: Vec::new(),
             });
         }
     }
@@ -150,6 +160,33 @@ pub fn instant(name: &str) {
         ph: Phase::Instant,
         ts_us: now_us(),
         tid: thread_id(),
+        args: Vec::new(),
+    });
+}
+
+/// Record a counter (`C`) sample: one event whose named series Perfetto
+/// draws as per-track value graphs under the thread's lane. No-op while
+/// tracing is disabled; non-finite values are dropped (Chrome JSON has
+/// no NaN).
+#[inline]
+pub fn counter(name: &str, series: &[(&str, f64)]) {
+    if !crate::tracing_enabled() {
+        return;
+    }
+    let args: Vec<(String, f64)> = series
+        .iter()
+        .filter(|(_, v)| v.is_finite())
+        .map(|&(k, v)| (k.to_owned(), v))
+        .collect();
+    if args.is_empty() {
+        return;
+    }
+    push(TraceEvent {
+        name: name.to_owned(),
+        ph: Phase::Counter,
+        ts_us: now_us(),
+        tid: thread_id(),
+        args,
     });
 }
 
@@ -215,6 +252,18 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         );
         if ev.ph == Phase::Instant {
             out.push_str(",\"s\":\"t\"");
+        }
+        if !ev.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (i, (key, value)) in ev.args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('"');
+                escape_json(key, &mut out);
+                let _ = write!(out, "\":{value}");
+            }
+            out.push('}');
         }
         out.push('}');
     }
@@ -290,7 +339,9 @@ pub fn validate_events(events: &[TraceEvent]) -> Result<(), String> {
                     ));
                 }
             },
-            Phase::Instant => {}
+            // Instants and counter samples are point events: nothing to
+            // pair, only the per-lane monotonicity above applies.
+            Phase::Instant | Phase::Counter => {}
         }
     }
     for (tid, stack) in &stacks {
@@ -331,6 +382,7 @@ mod tests {
             ph: Phase::Begin,
             ts_us: 1.0,
             tid: 0,
+            args: Vec::new(),
         }];
         assert!(validate_events(&evs).unwrap_err().contains("unclosed"));
     }
@@ -373,8 +425,41 @@ mod tests {
             ph,
             ts_us: ts,
             tid: 0,
+            args: Vec::new(),
         };
         let evs = vec![mk(Phase::Begin, 5.0), mk(Phase::End, 4.0)];
         assert!(validate_events(&evs).unwrap_err().contains("previous ts"));
+    }
+
+    #[test]
+    fn counter_events_carry_args_and_pass_validation() {
+        let _guard = crate::TEST_LOCK.lock().unwrap();
+        crate::set_tracing(true);
+        clear_events();
+        counter("worker counters", &[("busy_ns", 1234.0), ("ipc", 1.85)]);
+        counter("dropped", &[("nan", f64::NAN)]); // non-finite: no event
+        counter("empty", &[]); // no series: no event
+        let events = take_events();
+        crate::set_tracing(false);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ph, Phase::Counter);
+        assert_eq!(events[0].args.len(), 2);
+        // A lone C event needs no matching end and validates clean.
+        validate_events(&events).unwrap();
+        let json = chrome_trace_json(&events);
+        assert!(json.contains("\"ph\":\"C\""), "{json}");
+        assert!(
+            json.contains("\"args\":{\"busy_ns\":1234,\"ipc\":1.85}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn disabled_tracer_skips_counters() {
+        let _guard = crate::TEST_LOCK.lock().unwrap();
+        crate::set_tracing(false);
+        clear_events();
+        counter("ghost", &[("v", 1.0)]);
+        assert!(take_events().is_empty());
     }
 }
