@@ -261,6 +261,23 @@ fn run_serve(cli: &ninja_bench::Cli) {
 
 fn main() {
     let cli = ninja_bench::cli_from_env();
+    // Resolve the ISA dispatch backend up front: `active()` falls back
+    // silently on an invalid `NINJA_ISA`, which is right for libraries
+    // but wrong for a measurement binary — a forced-backend CI run that
+    // quietly measured the wrong ISA would poison the perf store. Fail
+    // hard here, before anything is measured or recorded.
+    let isa = match ninja_simd::isa::resolve_from_env() {
+        Ok(kind) => kind,
+        Err(msg) => {
+            eprintln!("reproduce: {msg}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "isa dispatch: {} ({}-bit vectors)",
+        isa.name(),
+        isa.width_bits()
+    );
     if cli.serve {
         run_serve(&cli);
         return;

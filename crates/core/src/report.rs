@@ -284,6 +284,10 @@ pub struct SuiteReport {
     pub threads: usize,
     /// Active SIMD backend (from `ninja_simd::backend_name`).
     pub simd_backend: String,
+    /// Resolved ISA dispatch backend the ninja rungs ran on (`scalar`,
+    /// `sse2`, `avx2`, or `neon`); empty in reports written before the
+    /// width-generic dispatcher existed.
+    pub isa: String,
     /// Per-kernel reports in suite order.
     pub kernels: Vec<KernelReport>,
     /// Vectorization evidence per (kernel, rung) from the asm oracle;
@@ -301,6 +305,10 @@ impl Deserialize for SuiteReport {
             seed: u64::from_value(v.field("seed")?)?,
             threads: usize::from_value(v.field("threads")?)?,
             simd_backend: String::from_value(v.field("simd_backend")?)?,
+            isa: match v.field("isa") {
+                Ok(val) => String::from_value(val)?,
+                Err(_) => String::new(),
+            },
             kernels: Vec::from_value(v.field("kernels")?)?,
             vec_profiles: match v.field("vec_profiles") {
                 Ok(val) => Vec::from_value(val)?,
@@ -501,6 +509,7 @@ impl SuiteReport {
             seed,
             threads,
             simd_backend: ninja_simd::backend_name().to_owned(),
+            isa: ninja_simd::isa::active().name().to_owned(),
             kernels: Vec::new(),
             vec_profiles: Vec::new(),
         }
@@ -536,6 +545,7 @@ mod tests {
             seed: 1,
             threads: 1,
             simd_backend: "x".into(),
+            isa: "sse2".into(),
             kernels: vec![KernelReport {
                 kernel: "k".into(),
                 bound: "compute".into(),
@@ -799,6 +809,20 @@ mod tests {
             .replace("vec_profiles", "not_a_known_field");
         let old = SuiteReport::from_json(&legacy).unwrap();
         assert!(old.vec_profiles.is_empty());
+    }
+
+    #[test]
+    fn isa_field_roundtrips_and_tolerates_old_reports() {
+        let r = dummy_report();
+        assert!(r.to_json().contains("\"isa\": \"sse2\""));
+        let back = SuiteReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.isa, "sse2");
+        // A report serialized before the dispatcher existed still parses,
+        // with an empty backend name.
+        let legacy = r.to_json().replace("\"isa\"", "\"not_a_known_field\"");
+        let old = SuiteReport::from_json(&legacy).unwrap();
+        assert!(old.isa.is_empty());
+        assert_eq!(old.kernels, r.kernels);
     }
 
     #[test]

@@ -11,15 +11,18 @@
 //! * **algorithmic change**: AoS→SoA plus inlining polynomial math in `f32`
 //!   turns the loop into straight-line arithmetic the vectorizer handles
 //!   (the paper gets this from `#pragma simd` + SVML);
-//! * **Ninja**: explicit 4-wide SIMD with the vector `exp`/`ln`/CDF from
-//!   `ninja-simd::math`.
+//! * **Ninja**: explicit SIMD written once against the width-generic
+//!   [`Isa`] trait with the vector `exp`/`ln`/CDF from
+//!   `ninja-simd::isa::math`, instantiated per backend (SSE2, AVX2,
+//!   NEON, scalar) by the runtime dispatcher.
 
 use crate::framework::{
     Adapter, Characterization, Instance, KernelSpec, ProblemSize, Variant, VariantInfo, Work,
 };
 use ninja_parallel::{par_chunks_mut, ThreadPool};
-use ninja_simd::math::{exp_v4, ln_v4, norm_cdf_scalar, norm_cdf_v4};
-use ninja_simd::{AlignedVec, F32x4};
+use ninja_simd::isa::{dispatch, math as vmath, Isa, IsaOp, SimdF32, Sse2, MAX_ISA_F32_LANES};
+use ninja_simd::math::norm_cdf_scalar;
+use ninja_simd::AlignedVec;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -44,8 +47,9 @@ pub struct OptionContract {
 /// A batch-pricing problem instance (AoS and SoA mirrors of the same book).
 pub struct BlackScholes {
     contracts: Vec<OptionContract>,
-    // SoA mirror for the vectorized tiers, padded to a multiple of 4 and
-    // cache-line aligned.
+    // SoA mirror for the vectorized tiers, padded to a multiple of the
+    // widest ISA backend's f32 lane count and cache-line aligned, so any
+    // dispatched width can round its last group up into the padding.
     spot: AlignedVec<f32>,
     strike: AlignedVec<f32>,
     years: AlignedVec<f32>,
@@ -76,7 +80,7 @@ impl BlackScholes {
                 vol: rng.gen_range(0.05..0.6),
             })
             .collect();
-        let padded = n.div_ceil(4) * 4;
+        let padded = n.div_ceil(MAX_ISA_F32_LANES) * MAX_ISA_F32_LANES;
         let mut this = Self {
             spot: AlignedVec::filled(padded, 1.0),
             strike: AlignedVec::filled(padded, 1.0),
@@ -156,46 +160,6 @@ impl BlackScholes {
         out
     }
 
-    /// Prices options `[lo, hi)` from the SoA arrays with explicit SIMD.
-    // ninja-lint: effort(ninja)
-    fn price_simd_range(&self, lo: usize, hi: usize, out: &mut [f32]) {
-        debug_assert_eq!(lo % 4, 0);
-        let half = F32x4::splat(0.5);
-        let one = F32x4::splat(1.0);
-        for j in (lo..hi).step_by(4) {
-            let s = F32x4::from_slice(&self.spot[j..]);
-            let k = F32x4::from_slice(&self.strike[j..]);
-            let t = F32x4::from_slice(&self.years[j..]);
-            let r = F32x4::from_slice(&self.rate[j..]);
-            let v = F32x4::from_slice(&self.vol[j..]);
-
-            let sqrt_t = t.sqrt();
-            let vt = v * sqrt_t;
-            let d1 = (ln_v4(s / k) + (r + half * v * v) * t) / vt;
-            let d2 = d1 - vt;
-            let disc = exp_v4(-(r * t));
-            let nd1 = norm_cdf_v4(d1);
-            let nd2 = norm_cdf_v4(d2);
-            let call = s * nd1 - k * disc * nd2;
-            let put = k * disc * (one - nd2) - s * (one - nd1);
-
-            // Interleave (call, put) pairs back into the output layout.
-            let lo_pairs = call.interleave_lo(put);
-            let hi_pairs = call.interleave_hi(put);
-            let base = 2 * (j - lo);
-            let avail = out.len() - base;
-            if avail >= 8 {
-                lo_pairs.write_to_slice(&mut out[base..]);
-                hi_pairs.write_to_slice(&mut out[base + 4..]);
-            } else {
-                let mut tmp = [0.0f32; 8];
-                lo_pairs.write_to_slice(&mut tmp[..4]);
-                hi_pairs.write_to_slice(&mut tmp[4..]);
-                out[base..].copy_from_slice(&tmp[..avail]);
-            }
-        }
-    }
-
     /// Prices a block of options with staged unit-stride `f32` loops —
     /// the restructuring an auto-vectorizer needs: each stage is a simple
     /// elementwise pass with branch-free polynomial bodies.
@@ -270,21 +234,109 @@ impl BlackScholes {
         out
     }
 
-    /// Ninja tier: explicit SIMD pricing with vector `exp`/`ln`/CDF,
-    /// parallel over option blocks.
+    /// Ninja tier: explicit width-generic SIMD pricing with vector
+    /// `exp`/`ln`/CDF, parallel over option blocks. The ISA backend is
+    /// dispatched *inside* each worker closure because `#[target_feature]`
+    /// trampolines do not cross thread boundaries (see
+    /// `ninja_simd::isa::dispatch`).
     // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
         let n = self.len();
         let mut out = vec![0.0f32; 2 * n];
         const BLOCK: usize = 4096;
         par_chunks_mut(pool, &mut out, 2 * BLOCK, |chunk_idx, chunk| {
-            let lo = chunk_idx * BLOCK;
-            let hi = (lo + chunk.len() / 2).min(self.spot.len());
-            // Round up to cover a trailing partial group (padding exists).
-            let hi = hi.div_ceil(4) * 4;
-            self.price_simd_range(lo, hi.min(self.spot.len()), chunk);
+            dispatch(PriceRange {
+                kernel: self,
+                lo: chunk_idx * BLOCK,
+                out: chunk,
+            });
         });
         out
+    }
+}
+
+/// One output chunk of the ninja rung, priced under whichever ISA backend
+/// the dispatcher selects.
+struct PriceRange<'a> {
+    kernel: &'a BlackScholes,
+    /// First option index covered by `out`.
+    lo: usize,
+    /// Interleaved `(call, put)` output window for this chunk.
+    out: &'a mut [f32],
+}
+
+impl IsaOp for PriceRange<'_> {
+    type Output = ();
+    fn run<I: Isa>(self) {
+        let lanes = <I::F32 as SimdF32>::LANES;
+        let k = self.kernel;
+        // Round the upper bound up to a full vector group: the SoA arrays
+        // are padded to a multiple of `MAX_ISA_F32_LANES >= lanes`, so the
+        // trailing group may read padding but never out of bounds.
+        let hi = (self.lo + self.out.len() / 2).min(k.spot.len());
+        let hi = (hi.div_ceil(lanes) * lanes).min(k.spot.len());
+        price_soa_range::<I>(
+            &k.spot, &k.strike, &k.years, &k.rate, &k.vol, self.lo, hi, self.out,
+        );
+    }
+}
+
+/// Prices options `[lo, hi)` from SoA slices with explicit SIMD, written
+/// once against the width-generic [`Isa`] trait — the same source is
+/// instantiated at 128- and 256-bit widths by the dispatcher. `lo` and
+/// `hi` must be multiples of the backend's lane count and the slices must
+/// extend to `hi`; `out` receives interleaved `(call, put)` pairs for
+/// option `lo` onward and may end mid-group (the pair stores are masked
+/// to the remaining window).
+// ninja-lint: effort(ninja)
+#[allow(clippy::too_many_arguments)]
+fn price_soa_range<I: Isa>(
+    spot: &[f32],
+    strike: &[f32],
+    years: &[f32],
+    rate: &[f32],
+    vol: &[f32],
+    lo: usize,
+    hi: usize,
+    out: &mut [f32],
+) {
+    let lanes = <I::F32 as SimdF32>::LANES;
+    debug_assert_eq!(lo % lanes, 0);
+    debug_assert_eq!(hi % lanes, 0);
+    let half = I::F32::splat(0.5);
+    let one = I::F32::splat(1.0);
+    let mut j = lo;
+    while j < hi {
+        let s = I::F32::load(&spot[j..]);
+        let k = I::F32::load(&strike[j..]);
+        let t = I::F32::load(&years[j..]);
+        let r = I::F32::load(&rate[j..]);
+        let v = I::F32::load(&vol[j..]);
+
+        let sqrt_t = t.sqrt();
+        let vt = v * sqrt_t;
+        let d1 = (vmath::ln::<I>(s / k) + (r + half * v * v) * t) / vt;
+        let d2 = d1 - vt;
+        let disc = vmath::exp::<I>(-(r * t));
+        let nd1 = vmath::norm_cdf::<I>(d1);
+        let nd2 = vmath::norm_cdf::<I>(d2);
+        let call = s * nd1 - k * disc * nd2;
+        let put = k * disc * (one - nd2) - s * (one - nd1);
+
+        // Interleave (call, put) pairs back into the output layout.
+        let (lo_pairs, hi_pairs) = call.interleave(put);
+        let base = 2 * (j - lo);
+        let avail = out.len() - base;
+        if avail >= 2 * lanes {
+            lo_pairs.store(&mut out[base..]);
+            hi_pairs.store(&mut out[base + lanes..]);
+        } else {
+            lo_pairs.store_partial(&mut out[base..base + avail.min(lanes)]);
+            if avail > lanes {
+                hi_pairs.store_partial(&mut out[base + lanes..base + avail]);
+            }
+        }
+        j += lanes;
     }
 }
 
@@ -339,8 +391,9 @@ pub fn price_batch_poly(
     }
 }
 
-/// Prices a SoA batch with explicit 4-wide SIMD and the vector
-/// `exp`/`ln`/CDF (the ninja rung). Slice layout as
+/// Prices a SoA batch with the explicit SIMD ninja body instantiated at
+/// the portable 128-bit backend, so the serving layer's `n % 4` batch
+/// contract and numeric results are stable across hosts. Slice layout as
 /// [`price_batch_poly`]; the shared length must be a multiple of 4.
 ///
 /// # Panics
@@ -361,27 +414,7 @@ pub fn price_batch_simd(
     );
     assert_eq!(n % 4, 0, "SIMD batch length must be a multiple of 4");
     assert_eq!(out.len(), 2 * n, "out must hold (call, put) per option");
-    let half = F32x4::splat(0.5);
-    let one = F32x4::splat(1.0);
-    for j in (0..n).step_by(4) {
-        let s = F32x4::from_slice(&spot[j..]);
-        let k = F32x4::from_slice(&strike[j..]);
-        let t = F32x4::from_slice(&years[j..]);
-        let r = F32x4::from_slice(&rate[j..]);
-        let v = F32x4::from_slice(&vol[j..]);
-        let sqrt_t = t.sqrt();
-        let vt = v * sqrt_t;
-        let d1 = (ln_v4(s / k) + (r + half * v * v) * t) / vt;
-        let d2 = d1 - vt;
-        let disc = exp_v4(-(r * t));
-        let nd1 = norm_cdf_v4(d1);
-        let nd2 = norm_cdf_v4(d2);
-        let call = s * nd1 - k * disc * nd2;
-        let put = k * disc * (one - nd2) - s * (one - nd1);
-        call.interleave_lo(put).write_to_slice(&mut out[2 * j..]);
-        call.interleave_hi(put)
-            .write_to_slice(&mut out[2 * j + 4..]);
-    }
+    price_soa_range::<Sse2>(spot, strike, years, rate, vol, 0, n, out);
 }
 
 fn run(k: &BlackScholes, variant: Variant, pool: &ThreadPool) -> Vec<f32> {
@@ -567,6 +600,82 @@ mod tests {
             for (label, out) in [("poly", &poly), ("simd", &simd)] {
                 let err = (out[i] - b).abs() / b.abs().max(1.0);
                 assert!(err < 5e-3, "{label}[{i}]: {} vs {b}", out[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn ninja_rung_agrees_under_every_reachable_backend() {
+        use ninja_simd::isa::{available_kinds, dispatch_on};
+        let k = BlackScholes::generate(ProblemSize::Test, 3);
+        let reference = k.run_naive();
+        let n = k.len();
+        for kind in available_kinds() {
+            let mut out = vec![0.0f32; 2 * n];
+            dispatch_on(
+                kind,
+                PriceRange {
+                    kernel: &k,
+                    lo: 0,
+                    out: &mut out,
+                },
+            );
+            for (i, (&a, &b)) in out.iter().zip(reference.iter()).enumerate() {
+                let err = (a - b).abs() / b.abs().max(1.0);
+                assert!(err < 5e-3, "{kind}[{i}]: {a} vs {b} (err {err})");
+            }
+        }
+    }
+
+    /// A batch length that is not a multiple of any vector width forces
+    /// the masked tail stores in the generic body under every backend.
+    #[test]
+    fn ninja_tail_is_masked_under_every_reachable_backend() {
+        use ninja_simd::isa::{available_kinds, dispatch_on};
+
+        struct OddBatch {
+            n: usize,
+        }
+        impl IsaOp for OddBatch {
+            type Output = Vec<f32>;
+            fn run<I: Isa>(self) -> Vec<f32> {
+                let lanes = <I::F32 as SimdF32>::LANES;
+                let padded = self.n.div_ceil(MAX_ISA_F32_LANES) * MAX_ISA_F32_LANES;
+                let mk = |base: f32, step: f32| -> Vec<f32> {
+                    (0..padded).map(|i| base + step * i as f32).collect()
+                };
+                let spot = mk(20.0, 1.7);
+                let strike = mk(25.0, 1.3);
+                let years = mk(0.5, 0.05);
+                let rate = mk(0.01, 0.001);
+                let vol = mk(0.1, 0.004);
+                let mut out = vec![0.0f32; 2 * self.n];
+                let hi = self.n.div_ceil(lanes) * lanes;
+                price_soa_range::<I>(&spot, &strike, &years, &rate, &vol, 0, hi, &mut out);
+                // The scalar reference for the same contracts.
+                let mut want = vec![0.0f32; 2 * self.n];
+                for i in 0..self.n {
+                    let (call, put) = price_contract(&OptionContract {
+                        spot: spot[i],
+                        strike: strike[i],
+                        years: years[i],
+                        rate: rate[i],
+                        vol: vol[i],
+                    });
+                    want[2 * i] = call;
+                    want[2 * i + 1] = put;
+                }
+                for (i, (&a, &b)) in out.iter().zip(want.iter()).enumerate() {
+                    let err = (a - b).abs() / b.abs().max(1.0);
+                    assert!(err < 5e-3, "n={} out[{i}]: {a} vs {b}", self.n);
+                }
+                out
+            }
+        }
+
+        for kind in available_kinds() {
+            for n in [1usize, 3, 7, 9, 13] {
+                dispatch_on(kind, OddBatch { n });
             }
         }
     }

@@ -18,8 +18,7 @@ use crate::framework::{
 };
 use crate::scalar_math::exp_poly;
 use ninja_parallel::{par_chunks_mut, ThreadPool};
-use ninja_simd::math::exp_v4;
-use ninja_simd::F32x4;
+use ninja_simd::isa::{dispatch, math as vmath, Isa, IsaOp, SimdF32, Sse2, MAX_ISA_F32_LANES};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -215,51 +214,103 @@ impl Libor {
         out
     }
 
-    /// Advances four paths with explicit SIMD and the vector `exp`.
-    // ninja-lint: effort(ninja)
-    fn group_values_simd(&self, group_base: usize, out: &mut [f32]) {
-        debug_assert_eq!(out.len(), 4);
-        let mut l: [F32x4; N_RATES] = std::array::from_fn(|i| F32x4::splat(self.init_rates[i]));
-        let sqrt_delta = F32x4::splat(DELTA.sqrt());
-        let delta = F32x4::splat(DELTA);
-        let one = F32x4::splat(1.0);
-        let half = F32x4::splat(0.5);
-        for n in 0..NMAT {
-            let sqez = sqrt_delta * F32x4::from_slice(&self.zt[n * self.paths + group_base..]);
-            let mut v = F32x4::zero();
-            for i in n + 1..N_RATES {
-                let lam = F32x4::splat(self.vols[(i - n - 1).min(NMAT - 1)]);
-                let con1 = delta * lam;
-                v += con1 * l[i] / (one + delta * l[i]);
-                let vrat = exp_v4(con1 * v + lam * (sqez - half * con1));
-                l[i] *= vrat;
-            }
-        }
-        let mut b = one;
-        let mut acc = F32x4::zero();
-        let strike = F32x4::splat(STRIKE);
-        for li in l.iter().skip(NMAT) {
-            b /= one + delta * *li;
-            acc += b * delta * (*li - strike).max(F32x4::zero());
-        }
-        (acc * F32x4::splat(100.0)).write_to_slice(out);
-    }
-
-    /// Ninja tier: 4 paths per instruction with vector `exp`, parallel
-    /// over groups.
+    /// Ninja tier: one vector group of paths per instruction with the
+    /// width-generic vector `exp` — 4 paths per step under SSE2/NEON, 8
+    /// under AVX2 — parallel over path blocks. The ISA backend is
+    /// dispatched *inside* each worker closure because `#[target_feature]`
+    /// trampolines do not cross thread boundaries (see
+    /// `ninja_simd::isa::dispatch`).
     ///
     /// # Panics
     ///
-    /// Panics if the path count is not a multiple of 4 (all presets are).
+    /// Panics if the path count is not a multiple of the widest lane
+    /// count (all presets are).
     // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
-        assert_eq!(self.paths % 4, 0, "path count must be a multiple of 4");
+        assert_eq!(
+            self.paths % MAX_ISA_F32_LANES,
+            0,
+            "path count must be a multiple of {MAX_ISA_F32_LANES}"
+        );
         let mut out = vec![0.0f32; self.paths];
-        par_chunks_mut(pool, &mut out, 4, |g, chunk| {
-            self.group_values_simd(g * 4, chunk);
+        // A block is many groups under every backend; it must stay a
+        // multiple of the widest lane count so each dispatched chunk
+        // divides evenly into groups.
+        const BLOCK: usize = 8 * MAX_ISA_F32_LANES;
+        par_chunks_mut(pool, &mut out, BLOCK, |b, chunk| {
+            dispatch(PathBlock {
+                kernel: self,
+                base: b * BLOCK,
+                out: chunk,
+            });
         });
         out
     }
+}
+
+/// One block of Monte-Carlo paths priced group-by-group under whichever
+/// ISA backend the dispatcher selects.
+struct PathBlock<'a> {
+    kernel: &'a Libor,
+    /// First path index covered by `out`.
+    base: usize,
+    out: &'a mut [f32],
+}
+
+impl IsaOp for PathBlock<'_> {
+    type Output = ();
+    fn run<I: Isa>(self) {
+        let lanes = <I::F32 as SimdF32>::LANES;
+        debug_assert_eq!(self.out.len() % lanes, 0);
+        let k = self.kernel;
+        for (g, chunk) in self.out.chunks_mut(lanes).enumerate() {
+            let base = self.base + g * lanes;
+            // The step-major draws for this group start at path `base`;
+            // step `n` of lane `j` sits `n * paths + j` further on.
+            price_paths_group::<I>(&k.init_rates, &k.vols, &k.zt[base..], k.paths, chunk);
+        }
+    }
+}
+
+/// Advances one vector group of paths in lock-step with explicit SIMD
+/// and the vector `exp`, written once against the width-generic [`Isa`]
+/// trait — the ninja rung's arithmetic at any lane width. `zs` holds the
+/// group's standard normals with draw `n` of lane `j` at
+/// `zs[n * stride + j]`; `out` receives one price per lane.
+// ninja-lint: effort(ninja)
+fn price_paths_group<I: Isa>(
+    init_rates: &[f32; N_RATES],
+    vols: &[f32; NMAT],
+    zs: &[f32],
+    stride: usize,
+    out: &mut [f32],
+) {
+    let lanes = <I::F32 as SimdF32>::LANES;
+    debug_assert_eq!(out.len(), lanes);
+    let mut l: [I::F32; N_RATES] = std::array::from_fn(|i| I::F32::splat(init_rates[i]));
+    let sqrt_delta = I::F32::splat(DELTA.sqrt());
+    let delta = I::F32::splat(DELTA);
+    let one = I::F32::splat(1.0);
+    let half = I::F32::splat(0.5);
+    for n in 0..NMAT {
+        let sqez = sqrt_delta * I::F32::load(&zs[n * stride..]);
+        let mut v = I::F32::zero();
+        for i in n + 1..N_RATES {
+            let lam = I::F32::splat(vols[(i - n - 1).min(NMAT - 1)]);
+            let con1 = delta * lam;
+            v = v + con1 * l[i] / (one + delta * l[i]);
+            let vrat = vmath::exp::<I>(con1 * v + lam * (sqez - half * con1));
+            l[i] = l[i] * vrat;
+        }
+    }
+    let mut b = one;
+    let mut acc = I::F32::zero();
+    let strike = I::F32::splat(STRIKE);
+    for li in l.iter().skip(NMAT) {
+        b = b / (one + delta * *li);
+        acc = acc + b * delta * (*li - strike).max(I::F32::zero());
+    }
+    (acc * I::F32::splat(100.0)).store(out);
 }
 
 // --- Serving surface -----------------------------------------------------
@@ -332,38 +383,16 @@ pub fn price_path_poly(init_rates: &[f32; N_RATES], vols: &[f32; NMAT], z: &[f32
 }
 
 /// Prices four paths in lock-step with explicit SIMD and the vector
-/// `exp` — the ninja rung. `zs` is lane-major: draw `n` of lane `k` at
-/// `zs[4 * n + k]`.
+/// `exp` — the ninja rung's generic body pinned to the portable 128-bit
+/// backend so the serving batch shape is stable across hosts. `zs` is
+/// lane-major: draw `n` of lane `k` at `zs[4 * n + k]`.
 pub fn price_paths4(
     init_rates: &[f32; N_RATES],
     vols: &[f32; NMAT],
     zs: &[f32; 4 * NMAT],
 ) -> [f32; 4] {
-    let mut l: [F32x4; N_RATES] = std::array::from_fn(|i| F32x4::splat(init_rates[i]));
-    let sqrt_delta = F32x4::splat(DELTA.sqrt());
-    let delta = F32x4::splat(DELTA);
-    let one = F32x4::splat(1.0);
-    let half = F32x4::splat(0.5);
-    for n in 0..NMAT {
-        let sqez = sqrt_delta * F32x4::from_slice(&zs[4 * n..]);
-        let mut v = F32x4::zero();
-        for i in n + 1..N_RATES {
-            let lam = F32x4::splat(vols[(i - n - 1).min(NMAT - 1)]);
-            let con1 = delta * lam;
-            v += con1 * l[i] / (one + delta * l[i]);
-            let vrat = exp_v4(con1 * v + lam * (sqez - half * con1));
-            l[i] *= vrat;
-        }
-    }
-    let mut b = one;
-    let mut acc = F32x4::zero();
-    let strike = F32x4::splat(STRIKE);
-    for li in l.iter().skip(NMAT) {
-        b /= one + delta * *li;
-        acc += b * delta * (*li - strike).max(F32x4::zero());
-    }
     let mut out = [0.0f32; 4];
-    (acc * F32x4::splat(100.0)).write_to_slice(&mut out);
+    price_paths_group::<Sse2>(init_rates, vols, zs, 4, &mut out);
     out
 }
 
@@ -497,6 +526,28 @@ mod tests {
             for (i, (&a, &b)) in out.iter().zip(reference.iter()).enumerate() {
                 let err = (a - b).abs() / b.abs().max(1.0);
                 assert!(err < 1e-2, "{label}[{i}]: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn ninja_rung_agrees_under_every_reachable_backend() {
+        use ninja_simd::isa::{available_kinds, dispatch_on};
+        let k = Libor::generate(ProblemSize::Test, 4);
+        let reference = k.run_naive();
+        for kind in available_kinds() {
+            let mut out = vec![0.0f32; k.paths()];
+            dispatch_on(
+                kind,
+                PathBlock {
+                    kernel: &k,
+                    base: 0,
+                    out: &mut out,
+                },
+            );
+            for (i, (&a, &b)) in out.iter().zip(reference.iter()).enumerate() {
+                let err = (a - b).abs() / b.abs().max(1.0);
+                assert!(err < 1e-2, "{kind}[{i}]: {a} vs {b} (err {err})");
             }
         }
     }

@@ -15,7 +15,7 @@ use crate::framework::{
     Adapter, Characterization, Instance, KernelSpec, ProblemSize, Variant, VariantInfo, Work,
 };
 use ninja_parallel::{par_chunks_mut, ThreadPool};
-use ninja_simd::{F32x4, I32x4};
+use ninja_simd::isa::{dispatch, Isa, IsaOp, SimdF32, SimdI32, SimdMask, Sse2};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -204,32 +204,38 @@ impl TreeSearch {
         out
     }
 
-    /// Descends four queries simultaneously through the Eytzinger tree.
+    /// Descends one vector group of queries simultaneously through the
+    /// Eytzinger tree — written once against the width-generic [`Isa`]
+    /// trait, so the same descent runs 4 queries per step under SSE2/NEON
+    /// and 8 under AVX2. `qs` and `out` must both hold exactly one group
+    /// (`LANES` queries).
     #[inline]
     // ninja-lint: effort(ninja)
-    fn search4(&self, qs: [f32; 4]) -> [u32; 4] {
+    fn search_group<I: Isa>(&self, qs: &[f32], out: &mut [u32]) {
+        let lanes = <I::F32 as SimdF32>::LANES;
+        debug_assert_eq!(qs.len(), lanes);
+        debug_assert_eq!(out.len(), lanes);
         let n = self.keys.len() as i32;
-        let q = F32x4::from_array(qs);
-        let mut k = I32x4::splat(1);
-        let n_vec = I32x4::splat(n);
-        let one = I32x4::splat(1);
+        let q = I::F32::load(qs);
+        let mut k = I::I32::splat(1);
+        let n_vec = I::I32::splat(n);
+        let one = I::I32::splat(1);
+        let zero = I::I32::zero();
         loop {
-            let active = n_vec.simd_gt(k) | n_vec.simd_eq(k); // k <= n
+            let active = n_vec.simd_gt(k).or(n_vec.simd_eq(k)); // k <= n
             if !active.any() {
                 break;
             }
             // Clamp inactive lanes to a safe gather index (slot 0 unused).
-            let idx = active.select_i32(k, I32x4::splat(0));
-            let keys = F32x4::gather(&self.eyt, idx);
+            let idx = I::I32::select(active, k, zero);
+            let keys = I::F32::gather(&self.eyt, idx);
             let go_right = keys.simd_lt(q);
-            let step = go_right.select_i32(one, I32x4::zero());
+            let step = I::I32::select(go_right, one, zero);
             let next = (k << 1) + step;
-            k = active.select_i32(next, k);
+            k = I::I32::select(active, next, k);
         }
-        let ks = k.to_array();
-        let mut out = [0u32; 4];
-        for (o, &kk) in out.iter_mut().zip(ks.iter()) {
-            let mut kk = kk as u32;
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut kk = k.lane(i) as u32;
             kk >>= (kk.trailing_ones() + 1).min(31);
             *o = if kk == 0 {
                 n as u32
@@ -237,7 +243,6 @@ impl TreeSearch {
                 self.eyt_rank[kk as usize]
             };
         }
-        out
     }
 
     // --- Serving surface -------------------------------------------------
@@ -257,35 +262,62 @@ impl TreeSearch {
         self.search_eytzinger(q)
     }
 
-    /// Serving-layer ninja rung: four lower bounds per SIMD descent.
+    /// Serving-layer ninja rung: four lower bounds per SIMD descent (the
+    /// generic group descent pinned to the portable 128-bit backend so
+    /// the serving batch shape is stable across hosts).
     pub fn lower_bound4(&self, qs: [f32; 4]) -> [u32; 4] {
-        self.search4(qs)
+        let mut out = [0u32; 4];
+        self.search_group::<Sse2>(&qs, &mut out);
+        out
     }
 
-    /// Ninja tier: SIMD-blocked search — four queries per descent step with
-    /// gathered key loads — plus query parallelism.
+    /// Ninja tier: SIMD-blocked search — one vector group of queries per
+    /// descent step with gathered key loads — plus query parallelism. The
+    /// ISA backend (and so the group width) is dispatched *inside* each
+    /// worker closure because `#[target_feature]` trampolines do not
+    /// cross thread boundaries (see `ninja_simd::isa::dispatch`).
     // ninja-lint: variant(ninja)
     pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<u32> {
         let m = self.queries.len();
         let mut out = vec![0u32; m];
         par_chunks_mut(pool, &mut out, 4096, |chunk_idx, chunk| {
-            let base = chunk_idx * 4096;
-            let groups = chunk.len() / 4;
-            for g in 0..groups {
-                let i = base + 4 * g;
-                let res = self.search4([
-                    self.queries[i],
-                    self.queries[i + 1],
-                    self.queries[i + 2],
-                    self.queries[i + 3],
-                ]);
-                chunk[4 * g..4 * g + 4].copy_from_slice(&res);
-            }
-            for j in groups * 4..chunk.len() {
-                chunk[j] = self.search_eytzinger(self.queries[base + j]);
-            }
+            dispatch(SearchChunk {
+                kernel: self,
+                base: chunk_idx * 4096,
+                out: chunk,
+            });
         });
         out
+    }
+}
+
+/// One output chunk of the ninja rung: whole vector groups through the
+/// SIMD descent, the sub-group remainder through the scalar Eytzinger
+/// search.
+struct SearchChunk<'a> {
+    kernel: &'a TreeSearch,
+    /// First query index covered by `out`.
+    base: usize,
+    out: &'a mut [u32],
+}
+
+impl IsaOp for SearchChunk<'_> {
+    type Output = ();
+    fn run<I: Isa>(self) {
+        let lanes = <I::F32 as SimdF32>::LANES;
+        let k = self.kernel;
+        let m = self.out.len();
+        let groups = m / lanes;
+        for g in 0..groups {
+            let i = self.base + lanes * g;
+            k.search_group::<I>(
+                &k.queries[i..i + lanes],
+                &mut self.out[lanes * g..lanes * (g + 1)],
+            );
+        }
+        for (j, o) in self.out.iter_mut().enumerate().skip(groups * lanes) {
+            *o = k.search_eytzinger(k.queries[self.base + j]);
+        }
     }
 }
 
@@ -422,10 +454,44 @@ mod tests {
     fn simd_block_matches_scalar() {
         let k = TreeSearch::generate(ProblemSize::Test, 3);
         for w in k.queries.chunks_exact(4).take(100) {
-            let got = k.search4([w[0], w[1], w[2], w[3]]);
+            let got = k.lower_bound4([w[0], w[1], w[2], w[3]]);
             for i in 0..4 {
                 assert_eq!(got[i], k.search_eytzinger(w[i]));
             }
+        }
+    }
+
+    /// Bit-exact agreement (tolerance 0) of the generic SIMD descent with
+    /// the naive BST under every reachable ISA backend, including a chunk
+    /// length that forces the sub-group scalar remainder.
+    #[test]
+    fn ninja_rung_agrees_under_every_reachable_backend() {
+        use ninja_simd::isa::{available_kinds, dispatch_on};
+        let k = TreeSearch::generate(ProblemSize::Test, 13);
+        let reference = k.run_naive();
+        for kind in available_kinds() {
+            let mut out = vec![0u32; k.num_queries()];
+            dispatch_on(
+                kind,
+                SearchChunk {
+                    kernel: &k,
+                    base: 0,
+                    out: &mut out,
+                },
+            );
+            assert_eq!(out, reference, "{kind}");
+
+            // An odd-length window exercises the scalar remainder path.
+            let mut tail = vec![0u32; 13];
+            dispatch_on(
+                kind,
+                SearchChunk {
+                    kernel: &k,
+                    base: 32,
+                    out: &mut tail,
+                },
+            );
+            assert_eq!(tail, reference[32..45], "{kind} remainder");
         }
     }
 

@@ -41,9 +41,10 @@ pub const THREAD_IDENTS: [&str; 8] = [
 ];
 
 /// Identifiers whose presence in a traditional-rung body means the
-/// variant smuggles in Ninja machinery (explicit vectors, masks, or
-/// `unsafe`).
-pub const EXPLICIT_SIMD_IDENTS: [&str; 9] = [
+/// variant smuggles in Ninja machinery: explicit vectors, masks,
+/// `unsafe`, or the width-generic `Isa` surface — writing a rung against
+/// the trait is still hand-SIMD, whatever backend the dispatcher picks.
+pub const EXPLICIT_SIMD_IDENTS: [&str; 20] = [
     "ninja_simd",
     "F32x4",
     "F32x8",
@@ -53,14 +54,44 @@ pub const EXPLICIT_SIMD_IDENTS: [&str; 9] = [
     "Mask32x4",
     "Mask64x2",
     "AlignedVec",
+    "Isa",
+    "IsaOp",
+    "dispatch",
+    "dispatch_on",
+    "SimdF32",
+    "SimdF64",
+    "SimdI32",
+    "SimdMask",
+    "Sse2",
+    "Avx2",
+    "Neon",
 ];
 
 /// Vector/mask identifiers that count as *evidence of* explicit SIMD for
 /// the Ninja-tier requirement (a strict subset of
 /// [`EXPLICIT_SIMD_IDENTS`]: owning an [`AlignedVec`] is not by itself
-/// vector code).
-pub const SIMD_EVIDENCE_IDENTS: [&str; 7] = [
-    "F32x4", "F32x8", "F64x2", "F64x4", "I32x4", "Mask32x4", "Mask64x2",
+/// vector code). A rung written once against the width-generic `Isa`
+/// trait — `fn body<I: Isa>(..)` dispatched at runtime — counts exactly
+/// like a fixed-width `F32x4` body.
+pub const SIMD_EVIDENCE_IDENTS: [&str; 18] = [
+    "F32x4",
+    "F32x8",
+    "F64x2",
+    "F64x4",
+    "I32x4",
+    "Mask32x4",
+    "Mask64x2",
+    "Isa",
+    "IsaOp",
+    "dispatch",
+    "dispatch_on",
+    "SimdF32",
+    "SimdF64",
+    "SimdI32",
+    "SimdMask",
+    "Sse2",
+    "Avx2",
+    "Neon",
 ];
 
 /// Declared-vs-measured effort tolerance: a declared `effort_loc` of `d`
@@ -195,11 +226,13 @@ impl RuleId {
             }
             RuleId::SimdInScalarRung => {
                 "naive/parallel variant bodies must not reference explicit SIMD \
-                 types (F32x4, masks, AlignedVec, ...) or use `unsafe`"
+                 types (F32x4, masks, AlignedVec, ...), the width-generic Isa \
+                 dispatch surface, or use `unsafe`"
             }
             RuleId::NinjaWithoutSimd => {
-                "a kernel's ninja tier must reference at least one explicit \
-                 vector type, or carry an allow() with a reason"
+                "a kernel's ninja tier must reference an explicit vector type \
+                 or the width-generic Isa surface, or carry an allow() with a \
+                 reason"
             }
             RuleId::EffortLocDrift => {
                 "declared effort_loc must be within tolerance of the measured \
@@ -688,6 +721,26 @@ mod tests {
         );
         assert!(rules_of(&findings).contains(&"NL002"), "{findings:#?}");
         assert!(!rules_of(&findings).contains(&"NL005"));
+    }
+
+    #[test]
+    fn isa_dispatch_in_parallel_rung_fires_nl002() {
+        // The width-generic surface is still explicit SIMD: a
+        // naive-plus-threads rung may not route through the dispatcher.
+        let findings = analyze(
+            "// ninja-lint: variant(parallel)\nfn run_parallel(&self, pool: &ThreadPool) {\n    par_chunks_mut(pool, &mut self.out, 64, |_, chunk| {\n        dispatch(DotRange { out: chunk });\n    });\n}\n",
+        );
+        assert!(rules_of(&findings).contains(&"NL002"), "{findings:#?}");
+    }
+
+    #[test]
+    fn isa_generic_body_satisfies_nl003() {
+        // A ninja tier written once against `Isa` — no fixed-width type
+        // anywhere — is hand-SIMD evidence, not an NL003 violation.
+        let findings = analyze(
+            "// ninja-lint: variant(ninja)\nfn run_ninja(&self) {\n    dispatch(DotRange { out: &mut self.out });\n}\n// ninja-lint: effort(ninja)\nfn dot_range<I: Isa>(xs: &[f32], out: &mut [f32]) {\n    let lanes = <I::F32 as SimdF32>::LANES;\n    let v = I::F32::load(&xs[..lanes]);\n    v.store(out);\n}\n",
+        );
+        assert!(!rules_of(&findings).contains(&"NL003"), "{findings:#?}");
     }
 
     #[test]

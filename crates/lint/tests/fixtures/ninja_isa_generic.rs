@@ -1,0 +1,140 @@
+//! Fixture: a ninja tier written once against the width-generic `Isa`
+//! trait — no fixed-width vector type anywhere in the kernel — must pass
+//! every rule. NL003 accepts the trait surface as hand-SIMD evidence:
+//! the whole point of the dispatcher is that one kernel source measures
+//! at 128- and 256-bit widths, and the lint must not punish that.
+
+use ninja_parallel::{par_chunks_mut, ThreadPool};
+use ninja_simd::isa::{dispatch, Isa, IsaOp, SimdF32};
+
+pub struct DotProd {
+    xs: Vec<f32>,
+    ys: Vec<f32>,
+    n: usize,
+}
+
+/// One chunk of the dot-product, generic over the dispatched backend.
+struct DotRange<'a> {
+    xs: &'a [f32],
+    ys: &'a [f32],
+    out: &'a mut [f32],
+}
+
+impl IsaOp for DotRange<'_> {
+    type Output = ();
+
+    fn run<I: Isa>(self) {
+        dot_range::<I>(self.xs, self.ys, self.out);
+    }
+}
+
+/// The width-generic body: lane count comes from the backend.
+// ninja-lint: effort(ninja)
+fn dot_range<I: Isa>(xs: &[f32], ys: &[f32], out: &mut [f32]) {
+    let lanes = <I::F32 as SimdF32>::LANES;
+    let one = I::F32::splat(1.0);
+    for (k, slot) in out.iter_mut().enumerate() {
+        let x = I::F32::load(&xs[k * lanes..]);
+        let y = I::F32::load(&ys[k * lanes..]);
+        *slot = x.mul_add(y, one).reduce_sum();
+    }
+}
+
+impl DotProd {
+    /// Serial scalar reference.
+    // ninja-lint: variant(naive)
+    pub fn run_naive(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        for i in 0..self.n {
+            out[i] = self.xs[i] * self.ys[i] + 1.0;
+        }
+        out
+    }
+
+    /// Naive plus a parallel_for annotation.
+    // ninja-lint: variant(parallel)
+    pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        par_chunks_mut(pool, &mut out, 64, |base, chunk| {
+            for (k, slot) in chunk.iter_mut().enumerate() {
+                let i = base * 64 + k;
+                *slot = self.xs[i] * self.ys[i] + 1.0;
+            }
+        });
+        out
+    }
+
+    /// Serial, restructured so the compiler can vectorize.
+    // ninja-lint: variant(simd)
+    pub fn run_simd(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        for (slot, (x, y)) in out.iter_mut().zip(self.xs.iter().zip(self.ys.iter())) {
+            *slot = x.mul_add(*y, 1.0);
+        }
+        out
+    }
+
+    /// Restructured loop plus threads: the low-effort endpoint.
+    // ninja-lint: variant(algorithmic)
+    pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        par_chunks_mut(pool, &mut out, 64, |base, chunk| {
+            let lo = base * 64;
+            for (slot, (x, y)) in chunk
+                .iter_mut()
+                .zip(self.xs[lo..].iter().zip(self.ys[lo..].iter()))
+            {
+                *slot = x.mul_add(*y, 1.0);
+            }
+        });
+        out
+    }
+
+    /// Hand-vectorized once; measured at whatever width the dispatcher
+    /// resolves (or a `NINJA_ISA` override forces).
+    // ninja-lint: variant(ninja)
+    pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        par_chunks_mut(pool, &mut out, 64, |base, chunk| {
+            dispatch(DotRange {
+                xs: &self.xs[base * 64..],
+                ys: &self.ys[base * 64..],
+                out: chunk,
+            });
+        });
+        out
+    }
+}
+
+pub fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "dotprod",
+        variants: [
+            VariantInfo {
+                variant: Variant::Naive,
+                effort_loc: 0,
+                what_changed: "serial scalar loop",
+            },
+            VariantInfo {
+                variant: Variant::Parallel,
+                effort_loc: 4,
+                what_changed: "parallel_for over chunks",
+            },
+            VariantInfo {
+                variant: Variant::Simd,
+                effort_loc: 6,
+                what_changed: "iterator form the compiler vectorizes",
+            },
+            VariantInfo {
+                variant: Variant::Algorithmic,
+                effort_loc: 10,
+                what_changed: "vectorizable form + threads",
+            },
+            VariantInfo {
+                variant: Variant::Ninja,
+                effort_loc: 25,
+                what_changed: "width-generic Isa body, runtime dispatch",
+            },
+        ],
+    }
+}

@@ -1,0 +1,137 @@
+//! Fixture: deliberate NL002 violation — the "parallel" variant (which
+//! the taxonomy defines as naive-plus-threads only) routes its chunk
+//! bodies through the width-generic `Isa` dispatcher. That is hand-SIMD
+//! with extra steps, not traditional programming. Everything else is
+//! clean, so NL002 must fire exactly once.
+
+use ninja_parallel::{par_chunks_mut, ThreadPool};
+use ninja_simd::isa::{dispatch, Isa, IsaOp, SimdF32};
+use ninja_simd::F32x4;
+
+pub struct DotProd {
+    xs: Vec<f32>,
+    ys: Vec<f32>,
+    n: usize,
+}
+
+/// One chunk of the dot-product, generic over the dispatched backend.
+struct DotRange<'a> {
+    xs: &'a [f32],
+    ys: &'a [f32],
+    out: &'a mut [f32],
+}
+
+impl IsaOp for DotRange<'_> {
+    type Output = ();
+
+    fn run<I: Isa>(self) {
+        let lanes = <I::F32 as SimdF32>::LANES;
+        for (k, slot) in self.out.iter_mut().enumerate() {
+            let x = I::F32::load(&self.xs[k * lanes..]);
+            let y = I::F32::load(&self.ys[k * lanes..]);
+            *slot = (x * y).reduce_sum() + 1.0;
+        }
+    }
+}
+
+impl DotProd {
+    /// Serial scalar reference.
+    // ninja-lint: variant(naive)
+    pub fn run_naive(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        for i in 0..self.n {
+            out[i] = self.xs[i] * self.ys[i] + 1.0;
+        }
+        out
+    }
+
+    /// "Naive plus threads" — except each chunk enters the dispatcher.
+    // ninja-lint: variant(parallel)
+    pub fn run_parallel(&self, pool: &ThreadPool) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        par_chunks_mut(pool, &mut out, 64, |base, chunk| {
+            dispatch(DotRange {
+                xs: &self.xs[base * 64..],
+                ys: &self.ys[base * 64..],
+                out: chunk,
+            });
+        });
+        out
+    }
+
+    /// Serial, restructured so the compiler can vectorize.
+    // ninja-lint: variant(simd)
+    pub fn run_simd(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        for (slot, (x, y)) in out.iter_mut().zip(self.xs.iter().zip(self.ys.iter())) {
+            *slot = x.mul_add(*y, 1.0);
+        }
+        out
+    }
+
+    /// Restructured loop plus threads: the low-effort endpoint.
+    // ninja-lint: variant(algorithmic)
+    pub fn run_algorithmic(&self, pool: &ThreadPool) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        par_chunks_mut(pool, &mut out, 64, |base, chunk| {
+            let lo = base * 64;
+            for (slot, (x, y)) in chunk
+                .iter_mut()
+                .zip(self.xs[lo..].iter().zip(self.ys[lo..].iter()))
+            {
+                *slot = x.mul_add(*y, 1.0);
+            }
+        });
+        out
+    }
+
+    /// Hand 4-wide SIMD plus threads plus an unsafe pointer fast path.
+    // ninja-lint: variant(ninja)
+    pub fn run_ninja(&self, pool: &ThreadPool) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.n];
+        par_chunks_mut(pool, &mut out, 64, |base, chunk| {
+            for (k, quad) in chunk.chunks_mut(4).enumerate() {
+                let i = base * 64 + k * 4;
+                let x = F32x4::from_slice(&self.xs[i..]);
+                let y = F32x4::from_slice(&self.ys[i..]);
+                let v = x * y + F32x4::splat(1.0);
+                // SAFETY: quads are padded to a multiple of 4 elements.
+                unsafe { v.store_unchecked(quad.as_mut_ptr()) };
+            }
+        });
+        out
+    }
+}
+
+pub fn spec() -> KernelSpec {
+    KernelSpec {
+        name: "dotprod",
+        variants: [
+            VariantInfo {
+                variant: Variant::Naive,
+                effort_loc: 0,
+                what_changed: "serial scalar loop",
+            },
+            VariantInfo {
+                variant: Variant::Parallel,
+                effort_loc: 4,
+                what_changed: "parallel_for over chunks",
+            },
+            VariantInfo {
+                variant: Variant::Simd,
+                effort_loc: 6,
+                what_changed: "iterator form the compiler vectorizes",
+            },
+            VariantInfo {
+                variant: Variant::Algorithmic,
+                effort_loc: 10,
+                what_changed: "vectorizable form + threads",
+            },
+            VariantInfo {
+                variant: Variant::Ninja,
+                effort_loc: 25,
+                what_changed: "hand 4-wide SIMD, unchecked stores",
+            },
+        ],
+    }
+}

@@ -63,8 +63,22 @@ fn parallel_uses_simd_fires_nl002_once() {
 }
 
 #[test]
+fn parallel_uses_isa_fires_nl002_once() {
+    assert_fires_exactly_once("parallel_uses_isa.rs", RuleId::SimdInScalarRung);
+}
+
+#[test]
 fn ninja_without_simd_fires_nl003_once() {
     assert_fires_exactly_once("ninja_without_simd.rs", RuleId::NinjaWithoutSimd);
+}
+
+#[test]
+fn isa_generic_ninja_fixture_passes() {
+    // A ninja rung written against the width-generic `Isa` trait — no
+    // fixed-width vector type anywhere — satisfies NL003 and every
+    // other rule.
+    let report = lint_fixture("ninja_isa_generic.rs");
+    assert!(report.clean, "{:#?}", report.findings);
 }
 
 #[test]
@@ -116,6 +130,7 @@ fn binary_exits_nonzero_on_each_violation_fixture() {
     for name in [
         "naive_uses_threads.rs",
         "parallel_uses_simd.rs",
+        "parallel_uses_isa.rs",
         "ninja_without_simd.rs",
         "effort_drift.rs",
         "missing_safety.rs",

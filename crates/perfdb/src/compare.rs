@@ -427,6 +427,21 @@ fn explain_vec_shift(
     }
 }
 
+/// Explains a dispatch-level shift between two runs: the resolved ISA
+/// backend changed (e.g. a forced `NINJA_ISA=sse2` run compared against
+/// an AVX2 baseline). Unlike [`explain_vec_shift`], which reads codegen
+/// evidence per cell, this reads the run-level dispatcher decision and
+/// therefore applies to every flagged cell of the pair. Records written
+/// before the width-generic dispatcher existed carry an empty `isa`;
+/// those stay silent rather than claiming "isa changed →sse2".
+fn explain_isa_shift(base: &str, cand: &str) -> Option<String> {
+    if base.is_empty() || cand.is_empty() || base == cand {
+        None
+    } else {
+        Some(format!("isa changed {base}→{cand}"))
+    }
+}
+
 /// Reconstructs a plausible repetition sample set from a summary: `runs`
 /// points spanning `[min, max]` with the median preserved at the center.
 /// The harness stores summaries, not raw repetitions, so the bootstrap
@@ -572,6 +587,7 @@ pub fn compare_records(
                         baseline.vec_profile(&c.kernel, &c.variant),
                         candidate.vec_profile(&c.kernel, &c.variant),
                     ))
+                    .chain(explain_isa_shift(&baseline.isa, &candidate.isa))
                     .collect();
             if clauses.is_empty() {
                 None
@@ -662,6 +678,7 @@ mod tests {
             size: "test".into(),
             seed: 1,
             threads: 1,
+            isa: String::new(),
             excluded: Vec::new(),
             cells: cells
                 .into_iter()
@@ -1035,6 +1052,41 @@ mod tests {
         same.vec_profiles.push(profile("k", "ninja", 256, true));
         let r = compare_records(&base, &same, &CompareConfig::default());
         assert!(r.cells[0].explain.is_none());
+    }
+
+    #[test]
+    fn regressions_explain_isa_backend_changes() {
+        let mut base = record("base", vec![("k", "ninja", Some(sample(1.0, 0.05)))]);
+        base.isa = "avx2".into();
+        let mut slow = record("slow", vec![("k", "ninja", Some(sample(2.1, 0.05)))]);
+        slow.isa = "sse2".into();
+
+        let r = compare_records(&base, &slow, &CompareConfig::default());
+        assert_eq!(r.cells[0].verdict, Verdict::Regressed);
+        let why = r.cells[0].explain.as_deref().expect("explained");
+        assert!(why.contains("isa changed avx2→sse2"), "{why}");
+
+        // Same backend on both sides: no clause.
+        let mut same = record("same", vec![("k", "ninja", Some(sample(2.1, 0.05)))]);
+        same.isa = "avx2".into();
+        let r = compare_records(&base, &same, &CompareConfig::default());
+        assert!(r.cells[0].explain.is_none(), "{:?}", r.cells[0].explain);
+
+        // A pre-dispatcher record (empty isa) on either side stays quiet
+        // instead of claiming "isa changed →sse2".
+        let old = record("old", vec![("k", "ninja", Some(sample(1.0, 0.05)))]);
+        let r = compare_records(&old, &slow, &CompareConfig::default());
+        assert_eq!(r.cells[0].verdict, Verdict::Regressed);
+        assert!(r.cells[0].explain.is_none(), "{:?}", r.cells[0].explain);
+
+        // The isa clause chains after per-cell codegen clauses.
+        base.vec_profiles.push(profile("k", "ninja", 256, true));
+        slow.vec_profiles.push(profile("k", "ninja", 128, true));
+        let r = compare_records(&base, &slow, &CompareConfig::default());
+        let why = r.cells[0].explain.as_deref().expect("explained");
+        let vec_pos = why.find("vector width changed 256→128").unwrap();
+        let isa_pos = why.find("isa changed avx2→sse2").unwrap();
+        assert!(vec_pos < isa_pos, "codegen clause leads: {why}");
     }
 
     #[test]

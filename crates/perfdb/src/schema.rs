@@ -503,6 +503,10 @@ pub struct RunRecord {
     pub seed: u64,
     /// Pool threads used by parallel variants.
     pub threads: usize,
+    /// Resolved ISA dispatch backend the ninja rungs ran on (`scalar`,
+    /// `sse2`, `avx2`, `neon`); empty for records written before the
+    /// width-generic dispatcher existed.
+    pub isa: String,
     /// Kernels present in the suite report but excluded from the record
     /// (currently: the `chaos-*` fault-injection family).
     pub excluded: Vec<String>,
@@ -535,6 +539,9 @@ impl Serialize for RunRecord {
             ("excluded".to_owned(), self.excluded.to_value()),
             ("cells".to_owned(), self.cells.to_value()),
         ];
+        if !self.isa.is_empty() {
+            pairs.push(("isa".to_owned(), self.isa.to_value()));
+        }
         if !self.vec_profiles.is_empty() {
             pairs.push(("vec_profiles".to_owned(), self.vec_profiles.to_value()));
         }
@@ -553,6 +560,10 @@ impl Deserialize for RunRecord {
             size: String::from_value(v.field("size")?)?,
             seed: u64::from_value(v.field("seed")?)?,
             threads: usize::from_value(v.field("threads")?)?,
+            isa: match v.field("isa") {
+                Ok(val) => String::from_value(val)?,
+                Err(_) => String::new(),
+            },
             excluded: Vec::from_value(v.field("excluded")?)?,
             cells: Vec::from_value(v.field("cells")?)?,
             vec_profiles: match v.field("vec_profiles") {
@@ -618,12 +629,13 @@ struct SuiteWire {
     seed: u64,
     threads: usize,
     simd_backend: String,
+    isa: String,
     kernels: Vec<KernelWire>,
     vec_profiles: Vec<VecProfileRecord>,
 }
 
-// Hand-written so suite reports written before `vec_profiles` existed
-// still ingest.
+// Hand-written so suite reports written before `vec_profiles` or `isa`
+// existed still ingest.
 impl Deserialize for SuiteWire {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         Ok(Self {
@@ -631,6 +643,10 @@ impl Deserialize for SuiteWire {
             seed: u64::from_value(v.field("seed")?)?,
             threads: usize::from_value(v.field("threads")?)?,
             simd_backend: String::from_value(v.field("simd_backend")?)?,
+            isa: match v.field("isa") {
+                Ok(val) => String::from_value(val)?,
+                Err(_) => String::new(),
+            },
             kernels: Vec::from_value(v.field("kernels")?)?,
             vec_profiles: match v.field("vec_profiles") {
                 Ok(val) => Vec::from_value(val)?,
@@ -687,6 +703,7 @@ impl RunRecord {
             size: suite.size,
             seed: suite.seed,
             threads: suite.threads,
+            isa: suite.isa,
             excluded,
             cells,
             vec_profiles,
@@ -707,6 +724,7 @@ impl RunRecord {
             self.git_commit.as_str(),
             self.machine.hostname.as_str(),
             self.size.as_str(),
+            self.isa.as_str(),
         ] {
             h = fnv1a64_continue(h, part.as_bytes());
         }
@@ -914,6 +932,7 @@ mod tests {
             size: "test".into(),
             seed: 1,
             threads: 1,
+            isa: String::new(),
             excluded: Vec::new(),
             cells: vec![
                 CellRecord {
@@ -1130,6 +1149,56 @@ mod tests {
         let p = back.vec_profile("nbody", "ninja").expect("profile found");
         assert_eq!(p.width_bits, 256);
         assert!(back.vec_profile("nbody", "naive").is_none());
+    }
+
+    #[test]
+    fn isa_is_omitted_when_empty_and_tolerated_on_read() {
+        // A suite report written before the width-generic dispatcher has
+        // no `isa` key: ingestion defaults it, and the empty value stays
+        // off the JSONL wire (exactly what old stores contain).
+        let meta = RecordMeta::synthetic("r7", "scalar");
+        let bare = RunRecord::from_suite_json(&suite_json(), &meta).unwrap();
+        assert!(bare.isa.is_empty());
+        let line = bare.to_jsonl_line();
+        assert!(
+            !line.contains("\"isa\""),
+            "empty isa must stay off the wire: {line}"
+        );
+        let back = RunRecord::from_jsonl_line(&line).unwrap();
+        assert_eq!(bare, back);
+        // A suite report that names its backend propagates it, and the
+        // populated record round-trips.
+        let json = suite_json().replacen(
+            r#""simd_backend": "sse-intrinsics","#,
+            r#""simd_backend": "sse-intrinsics", "isa": "avx2","#,
+            1,
+        );
+        let rec = RunRecord::from_suite_json(&json, &meta).unwrap();
+        assert_eq!(rec.isa, "avx2");
+        let line = rec.to_jsonl_line();
+        assert!(line.contains("\"isa\"") && line.contains("avx2"), "{line}");
+        let back = RunRecord::from_jsonl_line(&line).unwrap();
+        assert_eq!(rec, back);
+        assert_eq!(back.isa, "avx2");
+    }
+
+    #[test]
+    fn derived_ids_distinguish_forced_isa_backends() {
+        // Two runs identical except for the resolved backend (the
+        // forced-backend CI matrix produces exactly this) must not
+        // collide on a content-derived id.
+        let meta = RecordMeta {
+            id: None,
+            ..RecordMeta::synthetic("unused", "scalar")
+        };
+        let a = RunRecord::from_suite_json(&suite_json(), &meta).unwrap();
+        let forced = suite_json().replacen(
+            r#""simd_backend": "sse-intrinsics","#,
+            r#""simd_backend": "sse-intrinsics", "isa": "sse2","#,
+            1,
+        );
+        let b = RunRecord::from_suite_json(&forced, &meta).unwrap();
+        assert_ne!(a.id, b.id, "different isa, different id");
     }
 
     #[test]

@@ -404,6 +404,7 @@ mod tests {
             size: "test".into(),
             seed: 1,
             threads: 1,
+            isa: String::new(),
             excluded: Vec::new(),
             cells: vec![CellRecord {
                 kernel: "k".into(),

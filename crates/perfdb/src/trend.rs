@@ -405,6 +405,7 @@ mod tests {
             size: "test".into(),
             seed: 1,
             threads: 1,
+            isa: String::new(),
             excluded: Vec::new(),
             cells: vec![
                 cell("naive", sample(naive)),

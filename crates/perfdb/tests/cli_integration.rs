@@ -71,6 +71,7 @@ fn fixture_record(
         size: "test".to_owned(),
         seed: 42,
         threads: 2,
+        isa: String::new(),
         excluded: vec!["chaos-panic".to_owned()],
         cells,
         vec_profiles: Vec::new(),

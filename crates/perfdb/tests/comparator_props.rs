@@ -40,6 +40,7 @@ fn record(id: &str, cells: &[(String, String, Sample)]) -> RunRecord {
         size: "quick".to_owned(),
         seed: 42,
         threads: 4,
+        isa: String::new(),
         excluded: Vec::new(),
         cells: cells
             .iter()

@@ -675,9 +675,11 @@ impl_binop!(Div, div, DivAssign, div_assign, _mm_div_ps, /);
 
 impl Neg for F32x4 {
     type Output = Self;
+    /// IEEE negation: flips the sign bit, so `-(±0.0)` is `∓0.0`
+    /// (`0.0 - x` would lose the zero's sign).
     #[inline(always)]
     fn neg(self) -> Self {
-        Self::zero() - self
+        Self::from_bits(self.to_bits() ^ I32x4::splat(i32::MIN))
     }
 }
 

@@ -266,9 +266,19 @@ impl_binop_d!(Div, div, DivAssign, div_assign, _mm_div_pd, /);
 
 impl Neg for F64x2 {
     type Output = Self;
+    /// IEEE negation: flips the sign bit, so `-(±0.0)` is `∓0.0`
+    /// (`0.0 - x` would lose the zero's sign).
     #[inline(always)]
     fn neg(self) -> Self {
-        Self::zero() - self
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
+        unsafe {
+            Self(_mm_xor_pd(self.0, _mm_set1_pd(-0.0)))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([-self.0[0], -self.0[1]])
+        }
     }
 }
 

@@ -1,0 +1,362 @@
+//! Runtime backend selection and the [`IsaOp`] dispatch trampoline.
+//!
+//! Selection order: a `NINJA_ISA` environment override wins if set (and
+//! errors cleanly if the named backend cannot run here); otherwise
+//! CPUID-based detection picks the best available backend —
+//! AVX2+FMA > SSE2 on x86_64, NEON on aarch64, Scalar elsewhere.
+//!
+//! Dispatch uses a visitor ([`IsaOp`]) rather than returning a trait
+//! object: the selected arm monomorphizes the op body for that backend,
+//! and the AVX2 arm runs it inside a `#[target_feature(enable =
+//! "avx2,fma")]` trampoline so LLVM can inline the 256-bit intrinsics.
+//! Note `#[target_feature]` does not travel across thread boundaries:
+//! parallel kernels must call [`dispatch`] *inside* the per-chunk
+//! closure, not around the thread-pool loop. [`active`] is cached, so a
+//! per-chunk call costs one atomic load.
+
+use super::scalar::Scalar;
+use super::sse2::Sse2;
+use super::Isa;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+#[cfg(target_arch = "x86_64")]
+use super::avx2::Avx2;
+#[cfg(target_arch = "aarch64")]
+use super::neon::Neon;
+
+/// Environment variable that forces a backend (`scalar`, `sse2`,
+/// `avx2`, `neon`) instead of CPUID-based detection.
+pub const NINJA_ISA_ENV: &str = "NINJA_ISA";
+
+/// Identifier for one ISA backend.
+///
+/// Every variant exists on every architecture so reports, perfdb
+/// records, and CLI parsing are arch-independent; [`IsaKind::available`]
+/// says whether the backend can actually run here.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum IsaKind {
+    /// One-lane pure-Rust reference backend.
+    Scalar,
+    /// 128-bit portable types (SSE2 instructions on x86_64).
+    Sse2,
+    /// 256-bit AVX2+FMA (x86_64 with CPUID support).
+    Avx2,
+    /// 128-bit NEON (aarch64).
+    Neon,
+}
+
+impl IsaKind {
+    /// All backend kinds, in dispatch-preference order (widest first).
+    pub const ALL: [IsaKind; 4] = [IsaKind::Avx2, IsaKind::Neon, IsaKind::Sse2, IsaKind::Scalar];
+
+    /// Lower-case name as used in `NINJA_ISA`, reports, and perfdb.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaKind::Scalar => Scalar::NAME,
+            IsaKind::Sse2 => Sse2::NAME,
+            IsaKind::Avx2 => "avx2",
+            IsaKind::Neon => "neon",
+        }
+    }
+
+    /// `f32` vector width in bits.
+    pub fn width_bits(self) -> usize {
+        match self {
+            IsaKind::Scalar => 32,
+            IsaKind::Sse2 | IsaKind::Neon => 128,
+            IsaKind::Avx2 => 256,
+        }
+    }
+
+    /// Parses a backend name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "scalar" => Some(IsaKind::Scalar),
+            "sse2" => Some(IsaKind::Sse2),
+            "avx2" => Some(IsaKind::Avx2),
+            "neon" => Some(IsaKind::Neon),
+            _ => None,
+        }
+    }
+
+    /// Whether this backend can run on the current CPU and build.
+    pub fn available(self) -> bool {
+        match self {
+            IsaKind::Scalar => Scalar::available(),
+            IsaKind::Sse2 => Sse2::available(),
+            #[cfg(target_arch = "x86_64")]
+            IsaKind::Avx2 => Avx2::available(),
+            #[cfg(not(target_arch = "x86_64"))]
+            IsaKind::Avx2 => false,
+            #[cfg(target_arch = "aarch64")]
+            IsaKind::Neon => Neon::available(),
+            #[cfg(not(target_arch = "aarch64"))]
+            IsaKind::Neon => false,
+        }
+    }
+}
+
+impl std::fmt::Display for IsaKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Backends that can run on this host, widest first.
+pub fn available_kinds() -> Vec<IsaKind> {
+    IsaKind::ALL.into_iter().filter(|k| k.available()).collect()
+}
+
+/// The best backend the current CPU supports (ignores `NINJA_ISA`).
+pub fn detect_best() -> IsaKind {
+    IsaKind::ALL
+        .into_iter()
+        .find(|k| k.available())
+        .unwrap_or(IsaKind::Scalar)
+}
+
+/// Resolves an optional backend-name override against this host.
+///
+/// `None` picks [`detect_best`]. `Some(name)` selects that backend, or
+/// returns a descriptive error if the name is unknown or the backend
+/// cannot run here — callers (like `reproduce`) surface that error
+/// instead of silently falling back.
+pub fn resolve(override_name: Option<&str>) -> Result<IsaKind, String> {
+    let Some(name) = override_name else {
+        return Ok(detect_best());
+    };
+    let kind = IsaKind::parse(name).ok_or_else(|| {
+        format!("unknown ISA backend {name:?} (expected scalar, sse2, avx2, or neon)")
+    })?;
+    if !kind.available() {
+        let avail: Vec<&str> = available_kinds().iter().map(|k| k.name()).collect();
+        return Err(format!(
+            "ISA backend '{}' is not available on this CPU/build (available: {})",
+            kind.name(),
+            avail.join(", ")
+        ));
+    }
+    Ok(kind)
+}
+
+/// [`resolve`] driven by the `NINJA_ISA` environment variable; an unset
+/// or empty variable means auto-detection.
+pub fn resolve_from_env() -> Result<IsaKind, String> {
+    match std::env::var(NINJA_ISA_ENV) {
+        Ok(v) if !v.trim().is_empty() => resolve(Some(v.trim())),
+        _ => Ok(detect_best()),
+    }
+}
+
+/// Test-only override slot: 0 = none, otherwise IsaKind discriminant + 1.
+static FORCED: AtomicU8 = AtomicU8::new(0);
+
+/// Caches the environment/CPUID resolution for [`active`].
+static ACTIVE: OnceLock<IsaKind> = OnceLock::new();
+
+/// Forces [`active`] (and thus [`dispatch`]) to the given backend for
+/// the rest of the process, or restores normal resolution with `None`.
+///
+/// Intended for tests that pin a backend without spawning a process per
+/// `NINJA_ISA` value. The caller must pick an available backend —
+/// [`dispatch`] still asserts availability.
+pub fn force_for_test(kind: Option<IsaKind>) {
+    let v = match kind {
+        None => 0,
+        Some(IsaKind::Scalar) => 1,
+        Some(IsaKind::Sse2) => 2,
+        Some(IsaKind::Avx2) => 3,
+        Some(IsaKind::Neon) => 4,
+    };
+    FORCED.store(v, Ordering::SeqCst);
+}
+
+/// The backend every [`dispatch`] call runs on: the `NINJA_ISA`
+/// override if set and usable, otherwise the best detected backend.
+///
+/// The environment is read once and cached. An *invalid* `NINJA_ISA`
+/// value falls back to detection here — binaries that want a hard error
+/// call [`resolve_from_env`] at startup and report it before any kernel
+/// runs.
+pub fn active() -> IsaKind {
+    match FORCED.load(Ordering::SeqCst) {
+        1 => return IsaKind::Scalar,
+        2 => return IsaKind::Sse2,
+        3 => return IsaKind::Avx2,
+        4 => return IsaKind::Neon,
+        _ => {}
+    }
+    *ACTIVE.get_or_init(|| resolve_from_env().unwrap_or_else(|_| detect_best()))
+}
+
+/// A width-generic computation, dispatched to one backend at runtime.
+///
+/// Implementors put the kernel body in [`IsaOp::run`], written against
+/// the [`Isa`] associated types; [`dispatch`] monomorphizes it per
+/// backend and runs the selected instantiation inside that backend's
+/// `#[target_feature]` context.
+pub trait IsaOp {
+    /// Result of the computation.
+    type Output;
+
+    /// The width-generic body.
+    fn run<I: Isa>(self) -> Self::Output;
+}
+
+/// Runs `op` on the [`active`] backend.
+#[inline]
+pub fn dispatch<Op: IsaOp>(op: Op) -> Op::Output {
+    dispatch_on(active(), op)
+}
+
+/// Runs `op` on an explicitly chosen backend.
+///
+/// # Panics
+///
+/// Panics if `kind` is not available on this CPU/build.
+#[inline]
+pub fn dispatch_on<Op: IsaOp>(kind: IsaKind, op: Op) -> Op::Output {
+    assert!(
+        kind.available(),
+        "ISA backend '{}' is not available on this CPU/build",
+        kind.name()
+    );
+    match kind {
+        IsaKind::Scalar => op.run::<Scalar>(),
+        IsaKind::Sse2 => op.run::<Sse2>(),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: the availability assert above verified avx2+fma via
+        // CPUID, so entering the target_feature trampoline is sound.
+        IsaKind::Avx2 => unsafe { run_avx2(op) },
+        #[cfg(target_arch = "aarch64")]
+        IsaKind::Neon => op.run::<Neon>(),
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("backend passed the availability check but has no dispatch arm"),
+    }
+}
+
+/// The AVX2 trampoline: everything `op.run::<Avx2>()` inlines into this
+/// frame compiles with AVX2+FMA enabled, so the backend's intrinsics
+/// become straight-line 256-bit code even at a baseline `target-cpu`.
+// SAFETY: unsafe to call because of `target_feature` — the caller must
+// verify avx2+fma via CPUID first (`dispatch_on` asserts availability
+// before entering).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn run_avx2<Op: IsaOp>(op: Op) -> Op::Output {
+    op.run::<Avx2>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{SimdF32, SimdI32};
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_names() {
+        for kind in IsaKind::ALL {
+            assert_eq!(IsaKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(IsaKind::parse("AVX2"), Some(IsaKind::Avx2));
+        assert_eq!(IsaKind::parse("sse4"), None);
+        assert_eq!(IsaKind::parse(""), None);
+    }
+
+    #[test]
+    fn widths_match_backends() {
+        assert_eq!(IsaKind::Scalar.width_bits(), 32);
+        assert_eq!(IsaKind::Sse2.width_bits(), 128);
+        assert_eq!(IsaKind::Avx2.width_bits(), 256);
+        assert_eq!(IsaKind::Neon.width_bits(), 128);
+    }
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(IsaKind::Scalar.available());
+        assert!(available_kinds().contains(&IsaKind::Scalar));
+        assert!(detect_best().available());
+    }
+
+    #[test]
+    fn resolve_picks_named_backend() {
+        assert_eq!(resolve(Some("scalar")), Ok(IsaKind::Scalar));
+        assert_eq!(resolve(None), Ok(detect_best()));
+    }
+
+    #[test]
+    fn resolve_rejects_unknown_names() {
+        let err = resolve(Some("avx512")).unwrap_err();
+        assert!(err.contains("unknown ISA backend"), "got: {err}");
+        assert!(err.contains("avx512"), "got: {err}");
+    }
+
+    #[test]
+    fn resolve_rejects_unavailable_backends_with_a_clean_error() {
+        // Neon can never run on x86_64 builds and vice versa, so one of
+        // the two is guaranteed unavailable on any host.
+        let foreign = if cfg!(target_arch = "aarch64") {
+            "sse2"
+        } else {
+            "neon"
+        };
+        let err = resolve(Some(foreign)).unwrap_err();
+        assert!(err.contains("not available"), "got: {err}");
+        assert!(err.contains("available:"), "got: {err}");
+        assert!(err.contains("scalar"), "got: {err}");
+    }
+
+    struct SumSquares(Vec<f32>);
+    impl IsaOp for SumSquares {
+        type Output = f32;
+        fn run<I: Isa>(self) -> f32 {
+            let lanes = <I::F32 as SimdF32>::LANES;
+            let mut acc = I::F32::zero();
+            let mut chunks = self.0.chunks_exact(lanes);
+            for c in chunks.by_ref() {
+                let v = I::F32::load(c);
+                acc = v.mul_add(v, acc);
+            }
+            acc.reduce_sum() + chunks.remainder().iter().map(|x| x * x).sum::<f32>()
+        }
+    }
+
+    #[test]
+    fn dispatch_on_agrees_across_available_backends() {
+        let xs: Vec<f32> = (0..103).map(|i| i as f32 * 0.25).collect();
+        let want: f32 = xs.iter().map(|x| x * x).sum();
+        for kind in available_kinds() {
+            let got = dispatch_on(kind, SumSquares(xs.clone()));
+            let rel = ((got - want) / want).abs();
+            assert!(rel < 1e-5, "{kind}: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not available")]
+    fn dispatch_on_panics_for_foreign_backends() {
+        let kind = if cfg!(target_arch = "aarch64") {
+            IsaKind::Avx2 // x86-only; also unavailable on aarch64 hosts
+        } else {
+            IsaKind::Neon
+        };
+        let _ = dispatch_on(kind, SumSquares(vec![1.0]));
+    }
+
+    struct LaneCount;
+    impl IsaOp for LaneCount {
+        type Output = usize;
+        fn run<I: Isa>(self) -> usize {
+            <I::I32 as SimdI32>::LANES
+        }
+    }
+
+    #[test]
+    fn force_for_test_overrides_active() {
+        force_for_test(Some(IsaKind::Scalar));
+        assert_eq!(active(), IsaKind::Scalar);
+        assert_eq!(dispatch(LaneCount), 1);
+        force_for_test(None);
+        assert!(active().available());
+    }
+}

@@ -1,0 +1,192 @@
+//! Width-generic transcendental math over any [`Isa`] backend.
+//!
+//! The same Cephes-style polynomial kernels as [`crate::math`], written
+//! once against the [`SimdF32`] contract so BlackScholes and Libor run
+//! them at 1, 4, or 8 lanes from one source. Constants are identical to
+//! the concrete versions; results differ across backends only through
+//! `mul_add` fusion (see the [`super`] numeric contract).
+//!
+//! Accuracy matches [`crate::math`]: relative error below ~2e-6 for
+//! [`exp`] over `[-87, 88]` and [`ln`] on normal positive inputs,
+//! absolute error below ~1e-6 for [`norm_cdf`] (A&S 26.2.17).
+
+use super::{Isa, SimdF32, SimdI32};
+
+const EXP_HI: f32 = 88.376_26;
+const EXP_LO: f32 = -87.336_54;
+const LOG2E: f32 = std::f32::consts::LOG2_E;
+// ln(2) split into a high part exactly representable in f32 and a low
+// correction, so that `x - n*ln2` stays accurate (Cody-Waite reduction).
+const LN2_HI: f32 = 0.693_359_4;
+const LN2_LO: f32 = -2.121_944_4e-4;
+
+/// Lane-wise `e^x`: clamp to `[-87.3, 88.4]`, reduce as `x = n·ln2 + r`,
+/// reconstruct a degree-5 polynomial in `r` scaled by `2^n`.
+#[inline(always)]
+pub fn exp<I: Isa>(x: I::F32) -> I::F32 {
+    let x = x.min(I::F32::splat(EXP_HI)).max(I::F32::splat(EXP_LO));
+
+    // n = round(x / ln2), computed as floor(x*log2e + 0.5).
+    let fx = x.mul_add(I::F32::splat(LOG2E), I::F32::splat(0.5)).floor();
+
+    // r = x - n*ln2, in two steps for accuracy.
+    let r = x - fx * I::F32::splat(LN2_HI) - fx * I::F32::splat(LN2_LO);
+
+    // Degree-5 minimax polynomial for e^r on [-ln2/2, ln2/2] (Cephes expf).
+    let mut p = I::F32::splat(1.987_569_1e-4);
+    p = p.mul_add(r, I::F32::splat(1.398_199_9e-3));
+    p = p.mul_add(r, I::F32::splat(8.333_452e-3));
+    p = p.mul_add(r, I::F32::splat(4.166_579_6e-2));
+    p = p.mul_add(r, I::F32::splat(1.666_666_6e-1));
+    p = p.mul_add(r, I::F32::splat(0.5));
+    let y = p.mul_add(r * r, r + I::F32::splat(1.0));
+
+    // 2^n assembled directly in the exponent field.
+    let n = fx.to_i32_trunc();
+    let pow2n = I::F32::from_bits((n + I::I32::splat(127)) << 23);
+    y * pow2n
+}
+
+/// Lane-wise natural logarithm.
+///
+/// Returns a platform-dependent garbage value (not a trap) for
+/// non-positive or non-finite lanes, like SVML's fast variants; callers
+/// in this workspace only pass positive finite values.
+#[inline(always)]
+pub fn ln<I: Isa>(x: I::F32) -> I::F32 {
+    // Decompose x = m * 2^e with m in [sqrt(0.5), sqrt(2)).
+    let bits = x.to_bits();
+    let exp_raw = (bits >> 23) - I::I32::splat(127);
+    // Mantissa with exponent forced to 0 => m in [1, 2).
+    let mant_bits = (bits & I::I32::splat(0x007f_ffff)) | I::I32::splat(0x3f80_0000);
+    let m = I::F32::from_bits(mant_bits);
+
+    // Fold m into [sqrt(0.5), sqrt(2)): if m > sqrt(2), halve it and bump e.
+    let sqrt2 = I::F32::splat(std::f32::consts::SQRT_2);
+    let fold = m.simd_gt(sqrt2);
+    let m = I::F32::select(fold, m * I::F32::splat(0.5), m);
+    let e = I::F32::from_i32(I::I32::select(fold, exp_raw + I::I32::splat(1), exp_raw));
+
+    // ln(m) via atanh identity: ln(m) = 2·atanh((m-1)/(m+1)).
+    let one = I::F32::splat(1.0);
+    let t = (m - one) / (m + one);
+    let t2 = t * t;
+    // Degree-4 polynomial in t^2 for 2*atanh(t)/t.
+    let mut p = I::F32::splat(2.0 / 9.0);
+    p = p.mul_add(t2, I::F32::splat(2.0 / 7.0));
+    p = p.mul_add(t2, I::F32::splat(2.0 / 5.0));
+    p = p.mul_add(t2, I::F32::splat(2.0 / 3.0));
+    p = p.mul_add(t2, I::F32::splat(2.0));
+    let ln_m = p * t;
+
+    e.mul_add(I::F32::splat(std::f32::consts::LN_2), ln_m)
+}
+
+/// Lane-wise standard normal CDF (Abramowitz & Stegun 26.2.17, the
+/// classic Black-Scholes CND).
+#[inline(always)]
+pub fn norm_cdf<I: Isa>(x: I::F32) -> I::F32 {
+    let one = I::F32::splat(1.0);
+    let ax = x.abs();
+    let k = one / ax.mul_add(I::F32::splat(0.231_641_9), one);
+
+    let mut poly = I::F32::splat(1.330_274_5);
+    poly = poly.mul_add(k, I::F32::splat(-1.821_255_9));
+    poly = poly.mul_add(k, I::F32::splat(1.781_477_9));
+    poly = poly.mul_add(k, I::F32::splat(-0.356_563_78));
+    poly = poly.mul_add(k, I::F32::splat(0.319_381_54));
+    poly = poly * k;
+
+    // phi(ax) = exp(-ax^2/2) / sqrt(2*pi)
+    let inv_sqrt_2pi = I::F32::splat(0.398_942_3);
+    let pdf = inv_sqrt_2pi * exp::<I>(-(ax * ax) * I::F32::splat(0.5));
+
+    let cdf_pos = one - pdf * poly;
+    // Reflect for negative inputs: N(-x) = 1 - N(x).
+    I::F32::select(x.simd_ge(I::F32::zero()), cdf_pos, one - cdf_pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{available_kinds, dispatch_on, IsaKind, IsaOp, Scalar, Sse2};
+    use super::*;
+    use crate::math as concrete;
+    use crate::F32x4;
+
+    #[test]
+    fn sse2_instantiation_matches_concrete_math_bitwise() {
+        // The Sse2 backend reuses F32x4, so the generic functions must be
+        // the same computation as crate::math lane for lane.
+        let xs: Vec<f32> = (-400..400).map(|i| i as f32 * 0.21).collect();
+        for c in xs.chunks_exact(4) {
+            let v = F32x4::from_slice(c);
+            assert_eq!(
+                exp::<Sse2>(v).to_array(),
+                concrete::exp_v4(v).to_array(),
+                "exp at {c:?}"
+            );
+            assert_eq!(
+                norm_cdf::<Sse2>(v).to_array(),
+                concrete::norm_cdf_v4(v).to_array(),
+                "norm_cdf at {c:?}"
+            );
+            let pos = v.abs() + F32x4::splat(1e-3);
+            assert_eq!(
+                ln::<Sse2>(pos).to_array(),
+                concrete::ln_v4(pos).to_array(),
+                "ln at {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_matches_std_functions() {
+        for i in -860..880 {
+            let x = i as f32 * 0.1;
+            let got = exp::<Scalar>(crate::isa::scalar::ScalarF32(x)).0;
+            let want = x.exp();
+            let rel = (got - want).abs() / want.abs().max(1e-30);
+            assert!(rel < 2e-6, "exp({x}) = {got}, want {want}");
+        }
+        for i in 1..2000 {
+            let x = i as f32 * 0.05;
+            let got = ln::<Scalar>(crate::isa::scalar::ScalarF32(x)).0;
+            let rel = (got - x.ln()).abs() / x.ln().abs().max(1e-30);
+            assert!(rel < 2e-6, "ln({x}) = {got}");
+        }
+        for i in -100..=100 {
+            let x = i as f32 * 0.1;
+            let got = norm_cdf::<Scalar>(crate::isa::scalar::ScalarF32(x)).0;
+            let want = concrete::norm_cdf_scalar(x as f64) as f32;
+            assert!((got - want).abs() < 2e-6, "norm_cdf({x}) = {got}");
+        }
+    }
+
+    struct MathSweep;
+    impl IsaOp for MathSweep {
+        type Output = Vec<f32>;
+        fn run<I: Isa>(self) -> Vec<f32> {
+            let lanes = <I::F32 as SimdF32>::LANES;
+            let xs: Vec<f32> = (0..64).map(|i| i as f32 * 0.37 - 11.0).collect();
+            let mut out = vec![0.0; xs.len()];
+            for (c, o) in xs.chunks_exact(lanes).zip(out.chunks_exact_mut(lanes)) {
+                let v = I::F32::load(c);
+                let y = norm_cdf::<I>(v) + exp::<I>(v) + ln::<I>(v.abs() + I::F32::splat(0.5));
+                y.store(o);
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn every_reachable_backend_agrees_on_a_sweep() {
+        let reference = dispatch_on(IsaKind::Scalar, MathSweep);
+        for kind in available_kinds() {
+            let got = dispatch_on(kind, MathSweep);
+            for (i, (g, r)) in got.iter().zip(&reference).enumerate() {
+                let rel = (g - r).abs() / r.abs().max(1e-6);
+                assert!(rel < 1e-5, "{kind} lane {i}: {g} vs scalar {r}");
+            }
+        }
+    }
+}

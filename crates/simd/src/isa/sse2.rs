@@ -1,0 +1,463 @@
+//! The 128-bit backend: the crate's portable vector types as an [`Isa`].
+//!
+//! [`Sse2`] does not define new vector types — it implements the ISA
+//! traits directly on [`F32x4`], [`F64x2`], [`I32x4`] and their masks,
+//! which lower to SSE2 instructions on x86_64 and to scalar-fallback
+//! arrays elsewhere. That makes `body::<Sse2>` compile on every
+//! architecture (the fixed-width serving wrappers rely on this), while
+//! [`Isa::available`] reports `true` only where the lowering is actually
+//! SSE2, so runtime dispatch never *selects* it off x86_64.
+
+use super::{Isa, SimdF32, SimdF64, SimdI32, SimdMask};
+use crate::masks::{Mask32x4, Mask64x2};
+use crate::{F32x4, F64x2, I32x4};
+
+/// The 128-bit backend built on the crate's portable vector types.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Sse2;
+
+impl Isa for Sse2 {
+    const NAME: &'static str = "sse2";
+    const WIDTH_BITS: usize = 128;
+    type F32 = F32x4;
+    type F64 = F64x2;
+    type I32 = I32x4;
+    type M32 = Mask32x4;
+    type M64 = Mask64x2;
+
+    #[inline]
+    fn available() -> bool {
+        cfg!(target_arch = "x86_64")
+    }
+}
+
+impl SimdMask for Mask32x4 {
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    fn none() -> Self {
+        Mask32x4::none()
+    }
+
+    #[inline(always)]
+    fn all_true() -> Self {
+        Mask32x4::all_true()
+    }
+
+    #[inline(always)]
+    fn first_n(n: usize) -> Self {
+        Mask32x4::from_bools(n >= 1, n >= 2, n >= 3, n >= 4)
+    }
+
+    #[inline(always)]
+    fn test(self, i: usize) -> bool {
+        self.lane(i)
+    }
+
+    #[inline(always)]
+    fn any(self) -> bool {
+        Mask32x4::any(self)
+    }
+
+    #[inline(always)]
+    fn all(self) -> bool {
+        Mask32x4::all(self)
+    }
+
+    #[inline(always)]
+    fn count(self) -> u32 {
+        Mask32x4::count(self)
+    }
+
+    #[inline(always)]
+    fn and(self, rhs: Self) -> Self {
+        self & rhs
+    }
+
+    #[inline(always)]
+    fn or(self, rhs: Self) -> Self {
+        self | rhs
+    }
+
+    #[inline(always)]
+    fn not(self) -> Self {
+        !self
+    }
+}
+
+impl SimdMask for Mask64x2 {
+    const LANES: usize = 2;
+
+    #[inline(always)]
+    fn none() -> Self {
+        Mask64x2::none()
+    }
+
+    #[inline(always)]
+    fn all_true() -> Self {
+        Mask64x2::all_true()
+    }
+
+    #[inline(always)]
+    fn first_n(n: usize) -> Self {
+        Mask64x2::from_bools(n >= 1, n >= 2)
+    }
+
+    #[inline(always)]
+    fn test(self, i: usize) -> bool {
+        self.lane(i)
+    }
+
+    #[inline(always)]
+    fn any(self) -> bool {
+        Mask64x2::any(self)
+    }
+
+    #[inline(always)]
+    fn all(self) -> bool {
+        Mask64x2::all(self)
+    }
+
+    #[inline(always)]
+    fn count(self) -> u32 {
+        Mask64x2::count(self)
+    }
+
+    #[inline(always)]
+    fn and(self, rhs: Self) -> Self {
+        self & rhs
+    }
+
+    #[inline(always)]
+    fn or(self, rhs: Self) -> Self {
+        self | rhs
+    }
+
+    #[inline(always)]
+    fn not(self) -> Self {
+        !self
+    }
+}
+
+impl SimdF32 for F32x4 {
+    const LANES: usize = 4;
+    type Mask = Mask32x4;
+    type I32 = I32x4;
+
+    #[inline(always)]
+    fn splat(v: f32) -> Self {
+        F32x4::splat(v)
+    }
+
+    #[inline(always)]
+    fn load(src: &[f32]) -> Self {
+        F32x4::from_slice(src)
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f32]) {
+        self.write_to_slice(dst);
+    }
+
+    // SAFETY: unsafe to call per the trait contract — every lane the
+    // mask enables must be readable at `ptr + lane`; the body touches
+    // no other lane.
+    #[inline(always)]
+    unsafe fn load_ptr_mask(ptr: *const f32, mask: Self::Mask) -> Self {
+        let mut tmp = [0.0f32; 4];
+        for (i, t) in tmp.iter_mut().enumerate() {
+            if mask.lane(i) {
+                // SAFETY: the caller guarantees `ptr + i` is readable for
+                // every lane the mask enables; false lanes stay zero.
+                *t = unsafe { ptr.add(i).read() };
+            }
+        }
+        F32x4::from_array(tmp)
+    }
+
+    // SAFETY: unsafe to call per the trait contract — every lane the
+    // mask enables must be writable at `ptr + lane`; the body touches
+    // no other lane.
+    #[inline(always)]
+    unsafe fn store_ptr_mask(self, ptr: *mut f32, mask: Self::Mask) {
+        let tmp = self.to_array();
+        for (i, t) in tmp.iter().enumerate() {
+            if mask.lane(i) {
+                // SAFETY: the caller guarantees `ptr + i` is writable for
+                // every lane the mask enables; false lanes are untouched.
+                unsafe { ptr.add(i).write(*t) };
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn lane(self, i: usize) -> f32 {
+        F32x4::lane(self, i)
+    }
+
+    #[inline(always)]
+    fn mul_add(self, m: Self, a: Self) -> Self {
+        F32x4::mul_add(self, m, a)
+    }
+
+    #[inline(always)]
+    fn min(self, rhs: Self) -> Self {
+        F32x4::min(self, rhs)
+    }
+
+    #[inline(always)]
+    fn max(self, rhs: Self) -> Self {
+        F32x4::max(self, rhs)
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        F32x4::abs(self)
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        F32x4::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn floor(self) -> Self {
+        F32x4::floor(self)
+    }
+
+    #[inline(always)]
+    fn simd_eq(self, rhs: Self) -> Self::Mask {
+        F32x4::simd_eq(self, rhs)
+    }
+
+    #[inline(always)]
+    fn simd_lt(self, rhs: Self) -> Self::Mask {
+        F32x4::simd_lt(self, rhs)
+    }
+
+    #[inline(always)]
+    fn simd_le(self, rhs: Self) -> Self::Mask {
+        F32x4::simd_le(self, rhs)
+    }
+
+    #[inline(always)]
+    fn simd_gt(self, rhs: Self) -> Self::Mask {
+        F32x4::simd_gt(self, rhs)
+    }
+
+    #[inline(always)]
+    fn simd_ge(self, rhs: Self) -> Self::Mask {
+        F32x4::simd_ge(self, rhs)
+    }
+
+    #[inline(always)]
+    fn select(mask: Self::Mask, on_true: Self, on_false: Self) -> Self {
+        mask.select(on_true, on_false)
+    }
+
+    #[inline(always)]
+    fn to_i32_trunc(self) -> Self::I32 {
+        F32x4::to_i32_trunc(self)
+    }
+
+    #[inline(always)]
+    fn from_i32(v: Self::I32) -> Self {
+        v.to_f32()
+    }
+
+    #[inline(always)]
+    fn from_bits(bits: Self::I32) -> Self {
+        F32x4::from_bits(bits)
+    }
+
+    #[inline(always)]
+    fn to_bits(self) -> Self::I32 {
+        F32x4::to_bits(self)
+    }
+
+    #[inline(always)]
+    fn reduce_sum(self) -> f32 {
+        F32x4::reduce_sum(self)
+    }
+
+    #[inline(always)]
+    fn reduce_min(self) -> f32 {
+        F32x4::reduce_min(self)
+    }
+
+    #[inline(always)]
+    fn reduce_max(self) -> f32 {
+        F32x4::reduce_max(self)
+    }
+
+    #[inline(always)]
+    fn gather(table: &[f32], idx: Self::I32) -> Self {
+        F32x4::gather(table, idx)
+    }
+
+    #[inline(always)]
+    fn interleave(self, rhs: Self) -> (Self, Self) {
+        (self.interleave_lo(rhs), self.interleave_hi(rhs))
+    }
+}
+
+impl SimdF64 for F64x2 {
+    const LANES: usize = 2;
+    type Mask = Mask64x2;
+
+    #[inline(always)]
+    fn splat(v: f64) -> Self {
+        F64x2::splat(v)
+    }
+
+    #[inline(always)]
+    fn load(src: &[f64]) -> Self {
+        F64x2::from_slice(src)
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f64]) {
+        self.write_to_slice(dst);
+    }
+
+    // SAFETY: unsafe to call per the trait contract — every lane the
+    // mask enables must be readable at `ptr + lane`; the body touches
+    // no other lane.
+    #[inline(always)]
+    unsafe fn load_ptr_mask(ptr: *const f64, mask: Self::Mask) -> Self {
+        let mut tmp = [0.0f64; 2];
+        for (i, t) in tmp.iter_mut().enumerate() {
+            if mask.lane(i) {
+                // SAFETY: the caller guarantees `ptr + i` is readable for
+                // every lane the mask enables; false lanes stay zero.
+                *t = unsafe { ptr.add(i).read() };
+            }
+        }
+        F64x2::from_array(tmp)
+    }
+
+    // SAFETY: unsafe to call per the trait contract — every lane the
+    // mask enables must be writable at `ptr + lane`; the body touches
+    // no other lane.
+    #[inline(always)]
+    unsafe fn store_ptr_mask(self, ptr: *mut f64, mask: Self::Mask) {
+        let tmp = self.to_array();
+        for (i, t) in tmp.iter().enumerate() {
+            if mask.lane(i) {
+                // SAFETY: the caller guarantees `ptr + i` is writable for
+                // every lane the mask enables; false lanes are untouched.
+                unsafe { ptr.add(i).write(*t) };
+            }
+        }
+    }
+
+    #[inline(always)]
+    fn lane(self, i: usize) -> f64 {
+        F64x2::lane(self, i)
+    }
+
+    #[inline(always)]
+    fn mul_add(self, m: Self, a: Self) -> Self {
+        F64x2::mul_add(self, m, a)
+    }
+
+    #[inline(always)]
+    fn min(self, rhs: Self) -> Self {
+        F64x2::min(self, rhs)
+    }
+
+    #[inline(always)]
+    fn max(self, rhs: Self) -> Self {
+        F64x2::max(self, rhs)
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        F64x2::abs(self)
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        F64x2::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn simd_lt(self, rhs: Self) -> Self::Mask {
+        F64x2::simd_lt(self, rhs)
+    }
+
+    #[inline(always)]
+    fn simd_gt(self, rhs: Self) -> Self::Mask {
+        F64x2::simd_gt(self, rhs)
+    }
+
+    #[inline(always)]
+    fn select(mask: Self::Mask, on_true: Self, on_false: Self) -> Self {
+        mask.select(on_true, on_false)
+    }
+
+    #[inline(always)]
+    fn reduce_sum(self) -> f64 {
+        F64x2::reduce_sum(self)
+    }
+}
+
+impl SimdI32 for I32x4 {
+    const LANES: usize = 4;
+    type Mask = Mask32x4;
+
+    #[inline(always)]
+    fn splat(v: i32) -> Self {
+        I32x4::splat(v)
+    }
+
+    #[inline(always)]
+    fn load(src: &[i32]) -> Self {
+        I32x4::from_slice(src)
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [i32]) {
+        self.write_to_slice(dst);
+    }
+
+    #[inline(always)]
+    fn lane(self, i: usize) -> i32 {
+        I32x4::lane(self, i)
+    }
+
+    #[inline(always)]
+    fn simd_eq(self, rhs: Self) -> Self::Mask {
+        I32x4::simd_eq(self, rhs)
+    }
+
+    #[inline(always)]
+    fn simd_gt(self, rhs: Self) -> Self::Mask {
+        I32x4::simd_gt(self, rhs)
+    }
+
+    #[inline(always)]
+    fn simd_lt(self, rhs: Self) -> Self::Mask {
+        I32x4::simd_lt(self, rhs)
+    }
+
+    #[inline(always)]
+    fn select(mask: Self::Mask, on_true: Self, on_false: Self) -> Self {
+        mask.select_i32(on_true, on_false)
+    }
+
+    #[inline(always)]
+    fn min(self, rhs: Self) -> Self {
+        I32x4::min(self, rhs)
+    }
+
+    #[inline(always)]
+    fn max(self, rhs: Self) -> Self {
+        I32x4::max(self, rhs)
+    }
+
+    #[inline(always)]
+    fn reduce_sum(self) -> i32 {
+        I32x4::reduce_sum(self)
+    }
+}

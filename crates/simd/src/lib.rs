@@ -54,6 +54,7 @@ mod f32x8;
 mod f64x2;
 mod f64x4;
 mod i32x4;
+pub mod isa;
 mod masks;
 pub mod math;
 

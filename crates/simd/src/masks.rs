@@ -290,6 +290,38 @@ impl Mask64x2 {
     /// Number of lanes.
     pub const LANES: usize = 2;
 
+    /// Builds a mask from two booleans, lane 0 first.
+    #[inline(always)]
+    pub fn from_bools(b0: bool, b1: bool) -> Self {
+        let l = |b: bool| if b { -1i64 } else { 0 };
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
+        unsafe {
+            Self(_mm_castsi128_pd(_mm_set_epi64x(l(b1), l(b0))))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([l(b0) as u64, l(b1) as u64])
+        }
+    }
+
+    /// Returns the truth value of lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 2`.
+    #[inline(always)]
+    pub fn lane(self, i: usize) -> bool {
+        assert!(i < 2, "lane index out of range");
+        self.bitmask() & (1 << i) != 0
+    }
+
+    /// Number of true lanes.
+    #[inline(always)]
+    pub fn count(self) -> u32 {
+        self.bitmask().count_ones()
+    }
+
     /// Mask with all lanes false.
     #[inline(always)]
     pub fn none() -> Self {
@@ -374,6 +406,62 @@ impl Mask64x2 {
     }
 }
 
+impl BitAnd for Mask64x2 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitand(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
+        unsafe {
+            Self(_mm_and_pd(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([self.0[0] & rhs.0[0], self.0[1] & rhs.0[1]])
+        }
+    }
+}
+
+impl BitOr for Mask64x2 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitor(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
+        unsafe {
+            Self(_mm_or_pd(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([self.0[0] | rhs.0[0], self.0[1] | rhs.0[1]])
+        }
+    }
+}
+
+impl BitXor for Mask64x2 {
+    type Output = Self;
+    #[inline(always)]
+    fn bitxor(self, rhs: Self) -> Self {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is baseline on x86_64; this intrinsic only reads and writes register lanes.
+        unsafe {
+            Self(_mm_xor_pd(self.0, rhs.0))
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Self([self.0[0] ^ rhs.0[0], self.0[1] ^ rhs.0[1]])
+        }
+    }
+}
+
+impl Not for Mask64x2 {
+    type Output = Self;
+    #[inline(always)]
+    fn not(self) -> Self {
+        self ^ Self::all_true()
+    }
+}
+
 impl Default for Mask64x2 {
     #[inline]
     fn default() -> Self {
@@ -440,6 +528,19 @@ mod tests {
         assert_eq!(m.bitmask(), 0b01);
         let s = m.select(F64x2::splat(9.0), F64x2::splat(0.0));
         assert_eq!(s.to_array(), [9.0, 0.0]);
+    }
+
+    #[test]
+    fn mask64_boolean_algebra_and_lanes() {
+        let a = Mask64x2::from_bools(true, false);
+        let b = Mask64x2::from_bools(true, true);
+        assert_eq!((a & b).bitmask(), 0b01);
+        assert_eq!((a | b).bitmask(), 0b11);
+        assert_eq!((a ^ b).bitmask(), 0b10);
+        assert_eq!((!a).bitmask(), 0b10);
+        assert!(a.lane(0) && !a.lane(1));
+        assert_eq!(a.count(), 1);
+        assert_eq!(Mask64x2::all_true().count(), 2);
     }
 
     #[test]

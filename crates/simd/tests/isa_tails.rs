@@ -1,0 +1,189 @@
+//! Tail-handling edge tests: masked loads/stores and `first_n_mask` at
+//! n = 0, n < lanes, n = lanes-1, n = lanes, n = lanes+1 (clamped), on
+//! deliberately unaligned buffers, asserting correct partial results and
+//! that lanes outside the mask never touch memory (sentinel values
+//! around the window must survive, and source/destination slices are
+//! exactly the window so an out-of-bounds access would be out of the
+//! allocation).
+
+use ninja_simd::isa::{available_kinds, dispatch_on, Isa, IsaOp, SimdF32, SimdF64, SimdMask};
+
+/// Loads `n` elements from an unaligned window and stores them back into
+/// a sentinel-filled destination at a different unaligned offset.
+struct PartialRoundtrip {
+    n: usize,
+    src_offset: usize,
+    dst_offset: usize,
+}
+
+/// (lanes, loaded lanes, destination buffer after the masked store).
+type RoundtripReport = (usize, Vec<f32>, Vec<f32>);
+
+impl IsaOp for PartialRoundtrip {
+    type Output = RoundtripReport;
+    fn run<I: Isa>(self) -> RoundtripReport {
+        let lanes = <I::F32 as SimdF32>::LANES;
+        // Source allocation ends exactly at the window: a read past the
+        // n requested elements would run off the heap allocation.
+        let src: Vec<f32> = (0..self.src_offset + self.n)
+            .map(|i| 100.0 + i as f32)
+            .collect();
+        let v = I::F32::load_partial(&src[self.src_offset..]);
+
+        let mut loaded = vec![0.0f32; lanes];
+        v.store(&mut loaded);
+
+        let mut dst = vec![-1.0f32; self.dst_offset + self.n];
+        v.store_partial(&mut dst[self.dst_offset..]);
+        (lanes, loaded, dst)
+    }
+}
+
+#[test]
+fn load_store_partial_handle_every_tail_length() {
+    for kind in available_kinds() {
+        let lanes = kind.width_bits() / 32;
+        // n = 0, 1, lanes-1, lanes, lanes+1 (deduped; +1 exercises the
+        // clamp), each at element-unaligned source/destination offsets
+        // so no 16/32-byte-aligned fast path can hide a masking bug.
+        let mut ns = vec![0, 1, lanes.saturating_sub(1), lanes, lanes + 1];
+        ns.dedup();
+        for n in ns {
+            for (so, doff) in [(0, 1), (1, 0), (1, 3), (3, 1)] {
+                let (got_lanes, loaded, dst) = dispatch_on(
+                    kind,
+                    PartialRoundtrip {
+                        n,
+                        src_offset: so,
+                        dst_offset: doff,
+                    },
+                );
+                assert_eq!(got_lanes, lanes);
+                let kept = n.min(lanes);
+                for (i, l) in loaded.iter().enumerate().take(kept) {
+                    let want = 100.0 + (so + i) as f32;
+                    assert_eq!(*l, want, "{kind} n={n} src_offset={so}: lane {i}");
+                }
+                for (i, l) in loaded.iter().enumerate().skip(kept) {
+                    assert_eq!(*l, 0.0, "{kind} n={n}: lane {i} must load as zero");
+                }
+                // Destination: sentinels before the window and past the
+                // masked lanes must survive untouched.
+                for (i, d) in dst.iter().enumerate() {
+                    if i >= doff && i < doff + kept {
+                        let want = 100.0 + (so + i - doff) as f32;
+                        assert_eq!(*d, want, "{kind} n={n} dst[{i}]");
+                    } else {
+                        assert_eq!(*d, -1.0, "{kind} n={n}: dst[{i}] sentinel clobbered");
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct MaskShape {
+    n: usize,
+}
+
+/// (lanes, per-lane truth values, count, any, all) for `first_n(n)`.
+type MaskReport = (usize, Vec<bool>, u32, bool, bool);
+
+impl IsaOp for MaskShape {
+    type Output = MaskReport;
+    fn run<I: Isa>(self) -> MaskReport {
+        let lanes = <I::M32 as SimdMask>::LANES;
+        let m = I::F32::first_n_mask(self.n);
+        let bits: Vec<bool> = (0..lanes).map(|i| m.test(i)).collect();
+        (lanes, bits, m.count(), m.any(), m.all())
+    }
+}
+
+#[test]
+fn first_n_mask_shape_at_every_boundary() {
+    for kind in available_kinds() {
+        for n in 0..=(kind.width_bits() / 32 + 1) {
+            let (lanes, bits, count, any, all) = dispatch_on(kind, MaskShape { n });
+            let kept = n.min(lanes);
+            for (i, bit) in bits.iter().enumerate() {
+                assert_eq!(*bit, i < kept, "{kind} first_n({n}) lane {i}");
+            }
+            assert_eq!(count as usize, kept, "{kind} first_n({n}) count");
+            assert_eq!(any, kept > 0, "{kind} first_n({n}) any");
+            assert_eq!(all, kept == lanes, "{kind} first_n({n}) all");
+        }
+    }
+}
+
+struct MaskAlgebra;
+
+impl IsaOp for MaskAlgebra {
+    type Output = ();
+    fn run<I: Isa>(self) {
+        let lanes = <I::M32 as SimdMask>::LANES;
+        for n in 0..=lanes {
+            let m = I::M32::first_n(n);
+            let inv = m.not();
+            for i in 0..lanes {
+                assert!(!m.and(inv).test(i), "n={n} and lane {i}");
+                assert!(m.or(inv).test(i), "n={n} or lane {i}");
+            }
+            assert_eq!(m.and(inv).count(), 0);
+            assert_eq!(m.or(inv).count() as usize, lanes);
+            assert_eq!(inv.count() as usize, lanes - n);
+        }
+        assert!(I::M32::none().not().all());
+        assert!(!I::M32::all_true().not().any());
+    }
+}
+
+#[test]
+fn mask_boolean_algebra_holds_per_backend() {
+    for kind in available_kinds() {
+        dispatch_on(kind, MaskAlgebra);
+    }
+}
+
+/// The f64 side: masked load/store with the 64-bit mask type.
+struct PartialF64 {
+    n: usize,
+    offset: usize,
+}
+
+impl IsaOp for PartialF64 {
+    type Output = (usize, Vec<f64>);
+    fn run<I: Isa>(self) -> (usize, Vec<f64>) {
+        let lanes = <I::F64 as SimdF64>::LANES;
+        let src: Vec<f64> = (0..self.offset + self.n).map(|i| 7.0 + i as f64).collect();
+        let kept = self.n.min(lanes);
+        let mask = I::F64::first_n_mask(self.n);
+        // SAFETY: the mask enables exactly `kept <= n` lanes, all inside
+        // the slice starting at `offset`.
+        let v = unsafe { I::F64::load_ptr_mask(src[self.offset..].as_ptr(), mask) };
+        let mut dst = vec![-2.0f64; self.offset + lanes];
+        // SAFETY: the destination window holds `lanes >= kept` elements.
+        unsafe { v.store_ptr_mask(dst[self.offset..].as_mut_ptr(), I::F64::first_n_mask(kept)) };
+        (lanes, dst)
+    }
+}
+
+#[test]
+fn f64_masked_roundtrip_preserves_sentinels() {
+    for kind in available_kinds() {
+        let lanes = kind.width_bits() / 64;
+        for n in 0..=lanes + 1 {
+            for offset in [0usize, 1, 3] {
+                let (got_lanes, dst) = dispatch_on(kind, PartialF64 { n, offset });
+                assert_eq!(got_lanes, lanes.max(1));
+                let kept = n.min(got_lanes);
+                for (i, d) in dst.iter().enumerate() {
+                    if i >= offset && i < offset + kept {
+                        assert_eq!(*d, 7.0 + i as f64, "{kind} f64 n={n} dst[{i}]");
+                    } else {
+                        assert_eq!(*d, -2.0, "{kind} f64 n={n}: dst[{i}] clobbered");
+                    }
+                }
+            }
+        }
+    }
+}
